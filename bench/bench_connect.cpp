@@ -1,0 +1,162 @@
+// Experiment T1/F2/F3 — connection establishment (Table 1, Figs 2-3).
+//
+// Table 1: connect latency, direct (initiator == source) vs remote
+//          (three-party, Fig 2/3), as a function of hop count.
+// Table 2: release latency, local vs remote release.
+// Table 3: establishment under contention: QoS option negotiation degrades
+//          the agreed rate as the path fills.
+
+#include "common.h"
+
+namespace cmtos::bench {
+namespace {
+
+/// Chain topology: h0 - h1 - ... - h{n}; initiator host is off to the side
+/// attached to the chain head.
+struct Chain {
+  explicit Chain(std::size_t hops) : platform(11) {
+    for (std::size_t i = 0; i <= hops; ++i)
+      hosts.push_back(&platform.add_host("h" + std::to_string(i)));
+    mgmt = &platform.add_host("mgmt");
+    for (std::size_t i = 0; i + 1 <= hops; ++i)
+      platform.network().add_link(hosts[i]->id, hosts[i + 1]->id, lan_link());
+    platform.network().add_link(mgmt->id, hosts[0]->id, lan_link());
+    platform.network().finalize_routes();
+  }
+  platform::Platform platform;
+  std::vector<platform::Host*> hosts;
+  platform::Host* mgmt = nullptr;
+};
+
+}  // namespace
+}  // namespace cmtos::bench
+
+int main() {
+  using namespace cmtos;
+  using namespace cmtos::bench;
+
+  title("T-Connect latency: direct vs remote connect",
+        "Table 1 + Figs 2/3: conventional two-party vs three-party remote establishment");
+  row("%-10s %-10s %18s %14s", "hops", "mode", "connect (ms)", "confirmed");
+  for (std::size_t hops : {1u, 2u, 4u, 8u}) {
+    // Direct: initiator == source at chain head, sink at chain tail.
+    {
+      Chain c(hops);
+      AutoUser src(c.hosts[0]->entity), dst(c.hosts[hops]->entity);
+      c.hosts[0]->entity.bind(1, &src);
+      c.hosts[hops]->entity.bind(2, &dst);
+      const Time t0 = c.platform.scheduler().now();
+      Time confirmed_at = 0;
+      struct Timer : AutoUser {
+        using AutoUser::AutoUser;
+        Time* out = nullptr;
+        platform::Platform* p = nullptr;
+        void t_connect_confirm(transport::VcId vc, const transport::QosParams& q) override {
+          AutoUser::t_connect_confirm(vc, q);
+          *out = p->scheduler().now();
+        }
+      };
+      Timer timing_src(c.hosts[0]->entity);
+      timing_src.out = &confirmed_at;
+      timing_src.p = &c.platform;
+      c.hosts[0]->entity.bind(1, &timing_src);
+      c.hosts[0]->entity.t_connect_request(
+          basic_request({c.hosts[0]->id, 1}, {c.hosts[hops]->id, 2}));
+      c.platform.run_until(5 * kSecond);
+      row("%-10zu %-10s %18.3f %14s", hops, "direct", to_millis(confirmed_at - t0),
+          timing_src.confirmed ? "yes" : "NO");
+    }
+    // Remote: initiator on the management host (Fig 2).
+    {
+      Chain c(hops);
+      AutoUser src(c.hosts[0]->entity), dst(c.hosts[hops]->entity);
+      c.hosts[0]->entity.bind(1, &src);
+      c.hosts[hops]->entity.bind(2, &dst);
+      struct Timer : AutoUser {
+        using AutoUser::AutoUser;
+        Time* out = nullptr;
+        platform::Platform* p = nullptr;
+        void t_connect_confirm(transport::VcId vc, const transport::QosParams& q) override {
+          AutoUser::t_connect_confirm(vc, q);
+          *out = p->scheduler().now();
+        }
+      };
+      Time confirmed_at = 0;
+      Timer initiator(c.mgmt->entity);
+      initiator.out = &confirmed_at;
+      initiator.p = &c.platform;
+      c.mgmt->entity.bind(3, &initiator);
+      auto req = basic_request({c.hosts[0]->id, 1}, {c.hosts[hops]->id, 2});
+      req.initiator = {c.mgmt->id, 3};
+      const Time t0 = c.platform.scheduler().now();
+      c.mgmt->entity.t_connect_request(req);
+      c.platform.run_until(5 * kSecond);
+      row("%-10zu %-10s %18.3f %14s", hops, "remote", to_millis(confirmed_at - t0),
+          initiator.confirmed ? "yes" : "NO");
+    }
+  }
+  row("%s", "");
+  row("Expectation: direct connect ~1 RTT over the path; remote connect adds the");
+  row("initiator->source leg plus the source user consent step (Fig 3).");
+
+  // ------------------------------------------------------------------
+  title("T-Disconnect latency", "Table 1: release primitives, local vs remote release");
+  for (bool remote : {false, true}) {
+    Chain c(2);
+    AutoUser src(c.hosts[0]->entity), dst(c.hosts[2]->entity);
+    c.hosts[0]->entity.bind(1, &src);
+    c.hosts[2]->entity.bind(2, &dst);
+    auto req = basic_request({c.hosts[0]->id, 1}, {c.hosts[2]->id, 2});
+    const auto vc = c.hosts[0]->entity.t_connect_request(req);
+    c.platform.run_until(kSecond);
+    const Time t0 = c.platform.scheduler().now();
+    if (remote) {
+      // Remote release from the management host; the source device user
+      // must then release (AutoUser does not, so emulate the app action).
+      c.mgmt->entity.t_remote_disconnect_request(vc, {c.hosts[0]->id, 1});
+      c.platform.run_until(c.platform.scheduler().now() + 100 * kMillisecond);
+      c.hosts[0]->entity.t_disconnect_request(vc);
+    } else {
+      c.hosts[0]->entity.t_disconnect_request(vc);
+    }
+    c.platform.run_until(c.platform.scheduler().now() + 2 * kSecond);
+    // Released when the sink endpoint is gone.
+    const bool gone = c.hosts[2]->entity.sink(vc) == nullptr;
+    row("%-10s release completed: %s (measured after %.1f ms window)",
+        remote ? "remote" : "local", gone ? "yes" : "NO",
+        to_millis(c.platform.scheduler().now() - t0));
+  }
+
+  // ------------------------------------------------------------------
+  title("QoS option negotiation under contention",
+        "Table 1 (QoS-tolerance-levels): successive 4.2 Mbit/s-preferred connects over one "
+        "10 Mbit/s link degrade toward worst-acceptable, then reject");
+  {
+    Chain c(1);
+    AutoUser src(c.hosts[0]->entity), dst(c.hosts[1]->entity);
+    c.hosts[0]->entity.bind(1, &src);
+    c.hosts[1]->entity.bind(2, &dst);
+    row("%-10s %16s %16s %14s", "connect#", "agreed rate/s", "agreed Mbit/s", "outcome");
+    for (int i = 0; i < 6; ++i) {
+      AutoUser user(c.hosts[0]->entity);
+      c.hosts[0]->entity.bind(static_cast<net::Tsap>(10 + i), &user);
+      auto req = basic_request({c.hosts[0]->id, static_cast<net::Tsap>(10 + i)},
+                               {c.hosts[1]->id, 2}, 15.0, 32 * 1024);  // ~4.2 Mbit/s preferred
+      req.qos.worst.osdu_rate = 1.0;
+      c.hosts[0]->entity.t_connect_request(req);
+      c.platform.run_until(c.platform.scheduler().now() + kSecond);
+      if (user.confirmed) {
+        row("%-10d %16.2f %16.2f %14s", i, user.agreed.osdu_rate,
+            static_cast<double>(user.agreed.required_bps()) / 1e6, "accepted");
+      } else {
+        row("%-10d %16s %16s %14s", i, "-", "-",
+            transport::to_string(user.reason).c_str());
+      }
+    }
+  }
+  row("%s", "");
+  row("Expectation: the first connect gets (nearly) its preference, later ones degrade");
+  row("toward the worst-acceptable rate, and once even that cannot be admitted the");
+  row("connect is rejected with no-resources (ST-II-style admission, §3.2).");
+  return 0;
+}

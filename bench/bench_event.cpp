@@ -1,0 +1,133 @@
+// Experiment T6 (Orch.Event) — event-driven synchronisation (§6.3.4).
+//
+// Table 1: end-to-end notification latency (OSDU arrival at the sink ->
+//          Orch.Event.indication at the orchestrating node), vs an
+//          application-level polling baseline ("it would be possible to
+//          implement such a scheme in an ad-hoc manner in the application
+//          layer, but this would require that application threads examine
+//          each incoming OSDU").
+// Table 2: selectivity: masked matching fires exactly on the flagged
+//          OSDUs and never otherwise.
+
+#include "common.h"
+
+namespace cmtos::bench {
+namespace {
+
+struct EventWorld {
+  EventWorld() : platform(61) {
+    server_host = &platform.add_host("server");
+    ws = &platform.add_host("ws");
+    platform.network().add_link(server_host->id, ws->id, lan_link());
+    platform.network().finalize_routes();
+    server = std::make_unique<media::StoredMediaServer>(platform, *server_host, "s");
+    media::TrackConfig t;
+    t.track_id = 1;
+    t.auto_start = true;
+    t.event_every = 100;  // flag a "change of encoding" every 100 frames
+    t.event_value = 0xc0dec;
+    t.vbr.base_bytes = 1024;
+    src = server->add_track(100, t);
+    media::RenderConfig rc;
+    rc.expect_track = 1;
+    sink = std::make_unique<media::RenderingSink>(platform, *ws, 200, rc);
+    stream = std::make_unique<platform::Stream>(platform, *ws, "s");
+    platform::VideoQos vq;
+    vq.frames_per_second = 50;
+    stream->connect(src, {ws->id, 200}, vq, {}, nullptr);
+    platform.run_until(500 * kMillisecond);
+  }
+  platform::Platform platform;
+  platform::Host* server_host = nullptr;
+  platform::Host* ws = nullptr;
+  std::unique_ptr<media::StoredMediaServer> server;
+  std::unique_ptr<media::RenderingSink> sink;
+  std::unique_ptr<platform::Stream> stream;
+  net::NetAddress src;
+};
+
+}  // namespace
+}  // namespace cmtos::bench
+
+int main() {
+  using namespace cmtos;
+  using namespace cmtos::bench;
+
+  title("Orch.Event notification latency vs application polling",
+        "Table 6 (Orch.Event): LLO matches the per-OSDU OPDU event field at arrival");
+  {
+    EventWorld w;
+    auto& llo = w.ws->llo;
+    llo.orch_request(1, {w.stream->orch_spec().vc}, nullptr);
+    w.platform.run_until(kSecond);
+
+    // Mechanism: LLO matching at OSDU *arrival*.
+    SampleSet llo_latency_ms;
+    llo.set_event_callback(1, [&](const orch::EventIndication& e) {
+      llo_latency_ms.add(to_millis(w.platform.scheduler().now() - e.matched_at));
+      (void)e;
+    });
+    llo.register_event(1, w.stream->orch_spec().vc.vc, 0xc0dec);
+
+    // Baseline: the application only sees the event when the *renderer*
+    // reads the flagged OSDU — arrival-to-application-read latency.
+    SampleSet poll_latency_ms;
+    auto* conn = w.ws->entity.sink(w.stream->orch_spec().vc.vc);
+    std::map<std::uint32_t, Time> flagged_arrivals;
+    conn->set_on_osdu_delivered([&](const transport::Osdu& o, Time) {
+      if (o.event == 0xc0dec)
+        poll_latency_ms.add(
+            to_millis(w.platform.scheduler().now() - flagged_arrivals[o.seq]));
+    });
+    // The LLO owns the arrival hook; wrap it to also record arrival times.
+    // (set_on_osdu_arrival was installed by the LLO; chain via events.)
+    // Simpler: record arrival via the event indication's matched_at field.
+    llo.set_event_callback(1, [&](const orch::EventIndication& e) {
+      llo_latency_ms.add(to_millis(w.platform.scheduler().now() - e.matched_at));
+      flagged_arrivals[e.osdu_seq] = e.matched_at;
+    });
+
+    w.platform.run_until(25 * kSecond);
+    row("%-34s %10s %10s %10s %10s", "mechanism", "events", "mean ms", "p95 ms", "max ms");
+    row("%-34s %10zu %10.3f %10.3f %10.3f", "Orch.Event (LLO at arrival)",
+        llo_latency_ms.count(), llo_latency_ms.mean(), llo_latency_ms.percentile(95),
+        llo_latency_ms.max());
+    row("%-34s %10zu %10.3f %10.3f %10.3f", "app polling (read at render)",
+        poll_latency_ms.count(), poll_latency_ms.mean(), poll_latency_ms.percentile(95),
+        poll_latency_ms.max());
+    row("%s", "");
+    row("Expectation: LLO matching fires within the OPDU delivery time (here node-local,");
+    row("sub-ms); application polling waits for the render thread to reach the flagged");
+    row("OSDU -- up to a full buffer's worth of media time later.");
+  }
+
+  // ------------------------------------------------------------------
+  title("Masked-match selectivity", "Table 6: (event & mask) == pattern, uninterpreted by the LLO");
+  {
+    EventWorld w;
+    auto& llo = w.ws->llo;
+    llo.orch_request(1, {w.stream->orch_spec().vc}, nullptr);
+    w.platform.run_until(kSecond);
+
+    int full_matches = 0, masked_matches = 0, wrong_matches = 0;
+    llo.set_event_callback(1, [&](const orch::EventIndication& e) {
+      if (e.event_value == 0xc0dec) {
+        ++full_matches;
+      } else {
+        ++wrong_matches;
+      }
+      (void)masked_matches;
+    });
+    llo.register_event(1, w.stream->orch_spec().vc.vc, 0xdec, 0xfff);  // low 12 bits of 0xc0dec
+    w.platform.run_until(21 * kSecond);
+
+    const auto produced = w.server->stats(100).frames_produced;
+    row("frames produced: %lld; flagged every 100th (skipping frame 0): expected ~%lld",
+        static_cast<long long>(produced), static_cast<long long>((produced - 1) / 100));
+    row("masked matches on flagged OSDUs: %d; spurious matches: %d", full_matches,
+        wrong_matches);
+    row("%s", "");
+    row("Expectation: every flagged OSDU matches through the 12-bit mask, nothing else.");
+  }
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Experiment T4/F5 — orchestration session management (Table 4) and
+// orchestrating-node selection (Fig 5).
+//
+// Table 1: Orch.request / Orch.Release latency vs group size and topology.
+// Table 2: node selection across the paper's canonical topologies, with
+//          the control-loop RTT cost of orchestrating from the chosen node
+//          vs the worst admissible alternative.
+
+#include "common.h"
+
+namespace cmtos::bench {
+namespace {
+
+/// Builds `n` streams from one server to one workstation two hops apart.
+struct GroupWorld {
+  explicit GroupWorld(std::size_t n) : platform(31) {
+    server = &platform.add_host("server");
+    hub = &platform.add_host("hub");
+    ws = &platform.add_host("ws");
+    net::LinkConfig fat = lan_link();
+    fat.bandwidth_bps = 500'000'000;
+    platform.network().add_link(server->id, hub->id, fat);
+    platform.network().add_link(hub->id, ws->id, fat);
+    platform.network().finalize_routes();
+    store = std::make_unique<media::StoredMediaServer>(platform, *server, "s");
+    for (std::size_t i = 0; i < n; ++i) {
+      media::TrackConfig t;
+      t.track_id = static_cast<std::uint32_t>(i + 1);
+      t.auto_start = false;
+      t.vbr.base_bytes = 1024;
+      const auto src = store->add_track(static_cast<net::Tsap>(100 + i), t);
+      media::RenderConfig rc;
+      rc.expect_track = t.track_id;
+      sinks.push_back(std::make_unique<media::RenderingSink>(
+          platform, *ws, static_cast<net::Tsap>(200 + i), rc));
+      streams.push_back(
+          std::make_unique<platform::Stream>(platform, *ws, "s" + std::to_string(i)));
+      platform::VideoQos vq;
+      vq.frames_per_second = 25;
+      streams.back()->connect(src, {ws->id, static_cast<net::Tsap>(200 + i)}, vq, {}, nullptr);
+    }
+    platform.run_until(kSecond);
+  }
+  std::vector<orch::OrchStreamSpec> specs() {
+    std::vector<orch::OrchStreamSpec> v;
+    for (auto& s : streams) v.push_back(s->orch_spec(0));
+    return v;
+  }
+  platform::Platform platform;
+  platform::Host* server = nullptr;
+  platform::Host* hub = nullptr;
+  platform::Host* ws = nullptr;
+  std::unique_ptr<media::StoredMediaServer> store;
+  std::vector<std::unique_ptr<media::RenderingSink>> sinks;
+  std::vector<std::unique_ptr<platform::Stream>> streams;
+};
+
+}  // namespace
+}  // namespace cmtos::bench
+
+int main() {
+  using namespace cmtos;
+  using namespace cmtos::bench;
+
+  title("Orch.request / Orch.Release latency vs group size",
+        "Table 4: session establishment fans OPDUs to every source and sink LLO");
+  row("%-12s %20s %20s", "group size", "establish (ms)", "release+verify (ms)");
+  for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    GroupWorld w(n);
+    Time t0 = w.platform.scheduler().now();
+    Time established_at = 0;
+    auto session = w.platform.orchestrator().orchestrate(
+        w.specs(), {}, [&](bool ok, auto) {
+          if (ok) established_at = w.platform.scheduler().now();
+        });
+    w.platform.run_until(w.platform.scheduler().now() + kSecond);
+    const Time t1 = w.platform.scheduler().now();
+    session->release();
+    // Release has no confirm; verify by endpoint-state teardown.
+    w.platform.run_until(w.platform.scheduler().now() + kSecond);
+    const bool released = w.server->llo.local_vc_count() == 0;
+    row("%-12zu %20.3f %17.0f/%s", n, to_millis(established_at - t0),
+        to_millis(w.platform.scheduler().now() - t1), released ? "clean" : "LEAKED");
+  }
+  row("%s", "");
+  row("Expectation: establishment ~1 control RTT independent of group size (parallel");
+  row("fan-out); release leaves no endpoint LLO state behind.");
+
+  // ------------------------------------------------------------------
+  title("Orchestrating-node selection (Fig 5)",
+        "Fig 5: \"the node ... common to the greatest number of VCs\"");
+  row("%-44s %16s", "topology", "chosen node");
+  using orch::OrchStreamSpec;
+  auto spec = [](transport::VcId vc, net::NodeId s, net::NodeId k) {
+    OrchStreamSpec sp;
+    sp.vc = {vc, s, k};
+    return sp;
+  };
+  struct Case {
+    const char* name;
+    std::vector<OrchStreamSpec> specs;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"film: 2 servers (10,20) -> 1 ws (30)",
+       {spec(1, 10, 30), spec(2, 20, 30)},
+       "30 (common sink)"},
+      {"language lab: server 10 -> ws 31,32,33",
+       {spec(1, 10, 31), spec(2, 10, 32), spec(3, 10, 33)},
+       "10 (common source)"},
+      {"A/V pair both 10 -> 20 (tie)",
+       {spec(1, 10, 20), spec(2, 10, 20)},
+       "20 (sink preferred)"},
+      {"disjoint pairs 10->20, 30->40",
+       {spec(1, 10, 20), spec(2, 30, 40)},
+       "none (no common node)"},
+  };
+  for (const auto& c : cases) {
+    const auto chosen = orch::Orchestrator::choose_orchestrating_node(c.specs);
+    char buf[32];
+    if (chosen == net::kInvalidNode) {
+      std::snprintf(buf, sizeof buf, "none");
+    } else {
+      std::snprintf(buf, sizeof buf, "%u", chosen);
+    }
+    row("%-44s %-10s (expect %s)", c.name, buf, c.expect);
+  }
+
+  // ------------------------------------------------------------------
+  title("Control-loop cost of the chosen node",
+        "Fig 5: orchestrating from the common node keeps the regulation loop local");
+  {
+    // Film topology with a distant alternative: measure the regulate ->
+    // indication round trip from the sink (chosen) vs a remote node would
+    // require OPDU crossings per interval.
+    FilmWorld world(0.0);
+    orch::OrchPolicy policy;
+    policy.interval = 100 * kMillisecond;
+    auto session = world.orchestrate(policy, 0);
+    std::map<transport::VcId, Time> last_reg;
+    SampleSet rtts;
+    session->agent().set_interval_callback(
+        [&](const orch::RegulateIndication& ind, std::int64_t) {
+          const Time now = world.platform.scheduler().now();
+          if (auto it = last_reg.find(ind.vc); it != last_reg.end())
+            rtts.add(to_millis(now - it->second) - 100.0);
+          last_reg[ind.vc] = now;
+        });
+    world.platform.run_until(world.platform.scheduler().now() + 10 * kSecond);
+    row("orchestrating from the common sink: per-VC report cadence exceeds the 100 ms");
+    row("interval by only %.3f ms on average (the regulate->report loop is node-local at",
+        rtts.mean());
+    row("the sink; only the source-side stats cross the network each interval)");
+  }
+  return 0;
+}

@@ -1,0 +1,149 @@
+// av_phone — the §2.2 "audiovisual telephone" test application.
+//
+// A two-party call built the way §3.1 prescribes: four *simplex* VCs (two
+// per direction), never full-duplex ones — "if full duplex communication
+// is required, it is always possible to establish a second VC", and the
+// two directions here deliberately carry different QoS (colour video one
+// way, monochrome the other).  Both parties' camera/microphone are live
+// sources with interactive delay budgets; each end orchestrates the A/V
+// pair it *receives* for local lip sync.
+//
+//   $ ./av_phone
+
+#include <cstdio>
+
+#include "media/live_source.h"
+#include "media/sink.h"
+#include "media/sync_meter.h"
+#include "platform/host.h"
+#include "platform/stream.h"
+
+using namespace cmtos;
+
+namespace {
+
+struct Party {
+  Party(platform::Platform& world, const std::string& name, double clock_ppm)
+      : host(&world.add_host(name, sim::LocalClock(0, clock_ppm))) {}
+
+  void make_devices(platform::Platform& world, bool colour) {
+    media::LiveConfig cam;
+    cam.track_id = colour ? 1 : 2;
+    cam.rate = 25.0;
+    platform::VideoQos vq;
+    vq.colour = colour;
+    cam.frame_bytes = vq.frame_bytes();
+    camera = std::make_unique<media::LiveSource>(world, *host, 10, cam);
+
+    media::LiveConfig mic;
+    mic.track_id = colour ? 3 : 4;
+    mic.rate = 50.0;
+    platform::AudioQos aq;
+    mic.frame_bytes = aq.block_bytes();
+    microphone = std::make_unique<media::LiveSource>(world, *host, 11, mic);
+
+    media::RenderConfig vr;
+    vr.expect_track = colour ? 2 : 1;  // we see the *other* party's video
+    screen = std::make_unique<media::RenderingSink>(world, *host, 20, vr);
+    media::RenderConfig ar;
+    ar.expect_track = colour ? 4 : 3;
+    speaker = std::make_unique<media::RenderingSink>(world, *host, 21, ar);
+  }
+
+  platform::Host* host;
+  std::unique_ptr<media::LiveSource> camera, microphone;
+  std::unique_ptr<media::RenderingSink> screen, speaker;
+};
+
+}  // namespace
+
+int main() {
+  platform::Platform world(1992);
+  Party alice(world, "alice", +800);
+  Party bob(world, "bob", -800);
+  net::LinkConfig wan;
+  wan.bandwidth_bps = 4'000'000;
+  wan.propagation_delay = 8 * kMillisecond;
+  wan.jitter = 1 * kMillisecond;
+  world.network().add_link(alice.host->id, bob.host->id, wan);
+  world.network().finalize_routes();
+
+  // Alice sends colour; Bob's uplink is monochrome — "it may be desired to
+  // send colour video in one direction and monochrome in the other" (§3.1).
+  alice.make_devices(world, /*colour=*/true);
+  bob.make_devices(world, /*colour=*/false);
+
+  platform::VideoQos colour;
+  colour.colour = true;
+  colour.interactive = true;
+  platform::VideoQos mono;
+  mono.colour = false;
+  mono.interactive = true;
+  platform::AudioQos voice;
+  voice.interactive = true;
+
+  // Four simplex VCs.  Each callee-side Stream lives on the *receiving*
+  // host, which is also where the received pair is orchestrated.
+  platform::Stream a2b_video(world, *bob.host, "alice->bob video");
+  platform::Stream a2b_audio(world, *bob.host, "alice->bob audio");
+  platform::Stream b2a_video(world, *alice.host, "bob->alice video");
+  platform::Stream b2a_audio(world, *alice.host, "bob->alice audio");
+  int connected = 0;
+  auto count = [&](bool ok, auto) { connected += ok; };
+  a2b_video.connect({alice.host->id, 10}, {bob.host->id, 20}, colour, {}, count);
+  a2b_audio.connect({alice.host->id, 11}, {bob.host->id, 21}, voice, {}, count);
+  b2a_video.connect({bob.host->id, 10}, {alice.host->id, 20}, mono, {}, count);
+  b2a_audio.connect({bob.host->id, 11}, {alice.host->id, 21}, voice, {}, count);
+  world.run_until(kSecond);
+  std::printf("call setup: %d/4 simplex VCs established\n", connected);
+  std::printf("  alice->bob video: %.2f Mbit/s (colour)\n",
+              static_cast<double>(a2b_video.agreed_qos().required_bps()) / 1e6);
+  std::printf("  bob->alice video: %.2f Mbit/s (monochrome)\n",
+              static_cast<double>(b2a_video.agreed_qos().required_bps()) / 1e6);
+
+  // Live media: no priming possible (§3.6 — "there is no control over when
+  // the information flow starts"); each receiver orchestrates its incoming
+  // pair for render-side alignment only.
+  orch::OrchPolicy policy;
+  policy.interval = 100 * kMillisecond;
+  auto bob_session = world.orchestrator().orchestrate(
+      {a2b_video.orch_spec(2), a2b_audio.orch_spec(0)}, policy, nullptr);
+  auto alice_session = world.orchestrator().orchestrate(
+      {b2a_video.orch_spec(2), b2a_audio.orch_spec(0)}, policy, nullptr);
+  world.run_until(world.scheduler().now() + 500 * kMillisecond);
+  bob_session->start(nullptr);
+  alice_session->start(nullptr);
+
+  media::SyncMeter bob_meter(world.scheduler());
+  bob_meter.add_stream("video", bob.screen.get());
+  bob_meter.add_stream("audio", bob.speaker.get());
+  bob_meter.begin(100 * kMillisecond);
+  world.run_until(world.scheduler().now() + 30 * kSecond);
+
+  std::printf("\n30 s of conversation:\n");
+  std::printf("  bob saw %lld frames / heard %lld blocks (lip-sync skew max %.0f ms)\n",
+              static_cast<long long>(bob.screen->stats().frames_rendered),
+              static_cast<long long>(bob.speaker->stats().frames_rendered),
+              bob_meter.max_abs_skew_seconds() * 1000);
+  std::printf("  alice saw %lld frames / heard %lld blocks\n",
+              static_cast<long long>(alice.screen->stats().frames_rendered),
+              static_cast<long long>(alice.speaker->stats().frames_rendered));
+
+  // One-way mouth-to-ear delay, ground truth, from the delivery records.
+  SampleSet delay_ms;
+  for (const auto& rec : bob.speaker->records()) delay_ms.add(to_millis(rec.true_delay));
+  std::printf("  mouth-to-ear delay (alice->bob voice): mean %.1f ms, p99 %.1f ms\n",
+              delay_ms.mean(), delay_ms.percentile(99));
+  std::printf("  (interactive budget from human perceptual thresholds: <= 100 ms, §3.2)\n");
+
+  // Camera off mid-call: the video VC idles, the call (audio) continues.
+  alice.camera->switch_off();
+  world.run_until(world.scheduler().now() + 5 * kSecond);
+  const auto frames_at_off = bob.screen->stats().frames_rendered;
+  world.run_until(world.scheduler().now() + 5 * kSecond);
+  std::printf("\nalice switches her camera off: bob's screen froze (%lld frames since),\n",
+              static_cast<long long>(bob.screen->stats().frames_rendered - frames_at_off));
+  std::printf("voice continues: %s\n",
+              bob.speaker->stats().frames_rendered > 0 ? "yes" : "NO");
+  return connected == 4 ? 0 : 1;
+}

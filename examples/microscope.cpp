@@ -1,0 +1,126 @@
+// microscope — the §2.2 flagship application: "remote access to any one of
+// a number of electron or optical microscopes located on a network.  Each
+// microscope can send its video output to a number of user workstations."
+//
+// A management object on the lab coordinator's machine discovers a
+// microscope through the trader and uses the *remote connection facility*
+// (§3.5, Fig 2): it connects the microscope's camera TSAP (host it does
+// not own) to each scientist's monitor TSAP, then attaches a caption
+// stream annotated with Orch.Event markers so workstations are notified
+// the instant the specimen stage moves.
+//
+//   $ ./microscope
+
+#include <cstdio>
+#include <vector>
+
+#include "media/live_source.h"
+#include "media/sink.h"
+#include "media/stored_server.h"
+#include "platform/host.h"
+#include "platform/stream.h"
+
+using namespace cmtos;
+
+int main() {
+  platform::Platform world(123);
+  auto& microscope_host = world.add_host("microscope");
+  auto& coordinator = world.add_host("coordinator");
+  auto& alice = world.add_host("alice");
+  auto& bob = world.add_host("bob");
+  net::LinkConfig lan;
+  lan.bandwidth_bps = 10'000'000;
+  lan.propagation_delay = 1 * kMillisecond;
+  auto& hub = world.add_host("hub");
+  for (auto* h : {&microscope_host, &coordinator, &alice, &bob})
+    world.network().add_link(hub.id, h->id, lan);
+  world.network().finalize_routes();
+
+  // The microscope exports its camera interface through the trader.
+  world.start_trader(hub.id);
+  media::LiveConfig cam;
+  cam.track_id = 5;
+  cam.rate = 25.0;
+  cam.frame_bytes = 4096;
+  media::LiveSource camera(world, microscope_host, /*tsap=*/10, cam);
+  auto exporter = world.trader_client(microscope_host.id);
+  exporter.export_interface({"em-scope-1.camera", microscope_host.id, 10}, nullptr);
+  world.run_until(200 * kMillisecond);
+
+  // The coordinator imports the interface by name -- location independent.
+  platform::InterfaceRef scope;
+  auto importer = world.trader_client(coordinator.id);
+  importer.import_interface("em-scope-1.camera", [&](auto ref) {
+    if (ref) scope = *ref;
+  });
+  world.run_until(400 * kMillisecond);
+  std::printf("trader lookup: em-scope-1.camera -> node %u tsap %u\n", scope.node, scope.tsap);
+
+  // Monitors at the scientists' desks.
+  media::RenderConfig rc;
+  rc.expect_track = 5;
+  media::RenderingSink alice_monitor(world, alice, 20, rc);
+  media::RenderingSink bob_monitor(world, bob, 20, rc);
+
+  // Remote connects: the coordinator (initiator) wires microscope -> desk.
+  // The transport relays T-Connect.indication to the microscope first
+  // (Fig 3), which consents, then completes the normal handshake.
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  vq.compression = 74.25;  // ~4 KiB frames
+  platform::Stream to_alice(world, coordinator, "scope->alice");
+  platform::Stream to_bob(world, coordinator, "scope->bob");
+  int connected = 0;
+  to_alice.connect({scope.node, scope.tsap}, {alice.id, 20}, vq, {},
+                   [&](bool ok, auto) { connected += ok; });
+  to_bob.connect({scope.node, scope.tsap}, {bob.id, 20}, vq, {},
+                 [&](bool ok, auto) { connected += ok; });
+  world.run_until(kSecond);
+  std::printf("remote connects established by the coordinator: %d/2\n", connected);
+
+  world.run_until(world.scheduler().now() + 10 * kSecond);
+  std::printf("alice saw %lld frames, bob saw %lld (live microscope video)\n",
+              static_cast<long long>(alice_monitor.stats().frames_rendered),
+              static_cast<long long>(bob_monitor.stats().frames_rendered));
+
+  // Voice annotation for the session notes: a stored track on the
+  // coordinator, stage-movement events flagged every 50 units via the
+  // per-OSDU OPDU event field; Alice's workstation registers an Orch.Event
+  // so her UI can mark the timeline instantly (§6.3.4).
+  media::StoredMediaServer notes(world, coordinator, "notes");
+  media::TrackConfig ann;
+  ann.track_id = 9;
+  ann.auto_start = true;
+  ann.event_every = 50;
+  ann.event_value = 0x57a6e;  // "stage" moved
+  ann.vbr.base_bytes = 160;
+  ann.vbr.gop = 0;
+  const auto ann_src = notes.add_track(30, ann);
+  media::RenderConfig arc;
+  arc.expect_track = 9;
+  media::RenderingSink alice_speaker(world, alice, 21, arc);
+  platform::Stream annotation(world, coordinator, "annotation->alice");
+  platform::AudioQos aq;
+  annotation.connect(ann_src, {alice.id, 21}, aq, {}, nullptr);
+  world.run_until(world.scheduler().now() + 500 * kMillisecond);
+
+  auto& llo = alice.llo;  // Alice's workstation is the sink: orchestrate there
+  llo.orch_request(1, {annotation.orch_spec().vc}, nullptr);
+  world.run_until(world.scheduler().now() + 200 * kMillisecond);
+  int stage_events = 0;
+  llo.set_event_callback(1, [&](const orch::EventIndication& e) {
+    ++stage_events;
+    std::printf("  stage-move marker at annotation block %u\n", e.osdu_seq);
+  });
+  llo.register_event(1, annotation.orch_spec().vc.vc, 0x57a6e);
+  world.run_until(world.scheduler().now() + 10 * kSecond);
+  std::printf("stage-movement events delivered to Alice's UI: %d\n", stage_events);
+
+  // End of session: the coordinator releases everything remotely.
+  to_alice.disconnect();
+  to_bob.disconnect();
+  world.run_until(world.scheduler().now() + kSecond);
+  std::printf("session closed; camera still capturing: %s (drops to the floor, live)\n",
+              camera.capturing() ? "yes" : "no");
+  return connected == 2 && stage_events > 0 ? 0 : 1;
+}

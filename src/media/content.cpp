@@ -1,0 +1,66 @@
+#include "media/content.h"
+
+#include <algorithm>
+
+#include "util/byte_io.h"
+#include "util/checksum.h"
+#include "util/rng.h"
+
+namespace cmtos::media {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 16;  // track(4) + index(4) + len(4) + crc(4)
+}
+
+std::vector<std::uint8_t> make_frame(std::uint32_t track_id, std::uint32_t index,
+                                     std::size_t size) {
+  size = std::max(size, kHeaderBytes);
+  const std::size_t body_len = size - kHeaderBytes;
+
+  // Deterministic body from (track, index).
+  std::vector<std::uint8_t> body(body_len);
+  Rng rng((static_cast<std::uint64_t>(track_id) << 32) | index);
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(size);
+  ByteWriter w(frame);
+  w.u32(track_id);
+  w.u32(index);
+  w.u32(static_cast<std::uint32_t>(body_len));
+  w.u32(crc32(body));
+  w.bytes(body);
+  return frame;
+}
+
+std::optional<FrameHeader> verify_frame(std::span<const std::uint8_t> frame) {
+  try {
+    ByteReader r(frame);
+    FrameHeader h;
+    h.track_id = r.u32();
+    h.index = r.u32();
+    const std::uint32_t body_len = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (frame.size() != kHeaderBytes + body_len) return std::nullopt;
+    if (crc32(frame.subspan(kHeaderBytes)) != crc) return std::nullopt;
+    return h;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::size_t VbrModel::frame_bytes(std::uint32_t index) const {
+  // gop <= 0 selects constant-bit-rate mode: every frame is base_bytes
+  // (plus wobble); the I/P pattern applies only when a GOP is configured.
+  double size = static_cast<double>(base_bytes);
+  if (gop > 0) {
+    const bool i_frame = index % static_cast<std::uint32_t>(gop) == 0;
+    size *= i_frame ? i_ratio : p_ratio;
+  }
+  // Deterministic wobble in [-wobble, +wobble].
+  Rng rng(0x5eedull ^ index * 0x9e3779b97f4a7c15ull);
+  size *= 1.0 + wobble * (2.0 * rng.next_double() - 1.0);
+  return static_cast<std::size_t>(std::max(32.0, size));
+}
+
+}  // namespace cmtos::media

@@ -1,0 +1,47 @@
+// cmtos/media/content.h
+//
+// Verifiable synthetic media content.  Real media payloads are irrelevant
+// to transport/orchestration behaviour, but end-to-end *integrity* matters
+// for testing: every generated frame embeds its track id, frame index and a
+// CRC over its pseudo-random body, so sinks can detect corruption,
+// reordering and cross-stream mix-ups.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace cmtos::media {
+
+struct FrameHeader {
+  std::uint32_t track_id = 0;
+  std::uint32_t index = 0;
+};
+
+/// Generates a frame of exactly `size` bytes (minimum 16 for the header).
+std::vector<std::uint8_t> make_frame(std::uint32_t track_id, std::uint32_t index,
+                                     std::size_t size);
+
+/// Verifies integrity and returns the embedded header, or nullopt when the
+/// frame is malformed or its CRC does not match.
+std::optional<FrameHeader> verify_frame(std::span<const std::uint8_t> frame);
+
+/// Variable-bit-rate frame size model: a GOP-like pattern where every
+/// `gop`-th frame is an I-frame of `i_ratio` x base size and the rest are
+/// smaller P-frames, plus a deterministic per-frame wobble.  VBR encodings
+/// are why the paper insists "at each time period there will always be
+/// something to transmit (i.e. one logical unit) even when CM data is
+/// variable bit rate encoded" (§3.7).
+struct VbrModel {
+  std::int64_t base_bytes = 4096;
+  int gop = 12;
+  double i_ratio = 2.5;
+  double p_ratio = 0.7;
+  double wobble = 0.15;  // +/- fraction of deterministic pseudo-noise
+
+  std::size_t frame_bytes(std::uint32_t index) const;
+};
+
+}  // namespace cmtos::media

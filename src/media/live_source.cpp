@@ -1,0 +1,58 @@
+#include "media/live_source.h"
+
+namespace cmtos::media {
+
+LiveSource::LiveSource(platform::Platform& platform, platform::Host& host, net::Tsap tsap,
+                       LiveConfig config)
+    : DeviceUser(host.entity, tsap), platform_(platform), host_(host), config_(config) {}
+
+LiveSource::~LiveSource() { tick_.cancel(); }
+
+void LiveSource::switch_on() {
+  on_ = true;
+  if (!conns_.empty() && !capturing_) {
+    capturing_ = true;
+    tick();
+  }
+}
+
+void LiveSource::switch_off() {
+  on_ = false;
+  capturing_ = false;
+  tick_.cancel();
+}
+
+void LiveSource::on_source_ready(transport::VcId, transport::Connection& conn) {
+  conns_.push_back(&conn);
+  if (on_ && !capturing_) {
+    capturing_ = true;
+    tick();
+  }
+}
+
+void LiveSource::on_disconnected(transport::VcId vc, transport::DisconnectReason) {
+  std::erase_if(conns_, [&](transport::Connection* c) { return c->id() == vc; });
+  if (conns_.empty()) {
+    capturing_ = false;
+    tick_.cancel();
+  }
+}
+
+void LiveSource::tick() {
+  if (!capturing_ || conns_.empty()) return;
+  const std::size_t size = config_.vbr_enabled
+                               ? config_.vbr.frame_bytes(index_)
+                               : static_cast<std::size_t>(config_.frame_bytes);
+  const auto frame = make_frame(config_.track_id, index_, size);
+  ++stats_.frames_captured;
+  for (auto* conn : conns_) {
+    if (!conn->submit(frame)) ++stats_.frames_dropped_at_capture;
+  }
+  ++index_;
+
+  const auto& clock = platform_.network().node(host_.id).clock();
+  const Duration local_period = static_cast<Duration>(1e9 / config_.rate);
+  tick_ = platform_.scheduler().after(clock.true_duration(local_period), [this] { tick(); });
+}
+
+}  // namespace cmtos::media

@@ -1,0 +1,118 @@
+#include "net/link.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cmtos::net {
+
+Link::Link(sim::Scheduler& sched, Rng rng, LinkConfig cfg, NodeId from, NodeId to)
+    : sched_(sched), rng_(rng), cfg_(cfg), from_(from), to_(to) {}
+
+int Link::first_nonempty_band() const {
+  for (int b = 0; b < kPriorityBands; ++b) {
+    if (!queues_[static_cast<std::size_t>(b)].empty()) return b;
+  }
+  return -1;
+}
+
+bool Link::transmit(Packet&& p) {
+  const auto band = static_cast<std::size_t>(p.priority);
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  if (total >= cfg_.queue_limit_packets) {
+    // Strict priority under overflow: evict the newest packet of the
+    // lowest band below the arriving packet's class; otherwise drop it.
+    // The frame committed to the wire (the front of serialising_band_) is
+    // untouchable — finish_serialising() still owns it.
+    int victim = -1;
+    for (int b = kPriorityBands - 1; b > static_cast<int>(band); --b) {
+      const auto& q = queues_[static_cast<std::size_t>(b)];
+      const std::size_t committed = (b == serialising_band_) ? 1u : 0u;
+      if (q.size() > committed) {
+        victim = b;
+        break;
+      }
+    }
+    if (victim < 0) {
+      ++stats_.dropped_queue_overflow;
+      CMTOS_TRACE("link", "queue overflow %u->%u pkt=%llu", from_, to_,
+                  static_cast<unsigned long long>(p.id));
+      return false;
+    }
+    queues_[static_cast<std::size_t>(victim)].pop_back();
+    ++stats_.dropped_queue_overflow;
+  }
+  queues_[band].push_back(std::move(p));
+  if (!serialising_) start_serialising();
+  return true;
+}
+
+void Link::start_serialising() {
+  const int band = first_nonempty_band();
+  if (band < 0) return;
+  serialising_ = true;
+  serialising_band_ = band;  // this frame is committed; no preemption
+  const Duration tx = transmission_time(
+      static_cast<std::int64_t>(queues_[static_cast<std::size_t>(band)].front().wire_size()),
+      cfg_.bandwidth_bps);
+  sched_.after(tx, [this] { finish_serialising(); });
+}
+
+void Link::finish_serialising() {
+  // Pop the frame that was committed to the wire at start time (a
+  // higher-priority arrival during serialisation must not be mistaken for
+  // it — it merely wins the *next* serialisation slot).
+  const auto band = static_cast<std::size_t>(serialising_band_);
+  Packet p = std::move(queues_[band].front());
+  queues_[band].pop_front();
+  serialising_ = false;
+  serialising_band_ = -1;
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += static_cast<std::int64_t>(p.wire_size());
+
+  // Loss decision (Bernoulli or Gilbert–Elliott burst model).
+  bool lost = false;
+  if (cfg_.burst_loss) {
+    if (ge_in_bad_state_) {
+      lost = rng_.bernoulli(cfg_.ge_loss_in_bad);
+      if (rng_.bernoulli(cfg_.ge_p_bad_to_good)) ge_in_bad_state_ = false;
+    } else {
+      if (rng_.bernoulli(cfg_.ge_p_good_to_bad)) ge_in_bad_state_ = true;
+    }
+  } else {
+    lost = rng_.bernoulli(cfg_.loss_rate);
+  }
+
+  if (!lost) {
+    // Bit-error injection: probability any bit flips across the packet.
+    if (cfg_.bit_error_rate > 0) {
+      const double bits = static_cast<double>(p.wire_size()) * 8.0;
+      const double p_corrupt = 1.0 - std::pow(1.0 - cfg_.bit_error_rate, bits);
+      if (rng_.bernoulli(p_corrupt)) {
+        p.corrupted = true;
+        ++stats_.corrupted;
+      }
+    }
+    propagate(std::move(p));
+  } else {
+    ++stats_.dropped_loss;
+  }
+
+  if (first_nonempty_band() >= 0) start_serialising();
+}
+
+void Link::propagate(Packet&& p) {
+  Duration delay = cfg_.propagation_delay;
+  if (cfg_.jitter > 0) delay += rng_.uniform(0, cfg_.jitter);
+  // Move the packet into the closure; deliver at the far end.
+  auto shared = std::make_shared<Packet>(std::move(p));
+  sched_.after(delay, [this, shared]() mutable {
+    ++shared->hops;
+    if (deliver_) deliver_(std::move(*shared));
+  });
+}
+
+}  // namespace cmtos::net

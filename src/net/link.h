@@ -1,0 +1,121 @@
+// cmtos/net/link.h
+//
+// A unidirectional link: priority output queues (strict priority across the
+// Packet::Priority bands, FIFO within a band) -> serialisation at the link
+// bandwidth -> propagation (+ random jitter) -> loss / bit-error injection
+// -> delivery callback.  A full-duplex physical link is modelled as two
+// independent Links.  Under overflow an arriving higher-priority packet
+// evicts the newest lower-priority one, so control traffic survives
+// congestion caused by bulk media or datagrams.
+//
+// Links support mid-run reconfiguration (bandwidth, loss, jitter) so the
+// benches can inject QoS degradations (T2 experiment) while traffic flows.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cmtos::net {
+
+struct LinkConfig {
+  std::int64_t bandwidth_bps = 10'000'000;
+  Duration propagation_delay = 1 * kMillisecond;
+  /// Maximum extra uniform random delay added per packet.
+  Duration jitter = 0;
+  /// Independent (Bernoulli) packet loss probability.
+  double loss_rate = 0.0;
+  /// Per-bit error probability; a packet is marked corrupted with
+  /// probability 1 - (1 - ber)^bits.
+  double bit_error_rate = 0.0;
+  /// Output queue bound; packets arriving to a full queue are dropped.
+  std::size_t queue_limit_packets = 128;
+  /// Fraction of bandwidth the reservation manager may hand out.
+  double reservable_fraction = 0.9;
+  /// Optional Gilbert–Elliott burst-loss model.  When enabled it replaces
+  /// the Bernoulli model above.
+  bool burst_loss = false;
+  double ge_p_good_to_bad = 0.0;   // per-packet transition probability
+  double ge_p_bad_to_good = 0.0;
+  double ge_loss_in_bad = 0.5;     // loss probability while in the bad state
+};
+
+struct LinkStats {
+  std::int64_t packets_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t dropped_queue_overflow = 0;
+  std::int64_t dropped_loss = 0;
+  std::int64_t corrupted = 0;
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet&&)>;
+
+  Link(sim::Scheduler& sched, Rng rng, LinkConfig cfg, NodeId from, NodeId to);
+
+  NodeId from() const { return from_; }
+  NodeId to() const { return to_; }
+  const LinkConfig& config() const { return cfg_; }
+  const LinkStats& stats() const { return stats_; }
+
+  /// Installed by the Network; invoked at the receiving node when a packet
+  /// survives the link.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Offers a packet to the link.  Returns false (and drops) on queue
+  /// overflow.
+  bool transmit(Packet&& p);
+
+  /// Queue occupancy in packets (including the one being serialised).
+  std::size_t queue_depth() const {
+    std::size_t n = serialising_ ? 1u : 0u;
+    for (const auto& q : queues_) n += q.size();
+    return n;
+  }
+
+  // --- reservation accounting (used by ReservationManager) ---
+  std::int64_t reserved_bps() const { return reserved_bps_; }
+  std::int64_t reservable_bps() const {
+    return static_cast<std::int64_t>(static_cast<double>(cfg_.bandwidth_bps) *
+                                     cfg_.reservable_fraction);
+  }
+  void add_reservation(std::int64_t bps) { reserved_bps_ += bps; }
+  void release_reservation(std::int64_t bps) { reserved_bps_ -= bps; }
+
+  // --- mid-run degradation injection ---
+  void set_bandwidth(std::int64_t bps) { cfg_.bandwidth_bps = bps; }
+  void set_loss_rate(double p) { cfg_.loss_rate = p; }
+  void set_bit_error_rate(double p) { cfg_.bit_error_rate = p; }
+  void set_jitter(Duration j) { cfg_.jitter = j; }
+  void set_propagation_delay(Duration d) { cfg_.propagation_delay = d; }
+
+ private:
+  void start_serialising();
+  void finish_serialising();
+  void propagate(Packet&& p);
+
+  /// Highest-priority nonempty band, or -1.
+  int first_nonempty_band() const;
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  LinkConfig cfg_;
+  NodeId from_, to_;
+  DeliverFn deliver_;
+  std::array<std::deque<Packet>, kPriorityBands> queues_;
+  bool serialising_ = false;
+  int serialising_band_ = -1;  // band of the frame currently on the wire
+  bool ge_in_bad_state_ = false;
+  std::int64_t reserved_bps_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace cmtos::net

@@ -1,0 +1,188 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace cmtos::net {
+
+NodeId Network::add_node(const std::string& name, sim::LocalClock clock) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(*this, id, name, clock));
+  routes_valid_ = false;
+  return id;
+}
+
+void Network::add_link(NodeId a, NodeId b, const LinkConfig& cfg) {
+  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    auto link = std::make_unique<Link>(sched_, rng_.split(), cfg, from, to);
+    link->set_deliver([this, to](Packet&& p) { forward(std::move(p), to); });
+    links_[LinkKey{from, to}] = std::move(link);
+  }
+  routes_valid_ = false;
+}
+
+void Network::finalize_routes() {
+  const std::size_t n = nodes_.size();
+  routes_.assign(n, std::vector<NodeId>(n, kInvalidNode));
+
+  // Adjacency (sorted for deterministic tie-breaking).
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const auto& [key, _] : links_) adj[key.from].push_back(key.to);
+  for (auto& v : adj) std::sort(v.begin(), v.end());
+
+  // BFS from every destination over reversed edges gives, for each source,
+  // the next hop toward that destination.  Links are symmetric here
+  // (add_link creates both directions), so forward BFS per source works.
+  for (NodeId src = 0; src < n; ++src) {
+    std::vector<int> dist(n, -1);
+    std::vector<NodeId> first_hop(n, kInvalidNode);
+    std::queue<NodeId> q;
+    dist[src] = 0;
+    q.push(src);
+    while (!q.empty()) {
+      const NodeId u = q.front();
+      q.pop();
+      for (NodeId v : adj[u]) {
+        if (dist[v] != -1) continue;
+        dist[v] = dist[u] + 1;
+        first_hop[v] = (u == src) ? v : first_hop[u];
+        q.push(v);
+      }
+    }
+    for (NodeId dst = 0; dst < n; ++dst) routes_[src][dst] = first_hop[dst];
+  }
+  routes_valid_ = true;
+}
+
+Link* Network::link(NodeId from, NodeId to) {
+  auto it = links_.find(LinkKey{from, to});
+  return it == links_.end() ? nullptr : it->second.get();
+}
+
+std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
+  assert(routes_valid_);
+  std::vector<NodeId> p;
+  if (src >= nodes_.size() || dst >= nodes_.size()) return p;
+  p.push_back(src);
+  NodeId at = src;
+  while (at != dst) {
+    const NodeId next = routes_[at][dst];
+    if (next == kInvalidNode) return {};  // unreachable
+    p.push_back(next);
+    at = next;
+    if (p.size() > nodes_.size()) return {};  // defensive: routing loop
+  }
+  return p;
+}
+
+void Network::send(Packet&& pkt) {
+  assert(routes_valid_ && "finalize_routes() not called");
+  pkt.injected_at = sched_.now();
+  pkt.id = next_packet_id_++;
+  // Dispatch through the scheduler (even for node-local delivery) so a
+  // send never re-enters the receiver synchronously from inside the
+  // sender's call stack.
+  auto shared = std::make_shared<Packet>(std::move(pkt));
+  sched_.after(0, [this, shared]() mutable {
+    const NodeId at = shared->src;
+    forward(std::move(*shared), at);
+  });
+}
+
+void Network::forward(Packet&& pkt, NodeId at) {
+  if (pkt.dst == at) {
+    nodes_[at]->receive(std::move(pkt));
+    return;
+  }
+  const NodeId next = routes_[at][pkt.dst];
+  if (next == kInvalidNode) {
+    CMTOS_WARN("net", "no route from %u to %u; packet %llu dropped", at, pkt.dst,
+               static_cast<unsigned long long>(pkt.id));
+    return;
+  }
+  Link* l = link(at, next);
+  assert(l != nullptr);
+  (void)l->transmit(std::move(pkt));
+}
+
+std::optional<ReservationId> Network::reserve(NodeId src, NodeId dst, std::int64_t bps) {
+  const auto p = path(src, dst);
+  if (p.size() < 2) return std::nullopt;
+
+  Reservation r;
+  r.bps = bps;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) r.links.push_back(LinkKey{p[i], p[i + 1]});
+
+  if (admission_enabled_) {
+    for (const auto& key : r.links) {
+      Link* l = link(key.from, key.to);
+      if (l->reserved_bps() + bps > l->reservable_bps()) {
+        CMTOS_DEBUG("net", "admission reject %u->%u: %lld + %lld > %lld", key.from, key.to,
+                    static_cast<long long>(l->reserved_bps()), static_cast<long long>(bps),
+                    static_cast<long long>(l->reservable_bps()));
+        return std::nullopt;
+      }
+    }
+  }
+  for (const auto& key : r.links) link(key.from, key.to)->add_reservation(bps);
+  const ReservationId id = next_reservation_id_++;
+  reservations_[id] = std::move(r);
+  return id;
+}
+
+bool Network::adjust_reservation(ReservationId id, std::int64_t new_bps) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return false;
+  Reservation& r = it->second;
+  const std::int64_t delta = new_bps - r.bps;
+  if (delta > 0 && admission_enabled_) {
+    for (const auto& key : r.links) {
+      Link* l = link(key.from, key.to);
+      if (l->reserved_bps() + delta > l->reservable_bps()) return false;
+    }
+  }
+  for (const auto& key : r.links) link(key.from, key.to)->add_reservation(delta);
+  r.bps = new_bps;
+  return true;
+}
+
+void Network::release(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return;
+  for (const auto& key : it->second.links)
+    link(key.from, key.to)->release_reservation(it->second.bps);
+  reservations_.erase(it);
+}
+
+std::int64_t Network::reserved_on(NodeId from, NodeId to) {
+  Link* l = link(from, to);
+  return l ? l->reserved_bps() : 0;
+}
+
+std::int64_t Network::available_bps(NodeId src, NodeId dst) {
+  const auto p = path(src, dst);
+  if (p.size() < 2) return 0;
+  std::int64_t avail = INT64_MAX;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    Link* l = link(p[i], p[i + 1]);
+    avail = std::min(avail, l->reservable_bps() - l->reserved_bps());
+  }
+  return std::max<std::int64_t>(0, avail);
+}
+
+Duration Network::path_delay_estimate(NodeId src, NodeId dst, std::int64_t bytes) {
+  const auto p = path(src, dst);
+  if (p.size() < 2) return kTimeNever;
+  Duration d = 0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    Link* l = link(p[i], p[i + 1]);
+    d += l->config().propagation_delay + transmission_time(bytes, l->config().bandwidth_bps);
+  }
+  return d;
+}
+
+}  // namespace cmtos::net

@@ -1,0 +1,116 @@
+// cmtos/net/network.h
+//
+// The simulated internetwork: nodes + unidirectional links + static
+// shortest-path routing + per-link bandwidth reservation (the ST-II / SRP
+// analogue the paper assumes for resource guarantees at intermediate
+// nodes).
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace cmtos::net {
+
+/// Identifies one direction of a link: (from, to).
+struct LinkKey {
+  NodeId from, to;
+  friend auto operator<=>(const LinkKey&, const LinkKey&) = default;
+};
+
+/// Handle for a committed bandwidth reservation along a path.
+using ReservationId = std::uint64_t;
+inline constexpr ReservationId kNoReservation = 0;
+
+class Network {
+ public:
+  Network(sim::Scheduler& sched, Rng rng) : sched_(sched), rng_(rng) {}
+
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Adds a node; `clock` gives it a skewed local clock (default: perfect).
+  NodeId add_node(const std::string& name, sim::LocalClock clock = {});
+
+  /// Adds a full-duplex link (two unidirectional Links with equal config).
+  void add_link(NodeId a, NodeId b, const LinkConfig& cfg);
+
+  /// (Re)computes routing tables.  Must be called after topology changes
+  /// and before traffic flows.  Minimises hop count; ties broken by lowest
+  /// next-hop id for determinism.
+  void finalize_routes();
+
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// One direction of a link, or nullptr.
+  Link* link(NodeId from, NodeId to);
+
+  /// The route from src to dst (inclusive of both), empty if unreachable.
+  std::vector<NodeId> path(NodeId src, NodeId dst) const;
+
+  /// Injects a packet at its src node and forwards it hop by hop.
+  /// Packets that cannot be routed, or that are dropped by a link, vanish
+  /// (datagram semantics); reliability is the transport's business.
+  void send(Packet&& pkt);
+
+  // --- reservation / admission control (ST-II analogue) ---
+
+  /// When disabled, reserve() always succeeds without accounting; the A4
+  /// bench uses this to show what happens without admission control.
+  void set_admission_control(bool enabled) { admission_enabled_ = enabled; }
+  bool admission_control() const { return admission_enabled_; }
+
+  /// Attempts to reserve `bps` along path(src,dst).  All-or-nothing.
+  /// Returns nullopt if any link lacks capacity.
+  std::optional<ReservationId> reserve(NodeId src, NodeId dst, std::int64_t bps);
+
+  /// Adjusts an existing reservation to `new_bps` (used by QoS
+  /// renegotiation).  All-or-nothing; on failure the old reservation is
+  /// kept intact.
+  bool adjust_reservation(ReservationId id, std::int64_t new_bps);
+
+  void release(ReservationId id);
+
+  /// Total reserved bandwidth on one link direction.
+  std::int64_t reserved_on(NodeId from, NodeId to);
+
+  /// Unreserved reservable bandwidth along path(src,dst): the minimum over
+  /// the path links of (reservable - reserved).  0 if unreachable.
+  std::int64_t available_bps(NodeId src, NodeId dst);
+
+  /// Lower-bound end-to-end latency estimate for a packet of `bytes` along
+  /// path(src,dst): per-hop serialisation plus propagation (no queueing).
+  Duration path_delay_estimate(NodeId src, NodeId dst, std::int64_t bytes);
+
+ private:
+  struct Reservation {
+    std::vector<LinkKey> links;
+    std::int64_t bps = 0;
+  };
+
+  void forward(Packet&& pkt, NodeId at);
+
+  sim::Scheduler& sched_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<LinkKey, std::unique_ptr<Link>> links_;
+  // routes_[src][dst] = next hop from src toward dst (kInvalidNode if none).
+  std::vector<std::vector<NodeId>> routes_;
+  bool routes_valid_ = false;
+  bool admission_enabled_ = true;
+  std::uint64_t next_packet_id_ = 1;
+  ReservationId next_reservation_id_ = 1;
+  std::map<ReservationId, Reservation> reservations_;
+};
+
+}  // namespace cmtos::net

@@ -1,0 +1,26 @@
+#include "net/node.h"
+
+#include "net/network.h"
+#include "util/logging.h"
+
+namespace cmtos::net {
+
+Time Node::local_now() const {
+  return clock_.local_time(network_.scheduler().now());
+}
+
+void Node::receive(Packet&& pkt) {
+  const auto idx = index(pkt.proto);
+  if (idx >= handlers_.size() || !handlers_[idx]) {
+    CMTOS_WARN("node", "%s: no handler for proto %u, packet %llu dropped", name_.c_str(),
+               static_cast<unsigned>(pkt.proto), static_cast<unsigned long long>(pkt.id));
+    return;
+  }
+  handlers_[idx](std::move(pkt));
+}
+
+std::string to_string(const NetAddress& a) {
+  return "node" + std::to_string(a.node) + ":" + std::to_string(a.tsap);
+}
+
+}  // namespace cmtos::net

@@ -1,0 +1,61 @@
+// cmtos/net/node.h
+//
+// An end-system / switching node.  Every node can both terminate traffic
+// (it demultiplexes terminating packets to per-protocol handlers — the
+// transport entity, the LLO, the RPC runtime register themselves here) and
+// forward transit traffic toward its destination using the routing table
+// computed by the Network.
+//
+// Each node owns a LocalClock: all components *on* that node must read time
+// through it, never through the scheduler directly, reproducing the remote
+// clock-rate discrepancies of §3.6.
+
+#pragma once
+
+#include <array>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/clock.h"
+#include "util/time.h"
+
+namespace cmtos::net {
+
+class Network;
+
+class Node {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  Node(Network& network, NodeId id, std::string name, sim::LocalClock clock)
+      : network_(network), id_(id), name_(std::move(name)), clock_(clock) {}
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  sim::LocalClock& clock() { return clock_; }
+  const sim::LocalClock& clock() const { return clock_; }
+
+  /// This node's local view of the current time.
+  Time local_now() const;
+
+  /// Registers the handler for packets terminating here with protocol `p`.
+  void set_handler(Proto p, Handler h) { handlers_[index(p)] = std::move(h); }
+
+  /// Called by the Network when a packet addressed to this node arrives.
+  void receive(Packet&& pkt);
+
+  Network& network() { return network_; }
+
+ private:
+  static std::size_t index(Proto p) { return static_cast<std::size_t>(p); }
+
+  Network& network_;
+  NodeId id_;
+  std::string name_;
+  sim::LocalClock clock_;
+  std::array<Handler, 8> handlers_{};
+};
+
+}  // namespace cmtos::net

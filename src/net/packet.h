@@ -1,0 +1,50 @@
+// cmtos/net/packet.h
+//
+// The network-layer packet.  Payload bytes are the wire encoding of the
+// layer above (transport TPDU, OPDU, RPC message); the remaining fields are
+// the network header plus simulation-only metadata.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.h"
+#include "util/time.h"
+
+namespace cmtos::net {
+
+/// Fixed network + link header overhead charged per packet, in bytes.
+inline constexpr std::size_t kPacketHeaderBytes = 32;
+
+/// Link-level scheduling class: lower value is served first.
+enum class Priority : std::uint8_t {
+  kControl = 0,   // connection management, OPDUs, RPC, acks/feedback
+  kMedia = 1,     // CM data TPDUs
+  kDatagram = 2,  // best-effort datagrams
+};
+inline constexpr int kPriorityBands = 3;
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Proto proto = Proto::kTransportData;
+  Priority priority = Priority::kMedia;
+  std::vector<std::uint8_t> payload;
+
+  // --- simulation metadata (not part of the wire image) ---
+  /// True simulation time the packet entered the network at the source.
+  Time injected_at = 0;
+  /// Set by a link when bit errors were injected; receivers detect this via
+  /// their own checksum, the flag exists so links do not need to actually
+  /// flip payload bits (which would break content-addressed test fixtures).
+  bool corrupted = false;
+  /// Hop count so far, for diagnostics and TTL-style loop protection.
+  int hops = 0;
+  /// Unique id assigned at injection, for tracing.
+  std::uint64_t id = 0;
+
+  std::size_t wire_size() const { return payload.size() + kPacketHeaderBytes; }
+};
+
+}  // namespace cmtos::net

@@ -1,0 +1,34 @@
+#include "orch/clock_sync.h"
+
+namespace cmtos::orch {
+
+bool ClockSyncSession::on_response(std::uint32_t id, Time t_origin_echo, Time t_peer,
+                                   Time local_now) {
+  if (finished_) return true;
+  auto it = sent_.find(id);
+  if (it == sent_.end()) return false;  // unknown / duplicate probe
+  sent_.erase(it);
+  --probes_outstanding_;
+
+  const Duration rtt = local_now - t_origin_echo;
+  const Duration offset = t_peer - (t_origin_echo + local_now) / 2;
+  if (!have_sample_ || rtt < best_.min_rtt) {
+    best_.min_rtt = rtt;
+    best_.offset = offset;
+    best_.error_bound = rtt / 2;
+    have_sample_ = true;
+  }
+  ++best_.probes_answered;
+
+  if (probes_outstanding_ <= 0) return finish();
+  return false;
+}
+
+bool ClockSyncSession::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  if (done_) done_(best_);
+  return true;
+}
+
+}  // namespace cmtos::orch

@@ -1,0 +1,73 @@
+// cmtos/orch/clock_sync.h
+//
+// Clock-offset estimation within the orchestrator protocol.
+//
+// The paper restricts orchestrated groups to a common node so that node's
+// clock can serve as the synchronisation datum, and notes (§5 footnote)
+// that "it should be possible to lift this restriction ... by including a
+// general purpose clock synchronisation function (e.g. NTP) within the
+// orchestrator protocols".  This module is that function: a Cristian/NTP
+// style estimator over kTimeReq/kTimeResp OPDUs.
+//
+// Each probe measures
+//     offset_i = t_peer - (t_origin + t_arrival) / 2
+//     rtt_i    = t_arrival - t_origin                (all in local clocks)
+// and the estimate keeps the offset of the minimum-RTT probe — the sample
+// least distorted by queueing — with an error bound of rtt_min / 2.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/address.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace cmtos::orch {
+
+struct ClockEstimate {
+  /// Estimated (peer_local - my_local) at the time of measurement.
+  Duration offset = 0;
+  /// Half the best round trip: the classical error bound.
+  Duration error_bound = 0;
+  /// Minimum RTT observed across the probes.
+  Duration min_rtt = 0;
+  int probes_answered = 0;
+};
+
+/// Probe bookkeeping for one estimation run (owned by the Llo, which sends
+/// and receives the OPDUs; this class only does arithmetic and state).
+class ClockSyncSession {
+ public:
+  using DoneFn = std::function<void(const ClockEstimate&)>;
+
+  ClockSyncSession(net::NodeId peer, int probes, DoneFn done)
+      : peer_(peer), probes_outstanding_(probes), done_(std::move(done)) {}
+
+  net::NodeId peer() const { return peer_; }
+
+  /// Records the local send time of probe `id`.
+  void on_probe_sent(std::uint32_t id, Time local_now) { sent_[id] = local_now; }
+
+  /// Processes a response; returns true when the run is complete (the done
+  /// callback has fired and the session can be discarded).
+  bool on_response(std::uint32_t id, Time t_origin_echo, Time t_peer, Time local_now);
+
+  /// Gives up on unanswered probes (call on timeout); fires the callback
+  /// with whatever was gathered.  Returns true if it fired.
+  bool finish();
+
+ private:
+  net::NodeId peer_;
+  int probes_outstanding_;
+  DoneFn done_;
+  std::map<std::uint32_t, Time> sent_;
+  ClockEstimate best_;
+  bool have_sample_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace cmtos::orch

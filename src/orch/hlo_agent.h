@@ -1,0 +1,179 @@
+// cmtos/orch/hlo_agent.h
+//
+// The HLO agent (§5, Fig 6): one per orchestrated group, running on the
+// orchestrating node, driving the LLO in a continuous feedback loop.
+//
+// "The HLO agent supplies the LLO with rate targets for each orchestrated
+// VC over specified intervals.  These targets ensure that each orchestrated
+// VC runs at the required rate, relative to the master reference clock
+// maintained at the orchestration node ...  The LLO attempts to meet the
+// required rate target over each interval for each VC, and reports back at
+// the end of the interval on its actual success or failure.  Then, on the
+// basis of these reports, the HLO agent sets new targets for the next
+// interval which compensate for any relative speed up or slow down among
+// the orchestrated connections."
+//
+// The agent also performs the §6.3.1.2 diagnosis: the four blocking times
+// in each Orch.Regulate.indication identify *which* component (source
+// application, sink application, or the transport itself) is responsible
+// for a missed target, and the agent escalates accordingly (Orch.Delayed
+// to a slow application thread; an escalation callback — typically wired
+// to T-Renegotiate — when the transport is the bottleneck).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "orch/llo.h"
+#include "util/time.h"
+
+namespace cmtos::orch {
+
+/// One stream under orchestration: its VC geometry, nominal rate (from the
+/// agreed QoS — "the ability to create related VCS with the same QoS ...
+/// in the required ratio", §3.6) and loss budget.
+struct OrchStreamSpec {
+  OrchVcInfo vc;
+  /// Nominal OSDU rate; the rate *ratios* between streams define the
+  /// synchronisation relationship (e.g. 10 audio OSDUs per video frame).
+  double osdu_rate = 25.0;
+  /// max-drop# per interval; 0 for no-loss media such as voice (§6.3.1.1).
+  std::uint32_t max_drop_per_interval = 0;
+};
+
+struct OrchPolicy {
+  /// Regulation interval length (Fig 6).
+  Duration interval = 100 * kMillisecond;
+  /// Acceptable position error (in OSDUs) before an interval counts as a
+  /// miss ("how 'strict' the continuous synchronisation should be", §5).
+  double tolerance_osdus = 2.0;
+  /// Consecutive misses before escalation ("the HLO agent [takes]
+  /// appropriate action ... if the LLO consistently fails to meet
+  /// targets").
+  int fail_threshold = 5;
+
+  enum class Pacing {
+    /// Targets derive from the orchestrating node's clock (the datum).
+    kMasterClock,
+    /// Targets track the slowest stream: streams that cannot drop are
+    /// never asked to catch up; everyone else aligns to them.
+    kSlowestStream,
+  };
+  Pacing pacing = Pacing::kMasterClock;
+
+  enum class OnFailure { kIgnore, kDelayed, kNotifyOnly };
+  OnFailure on_failure = OnFailure::kDelayed;
+
+  /// When false the agent primes and starts the group atomically but runs
+  /// no continuous regulation afterwards — the "event-driven sync only"
+  /// baseline the F6 experiment contrasts against.
+  bool regulate = true;
+
+  /// §7 extension: permit orchestration of VCs with no common node.  The
+  /// orchestrating node becomes the one touching the most VCs; regulation
+  /// works unchanged because targets are relative to each sink's own
+  /// position, and the clock-sync function bounds any residual datum error.
+  bool allow_no_common_node = false;
+};
+
+/// The agent's diagnosis of a missed target (§6.3.1.2).
+enum class MissDiagnosis {
+  kOnTarget,
+  kSourceAppSlow,     // source app threads blocked the protocol (Orch.Delayed)
+  kSinkAppSlow,       // sink app not consuming (Orch.Delayed)
+  kTransportTooSlow,  // protocol throughput too low (candidate for T-Renegotiate)
+};
+
+std::string to_string(MissDiagnosis d);
+
+class HloAgent {
+ public:
+  using ResultFn = Llo::ResultFn;
+
+  /// `llo` must be the LLO instance at the orchestrating node.
+  HloAgent(Llo& llo, OrchSessionId session, std::vector<OrchStreamSpec> streams,
+           OrchPolicy policy);
+  ~HloAgent();
+
+  HloAgent(const HloAgent&) = delete;
+  HloAgent& operator=(const HloAgent&) = delete;
+
+  OrchSessionId session_id() const { return session_; }
+  const OrchPolicy& policy() const { return policy_; }
+
+  /// Orch.request to all involved LLOs; must complete before prime/start.
+  void establish(ResultFn done);
+  /// Orch.Prime: fill the pipelines; confirm fires when every sink's
+  /// receive buffers are full.
+  void prime(bool flush, ResultFn done);
+  /// Orch.Start: atomically release all sinks and begin the regulation
+  /// feedback loop.
+  void start(ResultFn done);
+  /// Orch.Stop: freeze all VCs and suspend regulation.
+  void stop(ResultFn done);
+  /// Orch.Release.
+  void release();
+
+  void add_stream(OrchStreamSpec spec, ResultFn done);
+  void remove_stream(transport::VcId vc, ResultFn done);
+
+  /// Orch.Event registration/delivery passthrough.
+  void register_event(transport::VcId vc, std::uint64_t pattern, std::uint64_t mask = ~0ull);
+  void set_event_callback(std::function<void(const EventIndication&)> fn);
+
+  // --- diagnostics / instrumentation ---
+  struct VcStatus {
+    std::int64_t base_seq = 0;           // position base captured at start
+    std::int64_t last_target = -1;       // delta (OSDUs) set for the last interval
+    std::int64_t last_delivered = -1;
+    double skew_ema_s = 0;               // smoothed relative skew estimate
+    std::int64_t overshoot = 0;          // OSDUs delivered beyond last target
+    double last_error_osdus = 0;         // target - delivered at interval end
+    int consecutive_misses = 0;
+    std::int64_t drops_total = 0;
+    std::int64_t intervals = 0;
+    MissDiagnosis last_diagnosis = MissDiagnosis::kOnTarget;
+  };
+  const std::map<transport::VcId, VcStatus>& status() const { return status_; }
+  bool running() const { return running_; }
+
+  /// Fires on every merged Orch.Regulate.indication, with the target that
+  /// was set for that interval (benches record the full time series).
+  void set_interval_callback(
+      std::function<void(const RegulateIndication&, std::int64_t target)> fn) {
+    on_interval_ = std::move(fn);
+  }
+  /// Fires when a VC misses its target `fail_threshold` times in a row.
+  void set_escalation_callback(
+      std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> fn) {
+    on_escalate_ = std::move(fn);
+  }
+
+ private:
+  void interval_tick();
+  void on_regulate(const RegulateIndication& ind);
+  /// Orchestrating node's local clock (the master reference / datum).
+  Time master_now() const;
+  /// Media-time position of a stream, in seconds since its base.
+  double position_seconds(const OrchStreamSpec& s) const;
+
+  Llo& llo_;
+  OrchSessionId session_;
+  std::vector<OrchStreamSpec> streams_;
+  OrchPolicy policy_;
+
+  bool established_ = false;
+  bool running_ = false;
+  Time start_master_time_ = 0;
+  std::uint32_t next_interval_id_ = 1;
+  sim::EventHandle tick_;
+  std::map<transport::VcId, VcStatus> status_;
+  std::function<void(const RegulateIndication&, std::int64_t)> on_interval_;
+  std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> on_escalate_;
+};
+
+}  // namespace cmtos::orch

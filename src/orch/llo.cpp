@@ -1,0 +1,900 @@
+#include "orch/llo.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace cmtos::orch {
+
+using transport::Connection;
+using transport::VcId;
+
+Llo::Llo(net::Network& network, net::NodeId node, transport::TransportEntity& entity)
+    : network_(network), node_(node), entity_(entity) {
+  network_.node(node_).set_handler(net::Proto::kOrch,
+                                   [this](net::Packet&& p) { on_opdu_packet(std::move(p)); });
+}
+
+void Llo::send_opdu(net::NodeId dst, const Opdu& o) {
+  net::Packet pkt;
+  pkt.src = node_;
+  pkt.dst = dst;
+  pkt.proto = net::Proto::kOrch;
+  pkt.priority = net::Priority::kControl;  // the reserved control VC band
+  pkt.payload = o.encode();
+  network_.send(std::move(pkt));
+}
+
+Llo::Session* Llo::session(OrchSessionId s) {
+  auto it = sessions_.find(s);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Llo::VcLocal* Llo::local(LocalKey key) {
+  auto it = locals_.find(key);
+  return it == locals_.end() ? nullptr : &it->second;
+}
+
+// ====================================================================
+// Orchestrating-node API
+// ====================================================================
+
+void Llo::orch_request(OrchSessionId s, std::vector<OrchVcInfo> vcs, ResultFn done,
+                       bool allow_no_common_node) {
+  if (sessions_.contains(s)) {
+    if (done) done(false, OrchReason::kNoTableSpace);
+    return;
+  }
+  // Common-node restriction (§5): this node must be an endpoint of every
+  // orchestrated VC so its clock can serve as the synchronisation datum.
+  // The §7 extension lifts it on request (see orch_request's doc comment).
+  if (!allow_no_common_node) {
+    for (const auto& i : vcs) {
+      if (i.src_node != node_ && i.sink_node != node_) {
+        if (done) done(false, OrchReason::kNoCommonNode);
+        return;
+      }
+    }
+  }
+  Session sess;
+  sess.vcs = vcs;
+  // OPDUs ride the internal control VC of each orchestrated transport
+  // connection (§5 / [Shepherd,91]); the transport reserved that bandwidth
+  // at connect time (TransportEntity::kControlVcBps, both directions), so
+  // no additional reservation is made here.
+  auto [it, _] = sessions_.emplace(s, std::move(sess));
+  fan_out(it->second, OpduType::kSessReq, 0, std::move(done), nullptr);
+  // Mark established once the fan-out completes successfully; finish_op
+  // handles that via the `established` flag check below.
+}
+
+void Llo::orch_release(OrchSessionId s) {
+  Session* sess = session(s);
+  if (sess == nullptr) return;
+  for (const auto& i : sess->vcs) {
+    for (std::uint8_t flag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
+      Opdu o;
+      o.type = OpduType::kSessRel;
+      o.session = s;
+      o.vc = i.vc;
+      o.orch_node = node_;
+      o.flags = flag;
+      send_opdu(flag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
+    }
+  }
+  sessions_.erase(s);
+}
+
+void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
+                  StartFn start_done) {
+  auto op = std::make_unique<PendingOp>();
+  op->done = std::move(done);
+  op->start_done = std::move(start_done);
+  op->awaiting = static_cast<int>(sess.vcs.size()) * 2;
+  if (type == OpduType::kPrime) {
+    for (const auto& i : sess.vcs) op->primed_wanted.insert(i.vc);
+  }
+  // Find the session id (the map key) for the timeout closure.
+  OrchSessionId sid = 0;
+  for (auto& [k, v] : sessions_) {
+    if (&v == &sess) {
+      sid = k;
+      break;
+    }
+  }
+  op->timeout = network_.scheduler().after(kOpTimeout, [this, sid] {
+    Session* se = session(sid);
+    if (se == nullptr || se->op == nullptr) return;
+    auto op = std::move(se->op);
+    if (op->done) op->done(false, OrchReason::kTimeout);
+    if (op->start_done) op->start_done(false, {});
+  });
+  sess.op = std::move(op);
+
+  for (const auto& i : sess.vcs) {
+    for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
+      Opdu o;
+      o.type = type;
+      o.session = sid;
+      o.vc = i.vc;
+      o.orch_node = node_;
+      o.flags = static_cast<std::uint8_t>(flags | roleflag);
+      o.vcs = {i};
+      send_opdu(roleflag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
+    }
+  }
+}
+
+void Llo::prime(OrchSessionId s, bool flush, ResultFn done) {
+  Session* sess = session(s);
+  if (sess == nullptr) {
+    if (done) done(false, OrchReason::kNoSession);
+    return;
+  }
+  fan_out(*sess, OpduType::kPrime, flush ? kOpduFlagFlush : std::uint8_t{0}, std::move(done),
+          nullptr);
+}
+
+void Llo::start(OrchSessionId s, StartFn done) {
+  Session* sess = session(s);
+  if (sess == nullptr) {
+    if (done) done(false, {});
+    return;
+  }
+  fan_out(*sess, OpduType::kStart, 0, nullptr, std::move(done));
+}
+
+void Llo::stop(OrchSessionId s, ResultFn done) {
+  Session* sess = session(s);
+  if (sess == nullptr) {
+    if (done) done(false, OrchReason::kNoSession);
+    return;
+  }
+  fan_out(*sess, OpduType::kStop, 0, std::move(done), nullptr);
+}
+
+void Llo::add(OrchSessionId s, OrchVcInfo vc, ResultFn done) {
+  Session* sess = session(s);
+  if (sess == nullptr) {
+    if (done) done(false, OrchReason::kNoSession);
+    return;
+  }
+  if (vc.src_node != node_ && vc.sink_node != node_) {
+    if (done) done(false, OrchReason::kNoCommonNode);
+    return;
+  }
+  sess->vcs.push_back(vc);
+  auto op = std::make_unique<PendingOp>();
+  op->done = std::move(done);
+  op->awaiting = 2;
+  sess->op = std::move(op);
+  for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
+    Opdu o;
+    o.type = OpduType::kAdd;
+    o.session = s;
+    o.vc = vc.vc;
+    o.orch_node = node_;
+    o.flags = roleflag;
+    o.vcs = {vc};
+    send_opdu(roleflag & kOpduFlagSourceTarget ? vc.src_node : vc.sink_node, o);
+  }
+}
+
+void Llo::remove(OrchSessionId s, VcId vc, ResultFn done) {
+  Session* sess = session(s);
+  if (sess == nullptr) {
+    if (done) done(false, OrchReason::kNoSession);
+    return;
+  }
+  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
+                         [&](const OrchVcInfo& i) { return i.vc == vc; });
+  if (it == sess->vcs.end()) {
+    if (done) done(false, OrchReason::kNoSuchVc);
+    return;
+  }
+  const OrchVcInfo info = *it;
+  sess->vcs.erase(it);
+  auto op = std::make_unique<PendingOp>();
+  op->done = std::move(done);
+  op->awaiting = 2;
+  sess->op = std::move(op);
+  for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
+    Opdu o;
+    o.type = OpduType::kRemove;
+    o.session = s;
+    o.vc = vc;
+    o.orch_node = node_;
+    o.flags = roleflag;
+    send_opdu(roleflag & kOpduFlagSourceTarget ? info.src_node : info.sink_node, o);
+  }
+}
+
+void Llo::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq, std::uint32_t max_drop,
+                   Duration interval, std::uint32_t interval_id, bool relative) {
+  Session* sess = session(s);
+  if (sess == nullptr) return;
+  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
+                         [&](const OrchVcInfo& i) { return i.vc == vc; });
+  if (it == sess->vcs.end()) return;
+
+  RegMerge merge;
+  merge.ind.session = s;
+  merge.ind.vc = vc;
+  merge.ind.interval_id = interval_id;
+  const auto key = std::pair{vc, interval_id};
+  merge.timeout = network_.scheduler().after(interval + interval / 2 + 100 * kMillisecond,
+                                             [this, s, key] {
+                                               Session* se = session(s);
+                                               if (se == nullptr) return;
+                                               auto mit = se->reg_merge.find(key);
+                                               if (mit == se->reg_merge.end()) return;
+                                               mit->second.ind.partial = true;
+                                               emit_regulate_ind(s, key);
+                                             });
+  sess->reg_merge.emplace(key, std::move(merge));
+
+  Opdu to_sink;
+  to_sink.type = OpduType::kRegulateSink;
+  to_sink.session = s;
+  to_sink.vc = vc;
+  to_sink.orch_node = node_;
+  to_sink.flags = relative ? kOpduFlagRelativeTarget : std::uint8_t{0};
+  to_sink.target_seq = target_seq;
+  to_sink.max_drop = max_drop;
+  to_sink.interval = interval;
+  to_sink.interval_id = interval_id;
+  to_sink.src_node = it->src_node;
+  send_opdu(it->sink_node, to_sink);
+
+  Opdu to_src;
+  to_src.type = OpduType::kRegulateSrc;
+  to_src.session = s;
+  to_src.vc = vc;
+  to_src.orch_node = node_;
+  to_src.max_drop = max_drop;
+  to_src.interval = interval;
+  to_src.interval_id = interval_id;
+  send_opdu(it->src_node, to_src);
+}
+
+void Llo::delayed(OrchSessionId s, VcId vc, bool source_side, std::int64_t osdus_behind) {
+  Session* sess = session(s);
+  if (sess == nullptr) return;
+  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
+                         [&](const OrchVcInfo& i) { return i.vc == vc; });
+  if (it == sess->vcs.end()) return;
+  Opdu o;
+  o.type = OpduType::kDelayed;
+  o.session = s;
+  o.vc = vc;
+  o.orch_node = node_;
+  o.source_side = source_side ? 1 : 0;
+  o.flags = source_side ? kOpduFlagSourceTarget : std::uint8_t{0};
+  o.osdus_behind = osdus_behind;
+  send_opdu(source_side ? it->src_node : it->sink_node, o);
+}
+
+void Llo::register_event(OrchSessionId s, VcId vc, std::uint64_t pattern, std::uint64_t mask) {
+  Session* sess = session(s);
+  if (sess == nullptr) return;
+  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
+                         [&](const OrchVcInfo& i) { return i.vc == vc; });
+  if (it == sess->vcs.end()) return;
+  Opdu o;
+  o.type = OpduType::kEventReg;
+  o.session = s;
+  o.vc = vc;
+  o.orch_node = node_;
+  o.pattern = pattern;
+  o.mask = mask;
+  send_opdu(it->sink_node, o);
+}
+
+void Llo::estimate_clock_offset(net::NodeId peer, int probes,
+                                std::function<void(const ClockEstimate&)> done) {
+  auto session = std::make_shared<ClockSyncSession>(peer, probes, std::move(done));
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < probes; ++i) {
+    const std::uint32_t id = next_probe_id_++;
+    ids.push_back(id);
+    clock_probes_[id] = session;
+    session->on_probe_sent(id, entity_.local_now());
+    Opdu o;
+    o.type = OpduType::kTimeReq;
+    o.orch_node = node_;
+    o.probe_id = id;
+    o.t_origin = entity_.local_now();
+    send_opdu(peer, o);
+  }
+  // Unanswered probes are abandoned after a generous deadline.
+  network_.scheduler().after(2 * kSecond, [this, session, ids] {
+    session->finish();
+    for (auto id : ids) clock_probes_.erase(id);
+  });
+}
+
+// ====================================================================
+// Ack collection at the orchestrating node
+// ====================================================================
+
+void Llo::op_ack(const Opdu& o) {
+  Session* sess = session(o.session);
+  if (sess == nullptr || sess->op == nullptr) return;
+  PendingOp& op = *sess->op;
+  --op.awaiting;
+  if (!o.ok) {
+    op.failed = true;
+    op.reason = o.reason;
+  }
+  if (o.type == OpduType::kStartAck && !(o.flags & kOpduFlagSourceTarget)) {
+    op.start_bases[o.vc] = o.delivered_seq;
+  }
+  if (o.type == OpduType::kSessAck && o.ok) sess->established = true;
+  finish_op(o.session, *sess);
+}
+
+void Llo::finish_op(OrchSessionId s, Session& sess) {
+  (void)s;
+  PendingOp& op = *sess.op;
+  if (op.awaiting > 0) return;
+  if (!op.failed && !op.primed_wanted.empty()) return;  // prime: wait for buffers to fill
+  op.timeout.cancel();
+  auto finished = std::move(sess.op);
+  if (finished->done) finished->done(!finished->failed, finished->reason);
+  if (finished->start_done) finished->start_done(!finished->failed, finished->start_bases);
+}
+
+void Llo::emit_regulate_ind(OrchSessionId s, std::pair<VcId, std::uint32_t> key) {
+  Session* sess = session(s);
+  if (sess == nullptr) return;
+  auto it = sess->reg_merge.find(key);
+  if (it == sess->reg_merge.end()) return;
+  it->second.timeout.cancel();
+  RegulateIndication ind = it->second.ind;
+  sess->reg_merge.erase(it);
+  if (auto cb = on_regulate_.find(s); cb != on_regulate_.end() && cb->second) cb->second(ind);
+}
+
+// ====================================================================
+// Endpoint-side handlers
+// ====================================================================
+
+void Llo::attach_endpoint(OrchSessionId s, const OrchVcInfo& info, net::NodeId orch_node) {
+  auto& st = locals_[{s, info.vc}];
+  st.info = info;
+  st.orch_node = orch_node;
+  if (info.src_node == node_) st.is_source = true;
+  if (info.sink_node == node_) st.is_sink = true;
+  if (st.is_sink) {
+    if (Connection* conn = entity_.sink(info.vc)) {
+      // Attach the event matcher to the per-OSDU OPDU stream (§6.3.4): the
+      // LLO matches at arrival so application code never scans OSDUs.
+      const LocalKey key{s, info.vc};
+      conn->set_on_osdu_arrival([this, key](const transport::Osdu& osdu) {
+        VcLocal* st = local(key);
+        if (st == nullptr || !st->event_armed) return;
+        if ((osdu.event & st->event_mask) != st->event_pattern) return;
+        Opdu o;
+        o.type = OpduType::kEventInd;
+        o.session = key.first;
+        o.vc = key.second;
+        o.orch_node = node_;
+        o.event_value = osdu.event;
+        o.osdu_seq = osdu.seq;
+        o.timestamp = network_.scheduler().now();
+        send_opdu(st->orch_node, o);
+      });
+    }
+  }
+}
+
+void Llo::detach_endpoint(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  st->slot_timer.cancel();
+  st->src_timer.cancel();
+  if (st->is_sink) {
+    if (Connection* conn = entity_.sink(key.second)) {
+      conn->set_on_osdu_arrival(nullptr);
+      conn->buffer().set_became_full(nullptr);
+      // Leave delivery enabled: removal from a group must not freeze the VC
+      // ("when VCS are removed from an orchestrated group they are not
+      // disconnected and thus data may still be flowing", §6.2.4).
+      conn->set_delivery_enabled(true);
+    }
+  }
+  locals_.erase(key);
+}
+
+void Llo::handle_sess_req(const Opdu& o) {
+  Opdu ack;
+  ack.type = OpduType::kSessAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.orch_node = node_;
+  ack.flags = o.flags;
+
+  // "Table space" admission.
+  std::set<OrchSessionId> distinct;
+  for (const auto& [k, _] : locals_) distinct.insert(k.first);
+  if (!distinct.contains(o.session) && distinct.size() >= session_limit_) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoTableSpace;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  // The named VC endpoint must exist here.
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  Connection* conn = source_target ? entity_.source(o.vc) : entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  if (!o.vcs.empty()) attach_endpoint(o.session, o.vcs.front(), o.orch_node);
+  send_opdu(o.orch_node, ack);
+}
+
+void Llo::handle_sess_rel(const Opdu& o) { detach_endpoint({o.session, o.vc}); }
+
+void Llo::handle_add(const Opdu& o) {
+  // Same admission as session setup, then attach.
+  handle_sess_req(o);  // sends kSessAck...
+}
+
+void Llo::handle_remove_vc(const Opdu& o) {
+  detach_endpoint({o.session, o.vc});
+  Opdu ack;
+  ack.type = OpduType::kRemoveAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  send_opdu(o.orch_node, ack);
+}
+
+void Llo::apply_delivery_gate(VcLocal& st) {
+  if (Connection* conn = entity_.sink(st.info.vc))
+    conn->set_delivery_enabled(!(st.reg_hold || st.group_hold));
+}
+
+void Llo::handle_prime(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kPrimeAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  const bool flush = (o.flags & kOpduFlagFlush) != 0;
+
+  if (source_target) {
+    Connection* conn = entity_.source(o.vc);
+    if (conn == nullptr) {
+      ack.ok = 0;
+      ack.reason = OrchReason::kNoSuchVc;
+      send_opdu(o.orch_node, ack);
+      return;
+    }
+    if (flush) conn->flush();
+    const bool accepted = app_ == nullptr || app_->orch_prime_indication(o.session, o.vc, true);
+    if (!accepted) {
+      ack.ok = 0;
+      ack.reason = OrchReason::kAppDenied;  // Orch.Deny.request (§6.2.1)
+      send_opdu(o.orch_node, ack);
+      return;
+    }
+    conn->pause_source(false);  // let the pipeline fill
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+
+  Connection* conn = entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->group_hold = true;
+  apply_delivery_gate(*st);
+  if (flush) conn->flush();
+  const bool accepted = app_ == nullptr || app_->orch_prime_indication(o.session, o.vc, false);
+  if (!accepted) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kAppDenied;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->primed_reported = false;
+  conn->buffer().set_became_full([this, key] {
+    VcLocal* st = local(key);
+    if (st == nullptr || st->primed_reported) return;
+    st->primed_reported = true;
+    Opdu primed;
+    primed.type = OpduType::kPrimed;
+    primed.session = key.first;
+    primed.vc = key.second;
+    primed.timestamp = network_.scheduler().now();
+    send_opdu(st->orch_node, primed);
+  });
+  if (conn->buffer().full()) {
+    st->primed_reported = true;
+    Opdu primed;
+    primed.type = OpduType::kPrimed;
+    primed.session = o.session;
+    primed.vc = o.vc;
+    primed.timestamp = network_.scheduler().now();
+    send_opdu(o.orch_node, primed);
+  }
+  send_opdu(o.orch_node, ack);
+}
+
+void Llo::handle_start(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kStartAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  if (source_target) {
+    if (Connection* conn = entity_.source(o.vc)) conn->pause_source(false);
+    if (app_) app_->orch_start_indication(o.session, o.vc, true);
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  Connection* conn = entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->group_hold = false;
+  apply_delivery_gate(*st);
+  // Report the position base: the OSDU the application will see first.
+  const transport::Osdu* head = conn->buffer().peek();
+  ack.delivered_seq = head != nullptr ? static_cast<std::int64_t>(head->seq)
+                                      : conn->last_delivered_seq() + 1;
+  if (app_) app_->orch_start_indication(o.session, o.vc, false);
+  send_opdu(o.orch_node, ack);
+}
+
+void Llo::handle_stop(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kStopAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  if (source_target) {
+    if (Connection* conn = entity_.source(o.vc)) conn->pause_source(true);
+    if (app_) app_->orch_stop_indication(o.session, o.vc, true);
+  } else {
+    st->group_hold = true;
+    apply_delivery_gate(*st);
+    // Cancel any in-flight regulation: a stopped VC has no rate target.
+    st->slot_timer.cancel();
+    st->reg_hold = false;
+    if (app_) app_->orch_stop_indication(o.session, o.vc, false);
+  }
+  send_opdu(o.orch_node, ack);
+}
+
+// --------------------------------------------------------------------
+// Regulation mechanism (§6.3.1)
+// --------------------------------------------------------------------
+
+void Llo::handle_regulate_sink(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.sink(o.vc);
+  if (conn == nullptr) return;
+
+  // If the previous interval is still in flight (the next request can
+  // arrive in the same instant as its final slot), close it out first so
+  // its report is never orphaned.
+  if (st->slot_timer.pending()) {
+    st->slot_timer.cancel();
+    finish_sink_interval(key);
+  }
+  st->interval = o.interval;
+  st->interval_id = o.interval_id;
+  st->interval_start = network_.scheduler().now();
+  st->max_drop = o.max_drop;
+  st->drops_requested = 0;
+  st->slot = 0;
+  st->start_seq = conn->last_delivered_seq();
+  st->target_seq = (o.flags & kOpduFlagRelativeTarget) ? st->start_seq + o.target_seq
+                                                       : o.target_seq;
+  st->drop_target = o.src_node;
+  conn->buffer().reset_window(st->interval_start);
+
+  const Duration slot_len = std::max<Duration>(1, o.interval / kSlotsPerInterval);
+  st->slot_timer = network_.scheduler().after(slot_len, [this, key] { regulation_slot(key); });
+}
+
+void Llo::regulation_slot(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.sink(key.second);
+  if (conn == nullptr) {  // VC closed under us: orchestration dissolves
+    detach_endpoint(key);
+    return;
+  }
+  ++st->slot;
+  const int k = st->slot;
+  const std::int64_t span = st->target_seq - st->start_seq;
+  // Round-to-nearest interpolation: floor bias would read a legitimate
+  // on-rate stream as "ahead" mid-interval and hold it spuriously.
+  const std::int64_t expected =
+      st->start_seq + (2 * span * k + kSlotsPerInterval) / (2 * kSlotsPerInterval);
+  const std::int64_t cur = conn->last_delivered_seq();
+
+  // Ahead of target by more than one OSDU: block delivery for (at least)
+  // the next slot.  Behind: request drop-at-source, spread over the
+  // remaining slots.  The one-OSDU slack absorbs rounding and render-phase
+  // quantisation.
+  if (cur > expected + 1) {
+    st->reg_hold = true;
+  } else {
+    st->reg_hold = false;
+    const std::int64_t behind = expected - cur;
+    if (behind > 1 && st->drops_requested < st->max_drop) {
+      const int remaining_slots = kSlotsPerInterval - k + 1;
+      const std::uint32_t want = static_cast<std::uint32_t>(std::min<std::int64_t>(
+          st->max_drop - st->drops_requested,
+          (behind + remaining_slots - 1) / remaining_slots));
+      if (want > 0) {
+        Opdu drop;
+        drop.type = OpduType::kDrop;
+        drop.session = key.first;
+        drop.vc = key.second;
+        drop.orch_node = st->orch_node;
+        drop.drop_count = want;
+        send_opdu(st->drop_target, drop);
+        st->drops_requested += want;
+      }
+    }
+  }
+  apply_delivery_gate(*st);
+
+  if (k >= kSlotsPerInterval) {
+    finish_sink_interval(key);
+    return;
+  }
+  const Duration slot_len = std::max<Duration>(1, st->interval / kSlotsPerInterval);
+  st->slot_timer = network_.scheduler().after(slot_len, [this, key] { regulation_slot(key); });
+}
+
+void Llo::finish_sink_interval(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.sink(key.second);
+  if (conn == nullptr) return;
+  st->reg_hold = false;
+  apply_delivery_gate(*st);
+
+  const Time now = network_.scheduler().now();
+  const auto stats = conn->buffer().window_stats(now);
+  Opdu o;
+  o.type = OpduType::kRegInd;
+  o.session = key.first;
+  o.vc = key.second;
+  o.interval_id = st->interval_id;
+  o.delivered_seq = conn->last_delivered_seq();
+  o.target_seq = st->start_seq;  // echo the interval-begin position
+  // At the sink ring the *protocol* is the producer and the *application*
+  // is the consumer.
+  o.proto_blocked = stats.producer_blocked;
+  o.app_blocked = stats.consumer_blocked;
+  o.timestamp = now;
+  send_opdu(st->orch_node, o);
+  conn->buffer().reset_window(now);
+}
+
+void Llo::handle_regulate_src(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.source(o.vc);
+  if (conn == nullptr) return;
+  if (st->src_timer.pending()) {
+    st->src_timer.cancel();
+    finish_src_interval(key);
+  }
+  st->src_budget = o.max_drop;
+  st->src_dropped = 0;
+  st->src_interval_id = o.interval_id;
+  conn->buffer().reset_window(network_.scheduler().now());
+  st->src_timer =
+      network_.scheduler().after(o.interval, [this, key] { finish_src_interval(key); });
+}
+
+void Llo::finish_src_interval(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.source(key.second);
+  if (conn == nullptr) return;
+  const Time now = network_.scheduler().now();
+  const auto stats = conn->buffer().window_stats(now);
+  Opdu o;
+  o.type = OpduType::kSrcStats;
+  o.session = key.first;
+  o.vc = key.second;
+  o.interval_id = st->src_interval_id;
+  o.dropped = st->src_dropped;
+  // At the source ring the *application* is the producer and the
+  // *protocol* is the consumer.
+  o.app_blocked = stats.producer_blocked;
+  o.proto_blocked = stats.consumer_blocked;
+  o.timestamp = now;
+  send_opdu(st->orch_node, o);
+  conn->buffer().reset_window(now);
+}
+
+void Llo::handle_drop(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = entity_.source(o.vc);
+  if (conn == nullptr) return;
+  const std::uint32_t allowed =
+      st->src_budget > st->src_dropped ? st->src_budget - st->src_dropped : 0;
+  const std::uint32_t executed = conn->drop_at_source(std::min(o.drop_count, allowed));
+  st->src_dropped += executed;
+}
+
+void Llo::handle_event_reg(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  st->event_armed = true;
+  st->event_pattern = o.pattern;
+  st->event_mask = o.mask;
+}
+
+void Llo::handle_delayed(const Opdu& o) {
+  const bool source_side = o.source_side != 0;
+  const bool accepted =
+      app_ == nullptr ||
+      app_->orch_delayed_indication(o.session, o.vc, source_side, o.osdus_behind);
+  Opdu ack;
+  ack.type = OpduType::kDelayedAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.ok = accepted ? 1 : 0;
+  ack.reason = accepted ? OrchReason::kOk : OrchReason::kAppDenied;
+  send_opdu(o.orch_node, ack);
+}
+
+// ====================================================================
+// OPDU dispatch
+// ====================================================================
+
+void Llo::on_opdu_packet(net::Packet&& pkt) {
+  if (pkt.corrupted) return;  // control VCs have reserved, clean capacity
+  auto o = Opdu::decode(pkt.payload);
+  if (!o) {
+    CMTOS_WARN("llo", "undecodable OPDU at node %u", node_);
+    return;
+  }
+  switch (o->type) {
+    case OpduType::kSessReq: handle_sess_req(*o); break;
+    case OpduType::kSessRel: handle_sess_rel(*o); break;
+    case OpduType::kPrime: handle_prime(*o); break;
+    case OpduType::kStart: handle_start(*o); break;
+    case OpduType::kStop: handle_stop(*o); break;
+    case OpduType::kAdd: handle_add(*o); break;
+    case OpduType::kRemove: handle_remove_vc(*o); break;
+    case OpduType::kRegulateSink: handle_regulate_sink(*o); break;
+    case OpduType::kRegulateSrc: handle_regulate_src(*o); break;
+    case OpduType::kDrop: handle_drop(*o); break;
+    case OpduType::kEventReg: handle_event_reg(*o); break;
+    case OpduType::kDelayed: handle_delayed(*o); break;
+
+    case OpduType::kSessAck:
+    case OpduType::kPrimeAck:
+    case OpduType::kStartAck:
+    case OpduType::kStopAck:
+    case OpduType::kAddAck:
+    case OpduType::kRemoveAck:
+      op_ack(*o);
+      break;
+
+    case OpduType::kPrimed: {
+      Session* sess = session(o->session);
+      if (sess && sess->op) {
+        sess->op->primed_wanted.erase(o->vc);
+        finish_op(o->session, *sess);
+      }
+      break;
+    }
+    case OpduType::kRegInd: {
+      Session* sess = session(o->session);
+      if (sess == nullptr) break;
+      const auto key = std::pair{o->vc, o->interval_id};
+      auto it = sess->reg_merge.find(key);
+      if (it == sess->reg_merge.end()) break;
+      it->second.have_sink = true;
+      it->second.ind.delivered_seq = o->delivered_seq;
+      it->second.ind.interval_start_seq = o->target_seq;
+      it->second.ind.sink_proto_blocked = o->proto_blocked;
+      it->second.ind.sink_app_blocked = o->app_blocked;
+      if (it->second.have_src) emit_regulate_ind(o->session, key);
+      break;
+    }
+    case OpduType::kSrcStats: {
+      Session* sess = session(o->session);
+      if (sess == nullptr) break;
+      const auto key = std::pair{o->vc, o->interval_id};
+      auto it = sess->reg_merge.find(key);
+      if (it == sess->reg_merge.end()) break;
+      it->second.have_src = true;
+      it->second.ind.dropped = o->dropped;
+      it->second.ind.src_app_blocked = o->app_blocked;
+      it->second.ind.src_proto_blocked = o->proto_blocked;
+      if (it->second.have_sink) emit_regulate_ind(o->session, key);
+      break;
+    }
+    case OpduType::kEventInd: {
+      if (auto cb = on_event_.find(o->session); cb != on_event_.end() && cb->second) {
+        EventIndication ind;
+        ind.session = o->session;
+        ind.vc = o->vc;
+        ind.osdu_seq = o->osdu_seq;
+        ind.event_value = o->event_value;
+        ind.matched_at = o->timestamp;
+        cb->second(ind);
+      }
+      break;
+    }
+    case OpduType::kDelayedAck:
+      break;  // informational
+
+    case OpduType::kTimeReq: {
+      Opdu resp;
+      resp.type = OpduType::kTimeResp;
+      resp.probe_id = o->probe_id;
+      resp.t_origin = o->t_origin;          // echoed
+      resp.t_peer = entity_.local_now();    // my local clock
+      send_opdu(o->orch_node, resp);
+      break;
+    }
+    case OpduType::kTimeResp: {
+      auto it = clock_probes_.find(o->probe_id);
+      if (it == clock_probes_.end()) break;
+      auto session = it->second;
+      clock_probes_.erase(it);
+      (void)session->on_response(o->probe_id, o->t_origin, o->t_peer, entity_.local_now());
+      break;
+    }
+  }
+}
+
+}  // namespace cmtos::orch

@@ -1,0 +1,312 @@
+// cmtos/orch/llo.h
+//
+// The Low Level Orchestrator (§6): one instance per node.
+//
+// An LLO plays two roles simultaneously:
+//
+//  * On the *orchestrating node* it exposes the Table 4/5/6 primitives to
+//    the local HLO agent, fans the corresponding OPDUs out to the LLO
+//    instances at every source and sink of the orchestrated VCs, collects
+//    acknowledgements, and merges end-of-interval reports
+//    (Orch.Regulate.indication = sink delivery report + source blocking
+//    report).
+//
+//  * On every *endpoint node* (which may be the orchestrating node itself;
+//    OPDUs loop back through the network layer uniformly) it holds per-VC
+//    local state and executes the mechanism: delivery gating for
+//    prime/start/stop, micro-slot regulation toward the interval target
+//    (hold when ahead; request drop-at-source when behind, spread over the
+//    interval "to avoid unnecessary jitter", §6.3.1.1), buffer flushing,
+//    semaphore-statistics windows, and event-pattern matching against the
+//    per-OSDU OPDU event field.
+//
+// Application threads receive Orch.*.indication callbacks through the
+// OrchAppHandler each node registers (Fig 7's source/sink application
+// threads).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "orch/clock_sync.h"
+#include "orch/opdu.h"
+#include "sim/scheduler.h"
+#include "transport/transport_entity.h"
+
+namespace cmtos::orch {
+
+/// Orch.Regulate.indication (§6.3.1.2), as merged by the orchestrating LLO
+/// and handed to the HLO agent: position achieved, drops used, and the
+/// semaphore blocking times of all four threads touching the VC.
+struct RegulateIndication {
+  OrchSessionId session = 0;
+  transport::VcId vc = transport::kInvalidVc;
+  std::uint32_t interval_id = 0;
+  /// OSDU sequence number delivered to the sink application at interval
+  /// end (-1: nothing delivered yet).
+  std::int64_t delivered_seq = -1;
+  /// Position when the interval began (for target-vs-achieved evaluation
+  /// with relative targets).
+  std::int64_t interval_start_seq = -1;
+  std::uint32_t dropped = 0;
+  Duration src_app_blocked = 0;
+  Duration src_proto_blocked = 0;
+  Duration sink_proto_blocked = 0;
+  Duration sink_app_blocked = 0;
+  /// True when the source report was lost/late and only sink-side data is
+  /// present.
+  bool partial = false;
+};
+
+/// Event-driven synchronisation notification (Orch.Event.indication).
+struct EventIndication {
+  OrchSessionId session = 0;
+  transport::VcId vc = transport::kInvalidVc;
+  std::uint32_t osdu_seq = 0;
+  std::uint64_t event_value = 0;
+  /// True simulation time the match fired at the sink (for latency
+  /// benches).
+  Time matched_at = 0;
+};
+
+/// Callbacks into the application threads at one node (Fig 7).  Returning
+/// false from a prime/delayed indication maps to Orch.Deny.
+class OrchAppHandler {
+ public:
+  virtual ~OrchAppHandler() = default;
+  virtual bool orch_prime_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+    return true;
+  }
+  virtual void orch_start_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+  }
+  virtual void orch_stop_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+  }
+  virtual bool orch_delayed_indication(OrchSessionId s, transport::VcId vc, bool is_source,
+                                       std::int64_t osdus_behind) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+    (void)osdus_behind;
+    return true;
+  }
+};
+
+class Llo {
+ public:
+  using ResultFn = std::function<void(bool ok, OrchReason reason)>;
+  /// `start` confirm additionally reports, per VC, the sink's next
+  /// deliverable OSDU seq at start time (the HLO agent's position base).
+  using StartFn = std::function<void(bool ok, const std::map<transport::VcId, std::int64_t>&)>;
+
+  Llo(net::Network& network, net::NodeId node, transport::TransportEntity& entity);
+
+  net::NodeId node_id() const { return node_; }
+  net::Network& network() { return network_; }
+  transport::TransportEntity& entity() { return entity_; }
+
+  /// Registers the application-thread callback sink for this node.
+  void set_app_handler(OrchAppHandler* handler) { app_ = handler; }
+
+  // ------------------------------------------------------------------
+  // Orchestrating-node API (used by the HLO agent; Table 4/5/6).
+  // ------------------------------------------------------------------
+
+  /// Orch.request: establish an orchestration session over `vcs`.  By
+  /// default every VC must have this node as one endpoint (the common-node
+  /// restriction of §5); pass `allow_no_common_node = true` to lift it —
+  /// the §7 extension, enabled by the clock-sync function below and by the
+  /// relative-target regulation semantics (position control is local to
+  /// each sink, so the orchestrating node needs no shared clock with it).
+  void orch_request(OrchSessionId session, std::vector<OrchVcInfo> vcs, ResultFn done,
+                    bool allow_no_common_node = false);
+
+  /// Estimates the offset of `peer`'s local clock relative to this node's
+  /// (Cristian/NTP over kTimeReq/kTimeResp OPDUs; §5 footnote).  `probes`
+  /// round trips; the min-RTT sample wins.
+  void estimate_clock_offset(net::NodeId peer, int probes,
+                             std::function<void(const ClockEstimate&)> done);
+
+  /// Orch.Release.request.
+  void orch_release(OrchSessionId session);
+
+  /// Orch.Prime (Fig 7).  `flush` clears any stale buffered media first
+  /// (the stop-seek-restart case of §6.2.1).
+  void prime(OrchSessionId session, bool flush, ResultFn done);
+
+  /// Orch.Start: atomically release delivery at all sinks.
+  void start(OrchSessionId session, StartFn done);
+
+  /// Orch.Stop: atomically freeze all VCs (data stays buffered for a
+  /// subsequent primed start).
+  void stop(OrchSessionId session, ResultFn done);
+
+  /// Orch.Add / Orch.Remove: membership changes (VCs keep flowing when
+  /// removed, §6.2.4).
+  void add(OrchSessionId session, OrchVcInfo vc, ResultFn done);
+  void remove(OrchSessionId session, transport::VcId vc, ResultFn done);
+
+  /// Orch.Regulate.request (§6.3.1.1): sets the flow-rate target for one
+  /// VC for the forthcoming interval.  With `relative` the target is a
+  /// delta from the sink's position at receipt (see kOpduFlagRelativeTarget).
+  /// The matching indication arrives via the regulate callback.
+  void regulate(OrchSessionId session, transport::VcId vc, std::int64_t target_seq,
+                std::uint32_t max_drop, Duration interval, std::uint32_t interval_id,
+                bool relative = false);
+  /// Per-session indication sink (one HLO agent per session).
+  void set_regulate_callback(OrchSessionId session,
+                             std::function<void(const RegulateIndication&)> fn) {
+    on_regulate_[session] = std::move(fn);
+  }
+
+  /// Orch.Delayed (§6.3.3): tell the application thread at one end that it
+  /// is too slow.
+  void delayed(OrchSessionId session, transport::VcId vc, bool source_side,
+               std::int64_t osdus_behind);
+
+  /// Orch.Event (§6.3.4): register interest in OSDUs whose event field
+  /// matches (value & mask) == pattern at the sink of `vc`.
+  void register_event(OrchSessionId session, transport::VcId vc, std::uint64_t pattern,
+                      std::uint64_t mask = ~0ull);
+  void set_event_callback(OrchSessionId session,
+                          std::function<void(const EventIndication&)> fn) {
+    on_event_[session] = std::move(fn);
+  }
+
+  /// Number of sessions this LLO can still accept (the paper's "table
+  /// space"; rejection reason kNoTableSpace).
+  void set_session_limit(std::size_t n) { session_limit_ = n; }
+
+  // Introspection for tests/benches.
+  bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
+  std::size_t local_vc_count() const { return locals_.size(); }
+
+ private:
+  /// Number of regulation micro-slots per interval (corrections are spread
+  /// across the interval to avoid jitter, §6.3.1.1).
+  static constexpr int kSlotsPerInterval = 8;
+  static constexpr Duration kOpTimeout = 5 * kSecond;
+
+  // ---- orchestrating-side state ----
+  struct PendingOp {
+    int awaiting = 0;
+    bool failed = false;
+    OrchReason reason = OrchReason::kOk;
+    ResultFn done;
+    StartFn start_done;
+    std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
+    std::map<transport::VcId, std::int64_t> start_bases;
+    sim::EventHandle timeout;
+  };
+  struct RegMerge {
+    RegulateIndication ind;
+    bool have_sink = false;
+    bool have_src = false;
+    sim::EventHandle timeout;
+  };
+  struct Session {
+    std::vector<OrchVcInfo> vcs;
+    std::unique_ptr<PendingOp> op;
+    std::map<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
+    bool established = false;
+  };
+
+  // ---- endpoint-side state (per session & VC with a local endpoint) ----
+  struct VcLocal {
+    OrchVcInfo info;
+    net::NodeId orch_node = net::kInvalidNode;
+    bool is_source = false;
+    bool is_sink = false;
+    // Sink-side regulation:
+    bool reg_hold = false;    // regulation delivery gate (ahead of target)
+    bool group_hold = false;  // prime/stop delivery gate
+    std::int64_t target_seq = 0;
+    std::int64_t start_seq = 0;
+    std::uint32_t interval_id = 0;
+    Duration interval = 0;
+    Time interval_start = 0;
+    std::uint32_t max_drop = 0;
+    std::uint32_t drops_requested = 0;
+    int slot = 0;
+    net::NodeId drop_target = net::kInvalidNode;
+    sim::EventHandle slot_timer;
+    // Source-side regulation:
+    std::uint32_t src_budget = 0;
+    std::uint32_t src_dropped = 0;
+    std::uint32_t src_interval_id = 0;
+    sim::EventHandle src_timer;
+    // Prime:
+    bool primed_reported = false;
+    // Events:
+    bool event_armed = false;
+    std::uint64_t event_pattern = 0;
+    std::uint64_t event_mask = ~0ull;
+  };
+
+  using LocalKey = std::pair<OrchSessionId, transport::VcId>;
+
+  void send_opdu(net::NodeId dst, const Opdu& o);
+  void on_opdu_packet(net::Packet&& pkt);
+
+  // Orchestrating-side helpers.
+  Session* session(OrchSessionId s);
+  void fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
+               StartFn start_done);
+  void op_ack(const Opdu& o);
+  void finish_op(OrchSessionId s, Session& sess);
+  void emit_regulate_ind(OrchSessionId s, std::pair<transport::VcId, std::uint32_t> key);
+
+  // Endpoint-side handlers.
+  void handle_sess_req(const Opdu& o);
+  void handle_sess_rel(const Opdu& o);
+  void handle_prime(const Opdu& o);
+  void handle_start(const Opdu& o);
+  void handle_stop(const Opdu& o);
+  void handle_add(const Opdu& o);
+  void handle_remove_vc(const Opdu& o);
+  void handle_regulate_sink(const Opdu& o);
+  void handle_regulate_src(const Opdu& o);
+  void handle_drop(const Opdu& o);
+  void handle_event_reg(const Opdu& o);
+  void handle_delayed(const Opdu& o);
+
+  void regulation_slot(LocalKey key);
+  void finish_sink_interval(LocalKey key);
+  void finish_src_interval(LocalKey key);
+  void apply_delivery_gate(VcLocal& st);
+  void attach_endpoint(OrchSessionId session, const OrchVcInfo& info, net::NodeId orch_node);
+  void detach_endpoint(LocalKey key);
+  VcLocal* local(LocalKey key);
+
+  net::Network& network_;
+  net::NodeId node_;
+  transport::TransportEntity& entity_;
+  OrchAppHandler* app_ = nullptr;
+  std::size_t session_limit_ = 64;
+
+  std::map<OrchSessionId, Session> sessions_;           // orchestrating role
+  std::map<LocalKey, VcLocal> locals_;                  // endpoint role
+  std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
+  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
+
+  // Clock-sync probe state: probe id -> the estimation run it belongs to.
+  std::uint32_t next_probe_id_ = 1;
+  std::map<std::uint32_t, std::shared_ptr<ClockSyncSession>> clock_probes_;
+};
+
+}  // namespace cmtos::orch

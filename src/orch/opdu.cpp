@@ -1,0 +1,93 @@
+#include "orch/opdu.h"
+
+#include "util/byte_io.h"
+
+namespace cmtos::orch {
+
+std::vector<std::uint8_t> Opdu::encode() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(session);
+  w.u64(vc);
+  w.u32(orch_node);
+  w.u32(static_cast<std::uint32_t>(vcs.size()));
+  for (const auto& i : vcs) {
+    w.u64(i.vc);
+    w.u32(i.src_node);
+    w.u32(i.sink_node);
+  }
+  w.u8(flags);
+  w.u8(ok);
+  w.u8(static_cast<std::uint8_t>(reason));
+  w.i64(target_seq);
+  w.u32(max_drop);
+  w.i64(interval);
+  w.u32(interval_id);
+  w.u32(src_node);
+  w.u32(drop_count);
+  w.i64(delivered_seq);
+  w.u32(dropped);
+  w.i64(app_blocked);
+  w.i64(proto_blocked);
+  w.u64(pattern);
+  w.u64(mask);
+  w.u64(event_value);
+  w.u32(osdu_seq);
+  w.u8(source_side);
+  w.i64(osdus_behind);
+  w.i64(timestamp);
+  w.i64(t_origin);
+  w.i64(t_peer);
+  w.u32(probe_id);
+  return out;
+}
+
+std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire) {
+  try {
+    ByteReader r(wire);
+    Opdu o;
+    o.type = static_cast<OpduType>(r.u8());
+    o.session = r.u64();
+    o.vc = r.u64();
+    o.orch_node = r.u32();
+    const std::uint32_t n = r.u32();
+    if (n > r.remaining() / 16) return std::nullopt;  // garbage length field
+    o.vcs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      OrchVcInfo info;
+      info.vc = r.u64();
+      info.src_node = r.u32();
+      info.sink_node = r.u32();
+      o.vcs.push_back(info);
+    }
+    o.flags = r.u8();
+    o.ok = r.u8();
+    o.reason = static_cast<OrchReason>(r.u8());
+    o.target_seq = r.i64();
+    o.max_drop = r.u32();
+    o.interval = r.i64();
+    o.interval_id = r.u32();
+    o.src_node = r.u32();
+    o.drop_count = r.u32();
+    o.delivered_seq = r.i64();
+    o.dropped = r.u32();
+    o.app_blocked = r.i64();
+    o.proto_blocked = r.i64();
+    o.pattern = r.u64();
+    o.mask = r.u64();
+    o.event_value = r.u64();
+    o.osdu_seq = r.u32();
+    o.source_side = r.u8();
+    o.osdus_behind = r.i64();
+    o.timestamp = r.i64();
+    o.t_origin = r.i64();
+    o.t_peer = r.i64();
+    o.probe_id = r.u32();
+    return o;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cmtos::orch

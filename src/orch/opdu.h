@@ -1,0 +1,149 @@
+// cmtos/orch/opdu.h
+//
+// Orchestrator PDUs (§5): "the multiple LLO instances interact with each
+// other via Orchestrator PDUs (OPDUs), on out of band connections" with
+// guaranteed bandwidth.  One discriminated struct covers the whole LLO
+// protocol: session setup/release, the group primitives (prime / start /
+// stop / add / remove), per-interval regulation and its reports, event
+// registration/indication, and Orch.Delayed.
+//
+// (The *per-OSDU* OPDU — sequence number + event fields — is carried in the
+// data TPDU header; see transport/tpdu.h.)
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "transport/service.h"
+#include "util/time.h"
+
+namespace cmtos::orch {
+
+/// Orchestration session identifier, supplied by the HLO (§6.1).
+using OrchSessionId = std::uint64_t;
+
+/// Endpoint geometry of one orchestrated VC, known to the HLO from the
+/// Stream services it was handed.
+struct OrchVcInfo {
+  transport::VcId vc = transport::kInvalidVc;
+  net::NodeId src_node = net::kInvalidNode;
+  net::NodeId sink_node = net::kInvalidNode;
+
+  friend bool operator==(const OrchVcInfo&, const OrchVcInfo&) = default;
+};
+
+enum class OpduType : std::uint8_t {
+  // Session management (Table 4).
+  kSessReq = 1,     // orchestrating LLO -> endpoint LLO: join session
+  kSessAck = 2,     // endpoint -> orchestrating: ok / reason
+  kSessRel = 3,     // orchestrating -> endpoint: release
+
+  // Group 1 primitives (Table 5).
+  kPrime = 10,      // orchestrating -> endpoint (both roles)
+  kPrimeAck = 11,   // endpoint -> orchestrating: app accepted / denied
+  kPrimed = 12,     // sink -> orchestrating: receive buffers full
+  kStart = 13,
+  kStartAck = 14,   // carries the sink's next deliverable OSDU seq
+  kStop = 15,
+  kStopAck = 16,
+  kAdd = 17,
+  kAddAck = 18,
+  kRemove = 19,
+  kRemoveAck = 20,
+
+  // Group 2 primitives (Table 6).
+  kRegulateSink = 30,  // orchestrating -> sink: interval target
+  kRegulateSrc = 31,   // orchestrating -> source: interval drop budget
+  kDrop = 32,          // sink -> source: discard n OSDUs now
+  kRegInd = 33,        // sink -> orchestrating: end-of-interval report
+  kSrcStats = 34,      // source -> orchestrating: end-of-interval report
+  kEventReg = 35,      // orchestrating -> sink: register event pattern
+  kEventInd = 36,      // sink -> orchestrating: pattern matched
+  kDelayed = 37,       // orchestrating -> endpoint: Orch.Delayed.indication
+  kDelayedAck = 38,    // endpoint -> orchestrating: app response (deny?)
+
+  // Clock synchronisation (§5 footnote / §7 future work: "a general
+  // purpose clock synchronisation function (e.g. NTP) within the
+  // orchestrator protocols" lifts the common-node restriction).
+  kTimeReq = 40,       // requester -> peer: carries requester's local send time
+  kTimeResp = 41,      // peer -> requester: echoes it + peer's local time
+};
+
+/// Reasons carried in negative acks.
+enum class OrchReason : std::uint8_t {
+  kOk = 0,
+  kNoSuchVc = 1,        // "one or more of the specified VCS do not exist"
+  kNoTableSpace = 2,    // "some LLO instance has no table space available"
+  kAppDenied = 3,       // application thread replied Orch.Deny
+  kNoSession = 4,
+  kTimeout = 5,
+  kNoControlBandwidth = 6,  // could not reserve the out-of-band control VC
+  kNoCommonNode = 7,        // a VC has no endpoint at the orchestrating node
+};
+
+struct Opdu {
+  OpduType type = OpduType::kSessReq;
+  OrchSessionId session = 0;
+  transport::VcId vc = transport::kInvalidVc;
+  net::NodeId orch_node = net::kInvalidNode;  // reply address
+
+  // kSessReq / kAdd: VC geometry this node must track.
+  std::vector<OrchVcInfo> vcs;
+
+  std::uint8_t flags = 0;  // bit0: prime-flush; bit1: target-is-source
+  std::uint8_t ok = 1;
+  OrchReason reason = OrchReason::kOk;
+
+  // Regulation (kRegulateSink/kRegulateSrc/kDrop).
+  std::int64_t target_seq = 0;
+  std::uint32_t max_drop = 0;
+  Duration interval = 0;
+  std::uint32_t interval_id = 0;
+  net::NodeId src_node = net::kInvalidNode;  // where the sink sends kDrop
+  std::uint32_t drop_count = 0;
+
+  // Reports (kRegInd/kSrcStats/kStartAck).
+  std::int64_t delivered_seq = -1;
+  std::uint32_t dropped = 0;
+  Duration app_blocked = 0;
+  Duration proto_blocked = 0;
+
+  // Events (kEventReg/kEventInd).
+  std::uint64_t pattern = 0;
+  std::uint64_t mask = ~0ull;
+  std::uint64_t event_value = 0;
+  std::uint32_t osdu_seq = 0;
+
+  // Orch.Delayed.
+  std::uint8_t source_side = 0;
+  std::int64_t osdus_behind = 0;
+
+  /// True simulation time stamped by the sender (instrumentation for
+  /// latency benches; protocol logic must not read it).
+  Time timestamp = 0;
+
+  // Clock sync (kTimeReq/kTimeResp): *local* clock readings — these are
+  // legitimate protocol fields, unlike `timestamp`.
+  Time t_origin = 0;  // requester's local clock at send
+  Time t_peer = 0;    // peer's local clock when answering
+  std::uint32_t probe_id = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<Opdu> decode(std::span<const std::uint8_t> wire);
+};
+
+inline constexpr std::uint8_t kOpduFlagFlush = 1;
+inline constexpr std::uint8_t kOpduFlagSourceTarget = 2;
+/// kRegulateSink: target_seq is a *delta* from the sink's position at
+/// receipt rather than an absolute sequence number.  This matches the
+/// paper's rate formula — "the required rate is calculated as
+/// ((target-OSDU# - current-OSDU#) / interval-length)" — computed against
+/// the sink's own current position, and makes the HLO agent's (slightly
+/// stale) view of positions irrelevant to the absolute anchoring.
+inline constexpr std::uint8_t kOpduFlagRelativeTarget = 4;
+
+}  // namespace cmtos::orch

@@ -1,0 +1,64 @@
+#include "orch/orchestrator.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cmtos::orch {
+
+net::NodeId Orchestrator::choose_orchestrating_node(
+    const std::vector<OrchStreamSpec>& streams, bool require_common) {
+  // Count endpoint occurrences per node, then keep only nodes that touch
+  // every VC (common-node restriction) and pick the most frequent; ties
+  // break toward the lowest node id for determinism.
+  std::map<net::NodeId, std::size_t> touches;   // how many VCs a node touches
+  std::map<net::NodeId, std::size_t> endpoints; // total endpoint count (Fig 5 metric)
+  std::map<net::NodeId, std::size_t> sinks;     // sink endpoints (tie-break)
+  for (const auto& s : streams) {
+    ++endpoints[s.vc.src_node];
+    ++endpoints[s.vc.sink_node];
+    ++sinks[s.vc.sink_node];
+    ++touches[s.vc.src_node];
+    if (s.vc.sink_node != s.vc.src_node) ++touches[s.vc.sink_node];
+  }
+  // Ties prefer the node with more *sink* endpoints: regulation gates
+  // delivery at sinks, so orchestrating from the common sink (as in the
+  // paper's film example) keeps the control loop local.
+  net::NodeId best = net::kInvalidNode;
+  std::size_t best_count = 0, best_sinks = 0;
+  for (const auto& [node, n] : touches) {
+    if (require_common && n != streams.size()) continue;  // not common to all VCs
+    const std::size_t score = endpoints[node];
+    const std::size_t sink_score = sinks[node];
+    if (best == net::kInvalidNode || score > best_count ||
+        (score == best_count && sink_score > best_sinks)) {
+      best = node;
+      best_count = score;
+      best_sinks = sink_score;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<OrchSession> Orchestrator::orchestrate(std::vector<OrchStreamSpec> streams,
+                                                       OrchPolicy policy,
+                                                       HloAgent::ResultFn established) {
+  const net::NodeId node =
+      choose_orchestrating_node(streams, /*require_common=*/!policy.allow_no_common_node);
+  if (node == net::kInvalidNode) {
+    CMTOS_WARN("hlo", "no common node for orchestration group of %zu streams",
+               streams.size());
+    return nullptr;
+  }
+  Llo* llo = resolve_(node);
+  if (llo == nullptr) {
+    CMTOS_WARN("hlo", "no LLO instance at node %u", node);
+    return nullptr;
+  }
+  auto agent = std::make_unique<HloAgent>(*llo, next_session_++, std::move(streams), policy);
+  agent->establish(std::move(established));
+  return std::make_unique<OrchSession>(std::move(agent), node);
+}
+
+}  // namespace cmtos::orch

@@ -1,0 +1,86 @@
+// cmtos/orch/orchestrator.h
+//
+// The High Level Orchestrator (§5): the location-independent ADT service
+// applications see.
+//
+// "The HLO is responsible for finding the physical locations of the
+// connections underlying the given Stream interfaces, and thus choosing the
+// node from which the lower levels of orchestration will be co-ordinated.
+// The node selected, known as the orchestrating node, is that common to the
+// greatest number of VCs" (Fig 5).  Having chosen, it creates an HLO agent
+// there and hands the application an OrchSession interface for on-going
+// control.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "orch/hlo_agent.h"
+
+namespace cmtos::orch {
+
+/// The ADT interface handed back to the application (§5: "This is passed
+/// back to the initiating application, and enables the application to
+/// control the on-going orchestration session via invocation").
+class OrchSession {
+ public:
+  OrchSession(std::unique_ptr<HloAgent> agent, net::NodeId orchestrating_node)
+      : agent_(std::move(agent)), node_(orchestrating_node) {}
+  ~OrchSession() { release(); }
+
+  OrchSession(const OrchSession&) = delete;
+  OrchSession& operator=(const OrchSession&) = delete;
+
+  net::NodeId orchestrating_node() const { return node_; }
+  HloAgent& agent() { return *agent_; }
+
+  void prime(bool flush, HloAgent::ResultFn done) { agent_->prime(flush, std::move(done)); }
+  void start(HloAgent::ResultFn done) { agent_->start(std::move(done)); }
+  void stop(HloAgent::ResultFn done) { agent_->stop(std::move(done)); }
+  void release() {
+    if (agent_ && !released_) {
+      agent_->release();
+      released_ = true;
+    }
+  }
+
+ private:
+  std::unique_ptr<HloAgent> agent_;
+  net::NodeId node_;
+  bool released_ = false;
+};
+
+class Orchestrator {
+ public:
+  /// Resolves a node id to the LLO instance running there (the platform
+  /// wires this up; tests pass a lambda over their host table).
+  using LloResolver = std::function<Llo*(net::NodeId)>;
+
+  explicit Orchestrator(LloResolver resolver) : resolve_(std::move(resolver)) {}
+
+  /// Fig 5: the node common to the greatest number of VCs.  With
+  /// `require_common` (the paper's initial-implementation restriction, §5)
+  /// the node must be an endpoint of *every* VC; otherwise the
+  /// most-connected endpoint wins (the §7 extension).  Returns
+  /// kInvalidNode if no candidate exists.
+  static net::NodeId choose_orchestrating_node(const std::vector<OrchStreamSpec>& streams,
+                                               bool require_common = true);
+
+  /// Creates the orchestration session: chooses the orchestrating node,
+  /// instantiates the HLO agent there and runs Orch.request.  `established`
+  /// fires with the outcome; on failure the returned session is still
+  /// valid but unusable (release it).  Returns nullptr only if no common
+  /// node exists or no LLO runs there.
+  std::unique_ptr<OrchSession> orchestrate(std::vector<OrchStreamSpec> streams,
+                                           OrchPolicy policy,
+                                           HloAgent::ResultFn established);
+
+ private:
+  LloResolver resolve_;
+  OrchSessionId next_session_ = 1;
+};
+
+}  // namespace cmtos::orch

@@ -1,0 +1,76 @@
+// cmtos/platform/device_user.h
+//
+// Base transport user for device endpoints (cameras, stored-media tracks,
+// renderers).  Devices sit behind TSAPs and, per the remote-connect model
+// of §3.5, must consent to connects initiated elsewhere.  This base
+// auto-accepts (the common device policy) and forwards lifecycle moments
+// to virtual hooks; media-module devices derive from it.
+
+#pragma once
+
+#include "transport/transport_entity.h"
+
+namespace cmtos::platform {
+
+class DeviceUser : public transport::TransportUser {
+ public:
+  DeviceUser(transport::TransportEntity& entity, net::Tsap tsap)
+      : entity_(entity), tsap_(tsap) {
+    entity_.bind(tsap_, this);
+  }
+  ~DeviceUser() override { entity_.unbind(tsap_); }
+
+  DeviceUser(const DeviceUser&) = delete;
+  DeviceUser& operator=(const DeviceUser&) = delete;
+
+  transport::TransportEntity& entity() { return entity_; }
+  net::Tsap tsap() const { return tsap_; }
+  net::NetAddress address() const { return {entity_.node_id(), tsap_}; }
+
+  // --- TransportUser ---
+  void t_connect_indication(transport::VcId vc,
+                            const transport::ConnectRequest& req) override {
+    if (!accept_connect(vc, req)) {
+      entity_.connect_response(vc, false);
+      return;
+    }
+    entity_.connect_response(vc, true, narrow_qos(vc, req));
+    // At the destination the sink endpoint exists as soon as we accept.
+    if (req.dst.node == entity_.node_id() && req.dst.tsap == tsap_) {
+      if (transport::Connection* conn = entity_.sink(vc)) on_sink_ready(vc, *conn);
+    }
+  }
+
+  void t_connect_confirm(transport::VcId vc, const transport::QosParams&) override {
+    if (transport::Connection* conn = entity_.source(vc)) on_source_ready(vc, *conn);
+  }
+
+  void t_disconnect_indication(transport::VcId vc, transport::DisconnectReason reason) override {
+    on_disconnected(vc, reason);
+  }
+
+  void t_renegotiate_indication(transport::VcId vc,
+                                const transport::QosTolerance& proposed) override {
+    entity_.renegotiate_response(vc, accept_renegotiation(vc, proposed));
+  }
+
+ protected:
+  /// Device policy hooks.
+  virtual bool accept_connect(transport::VcId, const transport::ConnectRequest&) { return true; }
+  virtual std::optional<transport::QosParams> narrow_qos(transport::VcId,
+                                                         const transport::ConnectRequest&) {
+    return std::nullopt;  // take the offer as-is
+  }
+  virtual bool accept_renegotiation(transport::VcId, const transport::QosTolerance&) {
+    return true;  // devices adapt to the new contract by default
+  }
+  virtual void on_source_ready(transport::VcId, transport::Connection&) {}
+  virtual void on_sink_ready(transport::VcId, transport::Connection&) {}
+  virtual void on_disconnected(transport::VcId, transport::DisconnectReason) {}
+
+ private:
+  transport::TransportEntity& entity_;
+  net::Tsap tsap_;
+};
+
+}  // namespace cmtos::platform

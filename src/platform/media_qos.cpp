@@ -1,0 +1,71 @@
+#include "platform/media_qos.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cmtos::platform {
+
+std::int64_t VideoQos::frame_bytes() const {
+  const double raw =
+      static_cast<double>(width) * height * (colour ? 3.0 : 1.0) / std::max(1.0, compression);
+  return std::max<std::int64_t>(64, static_cast<std::int64_t>(raw));
+}
+
+std::int64_t AudioQos::block_bytes() const {
+  const double samples_per_block = static_cast<double>(sample_rate_hz) / blocks_per_second;
+  const double raw = samples_per_block * (bits_per_sample / 8.0) * channels;
+  return std::max<std::int64_t>(16, static_cast<std::int64_t>(raw));
+}
+
+transport::QosTolerance to_transport_qos(const MediaQos& media) {
+  transport::QosTolerance tol;
+  if (const auto* v = std::get_if<VideoQos>(&media)) {
+    tol.preferred.osdu_rate = v->frames_per_second;
+    tol.preferred.max_osdu_bytes = v->frame_bytes();
+    tol.preferred.end_to_end_delay = v->interactive ? 150 * kMillisecond : 400 * kMillisecond;
+    tol.preferred.delay_jitter = 40 * kMillisecond;
+    // Video tolerates some loss (§3.2); the visible floor is roughly one
+    // damaged frame in twenty.
+    tol.preferred.packet_error_rate = 0.02;
+    tol.preferred.bit_error_rate = 1e-5;
+    tol.worst = tol.preferred;
+    tol.worst.osdu_rate = std::max(5.0, v->frames_per_second / 2);
+    tol.worst.end_to_end_delay = tol.preferred.end_to_end_delay * 2;
+    tol.worst.delay_jitter = 80 * kMillisecond;
+    tol.worst.packet_error_rate = 0.05;
+  } else if (const auto* a = std::get_if<AudioQos>(&media)) {
+    tol.preferred.osdu_rate = a->blocks_per_second;
+    tol.preferred.max_osdu_bytes = a->block_bytes();
+    tol.preferred.end_to_end_delay = a->interactive ? 100 * kMillisecond : 300 * kMillisecond;
+    // "Delay jitter must also be kept within rigorous bounds to preserve
+    // the intelligibility of audio" (§3.2).
+    tol.preferred.delay_jitter = 10 * kMillisecond;
+    tol.preferred.packet_error_rate = 0.005;
+    tol.preferred.bit_error_rate = 1e-6;
+    tol.worst = tol.preferred;
+    tol.worst.delay_jitter = 30 * kMillisecond;
+    tol.worst.end_to_end_delay = tol.preferred.end_to_end_delay * 2;
+    tol.worst.packet_error_rate = 0.02;
+  } else {
+    const auto& t = std::get<TextQos>(media);
+    tol.preferred.osdu_rate = t.units_per_second;
+    tol.preferred.max_osdu_bytes = t.max_unit_bytes;
+    tol.preferred.end_to_end_delay = 500 * kMillisecond;
+    tol.preferred.delay_jitter = 200 * kMillisecond;
+    // Text must arrive intact: no tolerated loss.
+    tol.preferred.packet_error_rate = 0.0;
+    tol.preferred.bit_error_rate = 0.0;
+    tol.worst = tol.preferred;
+    tol.worst.osdu_rate = std::max(0.5, t.units_per_second / 2);
+    tol.worst.end_to_end_delay = kSecond;
+  }
+  return tol;
+}
+
+double nominal_osdu_rate(const MediaQos& media) {
+  if (const auto* v = std::get_if<VideoQos>(&media)) return v->frames_per_second;
+  if (const auto* a = std::get_if<AudioQos>(&media)) return a->blocks_per_second;
+  return std::get<TextQos>(media).units_per_second;
+}
+
+}  // namespace cmtos::platform

@@ -1,0 +1,64 @@
+// cmtos/platform/media_qos.h
+//
+// Media-specific QoS, as exposed by Stream interfaces (§2.2: "Streams
+// contain operations to manipulate QoS in media specific terms") and the
+// mapping down to the transport's five-parameter QoS.
+
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "transport/qos.h"
+
+namespace cmtos::platform {
+
+/// Digital video in user terms.
+struct VideoQos {
+  int width = 352;
+  int height = 288;
+  double frames_per_second = 25.0;
+  bool colour = true;
+  /// Compression factor applied to the raw frame size (1 = uncompressed;
+  /// the paper's "in-service insertion of a compression module" maps to
+  /// renegotiating with a larger factor).
+  double compression = 50.0;
+  /// Interactive use tightens the delay budget (human perceptual
+  /// thresholds, §3.2).
+  bool interactive = false;
+
+  std::int64_t frame_bytes() const;
+};
+
+/// Digital audio in user terms.
+struct AudioQos {
+  int sample_rate_hz = 8000;   // telephone quality; 44100 for CD quality
+  int bits_per_sample = 8;
+  int channels = 1;
+  /// Samples are shipped in blocks; the block rate is the OSDU rate (e.g.
+  /// 10 blocks of sound per video frame for lip-sync ratios, §3.6).
+  double blocks_per_second = 50.0;
+  bool interactive = false;
+
+  std::int64_t block_bytes() const;
+};
+
+/// Caption / subtitle text track (the §3.6 caption scenario).
+struct TextQos {
+  double units_per_second = 2.0;
+  std::int64_t max_unit_bytes = 512;
+};
+
+using MediaQos = std::variant<VideoQos, AudioQos, TextQos>;
+
+/// Maps media-specific QoS to transport tolerance levels: the preferred
+/// level asks for the exact media parameters; the worst level concedes a
+/// degraded-but-usable service (reduced rate, relaxed delay) so option
+/// negotiation has room to work with.
+transport::QosTolerance to_transport_qos(const MediaQos& media);
+
+/// Nominal OSDU rate of a media description (frames, blocks or units per
+/// second) — the orchestrator's rate-ratio input.
+double nominal_osdu_rate(const MediaQos& media);
+
+}  // namespace cmtos::platform

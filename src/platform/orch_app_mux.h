@@ -1,0 +1,47 @@
+// cmtos/platform/orch_app_mux.h
+//
+// Per-node multiplexer for Orch.*.indication callbacks: the LLO takes one
+// OrchAppHandler per node, but a node hosts many device threads; this mux
+// dispatches by VC to whichever device registered for it.
+
+#pragma once
+
+#include <map>
+
+#include "orch/llo.h"
+
+namespace cmtos::platform {
+
+class OrchAppMux : public orch::OrchAppHandler {
+ public:
+  void attach(transport::VcId vc, orch::OrchAppHandler* handler) { handlers_[vc] = handler; }
+  void detach(transport::VcId vc) { handlers_.erase(vc); }
+
+  bool orch_prime_indication(orch::OrchSessionId s, transport::VcId vc,
+                             bool is_source) override {
+    if (auto* h = find(vc)) return h->orch_prime_indication(s, vc, is_source);
+    return true;
+  }
+  void orch_start_indication(orch::OrchSessionId s, transport::VcId vc,
+                             bool is_source) override {
+    if (auto* h = find(vc)) h->orch_start_indication(s, vc, is_source);
+  }
+  void orch_stop_indication(orch::OrchSessionId s, transport::VcId vc,
+                            bool is_source) override {
+    if (auto* h = find(vc)) h->orch_stop_indication(s, vc, is_source);
+  }
+  bool orch_delayed_indication(orch::OrchSessionId s, transport::VcId vc, bool is_source,
+                               std::int64_t osdus_behind) override {
+    if (auto* h = find(vc)) return h->orch_delayed_indication(s, vc, is_source, osdus_behind);
+    return true;
+  }
+
+ private:
+  orch::OrchAppHandler* find(transport::VcId vc) {
+    auto it = handlers_.find(vc);
+    return it == handlers_.end() ? nullptr : it->second;
+  }
+  std::map<transport::VcId, orch::OrchAppHandler*> handlers_;
+};
+
+}  // namespace cmtos::platform

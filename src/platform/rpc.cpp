@@ -1,0 +1,159 @@
+#include "platform/rpc.h"
+
+#include "util/byte_io.h"
+#include "util/logging.h"
+
+namespace cmtos::platform {
+
+namespace {
+
+enum class MsgKind : std::uint8_t { kRequest = 1, kReply = 2 };
+
+struct RpcMsg {
+  MsgKind kind = MsgKind::kRequest;
+  std::uint64_t call_id = 0;
+  net::NodeId caller = net::kInvalidNode;
+  RpcOutcome outcome = RpcOutcome::kOk;
+  std::string interface;
+  std::string op;
+  std::vector<std::uint8_t> body;
+
+  std::vector<std::uint8_t> encode() const {
+    std::vector<std::uint8_t> out;
+    ByteWriter w(out);
+    w.u8(static_cast<std::uint8_t>(kind));
+    w.u64(call_id);
+    w.u32(caller);
+    w.u8(static_cast<std::uint8_t>(outcome));
+    w.str(interface);
+    w.str(op);
+    w.blob(body);
+    return out;
+  }
+  static std::optional<RpcMsg> decode(std::span<const std::uint8_t> wire) {
+    try {
+      ByteReader r(wire);
+      RpcMsg m;
+      m.kind = static_cast<MsgKind>(r.u8());
+      m.call_id = r.u64();
+      m.caller = r.u32();
+      m.outcome = static_cast<RpcOutcome>(r.u8());
+      m.interface = r.str();
+      m.op = r.str();
+      m.body = r.blob();
+      return m;
+    } catch (const DecodeError&) {
+      return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+std::string to_string(RpcOutcome o) {
+  switch (o) {
+    case RpcOutcome::kOk: return "ok";
+    case RpcOutcome::kTimeout: return "timeout";
+    case RpcOutcome::kNoSuchInterface: return "no-such-interface";
+    case RpcOutcome::kNoSuchOperation: return "no-such-operation";
+    case RpcOutcome::kAppError: return "app-error";
+  }
+  return "?";
+}
+
+RpcRuntime::RpcRuntime(net::Network& network, net::NodeId node)
+    : network_(network), node_(node) {
+  network_.node(node_).set_handler(net::Proto::kRpc,
+                                   [this](net::Packet&& p) { on_packet(std::move(p)); });
+}
+
+void RpcRuntime::register_op(const std::string& interface, const std::string& op,
+                             OpHandler handler) {
+  interfaces_[interface][op] = std::move(handler);
+}
+
+void RpcRuntime::unregister_interface(const std::string& interface) {
+  interfaces_.erase(interface);
+}
+
+void RpcRuntime::invoke(net::NodeId node, const std::string& interface, const std::string& op,
+                        std::vector<std::uint8_t> args, Duration delay_bound, ReplyFn reply) {
+  RpcMsg m;
+  m.kind = MsgKind::kRequest;
+  m.call_id = next_call_++;
+  m.caller = node_;
+  m.interface = interface;
+  m.op = op;
+  m.body = std::move(args);
+
+  PendingCall pend;
+  pend.reply = std::move(reply);
+  if (delay_bound != kTimeNever) {
+    const std::uint64_t call_id = m.call_id;
+    pend.timeout = network_.scheduler().after(delay_bound, [this, call_id] {
+      auto it = pending_.find(call_id);
+      if (it == pending_.end()) return;
+      ReplyFn fn = std::move(it->second.reply);
+      pending_.erase(it);
+      if (fn) fn(RpcOutcome::kTimeout, {});
+    });
+  }
+  pending_.emplace(m.call_id, std::move(pend));
+
+  net::Packet pkt;
+  pkt.src = node_;
+  pkt.dst = node;
+  pkt.proto = net::Proto::kRpc;
+  pkt.priority = net::Priority::kControl;
+  pkt.payload = m.encode();
+  network_.send(std::move(pkt));
+}
+
+void RpcRuntime::on_packet(net::Packet&& pkt) {
+  if (pkt.corrupted) return;
+  auto m = RpcMsg::decode(pkt.payload);
+  if (!m) {
+    CMTOS_WARN("rpc", "undecodable RPC message at node %u", node_);
+    return;
+  }
+  if (m->kind == MsgKind::kRequest) {
+    RpcMsg reply;
+    reply.kind = MsgKind::kReply;
+    reply.call_id = m->call_id;
+    reply.caller = m->caller;
+    auto ifc = interfaces_.find(m->interface);
+    if (ifc == interfaces_.end()) {
+      reply.outcome = RpcOutcome::kNoSuchInterface;
+    } else {
+      auto op = ifc->second.find(m->op);
+      if (op == ifc->second.end()) {
+        reply.outcome = RpcOutcome::kNoSuchOperation;
+      } else {
+        auto result = op->second(m->body);
+        if (result) {
+          reply.outcome = RpcOutcome::kOk;
+          reply.body = std::move(*result);
+        } else {
+          reply.outcome = RpcOutcome::kAppError;
+        }
+      }
+    }
+    net::Packet out;
+    out.src = node_;
+    out.dst = m->caller;
+    out.proto = net::Proto::kRpc;
+    out.priority = net::Priority::kControl;
+    out.payload = reply.encode();
+    network_.send(std::move(out));
+    return;
+  }
+  // Reply.
+  auto it = pending_.find(m->call_id);
+  if (it == pending_.end()) return;  // late reply after timeout: dropped
+  it->second.timeout.cancel();
+  ReplyFn fn = std::move(it->second.reply);
+  pending_.erase(it);
+  if (fn) fn(m->outcome, m->body);
+}
+
+}  // namespace cmtos::platform

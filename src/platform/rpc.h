@@ -1,0 +1,87 @@
+// cmtos/platform/rpc.h
+//
+// REX-like invocation (§2.2): "remote interaction is modelled as the
+// invocation of named operations in abstract data type (ADT) interfaces
+// which are accessed in a location independent fashion.  Invocation is
+// implemented by means of an RPC protocol known as REX extended to provide
+// the delay bounded communication required for the real-time control of
+// multimedia applications."
+//
+// The runtime registers named interfaces (each a map of operation name ->
+// handler) and invokes remote operations with an optional delay bound: if
+// the reply has not arrived by the deadline the caller gets a timeout
+// outcome instead of blocking indefinitely — control operations on
+// continuous media must fail fast.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "util/time.h"
+
+namespace cmtos::platform {
+
+enum class RpcOutcome : std::uint8_t {
+  kOk = 0,
+  kTimeout = 1,        // delay bound exceeded
+  kNoSuchInterface = 2,
+  kNoSuchOperation = 3,
+  kAppError = 4,       // handler reported failure
+};
+
+std::string to_string(RpcOutcome o);
+
+/// Handler for one operation: request bytes in, reply bytes out; returning
+/// nullopt maps to kAppError.
+using OpHandler =
+    std::function<std::optional<std::vector<std::uint8_t>>(std::span<const std::uint8_t>)>;
+
+/// Reply callback at the invoker.
+using ReplyFn = std::function<void(RpcOutcome, std::span<const std::uint8_t> reply)>;
+
+class RpcRuntime {
+ public:
+  RpcRuntime(net::Network& network, net::NodeId node);
+
+  net::NodeId node_id() const { return node_; }
+
+  /// Exports `interface`.`op` at this node.
+  void register_op(const std::string& interface, const std::string& op, OpHandler handler);
+  void unregister_interface(const std::string& interface);
+
+  /// Invokes `interface`.`op` at `node` with a delay bound.  The reply
+  /// callback fires exactly once: with the reply, or with kTimeout when
+  /// the bound expires first (a late reply is then dropped).
+  void invoke(net::NodeId node, const std::string& interface, const std::string& op,
+              std::vector<std::uint8_t> args, Duration delay_bound, ReplyFn reply);
+
+  /// Invocation without a delay bound (control paths that may wait).
+  void invoke(net::NodeId node, const std::string& interface, const std::string& op,
+              std::vector<std::uint8_t> args, ReplyFn reply) {
+    invoke(node, interface, op, std::move(args), kTimeNever, std::move(reply));
+  }
+
+ private:
+  struct PendingCall {
+    ReplyFn reply;
+    sim::EventHandle timeout;
+  };
+
+  void on_packet(net::Packet&& pkt);
+
+  net::Network& network_;
+  net::NodeId node_;
+  std::uint64_t next_call_ = 1;
+  std::map<std::string, std::map<std::string, OpHandler>> interfaces_;
+  std::map<std::uint64_t, PendingCall> pending_;
+};
+
+}  // namespace cmtos::platform

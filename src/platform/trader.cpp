@@ -1,0 +1,102 @@
+#include "platform/trader.h"
+
+#include "util/byte_io.h"
+
+namespace cmtos::platform {
+
+namespace {
+
+std::vector<std::uint8_t> encode_ref(const InterfaceRef& ref) {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.str(ref.name);
+  w.u32(ref.node);
+  w.u16(ref.tsap);
+  return out;
+}
+
+std::optional<InterfaceRef> decode_ref(std::span<const std::uint8_t> wire) {
+  try {
+    ByteReader r(wire);
+    InterfaceRef ref;
+    ref.name = r.str();
+    ref.node = r.u32();
+    ref.tsap = r.u16();
+    return ref;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+TraderServer::TraderServer(RpcRuntime& rpc) : rpc_(rpc) {
+  rpc_.register_op("trader", "export",
+                   [this](std::span<const std::uint8_t> req)
+                       -> std::optional<std::vector<std::uint8_t>> {
+                     auto ref = decode_ref(req);
+                     if (!ref) return std::nullopt;
+                     table_[ref->name] = *ref;
+                     return std::vector<std::uint8_t>{};
+                   });
+  rpc_.register_op("trader", "import",
+                   [this](std::span<const std::uint8_t> req)
+                       -> std::optional<std::vector<std::uint8_t>> {
+                     try {
+                       ByteReader r(req);
+                       const std::string name = r.str();
+                       auto it = table_.find(name);
+                       if (it == table_.end()) return std::nullopt;
+                       return encode_ref(it->second);
+                     } catch (const DecodeError&) {
+                       return std::nullopt;
+                     }
+                   });
+  rpc_.register_op("trader", "withdraw",
+                   [this](std::span<const std::uint8_t> req)
+                       -> std::optional<std::vector<std::uint8_t>> {
+                     try {
+                       ByteReader r(req);
+                       table_.erase(r.str());
+                       return std::vector<std::uint8_t>{};
+                     } catch (const DecodeError&) {
+                       return std::nullopt;
+                     }
+                   });
+}
+
+void TraderClient::export_interface(const InterfaceRef& ref, ExportFn done,
+                                    Duration delay_bound) {
+  rpc_.invoke(trader_node_, "trader", "export", encode_ref(ref), delay_bound,
+              [done = std::move(done)](RpcOutcome outcome, std::span<const std::uint8_t>) {
+                if (done) done(outcome == RpcOutcome::kOk);
+              });
+}
+
+void TraderClient::import_interface(const std::string& name, ImportFn done,
+                                    Duration delay_bound) {
+  std::vector<std::uint8_t> req;
+  ByteWriter w(req);
+  w.str(name);
+  rpc_.invoke(trader_node_, "trader", "import", std::move(req), delay_bound,
+              [done = std::move(done)](RpcOutcome outcome, std::span<const std::uint8_t> body) {
+                if (!done) return;
+                if (outcome != RpcOutcome::kOk) {
+                  done(std::nullopt);
+                  return;
+                }
+                done(decode_ref(body));
+              });
+}
+
+void TraderClient::withdraw(const std::string& name, ExportFn done, Duration delay_bound) {
+  std::vector<std::uint8_t> req;
+  ByteWriter w(req);
+  w.str(name);
+  rpc_.invoke(trader_node_, "trader", "withdraw", std::move(req), delay_bound,
+              [done = std::move(done)](RpcOutcome outcome, std::span<const std::uint8_t>) {
+                if (done) done(outcome == RpcOutcome::kOk);
+              });
+}
+
+}  // namespace cmtos::platform

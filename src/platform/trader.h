@@ -1,0 +1,66 @@
+// cmtos/platform/trader.h
+//
+// ANSA-style trader: the name service through which ADT interfaces are
+// accessed "in a location independent fashion" (§2.2).  One node hosts the
+// trader; every other node exports and imports interface references over
+// the REX-like RPC runtime.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/address.h"
+#include "platform/rpc.h"
+
+namespace cmtos::platform {
+
+/// A resolvable interface reference: where a named ADT interface lives.
+struct InterfaceRef {
+  std::string name;
+  net::NodeId node = net::kInvalidNode;
+  /// Optional TSAP payload, used by Stream-producing interfaces to name
+  /// the transport endpoint of the device behind the interface.
+  net::Tsap tsap = 0;
+};
+
+/// Server half: runs on the trader node.
+class TraderServer {
+ public:
+  explicit TraderServer(RpcRuntime& rpc);
+
+  std::size_t entries() const { return table_.size(); }
+
+ private:
+  RpcRuntime& rpc_;
+  std::map<std::string, InterfaceRef> table_;
+};
+
+/// Client half: export/import against a (possibly remote) trader node.
+class TraderClient {
+ public:
+  TraderClient(RpcRuntime& rpc, net::NodeId trader_node)
+      : rpc_(rpc), trader_node_(trader_node) {}
+
+  using ExportFn = std::function<void(bool ok)>;
+  using ImportFn = std::function<void(std::optional<InterfaceRef>)>;
+
+  /// Registers `ref` under ref.name.
+  void export_interface(const InterfaceRef& ref, ExportFn done,
+                        Duration delay_bound = kTimeNever);
+
+  /// Looks a name up.
+  void import_interface(const std::string& name, ImportFn done,
+                        Duration delay_bound = kTimeNever);
+
+  /// Removes a name.
+  void withdraw(const std::string& name, ExportFn done, Duration delay_bound = kTimeNever);
+
+ private:
+  RpcRuntime& rpc_;
+  net::NodeId trader_node_;
+};
+
+}  // namespace cmtos::platform

@@ -1,0 +1,52 @@
+// cmtos/sim/clock.h
+//
+// Per-host local clocks with offset and drift.
+//
+// §3.6 of the paper notes that orchestrated connections inevitably drift
+// apart because of "the inevitable discrepancies between remote clock
+// rates".  To reproduce that, every host reads time through a LocalClock
+// that maps true (simulated) time to a skewed local view:
+//
+//     local(t) = offset + t * (1 + drift_ppm * 1e-6)
+//
+// Media sources pace themselves by their *local* clock (as a real hardware
+// codec would), so two sources with different drift really do diverge, and
+// the orchestrator's regulation loop has real work to do.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace cmtos::sim {
+
+class LocalClock {
+ public:
+  LocalClock() = default;
+  LocalClock(Duration offset, double drift_ppm) : offset_(offset), drift_ppm_(drift_ppm) {}
+
+  /// Local reading at true time `t`.
+  Time local_time(Time t) const {
+    return offset_ + t + static_cast<Time>(static_cast<double>(t) * drift_ppm_ * 1e-6);
+  }
+
+  /// Converts a *local* duration to the true duration that elapses while
+  /// the local clock advances by `local_d`.  Used when a component sleeps
+  /// "local_d by my clock": the scheduler needs the true duration.
+  Duration true_duration(Duration local_d) const {
+    return static_cast<Duration>(static_cast<double>(local_d) / (1.0 + drift_ppm_ * 1e-6));
+  }
+
+  Duration offset() const { return offset_; }
+  double drift_ppm() const { return drift_ppm_; }
+
+  /// Applies a correction to the clock offset (clock-sync adjustment).
+  void adjust_offset(Duration delta) { offset_ += delta; }
+
+ private:
+  Duration offset_ = 0;
+  double drift_ppm_ = 0;
+};
+
+}  // namespace cmtos::sim

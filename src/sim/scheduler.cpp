@@ -1,0 +1,51 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+
+namespace cmtos::sim {
+
+void EventHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+EventHandle Scheduler::at(Time t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule in the past");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{t < now_ ? now_ : t, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+bool Scheduler::fire_next(Time horizon) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (top.time > horizon) return false;
+    // Copy out before pop: fn may schedule new events, invalidating `top`.
+    Entry entry{top.time, top.seq, std::move(const_cast<Entry&>(top).fn), top.state};
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.time;
+    entry.state->fired = true;
+    entry.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next(kTimeNever)) ++fired;
+  return fired;
+}
+
+std::size_t Scheduler::run_until(Time t) {
+  std::size_t fired = 0;
+  while (fire_next(t)) ++fired;
+  if (t > now_) now_ = t;
+  return fired;
+}
+
+}  // namespace cmtos::sim

@@ -1,0 +1,98 @@
+// cmtos/sim/scheduler.h
+//
+// Deterministic discrete-event scheduler.
+//
+// The paper's system ran on transputer MNI units attached to a real-time
+// network emulator.  We substitute a discrete-event simulation: every
+// component (link, transport entity, LLO, application thread) is driven by
+// events posted here.  Determinism rules:
+//   * simulated time is integer nanoseconds (util/time.h);
+//   * ties are broken by insertion order (a monotonic sequence number), so
+//     two runs with the same seed produce identical traces.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace cmtos::sim {
+
+class Scheduler;
+
+/// Handle to a scheduled event; allows cancellation.  Cheap to copy.
+/// A default-constructed handle is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not yet fired.  Idempotent.
+  void cancel();
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `t` (>= now).
+  EventHandle at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` to run `d` after now (d < 0 is clamped to 0).
+  EventHandle after(Duration d, std::function<void()> fn) {
+    return at(now_ + (d < 0 ? 0 : d), std::move(fn));
+  }
+
+  /// Runs events until the queue is empty or `limit` events have fired.
+  /// Returns the number of events fired.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= t, then advances now to exactly t.
+  std::size_t run_until(Time t);
+
+  /// Number of queued events.  Includes events that were cancelled but not
+  /// yet reaped from the queue, so this is an upper bound on live events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next(Time horizon);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace cmtos::sim

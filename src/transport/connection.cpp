@@ -1,0 +1,604 @@
+#include "transport/connection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "transport/transport_entity.h"
+#include "util/logging.h"
+
+namespace cmtos::transport {
+
+namespace {
+/// Data TPDU payload limit (transport MTU); OSDUs larger than this are
+/// segmented and reassembled with boundaries preserved (§3.7).
+constexpr std::size_t kMaxTpduPayload = 1400;
+/// Receiver feedback cadence for the rate profile.
+constexpr Duration kFeedbackPeriod = 20 * kMillisecond;
+/// NAK retry interval and cap (error-correction class).
+constexpr Duration kNakRetryAfter = 60 * kMillisecond;
+constexpr int kNakMaxTries = 3;
+}  // namespace
+
+Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
+                       const ConnectRequest& request, const QosParams& agreed,
+                       net::ReservationId reservation)
+    : entity_(entity),
+      sched_(entity.scheduler()),
+      id_(id),
+      role_(role),
+      request_(request),
+      agreed_(agreed),
+      reservation_(reservation),
+      buffer_(std::max<std::uint32_t>(2, request.buffer_osdus)) {
+  if (role_ == VcRole::kSink) {
+    monitor_ = std::make_unique<QosMonitor>(id_, agreed_, request_.sample_period);
+    monitor_->set_warmup_periods(1);  // pipeline fill distorts the first period
+    // T-QoS.indication is generated only when the selected class of
+    // service includes the indication facility (§3.4 / §4.1.2).
+    if (wants_indication(request_.service_class.error_control)) {
+      monitor_->set_on_violation(
+          [this](const QosReport& rep) { entity_.on_qos_violation(*this, rep); });
+    }
+  }
+}
+
+Connection::~Connection() {
+  pacer_event_.cancel();
+  rto_event_.cancel();
+  feedback_event_.cancel();
+  monitor_event_.cancel();
+}
+
+net::NodeId Connection::local_node() const {
+  return role_ == VcRole::kSource ? request_.src.node : request_.dst.node;
+}
+
+net::NodeId Connection::peer_node() const {
+  return role_ == VcRole::kSource ? request_.dst.node : request_.src.node;
+}
+
+// ====================================================================
+// Lifecycle
+// ====================================================================
+
+void Connection::open() {
+  if (state_ == VcState::kOpen) return;
+  state_ = VcState::kOpen;
+  if (role_ == VcRole::kSource) {
+    // The protocol thread wakes whenever the application deposits data.
+    buffer_.set_data_available([this] {
+      if (request_.service_class.profile == ProtocolProfile::kWindowBased) {
+        refill_txq();
+        window_try_send();
+      } else if (!pacer_armed_) {
+        pacer_tick();
+      }
+    });
+    // Take the first (failing) pop now so the protocol thread is recorded
+    // as blocked on the empty ring and the producer's first push wakes it.
+    if (request_.service_class.profile == ProtocolProfile::kWindowBased) {
+      window_try_send();
+    } else {
+      pacer_tick();
+    }
+  } else {
+    // Sink: when the application frees ring space, move completed OSDUs in
+    // and tell the source about the new credit.
+    buffer_.set_space_available([this] {
+      push_delivery_queue();
+      if (request_.service_class.profile == ProtocolProfile::kRateBasedCm) send_feedback();
+    });
+    monitor_->begin(entity_.local_now());
+    schedule_monitor();
+    if (request_.service_class.profile == ProtocolProfile::kRateBasedCm) schedule_feedback();
+  }
+}
+
+void Connection::close() {
+  state_ = VcState::kClosed;
+  pacer_event_.cancel();
+  rto_event_.cancel();
+  feedback_event_.cancel();
+  monitor_event_.cancel();
+}
+
+void Connection::apply_new_qos(const QosParams& agreed) {
+  agreed_ = agreed;
+  if (monitor_) monitor_->set_agreed(agreed);
+}
+
+// ====================================================================
+// Application interface
+// ====================================================================
+
+bool Connection::submit(std::vector<std::uint8_t> data, std::uint64_t event) {
+  assert(role_ == VcRole::kSource);
+  Osdu osdu;
+  osdu.event = event;
+  osdu.src_timestamp = entity_.local_now();
+  osdu.true_submit = sched_.now();
+  osdu.data = std::move(data);
+  // The sequence number is stamped only if the push succeeds, so a refused
+  // submission does not burn a number.
+  osdu.seq = next_osdu_seq_;
+  if (!buffer_.try_push(std::move(osdu), sched_.now())) return false;
+  ++next_osdu_seq_;
+  ++stats_.osdus_submitted;
+  return true;
+}
+
+std::optional<Osdu> Connection::receive() {
+  assert(role_ == VcRole::kSink);
+  auto osdu = buffer_.try_pop(sched_.now());
+  if (osdu) {
+    last_delivered_seq_ = osdu->seq;
+    ++stats_.osdus_delivered;
+    if (on_osdu_delivered_) on_osdu_delivered_(*osdu, entity_.local_now());
+  }
+  return osdu;
+}
+
+// ====================================================================
+// Orchestrator interface
+// ====================================================================
+
+void Connection::pause_source(bool paused) {
+  assert(role_ == VcRole::kSource);
+  if (source_paused_ == paused) return;
+  source_paused_ = paused;
+  if (!paused) {
+    if (request_.service_class.profile == ProtocolProfile::kWindowBased) {
+      window_try_send();
+    } else if (!pacer_armed_) {
+      pacer_tick();
+    }
+  }
+}
+
+std::uint32_t Connection::drop_at_source(std::uint32_t n) {
+  assert(role_ == VcRole::kSource);
+  std::uint32_t dropped = 0;
+  while (dropped < n) {
+    auto victim = buffer_.drop_newest(sched_.now());
+    if (!victim) break;
+    ++dropped;
+    ++stats_.osdus_dropped_at_source;
+  }
+  return dropped;
+}
+
+void Connection::set_delivery_enabled(bool enabled) {
+  assert(role_ == VcRole::kSink);
+  buffer_.set_delivery_enabled(enabled, sched_.now());
+}
+
+void Connection::flush() {
+  const Time now = sched_.now();
+  if (role_ == VcRole::kSource) {
+    buffer_.flush(now);
+    txq_.clear();
+    retain_.clear();
+  } else {
+    buffer_.flush(now);
+    partials_.clear();
+    completed_.clear();
+    delivery_queue_.clear();
+    nak_tries_.clear();
+    // After a seek the source's sequence counters keep running; resync to
+    // whatever arrives next instead of treating the jump as loss.
+    next_deliver_seq_ = -1;
+    tpdu_resync_ = true;
+    last_hole_progress_ = now;
+    if (request_.service_class.profile == ProtocolProfile::kRateBasedCm) send_feedback();
+  }
+}
+
+// ====================================================================
+// Source side: segmentation and pacing
+// ====================================================================
+
+Duration Connection::tpdu_interval(std::uint16_t frag_count) const {
+  // Rate-based flow control in *logical units* (§3.7: "at each time period
+  // there will always be something to transmit (i.e. one logical unit)"):
+  // one OSDU period per OSDU, divided evenly over its fragments, modulated
+  // by receiver feedback.  Pacing by OSDUs rather than bytes keeps the
+  // stream rate exactly on contract regardless of VBR frame sizes.
+  const double rate = agreed_.osdu_rate * rate_factor_;
+  if (rate <= 0) return kFeedbackPeriod;
+  return static_cast<Duration>(1e9 / (rate * std::max<std::uint16_t>(1, frag_count)));
+}
+
+void Connection::refill_txq() {
+  // Keep at most one OSDU's worth of fragments staged; the rest stays in
+  // the shared ring where the orchestrator can still drop it.
+  if (!txq_.empty()) return;
+  auto osdu = buffer_.try_pop(sched_.now());
+  if (!osdu) return;  // protocol thread blocks on the empty ring
+  const std::size_t total = osdu->data.size();
+  const std::uint16_t frag_count =
+      static_cast<std::uint16_t>(total == 0 ? 1 : (total + kMaxTpduPayload - 1) / kMaxTpduPayload);
+  for (std::uint16_t f = 0; f < frag_count; ++f) {
+    DataTpdu dt;
+    dt.vc = id_;
+    dt.tpdu_seq = next_tpdu_seq_++;
+    dt.osdu_seq = osdu->seq;
+    dt.event = osdu->event;
+    dt.frag_index = f;
+    dt.frag_count = frag_count;
+    dt.src_timestamp = osdu->src_timestamp;
+    dt.true_submit = osdu->true_submit;
+    const std::size_t off = static_cast<std::size_t>(f) * kMaxTpduPayload;
+    const std::size_t len = std::min(kMaxTpduPayload, total - std::min(total, off));
+    dt.payload.assign(osdu->data.begin() + static_cast<std::ptrdiff_t>(off),
+                      osdu->data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    txq_.push_back(std::move(dt));
+  }
+}
+
+void Connection::send_data_tpdu(DataTpdu&& dt, bool retransmission) {
+  if (retransmission) {
+    dt.flags |= kDtRetransmission;
+    ++stats_.tpdus_retransmitted;
+  } else {
+    ++stats_.tpdus_sent;
+  }
+  // Retain a copy for NAK-driven recovery (bounded).
+  if (wants_correction(request_.service_class.error_control) ||
+      request_.service_class.profile == ProtocolProfile::kWindowBased) {
+    retain_[dt.tpdu_seq] = dt;
+    while (retain_.size() > retain_limit_) retain_.erase(retain_.begin());
+  }
+  entity_.send_tpdu(peer_node(), net::Proto::kTransportData, dt.encode(),
+                    net::Priority::kMedia);
+}
+
+void Connection::schedule_pacer(Duration delay) {
+  pacer_armed_ = true;
+  // The pacing interval is timed by the source node's hardware clock, so
+  // its drift skews the actual transmission rate (§3.6).
+  pacer_event_ = sched_.after(entity_.to_true(delay), [this] { pacer_tick(); });
+}
+
+void Connection::pacer_tick() {
+  pacer_armed_ = false;
+  if (state_ != VcState::kOpen || source_paused_) return;
+  if (receiver_full_ || rate_factor_ <= 0) return;  // resumed by feedback
+  if (txq_.empty()) refill_txq();
+  if (txq_.empty()) return;  // woken by data_available
+  DataTpdu dt = std::move(txq_.front());
+  txq_.pop_front();
+  const bool retrans = (dt.flags & kDtRetransmission) != 0;
+  const std::uint16_t frag_count = dt.frag_count;
+  send_data_tpdu(std::move(dt), retrans);
+  schedule_pacer(tpdu_interval(frag_count));
+}
+
+void Connection::window_try_send() {
+  if (state_ != VcState::kOpen || source_paused_) return;
+  for (;;) {
+    if (txq_.empty()) refill_txq();
+    if (txq_.empty()) return;
+    const std::uint32_t in_flight = txq_.front().tpdu_seq - send_base_;
+    if (in_flight >= window_credit_) return;  // window closed; wait for AK
+    DataTpdu dt = std::move(txq_.front());
+    txq_.pop_front();
+    send_data_tpdu(std::move(dt), false);
+    arm_retransmit_timer();
+  }
+}
+
+void Connection::arm_retransmit_timer() {
+  if (rto_event_.pending()) return;
+  rto_event_ = sched_.after(rto_, [this] { on_retransmit_timeout(); });
+}
+
+void Connection::on_retransmit_timeout() {
+  if (state_ != VcState::kOpen) return;
+  if (retain_.empty() || retain_.rbegin()->first < send_base_) return;  // all acked
+  // Go-back-N: burst-retransmit everything unacked that we still hold.
+  std::uint32_t resent = 0;
+  for (auto& [seq, dt] : retain_) {
+    if (seq < send_base_) continue;
+    if (resent >= window_credit_) break;
+    DataTpdu copy = dt;
+    send_data_tpdu(std::move(copy), true);
+    ++resent;
+  }
+  rto_ = std::min<Duration>(rto_ * 2, kSecond);
+  if (resent > 0) rto_event_ = sched_.after(rto_, [this] { on_retransmit_timeout(); });
+}
+
+void Connection::on_ack(const AckTpdu& ack) {
+  if (role_ != VcRole::kSource) return;
+  if (ack.cumulative_ack > send_base_) {
+    send_base_ = ack.cumulative_ack;
+    retain_.erase(retain_.begin(), retain_.lower_bound(send_base_));
+    rto_ = 200 * kMillisecond;
+    rto_event_.cancel();
+  }
+  window_credit_ = std::max<std::uint32_t>(1, ack.window);
+  window_try_send();
+  if (!retain_.empty() && retain_.rbegin()->first >= send_base_) arm_retransmit_timer();
+}
+
+void Connection::on_nak(const NakTpdu& nak) {
+  if (role_ != VcRole::kSource) return;
+  for (std::uint32_t seq : nak.missing) {
+    auto it = retain_.find(seq);
+    if (it == retain_.end()) continue;  // aged out; receiver will give up
+    DataTpdu copy = it->second;
+    copy.flags |= kDtRetransmission;
+    txq_.push_front(std::move(copy));
+  }
+  if (!pacer_armed_) pacer_tick();
+}
+
+void Connection::on_feedback(const FeedbackTpdu& fb) {
+  if (role_ != VcRole::kSource) return;
+  const bool was_stalled = receiver_full_ || rate_factor_ <= 0;
+  receiver_full_ = fb.paused != 0 || fb.free_slots == 0;
+  if (receiver_full_) {
+    rate_factor_ = 0;
+  } else {
+    const double free_frac =
+        fb.capacity ? static_cast<double>(fb.free_slots) / static_cast<double>(fb.capacity) : 1.0;
+    if (free_frac < 0.125) {
+      rate_factor_ = 0.25;
+    } else if (free_frac < 0.25) {
+      rate_factor_ = 0.5;
+    } else if (free_frac < 0.5) {
+      rate_factor_ = 0.9;
+    } else {
+      rate_factor_ = 1.0;
+    }
+  }
+  if (was_stalled && !receiver_full_ && rate_factor_ > 0 && !pacer_armed_) pacer_tick();
+}
+
+// ====================================================================
+// Sink side: reassembly, ordering, delivery, feedback
+// ====================================================================
+
+void Connection::on_data(const net::Packet& pkt) {
+  assert(role_ == VcRole::kSink);
+  auto dt = DataTpdu::decode(pkt.payload, pkt.corrupted);
+  if (!dt) {
+    ++stats_.tpdus_corrupt;
+    if (monitor_) monitor_->on_tpdu_corrupt();
+    // The sequence number is unreadable; recovery (if any) rides on the
+    // gap-detection path when the next good TPDU arrives.
+    return;
+  }
+  ++stats_.tpdus_received;
+  if (monitor_) {
+    monitor_->on_tpdu_received(static_cast<std::int64_t>(pkt.wire_size()));
+    monitor_->on_osdu_seen(dt->osdu_seq);
+  }
+
+  const bool window = request_.service_class.profile == ProtocolProfile::kWindowBased;
+  if (window) {
+    // Go-back-N: only the expected TPDU is accepted.
+    if (dt->tpdu_seq != expected_tpdu_seq_) {
+      AckTpdu ack;
+      ack.vc = id_;
+      ack.cumulative_ack = expected_tpdu_seq_;
+      ack.window = recv_window_granted_;
+      entity_.send_tpdu(peer_node(), net::Proto::kTransportData, ack.encode());
+      return;
+    }
+    ++expected_tpdu_seq_;
+  } else {
+    if (tpdu_resync_) {
+      // First TPDU after open or flush: adopt the source's counter.
+      tpdu_resync_ = false;
+      expected_tpdu_seq_ = dt->tpdu_seq + 1;
+    } else if (dt->tpdu_seq >= expected_tpdu_seq_) {
+      if (dt->tpdu_seq > expected_tpdu_seq_) note_gap(expected_tpdu_seq_, dt->tpdu_seq);
+      expected_tpdu_seq_ = dt->tpdu_seq + 1;
+    } else {
+      // A retransmission plugged a hole.
+      nak_tries_.erase(dt->tpdu_seq);
+    }
+  }
+
+  handle_data_tpdu(std::move(*dt), false, pkt.wire_size());
+
+  if (window) {
+    const std::uint16_t frags_per_osdu = static_cast<std::uint16_t>(std::max<std::int64_t>(
+        1, (agreed_.max_osdu_bytes + static_cast<std::int64_t>(kMaxTpduPayload) - 1) /
+               static_cast<std::int64_t>(kMaxTpduPayload)));
+    const std::size_t backlog = delivery_queue_.size();
+    const std::size_t free_for_net =
+        buffer_.free_slots() > backlog ? buffer_.free_slots() - backlog : 0;
+    recv_window_granted_ = static_cast<std::uint32_t>(
+        std::max<std::size_t>(1, free_for_net) * frags_per_osdu);
+    AckTpdu ack;
+    ack.vc = id_;
+    ack.cumulative_ack = expected_tpdu_seq_;
+    ack.window = recv_window_granted_;
+    entity_.send_tpdu(peer_node(), net::Proto::kTransportData, ack.encode());
+  }
+}
+
+void Connection::note_gap(std::uint32_t from_seq, std::uint32_t to_seq) {
+  const std::int64_t n = static_cast<std::int64_t>(to_seq) - from_seq;
+  if (n <= 0) return;
+  if (wants_correction(request_.service_class.error_control)) {
+    NakTpdu nak;
+    nak.vc = id_;
+    for (std::uint32_t s = from_seq; s != to_seq; ++s) {
+      if (nak_tries_.emplace(s, 1).second) nak.missing.push_back(s);
+    }
+    if (!nak.missing.empty())
+      entity_.send_tpdu(peer_node(), net::Proto::kTransportData, nak.encode());
+  } else {
+    stats_.tpdus_lost += n;
+    if (monitor_) monitor_->on_tpdu_lost(n);
+  }
+}
+
+void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes) {
+  (void)corrupted;
+  (void)wire_bytes;
+  if (next_deliver_seq_ >= 0 && static_cast<std::int64_t>(dt.osdu_seq) < next_deliver_seq_)
+    return;  // stale (late retransmission of already-skipped data)
+
+  Partial& p = partials_[dt.osdu_seq];
+  if (p.frag_count == 0) {
+    p.frag_count = dt.frag_count;
+    p.frags.resize(dt.frag_count);
+    p.event = dt.event;
+    p.src_timestamp = dt.src_timestamp;
+    p.true_submit = dt.true_submit;
+  }
+  if (dt.frag_index >= p.frags.size()) return;  // malformed
+  if (!p.frags[dt.frag_index].empty() || (p.frag_count == 1 && p.frags_received > 0))
+    return;  // duplicate fragment
+  p.frags[dt.frag_index] = std::move(dt.payload);
+  ++p.frags_received;
+  if (p.frags_received == p.frag_count) complete_osdu(dt.osdu_seq);
+}
+
+void Connection::complete_osdu(std::uint32_t osdu_seq) {
+  auto it = partials_.find(osdu_seq);
+  assert(it != partials_.end());
+  Partial p = std::move(it->second);
+  partials_.erase(it);
+
+  Osdu osdu;
+  osdu.seq = osdu_seq;
+  osdu.event = p.event;
+  osdu.src_timestamp = p.src_timestamp;
+  osdu.true_submit = p.true_submit;
+  std::size_t total = 0;
+  for (const auto& f : p.frags) total += f.size();
+  osdu.data.reserve(total);
+  for (auto& f : p.frags) osdu.data.insert(osdu.data.end(), f.begin(), f.end());
+
+  ++stats_.osdus_completed;
+  highest_completed_seq_ = std::max<std::int64_t>(highest_completed_seq_, osdu_seq);
+  if (monitor_) monitor_->on_osdu_completed(entity_.local_now() - p.src_timestamp);
+  if (on_osdu_arrival_) on_osdu_arrival_(osdu);
+
+  completed_.emplace(osdu_seq, std::move(osdu));
+  deliver_ready();
+}
+
+void Connection::deliver_ready() {
+  if (next_deliver_seq_ < 0 && !completed_.empty()) {
+    // Resync after open/flush: adopt the first completed OSDU as the base.
+    next_deliver_seq_ = completed_.begin()->first;
+  }
+  for (;;) {
+    auto it = completed_.find(static_cast<std::uint32_t>(next_deliver_seq_));
+    if (it == completed_.end()) {
+      // If the hole below the next completed OSDU cannot be explained by an
+      // outstanding transport-level recovery, the source dropped those
+      // OSDUs deliberately (Orch.Regulate max-drop#): skip ahead at once.
+      if (!completed_.empty() && nak_tries_.empty()) {
+        bool partial_below = false;
+        const std::uint32_t first_ready = completed_.begin()->first;
+        for (auto& [seq, _] : partials_) {
+          if (static_cast<std::int64_t>(seq) >= next_deliver_seq_ && seq < first_ready) {
+            partial_below = true;
+            break;
+          }
+        }
+        if (!partial_below) {
+          stats_.osdus_skipped += first_ready - next_deliver_seq_;
+          next_deliver_seq_ = first_ready;
+          continue;
+        }
+      }
+      break;
+    }
+    delivery_queue_.push_back(std::move(it->second));
+    completed_.erase(it);
+    ++next_deliver_seq_;
+    last_hole_progress_ = sched_.now();
+  }
+  push_delivery_queue();
+}
+
+void Connection::push_delivery_queue() {
+  while (!delivery_queue_.empty()) {
+    if (!buffer_.try_push(delivery_queue_.front(), sched_.now())) break;
+    delivery_queue_.pop_front();
+  }
+}
+
+void Connection::give_up_on_holes() {
+  if (state_ != VcState::kOpen) return;
+  const Time now = sched_.now();
+  // Retry or abandon outstanding NAKs.
+  if (!nak_tries_.empty() && now - last_hole_progress_ > kNakRetryAfter) {
+    NakTpdu nak;
+    nak.vc = id_;
+    std::int64_t abandoned = 0;
+    for (auto it = nak_tries_.begin(); it != nak_tries_.end();) {
+      if (it->second >= kNakMaxTries) {
+        ++abandoned;
+        it = nak_tries_.erase(it);
+      } else {
+        ++it->second;
+        nak.missing.push_back(it->first);
+        ++it;
+      }
+    }
+    if (!nak.missing.empty())
+      entity_.send_tpdu(peer_node(), net::Proto::kTransportData, nak.encode());
+    if (abandoned > 0) {
+      stats_.tpdus_lost += abandoned;
+      if (monitor_) monitor_->on_tpdu_lost(abandoned);
+    }
+  }
+  // Skip over OSDU holes that have stalled delivery beyond the jitter
+  // budget: continuous media must keep moving.
+  const Duration hole_timeout =
+      std::max<Duration>(50 * kMillisecond, 2 * agreed_.delay_jitter);
+  if (!completed_.empty() && next_deliver_seq_ >= 0 &&
+      completed_.begin()->first > static_cast<std::uint32_t>(next_deliver_seq_) &&
+      now - last_hole_progress_ > hole_timeout) {
+    const std::uint32_t first_ready = completed_.begin()->first;
+    stats_.osdus_skipped += first_ready - next_deliver_seq_;
+    // Purge partials below the skip point.
+    for (auto it = partials_.begin(); it != partials_.end();) {
+      it = it->first < first_ready ? partials_.erase(it) : std::next(it);
+    }
+    next_deliver_seq_ = first_ready;
+    last_hole_progress_ = now;
+    deliver_ready();
+  }
+}
+
+void Connection::send_feedback() {
+  if (state_ != VcState::kOpen) return;
+  FeedbackTpdu fb;
+  fb.vc = id_;
+  const std::size_t backlog = delivery_queue_.size();
+  const std::size_t free = buffer_.free_slots();
+  fb.free_slots = static_cast<std::uint32_t>(free > backlog ? free - backlog : 0);
+  fb.capacity = static_cast<std::uint32_t>(buffer_.capacity());
+  fb.highest_osdu = static_cast<std::uint32_t>(std::max<std::int64_t>(0, highest_completed_seq_));
+  fb.paused = 0;
+  entity_.send_tpdu(peer_node(), net::Proto::kTransportData, fb.encode());
+}
+
+void Connection::schedule_feedback() {
+  feedback_event_ = sched_.after(kFeedbackPeriod, [this] {
+    if (state_ != VcState::kOpen) return;
+    send_feedback();
+    give_up_on_holes();
+    schedule_feedback();
+  });
+}
+
+void Connection::schedule_monitor() {
+  monitor_event_ = sched_.after(request_.sample_period, [this] {
+    if (state_ != VcState::kOpen) return;
+    monitor_->end_period(entity_.local_now());
+    schedule_monitor();
+  });
+}
+
+}  // namespace cmtos::transport

@@ -1,0 +1,237 @@
+// cmtos/transport/connection.h
+//
+// One endpoint of a simplex virtual circuit (§3.1): the data plane.
+//
+// A Connection exists at the source node (role kSource: consumes OSDUs from
+// the shared send ring, segments them into data TPDUs, paces them with
+// rate-based flow control or the window-based baseline, retains recent
+// TPDUs for NAK-driven retransmission) and at the sink node (role kSink:
+// verifies CRCs, detects gaps, reassembles OSDUs preserving boundaries,
+// delivers them in sequence order into the shared receive ring, runs the
+// QoS monitor, and generates rate feedback).
+//
+// The low-level orchestrator attaches here: delivery hold (prime / stop),
+// drop-at-source, pause, flush, position queries and per-OSDU hooks are all
+// Connection operations.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/address.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "transport/monitor.h"
+#include "transport/osdu.h"
+#include "transport/service.h"
+#include "transport/stream_buffer.h"
+#include "transport/tpdu.h"
+
+namespace cmtos::transport {
+
+class TransportEntity;
+
+enum class VcRole : std::uint8_t { kSource, kSink };
+enum class VcState : std::uint8_t { kConnecting, kOpen, kClosing, kClosed };
+
+struct VcStats {
+  // Source side.
+  std::int64_t osdus_submitted = 0;
+  std::int64_t osdus_dropped_at_source = 0;
+  std::int64_t tpdus_sent = 0;
+  std::int64_t tpdus_retransmitted = 0;
+  // Sink side.
+  std::int64_t tpdus_received = 0;
+  std::int64_t tpdus_corrupt = 0;
+  std::int64_t tpdus_lost = 0;            // detected via gaps, never recovered
+  std::int64_t osdus_completed = 0;       // fully reassembled
+  std::int64_t osdus_skipped = 0;         // holes given up on (incl. source drops)
+  std::int64_t osdus_delivered = 0;       // popped by the application
+};
+
+class Connection {
+ public:
+  Connection(TransportEntity& entity, VcId id, VcRole role, const ConnectRequest& request,
+             const QosParams& agreed, net::ReservationId reservation);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  VcId id() const { return id_; }
+  VcRole role() const { return role_; }
+  VcState state() const { return state_; }
+  const ConnectRequest& request() const { return request_; }
+  const QosParams& agreed_qos() const { return agreed_; }
+  net::ReservationId reservation() const { return reservation_; }
+  const VcStats& stats() const { return stats_; }
+  QosMonitor* monitor() { return monitor_.get(); }
+
+  /// The peer endpoint's node (sink node for a source connection and vice
+  /// versa).
+  net::NodeId peer_node() const;
+  net::NodeId local_node() const;
+
+  // ------------------------------------------------------------------
+  // Application (user-thread) interface — the shared circular buffer.
+  // ------------------------------------------------------------------
+
+  /// Source: submits one OSDU.  The transport stamps the sequence number
+  /// and the source-local timestamp.  Returns false when the send ring is
+  /// full (the producer block episode starts; retry on space-available).
+  bool submit(std::vector<std::uint8_t> data, std::uint64_t event = 0);
+
+  /// Sink: takes the next in-order OSDU, or nullopt when none is available
+  /// or delivery is held by the orchestrator.
+  std::optional<Osdu> receive();
+
+  /// Direct access to the shared ring (for callbacks and stats).
+  StreamBuffer& buffer() { return buffer_; }
+  const StreamBuffer& buffer() const { return buffer_; }
+
+  // ------------------------------------------------------------------
+  // Orchestrator (LLO) interface.
+  // ------------------------------------------------------------------
+
+  /// Source: freeze/unfreeze TPDU emission (Orch.Stop / Orch.Start act on
+  /// the source through the protocol's flow-control machinery).
+  void pause_source(bool paused);
+  bool source_paused() const { return source_paused_; }
+
+  /// Source: discards up to `n` not-yet-transmitted OSDUs from the send
+  /// ring ("performed at the source by incrementing the source shared
+  /// buffer pointer", §6.3.1.1).  Returns the number actually discarded.
+  std::uint32_t drop_at_source(std::uint32_t n);
+
+  /// Sink: gate between the receive ring and the application (prime/stop).
+  void set_delivery_enabled(bool enabled);
+
+  /// Flushes buffered data at this endpoint: send ring (source) or receive
+  /// ring + reassembly state (sink).  Used when re-priming after a seek so
+  /// no stale media plays (§6.2.1).
+  void flush();
+
+  /// Sink: sequence number of the last OSDU handed to the application, or
+  /// -1 if none yet.  This is the position the Orch.Regulate target refers
+  /// to.
+  std::int64_t last_delivered_seq() const { return last_delivered_seq_; }
+
+  /// Sink: highest OSDU sequence number fully reassembled so far (-1 none).
+  std::int64_t highest_completed_seq() const { return highest_completed_seq_; }
+
+  /// Sink hook: fires when an OSDU completes reassembly (before delivery);
+  /// the LLO's Orch.Event matcher attaches here (§6.3.4: matched against
+  /// "incoming OSDUs", so matching must not wait for the app to read).
+  void set_on_osdu_arrival(std::function<void(const Osdu&)> fn) {
+    on_osdu_arrival_ = std::move(fn);
+  }
+
+  /// Sink hook: fires when the application pops an OSDU.
+  void set_on_osdu_delivered(std::function<void(const Osdu&, Time local_now)> fn) {
+    on_osdu_delivered_ = std::move(fn);
+  }
+
+  // ------------------------------------------------------------------
+  // Entity-internal interface.
+  // ------------------------------------------------------------------
+
+  /// Transitions kConnecting -> kOpen and starts timers (pacer at the
+  /// source; feedback + monitor timers at the sink).
+  void open();
+
+  /// Stops all activity; the entity removes the connection afterwards.
+  void close();
+
+  /// Applies a renegotiated contract (keeps buffers, seq numbers, state).
+  void apply_new_qos(const QosParams& agreed);
+
+  /// Incoming data-plane TPDUs, dispatched by the entity.
+  void on_data(const net::Packet& pkt);
+  void on_ack(const AckTpdu& ack);
+  void on_nak(const NakTpdu& nak);
+  void on_feedback(const FeedbackTpdu& fb);
+
+ private:
+  // --- source side ---
+  void pacer_tick();
+  void schedule_pacer(Duration delay);
+  void refill_txq();
+  Duration tpdu_interval(std::uint16_t frag_count) const;
+  void send_data_tpdu(DataTpdu&& dt, bool retransmission);
+  void window_try_send();
+  void arm_retransmit_timer();
+  void on_retransmit_timeout();
+
+  // --- sink side ---
+  void handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes);
+  void note_gap(std::uint32_t from_seq, std::uint32_t to_seq);
+  void complete_osdu(std::uint32_t osdu_seq);
+  void deliver_ready();
+  void push_delivery_queue();
+  void send_feedback();
+  void schedule_feedback();
+  void schedule_monitor();
+  void give_up_on_holes();
+
+  TransportEntity& entity_;
+  sim::Scheduler& sched_;
+  VcId id_;
+  VcRole role_;
+  VcState state_ = VcState::kConnecting;
+  ConnectRequest request_;
+  QosParams agreed_;
+  net::ReservationId reservation_;
+  VcStats stats_;
+
+  StreamBuffer buffer_;
+
+  // === source state ===
+  bool source_paused_ = false;
+  bool pacer_armed_ = false;
+  std::uint32_t next_osdu_seq_ = 0;     // stamped on submit()
+  std::uint32_t next_tpdu_seq_ = 0;
+  std::deque<DataTpdu> txq_;            // fragments awaiting (re)transmission
+  std::map<std::uint32_t, DataTpdu> retain_;  // sent TPDUs kept for NAK service
+  std::size_t retain_limit_ = 512;
+  double rate_factor_ = 1.0;            // receiver-feedback modulation (rate profile)
+  bool receiver_full_ = false;
+  sim::EventHandle pacer_event_;
+  // window profile:
+  std::uint32_t send_base_ = 0;         // oldest unacked TPDU seq
+  std::uint32_t window_credit_ = 8;     // receiver-granted window (TPDUs)
+  sim::EventHandle rto_event_;
+  Duration rto_ = 200 * kMillisecond;
+
+  // === sink state ===
+  struct Partial {
+    std::uint16_t frag_count = 0;
+    std::uint16_t frags_received = 0;
+    std::uint64_t event = 0;
+    Time src_timestamp = 0;
+    Time true_submit = 0;
+    std::vector<std::vector<std::uint8_t>> frags;
+  };
+  std::uint32_t expected_tpdu_seq_ = 0;
+  bool tpdu_resync_ = true;  // adopt the next TPDU's seq (fresh open / after flush)
+  std::map<std::uint32_t, Partial> partials_;       // osdu_seq -> partial
+  std::map<std::uint32_t, Osdu> completed_;         // awaiting in-order delivery
+  std::deque<Osdu> delivery_queue_;                 // ready, waiting for ring space
+  std::int64_t next_deliver_seq_ = 0;               // next expected OSDU seq
+  std::int64_t last_delivered_seq_ = -1;
+  std::int64_t highest_completed_seq_ = -1;
+  std::map<std::uint32_t, int> nak_tries_;          // tpdu seq -> attempts
+  Time last_hole_progress_ = 0;
+  std::uint32_t recv_window_granted_ = 8;
+  sim::EventHandle feedback_event_;
+  sim::EventHandle monitor_event_;
+  std::unique_ptr<QosMonitor> monitor_;
+  std::function<void(const Osdu&)> on_osdu_arrival_;
+  std::function<void(const Osdu&, Time)> on_osdu_delivered_;
+};
+
+}  // namespace cmtos::transport

@@ -1,0 +1,85 @@
+#include "transport/monitor.h"
+
+#include <algorithm>
+
+namespace cmtos::transport {
+
+QosMonitor::QosMonitor(VcId vc, QosParams agreed, Duration sample_period)
+    : vc_(vc), agreed_(agreed), sample_period_(sample_period) {}
+
+void QosMonitor::on_osdu_completed(Duration end_to_end_delay) {
+  ++osdus_;
+  delay_.add(static_cast<double>(end_to_end_delay));
+}
+
+void QosMonitor::on_tpdu_received(std::int64_t wire_bytes) {
+  ++tpdus_received_;
+  bits_received_ += wire_bytes * 8;
+}
+
+void QosMonitor::on_tpdu_lost(std::int64_t count) { tpdus_lost_ += count; }
+
+void QosMonitor::on_tpdu_corrupt() { ++tpdus_corrupt_; }
+
+void QosMonitor::on_osdu_seen(std::uint32_t seq) {
+  const auto s = static_cast<std::int64_t>(seq);
+  if (min_seq_seen_ < 0 || s < min_seq_seen_) min_seq_seen_ = s;
+  if (s > max_seq_seen_) max_seq_seen_ = s;
+}
+
+void QosMonitor::end_period(Time local_now) {
+  QosReport rep;
+  rep.vc = vc_;
+  rep.sample_period = local_now - period_start_;
+  rep.agreed = agreed_;
+
+  const double period_s = to_seconds(rep.sample_period);
+  rep.measured_osdu_rate = period_s > 0 ? static_cast<double>(osdus_) / period_s : 0.0;
+  rep.measured_mean_delay = static_cast<Duration>(delay_.mean());
+  rep.measured_jitter = static_cast<Duration>(delay_.max() - delay_.min());
+  const std::int64_t expected = tpdus_received_ + tpdus_lost_ + tpdus_corrupt_;
+  rep.measured_packet_error_rate =
+      expected > 0 ? static_cast<double>(tpdus_lost_ + tpdus_corrupt_) /
+                         static_cast<double>(expected)
+                   : 0.0;
+  rep.measured_bit_error_rate =
+      bits_received_ > 0 ? static_cast<double>(tpdus_corrupt_) / static_cast<double>(bits_received_)
+                         : 0.0;
+
+  // Tolerance comparison.  A 5% grace margin on throughput avoids spurious
+  // indications from sample-period boundary effects.  Throughput is judged
+  // against the offered load (the OSDU seq span observed this period): an
+  // application that submits below the contract is not a provider fault.
+  const double offered_rate =
+      (min_seq_seen_ >= 0 && period_s > 0)
+          ? static_cast<double>(max_seq_seen_ - min_seq_seen_ + 1) / period_s
+          : 0.0;
+  const double demand = std::min(offered_rate, agreed_.osdu_rate);
+  rep.violations.throughput =
+      demand > 0 && rep.measured_osdu_rate < demand * 0.95 &&
+      rep.measured_osdu_rate < agreed_.osdu_rate * 0.95;
+  rep.violations.delay = rep.measured_mean_delay > agreed_.end_to_end_delay;
+  rep.violations.jitter = rep.measured_jitter > agreed_.delay_jitter;
+  rep.violations.packet_errors = rep.measured_packet_error_rate > agreed_.packet_error_rate;
+  rep.violations.bit_errors = rep.measured_bit_error_rate > agreed_.bit_error_rate;
+
+  if (on_sample_) on_sample_(rep);
+  if (warmup_left_ > 0) {
+    --warmup_left_;
+  } else if (rep.violations.any() && on_violation_) {
+    on_violation_(rep);
+  }
+
+  // Reset window.
+  period_start_ = local_now;
+  osdus_ = 0;
+  min_seq_seen_ = -1;
+  max_seq_seen_ = -1;
+  delay_.reset();
+  tpdus_received_ = 0;
+  bits_received_ = 0;
+  tpdus_lost_ = 0;
+  tpdus_corrupt_ = 0;
+}
+
+}  // namespace cmtos::transport

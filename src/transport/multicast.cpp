@@ -1,0 +1,99 @@
+#include "transport/multicast.h"
+
+#include "util/logging.h"
+
+namespace cmtos::transport {
+
+MulticastGroup::MulticastGroup(TransportEntity& entity, net::Tsap src_tsap)
+    : entity_(entity), src_tsap_(src_tsap) {
+  entity_.bind(src_tsap_, this);
+}
+
+MulticastGroup::~MulticastGroup() {
+  for (auto& [dst, m] : members_) {
+    if (m.connected) entity_.t_disconnect_request(m.vc);
+  }
+  entity_.unbind(src_tsap_);
+}
+
+void MulticastGroup::add_member(const net::NetAddress& dst,
+                                const ConnectRequest& request_template, MemberFn done) {
+  if (members_.contains(dst)) {
+    if (done) done(dst, false, {});
+    return;
+  }
+  ConnectRequest req = request_template;
+  req.initiator = req.src = {entity_.node_id(), src_tsap_};
+  req.dst = dst;
+  Member m;
+  m.dst = dst;
+  m.done = std::move(done);
+  m.vc = entity_.t_connect_request(req);
+  by_vc_[m.vc] = dst;
+  members_[dst] = std::move(m);
+}
+
+void MulticastGroup::remove_member(const net::NetAddress& dst) {
+  auto it = members_.find(dst);
+  if (it == members_.end()) return;
+  if (it->second.connected) entity_.t_disconnect_request(it->second.vc);
+  by_vc_.erase(it->second.vc);
+  members_.erase(it);
+}
+
+int MulticastGroup::submit(const std::vector<std::uint8_t>& data, std::uint64_t event) {
+  int accepted = 0;
+  for (auto& [dst, m] : members_) {
+    if (!m.connected) continue;
+    Connection* conn = entity_.source(m.vc);
+    if (conn == nullptr) continue;
+    if (conn->submit(data, event)) ++accepted;
+  }
+  return accepted;
+}
+
+VcId MulticastGroup::member_vc(const net::NetAddress& dst) const {
+  auto it = members_.find(dst);
+  return it == members_.end() ? kInvalidVc : it->second.vc;
+}
+
+std::vector<orch::OrchStreamSpec> MulticastGroup::orch_specs(
+    std::uint32_t max_drop_per_interval) const {
+  std::vector<orch::OrchStreamSpec> specs;
+  for (const auto& [dst, m] : members_) {
+    if (!m.connected) continue;
+    orch::OrchStreamSpec s;
+    s.vc = {m.vc, entity_.node_id(), dst.node};
+    s.osdu_rate = m.agreed.osdu_rate;
+    s.max_drop_per_interval = max_drop_per_interval;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+void MulticastGroup::t_connect_confirm(VcId vc, const QosParams& agreed) {
+  auto it = by_vc_.find(vc);
+  if (it == by_vc_.end()) return;
+  Member& m = members_.at(it->second);
+  m.connected = true;
+  m.agreed = agreed;
+  if (m.done) m.done(m.dst, true, agreed);
+}
+
+void MulticastGroup::t_disconnect_indication(VcId vc, DisconnectReason reason) {
+  auto it = by_vc_.find(vc);
+  if (it == by_vc_.end()) return;
+  Member& m = members_.at(it->second);
+  if (!m.connected) {
+    // Connect failed for this member; the group carries on without it.
+    if (m.done) m.done(m.dst, false, {});
+    CMTOS_DEBUG("multicast", "member connect failed: %s",
+                transport::to_string(reason).c_str());
+  } else {
+    m.connected = false;
+  }
+  members_.erase(it->second);
+  by_vc_.erase(it);
+}
+
+}  // namespace cmtos::transport

@@ -1,0 +1,85 @@
+// cmtos/transport/multicast.h
+//
+// 1:N continuous-media multicast (§3.8): "in a CM based multicast session
+// a simple 1:N topology is usually all that is required.  Appropriate
+// support for group addressing must be provided in the transport layer,
+// but multicast support will be the responsibility of the underlying
+// communications sub-system."
+//
+// MulticastGroup is that transport-layer group addressing: one source
+// endpoint, N member VCs, a single submit() that fans the OSDU to every
+// member.  Replication happens at the source end-system (our simulated
+// network has no multicast trees; see DESIGN.md).  Each member keeps its
+// own QoS contract, flow control and error-control class, so a slow or
+// lossy member never stalls the others — the §3.6 argument against
+// multiplexing applied to fan-out.
+//
+// Orchestrating a group is the language-lab pattern: all member VCs share
+// the source node, which the HLO therefore picks as the orchestrating
+// node.  orch_specs() hands the member geometry to the orchestrator.
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "orch/hlo_agent.h"
+#include "transport/transport_entity.h"
+
+namespace cmtos::transport {
+
+class MulticastGroup : public TransportUser {
+ public:
+  using MemberFn = std::function<void(const net::NetAddress& dst, bool ok,
+                                      const QosParams& agreed)>;
+
+  /// Binds the group as the transport user of `src_tsap` on the source
+  /// entity.  All member VCs originate from that endpoint.
+  MulticastGroup(TransportEntity& entity, net::Tsap src_tsap);
+  ~MulticastGroup() override;
+
+  MulticastGroup(const MulticastGroup&) = delete;
+  MulticastGroup& operator=(const MulticastGroup&) = delete;
+
+  /// Connects a new member.  Each member negotiates its own contract from
+  /// `qos` (a slow path degrades only that member).
+  void add_member(const net::NetAddress& dst, const ConnectRequest& request_template,
+                  MemberFn done = nullptr);
+
+  /// Releases one member's VC; the rest keep flowing.
+  void remove_member(const net::NetAddress& dst);
+
+  /// Fans one OSDU out to every connected member.  Returns the number of
+  /// members whose send ring accepted it (a full member ring drops — the
+  /// group never blocks on its slowest member).
+  int submit(const std::vector<std::uint8_t>& data, std::uint64_t event = 0);
+
+  std::size_t member_count() const { return members_.size(); }
+  /// VC of a member, or kInvalidVc.
+  VcId member_vc(const net::NetAddress& dst) const;
+  /// Geometry + per-member agreed rate for the orchestrator.
+  std::vector<orch::OrchStreamSpec> orch_specs(std::uint32_t max_drop_per_interval = 0) const;
+
+  // --- TransportUser ---
+  void t_connect_indication(VcId, const ConnectRequest&) override {}
+  void t_connect_confirm(VcId vc, const QosParams& agreed) override;
+  void t_disconnect_indication(VcId vc, DisconnectReason reason) override;
+
+ private:
+  struct Member {
+    net::NetAddress dst;
+    VcId vc = kInvalidVc;
+    bool connected = false;
+    QosParams agreed;
+    MemberFn done;
+  };
+
+  TransportEntity& entity_;
+  net::Tsap src_tsap_;
+  std::map<net::NetAddress, Member> members_;
+  std::map<VcId, net::NetAddress> by_vc_;
+};
+
+}  // namespace cmtos::transport

@@ -1,0 +1,42 @@
+// cmtos/transport/osdu.h
+//
+// The logical data unit of §3.7/§5: "At the data transfer interface we
+// support the notion of logical data units for structuring CM.  The
+// boundaries of these units are preserved irrespective of their size in
+// bytes."  Each OSDU travels with a small OPDU (sequence-number and event
+// fields, §5) which the orchestration service reads.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.h"
+
+namespace cmtos::transport {
+
+struct Osdu {
+  /// OSDU sequence number; "starts from zero from when the connection is
+  /// first used" (§5).  Maintained by the transport service, not the user:
+  /// the source endpoint stamps it on submission.
+  std::uint32_t seq = 0;
+
+  /// Event field of the per-OSDU OPDU: "may optionally be set by the source
+  /// application thread when writing an OSDU" and matched at the sink
+  /// against patterns registered with Orch.Event (§6.3.4).  0 = no event.
+  std::uint64_t event = 0;
+
+  /// Source node's *local* clock reading when the application submitted the
+  /// OSDU.  Carried on the wire (like an RTP timestamp) so the sink can
+  /// estimate delay and jitter.
+  Time src_timestamp = 0;
+
+  /// Media payload.  Boundaries are preserved end to end.
+  std::vector<std::uint8_t> data;
+
+  // --- simulation-side metadata (not on the wire) ---
+  /// True simulation time of submission, for ground-truth delay metrics.
+  Time true_submit = 0;
+};
+
+}  // namespace cmtos::transport

@@ -1,0 +1,154 @@
+// cmtos/transport/service.h
+//
+// The transport service interface: the OSI-style primitives of Tables 1-3,
+// the class-of-service / protocol-profile selection of §3.4, and the
+// TransportUser callback interface through which indications and confirms
+// are delivered to the transport user (a Stream object, in the Lancaster
+// platform; applications never see this interface directly, §4.1).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "net/address.h"
+#include "transport/qos.h"
+#include "util/time.h"
+
+namespace cmtos::transport {
+
+/// Globally unique virtual-circuit identifier (allocating node id in the
+/// high 32 bits, per-node counter in the low 32).
+using VcId = std::uint64_t;
+inline constexpr VcId kInvalidVc = 0;
+
+/// §3.4: different protocols for different traffic types within a protocol
+/// matrix.  kRateBasedCm is the paper's CM protocol ([Shepherd,91]-like,
+/// rate-based flow control); kWindowBased is the conventional baseline the
+/// paper argues against for CM, kept for the A2 ablation.
+enum class ProtocolProfile : std::uint8_t {
+  kRateBasedCm = 0,
+  kWindowBased = 1,
+};
+
+/// §3.4: user-oriented error-control class selection: "(i) error detection
+/// and indication, (ii) error detection and correction, and (iii) error
+/// detection, correction, and indication."
+enum class ErrorControl : std::uint8_t {
+  kNone = 0,                 // detect and silently drop
+  kIndicate = 1,             // (i)
+  kCorrect = 2,              // (ii)
+  kCorrectAndIndicate = 3,   // (iii)
+};
+
+constexpr bool wants_indication(ErrorControl e) {
+  return e == ErrorControl::kIndicate || e == ErrorControl::kCorrectAndIndicate;
+}
+constexpr bool wants_correction(ErrorControl e) {
+  return e == ErrorControl::kCorrect || e == ErrorControl::kCorrectAndIndicate;
+}
+
+struct ServiceClass {
+  ProtocolProfile profile = ProtocolProfile::kRateBasedCm;
+  ErrorControl error_control = ErrorControl::kIndicate;
+};
+
+/// Parameters of T-Connect.request (Table 1).  Three addresses support the
+/// remote connection facility of §3.5 / Fig 2: `initiator` is the caller,
+/// `src`/`dst` are the endpoints to be connected.  For a conventional
+/// connect the caller "simply sets the initiator to be the same as the
+/// source address".
+struct ConnectRequest {
+  net::NetAddress initiator;
+  net::NetAddress src;
+  net::NetAddress dst;
+  ServiceClass service_class;
+  QosTolerance qos;
+  /// QoS-monitor sample period for T-QoS.indication generation (Table 2).
+  Duration sample_period = 500 * kMillisecond;
+  /// Receive/send ring capacity in OSDU slots.
+  std::uint32_t buffer_osdus = 16;
+};
+
+enum class DisconnectReason : std::uint8_t {
+  kUserInitiated = 0,
+  kRejectedByUser = 1,
+  kNoResources = 2,         // admission control refused the reservation
+  kUnreachable = 3,
+  kQosUnachievable = 4,     // tolerance cannot be met even degraded
+  kRenegotiationFailed = 5, // T-Renegotiate rejected; the VC itself survives
+  kProtocolError = 6,
+  kNoSuchTsap = 7,
+};
+
+std::string to_string(DisconnectReason r);
+
+/// Measured QoS over one sample period, reported via T-QoS.indication
+/// (Table 2) when the contract is violated and the service class includes
+/// indication.
+struct QosReport {
+  VcId vc = kInvalidVc;
+  Duration sample_period = 0;
+  QosParams agreed;          // the contracted tolerance actually in force
+  // Measured values over the period:
+  double measured_osdu_rate = 0;
+  Duration measured_mean_delay = 0;
+  Duration measured_jitter = 0;
+  double measured_packet_error_rate = 0;
+  double measured_bit_error_rate = 0;
+  QosViolation violations;   // which tolerance levels were violated
+};
+
+/// Callback interface implemented by transport users (Stream objects, test
+/// fixtures, the orchestrator's control plane).  Methods correspond 1:1 to
+/// the indication/confirm primitives of Tables 1-3.
+class TransportUser {
+ public:
+  virtual ~TransportUser() = default;
+
+  /// T-Connect.indication: a connect (possibly remote-initiated) addressed
+  /// to a TSAP bound by this user.  Respond via TransportEntity::
+  /// connect_response / disconnect_request.
+  virtual void t_connect_indication(VcId vc, const ConnectRequest& req) = 0;
+
+  /// T-Connect.confirm (delivered to the initiator; for a remote connect
+  /// also to the source, §3.5: "passes all management responses ... to both
+  /// the initiator and source addresses").
+  virtual void t_connect_confirm(VcId vc, const QosParams& agreed) = 0;
+
+  /// T-Disconnect.indication.
+  virtual void t_disconnect_indication(VcId vc, DisconnectReason reason) = 0;
+
+  /// T-QoS.indication (Table 2): contracted QoS degraded.
+  virtual void t_qos_indication(VcId vc, const QosReport& report) {
+    (void)vc;
+    (void)report;
+  }
+
+  /// T-Renegotiate.indication (Table 3): the peer (or the provider)
+  /// proposes new tolerance levels.  Respond via TransportEntity::
+  /// renegotiate_response.
+  virtual void t_renegotiate_indication(VcId vc, const QosTolerance& proposed) {
+    (void)vc;
+    (void)proposed;
+  }
+
+  /// T-Renegotiate.confirm: the new contract now in force.
+  virtual void t_renegotiate_confirm(VcId vc, bool accepted, const QosParams& agreed) {
+    (void)vc;
+    (void)accepted;
+    (void)agreed;
+  }
+
+  /// T-Unitdata.indication: a best-effort datagram arrived at a TSAP this
+  /// user is bound to.
+  virtual void t_unitdata_indication(const net::NetAddress& from, net::Tsap dst_tsap,
+                                     std::span<const std::uint8_t> data) {
+    (void)from;
+    (void)dst_tsap;
+    (void)data;
+  }
+};
+
+}  // namespace cmtos::transport

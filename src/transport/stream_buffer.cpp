@@ -1,0 +1,89 @@
+#include "transport/stream_buffer.h"
+
+namespace cmtos::transport {
+
+bool StreamBuffer::try_push(Osdu osdu, Time now) {
+  if (ring_.full()) {
+    if (producer_blocked_since_ == kTimeNever) producer_blocked_since_ = now;
+    return false;
+  }
+  ring_.push(std::move(osdu));
+  note_push_success(now);
+  const bool full_now = ring_.full();
+  if (consumer_blocked_since_ != kTimeNever && data_available_) data_available_();
+  if (full_now && became_full_) became_full_();
+  return true;
+}
+
+std::optional<Osdu> StreamBuffer::try_pop(Time now) {
+  if (ring_.empty() || !delivery_enabled_) {
+    if (consumer_blocked_since_ == kTimeNever) consumer_blocked_since_ = now;
+    return std::nullopt;
+  }
+  Osdu v = ring_.pop();
+  note_pop_success(now);
+  if (producer_blocked_since_ != kTimeNever && space_available_) space_available_();
+  return v;
+}
+
+std::optional<Osdu> StreamBuffer::drop_newest(Time now) {
+  if (ring_.empty()) return std::nullopt;
+  Osdu v = ring_.pop_newest();
+  // A drop frees space exactly like a pop: unblock the producer.
+  if (producer_blocked_since_ != kTimeNever) {
+    producer_blocked_acc_ += now - producer_blocked_since_;
+    producer_blocked_since_ = kTimeNever;
+    if (space_available_) space_available_();
+  }
+  return v;
+}
+
+void StreamBuffer::flush(Time now) {
+  ring_.clear();
+  if (producer_blocked_since_ != kTimeNever) {
+    producer_blocked_acc_ += now - producer_blocked_since_;
+    producer_blocked_since_ = kTimeNever;
+    if (space_available_) space_available_();
+  }
+}
+
+void StreamBuffer::set_delivery_enabled(bool enabled, Time now) {
+  if (delivery_enabled_ == enabled) return;
+  delivery_enabled_ = enabled;
+  // Re-enabling delivery with data present releases a blocked consumer.
+  if (enabled && !ring_.empty() && consumer_blocked_since_ != kTimeNever && data_available_)
+    data_available_();
+  (void)now;
+}
+
+BlockStats StreamBuffer::window_stats(Time now) const {
+  BlockStats s;
+  s.producer_blocked = producer_blocked_acc_;
+  s.consumer_blocked = consumer_blocked_acc_;
+  if (producer_blocked_since_ != kTimeNever) s.producer_blocked += now - producer_blocked_since_;
+  if (consumer_blocked_since_ != kTimeNever) s.consumer_blocked += now - consumer_blocked_since_;
+  return s;
+}
+
+void StreamBuffer::reset_window(Time now) {
+  producer_blocked_acc_ = 0;
+  consumer_blocked_acc_ = 0;
+  if (producer_blocked_since_ != kTimeNever) producer_blocked_since_ = now;
+  if (consumer_blocked_since_ != kTimeNever) consumer_blocked_since_ = now;
+}
+
+void StreamBuffer::note_push_success(Time now) {
+  if (producer_blocked_since_ != kTimeNever) {
+    producer_blocked_acc_ += now - producer_blocked_since_;
+    producer_blocked_since_ = kTimeNever;
+  }
+}
+
+void StreamBuffer::note_pop_success(Time now) {
+  if (consumer_blocked_since_ != kTimeNever) {
+    consumer_blocked_acc_ += now - consumer_blocked_since_;
+    consumer_blocked_since_ = kTimeNever;
+  }
+}
+
+}  // namespace cmtos::transport

@@ -1,0 +1,49 @@
+#include "transport/threaded_buffer.h"
+
+namespace cmtos::transport {
+
+namespace {
+
+/// Measures the blocking time of a semaphore acquire.  A fast path tries
+/// try_acquire first so uncontended operation costs no clock reads.
+template <typename Sem>
+std::int64_t timed_acquire(Sem& sem) {
+  if (sem.try_acquire()) return 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  sem.acquire();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+}
+
+}  // namespace
+
+ThreadedStreamBuffer::ThreadedStreamBuffer(std::size_t capacity)
+    : slots_(capacity),
+      free_slots_(static_cast<std::ptrdiff_t>(capacity)),
+      filled_slots_(0) {}
+
+void ThreadedStreamBuffer::push(Osdu&& osdu) {
+  producer_blocked_ns_.fetch_add(timed_acquire(free_slots_), std::memory_order_relaxed);
+  slots_[tail_] = std::move(osdu);
+  tail_ = (tail_ + 1) % slots_.size();
+  filled_slots_.release();
+}
+
+Osdu* ThreadedStreamBuffer::acquire() {
+  consumer_blocked_ns_.fetch_add(timed_acquire(filled_slots_), std::memory_order_relaxed);
+  return &slots_[head_];
+}
+
+void ThreadedStreamBuffer::release() {
+  head_ = (head_ + 1) % slots_.size();
+  free_slots_.release();
+}
+
+Osdu ThreadedStreamBuffer::pop() {
+  Osdu* p = acquire();
+  Osdu v = std::move(*p);
+  release();
+  return v;
+}
+
+}  // namespace cmtos::transport

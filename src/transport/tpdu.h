@@ -1,0 +1,145 @@
+// cmtos/transport/tpdu.h
+//
+// Transport protocol data units and their wire encodings.
+//
+// Control TPDUs implement the Table 1-3 primitives (including the
+// three-party remote connect of Fig 3); data TPDUs carry OSDU fragments
+// with the per-OSDU OPDU fields (sequence number + event, §5) and a CRC for
+// the §3.4 error-detection classes; AK/NAK/FB implement window-based and
+// rate-based flow control respectively.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/address.h"
+#include "transport/qos.h"
+#include "transport/service.h"
+#include "util/time.h"
+
+namespace cmtos::transport {
+
+enum class TpduType : std::uint8_t {
+  kCR = 1,    // connect request        (source entity -> dest entity)
+  kCC = 2,    // connect confirm        (dest -> source)
+  kDR = 3,    // disconnect request
+  kDC = 4,    // disconnect confirm
+  kRCR = 5,   // remote connect request (initiator -> source entity, §3.5)
+  kRCC = 6,   // remote connect outcome (source -> initiator)
+  kRDR = 7,   // remote disconnect request (initiator -> src or dst)
+  kRN = 8,    // renegotiate request
+  kRNC = 9,   // renegotiate confirm / reject
+  kQI = 10,   // QoS degradation report relay (sink entity -> source user)
+  kDT = 16,   // data (OSDU fragment)
+  kAK = 17,   // cumulative acknowledgement (window profile)
+  kNAK = 18,  // selective retransmission request (rate profile, correction)
+  kFB = 19,   // receiver rate feedback (rate profile)
+  kDG = 20,   // best-effort datagram (T-Unitdata)
+};
+
+/// Connection-management TPDU.  One struct covers CR/CC/DR/DC/RCR/RCC/RDR/
+/// RN/RNC/QI; unused fields are ignored for a given type.
+struct ControlTpdu {
+  TpduType type = TpduType::kCR;
+  VcId vc = kInvalidVc;
+  net::NetAddress initiator;
+  net::NetAddress src;
+  net::NetAddress dst;
+  ServiceClass service_class;
+  QosTolerance qos;             // CR/RCR/RN: proposed tolerance
+  QosParams agreed;             // CC/RNC: final contract
+  Duration sample_period = 0;
+  std::uint32_t buffer_osdus = 0;
+  std::uint8_t reason = 0;      // DR/DC/RCC(reject): DisconnectReason
+  std::uint8_t accepted = 0;    // CC/RCC/RNC: 1 = accepted
+  QosReport report;             // QI payload
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<ControlTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Flags on a data TPDU.
+enum DtFlags : std::uint8_t {
+  kDtRetransmission = 1 << 0,
+};
+
+/// Data TPDU: one fragment of one OSDU.
+struct DataTpdu {
+  VcId vc = kInvalidVc;
+  std::uint32_t tpdu_seq = 0;    // per-VC TPDU sequence number
+  std::uint32_t osdu_seq = 0;    // OPDU: OSDU sequence number (§5)
+  std::uint64_t event = 0;       // OPDU: event field (§6.3.4)
+  std::uint16_t frag_index = 0;  // fragment position within the OSDU
+  std::uint16_t frag_count = 1;  // total fragments of this OSDU
+  std::uint8_t flags = 0;
+  Time src_timestamp = 0;        // source-local submission time
+  /// True simulation time of OSDU submission.  Instrumentation only: real
+  /// hardware has no access to a global clock; protocol logic must never
+  /// read this, it exists so benches can report ground-truth delay.
+  Time true_submit = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Encodes with a trailing CRC-32 over the whole TPDU.
+  std::vector<std::uint8_t> encode() const;
+
+  /// Decodes and verifies the CRC; nullopt on checksum failure or
+  /// malformed input.  `simulated_corruption` forces a checksum failure
+  /// (links mark packets corrupt instead of flipping payload bits).
+  static std::optional<DataTpdu> decode(std::span<const std::uint8_t> wire,
+                                        bool simulated_corruption);
+};
+
+/// Window-profile cumulative acknowledgement.
+struct AckTpdu {
+  VcId vc = kInvalidVc;
+  std::uint32_t cumulative_ack = 0;  // all TPDUs with seq < this received
+  std::uint32_t window = 0;          // receiver-granted credit in TPDUs
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<AckTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Rate-profile selective retransmission request.
+struct NakTpdu {
+  VcId vc = kInvalidVc;
+  std::vector<std::uint32_t> missing;  // TPDU seqs to retransmit
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<NakTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Rate-profile receiver feedback: the state of the receive buffer, from
+/// which the source modulates its sending rate (decoupled from error
+/// control, as the paper requires of rate-based schemes).
+struct FeedbackTpdu {
+  VcId vc = kInvalidVc;
+  std::uint32_t free_slots = 0;      // receive ring free OSDU slots
+  std::uint32_t capacity = 0;
+  std::uint32_t highest_osdu = 0;    // highest completed OSDU seq
+  std::uint8_t paused = 0;           // 1 = source must stop sending
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<FeedbackTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Best-effort datagram (T-Unitdata): connectionless, no recovery, lowest
+/// link priority.
+struct DatagramTpdu {
+  net::NetAddress src;        // originating endpoint
+  net::Tsap dst_tsap = 0;     // destination TSAP (node from the packet)
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<DatagramTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Reads the type tag of an encoded TPDU without full decode.
+std::optional<TpduType> peek_type(std::span<const std::uint8_t> wire);
+
+/// Reads the VC id of an encoded data-plane TPDU (DT/AK/NAK/FB).
+std::optional<VcId> peek_vc(std::span<const std::uint8_t> wire);
+
+}  // namespace cmtos::transport

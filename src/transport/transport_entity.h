@@ -1,0 +1,222 @@
+// cmtos/transport/transport_entity.h
+//
+// The per-node transport entity: the control plane of the CM transport
+// service (§4).
+//
+// It owns every VC endpoint on its node, implements the Table 1 connection
+// establishment / release primitives — including the three-party remote
+// connection facility of §3.5 / Fig 2/3 — the Table 2 QoS-degradation
+// notification and the Table 3 QoS renegotiation, performs QoS option
+// negotiation against the network's reservation service (the ST-II
+// analogue), and demultiplexes the data plane onto Connection objects.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "net/network.h"
+#include "transport/connection.h"
+#include "transport/service.h"
+#include "transport/tpdu.h"
+
+namespace cmtos::transport {
+
+class TransportEntity {
+ public:
+  TransportEntity(net::Network& network, net::NodeId node);
+
+  net::Network& network() { return network_; }
+  sim::Scheduler& scheduler() { return network_.scheduler(); }
+  net::NodeId node_id() const { return node_; }
+  /// This node's local (skewed) clock reading.
+  Time local_now() const;
+  /// Converts a locally-timed duration (e.g. a pacing interval measured by
+  /// this node's crystal) into true simulation time.  Protocol timers run
+  /// off the node's hardware clock, so its drift distorts them — the §3.6
+  /// "discrepancies between remote clock rates" the orchestrator corrects.
+  Duration to_true(Duration local) const;
+
+  // ------------------------------------------------------------------
+  // TSAP binding
+  // ------------------------------------------------------------------
+  void bind(net::Tsap tsap, TransportUser* user);
+  void unbind(net::Tsap tsap);
+  TransportUser* user_at(net::Tsap tsap) const;
+
+  // ------------------------------------------------------------------
+  // Table 1: T-Connect / T-Disconnect
+  // ------------------------------------------------------------------
+
+  /// T-Connect.request.  For a conventional connect set req.initiator ==
+  /// req.src (and call this on the source node's entity); for a remote
+  /// connect (§3.5) call it on the initiator's node with distinct
+  /// initiator/src/dst.  Returns the allocated vc-id; the outcome arrives
+  /// via t_connect_confirm / t_disconnect_indication on the initiator's
+  /// user (and, for remote connects, also on the source user).
+  VcId t_connect_request(const ConnectRequest& req);
+
+  /// T-Connect.response / rejection, issued by a user that received
+  /// t_connect_indication.  `accept=false` maps to T-Disconnect.request
+  /// with reason kRejectedByUser.  A destination user may narrow the
+  /// offered QoS by passing `narrowed` (must be within the offered
+  /// tolerance; checked).
+  void connect_response(VcId vc, bool accept,
+                        std::optional<QosParams> narrowed = std::nullopt);
+
+  /// T-Disconnect.request for a VC with a local endpoint.
+  void t_disconnect_request(VcId vc);
+
+  /// Remote release (§4.1.1): ask the entity at `endpoint` to put a
+  /// T-Disconnect.indication to the application attached there, which may
+  /// then release the VC.  Usable by the initiator of a remote connect.
+  void t_remote_disconnect_request(VcId vc, const net::NetAddress& endpoint);
+
+  // ------------------------------------------------------------------
+  // Datagram service (§4 mentions it as part of the standard protocol
+  // matrix): best-effort, connectionless, lowest link priority.
+  // ------------------------------------------------------------------
+
+  /// T-Unitdata.request: one-shot datagram from a local TSAP to `dst`.
+  /// Delivered (if at all) via TransportUser::t_unitdata_indication.
+  void t_unitdata_request(net::Tsap src_tsap, const net::NetAddress& dst,
+                          std::vector<std::uint8_t> data);
+
+  // ------------------------------------------------------------------
+  // Table 3: T-Renegotiate
+  // ------------------------------------------------------------------
+
+  /// T-Renegotiate.request from the user of a local endpoint of `vc`.
+  /// Fully confirmed: the peer user sees t_renegotiate_indication and must
+  /// call renegotiate_response; the requester then gets
+  /// t_renegotiate_confirm, or (per the paper) t_disconnect_indication
+  /// with kRenegotiationFailed — in which case the VC itself survives.
+  void t_renegotiate_request(VcId vc, const QosTolerance& proposed);
+
+  /// T-Renegotiate.response from the peer user.
+  void renegotiate_response(VcId vc, bool accept);
+
+  // ------------------------------------------------------------------
+  // Endpoint access
+  // ------------------------------------------------------------------
+  Connection* source(VcId vc);
+  Connection* sink(VcId vc);
+  /// The local endpoint of `vc`, preferring the source when both exist
+  /// (loopback VCs).
+  Connection* endpoint(VcId vc);
+
+  // ------------------------------------------------------------------
+  // Internal plumbing (used by Connection)
+  // ------------------------------------------------------------------
+  /// Sends an encoded TPDU.  Control TPDUs (and the data plane's small
+  /// AK/NAK/FB) ride the high-priority band; DT carries media priority.
+  void send_tpdu(net::NodeId dst, net::Proto proto, std::vector<std::uint8_t> payload,
+                 net::Priority priority = net::Priority::kControl);
+  void on_qos_violation(Connection& conn, const QosReport& report);
+
+  /// Connect handshake timeout (kUnreachable failure).
+  void set_connect_timeout(Duration d) { connect_timeout_ = d; }
+
+  /// Bandwidth set aside per VC for its internal control channel (the
+  /// [Shepherd,91] "special internal control VC associated with each
+  /// transport connection" which also carries orchestrator PDUs, §5).
+  /// Reserved forward on top of the data rate and as a trickle on the
+  /// reverse path (feedback / OPDU replies).
+  static constexpr std::int64_t kControlVcBps = 64'000;
+
+ private:
+  struct PendingInitiated {  // at the initiator: waiting for RCC / CC
+    ConnectRequest req;
+    sim::EventHandle timeout;
+    bool remote = false;  // true: RCR sent, waiting for RCC
+    int retries_left = 3;
+  };
+  struct PendingSourceAccept {  // at the source: user asked (remote connect)
+    ConnectRequest req;
+  };
+  struct PendingCc {  // at the source: CR sent, waiting for CC
+    ConnectRequest req;
+    QosParams offered;
+    net::ReservationId reservation = net::kNoReservation;
+    net::ReservationId reverse_reservation = net::kNoReservation;
+    sim::EventHandle timeout;
+    int retries_left = 3;
+    std::vector<std::uint8_t> cr_wire;  // for retransmission
+  };
+  struct PendingDestAccept {  // at the destination: user asked
+    ConnectRequest req;
+    QosParams offered;
+  };
+  struct PendingReneg {  // requester side, waiting for RNC
+    QosTolerance proposed;
+    QosParams tentative_agreed;
+    std::int64_t old_bps = 0;   // for rollback when we pre-raised
+    bool raised = false;
+    bool at_source = false;
+  };
+  struct PendingRenegPeer {  // peer side, waiting for local user response
+    QosTolerance proposed;
+    net::NodeId requester_node = net::kInvalidNode;
+  };
+
+  void on_control_packet(net::Packet&& pkt);
+  void on_data_packet(net::Packet&& pkt);
+
+  // Control handlers.
+  void handle_rcr(const ControlTpdu& t);
+  void handle_cr(const ControlTpdu& t);
+  void handle_cc(const ControlTpdu& t);
+  void handle_rcc(const ControlTpdu& t);
+  void handle_dr(const ControlTpdu& t);
+  void handle_dc(const ControlTpdu& t);
+  void handle_rdr(const ControlTpdu& t);
+  void handle_rn(const ControlTpdu& t);
+  void handle_rnc(const ControlTpdu& t);
+  void handle_qi(const ControlTpdu& t);
+
+  /// Source-side connect stage: admission + CR emission.  Failures are
+  /// reported to the local source user (if bound) and to a remote
+  /// initiator via RCC-reject.
+  void source_connect(VcId vc, const ConnectRequest& req);
+  void fail_connect(VcId vc, const ConnectRequest& req, DisconnectReason reason);
+  void notify_initiator(VcId vc, const ConnectRequest& req, bool accepted,
+                        const QosParams& agreed, DisconnectReason reason);
+
+  /// Computes the contract to offer given tolerance, path capacity and
+  /// path latency.  nullopt => reason holds why.
+  std::optional<QosParams> admit(const ConnectRequest& req, DisconnectReason& reason);
+
+  void deliver_disconnect(VcId vc, net::Tsap tsap, DisconnectReason reason);
+
+  /// Self-rearming handshake retransmission timers (the control path has
+  /// no other reliability; a lost CR must not strand the connect).
+  void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
+  void arm_cr_timer(VcId vc);
+
+  VcId alloc_vc();
+
+  net::Network& network_;
+  net::NodeId node_;
+  Duration connect_timeout_ = 2 * kSecond;
+  std::uint32_t next_vc_ = 1;
+
+  std::map<net::Tsap, TransportUser*> users_;
+  std::map<VcId, std::unique_ptr<Connection>> sources_;
+  std::map<VcId, std::unique_ptr<Connection>> sinks_;
+  /// Reverse-path control-trickle reservation per source VC.
+  std::map<VcId, net::ReservationId> reverse_reservations_;
+
+  std::map<VcId, PendingInitiated> pending_initiated_;
+  std::map<VcId, PendingSourceAccept> pending_source_accept_;
+  std::map<VcId, PendingCc> pending_cc_;
+  std::map<VcId, PendingDestAccept> pending_dest_accept_;
+  std::map<VcId, PendingReneg> pending_reneg_;
+  std::map<VcId, PendingRenegPeer> pending_reneg_peer_;
+  /// Tentative contract proposed to this (sink) peer via RN, applied on
+  /// user acceptance.
+  std::map<VcId, QosParams> peer_tentative_;
+};
+
+}  // namespace cmtos::transport

@@ -1,0 +1,107 @@
+// cmtos/util/byte_io.h
+//
+// Little-endian wire (de)serialisation helpers for protocol data units.
+// All cmtos PDUs (transport headers, OPDUs, RPC messages) are encoded with
+// these, so encodings are identical across hosts regardless of native
+// byte order — exactly what a wire format requires.
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cmtos {
+
+/// Append-only byte writer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, 2); }
+  void u32(std::uint32_t v) { raw(&v, 4); }
+  void u64(std::uint64_t v) { raw(&v, 8); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  /// Length-prefixed (u32) byte string.
+  void blob(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    bytes(b);
+  }
+  void str(const std::string& s) {
+    blob({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    // Encode little-endian explicitly.
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, n);
+    for (std::size_t i = 0; i < n; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Thrown by ByteReader on truncated or malformed input.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sequential byte reader; throws DecodeError on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  std::uint64_t u64() { return le(8); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+  std::vector<std::uint8_t> blob() {
+    const std::uint32_t n = u32();
+    auto b = take(n);
+    return {b.begin(), b.end()};
+  }
+  std::string str() {
+    const auto b = blob();
+    return {b.begin(), b.end()};
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+  bool at_end() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::uint8_t> take(std::size_t n) {
+    if (remaining() < n) throw DecodeError("byte stream underrun");
+    auto s = in_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::uint64_t le(std::size_t n) {
+    auto s = take(n);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) v |= static_cast<std::uint64_t>(s[i]) << (8 * i);
+    return v;
+  }
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cmtos

@@ -1,0 +1,18 @@
+// cmtos/util/checksum.h
+//
+// CRC-32 (IEEE 802.3 polynomial, reflected) used for transport-PDU error
+// detection and for verifiable synthetic media content.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cmtos {
+
+/// Computes the CRC-32 of `data`, optionally continuing from a previous
+/// value (pass the previous return value as `seed` to chain).
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed = 0);
+
+}  // namespace cmtos

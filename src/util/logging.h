@@ -1,0 +1,41 @@
+// cmtos/util/logging.h
+//
+// Minimal leveled logger.  Protocol modules log through this so tests and
+// benches can silence or capture output.  Not thread-safe by design: the
+// simulation is single-threaded, and the threaded micro-benchmarks do not
+// log on the hot path.
+
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace cmtos {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log statement.  `tag` names the subsystem ("transport",
+/// "llo", ...).
+void log(LogLevel level, const char* tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+#define CMTOS_LOG(level, tag, ...)                                  \
+  do {                                                              \
+    if (static_cast<int>(level) >= static_cast<int>(::cmtos::log_level())) \
+      ::cmtos::log(level, tag, __VA_ARGS__);                        \
+  } while (0)
+
+#define CMTOS_TRACE(tag, ...) CMTOS_LOG(::cmtos::LogLevel::kTrace, tag, __VA_ARGS__)
+#define CMTOS_DEBUG(tag, ...) CMTOS_LOG(::cmtos::LogLevel::kDebug, tag, __VA_ARGS__)
+#define CMTOS_INFO(tag, ...) CMTOS_LOG(::cmtos::LogLevel::kInfo, tag, __VA_ARGS__)
+#define CMTOS_WARN(tag, ...) CMTOS_LOG(::cmtos::LogLevel::kWarn, tag, __VA_ARGS__)
+#define CMTOS_ERROR(tag, ...) CMTOS_LOG(::cmtos::LogLevel::kError, tag, __VA_ARGS__)
+
+}  // namespace cmtos

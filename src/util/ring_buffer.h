@@ -1,0 +1,89 @@
+// cmtos/util/ring_buffer.h
+//
+// Fixed-capacity single-producer / single-consumer ring buffer.
+//
+// This is the data structure behind the paper's §3.7 shared-circular-buffer
+// transport data interface: the application thread and the protocol thread
+// share a ring of OSDU slots; "data location is implicit in the value of
+// pointers associated with the shared buffers, and no data copying is
+// involved".  In the discrete-event simulation producer/consumer run in the
+// same OS thread, so this class is not internally synchronised; a real
+// std::thread + semaphore wrapper for the A3 micro-benchmark lives in
+// transport/buffer_interface.h.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cmtos {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    assert(capacity > 0);
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == slots_.size(); }
+
+  /// Appends an element.  Precondition: !full().
+  void push(T value) {
+    assert(!full());
+    slots_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++count_;
+  }
+
+  /// Removes and returns the oldest element.  Precondition: !empty().
+  T pop() {
+    assert(!empty());
+    T v = std::move(slots_[head_]);
+    head_ = advance(head_);
+    --count_;
+    return v;
+  }
+
+  /// Returns a reference to the oldest element without removing it.
+  const T& front() const {
+    assert(!empty());
+    return slots_[head_];
+  }
+  T& front() {
+    assert(!empty());
+    return slots_[head_];
+  }
+
+  /// Drops the newest (most recently pushed) element.  This implements the
+  /// paper's drop-at-source compensation: "all such discards are performed
+  /// at the source by incrementing the source shared buffer pointer", which
+  /// lets the producer "immediately insert another OSDU and thus overwrite
+  /// the previous one before it is sent".  Precondition: !empty().
+  T pop_newest() {
+    assert(!empty());
+    tail_ = retreat(tail_);
+    --count_;
+    return std::move(slots_[tail_]);
+  }
+
+  /// Discards all contents (the Orch.Prime / stop-seek-restart flush).
+  void clear() {
+    while (!empty()) (void)pop();
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const { return i + 1 == slots_.size() ? 0 : i + 1; }
+  std::size_t retreat(std::size_t i) const { return i == 0 ? slots_.size() - 1 : i - 1; }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cmtos

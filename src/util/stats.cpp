@@ -1,0 +1,127 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cmtos {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::reset() {
+  n_ = 0;
+  mean_ = m2_ = min_ = max_ = 0;
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0;
+  double acc = 0;
+  for (double s : samples_) acc += s;
+  return acc / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0;
+  const double m = mean();
+  double acc = 0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleSet::min() const {
+  sort_if_needed();
+  return samples_.empty() ? 0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  sort_if_needed();
+  return samples_.empty() ? 0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0;
+  sort_if_needed();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[std::min(samples_.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+std::string SampleSet::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "n=%zu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+                count(), mean(), percentile(50), percentile(95), percentile(99), max());
+  return buf;
+}
+
+double RateMeter::event_rate(Time now) const {
+  const Duration span = now - window_start_;
+  if (span <= 0) return 0;
+  return static_cast<double>(events_) / to_seconds(span);
+}
+
+double RateMeter::bit_rate(Time now) const {
+  const Duration span = now - window_start_;
+  if (span <= 0) return 0;
+  return static_cast<double>(bytes_ * 8) / to_seconds(span);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[idx];
+}
+
+std::string Histogram::render(int max_bar) const {
+  std::int64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const int bar = static_cast<int>(counts_[i] * max_bar / peak);
+    std::snprintf(line, sizeof line, "[%10.3f, %10.3f) %8lld |", bucket_lo(i), bucket_hi(i),
+                  static_cast<long long>(counts_[i]));
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cmtos

@@ -1,0 +1,23 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace cmtos {
+
+std::string format_time(Duration d) {
+  char buf[64];
+  const bool neg = d < 0;
+  const std::int64_t a = neg ? -d : d;
+  if (a >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", neg ? "-" : "", static_cast<double>(a) / kSecond);
+  } else if (a >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", neg ? "-" : "", static_cast<double>(a) / kMillisecond);
+  } else if (a >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%s%.3fus", neg ? "-" : "", static_cast<double>(a) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%lldns", neg ? "-" : "", static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace cmtos

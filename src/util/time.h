@@ -1,0 +1,56 @@
+// cmtos/util/time.h
+//
+// Time representation used throughout cmtos.
+//
+// All simulated time is an integer count of nanoseconds since the start of
+// the simulation.  Integer (rather than floating point) time keeps the
+// discrete-event simulation exactly reproducible across platforms and makes
+// event ordering total and deterministic.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cmtos {
+
+/// A point in simulated time, in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A length of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// Sentinel meaning "no deadline" / "never".
+inline constexpr Time kTimeNever = INT64_MAX;
+
+/// Converts a duration to fractional seconds (for reporting only; never use
+/// floating point in protocol or scheduling logic).
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+/// Converts a duration to fractional milliseconds (for reporting only).
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts fractional seconds to a Duration, rounding to nearest ns.
+constexpr Duration from_seconds(double s) {
+  return static_cast<Duration>(s * 1e9 + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Renders a time/duration as a compact human-readable string, e.g.
+/// "1.500ms", "2.000s", "750ns".
+std::string format_time(Duration d);
+
+/// Computes the serialization duration for `bytes` at `bits_per_second`.
+/// Rounds up so that a transmission never finishes "early".
+constexpr Duration transmission_time(std::int64_t bytes, std::int64_t bits_per_second) {
+  if (bits_per_second <= 0) return 0;
+  const std::int64_t bits = bytes * 8;
+  // ns = bits * 1e9 / bps, rounded up.
+  return (bits * kSecond + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace cmtos

@@ -1,0 +1,135 @@
+// Shared test fixtures: canned topologies over the full platform stack.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "media/sink.h"
+#include "media/stored_server.h"
+#include "media/sync_meter.h"
+#include "platform/host.h"
+#include "platform/stream.h"
+
+namespace cmtos::test {
+
+/// Default link between workstation-class hosts: 10 Mbit/s, 1 ms.
+inline net::LinkConfig lan_link() {
+  net::LinkConfig cfg;
+  cfg.bandwidth_bps = 10'000'000;
+  cfg.propagation_delay = 1 * kMillisecond;
+  return cfg;
+}
+
+/// A star topology: N hosts around a switch node (the switch runs a full
+/// host stack too, but typically only forwards).
+struct StarPlatform {
+  explicit StarPlatform(std::size_t leaves, net::LinkConfig link = lan_link(),
+                        std::uint64_t seed = 42)
+      : platform(seed) {
+    hub = &platform.add_host("hub");
+    for (std::size_t i = 0; i < leaves; ++i) {
+      auto& h = platform.add_host("leaf" + std::to_string(i));
+      platform.network().add_link(hub->id, h.id, link);
+      this->leaves.push_back(&h);
+    }
+    platform.network().finalize_routes();
+  }
+
+  platform::Platform platform;
+  platform::Host* hub = nullptr;
+  std::vector<platform::Host*> leaves;
+};
+
+/// Two hosts with a direct link — the minimal source->sink world.
+struct PairPlatform {
+  explicit PairPlatform(net::LinkConfig link = lan_link(), std::uint64_t seed = 42,
+                        sim::LocalClock clock_a = {}, sim::LocalClock clock_b = {})
+      : platform(seed) {
+    a = &platform.add_host("a", clock_a);
+    b = &platform.add_host("b", clock_b);
+    platform.network().add_link(a->id, b->id, link);
+    platform.network().finalize_routes();
+  }
+
+  platform::Platform platform;
+  platform::Host* a = nullptr;
+  platform::Host* b = nullptr;
+};
+
+/// A scripted transport user for control-plane tests: records every
+/// indication it receives and applies a configurable accept policy.
+class ScriptedUser : public transport::TransportUser {
+ public:
+  explicit ScriptedUser(transport::TransportEntity& entity) : entity_(&entity) {}
+
+  // Policy knobs.
+  bool accept_connects = true;
+  bool accept_renegotiations = true;
+  std::optional<transport::QosParams> narrow;
+
+  // Recorded history.
+  struct ConnectInd {
+    transport::VcId vc;
+    transport::ConnectRequest req;
+  };
+  std::vector<ConnectInd> connect_indications;
+  std::vector<std::pair<transport::VcId, transport::QosParams>> confirms;
+  std::vector<std::pair<transport::VcId, transport::DisconnectReason>> disconnects;
+  std::vector<transport::QosReport> qos_reports;
+  std::vector<std::pair<transport::VcId, transport::QosTolerance>> reneg_indications;
+  std::vector<std::pair<bool, transport::QosParams>> reneg_confirms;
+
+  void t_connect_indication(transport::VcId vc, const transport::ConnectRequest& req) override {
+    connect_indications.push_back({vc, req});
+    entity_->connect_response(vc, accept_connects, narrow);
+  }
+  void t_connect_confirm(transport::VcId vc, const transport::QosParams& agreed) override {
+    confirms.emplace_back(vc, agreed);
+  }
+  void t_disconnect_indication(transport::VcId vc,
+                               transport::DisconnectReason reason) override {
+    disconnects.emplace_back(vc, reason);
+  }
+  void t_qos_indication(transport::VcId, const transport::QosReport& report) override {
+    qos_reports.push_back(report);
+  }
+  void t_renegotiate_indication(transport::VcId vc,
+                                const transport::QosTolerance& proposed) override {
+    reneg_indications.emplace_back(vc, proposed);
+    entity_->renegotiate_response(vc, accept_renegotiations);
+  }
+  void t_renegotiate_confirm(transport::VcId, bool accepted,
+                             const transport::QosParams& agreed) override {
+    reneg_confirms.emplace_back(accepted, agreed);
+  }
+
+ private:
+  transport::TransportEntity* entity_;
+};
+
+/// A plain QoS request: `rate` OSDUs/s of `size`-byte OSDUs, generous
+/// delay budget, conventional (initiator == source) addressing.
+inline transport::ConnectRequest basic_request(net::NetAddress src, net::NetAddress dst,
+                                               double rate = 25.0, std::int64_t size = 4096) {
+  transport::ConnectRequest req;
+  req.initiator = src;
+  req.src = src;
+  req.dst = dst;
+  req.qos.preferred.osdu_rate = rate;
+  req.qos.preferred.max_osdu_bytes = size;
+  req.qos.preferred.end_to_end_delay = 200 * kMillisecond;
+  req.qos.preferred.delay_jitter = 50 * kMillisecond;
+  req.qos.preferred.packet_error_rate = 0.02;
+  req.qos.preferred.bit_error_rate = 1e-5;
+  req.qos.worst = req.qos.preferred;
+  req.qos.worst.osdu_rate = rate / 4;
+  req.qos.worst.end_to_end_delay = kSecond;
+  req.qos.worst.delay_jitter = 200 * kMillisecond;
+  req.qos.worst.packet_error_rate = 0.1;
+  req.qos.worst.bit_error_rate = 1e-3;
+  return req;
+}
+
+}  // namespace cmtos::test

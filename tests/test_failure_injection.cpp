@@ -1,0 +1,251 @@
+// Failure injection: components die or misbehave mid-session and the rest
+// of the system must degrade gracefully, not crash or wedge.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace cmtos::test {
+namespace {
+
+using media::RenderConfig;
+using media::RenderingSink;
+using media::StoredMediaServer;
+using media::TrackConfig;
+using orch::OrchPolicy;
+
+struct PlayWorld {
+  PlayWorld() : star(2, lan_link(), 777) {
+    server_host = star.leaves[0];
+    ws = star.leaves[1];
+    p = &star.platform;
+    server = std::make_unique<StoredMediaServer>(*p, *server_host, "s");
+    TrackConfig t;
+    t.track_id = 1;
+    t.auto_start = false;
+    t.vbr.base_bytes = 1024;
+    src = server->add_track(100, t);
+    RenderConfig rc;
+    rc.expect_track = 1;
+    sink = std::make_unique<RenderingSink>(*p, *ws, 200, rc);
+    stream = std::make_unique<platform::Stream>(*p, *ws, "s");
+    platform::VideoQos vq;
+    vq.frames_per_second = 25;
+    stream->connect(src, {ws->id, 200}, vq, {}, nullptr);
+    p->run_until(500 * kMillisecond);
+    EXPECT_TRUE(stream->connected());
+  }
+  StarPlatform star;
+  platform::Platform* p = nullptr;
+  platform::Host* server_host = nullptr;
+  platform::Host* ws = nullptr;
+  std::unique_ptr<StoredMediaServer> server;
+  std::unique_ptr<RenderingSink> sink;
+  std::unique_ptr<platform::Stream> stream;
+  net::NetAddress src;
+};
+
+TEST(FailureInjection, VcClosedDuringRegulationDetachesGracefully) {
+  PlayWorld w;
+  auto& llo = w.ws->llo;
+  llo.orch_request(1, {w.stream->orch_spec().vc}, nullptr);
+  w.p->run_until(kSecond);
+  llo.prime(1, false, nullptr);
+  w.p->run_until(3 * kSecond);
+  llo.start(1, nullptr);
+  w.p->run_until(4 * kSecond);
+  ASSERT_EQ(llo.local_vc_count(), 1u);
+
+  // Regulation is in flight; the VC dies underneath it.
+  llo.regulate(1, w.stream->orch_spec().vc.vc, 10, 2, 400 * kMillisecond, 1, true);
+  w.p->run_until(w.p->scheduler().now() + 100 * kMillisecond);
+  w.ws->entity.t_disconnect_request(w.stream->orch_spec().vc.vc);
+  // No crash; the endpoint state dissolves as the slots discover the loss.
+  w.p->run_until(w.p->scheduler().now() + 2 * kSecond);
+  EXPECT_EQ(llo.local_vc_count(), 0u);
+}
+
+TEST(FailureInjection, LinkBlackoutDiagnosedAsTransportFailure) {
+  PlayWorld w;
+  OrchPolicy policy;
+  policy.interval = 200 * kMillisecond;
+  policy.fail_threshold = 3;
+  policy.on_failure = OrchPolicy::OnFailure::kNotifyOnly;
+  auto session = w.p->orchestrator().orchestrate({w.stream->orch_spec(0)}, policy, nullptr);
+  w.p->run_until(w.p->scheduler().now() + 500 * kMillisecond);
+  session->prime(false, nullptr);
+  w.p->run_until(w.p->scheduler().now() + 2 * kSecond);
+  session->start(nullptr);
+  w.p->run_until(w.p->scheduler().now() + 2 * kSecond);
+
+  std::vector<orch::MissDiagnosis> escalations;
+  session->agent().set_escalation_callback(
+      [&](transport::VcId, orch::MissDiagnosis d, const orch::RegulateIndication&) {
+        escalations.push_back(d);
+      });
+  // Total blackout on the data path.
+  w.p->network().link(w.server_host->id, w.star.hub->id)->set_loss_rate(1.0);
+  w.p->run_until(w.p->scheduler().now() + 10 * kSecond);
+
+  ASSERT_FALSE(escalations.empty());
+  EXPECT_EQ(escalations.front(), orch::MissDiagnosis::kTransportTooSlow);
+}
+
+TEST(FailureInjection, PrimeTimesOutWhenPipelineCannotFill) {
+  // The track holds fewer frames than the ring: the sink buffer can never
+  // fill, so Orch.Prime must fail by timeout rather than hang forever.
+  StarPlatform star(2, lan_link(), 5);
+  auto& p = star.platform;
+  StoredMediaServer server(p, *star.leaves[0], "s");
+  TrackConfig t;
+  t.track_id = 1;
+  t.auto_start = false;
+  t.frame_count = 3;  // ring default is 16
+  t.vbr.base_bytes = 512;
+  const auto src = server.add_track(100, t);
+  RenderingSink sink(p, *star.leaves[1], 200, {});
+  platform::Stream stream(p, *star.leaves[1], "s");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {star.leaves[1]->id, 200}, vq, {}, nullptr);
+  p.run_until(500 * kMillisecond);
+  ASSERT_TRUE(stream.connected());
+
+  auto& llo = star.leaves[1]->llo;
+  llo.orch_request(1, {stream.orch_spec().vc}, nullptr);
+  p.run_until(kSecond);
+  bool done = false, ok = true;
+  orch::OrchReason reason = orch::OrchReason::kOk;
+  llo.prime(1, false, [&](bool o, orch::OrchReason r) {
+    done = true;
+    ok = o;
+    reason = r;
+  });
+  p.run_until(10 * kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(reason, orch::OrchReason::kTimeout);
+}
+
+TEST(FailureInjection, RegulateForUnknownVcIsIgnored) {
+  PlayWorld w;
+  auto& llo = w.ws->llo;
+  llo.orch_request(1, {w.stream->orch_spec().vc}, nullptr);
+  w.p->run_until(kSecond);
+  llo.regulate(1, 0xdead, 10, 2, 100 * kMillisecond, 1, true);
+  llo.register_event(1, 0xdead, 42);
+  llo.delayed(1, 0xdead, true, 5);
+  w.p->run_until(w.p->scheduler().now() + kSecond);  // no crash, no effect
+  EXPECT_TRUE(llo.has_session(1));
+}
+
+TEST(FailureInjection, GarbageOpdusAndTpdusAreDiscarded) {
+  PlayWorld w;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    net::Packet pkt;
+    pkt.src = w.server_host->id;
+    pkt.dst = w.ws->id;
+    pkt.proto = static_cast<net::Proto>(1 + (i % 4));
+    pkt.payload.resize(static_cast<std::size_t>(rng.uniform(0, 64)));
+    for (auto& b : pkt.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    w.p->network().send(std::move(pkt));
+  }
+  w.p->run_until(w.p->scheduler().now() + kSecond);
+  // The stream still works afterwards.
+  auto* source = w.server_host->entity.source(w.stream->vc());
+  ASSERT_NE(source, nullptr);
+  ASSERT_TRUE(source->submit(std::vector<std::uint8_t>(100, 1)));
+  w.p->run_until(w.p->scheduler().now() + kSecond);
+  auto* sink_conn = w.ws->entity.sink(w.stream->vc());
+  EXPECT_GE(sink_conn->stats().osdus_completed, 1);
+}
+
+TEST(FailureInjection, SinkDisconnectMidFlowNotifiesSourceAndReleases) {
+  PlayWorld w;
+  auto* source = w.server_host->entity.source(w.stream->vc());
+  ASSERT_NE(source, nullptr);
+  for (int i = 0; i < 10; ++i) (void)source->submit(std::vector<std::uint8_t>(500, 1));
+  w.p->run_until(w.p->scheduler().now() + 200 * kMillisecond);
+
+  w.ws->entity.t_disconnect_request(w.stream->vc());
+  w.p->run_until(w.p->scheduler().now() + kSecond);
+  EXPECT_EQ(w.server_host->entity.source(w.stream->vc()), nullptr);
+  EXPECT_EQ(w.p->network().reserved_on(w.server_host->id, w.star.hub->id), 0);
+  // Stray in-flight data TPDUs for the dead VC are dropped harmlessly.
+  w.p->run_until(w.p->scheduler().now() + kSecond);
+}
+
+TEST(FailureInjection, SessionReleaseDuringPendingPrime) {
+  PlayWorld w;
+  auto& llo = w.ws->llo;
+  llo.orch_request(1, {w.stream->orch_spec().vc}, nullptr);
+  w.p->run_until(kSecond);
+  bool done = false;
+  llo.prime(1, false, [&](bool, auto) { done = true; });
+  // Release immediately, before the prime can confirm.
+  llo.orch_release(1);
+  w.p->run_until(10 * kSecond);
+  EXPECT_FALSE(llo.has_session(1));
+  (void)done;  // the pending op may time out silently; the point is no wedge
+  EXPECT_EQ(w.ws->llo.local_vc_count(), 0u);
+}
+
+TEST(FailureInjection, ExampleScaleSoakRunStaysConsistent) {
+  // Longer soak: 8 streams, periodic degradation pulses, stop/start cycles.
+  platform::Platform p(31337);
+  auto& server_host = p.add_host("server");
+  auto& ws = p.add_host("ws");
+  net::LinkConfig fat = lan_link();
+  fat.bandwidth_bps = 100'000'000;
+  p.network().add_link(server_host.id, ws.id, fat);
+  p.network().finalize_routes();
+
+  StoredMediaServer server(p, server_host, "s");
+  std::vector<std::unique_ptr<RenderingSink>> sinks;
+  std::vector<std::unique_ptr<platform::Stream>> streams;
+  std::vector<orch::OrchStreamSpec> specs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    TrackConfig t;
+    t.track_id = static_cast<std::uint32_t>(i + 1);
+    t.auto_start = false;
+    t.vbr.base_bytes = 1024;
+    const auto src = server.add_track(static_cast<net::Tsap>(100 + i), t);
+    RenderConfig rc;
+    rc.expect_track = t.track_id;
+    sinks.push_back(std::make_unique<RenderingSink>(p, ws, static_cast<net::Tsap>(200 + i), rc));
+    streams.push_back(std::make_unique<platform::Stream>(p, ws, "s" + std::to_string(i)));
+    platform::VideoQos vq;
+    vq.frames_per_second = 25;
+    streams.back()->connect(src, {ws.id, static_cast<net::Tsap>(200 + i)}, vq, {}, nullptr);
+  }
+  p.run_until(kSecond);
+  for (auto& s : streams) {
+    ASSERT_TRUE(s->connected());
+    specs.push_back(s->orch_spec(2));
+  }
+  auto session = p.orchestrator().orchestrate(specs, {}, nullptr);
+  p.run_until(p.scheduler().now() + 500 * kMillisecond);
+  session->prime(false, nullptr);
+  p.run_until(p.scheduler().now() + 2 * kSecond);
+  session->start(nullptr);
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    p.run_until(p.scheduler().now() + 5 * kSecond);
+    p.network().link(server_host.id, ws.id)->set_loss_rate(0.1);  // pulse
+    p.run_until(p.scheduler().now() + 2 * kSecond);
+    p.network().link(server_host.id, ws.id)->set_loss_rate(0.0);
+    session->stop(nullptr);
+    p.run_until(p.scheduler().now() + kSecond);
+    session->start(nullptr);
+  }
+  p.run_until(p.scheduler().now() + 5 * kSecond);
+
+  for (auto& s : sinks) {
+    EXPECT_GT(s->stats().frames_rendered, 400);
+    EXPECT_EQ(s->stats().integrity_failures, 0);
+  }
+}
+
+}  // namespace
+}  // namespace cmtos::test

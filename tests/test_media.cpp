@@ -1,0 +1,257 @@
+// Media substrate tests: verifiable content, VBR model, stored server,
+// live source semantics, rendering sink accounting, SyncMeter math.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "media/live_source.h"
+
+namespace cmtos::test {
+namespace {
+
+using media::LiveConfig;
+using media::LiveSource;
+using media::RenderConfig;
+using media::RenderingSink;
+using media::StoredMediaServer;
+using media::TrackConfig;
+using media::VbrModel;
+
+TEST(Content, MakeAndVerifyRoundTrip) {
+  const auto frame = media::make_frame(7, 42, 1000);
+  EXPECT_EQ(frame.size(), 1000u);
+  const auto h = media::verify_frame(frame);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->track_id, 7u);
+  EXPECT_EQ(h->index, 42u);
+}
+
+TEST(Content, VerifyDetectsCorruption) {
+  auto frame = media::make_frame(7, 42, 500);
+  frame[300] ^= 0x40;
+  EXPECT_FALSE(media::verify_frame(frame).has_value());
+}
+
+TEST(Content, VerifyDetectsTruncation) {
+  auto frame = media::make_frame(7, 42, 500);
+  frame.resize(400);
+  EXPECT_FALSE(media::verify_frame(frame).has_value());
+}
+
+TEST(Content, MinimumSizeFrame) {
+  const auto frame = media::make_frame(1, 0, 1);  // clamped to header size
+  EXPECT_EQ(frame.size(), 16u);
+  EXPECT_TRUE(media::verify_frame(frame).has_value());
+}
+
+TEST(Content, DeterministicAcrossCalls) {
+  EXPECT_EQ(media::make_frame(3, 9, 256), media::make_frame(3, 9, 256));
+  EXPECT_NE(media::make_frame(3, 9, 256), media::make_frame(3, 10, 256));
+}
+
+TEST(Vbr, GopPatternAndDeterminism) {
+  VbrModel m;
+  m.base_bytes = 4096;
+  m.gop = 12;
+  m.i_ratio = 2.5;
+  m.p_ratio = 0.7;
+  // I-frames are consistently larger than neighbouring P-frames.
+  for (std::uint32_t i = 0; i < 120; i += 12) {
+    EXPECT_GT(m.frame_bytes(i), m.frame_bytes(i + 1));
+    EXPECT_GT(m.frame_bytes(i), 2 * 4096 * 7 / 10);
+  }
+  EXPECT_EQ(m.frame_bytes(5), m.frame_bytes(5));
+}
+
+TEST(Vbr, GopZeroMeansConstantPattern) {
+  VbrModel m;
+  m.gop = 0;
+  m.wobble = 0;
+  EXPECT_EQ(m.frame_bytes(0), m.frame_bytes(1));
+  EXPECT_EQ(m.frame_bytes(1), m.frame_bytes(100));
+}
+
+TEST(StoredServer, ProducesVerifiableFramesInOrder) {
+  PairPlatform w;
+  StoredMediaServer server(w.platform, *w.a, "s");
+  TrackConfig t;
+  t.track_id = 5;
+  t.vbr.base_bytes = 1024;
+  const auto src = server.add_track(100, t);
+  RenderConfig rc;
+  rc.expect_track = 5;
+  RenderingSink sink(w.platform, *w.b, 200, rc);
+  platform::Stream stream(w.platform, *w.b, "s");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(4 * kSecond);
+
+  ASSERT_GT(sink.records().size(), 50u);
+  EXPECT_EQ(sink.stats().integrity_failures, 0);
+  for (std::size_t i = 0; i < sink.records().size(); ++i)
+    EXPECT_EQ(sink.records()[i].frame_index, i);
+}
+
+TEST(StoredServer, FiniteTrackEnds) {
+  PairPlatform w;
+  StoredMediaServer server(w.platform, *w.a, "s");
+  TrackConfig t;
+  t.track_id = 5;
+  t.frame_count = 30;
+  t.vbr.base_bytes = 512;
+  const auto src = server.add_track(100, t);
+  RenderingSink sink(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "s");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(5 * kSecond);
+  EXPECT_EQ(sink.stats().frames_rendered, 30);
+  EXPECT_TRUE(server.stats(100).end_of_track);
+}
+
+TEST(StoredServer, SeekRepositionsPlayout) {
+  PairPlatform w;
+  StoredMediaServer server(w.platform, *w.a, "s");
+  TrackConfig t;
+  t.track_id = 5;
+  t.auto_start = true;
+  t.vbr.base_bytes = 512;
+  const auto src = server.add_track(100, t);
+  server.seek(100, 1000);
+  RenderConfig rc;
+  rc.expect_track = 5;
+  RenderingSink sink(w.platform, *w.b, 200, rc);
+  platform::Stream stream(w.platform, *w.b, "s");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(2 * kSecond);
+  ASSERT_FALSE(sink.records().empty());
+  EXPECT_GE(sink.records().front().frame_index, 1000u);
+}
+
+TEST(LiveSourceTest, ConstantLogicalRate) {
+  PairPlatform w;
+  LiveConfig cfg;
+  cfg.track_id = 8;
+  cfg.rate = 25.0;
+  cfg.frame_bytes = 1024;
+  LiveSource camera(w.platform, *w.a, 100, cfg);
+  RenderConfig rc;
+  rc.expect_track = 8;
+  RenderingSink monitor(w.platform, *w.b, 200, rc);
+  platform::Stream stream(w.platform, *w.b, "cam");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect({w.a->id, 100}, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(4100 * kMillisecond);
+  // ~25 fps capture over ~4s.
+  EXPECT_NEAR(static_cast<double>(camera.stats().frames_captured), 4.0 * 25, 5);
+  EXPECT_GT(monitor.stats().frames_rendered, 80);
+  EXPECT_EQ(monitor.stats().integrity_failures, 0);
+}
+
+TEST(LiveSourceTest, DropsWhenRingFullInsteadOfQueueing) {
+  // Live frames are perishable: a too-slow contract forces capture drops,
+  // never growing latency.
+  net::LinkConfig thin = lan_link();
+  thin.bandwidth_bps = 1'000'000;
+  PairPlatform w(thin);
+  LiveConfig cfg;
+  cfg.track_id = 8;
+  cfg.rate = 25.0;
+  cfg.frame_bytes = 4096;  // needs ~1.3 Mbit/s at the negotiated frame size; admission degrades the rate
+  LiveSource camera(w.platform, *w.a, 100, cfg);
+  RenderingSink monitor(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "cam");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect({w.a->id, 100}, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(5 * kSecond);
+  ASSERT_TRUE(stream.connected());
+  EXPECT_GT(camera.stats().frames_dropped_at_capture, 10);
+}
+
+TEST(LiveSourceTest, SwitchOffStopsCapture) {
+  PairPlatform w;
+  LiveConfig cfg;
+  cfg.track_id = 8;
+  LiveSource camera(w.platform, *w.a, 100, cfg);
+  RenderingSink monitor(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "cam");
+  stream.connect({w.a->id, 100}, {w.b->id, 200}, platform::VideoQos{}, {}, nullptr);
+  w.platform.run_until(2 * kSecond);
+  camera.switch_off();
+  const auto at_off = camera.stats().frames_captured;
+  w.platform.run_until(4 * kSecond);
+  EXPECT_EQ(camera.stats().frames_captured, at_off);
+  camera.switch_on();
+  w.platform.run_until(6 * kSecond);
+  EXPECT_GT(camera.stats().frames_captured, at_off + 20);
+}
+
+TEST(Sink, StarvationCountedWhenStreamUnderruns) {
+  PairPlatform w;
+  StoredMediaServer server(w.platform, *w.a, "s");
+  TrackConfig t;
+  t.track_id = 5;
+  t.paced_rate = 10.0;  // server can only manage 10 fps
+  t.auto_start = true;
+  t.vbr.base_bytes = 512;
+  const auto src = server.add_track(100, t);
+  RenderConfig rc;
+  rc.rate = 25.0;  // renderer wants 25
+  RenderingSink sink(w.platform, *w.b, 200, rc);
+  platform::Stream stream(w.platform, *w.b, "s");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(6 * kSecond);
+  EXPECT_GT(sink.stats().starvation_events, 20);
+}
+
+TEST(SyncMeterTest, ComputesPairwiseSkew) {
+  sim::Scheduler sched;
+  // Two fake sinks are awkward to construct; use real ones in a world.
+  PairPlatform w;
+  StoredMediaServer server(w.platform, *w.a, "s");
+  TrackConfig t1;
+  t1.track_id = 1;
+  t1.vbr.base_bytes = 512;
+  const auto src1 = server.add_track(100, t1);
+  TrackConfig t2;
+  t2.track_id = 2;
+  t2.vbr.base_bytes = 128;
+  t2.vbr.gop = 0;
+  const auto src2 = server.add_track(101, t2);
+  RenderConfig r1;
+  r1.expect_track = 1;
+  RenderingSink sink1(w.platform, *w.b, 200, r1);
+  RenderConfig r2;
+  r2.expect_track = 2;
+  RenderingSink sink2(w.platform, *w.b, 201, r2);
+  platform::Stream s1(w.platform, *w.b, "1"), s2(w.platform, *w.b, "2");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  platform::AudioQos aq;
+  aq.blocks_per_second = 50;
+  s1.connect(src1, {w.b->id, 200}, vq, {}, nullptr);
+  s2.connect(src2, {w.b->id, 201}, aq, {}, nullptr);
+
+  media::SyncMeter meter(w.platform.scheduler());
+  meter.add_stream("video", &sink1);
+  meter.add_stream("audio", &sink2);
+  meter.begin(200 * kMillisecond);
+  w.platform.run_until(8 * kSecond);
+
+  EXPECT_GT(meter.samples().size(), 30u);
+  const auto skews = meter.skew_seconds(0, 1);
+  EXPECT_GT(skews.count(), 20u);
+  // Free-running but same perfect clock: skew stays small.
+  EXPECT_LT(meter.max_abs_skew_seconds(), 0.30);
+}
+
+}  // namespace
+}  // namespace cmtos::test

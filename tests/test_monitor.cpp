@@ -1,0 +1,234 @@
+// Tests for Table 2: per-VC QoS monitoring over sample periods and the
+// T-QoS.indication delivery paths (sink user, source user, distinct
+// initiator).
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace cmtos::test {
+namespace {
+
+using transport::ErrorControl;
+using transport::QosMonitor;
+using transport::QosParams;
+using transport::QosReport;
+using transport::VcId;
+
+QosParams contract() {
+  QosParams p;
+  p.osdu_rate = 50;
+  p.max_osdu_bytes = 1024;
+  p.end_to_end_delay = 100 * kMillisecond;
+  p.delay_jitter = 20 * kMillisecond;
+  p.packet_error_rate = 0.01;
+  p.bit_error_rate = 1e-6;
+  return p;
+}
+
+TEST(QosMonitorUnit, CleanPeriodNoViolation) {
+  QosMonitor m(1, contract(), 1 * kSecond);
+  int violations = 0, samples = 0;
+  m.set_on_violation([&](const QosReport&) { ++violations; });
+  m.set_on_sample([&](const QosReport&) { ++samples; });
+  m.begin(0);
+  for (int i = 0; i < 50; ++i) {
+    m.on_osdu_completed(50 * kMillisecond);
+    m.on_tpdu_received(1100);
+  }
+  m.end_period(1 * kSecond);
+  EXPECT_EQ(samples, 1);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(QosMonitorUnit, ThroughputViolationDetected) {
+  QosMonitor m(1, contract(), 1 * kSecond);
+  QosReport last;
+  m.set_on_violation([&](const QosReport& r) { last = r; });
+  m.begin(0);
+  // 50 OSDUs were offered (seq span) but only 20 completed.
+  for (std::uint32_t s = 0; s < 50; ++s) m.on_osdu_seen(s);
+  for (int i = 0; i < 20; ++i) m.on_osdu_completed(50 * kMillisecond);
+  m.end_period(1 * kSecond);
+  EXPECT_TRUE(last.violations.throughput);
+  EXPECT_NEAR(last.measured_osdu_rate, 20.0, 0.1);
+  EXPECT_FALSE(last.violations.delay);
+}
+
+TEST(QosMonitorUnit, UnderfedApplicationIsNotAViolation) {
+  // The user submitted only 20/s against a 50/s contract and all 20
+  // arrived: the provider met the demand.
+  QosMonitor m(1, contract(), 1 * kSecond);
+  int violations = 0;
+  m.set_on_violation([&](const QosReport&) { ++violations; });
+  m.begin(0);
+  for (std::uint32_t s = 0; s < 20; ++s) {
+    m.on_osdu_seen(s);
+    m.on_osdu_completed(50 * kMillisecond);
+  }
+  m.end_period(1 * kSecond);
+  EXPECT_EQ(violations, 0);
+}
+
+TEST(QosMonitorUnit, DelayAndJitterViolations) {
+  QosMonitor m(1, contract(), 1 * kSecond);
+  QosReport last;
+  m.set_on_violation([&](const QosReport& r) { last = r; });
+  m.begin(0);
+  for (int i = 0; i < 50; ++i)
+    m.on_osdu_completed(150 * kMillisecond + (i % 2) * 30 * kMillisecond);
+  m.end_period(1 * kSecond);
+  EXPECT_TRUE(last.violations.delay);   // mean 165ms > 100ms
+  EXPECT_TRUE(last.violations.jitter);  // 30ms spread > 20ms
+}
+
+TEST(QosMonitorUnit, ErrorRateViolations) {
+  QosMonitor m(1, contract(), 1 * kSecond);
+  QosReport last;
+  m.set_on_violation([&](const QosReport& r) { last = r; });
+  m.begin(0);
+  for (int i = 0; i < 50; ++i) {
+    m.on_osdu_completed(10 * kMillisecond);
+    m.on_tpdu_received(1000);
+  }
+  m.on_tpdu_lost(5);   // 5/55 ~ 9% > 1%
+  m.on_tpdu_corrupt();
+  m.end_period(1 * kSecond);
+  EXPECT_TRUE(last.violations.packet_errors);
+  EXPECT_TRUE(last.violations.bit_errors);
+}
+
+TEST(QosMonitorUnit, WindowResetsBetweenPeriods) {
+  QosMonitor m(1, contract(), 1 * kSecond);
+  int violations = 0;
+  m.set_on_violation([&](const QosReport&) { ++violations; });
+  m.begin(0);
+  // Bad period: 50 offered, 10 completed.
+  for (std::uint32_t s = 0; s < 50; ++s) m.on_osdu_seen(s);
+  for (int i = 0; i < 10; ++i) m.on_osdu_completed(10 * kMillisecond);
+  m.end_period(1 * kSecond);
+  EXPECT_EQ(violations, 1);
+  // Healthy period: counters were reset, no carry-over violation.
+  for (std::uint32_t s = 50; s < 105; ++s) {
+    m.on_osdu_seen(s);
+    m.on_osdu_completed(10 * kMillisecond);
+  }
+  m.end_period(2 * kSecond);
+  EXPECT_EQ(violations, 1);
+}
+
+// --- end-to-end indication delivery ---
+
+struct MonitoredWorld {
+  MonitoredWorld() : star(3) {
+    auto& h0 = *star.leaves[0];
+    auto& h1 = *star.leaves[1];
+    src_user = std::make_unique<ScriptedUser>(h0.entity);
+    dst_user = std::make_unique<ScriptedUser>(h1.entity);
+    h0.entity.bind(10, src_user.get());
+    h1.entity.bind(20, dst_user.get());
+  }
+  StarPlatform star;
+  std::unique_ptr<ScriptedUser> src_user, dst_user;
+};
+
+TEST(QosIndication, DegradationReachesSinkAndSourceUsers) {
+  MonitoredWorld w;
+  auto& h0 = *w.star.leaves[0];
+  auto& h1 = *w.star.leaves[1];
+  auto req = basic_request({h0.id, 10}, {h1.id, 20}, 25.0, 2048);
+  req.sample_period = 500 * kMillisecond;
+  req.service_class.error_control = ErrorControl::kIndicate;
+  // Tight contract so induced loss breaks it.
+  req.qos.preferred.packet_error_rate = 0.01;
+  req.qos.worst.packet_error_rate = 0.01;
+  const VcId vc = h0.entity.t_connect_request(req);
+  w.star.platform.run_until(200 * kMillisecond);
+  auto* source = h0.entity.source(vc);
+  ASSERT_NE(source, nullptr);
+
+  // Healthy traffic first, offered at the contract rate (a burst would
+  // legitimately trip the delay bound via source queueing): no indications.
+  auto feed = [&](int n) {
+    for (int i = 0; i < n; ++i) (void)source->submit(std::vector<std::uint8_t>(500, 1));
+  };
+  for (int i = 0; i < 25; ++i) {
+    feed(1);  // smooth 25/s: bursts would legitimately violate jitter
+    w.star.platform.run_until(w.star.platform.scheduler().now() + 40 * kMillisecond);
+    while (h1.entity.sink(vc)->receive()) {
+    }
+  }
+  EXPECT_TRUE(w.dst_user->qos_reports.empty());
+
+  // Now degrade the leaf0->hub link hard.
+  w.star.platform.network().link(h0.id, w.star.hub->id)->set_loss_rate(0.5);
+  for (int burst = 0; burst < 20; ++burst) {
+    feed(5);
+    w.star.platform.run_until(w.star.platform.scheduler().now() + 200 * kMillisecond);
+    while (h1.entity.sink(vc) && h1.entity.sink(vc)->receive()) {
+    }
+  }
+
+  ASSERT_FALSE(w.dst_user->qos_reports.empty());
+  const QosReport& rep = w.dst_user->qos_reports.front();
+  EXPECT_EQ(rep.vc, vc);
+  EXPECT_TRUE(rep.violations.any());
+  // Relay to the source user over the QI control TPDU (§4.1.2 lists the
+  // source address in the primitive).
+  EXPECT_FALSE(w.src_user->qos_reports.empty());
+}
+
+TEST(QosIndication, DistinctInitiatorAlsoNotified) {
+  MonitoredWorld w;
+  auto& h0 = *w.star.leaves[0];
+  auto& h1 = *w.star.leaves[1];
+  auto& h2 = *w.star.leaves[2];
+  ScriptedUser initiator(h2.entity);
+  h2.entity.bind(30, &initiator);
+
+  auto req = basic_request({h0.id, 10}, {h1.id, 20}, 25.0, 2048);
+  req.initiator = {h2.id, 30};
+  req.sample_period = 500 * kMillisecond;
+  req.qos.preferred.packet_error_rate = 0.01;
+  req.qos.worst.packet_error_rate = 0.01;
+  const VcId vc = h2.entity.t_connect_request(req);
+  w.star.platform.run_until(300 * kMillisecond);
+  auto* source = h0.entity.source(vc);
+  ASSERT_NE(source, nullptr);
+
+  w.star.platform.network().link(h0.id, w.star.hub->id)->set_loss_rate(0.5);
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 5; ++i) (void)source->submit(std::vector<std::uint8_t>(500, 1));
+    w.star.platform.run_until(w.star.platform.scheduler().now() + 200 * kMillisecond);
+    while (h1.entity.sink(vc) && h1.entity.sink(vc)->receive()) {
+    }
+  }
+  EXPECT_FALSE(initiator.qos_reports.empty());
+}
+
+TEST(QosIndication, NoIndicationWithoutIndicateClass) {
+  MonitoredWorld w;
+  auto& h0 = *w.star.leaves[0];
+  auto& h1 = *w.star.leaves[1];
+  auto req = basic_request({h0.id, 10}, {h1.id, 20}, 25.0, 2048);
+  req.sample_period = 500 * kMillisecond;
+  req.service_class.error_control = ErrorControl::kNone;
+  req.qos.preferred.packet_error_rate = 0.01;
+  req.qos.worst.packet_error_rate = 0.01;
+  const VcId vc = h0.entity.t_connect_request(req);
+  w.star.platform.run_until(200 * kMillisecond);
+  auto* source = h0.entity.source(vc);
+  ASSERT_NE(source, nullptr);
+
+  w.star.platform.network().link(h0.id, w.star.hub->id)->set_loss_rate(0.5);
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 5; ++i) (void)source->submit(std::vector<std::uint8_t>(500, 1));
+    w.star.platform.run_until(w.star.platform.scheduler().now() + 200 * kMillisecond);
+    while (h1.entity.sink(vc) && h1.entity.sink(vc)->receive()) {
+    }
+  }
+  EXPECT_TRUE(w.dst_user->qos_reports.empty());
+}
+
+}  // namespace
+}  // namespace cmtos::test

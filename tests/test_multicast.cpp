@@ -1,0 +1,183 @@
+// Tests for the §3.8 transport-layer 1:N multicast facility.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "media/content.h"
+#include "transport/multicast.h"
+
+namespace cmtos::test {
+namespace {
+
+using transport::MulticastGroup;
+
+struct MulticastWorld {
+  explicit MulticastWorld(std::size_t members, net::LinkConfig link = lan_link())
+      : star(members, link) {}
+
+  /// Sinks bound at tsap 20 on every leaf except leaf0 (the source).
+  StarPlatform star;
+};
+
+TEST(Multicast, FansOutToAllMembers) {
+  StarPlatform star(4);
+  auto& src_host = *star.leaves[0];
+  MulticastGroup group(src_host.entity, 10);
+  std::vector<std::unique_ptr<ScriptedUser>> sinks;
+  int connected = 0;
+  for (std::size_t i = 1; i < 4; ++i) {
+    sinks.push_back(std::make_unique<ScriptedUser>(star.leaves[i]->entity));
+    star.leaves[i]->entity.bind(20, sinks.back().get());
+    group.add_member({star.leaves[i]->id, 20},
+                     basic_request({src_host.id, 10}, {star.leaves[i]->id, 20}, 25.0, 1024),
+                     [&](auto, bool ok, auto) { connected += ok; });
+  }
+  star.platform.run_until(kSecond);
+  ASSERT_EQ(connected, 3);
+  EXPECT_EQ(group.member_count(), 3u);
+
+  // One submit reaches every member, byte-identical.
+  const auto frame = media::make_frame(9, 0, 600);
+  EXPECT_EQ(group.submit(frame, 0xabc), 3);
+  star.platform.run_until(2 * kSecond);
+  for (std::size_t i = 1; i < 4; ++i) {
+    auto* sink = star.leaves[i]->entity.sink(group.member_vc({star.leaves[i]->id, 20}));
+    ASSERT_NE(sink, nullptr);
+    auto o = sink->receive();
+    ASSERT_TRUE(o.has_value());
+    EXPECT_EQ(o->data, frame);
+    EXPECT_EQ(o->event, 0xabcu);
+  }
+}
+
+TEST(Multicast, PerMemberQosIndependence) {
+  // Member 2 sits behind a thin branch: its contract degrades, the others
+  // keep the full rate.
+  StarPlatform star(3);
+  auto& src_host = *star.leaves[0];
+  // Replace leaf2's branch with a thin one: rebuild world instead.
+  platform::Platform p(9);
+  auto& hub = p.add_host("hub");
+  auto& src = p.add_host("src");
+  auto& fast = p.add_host("fast");
+  auto& slow = p.add_host("slow");
+  p.network().add_link(hub.id, src.id, lan_link());
+  p.network().add_link(hub.id, fast.id, lan_link());
+  net::LinkConfig thin = lan_link();
+  thin.bandwidth_bps = 1'000'000;
+  p.network().add_link(hub.id, slow.id, thin);
+  p.network().finalize_routes();
+  (void)src_host;
+
+  ScriptedUser fast_user(fast.entity), slow_user(slow.entity);
+  fast.entity.bind(20, &fast_user);
+  slow.entity.bind(20, &slow_user);
+  MulticastGroup group(src.entity, 10);
+  transport::QosParams fast_agreed, slow_agreed;
+  group.add_member({fast.id, 20}, basic_request({src.id, 10}, {fast.id, 20}, 25.0, 8192),
+                   [&](auto, bool, const transport::QosParams& q) { fast_agreed = q; });
+  group.add_member({slow.id, 20}, basic_request({src.id, 10}, {slow.id, 20}, 25.0, 8192),
+                   [&](auto, bool, const transport::QosParams& q) { slow_agreed = q; });
+  p.run_until(kSecond);
+  EXPECT_NEAR(fast_agreed.osdu_rate, 25.0, 0.01);
+  EXPECT_LT(slow_agreed.osdu_rate, 15.0);  // degraded by its thin branch
+  EXPECT_GE(slow_agreed.osdu_rate, 25.0 / 4);
+}
+
+TEST(Multicast, SlowMemberDoesNotStallOthers) {
+  platform::Platform p(10);
+  auto& src = p.add_host("src");
+  auto& a = p.add_host("a");
+  auto& b = p.add_host("b");
+  p.network().add_link(src.id, a.id, lan_link());
+  net::LinkConfig lossy = lan_link();
+  lossy.loss_rate = 0.3;
+  p.network().add_link(src.id, b.id, lossy);
+  p.network().finalize_routes();
+
+  ScriptedUser ua(a.entity), ub(b.entity);
+  a.entity.bind(20, &ua);
+  b.entity.bind(20, &ub);
+  MulticastGroup group(src.entity, 10);
+  group.add_member({a.id, 20}, basic_request({src.id, 10}, {a.id, 20}, 50.0, 1024));
+  group.add_member({b.id, 20}, basic_request({src.id, 10}, {b.id, 20}, 50.0, 1024));
+  p.run_until(3 * kSecond);
+  ASSERT_EQ(group.member_count(), 2u);
+
+  std::int64_t got_a = 0;
+  for (int round = 0; round < 100; ++round) {
+    (void)group.submit(std::vector<std::uint8_t>(500, 1));
+    p.run_until(p.scheduler().now() + 20 * kMillisecond);
+    auto* sink_a = a.entity.sink(group.member_vc({a.id, 20}));
+    while (sink_a->receive()) ++got_a;
+    auto* sink_b = b.entity.sink(group.member_vc({b.id, 20}));
+    while (sink_b && sink_b->receive()) {
+    }
+  }
+  // The clean member received essentially everything despite the lossy
+  // sibling.
+  EXPECT_GE(got_a, 95);
+}
+
+TEST(Multicast, RemoveMemberStopsOnlyThatMember) {
+  StarPlatform star(3);
+  auto& src_host = *star.leaves[0];
+  ScriptedUser u1(star.leaves[1]->entity), u2(star.leaves[2]->entity);
+  star.leaves[1]->entity.bind(20, &u1);
+  star.leaves[2]->entity.bind(20, &u2);
+  MulticastGroup group(src_host.entity, 10);
+  group.add_member({star.leaves[1]->id, 20},
+                   basic_request({src_host.id, 10}, {star.leaves[1]->id, 20}, 25.0, 1024));
+  group.add_member({star.leaves[2]->id, 20},
+                   basic_request({src_host.id, 10}, {star.leaves[2]->id, 20}, 25.0, 1024));
+  star.platform.run_until(kSecond);
+  const auto vc1 = group.member_vc({star.leaves[1]->id, 20});
+  const auto vc2 = group.member_vc({star.leaves[2]->id, 20});
+
+  group.remove_member({star.leaves[1]->id, 20});
+  star.platform.run_until(2 * kSecond);
+  EXPECT_EQ(group.member_count(), 1u);
+  EXPECT_EQ(star.leaves[1]->entity.sink(vc1), nullptr);
+  EXPECT_NE(star.leaves[2]->entity.sink(vc2), nullptr);
+  EXPECT_EQ(group.submit(std::vector<std::uint8_t>(100, 1)), 1);
+}
+
+TEST(Multicast, FailedMemberConnectLeavesGroupUsable) {
+  StarPlatform star(2);
+  auto& src_host = *star.leaves[0];
+  ScriptedUser u1(star.leaves[1]->entity);
+  star.leaves[1]->entity.bind(20, &u1);
+  MulticastGroup group(src_host.entity, 10);
+  bool bad_ok = true;
+  group.add_member({star.leaves[1]->id, 99},  // unbound TSAP: rejected
+                   basic_request({src_host.id, 10}, {star.leaves[1]->id, 99}, 25.0, 1024),
+                   [&](auto, bool ok, auto) { bad_ok = ok; });
+  group.add_member({star.leaves[1]->id, 20},
+                   basic_request({src_host.id, 10}, {star.leaves[1]->id, 20}, 25.0, 1024));
+  star.platform.run_until(kSecond);
+  EXPECT_FALSE(bad_ok);
+  EXPECT_EQ(group.member_count(), 1u);
+  EXPECT_EQ(group.submit(std::vector<std::uint8_t>(100, 1)), 1);
+}
+
+TEST(Multicast, OrchSpecsShareTheSourceNode) {
+  StarPlatform star(3);
+  auto& src_host = *star.leaves[0];
+  ScriptedUser u1(star.leaves[1]->entity), u2(star.leaves[2]->entity);
+  star.leaves[1]->entity.bind(20, &u1);
+  star.leaves[2]->entity.bind(20, &u2);
+  MulticastGroup group(src_host.entity, 10);
+  group.add_member({star.leaves[1]->id, 20},
+                   basic_request({src_host.id, 10}, {star.leaves[1]->id, 20}, 25.0, 1024));
+  group.add_member({star.leaves[2]->id, 20},
+                   basic_request({src_host.id, 10}, {star.leaves[2]->id, 20}, 25.0, 1024));
+  star.platform.run_until(kSecond);
+  const auto specs = group.orch_specs(2);
+  ASSERT_EQ(specs.size(), 2u);
+  // The common node is the source: the Fig 5 language-lab shape.
+  EXPECT_EQ(orch::Orchestrator::choose_orchestrating_node(specs), src_host.id);
+  for (const auto& s : specs) EXPECT_NEAR(s.osdu_rate, 25.0, 0.01);
+}
+
+}  // namespace
+}  // namespace cmtos::test

@@ -1,0 +1,311 @@
+// Platform tests: REX-like delay-bounded invocation, the trader, media-QoS
+// mapping, and the Stream ADT (connect / disconnect / media-terms QoS
+// change, §2.2).
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "util/byte_io.h"
+
+namespace cmtos::test {
+namespace {
+
+using platform::AudioQos;
+using platform::InterfaceRef;
+using platform::RpcOutcome;
+using platform::TextQos;
+using platform::VideoQos;
+
+TEST(Rpc, InvokeRoundTrip) {
+  PairPlatform w;
+  w.b->rpc.register_op("calc", "double",
+                       [](std::span<const std::uint8_t> req)
+                           -> std::optional<std::vector<std::uint8_t>> {
+                         ByteReader r(req);
+                         const std::int64_t x = r.i64();
+                         std::vector<std::uint8_t> out;
+                         ByteWriter wtr(out);
+                         wtr.i64(2 * x);
+                         return out;
+                       });
+  std::vector<std::uint8_t> args;
+  ByteWriter wr(args);
+  wr.i64(21);
+  std::optional<std::int64_t> result;
+  w.a->rpc.invoke(w.b->id, "calc", "double", args,
+                  [&](RpcOutcome o, std::span<const std::uint8_t> reply) {
+                    ASSERT_EQ(o, RpcOutcome::kOk);
+                    ByteReader r(reply);
+                    result = r.i64();
+                  });
+  w.platform.run_until(kSecond);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(Rpc, NoSuchInterfaceAndOperation) {
+  PairPlatform w;
+  w.b->rpc.register_op("ifc", "op", [](auto) { return std::vector<std::uint8_t>{}; });
+  RpcOutcome o1 = RpcOutcome::kOk, o2 = RpcOutcome::kOk;
+  w.a->rpc.invoke(w.b->id, "nope", "op", {}, [&](RpcOutcome o, auto) { o1 = o; });
+  w.a->rpc.invoke(w.b->id, "ifc", "nope", {}, [&](RpcOutcome o, auto) { o2 = o; });
+  w.platform.run_until(kSecond);
+  EXPECT_EQ(o1, RpcOutcome::kNoSuchInterface);
+  EXPECT_EQ(o2, RpcOutcome::kNoSuchOperation);
+}
+
+TEST(Rpc, AppErrorPropagates) {
+  PairPlatform w;
+  w.b->rpc.register_op("ifc", "fail", [](auto) { return std::nullopt; });
+  RpcOutcome got = RpcOutcome::kOk;
+  w.a->rpc.invoke(w.b->id, "ifc", "fail", {}, [&](RpcOutcome o, auto) { got = o; });
+  w.platform.run_until(kSecond);
+  EXPECT_EQ(got, RpcOutcome::kAppError);
+}
+
+TEST(Rpc, DelayBoundTimesOutAndDropsLateReply) {
+  // §2.2: invocation "extended to provide the delay bounded communication
+  // required for the real-time control of multimedia applications".
+  net::LinkConfig slow = lan_link();
+  slow.propagation_delay = 50 * kMillisecond;
+  PairPlatform w(slow);
+  w.b->rpc.register_op("ifc", "op", [](auto) { return std::vector<std::uint8_t>{1}; });
+  int calls = 0;
+  RpcOutcome got = RpcOutcome::kOk;
+  // RTT is ~100ms; bound of 20ms must fail fast.
+  w.a->rpc.invoke(w.b->id, "ifc", "op", {}, 20 * kMillisecond, [&](RpcOutcome o, auto) {
+    ++calls;
+    got = o;
+  });
+  w.platform.run_until(kSecond);
+  EXPECT_EQ(calls, 1);  // late reply does not fire the callback again
+  EXPECT_EQ(got, RpcOutcome::kTimeout);
+}
+
+TEST(Rpc, GenerousDelayBoundSucceeds) {
+  PairPlatform w;
+  w.b->rpc.register_op("ifc", "op", [](auto) { return std::vector<std::uint8_t>{1}; });
+  RpcOutcome got = RpcOutcome::kTimeout;
+  w.a->rpc.invoke(w.b->id, "ifc", "op", {}, 500 * kMillisecond,
+                  [&](RpcOutcome o, auto) { got = o; });
+  w.platform.run_until(kSecond);
+  EXPECT_EQ(got, RpcOutcome::kOk);
+}
+
+TEST(Trader, ExportImportWithdraw) {
+  StarPlatform star(3);
+  auto& p = star.platform;
+  p.start_trader(star.hub->id);
+
+  auto client0 = p.trader_client(star.leaves[0]->id);
+  auto client1 = p.trader_client(star.leaves[1]->id);
+
+  bool exported = false;
+  client0.export_interface({"camera1", star.leaves[0]->id, 42}, [&](bool ok) { exported = ok; });
+  p.run_until(kSecond);
+  ASSERT_TRUE(exported);
+
+  std::optional<InterfaceRef> found;
+  client1.import_interface("camera1", [&](std::optional<InterfaceRef> r) { found = r; });
+  p.run_until(2 * kSecond);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->node, star.leaves[0]->id);
+  EXPECT_EQ(found->tsap, 42);
+
+  bool withdrawn = false;
+  client0.withdraw("camera1", [&](bool ok) { withdrawn = ok; });
+  p.run_until(3 * kSecond);
+  ASSERT_TRUE(withdrawn);
+  bool looked_up = false;
+  std::optional<InterfaceRef> gone;
+  client1.import_interface("camera1", [&](std::optional<InterfaceRef> r) {
+    looked_up = true;
+    gone = r;
+  });
+  p.run_until(4 * kSecond);
+  EXPECT_TRUE(looked_up);
+  EXPECT_FALSE(gone.has_value());
+}
+
+TEST(Trader, ImportUnknownNameFails) {
+  StarPlatform star(2);
+  star.platform.start_trader(star.hub->id);
+  auto client = star.platform.trader_client(star.leaves[0]->id);
+  bool called = false;
+  std::optional<InterfaceRef> r;
+  client.import_interface("ghost", [&](std::optional<InterfaceRef> ref) {
+    called = true;
+    r = ref;
+  });
+  star.platform.run_until(kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(MediaQos, VideoMapping) {
+  VideoQos v;
+  v.width = 352;
+  v.height = 288;
+  v.frames_per_second = 25;
+  v.colour = true;
+  v.compression = 50;
+  const auto tol = platform::to_transport_qos(v);
+  EXPECT_DOUBLE_EQ(tol.preferred.osdu_rate, 25.0);
+  EXPECT_EQ(tol.preferred.max_osdu_bytes, v.frame_bytes());
+  EXPECT_GT(tol.worst.packet_error_rate, tol.preferred.packet_error_rate - 1e-12);
+  // Colour doubles-ish the size vs monochrome at equal compression.
+  VideoQos mono = v;
+  mono.colour = false;
+  EXPECT_GT(v.frame_bytes(), 2 * mono.frame_bytes());
+  // Interactive video gets a tighter delay budget.
+  VideoQos inter = v;
+  inter.interactive = true;
+  EXPECT_LT(platform::to_transport_qos(inter).preferred.end_to_end_delay,
+            tol.preferred.end_to_end_delay);
+}
+
+TEST(MediaQos, AudioMapping) {
+  AudioQos a;
+  a.sample_rate_hz = 8000;
+  a.bits_per_sample = 8;
+  a.channels = 1;
+  a.blocks_per_second = 50;
+  const auto tol = platform::to_transport_qos(a);
+  EXPECT_DOUBLE_EQ(tol.preferred.osdu_rate, 50.0);
+  EXPECT_EQ(tol.preferred.max_osdu_bytes, 160);  // 8000/50 samples * 1 B
+  // Audio jitter bound is tight (§3.2).
+  EXPECT_LE(tol.preferred.delay_jitter, 10 * kMillisecond);
+  // CD quality demands more bandwidth.
+  AudioQos cd = a;
+  cd.sample_rate_hz = 44100;
+  cd.bits_per_sample = 16;
+  cd.channels = 2;
+  EXPECT_GT(platform::to_transport_qos(cd).preferred.required_bps(),
+            tol.preferred.required_bps() * 10);
+}
+
+TEST(MediaQos, TextRequiresNoLoss) {
+  TextQos t;
+  const auto tol = platform::to_transport_qos(t);
+  EXPECT_DOUBLE_EQ(tol.preferred.packet_error_rate, 0.0);
+}
+
+TEST(Stream, ConnectReportsAgreedQos) {
+  PairPlatform w;
+  media::StoredMediaServer server(w.platform, *w.a, "s");
+  media::TrackConfig t;
+  t.track_id = 1;
+  const auto src = server.add_track(100, t);
+  media::RenderingSink sink(w.platform, *w.b, 200, {});
+
+  platform::Stream stream(w.platform, *w.b, "video");
+  bool ok = false;
+  transport::QosParams agreed;
+  VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, [&](bool o, transport::QosParams q) {
+    ok = o;
+    agreed = q;
+  });
+  w.platform.run_until(kSecond);
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(stream.connected());
+  EXPECT_NEAR(agreed.osdu_rate, 25.0, 1e-9);
+  const auto spec = stream.orch_spec(2);
+  EXPECT_EQ(spec.vc.src_node, w.a->id);
+  EXPECT_EQ(spec.vc.sink_node, w.b->id);
+  EXPECT_EQ(spec.max_drop_per_interval, 2u);
+}
+
+TEST(Stream, ConnectFailureReported) {
+  PairPlatform w;
+  // No device bound at the source TSAP.
+  platform::Stream stream(w.platform, *w.b, "video");
+  bool called = false, ok = true;
+  stream.connect({w.a->id, 777}, {w.b->id, 200}, VideoQos{}, {}, [&](bool o, auto) {
+    called = true;
+    ok = o;
+  });
+  w.platform.run_until(kSecond);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(stream.connected());
+}
+
+TEST(Stream, ChangeQosInMediaTerms) {
+  PairPlatform w;
+  media::StoredMediaServer server(w.platform, *w.a, "s");
+  media::TrackConfig t;
+  t.track_id = 1;
+  const auto src = server.add_track(100, t);
+  media::RenderingSink sink(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "video");
+  VideoQos vq;
+  vq.frames_per_second = 12.5;
+  vq.colour = false;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(kSecond);
+  ASSERT_TRUE(stream.connected());
+  const double rate_before = stream.agreed_qos().osdu_rate;
+
+  // "Upgrading from monochrome to colour video" (§3.3).
+  VideoQos colour = vq;
+  colour.colour = true;
+  colour.frames_per_second = 25;
+  bool changed = false;
+  transport::QosParams after;
+  stream.change_qos(colour, [&](bool ok, transport::QosParams q) {
+    changed = ok;
+    after = q;
+  });
+  w.platform.run_until(3 * kSecond);
+  ASSERT_TRUE(changed);
+  EXPECT_GT(after.osdu_rate, rate_before);
+  EXPECT_NEAR(after.osdu_rate, 25.0, 1e-6);
+}
+
+TEST(Stream, DisconnectTearsDownRemotely) {
+  PairPlatform w;
+  media::StoredMediaServer server(w.platform, *w.a, "s");
+  media::TrackConfig t;
+  t.track_id = 1;
+  const auto src = server.add_track(100, t);
+  media::RenderingSink sink(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "video");
+  stream.connect(src, {w.b->id, 200}, VideoQos{}, {}, nullptr);
+  w.platform.run_until(kSecond);
+  ASSERT_TRUE(stream.connected());
+  const auto vc = stream.vc();
+
+  stream.disconnect();
+  w.platform.run_until(3 * kSecond);
+  // The source device honoured the remote release.
+  EXPECT_EQ(w.a->entity.source(vc), nullptr);
+  EXPECT_EQ(w.b->entity.sink(vc), nullptr);
+}
+
+TEST(Stream, QosDegradationCallbackFires) {
+  net::LinkConfig link = lan_link();
+  PairPlatform w(link);
+  media::StoredMediaServer server(w.platform, *w.a, "s");
+  media::TrackConfig t;
+  t.track_id = 1;
+  t.vbr.base_bytes = 2048;
+  const auto src = server.add_track(100, t);
+  media::RenderingSink sink(w.platform, *w.b, 200, {});
+  platform::Stream stream(w.platform, *w.b, "video");
+  int degradations = 0;
+  stream.set_on_qos_degraded([&](const transport::QosReport&) { ++degradations; });
+  VideoQos vq;
+  vq.frames_per_second = 25;
+  stream.connect(src, {w.b->id, 200}, vq, {}, nullptr);
+  w.platform.run_until(2 * kSecond);
+  ASSERT_TRUE(stream.connected());
+
+  w.platform.network().link(w.a->id, w.b->id)->set_loss_rate(0.5);
+  w.platform.run_until(8 * kSecond);
+  EXPECT_GT(degradations, 0);
+}
+
+}  // namespace
+}  // namespace cmtos::test

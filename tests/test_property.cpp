@@ -1,0 +1,309 @@
+// Property-style parameterized sweeps over the full stack: determinism,
+// loss x error-control matrix, OSDU-size fragmentation boundaries, rate
+// sweeps, and orchestration drift sweeps.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "fixtures.h"
+
+namespace cmtos::test {
+namespace {
+
+using transport::ErrorControl;
+using transport::ProtocolProfile;
+
+// --------------------------------------------------------------------
+// Determinism: identical seeds -> bit-identical delivery traces.
+// --------------------------------------------------------------------
+
+struct TraceResult {
+  std::vector<std::uint32_t> seqs;
+  std::vector<Time> times;
+  std::int64_t lost = 0;
+};
+
+TraceResult run_trace(std::uint64_t seed) {
+  net::LinkConfig lossy = lan_link();
+  lossy.loss_rate = 0.1;
+  lossy.jitter = 2 * kMillisecond;
+  PairPlatform w(lossy, seed);
+  ScriptedUser src_user(w.a->entity), dst_user(w.b->entity);
+  w.a->entity.bind(1, &src_user);
+  w.b->entity.bind(2, &dst_user);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 100.0, 1024);
+  const auto vc = w.a->entity.t_connect_request(req);
+  w.platform.run_until(200 * kMillisecond);
+  auto* source = w.a->entity.source(vc);
+  auto* sink = w.b->entity.sink(vc);
+  TraceResult r;
+  if (source == nullptr || sink == nullptr) return r;
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 5; ++i) (void)source->submit(std::vector<std::uint8_t>(300, 1));
+    w.platform.run_until(w.platform.scheduler().now() + 100 * kMillisecond);
+    while (auto o = sink->receive()) {
+      r.seqs.push_back(o->seq);
+      r.times.push_back(w.platform.scheduler().now());
+    }
+  }
+  r.lost = sink->stats().tpdus_lost;
+  return r;
+}
+
+TEST(Determinism, SameSeedSameTrace) {
+  const auto a = run_trace(1234);
+  const auto b = run_trace(1234);
+  ASSERT_FALSE(a.seqs.empty());
+  EXPECT_EQ(a.seqs, b.seqs);
+  EXPECT_EQ(a.times, b.times);
+  EXPECT_EQ(a.lost, b.lost);
+}
+
+TEST(Determinism, DifferentSeedDifferentLossPattern) {
+  const auto a = run_trace(1);
+  const auto b = run_trace(2);
+  // Loss patterns differ (times or seq sets diverge).
+  EXPECT_TRUE(a.seqs != b.seqs || a.times != b.times);
+}
+
+// --------------------------------------------------------------------
+// Loss rate x error control matrix.
+// --------------------------------------------------------------------
+
+class LossMatrix : public ::testing::TestWithParam<std::tuple<double, ErrorControl>> {};
+
+TEST_P(LossMatrix, InOrderDeliveryAndRecoveryContract) {
+  const auto [loss, ec] = GetParam();
+  net::LinkConfig link = lan_link();
+  link.loss_rate = loss;
+  PairPlatform w(link, 31 + static_cast<std::uint64_t>(loss * 1000));
+  ScriptedUser src_user(w.a->entity), dst_user(w.b->entity);
+  w.a->entity.bind(1, &src_user);
+  w.b->entity.bind(2, &dst_user);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 100.0, 1024);
+  req.service_class.error_control = ec;
+  req.buffer_osdus = 32;
+  const auto vc = w.a->entity.t_connect_request(req);
+  w.platform.run_until(3 * kSecond);
+  auto* source = w.a->entity.source(vc);
+  auto* sink = w.b->entity.sink(vc);
+  ASSERT_NE(source, nullptr);
+
+  constexpr int kCount = 150;
+  int submitted = 0;
+  std::vector<std::uint32_t> got;
+  for (int burst = 0; burst < kCount / 10; ++burst) {
+    for (int i = 0; i < 10; ++i) submitted += source->submit(std::vector<std::uint8_t>(400, 1));
+    w.platform.run_until(w.platform.scheduler().now() + 150 * kMillisecond);
+    while (auto o = sink->receive()) got.push_back(o->seq);
+  }
+  w.platform.run_until(w.platform.scheduler().now() + 3 * kSecond);
+  while (auto o = sink->receive()) got.push_back(o->seq);
+
+  // Invariant 1: strictly increasing delivery (boundaries + order).
+  for (std::size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i], got[i - 1]);
+  // Invariant 2: never deliver more than submitted.
+  EXPECT_LE(got.size(), static_cast<std::size_t>(submitted));
+  // Invariant 3: correction recovers nearly everything; detection-only
+  // delivers roughly the survival rate.
+  const double delivered_frac =
+      static_cast<double>(got.size()) / static_cast<double>(submitted);
+  if (wants_correction(ec)) {
+    EXPECT_GE(delivered_frac, 0.93);
+  } else {
+    EXPECT_GE(delivered_frac, (1.0 - loss) - 0.12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossMatrix,
+    ::testing::Combine(::testing::Values(0.0, 0.02, 0.08, 0.15),
+                       ::testing::Values(ErrorControl::kNone, ErrorControl::kIndicate,
+                                         ErrorControl::kCorrect,
+                                         ErrorControl::kCorrectAndIndicate)));
+
+// --------------------------------------------------------------------
+// OSDU size sweep across fragmentation boundaries.
+// --------------------------------------------------------------------
+
+class OsduSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OsduSize, BoundariesPreservedByteExact) {
+  const std::size_t size = GetParam();
+  PairPlatform w;
+  ScriptedUser src_user(w.a->entity), dst_user(w.b->entity);
+  w.a->entity.bind(1, &src_user);
+  w.b->entity.bind(2, &dst_user);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 20.0,
+                           static_cast<std::int64_t>(size) + 16);
+  const auto vc = w.a->entity.t_connect_request(req);
+  w.platform.run_until(200 * kMillisecond);
+  auto* source = w.a->entity.source(vc);
+  auto* sink = w.b->entity.sink(vc);
+  ASSERT_NE(source, nullptr);
+
+  std::vector<std::uint8_t> data(size);
+  for (std::size_t i = 0; i < size; ++i) data[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  auto copy = data;
+  ASSERT_TRUE(source->submit(std::move(copy)));
+  w.platform.run_until(3 * kSecond);
+  auto o = sink->receive();
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->data, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OsduSize,
+                         ::testing::Values(0, 1, 100, 1399, 1400, 1401, 2800, 2801, 7000,
+                                           14001, 65536));
+
+// --------------------------------------------------------------------
+// Contract rate sweep: delivered rate tracks the agreed rate.
+// --------------------------------------------------------------------
+
+class RateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RateSweep, DeliveredRateMatchesContract) {
+  const double rate = GetParam();
+  PairPlatform w(lan_link(), 3);
+  ScriptedUser src_user(w.a->entity), dst_user(w.b->entity);
+  w.a->entity.bind(1, &src_user);
+  w.b->entity.bind(2, &dst_user);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, rate, 1000);
+  req.buffer_osdus = 32;
+  const auto vc = w.a->entity.t_connect_request(req);
+  w.platform.run_until(200 * kMillisecond);
+  auto* source = w.a->entity.source(vc);
+  auto* sink = w.b->entity.sink(vc);
+  ASSERT_NE(source, nullptr);
+
+  // Saturate with exactly max-size OSDUs; measure delivery over 4s.
+  const Time t0 = w.platform.scheduler().now();
+  std::int64_t delivered = 0;
+  while (w.platform.scheduler().now() < t0 + 4 * kSecond) {
+    while (source->submit(std::vector<std::uint8_t>(1000, 1))) {
+    }
+    w.platform.run_until(w.platform.scheduler().now() + 50 * kMillisecond);
+    while (sink->receive()) ++delivered;
+  }
+  const double measured = static_cast<double>(delivered) / 4.0;
+  EXPECT_NEAR(measured, rate, rate * 0.25 + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RateSweep, ::testing::Values(5.0, 25.0, 50.0, 100.0, 200.0));
+
+// --------------------------------------------------------------------
+// Profile x loss: both profiles keep the in-order invariant.
+// --------------------------------------------------------------------
+
+class ProfileSweep
+    : public ::testing::TestWithParam<std::tuple<ProtocolProfile, double>> {};
+
+TEST_P(ProfileSweep, InOrderInvariantHolds) {
+  const auto [profile, loss] = GetParam();
+  net::LinkConfig link = lan_link();
+  link.loss_rate = loss;
+  PairPlatform w(link, 47);
+  ScriptedUser src_user(w.a->entity), dst_user(w.b->entity);
+  w.a->entity.bind(1, &src_user);
+  w.b->entity.bind(2, &dst_user);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 50.0, 1024);
+  req.service_class.profile = profile;
+  req.service_class.error_control = ErrorControl::kCorrect;
+  const auto vc = w.a->entity.t_connect_request(req);
+  w.platform.run_until(3 * kSecond);
+  auto* source = w.a->entity.source(vc);
+  auto* sink = w.b->entity.sink(vc);
+  ASSERT_NE(source, nullptr);
+
+  std::vector<std::uint32_t> got;
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int i = 0; i < 8; ++i) (void)source->submit(std::vector<std::uint8_t>(300, 1));
+    w.platform.run_until(w.platform.scheduler().now() + 300 * kMillisecond);
+    while (auto o = sink->receive()) got.push_back(o->seq);
+  }
+  ASSERT_GT(got.size(), 20u);
+  for (std::size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i], got[i - 1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, ProfileSweep,
+    ::testing::Combine(::testing::Values(ProtocolProfile::kRateBasedCm,
+                                         ProtocolProfile::kWindowBased),
+                       ::testing::Values(0.0, 0.05)));
+
+// --------------------------------------------------------------------
+// Orchestration drift sweep: bounded skew across drift magnitudes.
+// --------------------------------------------------------------------
+
+class DriftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DriftSweep, SkewStaysWithinLipSyncThreshold) {
+  // The paper's film scenario: video and soundtrack on *separate* storage
+  // servers whose clocks drift in opposite directions (the transport rate
+  // pacers run off those clocks), common sink workstation.
+  const double drift_ppm = GetParam();
+  platform::Platform p(808);
+  auto& video_server = p.add_host("video-server", sim::LocalClock(0, drift_ppm / 2));
+  auto& audio_server = p.add_host("audio-server", sim::LocalClock(0, -drift_ppm / 2));
+  auto& ws = p.add_host("ws");
+  p.network().add_link(video_server.id, ws.id, lan_link());
+  p.network().add_link(audio_server.id, ws.id, lan_link());
+  p.network().finalize_routes();
+
+  media::StoredMediaServer vserver(p, video_server, "video-store");
+  media::TrackConfig video;
+  video.track_id = 1;
+  video.auto_start = false;
+  video.vbr.base_bytes = 2048;
+  const auto vsrc = vserver.add_track(100, video);
+  media::StoredMediaServer aserver(p, audio_server, "audio-store");
+  media::TrackConfig audio;
+  audio.track_id = 2;
+  audio.auto_start = false;
+  audio.vbr.base_bytes = 160;
+  audio.vbr.gop = 0;
+  const auto asrc = aserver.add_track(101, audio);
+
+  media::RenderConfig vr;
+  vr.expect_track = 1;
+  media::RenderingSink vsink(p, ws, 200, vr);
+  media::RenderConfig ar;
+  ar.expect_track = 2;
+  media::RenderingSink asink(p, ws, 201, ar);
+  platform::Stream vstream(p, ws, "v"), astream(p, ws, "a");
+  platform::VideoQos vq;
+  vq.frames_per_second = 25;
+  platform::AudioQos aq;
+  aq.blocks_per_second = 50;
+  vstream.connect(vsrc, {ws.id, 200}, vq, {}, nullptr);
+  astream.connect(asrc, {ws.id, 201}, aq, {}, nullptr);
+  p.run_until(500 * kMillisecond);
+  ASSERT_TRUE(vstream.connected() && astream.connected());
+
+  orch::OrchPolicy policy;
+  policy.interval = 100 * kMillisecond;
+  auto session = p.orchestrator().orchestrate({vstream.orch_spec(2), astream.orch_spec(2)},
+                                              policy, nullptr);
+  ASSERT_NE(session, nullptr);
+  p.run_until(kSecond);
+  session->prime(false, nullptr);
+  p.run_until(2 * kSecond);
+  session->start(nullptr);
+  p.run_until(2500 * kMillisecond);
+
+  media::SyncMeter meter(p.scheduler());
+  meter.add_stream("video", &vsink);
+  meter.add_stream("audio", &asink);
+  meter.begin(100 * kMillisecond);
+  p.run_until(17 * kSecond);
+
+  EXPECT_LT(meter.max_abs_skew_seconds(), 0.085)
+      << "drift " << drift_ppm << " ppm broke lip sync";
+}
+
+INSTANTIATE_TEST_SUITE_P(Drifts, DriftSweep,
+                         ::testing::Values(0.0, 100.0, 500.0, 2000.0, 10000.0, -10000.0));
+
+}  // namespace
+}  // namespace cmtos::test

@@ -1,0 +1,182 @@
+// Tests for Table 3: dynamic QoS renegotiation — upgrades, downgrades,
+// rejection semantics (the VC survives), reservation accounting, and
+// initiation from either endpoint.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+
+namespace cmtos::test {
+namespace {
+
+using transport::DisconnectReason;
+using transport::QosParams;
+using transport::QosTolerance;
+using transport::VcId;
+
+struct RenegWorld {
+  RenegWorld() : star(2) {
+    h0 = star.leaves[0];
+    h1 = star.leaves[1];
+    src_user = std::make_unique<ScriptedUser>(h0->entity);
+    dst_user = std::make_unique<ScriptedUser>(h1->entity);
+    h0->entity.bind(10, src_user.get());
+    h1->entity.bind(20, dst_user.get());
+    vc = h0->entity.t_connect_request(basic_request({h0->id, 10}, {h1->id, 20}, 10.0, 2048));
+    star.platform.run_until(200 * kMillisecond);
+  }
+  QosTolerance tol(double rate, std::int64_t size) {
+    auto req = basic_request({h0->id, 10}, {h1->id, 20}, rate, size);
+    return req.qos;
+  }
+  StarPlatform star;
+  platform::Host* h0 = nullptr;
+  platform::Host* h1 = nullptr;
+  std::unique_ptr<ScriptedUser> src_user, dst_user;
+  VcId vc = transport::kInvalidVc;
+};
+
+TEST(Renegotiate, SourceInitiatedUpgrade) {
+  RenegWorld w;
+  ASSERT_NE(w.h0->entity.source(w.vc), nullptr);
+  const auto before = w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id);
+
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(40.0, 2048));
+  w.star.platform.run_until(kSecond);
+
+  // Fully confirmed: sink user saw the indication, source user the confirm.
+  ASSERT_EQ(w.dst_user->reneg_indications.size(), 1u);
+  ASSERT_EQ(w.src_user->reneg_confirms.size(), 1u);
+  EXPECT_TRUE(w.src_user->reneg_confirms[0].first);
+  EXPECT_NEAR(w.src_user->reneg_confirms[0].second.osdu_rate, 40.0, 1e-9);
+  // Both endpoints carry the new contract.
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 40.0, 1e-9);
+  EXPECT_NEAR(w.h1->entity.sink(w.vc)->agreed_qos().osdu_rate, 40.0, 1e-9);
+  // Reservation grew.
+  EXPECT_GT(w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id), before);
+}
+
+TEST(Renegotiate, SourceInitiatedDowngradeShrinksReservation) {
+  RenegWorld w;
+  const auto before = w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id);
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(2.5, 2048));
+  w.star.platform.run_until(kSecond);
+  ASSERT_EQ(w.src_user->reneg_confirms.size(), 1u);
+  EXPECT_TRUE(w.src_user->reneg_confirms[0].first);
+  EXPECT_LT(w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id), before);
+}
+
+TEST(Renegotiate, PeerRejectionKeepsVcAndRollsBackReservation) {
+  RenegWorld w;
+  w.dst_user->accept_renegotiations = false;
+  const auto before = w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id);
+
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(40.0, 2048));
+  w.star.platform.run_until(kSecond);
+
+  // §4.1.3: rejection arrives as T-Disconnect.indication, but the VC is
+  // NOT torn down.
+  ASSERT_EQ(w.src_user->disconnects.size(), 1u);
+  EXPECT_EQ(w.src_user->disconnects[0].second, DisconnectReason::kRenegotiationFailed);
+  EXPECT_NE(w.h0->entity.source(w.vc), nullptr);
+  EXPECT_NE(w.h1->entity.sink(w.vc), nullptr);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 10.0, 1e-9);
+  EXPECT_EQ(w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id), before);
+}
+
+TEST(Renegotiate, InsufficientBandwidthFailsWithoutTeardown) {
+  RenegWorld w;
+  // Ask for far more than the 10 Mbit/s link can reserve.
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(2000.0, 8192));
+  w.star.platform.run_until(kSecond);
+  ASSERT_EQ(w.src_user->disconnects.size(), 1u);
+  EXPECT_EQ(w.src_user->disconnects[0].second, DisconnectReason::kRenegotiationFailed);
+  EXPECT_NE(w.h0->entity.source(w.vc), nullptr);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 10.0, 1e-9);
+}
+
+TEST(Renegotiate, SinkInitiated) {
+  RenegWorld w;
+  w.h1->entity.t_renegotiate_request(w.vc, w.tol(20.0, 2048));
+  w.star.platform.run_until(kSecond);
+  // The source user is asked (it owns the sending side) ...
+  ASSERT_EQ(w.src_user->reneg_indications.size(), 1u);
+  // ... and the sink user gets the confirm.
+  ASSERT_EQ(w.dst_user->reneg_confirms.size(), 1u);
+  EXPECT_TRUE(w.dst_user->reneg_confirms[0].first);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 20.0, 1e-9);
+  EXPECT_NEAR(w.h1->entity.sink(w.vc)->agreed_qos().osdu_rate, 20.0, 1e-9);
+}
+
+TEST(Renegotiate, SinkInitiatedRejectedBySourceUser) {
+  RenegWorld w;
+  w.src_user->accept_renegotiations = false;
+  w.h1->entity.t_renegotiate_request(w.vc, w.tol(20.0, 2048));
+  w.star.platform.run_until(kSecond);
+  ASSERT_EQ(w.dst_user->disconnects.size(), 1u);
+  EXPECT_EQ(w.dst_user->disconnects[0].second, DisconnectReason::kRenegotiationFailed);
+  EXPECT_NE(w.h1->entity.sink(w.vc), nullptr);  // VC survives
+}
+
+TEST(Renegotiate, DegradedRateWithinToleranceAccepted) {
+  // Fill most of the link, then ask for more than remains: negotiation
+  // lands between preferred and worst rather than failing outright.
+  RenegWorld w;
+  auto hog = w.star.platform.network().reserve(
+      w.h0->id, w.h1->id, w.star.platform.network().available_bps(w.h0->id, w.h1->id) -
+                              2'000'000);
+  ASSERT_TRUE(hog.has_value());
+
+  auto tol = w.tol(100.0, 2048);  // preferred needs ~1.8 Mbit/s... fits
+  tol.worst.osdu_rate = 5.0;
+  w.h0->entity.t_renegotiate_request(w.vc, tol);
+  w.star.platform.run_until(kSecond);
+  ASSERT_EQ(w.src_user->reneg_confirms.size(), 1u);
+  const QosParams agreed = w.src_user->reneg_confirms[0].second;
+  EXPECT_GE(agreed.osdu_rate, 5.0);
+  EXPECT_LE(agreed.required_bps(), 2'000'000 + w.h0->entity.source(w.vc) ? INT64_MAX : 0);
+}
+
+TEST(Renegotiate, DataFlowsAtNewRateAfterUpgrade) {
+  RenegWorld w;
+  auto* source = w.h0->entity.source(w.vc);
+  auto* sink = w.h1->entity.sink(w.vc);
+  ASSERT_NE(source, nullptr);
+
+  // Measures delivery rate over one second of saturated offered load.
+  // Full-size (max_osdu_bytes) payloads make the byte-based pacer's OSDU
+  // rate match the contracted OSDU rate.
+  auto measure_rate = [&]() -> double {
+    const Time t0 = w.star.platform.scheduler().now();
+    std::int64_t delivered = 0;
+    for (int round = 0; round < 20; ++round) {
+      while (source->submit(std::vector<std::uint8_t>(2000, 1))) {
+      }
+      w.star.platform.run_until(w.star.platform.scheduler().now() + 50 * kMillisecond);
+      while (sink->receive()) ++delivered;
+    }
+    return static_cast<double>(delivered) / to_seconds(w.star.platform.scheduler().now() - t0);
+  };
+
+  const double rate_before = measure_rate();
+  EXPECT_NEAR(rate_before, 10.0, 4.0);
+
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(50.0, 2048));
+  w.star.platform.run_until(w.star.platform.scheduler().now() + 300 * kMillisecond);
+  while (sink->receive()) {
+  }
+  const double rate_after = measure_rate();
+  EXPECT_GT(rate_after, rate_before * 3);
+  EXPECT_NEAR(rate_after, 50.0, 15.0);
+}
+
+TEST(Renegotiate, UnknownVcIsIgnoredSafely) {
+  RenegWorld w;
+  w.h0->entity.t_renegotiate_request(0xdeadbeef, w.tol(20.0, 2048));
+  w.star.platform.run_until(kSecond);
+  EXPECT_TRUE(w.src_user->reneg_confirms.empty());
+  EXPECT_TRUE(w.src_user->disconnects.empty());
+}
+
+}  // namespace
+}  // namespace cmtos::test

@@ -1,0 +1,142 @@
+// Unit tests for the discrete-event scheduler and skewed local clocks.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/scheduler.h"
+
+namespace cmtos::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, EventsMayScheduleEvents) {
+  Scheduler s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.after(10, chain);
+  };
+  s.after(10, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesNow) {
+  Scheduler s;
+  int fired = 0;
+  s.at(10, [&] { ++fired; });
+  s.at(20, [&] { ++fired; });
+  s.at(30, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.run_until(100), 1u);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.at(10, [&] { ++fired; });
+  s.at(5, [&h] { h.cancel(); });
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  int fired = 0;
+  auto h = s.at(10, [&] { ++fired; });
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or affect anything
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Scheduler, PendingReflectsState) {
+  Scheduler s;
+  EventHandle none;
+  EXPECT_FALSE(none.pending());
+  auto h = s.at(10, [] {});
+  EXPECT_TRUE(h.pending());
+  s.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Scheduler, RunWithLimit) {
+  Scheduler s;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) s.at(i, [&] { ++fired; });
+  EXPECT_EQ(s.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  s.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  s.at(100, [] {});
+  s.run();
+  int fired = 0;
+  s.after(-50, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(LocalClock, PerfectClockIsIdentity) {
+  LocalClock c;
+  EXPECT_EQ(c.local_time(12345), 12345);
+  EXPECT_EQ(c.true_duration(1000), 1000);
+}
+
+TEST(LocalClock, OffsetShifts) {
+  LocalClock c(500, 0.0);
+  EXPECT_EQ(c.local_time(1000), 1500);
+}
+
+TEST(LocalClock, DriftAccumulates) {
+  LocalClock c(0, 100.0);  // +100 ppm: fast clock
+  // After 1 true second the local clock reads 1s + 100us.
+  EXPECT_EQ(c.local_time(1 * kSecond), 1 * kSecond + 100 * kMicrosecond);
+}
+
+TEST(LocalClock, TrueDurationInvertsDrift) {
+  LocalClock c(0, 200.0);
+  const Duration local = 1 * kSecond;
+  const Duration truth = c.true_duration(local);
+  // A fast clock reaches a local second in slightly less true time.
+  EXPECT_LT(truth, local);
+  // local_time(truth) ~= local (within 1ns rounding).
+  EXPECT_NEAR(static_cast<double>(c.local_time(truth)), static_cast<double>(local), 1.5);
+}
+
+TEST(LocalClock, AdjustOffset) {
+  LocalClock c(0, 0.0);
+  c.adjust_offset(-250);
+  EXPECT_EQ(c.local_time(1000), 750);
+}
+
+}  // namespace
+}  // namespace cmtos::sim

@@ -1,0 +1,107 @@
+// Real-concurrency tests for the §3.7 shared circular buffer
+// (std::counting_semaphore contention between true threads).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <thread>
+
+#include "transport/threaded_buffer.h"
+
+namespace cmtos::transport {
+namespace {
+
+Osdu make(std::uint32_t seq, std::size_t bytes = 64) {
+  Osdu o;
+  o.seq = seq;
+  o.data.assign(bytes, static_cast<std::uint8_t>(seq));
+  return o;
+}
+
+TEST(ThreadedBuffer, SingleThreadedFifo) {
+  ThreadedStreamBuffer b(4);
+  b.push(make(1));
+  b.push(make(2));
+  EXPECT_EQ(b.pop().seq, 1u);
+  EXPECT_EQ(b.pop().seq, 2u);
+}
+
+TEST(ThreadedBuffer, AcquireReleaseZeroCopy) {
+  ThreadedStreamBuffer b(2);
+  b.push(make(9, 128));
+  Osdu* p = b.acquire();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->seq, 9u);
+  EXPECT_EQ(p->data.size(), 128u);
+  b.release();
+}
+
+TEST(ThreadedBuffer, TwoThreadsTransferEverythingInOrder) {
+  constexpr int kCount = 50'000;
+  ThreadedStreamBuffer b(64);
+  std::vector<std::uint32_t> received;
+  received.reserve(kCount);
+
+  std::thread consumer([&] {
+    for (int i = 0; i < kCount; ++i) received.push_back(b.pop().seq);
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < kCount; ++i) b.push(make(static_cast<std::uint32_t>(i), 16));
+  });
+  producer.join();
+  consumer.join();
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kCount));
+  for (int i = 0; i < kCount; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)],
+                                             static_cast<std::uint32_t>(i));
+}
+
+TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowConsumer) {
+  ThreadedStreamBuffer b(2);
+  std::thread consumer([&] {
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      (void)b.pop();
+    }
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 20; ++i) b.push(make(static_cast<std::uint32_t>(i)));
+  });
+  producer.join();
+  consumer.join();
+  // The producer outpaced the consumer: it must have waited on the full
+  // ring; the semaphore-wait accounting captured it (the statistic the
+  // orchestration service consumes, §3.7/§6.3.1.2).
+  EXPECT_GT(b.producer_blocked_ns(), 10'000'000);  // >= 10 ms total
+}
+
+TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowProducer) {
+  ThreadedStreamBuffer b(2);
+  std::thread producer([&] {
+    for (int i = 0; i < 20; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      b.push(make(static_cast<std::uint32_t>(i)));
+    }
+  });
+  std::thread consumer([&] {
+    for (int i = 0; i < 20; ++i) (void)b.pop();
+  });
+  producer.join();
+  consumer.join();
+  EXPECT_GT(b.consumer_blocked_ns(), 10'000'000);
+}
+
+TEST(ThreadedBuffer, CapacityOneDegenerate) {
+  ThreadedStreamBuffer b(1);
+  std::thread consumer([&] {
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(b.pop().seq, static_cast<std::uint32_t>(i));
+  });
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) b.push(make(static_cast<std::uint32_t>(i), 8));
+  });
+  producer.join();
+  consumer.join();
+}
+
+}  // namespace
+}  // namespace cmtos::transport
