@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_buffer_iface.dir/bench_buffer_iface.cpp.o"
+  "CMakeFiles/bench_buffer_iface.dir/bench_buffer_iface.cpp.o.d"
+  "bench_buffer_iface"
+  "bench_buffer_iface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_buffer_iface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

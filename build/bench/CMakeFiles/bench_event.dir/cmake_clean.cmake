@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event.dir/bench_event.cpp.o"
+  "CMakeFiles/bench_event.dir/bench_event.cpp.o.d"
+  "bench_event"
+  "bench_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

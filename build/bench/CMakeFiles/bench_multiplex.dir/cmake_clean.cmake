@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiplex.dir/bench_multiplex.cpp.o"
+  "CMakeFiles/bench_multiplex.dir/bench_multiplex.cpp.o.d"
+  "bench_multiplex"
+  "bench_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_orchestration.dir/bench_orchestration.cpp.o"
+  "CMakeFiles/bench_orchestration.dir/bench_orchestration.cpp.o.d"
+  "bench_orchestration"
+  "bench_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

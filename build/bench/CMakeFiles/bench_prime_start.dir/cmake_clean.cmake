@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prime_start.dir/bench_prime_start.cpp.o"
+  "CMakeFiles/bench_prime_start.dir/bench_prime_start.cpp.o.d"
+  "bench_prime_start"
+  "bench_prime_start.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prime_start.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

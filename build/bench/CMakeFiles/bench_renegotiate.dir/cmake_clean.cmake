@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_renegotiate.dir/bench_renegotiate.cpp.o"
+  "CMakeFiles/bench_renegotiate.dir/bench_renegotiate.cpp.o.d"
+  "bench_renegotiate"
+  "bench_renegotiate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_renegotiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/av_phone.dir/av_phone.cpp.o"
+  "CMakeFiles/av_phone.dir/av_phone.cpp.o.d"
+  "av_phone"
+  "av_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/av_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

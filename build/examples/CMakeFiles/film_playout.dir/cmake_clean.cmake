@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_playout.dir/film_playout.cpp.o"
+  "CMakeFiles/film_playout.dir/film_playout.cpp.o.d"
+  "film_playout"
+  "film_playout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_playout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

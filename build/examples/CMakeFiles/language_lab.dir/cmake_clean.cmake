@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_lab.dir/language_lab.cpp.o"
+  "CMakeFiles/language_lab.dir/language_lab.cpp.o.d"
+  "language_lab"
+  "language_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

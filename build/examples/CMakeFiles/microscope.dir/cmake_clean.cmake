@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microscope.dir/microscope.cpp.o"
+  "CMakeFiles/microscope.dir/microscope.cpp.o.d"
+  "microscope"
+  "microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdj_console.dir/vdj_console.cpp.o"
+  "CMakeFiles/vdj_console.dir/vdj_console.cpp.o.d"
+  "vdj_console"
+  "vdj_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdj_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

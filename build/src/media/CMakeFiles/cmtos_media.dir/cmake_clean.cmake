@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_media.dir/content.cpp.o"
+  "CMakeFiles/cmtos_media.dir/content.cpp.o.d"
+  "CMakeFiles/cmtos_media.dir/live_source.cpp.o"
+  "CMakeFiles/cmtos_media.dir/live_source.cpp.o.d"
+  "CMakeFiles/cmtos_media.dir/sink.cpp.o"
+  "CMakeFiles/cmtos_media.dir/sink.cpp.o.d"
+  "CMakeFiles/cmtos_media.dir/stored_server.cpp.o"
+  "CMakeFiles/cmtos_media.dir/stored_server.cpp.o.d"
+  "CMakeFiles/cmtos_media.dir/sync_meter.cpp.o"
+  "CMakeFiles/cmtos_media.dir/sync_meter.cpp.o.d"
+  "libcmtos_media.a"
+  "libcmtos_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

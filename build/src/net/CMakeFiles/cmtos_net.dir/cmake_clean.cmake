@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_net.dir/link.cpp.o"
+  "CMakeFiles/cmtos_net.dir/link.cpp.o.d"
+  "CMakeFiles/cmtos_net.dir/network.cpp.o"
+  "CMakeFiles/cmtos_net.dir/network.cpp.o.d"
+  "CMakeFiles/cmtos_net.dir/node.cpp.o"
+  "CMakeFiles/cmtos_net.dir/node.cpp.o.d"
+  "libcmtos_net.a"
+  "libcmtos_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

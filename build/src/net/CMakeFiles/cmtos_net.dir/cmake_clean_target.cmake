@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcmtos_net.a"
+)

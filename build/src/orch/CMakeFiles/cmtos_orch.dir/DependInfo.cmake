@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orch/clock_sync.cpp" "src/orch/CMakeFiles/cmtos_orch.dir/clock_sync.cpp.o" "gcc" "src/orch/CMakeFiles/cmtos_orch.dir/clock_sync.cpp.o.d"
+  "/root/repo/src/orch/hlo_agent.cpp" "src/orch/CMakeFiles/cmtos_orch.dir/hlo_agent.cpp.o" "gcc" "src/orch/CMakeFiles/cmtos_orch.dir/hlo_agent.cpp.o.d"
+  "/root/repo/src/orch/llo.cpp" "src/orch/CMakeFiles/cmtos_orch.dir/llo.cpp.o" "gcc" "src/orch/CMakeFiles/cmtos_orch.dir/llo.cpp.o.d"
+  "/root/repo/src/orch/opdu.cpp" "src/orch/CMakeFiles/cmtos_orch.dir/opdu.cpp.o" "gcc" "src/orch/CMakeFiles/cmtos_orch.dir/opdu.cpp.o.d"
+  "/root/repo/src/orch/orchestrator.cpp" "src/orch/CMakeFiles/cmtos_orch.dir/orchestrator.cpp.o" "gcc" "src/orch/CMakeFiles/cmtos_orch.dir/orchestrator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/cmtos_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cmtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_orch.dir/clock_sync.cpp.o"
+  "CMakeFiles/cmtos_orch.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/cmtos_orch.dir/hlo_agent.cpp.o"
+  "CMakeFiles/cmtos_orch.dir/hlo_agent.cpp.o.d"
+  "CMakeFiles/cmtos_orch.dir/llo.cpp.o"
+  "CMakeFiles/cmtos_orch.dir/llo.cpp.o.d"
+  "CMakeFiles/cmtos_orch.dir/opdu.cpp.o"
+  "CMakeFiles/cmtos_orch.dir/opdu.cpp.o.d"
+  "CMakeFiles/cmtos_orch.dir/orchestrator.cpp.o"
+  "CMakeFiles/cmtos_orch.dir/orchestrator.cpp.o.d"
+  "libcmtos_orch.a"
+  "libcmtos_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

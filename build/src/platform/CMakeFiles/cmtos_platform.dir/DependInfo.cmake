@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/media_qos.cpp" "src/platform/CMakeFiles/cmtos_platform.dir/media_qos.cpp.o" "gcc" "src/platform/CMakeFiles/cmtos_platform.dir/media_qos.cpp.o.d"
+  "/root/repo/src/platform/rpc.cpp" "src/platform/CMakeFiles/cmtos_platform.dir/rpc.cpp.o" "gcc" "src/platform/CMakeFiles/cmtos_platform.dir/rpc.cpp.o.d"
+  "/root/repo/src/platform/stream.cpp" "src/platform/CMakeFiles/cmtos_platform.dir/stream.cpp.o" "gcc" "src/platform/CMakeFiles/cmtos_platform.dir/stream.cpp.o.d"
+  "/root/repo/src/platform/trader.cpp" "src/platform/CMakeFiles/cmtos_platform.dir/trader.cpp.o" "gcc" "src/platform/CMakeFiles/cmtos_platform.dir/trader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orch/CMakeFiles/cmtos_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cmtos_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cmtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

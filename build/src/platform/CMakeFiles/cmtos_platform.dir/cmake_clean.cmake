@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_platform.dir/media_qos.cpp.o"
+  "CMakeFiles/cmtos_platform.dir/media_qos.cpp.o.d"
+  "CMakeFiles/cmtos_platform.dir/rpc.cpp.o"
+  "CMakeFiles/cmtos_platform.dir/rpc.cpp.o.d"
+  "CMakeFiles/cmtos_platform.dir/stream.cpp.o"
+  "CMakeFiles/cmtos_platform.dir/stream.cpp.o.d"
+  "CMakeFiles/cmtos_platform.dir/trader.cpp.o"
+  "CMakeFiles/cmtos_platform.dir/trader.cpp.o.d"
+  "libcmtos_platform.a"
+  "libcmtos_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmtos_platform.
+# This may be replaced when dependencies are built.

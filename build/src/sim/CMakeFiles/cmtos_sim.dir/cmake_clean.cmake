@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/cmtos_sim.dir/scheduler.cpp.o.d"
+  "libcmtos_sim.a"
+  "libcmtos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/connection.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/connection.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/connection.cpp.o.d"
+  "/root/repo/src/transport/monitor.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/monitor.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/monitor.cpp.o.d"
+  "/root/repo/src/transport/multicast.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/multicast.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/multicast.cpp.o.d"
+  "/root/repo/src/transport/qos.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/qos.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/qos.cpp.o.d"
+  "/root/repo/src/transport/stream_buffer.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/stream_buffer.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/stream_buffer.cpp.o.d"
+  "/root/repo/src/transport/threaded_buffer.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/threaded_buffer.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/threaded_buffer.cpp.o.d"
+  "/root/repo/src/transport/tpdu.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/tpdu.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/tpdu.cpp.o.d"
+  "/root/repo/src/transport/transport_entity.cpp" "src/transport/CMakeFiles/cmtos_transport.dir/transport_entity.cpp.o" "gcc" "src/transport/CMakeFiles/cmtos_transport.dir/transport_entity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cmtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_transport.dir/connection.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/connection.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/monitor.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/monitor.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/multicast.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/multicast.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/qos.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/qos.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/stream_buffer.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/stream_buffer.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/threaded_buffer.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/threaded_buffer.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/tpdu.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/tpdu.cpp.o.d"
+  "CMakeFiles/cmtos_transport.dir/transport_entity.cpp.o"
+  "CMakeFiles/cmtos_transport.dir/transport_entity.cpp.o.d"
+  "libcmtos_transport.a"
+  "libcmtos_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtos_util.dir/checksum.cpp.o"
+  "CMakeFiles/cmtos_util.dir/checksum.cpp.o.d"
+  "CMakeFiles/cmtos_util.dir/logging.cpp.o"
+  "CMakeFiles/cmtos_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cmtos_util.dir/rng.cpp.o"
+  "CMakeFiles/cmtos_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cmtos_util.dir/stats.cpp.o"
+  "CMakeFiles/cmtos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cmtos_util.dir/time.cpp.o"
+  "CMakeFiles/cmtos_util.dir/time.cpp.o.d"
+  "libcmtos_util.a"
+  "libcmtos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlo.dir/test_hlo.cpp.o"
+  "CMakeFiles/test_hlo.dir/test_hlo.cpp.o.d"
+  "test_hlo"
+  "test_hlo.pdb"
+  "test_hlo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llo.dir/test_llo.cpp.o"
+  "CMakeFiles/test_llo.dir/test_llo.cpp.o.d"
+  "test_llo"
+  "test_llo.pdb"
+  "test_llo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

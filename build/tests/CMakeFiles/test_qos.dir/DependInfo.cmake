@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_qos.cpp" "tests/CMakeFiles/test_qos.dir/test_qos.cpp.o" "gcc" "tests/CMakeFiles/test_qos.dir/test_qos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/media/CMakeFiles/cmtos_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/cmtos_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/orch/CMakeFiles/cmtos_orch.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/cmtos_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cmtos_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cmtos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cmtos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_renegotiate.dir/test_renegotiate.cpp.o"
+  "CMakeFiles/test_renegotiate.dir/test_renegotiate.cpp.o.d"
+  "test_renegotiate"
+  "test_renegotiate.pdb"
+  "test_renegotiate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_renegotiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

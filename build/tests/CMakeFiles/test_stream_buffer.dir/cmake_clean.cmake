@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stream_buffer.dir/test_stream_buffer.cpp.o"
+  "CMakeFiles/test_stream_buffer.dir/test_stream_buffer.cpp.o.d"
+  "test_stream_buffer"
+  "test_stream_buffer.pdb"
+  "test_stream_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stream_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_qos[1]_include.cmake")
+include("/root/repo/build/tests/test_stream_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_connect[1]_include.cmake")
+include("/root/repo/build/tests/test_data_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_renegotiate[1]_include.cmake")
+include("/root/repo/build/tests/test_llo[1]_include.cmake")
+include("/root/repo/build/tests/test_hlo[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_media[1]_include.cmake")
+include("/root/repo/build/tests/test_threaded_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_multicast[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
