@@ -91,9 +91,10 @@ LoadResult run(int offered_streams, bool admission) {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_admission", argc, argv);
 
   title("Admission control at intermediate nodes (ST-II analogue)",
         "§3.2/§7 substrate: offered-load sweep over a 10 Mbit/s bottleneck; each stream "
@@ -106,6 +107,10 @@ int main() {
       row("%-10d %-12s %10d %16.1f %16.1f %14lld", offered, admission ? "on" : "off",
           r.accepted, r.mean_goodput_frac * 100, r.worst_goodput_frac * 100,
           static_cast<long long>(r.queue_drops));
+      const obs::Labels labels = {{"offered", std::to_string(offered)},
+                                  {"admission", admission ? "on" : "off"}};
+      bj.set("admission.accepted", r.accepted, labels);
+      bj.set("admission.worst_goodput_frac", r.worst_goodput_frac, labels);
     }
   }
   row("%s", "");

@@ -31,9 +31,10 @@ struct Chain {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_connect", argc, argv);
 
   title("T-Connect latency: direct vs remote connect",
         "Table 1 + Figs 2/3: conventional two-party vs three-party remote establishment");
@@ -65,6 +66,8 @@ int main() {
       c.platform.run_until(5 * kSecond);
       row("%-10zu %-10s %18.3f %14s", hops, "direct", to_millis(confirmed_at - t0),
           timing_src.confirmed ? "yes" : "NO");
+      bj.set("connect.latency_ms", to_millis(confirmed_at - t0),
+             {{"hops", std::to_string(hops)}, {"mode", "direct"}});
     }
     // Remote: initiator on the management host (Fig 2).
     {
@@ -93,6 +96,8 @@ int main() {
       c.platform.run_until(5 * kSecond);
       row("%-10zu %-10s %18.3f %14s", hops, "remote", to_millis(confirmed_at - t0),
           initiator.confirmed ? "yes" : "NO");
+      bj.set("connect.latency_ms", to_millis(confirmed_at - t0),
+             {{"hops", std::to_string(hops)}, {"mode", "remote"}});
     }
   }
   row("%s", "");

@@ -49,9 +49,10 @@ struct EventWorld {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_event", argc, argv);
 
   title("Orch.Event notification latency vs application polling",
         "Table 6 (Orch.Event): LLO matches the per-OSDU OPDU event field at arrival");
@@ -95,6 +96,8 @@ int main() {
     row("%-34s %10zu %10.3f %10.3f %10.3f", "app polling (read at render)",
         poll_latency_ms.count(), poll_latency_ms.mean(), poll_latency_ms.percentile(95),
         poll_latency_ms.max());
+    bj.set("event.latency_mean_ms", llo_latency_ms.mean(), {{"mechanism", "orch_event"}});
+    bj.set("event.latency_mean_ms", poll_latency_ms.mean(), {{"mechanism", "app_polling"}});
     row("%s", "");
     row("Expectation: LLO matching fires within the OPDU delivery time (here node-local,");
     row("sub-ms); application polling waits for the render thread to reach the flagged");

@@ -172,9 +172,10 @@ MuxResult run_separate(double loss) {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_multiplex", argc, argv);
 
   title("Combined QoS cost of multiplexing",
         "§3.6 / [Tennenhouse,90]: one multiplexed VC must carry every medium at the most "
@@ -187,6 +188,10 @@ int main() {
         static_cast<double>(mux.reserved_bps) / 1e6, format_time(mux.audio_jitter_bound).c_str());
     row("%-26s %18.3f %22s", "separate VCs (A/V)",
         static_cast<double>(sep.reserved_bps) / 1e6, format_time(sep.audio_jitter_bound).c_str());
+    bj.set("multiplex.reserved_mbps", static_cast<double>(mux.reserved_bps) / 1e6,
+           {{"arrangement", "multiplexed"}});
+    bj.set("multiplex.reserved_mbps", static_cast<double>(sep.reserved_bps) / 1e6,
+           {{"arrangement", "separate"}});
     row("%s", "");
     row("Expectation: the mux VC reserves for 75/s of *video-sized* OSDUs (audio blocks");
     row("ride in slots sized for frames), costing far more bandwidth than the sum of the");

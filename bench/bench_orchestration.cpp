@@ -58,9 +58,10 @@ struct GroupWorld {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_orchestration", argc, argv);
 
   title("Orch.request / Orch.Release latency vs group size",
         "Table 4: session establishment fans OPDUs to every source and sink LLO");
@@ -81,6 +82,8 @@ int main() {
     const bool released = w.server->llo.local_vc_count() == 0;
     row("%-12zu %20.3f %17.0f/%s", n, to_millis(established_at - t0),
         to_millis(w.platform.scheduler().now() - t1), released ? "clean" : "LEAKED");
+    bj.set("orchestration.establish_ms", to_millis(established_at - t0),
+           {{"group_size", std::to_string(n)}});
   }
   row("%s", "");
   row("Expectation: establishment ~1 control RTT independent of group size (parallel");

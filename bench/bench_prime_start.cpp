@@ -54,9 +54,10 @@ StartResult run_start(bool primed, double drift_ppm = 0.0) {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_prime_start", argc, argv);
 
   title("Primed vs cold start",
         "Table 5 / Fig 7 (Orch.Prime, Orch.Start): \"the ability to start related CM data "
@@ -65,12 +66,16 @@ int main() {
   for (int trial = 0; trial < 3; ++trial) {
     const auto cold = run_start(false);
     row("%-12s %-10d %18.2f %18s", "cold", trial, cold.start_skew_ms, "-");
+    bj.set("prime_start.start_skew_ms", cold.start_skew_ms,
+           {{"mode", "cold"}, {"trial", std::to_string(trial)}});
   }
   for (int trial = 0; trial < 3; ++trial) {
     const auto primed = run_start(true);
     char fill[32];
     std::snprintf(fill, sizeof fill, "%.1f", primed.prime_fill_ms);
     row("%-12s %-10d %18.2f %18s", "primed", trial, primed.start_skew_ms, fill);
+    bj.set("prime_start.start_skew_ms", primed.start_skew_ms,
+           {{"mode", "primed"}, {"trial", std::to_string(trial)}});
   }
   row("%s", "");
   row("Expectation: a cold start skews by the difference in pipeline fill times");

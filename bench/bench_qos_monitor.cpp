@@ -74,9 +74,10 @@ Detection run(Duration sample_period, DegradeFn degrade, std::uint64_t seed = 21
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_qos_monitor", argc, argv);
 
   title("Degradation detection latency",
         "Table 2 (T-QoS.indication): loss burst injected at t=5s; latency to the first "
@@ -91,6 +92,8 @@ int main() {
         seed);
     row("%-10llu %20.1f %14s", static_cast<unsigned long long>(seed), to_millis(det.latency),
         det.first.violations.to_string().c_str());
+    bj.set("qos_monitor.detect_latency_ms", to_millis(det.latency),
+           {{"fault", "loss_burst"}, {"seed", std::to_string(seed)}});
   }
   row("%s", "");
   row("Expectation: detection within ~1-2 sample periods of onset.");
@@ -132,6 +135,7 @@ int main() {
     } else {
       row("%-22s %20s %30s", f.name, "none in 25s", "-");
     }
+    bj.set("qos_monitor.detect_latency_ms", to_millis(det.latency), {{"fault", f.name}});
   }
   row("%s", "");
   row("Expectation: loss -> packet-errors + throughput; a bandwidth cut -> queueing");

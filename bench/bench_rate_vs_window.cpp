@@ -81,9 +81,10 @@ const char* name(transport::ProtocolProfile p) {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_rate_vs_window", argc, argv);
 
   const Duration play = 30 * kSecond;
 
@@ -98,6 +99,8 @@ int main() {
     row("%-14s %12.2f %12.2f %12.2f %12.2f %12.2f", name(profile), st.delivered_rate,
         st.inter_delivery_ms.mean(), st.inter_delivery_ms.stddev(),
         st.inter_delivery_ms.percentile(99), st.inter_delivery_ms.max());
+    bj.set("rate_vs_window.inter_delivery_stddev_ms", st.inter_delivery_ms.stddev(),
+           {{"profile", name(profile)}});
   }
   row("%s", "");
   row("Expectation: the rate profile spaces deliveries at exactly the contract period;");

@@ -65,9 +65,10 @@ RunResult run(double drift_ppm, bool orchestrated, Duration interval, Duration p
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_regulation", argc, argv);
 
   // Long play-out: deep receive buffers mask differential drift for
   // minutes (a 16-OSDU ring hides ~0.3-0.6 s of media), so the contrast
@@ -86,6 +87,14 @@ int main() {
         free_run.p95_skew_ms, free_run.final_skew_ms);
     row("%-18.0f %-14s %14.1f %14.1f %14.1f", drift, "orchestrated", orch_run.max_skew_ms,
         orch_run.p95_skew_ms, orch_run.final_skew_ms);
+    char dl[32];
+    std::snprintf(dl, sizeof dl, "%.0f", drift);
+    bj.set("regulation.max_skew_ms", free_run.max_skew_ms,
+           {{"drift_ppm", dl}, {"mode", "free-running"}});
+    bj.set("regulation.max_skew_ms", orch_run.max_skew_ms,
+           {{"drift_ppm", dl}, {"mode", "orchestrated"}});
+    bj.set("regulation.final_skew_ms", orch_run.final_skew_ms,
+           {{"drift_ppm", dl}, {"mode", "orchestrated"}});
   }
   row("%s", "");
   row("Expectation: free-running final skew grows ~linearly with drift (drift_ppm * 60s / 1e6);");

@@ -41,9 +41,10 @@ struct World {
 }  // namespace
 }  // namespace cmtos::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
+  BenchJson bj("bench_renegotiate", argc, argv);
 
   title("Media-terms QoS changes (§3.3 scenarios)",
         "Table 3 (T-Renegotiate): the Stream maps media-specific upgrades to transport "
@@ -104,6 +105,8 @@ int main() {
       row("%-34s %12.1f %12.1f %14.3f %12s", sc.name, rate_before,
           stream.agreed_qos().osdu_rate,
           static_cast<double>(stream.agreed_qos().required_bps()) / 1e6, "accepted");
+      bj.set("renegotiate.rate_after", stream.agreed_qos().osdu_rate,
+             {{"scenario", sc.name}});
     } else {
       row("%-34s %12.1f %12s %14s %12s", sc.name, rate_before, "-", "-", "rejected");
     }

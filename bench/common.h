@@ -10,11 +10,14 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "media/live_source.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "media/sink.h"
 #include "media/stored_server.h"
 #include "media/sync_meter.h"
@@ -22,6 +25,55 @@
 #include "platform/stream.h"
 
 namespace cmtos::bench {
+
+/// Machine-readable bench output.  Every table bench constructs one of
+/// these from (argc, argv); the ASCII tables stay the primary output, and:
+///
+///   --json <path>    on exit, dump the global metrics registry (headline
+///                    gauges set via set() plus everything the stack
+///                    recorded during the run) as a JSON snapshot;
+///   --trace <path>   record a Chrome trace-event file of the whole run
+///                    (load in chrome://tracing or Perfetto).
+class BenchJson {
+ public:
+  BenchJson(std::string bench, int argc, char** argv) : bench_(std::move(bench)) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) json_path_ = argv[i + 1];
+      if (std::strcmp(argv[i], "--trace") == 0) trace_path_ = argv[i + 1];
+    }
+    if (!trace_path_.empty() && !obs::Tracer::global().start(trace_path_))
+      std::fprintf(stderr, "warning: cannot open trace file %s\n", trace_path_.c_str());
+  }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { finish(); }
+
+  /// Records one headline metric (gauge labelled with the bench name).
+  void set(const std::string& name, double value, const obs::Labels& extra = {}) {
+    obs::Labels labels = {{"bench", bench_}};
+    labels.insert(labels.end(), extra.begin(), extra.end());
+    obs::Registry::global().set_gauge(name, value, labels);
+  }
+
+  /// Writes the outputs (idempotent; also runs from the destructor).
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    if (!trace_path_.empty()) obs::Tracer::global().stop();
+    if (json_path_.empty()) return;
+    if (obs::Registry::global().write_json(json_path_, {{"bench", bench_}})) {
+      std::printf("\n[metrics written to %s]\n", json_path_.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write metrics to %s\n", json_path_.c_str());
+    }
+  }
+
+ private:
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  bool finished_ = false;
+};
 
 inline void title(const std::string& name, const std::string& artifact) {
   std::printf("\n=== %s ===\n", name.c_str());

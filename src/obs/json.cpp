@@ -1,0 +1,203 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace cmtos::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips doubles; trim to %g-style compactness where exact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  double back = 0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == v) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%g", v);
+    double b2 = 0;
+    std::sscanf(shorter, "%lf", &b2);
+    if (b2 == v) return shorter;
+  }
+  return buf;
+}
+
+namespace {
+
+/// Recursive-descent validator.  `p` advances past the parsed value.
+struct Cursor {
+  std::string_view s;
+  std::size_t p = 0;
+  int depth = 0;
+
+  bool eof() const { return p >= s.size(); }
+  char peek() const { return s[p]; }
+  void skip_ws() {
+    while (!eof() && (s[p] == ' ' || s[p] == '\t' || s[p] == '\n' || s[p] == '\r')) ++p;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(p, lit.size()) != lit) return false;
+    p += lit.size();
+    return true;
+  }
+};
+
+bool parse_value(Cursor& c);
+
+bool parse_string(Cursor& c) {
+  if (c.eof() || c.peek() != '"') return false;
+  ++c.p;
+  while (!c.eof()) {
+    const char ch = c.s[c.p];
+    if (ch == '"') {
+      ++c.p;
+      return true;
+    }
+    if (static_cast<unsigned char>(ch) < 0x20) return false;  // raw control char
+    if (ch == '\\') {
+      ++c.p;
+      if (c.eof()) return false;
+      const char esc = c.s[c.p];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          ++c.p;
+          if (c.eof() || !std::isxdigit(static_cast<unsigned char>(c.s[c.p]))) return false;
+        }
+      } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                 esc != 'n' && esc != 'r' && esc != 't') {
+        return false;
+      }
+    }
+    ++c.p;
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c) {
+  std::size_t start = c.p;
+  if (!c.eof() && c.peek() == '-') ++c.p;
+  if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+  if (c.peek() == '0') {
+    ++c.p;
+  } else {
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.p;
+  }
+  if (!c.eof() && c.peek() == '.') {
+    ++c.p;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.p;
+  }
+  if (!c.eof() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.p;
+    if (!c.eof() && (c.peek() == '+' || c.peek() == '-')) ++c.p;
+    if (c.eof() || !std::isdigit(static_cast<unsigned char>(c.peek()))) return false;
+    while (!c.eof() && std::isdigit(static_cast<unsigned char>(c.peek()))) ++c.p;
+  }
+  return c.p > start;
+}
+
+bool parse_object(Cursor& c) {
+  ++c.p;  // '{'
+  c.skip_ws();
+  if (!c.eof() && c.peek() == '}') {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (c.eof() || c.peek() != ':') return false;
+    ++c.p;
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.peek() == '}') {
+      ++c.p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_array(Cursor& c) {
+  ++c.p;  // '['
+  c.skip_ws();
+  if (!c.eof() && c.peek() == ']') {
+    ++c.p;
+    return true;
+  }
+  for (;;) {
+    if (!parse_value(c)) return false;
+    c.skip_ws();
+    if (c.eof()) return false;
+    if (c.peek() == ',') {
+      ++c.p;
+      continue;
+    }
+    if (c.peek() == ']') {
+      ++c.p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool parse_value(Cursor& c) {
+  if (++c.depth > 512) return false;  // depth bomb guard
+  c.skip_ws();
+  if (c.eof()) return false;
+  bool ok = false;
+  switch (c.peek()) {
+    case '{': ok = parse_object(c); break;
+    case '[': ok = parse_array(c); break;
+    case '"': ok = parse_string(c); break;
+    case 't': ok = c.literal("true"); break;
+    case 'f': ok = c.literal("false"); break;
+    case 'n': ok = c.literal("null"); break;
+    default: ok = parse_number(c); break;
+  }
+  --c.depth;
+  return ok;
+}
+
+}  // namespace
+
+bool json_valid(std::string_view text) {
+  Cursor c{text};
+  if (!parse_value(c)) return false;
+  c.skip_ws();
+  return c.eof();
+}
+
+}  // namespace cmtos::obs

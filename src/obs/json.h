@@ -1,0 +1,28 @@
+// cmtos/obs/json.h
+//
+// Minimal JSON utilities for the observability layer: string escaping for
+// the writers (metrics snapshots, trace events) and a strict validating
+// parser used by tests and tools to check that emitted files are
+// well-formed.  No DOM — the registry and tracer stream their own output.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cmtos::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included).  Control characters become \uXXXX.
+std::string json_escape(std::string_view s);
+
+/// Renders a double as a JSON number token.  Non-finite values (which JSON
+/// cannot represent) are rendered as null.
+std::string json_number(double v);
+
+/// True if `text` is exactly one well-formed JSON value (object, array,
+/// string, number, true/false/null) with nothing but whitespace around it.
+/// Strict: rejects trailing commas, unquoted keys, single quotes.
+bool json_valid(std::string_view text);
+
+}  // namespace cmtos::obs

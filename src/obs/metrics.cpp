@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace cmtos::obs {
+
+void Histogram::observe(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  std::size_t idx = 0;
+  if (v > 1.0) {
+    const double lg = std::ceil(std::log2(v));
+    idx = lg >= static_cast<double>(kBuckets - 1) ? kBuckets - 1
+                                                  : static_cast<std::size_t>(lg);
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  // Nearest-rank: the smallest value with at least ceil(q * count) samples
+  // at or below it.
+  auto want = static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (want < 1) want = 1;
+  if (want > count_) want = count_;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= want) return std::ldexp(1.0, static_cast<int>(i));  // 2^i upper bound
+  }
+  return max_;
+}
+
+std::string Registry::key_of(const std::string& name, const Labels& labels) {
+  // '\x1f' cannot appear in sane metric names/labels; it keeps the key
+  // unambiguous and the map ordering stable and human-sensible.
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x1f';
+    key += k;
+    key += '\x1f';
+    key += v;
+  }
+  return key;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, const Labels& labels,
+                                          Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(key_of(name, labels));
+  Entry& e = it->second;
+  if (inserted) {
+    e.name = name;
+    e.labels = labels;
+    e.kind = kind;
+    switch (kind) {
+      case Kind::kCounter: e.c = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.g = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.h = std::make_unique<Histogram>(); break;
+    }
+  } else if (e.kind != kind) {
+    throw std::logic_error("obs::Registry: metric '" + name +
+                           "' re-registered with a different type");
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kCounter).c;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kGauge).g;
+}
+
+Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
+  return *find_or_create(name, labels, Kind::kHistogram).h;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::string Registry::to_json(const Labels& meta) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"meta\": {";
+  bool first = true;
+  for (const auto& [k, v] : meta) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+  }
+  out += "},\n  \"metrics\": [";
+  first = true;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": \"" + json_escape(e.name) + "\", \"labels\": {";
+    bool lf = true;
+    for (const auto& [k, v] : e.labels) {
+      if (!lf) out += ", ";
+      lf = false;
+      out += "\"" + json_escape(k) + "\": \"" + json_escape(v) + "\"";
+    }
+    out += "}, ";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out += "\"type\": \"counter\", \"value\": " + std::to_string(e.c->value());
+        break;
+      case Kind::kGauge:
+        out += "\"type\": \"gauge\", \"value\": " + json_number(e.g->value());
+        break;
+      case Kind::kHistogram:
+        out += "\"type\": \"histogram\", \"count\": " + std::to_string(e.h->count()) +
+               ", \"sum\": " + json_number(e.h->sum()) +
+               ", \"min\": " + json_number(e.h->min()) +
+               ", \"max\": " + json_number(e.h->max()) +
+               ", \"mean\": " + json_number(e.h->mean()) +
+               ", \"p50\": " + json_number(e.h->quantile(0.50)) +
+               ", \"p99\": " + json_number(e.h->quantile(0.99));
+        break;
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Registry::write_json(const std::string& path, const Labels& meta) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = to_json(meta);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+Registry& Registry::global() {
+  static Registry* g = new Registry();  // leaked: outlives all static users
+  return *g;
+}
+
+}  // namespace cmtos::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.h"
+#include "util/logging.h"
+
+namespace cmtos::obs {
+
+namespace {
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Tracer::~Tracer() { stop(); }
+
+bool Tracer::start(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("[\n", f);
+  file_ = f;
+  events_ = 0;
+  have_sim_time_ = false;
+  sim_time_ = 0;
+  wall_start_ns_ = wall_now_ns();
+  enabled_.store(true, std::memory_order_relaxed);
+  set_log_sink([this](LogLevel, const char* tag, const char* msg) {
+    this->instant("log", 0, 0,
+                  "{\"tag\": \"" + json_escape(tag) + "\", \"msg\": \"" +
+                      json_escape(msg) + "\"}");
+  });
+  return true;
+}
+
+void Tracer::stop() {
+  set_log_sink(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_.store(false, std::memory_order_relaxed);
+  if (file_ == nullptr) return;
+  auto* f = static_cast<std::FILE*>(file_);
+  std::fputs("\n]\n", f);
+  std::fclose(f);
+  file_ = nullptr;
+}
+
+void Tracer::set_sim_time(Time t) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  have_sim_time_ = true;
+  sim_time_ = t;
+}
+
+double Tracer::now_us() {
+  if (have_sim_time_) return static_cast<double>(sim_time_) / 1e3;
+  return static_cast<double>(wall_now_ns() - wall_start_ns_) / 1e3;
+}
+
+void Tracer::emit(char ph, const char* name, int pid, int tid, std::uint64_t id,
+                  bool has_id, const std::string& args_json, double value,
+                  bool has_value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  auto* f = static_cast<std::FILE*>(file_);
+  if (events_ > 0) std::fputs(",\n", f);
+  std::fprintf(f, "{\"name\": \"%s\", \"ph\": \"%c\", \"ts\": %s, \"pid\": %d, \"tid\": %d",
+               json_escape(name).c_str(), ph, json_number(now_us()).c_str(), pid, tid);
+  if (has_id) std::fprintf(f, ", \"id\": \"%llu\"", static_cast<unsigned long long>(id));
+  if (ph == 'i') std::fputs(", \"s\": \"t\"", f);
+  if (has_value) {
+    std::fprintf(f, ", \"args\": {\"value\": %s}", json_number(value).c_str());
+  } else if (!args_json.empty()) {
+    std::fprintf(f, ", \"args\": %s", args_json.c_str());
+  }
+  std::fputs("}", f);
+  ++events_;
+}
+
+void Tracer::begin(const char* name, int pid, int tid) {
+  if (!enabled()) return;
+  emit('B', name, pid, tid, 0, false, {}, 0, false);
+}
+
+void Tracer::end(const char* name, int pid, int tid) {
+  if (!enabled()) return;
+  emit('E', name, pid, tid, 0, false, {}, 0, false);
+}
+
+void Tracer::async_begin(const char* name, std::uint64_t id, int pid, int tid) {
+  if (!enabled()) return;
+  emit('b', name, pid, tid, id, true, {}, 0, false);
+}
+
+void Tracer::async_end(const char* name, std::uint64_t id, int pid, int tid) {
+  if (!enabled()) return;
+  emit('e', name, pid, tid, id, true, {}, 0, false);
+}
+
+void Tracer::instant(const char* name, int pid, int tid, const std::string& args_json) {
+  if (!enabled()) return;
+  emit('i', name, pid, tid, 0, false, args_json, 0, false);
+}
+
+void Tracer::counter(const char* name, double value, int pid, int tid) {
+  if (!enabled()) return;
+  emit('C', name, pid, tid, 0, false, {}, value, true);
+}
+
+Tracer& Tracer::global() {
+  static Tracer* g = new Tracer();  // leaked: outlives all static users
+  return *g;
+}
+
+}  // namespace cmtos::obs

@@ -1,0 +1,91 @@
+// cmtos/obs/trace.h
+//
+// Event tracer emitting Chrome trace-event JSON (the format chrome://tracing
+// and Perfetto's trace_viewer load natively).  The protocol stack calls the
+// emit methods unconditionally; when no trace is active they are a single
+// relaxed atomic load, so tracing costs nothing unless started.
+//
+// Mapping onto the viewer's process/thread axes: pid = node id, tid = VC id
+// (0 for per-node events).  Overlapping intervals — buffer block episodes,
+// orchestration ops on several VCs at once — use async events ("b"/"e" keyed
+// by id), which the viewer does not require to nest; strictly nested work
+// can use begin()/end() duration events.
+//
+// Time source: the simulation's Scheduler pushes simulated time via
+// set_sim_time() as events fire, so sim traces are on the simulated-ns
+// timeline.  If no sim time has ever been pushed (the threaded buffer
+// path), timestamps fall back to steady_clock elapsed since start().
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "util/time.h"
+
+namespace cmtos::obs {
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Opens `path` and starts recording.  Returns false if the file cannot
+  /// be opened or a trace is already active.  Also installs a log sink so
+  /// CMTOS_* log lines appear as instant events while tracing.
+  bool start(const std::string& path);
+
+  /// Finishes the JSON array and closes the file.  Idempotent.
+  void stop();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Called by the sim Scheduler as it fires events; switches the trace
+  /// clock to simulated time.
+  void set_sim_time(Time t);
+
+  /// Duration events (must nest per pid/tid).
+  void begin(const char* name, int pid = 0, int tid = 0);
+  void end(const char* name, int pid = 0, int tid = 0);
+
+  /// Async events (may overlap; `id` pairs the begin with its end).
+  void async_begin(const char* name, std::uint64_t id, int pid = 0, int tid = 0);
+  void async_end(const char* name, std::uint64_t id, int pid = 0, int tid = 0);
+
+  /// Instant event.  `args_json` is an optional JSON *object* ("{...}")
+  /// attached as the event's args.
+  void instant(const char* name, int pid = 0, int tid = 0,
+               const std::string& args_json = "");
+
+  /// Counter track sample.
+  void counter(const char* name, double value, int pid = 0, int tid = 0);
+
+  /// Fresh id for an async span.
+  std::uint64_t next_async_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Events written so far in the current (or last) trace.
+  std::int64_t events_written() const { return events_; }
+
+  /// Process-wide tracer the protocol stack emits into.
+  static Tracer& global();
+
+ private:
+  void emit(char ph, const char* name, int pid, int tid, std::uint64_t id,
+            bool has_id, const std::string& args_json, double value, bool has_value);
+  double now_us();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex mu_;
+  void* file_ = nullptr;  // FILE*, kept out of the header
+  std::int64_t events_ = 0;
+  bool have_sim_time_ = false;
+  Time sim_time_ = 0;
+  std::int64_t wall_start_ns_ = 0;
+};
+
+}  // namespace cmtos::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cmtos::orch {
@@ -130,6 +132,8 @@ double HloAgent::position_seconds(const OrchStreamSpec& s) const {
 void HloAgent::interval_tick() {
   if (!running_) return;
   const std::uint32_t id = next_interval_id_++;
+  obs::Tracer::global().instant("HLO.interval_tick", static_cast<int>(llo_.node_id()), 0,
+                                "{\"interval_id\": " + std::to_string(id) + "}");
 
   // The agent compensates "for any relative speed up or slow down among
   // the orchestrated connections" (§5).  Each stream's target is a *rate*
@@ -221,6 +225,18 @@ void HloAgent::on_regulate(const RegulateIndication& ind) {
     st.consecutive_misses = 0;
   }
   st.last_diagnosis = diag;
+
+  // Per-VC regulation health for registry snapshots (bench JSON / dashboards).
+  const obs::Labels labels = {{"vc", std::to_string(ind.vc)}};
+  auto& reg = obs::Registry::global();
+  reg.set_gauge("hlo.last_error_osdus", st.last_error_osdus, labels);
+  reg.histogram("hlo.abs_error_osdus", labels).observe(std::abs(st.last_error_osdus));
+  if (diag != MissDiagnosis::kOnTarget) {
+    reg.counter("hlo.missed_intervals", labels).add();
+    obs::Tracer::global().instant("HLO.miss", static_cast<int>(llo_.node_id()),
+                                  static_cast<int>(ind.vc & 0xffffffffu),
+                                  "{\"diagnosis\": \"" + to_string(diag) + "\"}");
+  }
 
   if (on_interval_) on_interval_(ind, st.last_target);
 

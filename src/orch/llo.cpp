@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace cmtos::orch {
@@ -95,6 +97,20 @@ void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn don
   if (type == OpduType::kPrime) {
     for (const auto& i : sess.vcs) op->primed_wanted.insert(i.vc);
   }
+  // Trace span: request fan-out -> last ack (async; several ops across VCs
+  // may overlap on this node).
+  switch (type) {
+    case OpduType::kSessReq: op->span_name = "Orch.Session"; break;
+    case OpduType::kPrime: op->span_name = "Orch.Prime"; break;
+    case OpduType::kStart: op->span_name = "Orch.Start"; break;
+    case OpduType::kStop: op->span_name = "Orch.Stop"; break;
+    default: break;
+  }
+  auto& tracer = obs::Tracer::global();
+  if (op->span_name != nullptr && tracer.enabled()) {
+    op->span_id = tracer.next_async_id();
+    tracer.async_begin(op->span_name, op->span_id, static_cast<int>(node_));
+  }
   // Find the session id (the map key) for the timeout closure.
   OrchSessionId sid = 0;
   for (auto& [k, v] : sessions_) {
@@ -107,6 +123,8 @@ void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn don
     Session* se = session(sid);
     if (se == nullptr || se->op == nullptr) return;
     auto op = std::move(se->op);
+    if (op->span_id != 0)
+      obs::Tracer::global().async_end(op->span_name, op->span_id, static_cast<int>(node_));
     if (op->done) op->done(false, OrchReason::kTimeout);
     if (op->start_done) op->start_done(false, {});
   });
@@ -223,6 +241,14 @@ void Llo::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq, std::uint3
   merge.ind.vc = vc;
   merge.ind.interval_id = interval_id;
   const auto key = std::pair{vc, interval_id};
+  // One "Orch.Regulate" interval span per (vc, interval): request fan-out
+  // to merged indication.
+  auto& tracer = obs::Tracer::global();
+  if (tracer.enabled()) {
+    merge.span_id = tracer.next_async_id();
+    tracer.async_begin("Orch.Regulate", merge.span_id, static_cast<int>(node_),
+                       static_cast<int>(vc & 0xffffffffu));
+  }
   merge.timeout = network_.scheduler().after(interval + interval / 2 + 100 * kMillisecond,
                                              [this, s, key] {
                                                Session* se = session(s);
@@ -341,6 +367,9 @@ void Llo::finish_op(OrchSessionId s, Session& sess) {
   if (!op.failed && !op.primed_wanted.empty()) return;  // prime: wait for buffers to fill
   op.timeout.cancel();
   auto finished = std::move(sess.op);
+  if (finished->span_id != 0)
+    obs::Tracer::global().async_end(finished->span_name, finished->span_id,
+                                    static_cast<int>(node_));
   if (finished->done) finished->done(!finished->failed, finished->reason);
   if (finished->start_done) finished->start_done(!finished->failed, finished->start_bases);
 }
@@ -351,8 +380,19 @@ void Llo::emit_regulate_ind(OrchSessionId s, std::pair<VcId, std::uint32_t> key)
   auto it = sess->reg_merge.find(key);
   if (it == sess->reg_merge.end()) return;
   it->second.timeout.cancel();
+  if (it->second.span_id != 0)
+    obs::Tracer::global().async_end("Orch.Regulate", it->second.span_id,
+                                    static_cast<int>(node_),
+                                    static_cast<int>(key.first & 0xffffffffu));
   RegulateIndication ind = it->second.ind;
   sess->reg_merge.erase(it);
+  obs::Registry::global()
+      .counter("orch.regulate_intervals", {{"vc", std::to_string(ind.vc)}})
+      .add();
+  if (ind.partial)
+    obs::Registry::global()
+        .counter("orch.regulate_partial", {{"vc", std::to_string(ind.vc)}})
+        .add();
   if (auto cb = on_regulate_.find(s); cb != on_regulate_.end() && cb->second) cb->second(ind);
 }
 
@@ -375,6 +415,9 @@ void Llo::attach_endpoint(OrchSessionId s, const OrchVcInfo& info, net::NodeId o
         VcLocal* st = local(key);
         if (st == nullptr || !st->event_armed) return;
         if ((osdu.event & st->event_mask) != st->event_pattern) return;
+        obs::Tracer::global().instant("Orch.Event", static_cast<int>(node_),
+                                      static_cast<int>(key.second & 0xffffffffu),
+                                      "{\"osdu_seq\": " + std::to_string(osdu.seq) + "}");
         Opdu o;
         o.type = OpduType::kEventInd;
         o.session = key.first;
@@ -768,6 +811,14 @@ void Llo::handle_drop(const Opdu& o) {
       st->src_budget > st->src_dropped ? st->src_budget - st->src_dropped : 0;
   const std::uint32_t executed = conn->drop_at_source(std::min(o.drop_count, allowed));
   st->src_dropped += executed;
+  if (executed > 0) {
+    obs::Registry::global()
+        .counter("orch.osdus_dropped", {{"vc", std::to_string(o.vc)}})
+        .add(executed);
+    obs::Tracer::global().instant("Orch.Drop", static_cast<int>(node_),
+                                  static_cast<int>(o.vc & 0xffffffffu),
+                                  "{\"count\": " + std::to_string(executed) + "}");
+  }
 }
 
 void Llo::handle_event_reg(const Opdu& o) {
@@ -781,6 +832,9 @@ void Llo::handle_event_reg(const Opdu& o) {
 
 void Llo::handle_delayed(const Opdu& o) {
   const bool source_side = o.source_side != 0;
+  obs::Tracer::global().instant("Orch.Delayed", static_cast<int>(node_),
+                                static_cast<int>(o.vc & 0xffffffffu),
+                                "{\"osdus_behind\": " + std::to_string(o.osdus_behind) + "}");
   const bool accepted =
       app_ == nullptr ||
       app_->orch_delayed_indication(o.session, o.vc, source_side, o.osdus_behind);

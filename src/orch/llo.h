@@ -212,12 +212,16 @@ class Llo {
     std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
     std::map<transport::VcId, std::int64_t> start_bases;
     sim::EventHandle timeout;
+    // Tracing: open async span for this op (0 = none).
+    std::uint64_t span_id = 0;
+    const char* span_name = nullptr;
   };
   struct RegMerge {
     RegulateIndication ind;
     bool have_sink = false;
     bool have_src = false;
     sim::EventHandle timeout;
+    std::uint64_t span_id = 0;  // open "Orch.Regulate" interval span
   };
   struct Session {
     std::vector<OrchVcInfo> vcs;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace cmtos::sim {
 
 void EventHandle::cancel() {
@@ -28,6 +30,10 @@ bool Scheduler::fire_next(Time horizon) {
     queue_.pop();
     if (entry.state->cancelled) continue;
     now_ = entry.time;
+    // Tracing: events emitted while `fn` runs are stamped with simulated
+    // time, not wall time.
+    auto& tracer = obs::Tracer::global();
+    if (tracer.enabled()) tracer.set_sim_time(now_);
     entry.state->fired = true;
     entry.fn();
     return true;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "transport/transport_entity.h"
 #include "util/logging.h"
 
@@ -30,6 +31,18 @@ Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
       agreed_(agreed),
       reservation_(reservation),
       buffer_(std::max<std::uint32_t>(2, request.buffer_osdus)) {
+  trace_pid_ = static_cast<int>(local_node());
+  trace_tid_ = static_cast<int>(id_ & 0xffffffffu);
+  buffer_.set_trace_identity(trace_pid_, trace_tid_);
+  const obs::Labels labels = {{"vc", std::to_string(id_)},
+                              {"node", std::to_string(local_node())},
+                              {"role", role_ == VcRole::kSource ? "source" : "sink"}};
+  auto& reg = obs::Registry::global();
+  m_tpdus_sent_ = &reg.counter("transport.tpdus_sent", labels);
+  m_tpdus_received_ = &reg.counter("transport.tpdus_received", labels);
+  m_tpdus_lost_ = &reg.counter("transport.tpdus_lost", labels);
+  m_tpdus_corrupt_ = &reg.counter("transport.tpdus_corrupt", labels);
+  m_osdus_delivered_ = &reg.counter("transport.osdus_delivered", labels);
   if (role_ == VcRole::kSink) {
     monitor_ = std::make_unique<QosMonitor>(id_, agreed_, request_.sample_period);
     monitor_->set_warmup_periods(1);  // pipeline fill distorts the first period
@@ -64,6 +77,10 @@ net::NodeId Connection::peer_node() const {
 void Connection::open() {
   if (state_ == VcState::kOpen) return;
   state_ = VcState::kOpen;
+  // Lifecycle span: one async interval per endpoint, keyed by the VC id so
+  // source and sink halves pair up in the viewer.
+  obs::Tracer::global().async_begin(role_ == VcRole::kSource ? "VC.source" : "VC.sink",
+                                    id_, trace_pid_, trace_tid_);
   if (role_ == VcRole::kSource) {
     // The protocol thread wakes whenever the application deposits data.
     buffer_.set_data_available([this] {
@@ -95,6 +112,10 @@ void Connection::open() {
 }
 
 void Connection::close() {
+  if (state_ == VcState::kOpen) {
+    obs::Tracer::global().async_end(role_ == VcRole::kSource ? "VC.source" : "VC.sink",
+                                    id_, trace_pid_, trace_tid_);
+  }
   state_ = VcState::kClosed;
   pacer_event_.cancel();
   rto_event_.cancel();
@@ -133,6 +154,7 @@ std::optional<Osdu> Connection::receive() {
   if (osdu) {
     last_delivered_seq_ = osdu->seq;
     ++stats_.osdus_delivered;
+    m_osdus_delivered_->add();
     if (on_osdu_delivered_) on_osdu_delivered_(*osdu, entity_.local_now());
   }
   return osdu;
@@ -242,6 +264,9 @@ void Connection::send_data_tpdu(DataTpdu&& dt, bool retransmission) {
   } else {
     ++stats_.tpdus_sent;
   }
+  m_tpdus_sent_->add();
+  obs::Tracer::global().instant(retransmission ? "TPDU.retx" : "TPDU.tx", trace_pid_,
+                                trace_tid_);
   // Retain a copy for NAK-driven recovery (bounded).
   if (wants_correction(request_.service_class.error_control) ||
       request_.service_class.profile == ProtocolProfile::kWindowBased) {
@@ -364,12 +389,18 @@ void Connection::on_data(const net::Packet& pkt) {
   auto dt = DataTpdu::decode(pkt.payload, pkt.corrupted);
   if (!dt) {
     ++stats_.tpdus_corrupt;
-    if (monitor_) monitor_->on_tpdu_corrupt();
+    // The corrupt TPDU's bytes still crossed the wire; they belong in the
+    // BER denominator.
+    if (monitor_) monitor_->on_tpdu_corrupt(static_cast<std::int64_t>(pkt.wire_size()));
+    m_tpdus_corrupt_->add();
+    obs::Tracer::global().instant("TPDU.corrupt", trace_pid_, trace_tid_);
     // The sequence number is unreadable; recovery (if any) rides on the
     // gap-detection path when the next good TPDU arrives.
     return;
   }
   ++stats_.tpdus_received;
+  m_tpdus_received_->add();
+  obs::Tracer::global().instant("TPDU.rx", trace_pid_, trace_tid_);
   if (monitor_) {
     monitor_->on_tpdu_received(static_cast<std::int64_t>(pkt.wire_size()));
     monitor_->on_osdu_seen(dt->osdu_seq);
@@ -434,6 +465,8 @@ void Connection::note_gap(std::uint32_t from_seq, std::uint32_t to_seq) {
   } else {
     stats_.tpdus_lost += n;
     if (monitor_) monitor_->on_tpdu_lost(n);
+    m_tpdus_lost_->add(n);
+    obs::Tracer::global().instant("TPDU.loss", trace_pid_, trace_tid_);
   }
 }
 
@@ -550,6 +583,8 @@ void Connection::give_up_on_holes() {
     if (abandoned > 0) {
       stats_.tpdus_lost += abandoned;
       if (monitor_) monitor_->on_tpdu_lost(abandoned);
+      m_tpdus_lost_->add(abandoned);
+      obs::Tracer::global().instant("TPDU.loss", trace_pid_, trace_tid_);
     }
   }
   // Skip over OSDU holes that have stalled delivery beyond the jitter

@@ -25,6 +25,7 @@
 
 #include "net/address.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "sim/scheduler.h"
 #include "transport/monitor.h"
 #include "transport/osdu.h"
@@ -232,6 +233,18 @@ class Connection {
   std::unique_ptr<QosMonitor> monitor_;
   std::function<void(const Osdu&)> on_osdu_arrival_;
   std::function<void(const Osdu&, Time)> on_osdu_delivered_;
+
+  // === observability ===
+  // Cached global-registry instruments (labelled per VC + node + role);
+  // resolved once at construction so the data path never takes the
+  // registry lock.
+  obs::Counter* m_tpdus_sent_ = nullptr;
+  obs::Counter* m_tpdus_received_ = nullptr;
+  obs::Counter* m_tpdus_lost_ = nullptr;
+  obs::Counter* m_tpdus_corrupt_ = nullptr;
+  obs::Counter* m_osdus_delivered_ = nullptr;
+  int trace_pid_ = 0;  // node id
+  int trace_tid_ = 0;  // VC (low 32 bits)
 };
 
 }  // namespace cmtos::transport

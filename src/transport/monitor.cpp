@@ -1,11 +1,41 @@
 #include "transport/monitor.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "obs/trace.h"
 
 namespace cmtos::transport {
 
 QosMonitor::QosMonitor(VcId vc, QosParams agreed, Duration sample_period)
-    : vc_(vc), agreed_(agreed), sample_period_(sample_period) {}
+    : vc_(vc), agreed_(agreed), sample_period_(sample_period) {
+  const obs::Labels labels = {{"vc", std::to_string(vc_)}};
+  auto& reg = obs::Registry::global();
+  g_osdu_rate_ = &reg.gauge("qos.osdu_rate", labels);
+  g_mean_delay_ms_ = &reg.gauge("qos.mean_delay_ms", labels);
+  g_jitter_ms_ = &reg.gauge("qos.jitter_ms", labels);
+  g_per_ = &reg.gauge("qos.packet_error_rate", labels);
+  g_ber_ = &reg.gauge("qos.bit_error_rate", labels);
+  c_violations_ = &reg.counter("qos.violation_periods", labels);
+}
+
+void QosMonitor::publish(const QosReport& rep) {
+  g_osdu_rate_->set(rep.measured_osdu_rate);
+  g_mean_delay_ms_->set(to_millis(rep.measured_mean_delay));
+  g_jitter_ms_->set(to_millis(rep.measured_jitter));
+  g_per_->set(rep.measured_packet_error_rate);
+  g_ber_->set(rep.measured_bit_error_rate);
+  if (rep.violations.any() && !rep.warmup) c_violations_->add();
+
+  auto& tr = obs::Tracer::global();
+  if (!tr.enabled()) return;
+  const int pid = static_cast<int>(vc_ >> 32);       // allocating node
+  const int tid = static_cast<int>(vc_ & 0xffffffffu);
+  tr.counter("qos.osdu_rate", rep.measured_osdu_rate, pid, tid);
+  tr.counter("qos.mean_delay_ms", to_millis(rep.measured_mean_delay), pid, tid);
+  tr.counter("qos.bit_error_rate", rep.measured_bit_error_rate, pid, tid);
+  if (rep.violations.any() && !rep.warmup) tr.instant("QoS.violation", pid, tid);
+}
 
 void QosMonitor::on_osdu_completed(Duration end_to_end_delay) {
   ++osdus_;
@@ -19,7 +49,10 @@ void QosMonitor::on_tpdu_received(std::int64_t wire_bytes) {
 
 void QosMonitor::on_tpdu_lost(std::int64_t count) { tpdus_lost_ += count; }
 
-void QosMonitor::on_tpdu_corrupt() { ++tpdus_corrupt_; }
+void QosMonitor::on_tpdu_corrupt(std::int64_t wire_bytes) {
+  ++tpdus_corrupt_;
+  bits_corrupt_ += wire_bytes * 8;
+}
 
 void QosMonitor::on_osdu_seen(std::uint32_t seq) {
   const auto s = static_cast<std::int64_t>(seq);
@@ -42,9 +75,26 @@ void QosMonitor::end_period(Time local_now) {
       expected > 0 ? static_cast<double>(tpdus_lost_ + tpdus_corrupt_) /
                          static_cast<double>(expected)
                    : 0.0;
-  rep.measured_bit_error_rate =
-      bits_received_ > 0 ? static_cast<double>(tpdus_corrupt_) / static_cast<double>(bits_received_)
-                         : 0.0;
+  // BER estimate.  The checksum marks whole TPDUs corrupt without saying
+  // how many bits flipped, so the per-bit rate must be inferred: under iid
+  // bit errors with per-bit probability p, a B-bit TPDU is corrupt with
+  // probability f = 1 - (1-p)^B.  Invert with B = mean TPDU bits over the
+  // period (corrupt TPDUs' bits count — they crossed the wire too).  For
+  // small f this reduces to f/B, i.e. ~1 flipped bit per corrupt TPDU; at
+  // high corruption it stays finite by clamping f below 1.
+  const std::int64_t tpdus_arrived = tpdus_received_ + tpdus_corrupt_;
+  const std::int64_t bits_arrived = bits_received_ + bits_corrupt_;
+  if (tpdus_corrupt_ > 0 && bits_arrived > 0) {
+    const double mean_tpdu_bits =
+        static_cast<double>(bits_arrived) / static_cast<double>(tpdus_arrived);
+    double corrupt_frac =
+        static_cast<double>(tpdus_corrupt_) / static_cast<double>(tpdus_arrived);
+    corrupt_frac = std::min(
+        corrupt_frac, 1.0 - 1.0 / (2.0 * static_cast<double>(tpdus_arrived)));
+    rep.measured_bit_error_rate = 1.0 - std::pow(1.0 - corrupt_frac, 1.0 / mean_tpdu_bits);
+  } else {
+    rep.measured_bit_error_rate = 0.0;
+  }
 
   // Tolerance comparison.  A 5% grace margin on throughput avoids spurious
   // indications from sample-period boundary effects.  Throughput is judged
@@ -63,6 +113,8 @@ void QosMonitor::end_period(Time local_now) {
   rep.violations.packet_errors = rep.measured_packet_error_rate > agreed_.packet_error_rate;
   rep.violations.bit_errors = rep.measured_bit_error_rate > agreed_.bit_error_rate;
 
+  rep.warmup = warmup_left_ > 0;
+  publish(rep);
   if (on_sample_) on_sample_(rep);
   if (warmup_left_ > 0) {
     --warmup_left_;
@@ -80,6 +132,7 @@ void QosMonitor::end_period(Time local_now) {
   bits_received_ = 0;
   tpdus_lost_ = 0;
   tpdus_corrupt_ = 0;
+  bits_corrupt_ = 0;
 }
 
 }  // namespace cmtos::transport

@@ -98,6 +98,11 @@ struct QosReport {
   double measured_packet_error_rate = 0;
   double measured_bit_error_rate = 0;
   QosViolation violations;   // which tolerance levels were violated
+  /// True while the monitor is still in its warmup window: measurements are
+  /// distorted by pipeline fill and any violations were *not* reported via
+  /// T-QoS.indication.  Time-series consumers (on_sample) use this to
+  /// separate fill artifacts from real degradation.
+  bool warmup = false;
 };
 
 /// Callback interface implemented by transport users (Stream objects, test

@@ -2,13 +2,18 @@
 
 namespace cmtos::transport {
 
+namespace {
+constexpr const char* kProducerSpan = "Buffer.block.producer";
+constexpr const char* kConsumerSpan = "Buffer.block.consumer";
+}  // namespace
+
 bool StreamBuffer::try_push(Osdu osdu, Time now) {
   if (ring_.full()) {
-    if (producer_blocked_since_ == kTimeNever) producer_blocked_since_ = now;
+    open_producer_episode(now);
     return false;
   }
   ring_.push(std::move(osdu));
-  note_push_success(now);
+  close_producer_episode(now);
   const bool full_now = ring_.full();
   if (consumer_blocked_since_ != kTimeNever && data_available_) data_available_();
   if (full_now && became_full_) became_full_();
@@ -17,11 +22,11 @@ bool StreamBuffer::try_push(Osdu osdu, Time now) {
 
 std::optional<Osdu> StreamBuffer::try_pop(Time now) {
   if (ring_.empty() || !delivery_enabled_) {
-    if (consumer_blocked_since_ == kTimeNever) consumer_blocked_since_ = now;
+    open_consumer_episode(now);
     return std::nullopt;
   }
   Osdu v = ring_.pop();
-  note_pop_success(now);
+  close_consumer_episode(now);
   if (producer_blocked_since_ != kTimeNever && space_available_) space_available_();
   return v;
 }
@@ -30,21 +35,17 @@ std::optional<Osdu> StreamBuffer::drop_newest(Time now) {
   if (ring_.empty()) return std::nullopt;
   Osdu v = ring_.pop_newest();
   // A drop frees space exactly like a pop: unblock the producer.
-  if (producer_blocked_since_ != kTimeNever) {
-    producer_blocked_acc_ += now - producer_blocked_since_;
-    producer_blocked_since_ = kTimeNever;
-    if (space_available_) space_available_();
-  }
+  const bool producer_was_blocked = producer_blocked_since_ != kTimeNever;
+  close_producer_episode(now);
+  if (producer_was_blocked && space_available_) space_available_();
   return v;
 }
 
 void StreamBuffer::flush(Time now) {
   ring_.clear();
-  if (producer_blocked_since_ != kTimeNever) {
-    producer_blocked_acc_ += now - producer_blocked_since_;
-    producer_blocked_since_ = kTimeNever;
-    if (space_available_) space_available_();
-  }
+  const bool producer_was_blocked = producer_blocked_since_ != kTimeNever;
+  close_producer_episode(now);
+  if (producer_was_blocked && space_available_) space_available_();
 }
 
 void StreamBuffer::set_delivery_enabled(bool enabled, Time now) {
@@ -72,17 +73,43 @@ void StreamBuffer::reset_window(Time now) {
   if (consumer_blocked_since_ != kTimeNever) consumer_blocked_since_ = now;
 }
 
-void StreamBuffer::note_push_success(Time now) {
-  if (producer_blocked_since_ != kTimeNever) {
-    producer_blocked_acc_ += now - producer_blocked_since_;
-    producer_blocked_since_ = kTimeNever;
+void StreamBuffer::open_producer_episode(Time now) {
+  if (producer_blocked_since_ != kTimeNever) return;
+  producer_blocked_since_ = now;
+  auto& tr = obs::Tracer::global();
+  if (tr.enabled()) {
+    producer_span_id_ = tr.next_async_id();
+    tr.async_begin(kProducerSpan, producer_span_id_, trace_pid_, trace_tid_);
   }
 }
 
-void StreamBuffer::note_pop_success(Time now) {
-  if (consumer_blocked_since_ != kTimeNever) {
-    consumer_blocked_acc_ += now - consumer_blocked_since_;
-    consumer_blocked_since_ = kTimeNever;
+void StreamBuffer::close_producer_episode(Time now) {
+  if (producer_blocked_since_ == kTimeNever) return;
+  producer_blocked_acc_ += now - producer_blocked_since_;
+  producer_blocked_since_ = kTimeNever;
+  if (producer_span_id_ != 0) {
+    obs::Tracer::global().async_end(kProducerSpan, producer_span_id_, trace_pid_, trace_tid_);
+    producer_span_id_ = 0;
+  }
+}
+
+void StreamBuffer::open_consumer_episode(Time now) {
+  if (consumer_blocked_since_ != kTimeNever) return;
+  consumer_blocked_since_ = now;
+  auto& tr = obs::Tracer::global();
+  if (tr.enabled()) {
+    consumer_span_id_ = tr.next_async_id();
+    tr.async_begin(kConsumerSpan, consumer_span_id_, trace_pid_, trace_tid_);
+  }
+}
+
+void StreamBuffer::close_consumer_episode(Time now) {
+  if (consumer_blocked_since_ == kTimeNever) return;
+  consumer_blocked_acc_ += now - consumer_blocked_since_;
+  consumer_blocked_since_ = kTimeNever;
+  if (consumer_span_id_ != 0) {
+    obs::Tracer::global().async_end(kConsumerSpan, consumer_span_id_, trace_pid_, trace_tid_);
+    consumer_span_id_ = 0;
   }
 }
 

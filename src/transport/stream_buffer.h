@@ -26,6 +26,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.h"
 #include "transport/osdu.h"
 #include "util/ring_buffer.h"
 #include "util/time.h"
@@ -90,9 +91,18 @@ class StreamBuffer {
   BlockStats window_stats(Time now) const;
   void reset_window(Time now);
 
+  /// Trace coordinates for block-episode spans (pid = node, tid = VC); the
+  /// owning Connection sets them once at establishment.
+  void set_trace_identity(int pid, int tid) {
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+
  private:
-  void note_push_success(Time now);
-  void note_pop_success(Time now);
+  void open_producer_episode(Time now);
+  void close_producer_episode(Time now);
+  void open_consumer_episode(Time now);
+  void close_consumer_episode(Time now);
 
   RingBuffer<Osdu> ring_;
   bool delivery_enabled_ = true;
@@ -106,6 +116,12 @@ class StreamBuffer {
   Time consumer_blocked_since_ = kTimeNever;
   Duration producer_blocked_acc_ = 0;
   Duration consumer_blocked_acc_ = 0;
+
+  // Tracing: async-span ids for the currently open episodes (0 = no span).
+  int trace_pid_ = 0;
+  int trace_tid_ = 0;
+  std::uint64_t producer_span_id_ = 0;
+  std::uint64_t consumer_span_id_ = 0;
 };
 
 }  // namespace cmtos::transport

@@ -1,18 +1,26 @@
 #include "transport/threaded_buffer.h"
 
+#include "obs/trace.h"
+
 namespace cmtos::transport {
 
 namespace {
 
 /// Measures the blocking time of a semaphore acquire.  A fast path tries
 /// try_acquire first so uncontended operation costs no clock reads.
+/// Returns true when the wait was contended (fast path missed), with the
+/// measured wait in *waited_ns.
 template <typename Sem>
-std::int64_t timed_acquire(Sem& sem) {
-  if (sem.try_acquire()) return 0;
+bool timed_acquire(Sem& sem, std::int64_t* waited_ns) {
+  if (sem.try_acquire()) {
+    *waited_ns = 0;
+    return false;
+  }
   const auto t0 = std::chrono::steady_clock::now();
   sem.acquire();
   const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  *waited_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+  return true;
 }
 
 }  // namespace
@@ -23,14 +31,24 @@ ThreadedStreamBuffer::ThreadedStreamBuffer(std::size_t capacity)
       filled_slots_(0) {}
 
 void ThreadedStreamBuffer::push(Osdu&& osdu) {
-  producer_blocked_ns_.fetch_add(timed_acquire(free_slots_), std::memory_order_relaxed);
+  std::int64_t waited = 0;
+  if (timed_acquire(free_slots_, &waited)) {
+    producer_blocked_ns_.fetch_add(waited, std::memory_order_relaxed);
+    producer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::global().instant("ThreadedBuffer.producer_wait");
+  }
   slots_[tail_] = std::move(osdu);
   tail_ = (tail_ + 1) % slots_.size();
   filled_slots_.release();
 }
 
 Osdu* ThreadedStreamBuffer::acquire() {
-  consumer_blocked_ns_.fetch_add(timed_acquire(filled_slots_), std::memory_order_relaxed);
+  std::int64_t waited = 0;
+  if (timed_acquire(filled_slots_, &waited)) {
+    consumer_blocked_ns_.fetch_add(waited, std::memory_order_relaxed);
+    consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::global().instant("ThreadedBuffer.consumer_wait");
+  }
   return &slots_[head_];
 }
 

@@ -47,6 +47,11 @@ class ThreadedStreamBuffer {
   std::int64_t producer_blocked_ns() const { return producer_blocked_ns_.load(); }
   std::int64_t consumer_blocked_ns() const { return consumer_blocked_ns_.load(); }
 
+  /// Number of contended waits (operations that did not take the
+  /// try_acquire fast path) per side.
+  std::int64_t producer_blocks() const { return producer_blocks_.load(); }
+  std::int64_t consumer_blocks() const { return consumer_blocks_.load(); }
+
  private:
   std::vector<Osdu> slots_;
   std::counting_semaphore<> free_slots_;
@@ -55,6 +60,8 @@ class ThreadedStreamBuffer {
   std::size_t tail_ = 0;  // producer index
   std::atomic<std::int64_t> producer_blocked_ns_{0};
   std::atomic<std::int64_t> consumer_blocked_ns_{0};
+  std::atomic<std::int64_t> producer_blocks_{0};
+  std::atomic<std::int64_t> consumer_blocks_{0};
 };
 
 }  // namespace cmtos::transport

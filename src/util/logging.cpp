@@ -6,6 +6,7 @@ namespace cmtos {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+LogSink g_sink;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -24,11 +25,21 @@ const char* level_name(LogLevel l) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
 void log(LogLevel level, const char* tag, const char* fmt, ...) {
   if (static_cast<int>(level) < static_cast<int>(g_level)) return;
   std::fprintf(stderr, "[%s] %s: ", level_name(level), tag);
   va_list ap;
   va_start(ap, fmt);
+  if (g_sink) {
+    char buf[512];
+    va_list ap2;
+    va_copy(ap2, ap);
+    std::vsnprintf(buf, sizeof buf, fmt, ap2);
+    va_end(ap2);
+    g_sink(level, tag, buf);
+  }
   std::vfprintf(stderr, fmt, ap);
   va_end(ap);
   std::fputc('\n', stderr);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace cmtos {
@@ -17,6 +18,14 @@ enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 /// Sets the global threshold; messages below it are dropped.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Optional observer for formatted log lines.  When set, every emitted line
+/// (those at or above the threshold) is also handed to the sink as
+/// (level, tag, formatted message).  The obs tracer installs one to route
+/// log lines into the event trace; stderr output is unaffected.  Pass
+/// nullptr to uninstall.
+using LogSink = std::function<void(LogLevel, const char* tag, const char* msg)>;
+void set_log_sink(LogSink sink);
 
 /// printf-style log statement.  `tag` names the subsystem ("transport",
 /// "llo", ...).

@@ -142,6 +142,36 @@ TEST(StreamBuffer, DropNewestIsLifoAndSignalsSpace) {
   EXPECT_EQ(b.try_pop(11)->seq, 0u);
 }
 
+TEST(StreamBuffer, DropNewestWhileConsumerBlockedKeepsEpisode) {
+  // A drop-at-source while the consumer is mid-block must not disturb the
+  // consumer's episode accounting or spuriously signal the producer.
+  StreamBuffer b(2);
+  int space_signals = 0;
+  b.set_space_available([&] { ++space_signals; });
+  EXPECT_FALSE(b.try_pop(0).has_value());  // consumer episode opens at t=0
+  ASSERT_TRUE(b.try_push(osdu(0), 10));
+  auto victim = b.drop_newest(20);
+  ASSERT_TRUE(victim);
+  EXPECT_EQ(victim->seq, 0u);
+  EXPECT_EQ(space_signals, 0);  // producer never blocked
+  // Consumer episode still open and charged continuously across the drop.
+  EXPECT_EQ(b.window_stats(50).consumer_blocked, 50);
+  ASSERT_TRUE(b.try_push(osdu(1), 60));
+  ASSERT_TRUE(b.try_pop(70).has_value());  // closes the episode
+  EXPECT_EQ(b.window_stats(100).consumer_blocked, 70);
+}
+
+TEST(StreamBuffer, ResetWindowMidConsumerBlock) {
+  StreamBuffer b(2);
+  EXPECT_FALSE(b.try_pop(100).has_value());  // episode opens at t=100
+  b.reset_window(300);
+  // Only time after the reset is charged; the episode itself survives.
+  EXPECT_EQ(b.window_stats(350).consumer_blocked, 50);
+  ASSERT_TRUE(b.try_push(osdu(0), 400));
+  ASSERT_TRUE(b.try_pop(420).has_value());
+  EXPECT_EQ(b.window_stats(500).consumer_blocked, 120);
+}
+
 TEST(StreamBuffer, DropNewestOnEmpty) {
   StreamBuffer b(2);
   EXPECT_FALSE(b.drop_newest(0).has_value());

@@ -91,6 +91,44 @@ TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowProducer) {
   EXPECT_GT(b.consumer_blocked_ns(), 10'000'000);
 }
 
+TEST(ThreadedBuffer, ConsumerContendedWaitIsCounted) {
+  // The semaphore's try_acquire fast path spins briefly, so contention
+  // only registers when the peer is genuinely absent.  Gate the pop on a
+  // handshake flag and delay the push well past the spin window; assert on
+  // the contended-wait *counter* (not a wall-clock threshold), which stays
+  // robust on loaded CI machines.
+  ThreadedStreamBuffer b(2);
+  std::atomic<bool> popping{false};
+  std::thread consumer([&] {
+    popping.store(true);
+    EXPECT_EQ(b.pop().seq, 7u);
+  });
+  while (!popping.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b.push(make(7));
+  consumer.join();
+  EXPECT_EQ(b.consumer_blocks(), 1);
+  EXPECT_GT(b.consumer_blocked_ns(), 0);
+  EXPECT_EQ(b.producer_blocks(), 0);
+}
+
+TEST(ThreadedBuffer, ProducerContendedWaitIsCounted) {
+  ThreadedStreamBuffer b(1);
+  b.push(make(0));  // fills the ring uncontended
+  std::atomic<bool> pushing{false};
+  std::thread producer([&] {
+    pushing.store(true);
+    b.push(make(1));  // ring full: must wait for the pop
+  });
+  while (!pushing.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(b.pop().seq, 0u);
+  producer.join();
+  EXPECT_EQ(b.pop().seq, 1u);
+  EXPECT_EQ(b.producer_blocks(), 1);
+  EXPECT_GT(b.producer_blocked_ns(), 0);
+}
+
 TEST(ThreadedBuffer, CapacityOneDegenerate) {
   ThreadedStreamBuffer b(1);
   std::thread consumer([&] {
