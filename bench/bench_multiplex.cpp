@@ -101,8 +101,10 @@ MuxResult run_multiplexed(double loss) {
     if (o->event == 1) ++video_got;
     if (o->event == 2) ++audio_got;
   }
-  r.video_loss_frac = 1.0 - static_cast<double>(video_got) / std::max<std::int64_t>(1, video_sent);
-  r.audio_loss_frac = 1.0 - static_cast<double>(audio_got) / std::max<std::int64_t>(1, audio_sent);
+  r.video_loss_frac = 1.0 - static_cast<double>(video_got) /
+                                static_cast<double>(std::max<std::int64_t>(1, video_sent));
+  r.audio_loss_frac = 1.0 - static_cast<double>(audio_got) /
+                                static_cast<double>(std::max<std::int64_t>(1, audio_sent));
   return r;
 }
 
@@ -164,8 +166,10 @@ MuxResult run_separate(double loss) {
   w.platform.run_until(w.platform.scheduler().now() + 2 * kSecond);
   while (vsink->receive()) ++video_got;
   while (asink->receive()) ++audio_got;
-  r.video_loss_frac = 1.0 - static_cast<double>(video_got) / std::max<std::int64_t>(1, video_sent);
-  r.audio_loss_frac = 1.0 - static_cast<double>(audio_got) / std::max<std::int64_t>(1, audio_sent);
+  r.video_loss_frac = 1.0 - static_cast<double>(video_got) /
+                                static_cast<double>(std::max<std::int64_t>(1, video_sent));
+  r.audio_loss_frac = 1.0 - static_cast<double>(audio_got) /
+                                static_cast<double>(std::max<std::int64_t>(1, audio_sent));
   return r;
 }
 

@@ -1,9 +1,9 @@
 #include "net/network.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
 
+#include "util/contract.h"
 #include "util/logging.h"
 
 namespace cmtos::net {
@@ -16,7 +16,7 @@ NodeId Network::add_node(const std::string& name, sim::LocalClock clock) {
 }
 
 void Network::add_link(NodeId a, NodeId b, const LinkConfig& cfg) {
-  assert(a < nodes_.size() && b < nodes_.size() && a != b);
+  CMTOS_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b, "net.link_endpoints");
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
     auto link = std::make_unique<Link>(sched_, rng_.split(), cfg, from, to);
     link->set_deliver([this, to](Packet&& p) { forward(std::move(p), to); });
@@ -64,7 +64,7 @@ Link* Network::link(NodeId from, NodeId to) {
 }
 
 std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
-  assert(routes_valid_);
+  CMTOS_ASSERT(routes_valid_, "net.routes_stale");
   std::vector<NodeId> p;
   if (src >= nodes_.size() || dst >= nodes_.size()) return p;
   p.push_back(src);
@@ -80,7 +80,7 @@ std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
 }
 
 void Network::send(Packet&& pkt) {
-  assert(routes_valid_ && "finalize_routes() not called");
+  CMTOS_ASSERT(routes_valid_, "net.routes_stale");  // finalize_routes() not called
   pkt.injected_at = sched_.now();
   pkt.id = next_packet_id_++;
   // Dispatch through the scheduler (even for node-local delivery) so a
@@ -105,7 +105,8 @@ void Network::forward(Packet&& pkt, NodeId at) {
     return;
   }
   Link* l = link(at, next);
-  assert(l != nullptr);
+  CMTOS_ASSERT(l != nullptr, "net.route_without_link");
+  if (l == nullptr) return;
   (void)l->transmit(std::move(pkt));
 }
 

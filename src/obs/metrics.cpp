@@ -5,8 +5,25 @@
 #include <stdexcept>
 
 #include "obs/json.h"
+#include "util/contract.h"
 
 namespace cmtos::obs {
+
+namespace {
+
+// Export contract violations through the metrics registry: release builds
+// continue past a violated invariant, so the counter is the only way an
+// operator sees one.  Installed via static initialisation — this TU is in
+// every cmtos binary (Registry::global() is referenced throughout), so
+// linking cmtos_obs is enough to get `contract.violations{check=...}`.
+[[maybe_unused]] const bool g_contract_hook_installed = [] {
+  contract::set_metric_hook([](const char* check) {
+    Registry::global().counter("contract.violations", {{"check", check}}).add();
+  });
+  return true;
+}();
+
+}  // namespace
 
 void Histogram::observe(double v) {
   if (count_ == 0) {

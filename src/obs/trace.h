@@ -67,8 +67,9 @@ class Tracer {
   /// Fresh id for an async span.
   std::uint64_t next_async_id() { return next_id_.fetch_add(1, std::memory_order_relaxed); }
 
-  /// Events written so far in the current (or last) trace.
-  std::int64_t events_written() const { return events_; }
+  /// Events written so far in the current (or last) trace.  Safe to poll
+  /// from a thread other than the emitters.
+  std::int64_t events_written() const { return events_.load(std::memory_order_relaxed); }
 
   /// Process-wide tracer the protocol stack emits into.
   static Tracer& global();
@@ -82,7 +83,7 @@ class Tracer {
   std::atomic<std::uint64_t> next_id_{1};
   std::mutex mu_;
   void* file_ = nullptr;  // FILE*, kept out of the header
-  std::int64_t events_ = 0;
+  std::atomic<std::int64_t> events_{0};  // written under mu_, read lock-free
   bool have_sim_time_ = false;
   Time sim_time_ = 0;
   std::int64_t wall_start_ns_ = 0;

@@ -1,16 +1,77 @@
 #include "orch/llo.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/contract.h"
 #include "util/logging.h"
 
 namespace cmtos::orch {
 
 using transport::Connection;
 using transport::VcId;
+
+const char* to_string(OrchReason r) {
+  switch (r) {
+    case OrchReason::kOk: return "ok";
+    case OrchReason::kNoSuchVc: return "no-such-vc";
+    case OrchReason::kNoTableSpace: return "no-table-space";
+    case OrchReason::kAppDenied: return "app-denied";
+    case OrchReason::kNoSession: return "no-session";
+    case OrchReason::kTimeout: return "timeout";
+    case OrchReason::kNoControlBandwidth: return "no-control-bandwidth";
+    case OrchReason::kNoCommonNode: return "no-common-node";
+    case OrchReason::kNotEstablished: return "not-established";
+    case OrchReason::kOpInProgress: return "op-in-progress";
+    case OrchReason::kIllegalTransition: return "illegal-transition";
+  }
+  return "?";
+}
+
+bool orch_transition_legal(SessionPhase from, SessionPhase to) {
+  switch (from) {
+    case SessionPhase::kEstablishing:
+      return to == SessionPhase::kIdle;
+    case SessionPhase::kIdle:
+      // Start without a prior prime is legal: priming only pre-fills the
+      // sink buffers so playout begins glitch-free; an unprimed start just
+      // releases delivery as data trickles in.
+      return to == SessionPhase::kPriming || to == SessionPhase::kStarting;
+    case SessionPhase::kPriming:
+      // Success, or revert to wherever the prime was issued from.
+      return to == SessionPhase::kPrimed || to == SessionPhase::kIdle ||
+             to == SessionPhase::kStopped;
+    case SessionPhase::kPrimed:
+      return to == SessionPhase::kStarting || to == SessionPhase::kStopping ||
+             to == SessionPhase::kPriming;
+    case SessionPhase::kStarting:
+      return to == SessionPhase::kRunning || to == SessionPhase::kPrimed ||
+             to == SessionPhase::kStopped || to == SessionPhase::kIdle;
+    case SessionPhase::kRunning:
+      return to == SessionPhase::kStopping;
+    case SessionPhase::kStopping:
+      return to == SessionPhase::kStopped || to == SessionPhase::kPrimed ||
+             to == SessionPhase::kRunning;
+    case SessionPhase::kStopped:
+      return to == SessionPhase::kPriming || to == SessionPhase::kStarting;
+  }
+  return false;
+}
+
+const char* to_string(SessionPhase s) {
+  switch (s) {
+    case SessionPhase::kEstablishing: return "establishing";
+    case SessionPhase::kIdle: return "idle";
+    case SessionPhase::kPriming: return "priming";
+    case SessionPhase::kPrimed: return "primed";
+    case SessionPhase::kStarting: return "starting";
+    case SessionPhase::kRunning: return "running";
+    case SessionPhase::kStopping: return "stopping";
+    case SessionPhase::kStopped: return "stopped";
+  }
+  return "?";
+}
 
 Llo::Llo(net::Network& network, net::NodeId node, transport::TransportEntity& entity)
     : network_(network), node_(node), entity_(entity) {
@@ -36,6 +97,25 @@ Llo::Session* Llo::session(OrchSessionId s) {
 Llo::VcLocal* Llo::local(LocalKey key) {
   auto it = locals_.find(key);
   return it == locals_.end() ? nullptr : &it->second;
+}
+
+void Llo::set_phase(OrchSessionId s, Session& sess, SessionPhase next) {
+  if (sess.phase == next) return;  // failed op reverting to where it started
+  CMTOS_ASSERT(orch_transition_legal(sess.phase, next), "orch.transition");
+  CMTOS_TRACE("orch", "session=%llu %s -> %s", static_cast<unsigned long long>(s),
+              to_string(sess.phase), to_string(next));
+  sess.phase = next;
+}
+
+OrchReason Llo::admit_group_op(const Session& sess, SessionPhase attempt) const {
+  if (!sess.established) return OrchReason::kNotEstablished;
+  // Group primitives are atomic over the whole group: a second op while one
+  // is still collecting acks would interleave the two fan-outs and clobber
+  // the pending-ack bookkeeping.
+  if (sess.op != nullptr) return OrchReason::kOpInProgress;
+  if (attempt != sess.phase && !orch_transition_legal(sess.phase, attempt))
+    return OrchReason::kIllegalTransition;
+  return OrchReason::kOk;
 }
 
 // ====================================================================
@@ -69,6 +149,8 @@ void Llo::orch_request(OrchSessionId s, std::vector<OrchVcInfo> vcs, ResultFn do
   fan_out(it->second, OpduType::kSessReq, 0, std::move(done), nullptr);
   // Mark established once the fan-out completes successfully; finish_op
   // handles that via the `established` flag check below.
+  it->second.op->commit_phase = SessionPhase::kIdle;
+  it->second.op->revert_phase = SessionPhase::kEstablishing;
 }
 
 void Llo::orch_release(OrchSessionId s) {
@@ -122,11 +204,13 @@ void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn don
   op->timeout = network_.scheduler().after(kOpTimeout, [this, sid] {
     Session* se = session(sid);
     if (se == nullptr || se->op == nullptr) return;
-    auto op = std::move(se->op);
-    if (op->span_id != 0)
-      obs::Tracer::global().async_end(op->span_name, op->span_id, static_cast<int>(node_));
-    if (op->done) op->done(false, OrchReason::kTimeout);
-    if (op->start_done) op->start_done(false, {});
+    auto timed_out = std::move(se->op);
+    set_phase(sid, *se, timed_out->revert_phase);
+    if (timed_out->span_id != 0)
+      obs::Tracer::global().async_end(timed_out->span_name, timed_out->span_id,
+                                      static_cast<int>(node_));
+    if (timed_out->done) timed_out->done(false, OrchReason::kTimeout);
+    if (timed_out->start_done) timed_out->start_done(false, {});
   });
   sess.op = std::move(op);
 
@@ -150,8 +234,18 @@ void Llo::prime(OrchSessionId s, bool flush, ResultFn done) {
     if (done) done(false, OrchReason::kNoSession);
     return;
   }
+  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kPriming); r != OrchReason::kOk) {
+    CMTOS_WARN("orch", "Orch.Prime rejected in phase %s: %s", to_string(sess->phase),
+               to_string(r));
+    if (done) done(false, r);
+    return;
+  }
+  const SessionPhase from = sess->phase;
+  set_phase(s, *sess, SessionPhase::kPriming);
   fan_out(*sess, OpduType::kPrime, flush ? kOpduFlagFlush : std::uint8_t{0}, std::move(done),
           nullptr);
+  sess->op->commit_phase = SessionPhase::kPrimed;
+  sess->op->revert_phase = from;
 }
 
 void Llo::start(OrchSessionId s, StartFn done) {
@@ -160,7 +254,17 @@ void Llo::start(OrchSessionId s, StartFn done) {
     if (done) done(false, {});
     return;
   }
+  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kStarting); r != OrchReason::kOk) {
+    CMTOS_WARN("orch", "Orch.Start rejected in phase %s: %s", to_string(sess->phase),
+               to_string(r));
+    if (done) done(false, {});
+    return;
+  }
+  const SessionPhase from = sess->phase;
+  set_phase(s, *sess, SessionPhase::kStarting);
   fan_out(*sess, OpduType::kStart, 0, nullptr, std::move(done));
+  sess->op->commit_phase = SessionPhase::kRunning;
+  sess->op->revert_phase = from;
 }
 
 void Llo::stop(OrchSessionId s, ResultFn done) {
@@ -169,7 +273,17 @@ void Llo::stop(OrchSessionId s, ResultFn done) {
     if (done) done(false, OrchReason::kNoSession);
     return;
   }
+  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kStopping); r != OrchReason::kOk) {
+    CMTOS_WARN("orch", "Orch.Stop rejected in phase %s: %s", to_string(sess->phase),
+               to_string(r));
+    if (done) done(false, r);
+    return;
+  }
+  const SessionPhase from = sess->phase;
+  set_phase(s, *sess, SessionPhase::kStopping);
   fan_out(*sess, OpduType::kStop, 0, std::move(done), nullptr);
+  sess->op->commit_phase = SessionPhase::kStopped;
+  sess->op->revert_phase = from;
 }
 
 void Llo::add(OrchSessionId s, OrchVcInfo vc, ResultFn done) {
@@ -182,10 +296,18 @@ void Llo::add(OrchSessionId s, OrchVcInfo vc, ResultFn done) {
     if (done) done(false, OrchReason::kNoCommonNode);
     return;
   }
+  // Membership changes keep the session's phase but still need exclusive
+  // use of the pending-op slot.
+  if (const OrchReason r = admit_group_op(*sess, sess->phase); r != OrchReason::kOk) {
+    if (done) done(false, r);
+    return;
+  }
   sess->vcs.push_back(vc);
   auto op = std::make_unique<PendingOp>();
   op->done = std::move(done);
   op->awaiting = 2;
+  op->commit_phase = sess->phase;
+  op->revert_phase = sess->phase;
   sess->op = std::move(op);
   for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
     Opdu o;
@@ -211,11 +333,17 @@ void Llo::remove(OrchSessionId s, VcId vc, ResultFn done) {
     if (done) done(false, OrchReason::kNoSuchVc);
     return;
   }
+  if (const OrchReason r = admit_group_op(*sess, sess->phase); r != OrchReason::kOk) {
+    if (done) done(false, r);
+    return;
+  }
   const OrchVcInfo info = *it;
   sess->vcs.erase(it);
   auto op = std::make_unique<PendingOp>();
   op->done = std::move(done);
   op->awaiting = 2;
+  op->commit_phase = sess->phase;
+  op->revert_phase = sess->phase;
   sess->op = std::move(op);
   for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
     Opdu o;
@@ -231,7 +359,7 @@ void Llo::remove(OrchSessionId s, VcId vc, ResultFn done) {
 void Llo::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq, std::uint32_t max_drop,
                    Duration interval, std::uint32_t interval_id, bool relative) {
   Session* sess = session(s);
-  if (sess == nullptr) return;
+  if (sess == nullptr || !sess->established) return;
   auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
                          [&](const OrchVcInfo& i) { return i.vc == vc; });
   if (it == sess->vcs.end()) return;
@@ -361,12 +489,12 @@ void Llo::op_ack(const Opdu& o) {
 }
 
 void Llo::finish_op(OrchSessionId s, Session& sess) {
-  (void)s;
   PendingOp& op = *sess.op;
   if (op.awaiting > 0) return;
   if (!op.failed && !op.primed_wanted.empty()) return;  // prime: wait for buffers to fill
   op.timeout.cancel();
   auto finished = std::move(sess.op);
+  set_phase(s, sess, finished->failed ? finished->revert_phase : finished->commit_phase);
   if (finished->span_id != 0)
     obs::Tracer::global().async_end(finished->span_name, finished->span_id,
                                     static_cast<int>(node_));
@@ -412,9 +540,9 @@ void Llo::attach_endpoint(OrchSessionId s, const OrchVcInfo& info, net::NodeId o
       // LLO matches at arrival so application code never scans OSDUs.
       const LocalKey key{s, info.vc};
       conn->set_on_osdu_arrival([this, key](const transport::Osdu& osdu) {
-        VcLocal* st = local(key);
-        if (st == nullptr || !st->event_armed) return;
-        if ((osdu.event & st->event_mask) != st->event_pattern) return;
+        VcLocal* lst = local(key);
+        if (lst == nullptr || !lst->event_armed) return;
+        if ((osdu.event & lst->event_mask) != lst->event_pattern) return;
         obs::Tracer::global().instant("Orch.Event", static_cast<int>(node_),
                                       static_cast<int>(key.second & 0xffffffffu),
                                       "{\"osdu_seq\": " + std::to_string(osdu.seq) + "}");
@@ -426,7 +554,7 @@ void Llo::attach_endpoint(OrchSessionId s, const OrchVcInfo& info, net::NodeId o
         o.event_value = osdu.event;
         o.osdu_seq = osdu.seq;
         o.timestamp = network_.scheduler().now();
-        send_opdu(st->orch_node, o);
+        send_opdu(lst->orch_node, o);
       });
     }
   }
@@ -559,15 +687,15 @@ void Llo::handle_prime(const Opdu& o) {
   }
   st->primed_reported = false;
   conn->buffer().set_became_full([this, key] {
-    VcLocal* st = local(key);
-    if (st == nullptr || st->primed_reported) return;
-    st->primed_reported = true;
+    VcLocal* lst = local(key);
+    if (lst == nullptr || lst->primed_reported) return;
+    lst->primed_reported = true;
     Opdu primed;
     primed.type = OpduType::kPrimed;
     primed.session = key.first;
     primed.vc = key.second;
     primed.timestamp = network_.scheduler().now();
-    send_opdu(st->orch_node, primed);
+    send_opdu(lst->orch_node, primed);
   });
   if (conn->buffer().full()) {
     st->primed_reported = true;

@@ -76,6 +76,43 @@ struct EventIndication {
   Time matched_at = 0;
 };
 
+/// Lifecycle of an orchestration session as seen by its *orchestrating*
+/// LLO.  Group primitives are only accepted in the phases the paper's
+/// narrative implies (prime fills buffers, start releases them, stop
+/// freezes them for a later primed restart):
+///
+///   kEstablishing -> kIdle                  Orch.request acks collected
+///   kIdle/kPrimed/kStopped -> kPriming      Orch.Prime (re-prime and
+///                                           prime-after-stop are legal;
+///                                           the seek flow is stop ->
+///                                           prime(flush) -> start)
+///   kPriming -> kPrimed                     all sinks reported kPrimed
+///   kIdle/kPrimed/kStopped -> kStarting     Orch.Start (restart after a
+///                                           stop needs no re-prime: data
+///                                           stayed buffered; an unprimed
+///                                           start is legal too — priming
+///                                           only pre-fills sink buffers)
+///   kStarting -> kRunning
+///   kPrimed/kRunning -> kStopping           Orch.Stop
+///   kStopping -> kStopped
+///
+/// A failed or timed-out primitive reverts to the phase it was issued
+/// from.  Every move goes through Llo::set_phase, which checks
+/// orch_transition_legal via the contract layer ("orch.transition").
+enum class SessionPhase : std::uint8_t {
+  kEstablishing,
+  kIdle,
+  kPriming,
+  kPrimed,
+  kStarting,
+  kRunning,
+  kStopping,
+  kStopped,
+};
+
+bool orch_transition_legal(SessionPhase from, SessionPhase to);
+const char* to_string(SessionPhase s);
+
 /// Callbacks into the application threads at one node (Fig 7).  Returning
 /// false from a prime/delayed indication maps to Orch.Deny.
 class OrchAppHandler {
@@ -195,6 +232,12 @@ class Llo {
   // Introspection for tests/benches.
   bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
   std::size_t local_vc_count() const { return locals_.size(); }
+  /// Phase of a session this node orchestrates (kEstablishing when the
+  /// session does not exist; check has_session to disambiguate).
+  SessionPhase session_phase(OrchSessionId s) const {
+    auto it = sessions_.find(s);
+    return it == sessions_.end() ? SessionPhase::kEstablishing : it->second.phase;
+  }
 
  private:
   /// Number of regulation micro-slots per interval (corrections are spread
@@ -212,6 +255,10 @@ class Llo {
     std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
     std::map<transport::VcId, std::int64_t> start_bases;
     sim::EventHandle timeout;
+    // Phase the session commits to when the op succeeds / reverts to when
+    // it fails or times out (set by the primitive that issued the op).
+    SessionPhase commit_phase = SessionPhase::kIdle;
+    SessionPhase revert_phase = SessionPhase::kEstablishing;
     // Tracing: open async span for this op (0 = none).
     std::uint64_t span_id = 0;
     const char* span_name = nullptr;
@@ -228,6 +275,7 @@ class Llo {
     std::unique_ptr<PendingOp> op;
     std::map<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
     bool established = false;
+    SessionPhase phase = SessionPhase::kEstablishing;
   };
 
   // ---- endpoint-side state (per session & VC with a local endpoint) ----
@@ -269,6 +317,13 @@ class Llo {
 
   // Orchestrating-side helpers.
   Session* session(OrchSessionId s);
+  /// The only writer of Session::phase: no-op when already there, checks
+  /// the legal-transition table otherwise (CMTOS_ASSERT "orch.transition").
+  void set_phase(OrchSessionId s, Session& sess, SessionPhase next);
+  /// Common admission for group primitives: session established, no other
+  /// group op collecting acks, and `attempt` legal from the current phase.
+  /// Returns kOk or the rejection reason.
+  OrchReason admit_group_op(const Session& sess, SessionPhase attempt) const;
   void fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
                StartFn start_done);
   void op_ack(const Opdu& o);

@@ -7,11 +7,11 @@ namespace cmtos::orch {
 std::vector<std::uint8_t> Opdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(wire_enum(type));
   w.u64(session);
   w.u64(vc);
   w.u32(orch_node);
-  w.u32(static_cast<std::uint32_t>(vcs.size()));
+  w.u32(narrow<std::uint32_t>(vcs.size()));
   for (const auto& i : vcs) {
     w.u64(i.vc);
     w.u32(i.src_node);
@@ -19,7 +19,7 @@ std::vector<std::uint8_t> Opdu::encode() const {
   }
   w.u8(flags);
   w.u8(ok);
-  w.u8(static_cast<std::uint8_t>(reason));
+  w.u8(wire_enum(reason));
   w.i64(target_seq);
   w.u32(max_drop);
   w.i64(interval);

@@ -83,7 +83,12 @@ enum class OrchReason : std::uint8_t {
   kTimeout = 5,
   kNoControlBandwidth = 6,  // could not reserve the out-of-band control VC
   kNoCommonNode = 7,        // a VC has no endpoint at the orchestrating node
+  kNotEstablished = 8,      // group primitive before Orch.request completed
+  kOpInProgress = 9,        // a group primitive is still collecting acks
+  kIllegalTransition = 10,  // primitive not legal in the session's phase
 };
+
+const char* to_string(OrchReason r);
 
 struct Opdu {
   OpduType type = OpduType::kSessReq;

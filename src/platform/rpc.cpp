@@ -21,10 +21,10 @@ struct RpcMsg {
   std::vector<std::uint8_t> encode() const {
     std::vector<std::uint8_t> out;
     ByteWriter w(out);
-    w.u8(static_cast<std::uint8_t>(kind));
+    w.u8(wire_enum(kind));
     w.u64(call_id);
     w.u32(caller);
-    w.u8(static_cast<std::uint8_t>(outcome));
+    w.u8(wire_enum(outcome));
     w.str(interface);
     w.str(op);
     w.blob(body);

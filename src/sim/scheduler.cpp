@@ -1,8 +1,7 @@
 #include "sim/scheduler.h"
 
-#include <cassert>
-
 #include "obs/trace.h"
+#include "util/contract.h"
 
 namespace cmtos::sim {
 
@@ -15,7 +14,7 @@ bool EventHandle::pending() const {
 }
 
 EventHandle Scheduler::at(Time t, std::function<void()> fn) {
-  assert(t >= now_ && "cannot schedule in the past");
+  CMTOS_ASSERT(t >= now_, "sched.past_event");  // clamped to now_ below
   auto state = std::make_shared<EventHandle::State>();
   queue_.push(Entry{t < now_ ? now_ : t, next_seq_++, std::move(fn), state});
   return EventHandle(std::move(state));
@@ -29,6 +28,9 @@ bool Scheduler::fire_next(Time horizon) {
     Entry entry{top.time, top.seq, std::move(const_cast<Entry&>(top).fn), top.state};
     queue_.pop();
     if (entry.state->cancelled) continue;
+    // Event ordering: the queue must hand out events in non-decreasing
+    // time order — simulated time never runs backwards.
+    CMTOS_INVARIANT(entry.time >= now_, "sched.ordering");
     now_ = entry.time;
     // Tracing: events emitted while `fn` runs are stamped with simulated
     // time, not wall time.

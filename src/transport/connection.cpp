@@ -1,13 +1,37 @@
 #include "transport/connection.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "obs/trace.h"
 #include "transport/transport_entity.h"
+#include "util/contract.h"
 #include "util/logging.h"
 
 namespace cmtos::transport {
+
+bool vc_transition_legal(VcState from, VcState to) {
+  switch (from) {
+    case VcState::kConnecting:
+      return to == VcState::kOpen || to == VcState::kClosed;
+    case VcState::kOpen:
+      return to == VcState::kClosing || to == VcState::kClosed;
+    case VcState::kClosing:
+      return to == VcState::kClosed;
+    case VcState::kClosed:
+      return false;  // terminal
+  }
+  return false;
+}
+
+const char* to_string(VcState s) {
+  switch (s) {
+    case VcState::kConnecting: return "connecting";
+    case VcState::kOpen: return "open";
+    case VcState::kClosing: return "closing";
+    case VcState::kClosed: return "closed";
+  }
+  return "?";
+}
 
 namespace {
 /// Data TPDU payload limit (transport MTU); OSDUs larger than this are
@@ -74,9 +98,16 @@ net::NodeId Connection::peer_node() const {
 // Lifecycle
 // ====================================================================
 
+void Connection::set_state(VcState next) {
+  CMTOS_ASSERT(vc_transition_legal(state_, next), "vc.transition");
+  CMTOS_TRACE("transport", "vc=%llu %s -> %s", static_cast<unsigned long long>(id_),
+              to_string(state_), to_string(next));
+  state_ = next;
+}
+
 void Connection::open() {
   if (state_ == VcState::kOpen) return;
-  state_ = VcState::kOpen;
+  set_state(VcState::kOpen);
   // Lifecycle span: one async interval per endpoint, keyed by the VC id so
   // source and sink halves pair up in the viewer.
   obs::Tracer::global().async_begin(role_ == VcRole::kSource ? "VC.source" : "VC.sink",
@@ -112,11 +143,13 @@ void Connection::open() {
 }
 
 void Connection::close() {
+  if (state_ == VcState::kClosed) return;
   if (state_ == VcState::kOpen) {
     obs::Tracer::global().async_end(role_ == VcRole::kSource ? "VC.source" : "VC.sink",
                                     id_, trace_pid_, trace_tid_);
+    set_state(VcState::kClosing);
   }
-  state_ = VcState::kClosed;
+  set_state(VcState::kClosed);
   pacer_event_.cancel();
   rto_event_.cancel();
   feedback_event_.cancel();
@@ -133,7 +166,11 @@ void Connection::apply_new_qos(const QosParams& agreed) {
 // ====================================================================
 
 bool Connection::submit(std::vector<std::uint8_t> data, std::uint64_t event) {
-  assert(role_ == VcRole::kSource);
+  CMTOS_DCHECK(role_ == VcRole::kSource);
+  // Submitting on a circuit being torn down is a user error; refusing it
+  // looks exactly like a full ring to the application (retry on the
+  // space-available callback that will never come).
+  if (state_ != VcState::kOpen) return false;
   Osdu osdu;
   osdu.event = event;
   osdu.src_timestamp = entity_.local_now();
@@ -149,7 +186,7 @@ bool Connection::submit(std::vector<std::uint8_t> data, std::uint64_t event) {
 }
 
 std::optional<Osdu> Connection::receive() {
-  assert(role_ == VcRole::kSink);
+  CMTOS_DCHECK(role_ == VcRole::kSink);
   auto osdu = buffer_.try_pop(sched_.now());
   if (osdu) {
     last_delivered_seq_ = osdu->seq;
@@ -165,7 +202,7 @@ std::optional<Osdu> Connection::receive() {
 // ====================================================================
 
 void Connection::pause_source(bool paused) {
-  assert(role_ == VcRole::kSource);
+  CMTOS_DCHECK(role_ == VcRole::kSource);
   if (source_paused_ == paused) return;
   source_paused_ = paused;
   if (!paused) {
@@ -178,7 +215,7 @@ void Connection::pause_source(bool paused) {
 }
 
 std::uint32_t Connection::drop_at_source(std::uint32_t n) {
-  assert(role_ == VcRole::kSource);
+  CMTOS_DCHECK(role_ == VcRole::kSource);
   std::uint32_t dropped = 0;
   while (dropped < n) {
     auto victim = buffer_.drop_newest(sched_.now());
@@ -190,7 +227,7 @@ std::uint32_t Connection::drop_at_source(std::uint32_t n) {
 }
 
 void Connection::set_delivery_enabled(bool enabled) {
-  assert(role_ == VcRole::kSink);
+  CMTOS_DCHECK(role_ == VcRole::kSink);
   buffer_.set_delivery_enabled(enabled, sched_.now());
 }
 
@@ -334,7 +371,7 @@ void Connection::on_retransmit_timeout() {
 }
 
 void Connection::on_ack(const AckTpdu& ack) {
-  if (role_ != VcRole::kSource) return;
+  if (role_ != VcRole::kSource || state_ != VcState::kOpen) return;
   if (ack.cumulative_ack > send_base_) {
     send_base_ = ack.cumulative_ack;
     retain_.erase(retain_.begin(), retain_.lower_bound(send_base_));
@@ -347,7 +384,7 @@ void Connection::on_ack(const AckTpdu& ack) {
 }
 
 void Connection::on_nak(const NakTpdu& nak) {
-  if (role_ != VcRole::kSource) return;
+  if (role_ != VcRole::kSource || state_ != VcState::kOpen) return;
   for (std::uint32_t seq : nak.missing) {
     auto it = retain_.find(seq);
     if (it == retain_.end()) continue;  // aged out; receiver will give up
@@ -359,7 +396,7 @@ void Connection::on_nak(const NakTpdu& nak) {
 }
 
 void Connection::on_feedback(const FeedbackTpdu& fb) {
-  if (role_ != VcRole::kSource) return;
+  if (role_ != VcRole::kSource || state_ != VcState::kOpen) return;
   const bool was_stalled = receiver_full_ || rate_factor_ <= 0;
   receiver_full_ = fb.paused != 0 || fb.free_slots == 0;
   if (receiver_full_) {
@@ -385,7 +422,11 @@ void Connection::on_feedback(const FeedbackTpdu& fb) {
 // ====================================================================
 
 void Connection::on_data(const net::Packet& pkt) {
-  assert(role_ == VcRole::kSink);
+  CMTOS_DCHECK(role_ == VcRole::kSink);
+  // Both endpoints reach kOpen before any data TPDU can be emitted (the
+  // sink opens on CR receipt, the source on CC receipt), so anything else
+  // here is a late packet racing teardown: discard.
+  if (role_ != VcRole::kSink || state_ != VcState::kOpen) return;
   auto dt = DataTpdu::decode(pkt.payload, pkt.corrupted);
   if (!dt) {
     ++stats_.tpdus_corrupt;
@@ -494,7 +535,8 @@ void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wir
 
 void Connection::complete_osdu(std::uint32_t osdu_seq) {
   auto it = partials_.find(osdu_seq);
-  assert(it != partials_.end());
+  CMTOS_ASSERT(it != partials_.end(), "vc.reassembly");
+  if (it == partials_.end()) return;
   Partial p = std::move(it->second);
   partials_.erase(it);
 

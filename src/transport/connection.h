@@ -38,7 +38,24 @@ namespace cmtos::transport {
 class TransportEntity;
 
 enum class VcRole : std::uint8_t { kSource, kSink };
+
+/// VC endpoint lifecycle.  Legal transitions (enforced through the contract
+/// layer by Connection::set_state; see vc_transition_legal):
+///
+///   kConnecting -> kOpen     three-way establishment completed
+///   kConnecting -> kClosed   establishment failed / rejected / timed out
+///   kOpen       -> kClosing  local release issued, teardown in progress
+///   kOpen       -> kClosed   peer release / entity teardown
+///   kClosing    -> kClosed   teardown complete
+///
+/// kClosed is terminal and self-transitions are illegal everywhere: the
+/// data-plane handlers treat any non-kOpen state as "discard quietly", so a
+/// state that could oscillate would mask protocol bugs.
 enum class VcState : std::uint8_t { kConnecting, kOpen, kClosing, kClosed };
+
+/// The legal-transition table for the VC lifecycle above.
+bool vc_transition_legal(VcState from, VcState to);
+const char* to_string(VcState s);
 
 struct VcStats {
   // Source side.
@@ -158,6 +175,10 @@ class Connection {
   void on_feedback(const FeedbackTpdu& fb);
 
  private:
+  /// The only writer of state_: checks the move against the legal-transition
+  /// table (CMTOS_ASSERT "vc.transition") before committing it.
+  void set_state(VcState next);
+
   // --- source side ---
   void pacer_tick();
   void schedule_pacer(Duration delay);

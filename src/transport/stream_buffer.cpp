@@ -1,5 +1,7 @@
 #include "transport/stream_buffer.h"
 
+#include "util/contract.h"
+
 namespace cmtos::transport {
 
 namespace {
@@ -85,6 +87,9 @@ void StreamBuffer::open_producer_episode(Time now) {
 
 void StreamBuffer::close_producer_episode(Time now) {
   if (producer_blocked_since_ == kTimeNever) return;
+  // Episode accounting: an episode closes at or after it opened, so the
+  // accumulator only ever grows.
+  CMTOS_INVARIANT(now >= producer_blocked_since_, "buffer.episode_order");
   producer_blocked_acc_ += now - producer_blocked_since_;
   producer_blocked_since_ = kTimeNever;
   if (producer_span_id_ != 0) {
@@ -105,6 +110,7 @@ void StreamBuffer::open_consumer_episode(Time now) {
 
 void StreamBuffer::close_consumer_episode(Time now) {
   if (consumer_blocked_since_ == kTimeNever) return;
+  CMTOS_INVARIANT(now >= consumer_blocked_since_, "buffer.episode_order");
   consumer_blocked_acc_ += now - consumer_blocked_since_;
   consumer_blocked_since_ = kTimeNever;
   if (consumer_span_id_ != 0) {

@@ -1,6 +1,7 @@
 #include "transport/threaded_buffer.h"
 
 #include "obs/trace.h"
+#include "util/contract.h"
 
 namespace cmtos::transport {
 
@@ -28,7 +29,9 @@ bool timed_acquire(Sem& sem, std::int64_t* waited_ns) {
 ThreadedStreamBuffer::ThreadedStreamBuffer(std::size_t capacity)
     : slots_(capacity),
       free_slots_(static_cast<std::ptrdiff_t>(capacity)),
-      filled_slots_(0) {}
+      filled_slots_(0) {
+  CMTOS_ASSERT(capacity > 0, "tbuf.capacity");
+}
 
 void ThreadedStreamBuffer::push(Osdu&& osdu) {
   std::int64_t waited = 0;
@@ -37,6 +40,7 @@ void ThreadedStreamBuffer::push(Osdu&& osdu) {
     producer_blocks_.fetch_add(1, std::memory_order_relaxed);
     obs::Tracer::global().instant("ThreadedBuffer.producer_wait");
   }
+  CMTOS_DCHECK(tail_ < slots_.size());
   slots_[tail_] = std::move(osdu);
   tail_ = (tail_ + 1) % slots_.size();
   filled_slots_.release();
@@ -49,10 +53,17 @@ Osdu* ThreadedStreamBuffer::acquire() {
     consumer_blocks_.fetch_add(1, std::memory_order_relaxed);
     obs::Tracer::global().instant("ThreadedBuffer.consumer_wait");
   }
+  // acquire/release must alternate strictly: a second acquire would hand
+  // out the same slot twice (consumer-thread state, so no atomics needed).
+  CMTOS_ASSERT(!consumer_holds_slot_, "tbuf.acquire_unpaired");
+  consumer_holds_slot_ = true;
+  CMTOS_DCHECK(head_ < slots_.size());
   return &slots_[head_];
 }
 
 void ThreadedStreamBuffer::release() {
+  CMTOS_ASSERT(consumer_holds_slot_, "tbuf.release_unpaired");
+  consumer_holds_slot_ = false;
   head_ = (head_ + 1) % slots_.size();
   free_slots_.release();
 }

@@ -58,6 +58,7 @@ class ThreadedStreamBuffer {
   std::counting_semaphore<> filled_slots_;
   std::size_t head_ = 0;  // consumer index
   std::size_t tail_ = 0;  // producer index
+  bool consumer_holds_slot_ = false;  // acquire/release pairing (consumer thread only)
   std::atomic<std::int64_t> producer_blocked_ns_{0};
   std::atomic<std::int64_t> consumer_blocked_ns_{0};
   std::atomic<std::int64_t> producer_blocks_{0};

@@ -80,13 +80,13 @@ QosReport read_report(ByteReader& r) {
 std::vector<std::uint8_t> ControlTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(wire_enum(type));
   w.u64(vc);
   write_address(w, initiator);
   write_address(w, src);
   write_address(w, dst);
-  w.u8(static_cast<std::uint8_t>(service_class.profile));
-  w.u8(static_cast<std::uint8_t>(service_class.error_control));
+  w.u8(wire_enum(service_class.profile));
+  w.u8(wire_enum(service_class.error_control));
   write_qos_params(w, qos.preferred);
   write_qos_params(w, qos.worst);
   write_qos_params(w, agreed);
@@ -126,7 +126,7 @@ std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wir
 std::vector<std::uint8_t> DataTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(TpduType::kDT));
+  w.u8(wire_enum(TpduType::kDT));
   w.u64(vc);
   w.u32(tpdu_seq);
   w.u32(osdu_seq);
@@ -171,7 +171,7 @@ std::optional<DataTpdu> DataTpdu::decode(std::span<const std::uint8_t> wire,
 std::vector<std::uint8_t> AckTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(TpduType::kAK));
+  w.u8(wire_enum(TpduType::kAK));
   w.u64(vc);
   w.u32(cumulative_ack);
   w.u32(window);
@@ -195,9 +195,9 @@ std::optional<AckTpdu> AckTpdu::decode(std::span<const std::uint8_t> wire) {
 std::vector<std::uint8_t> NakTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(TpduType::kNAK));
+  w.u8(wire_enum(TpduType::kNAK));
   w.u64(vc);
-  w.u32(static_cast<std::uint32_t>(missing.size()));
+  w.u32(narrow<std::uint32_t>(missing.size()));
   for (auto s : missing) w.u32(s);
   return out;
 }
@@ -221,7 +221,7 @@ std::optional<NakTpdu> NakTpdu::decode(std::span<const std::uint8_t> wire) {
 std::vector<std::uint8_t> FeedbackTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(TpduType::kFB));
+  w.u8(wire_enum(TpduType::kFB));
   w.u64(vc);
   w.u32(free_slots);
   w.u32(capacity);
@@ -249,7 +249,7 @@ std::optional<FeedbackTpdu> FeedbackTpdu::decode(std::span<const std::uint8_t> w
 std::vector<std::uint8_t> DatagramTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(static_cast<std::uint8_t>(TpduType::kDG));
+  w.u8(wire_enum(TpduType::kDG));
   w.u64(0);  // vc slot kept so peek_vc stays uniform across data-plane TPDUs
   write_address(w, src);
   w.u16(dst_tsap);

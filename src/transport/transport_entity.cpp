@@ -1,7 +1,6 @@
 #include "transport/transport_entity.h"
 
-#include <cassert>
-
+#include "util/contract.h"
 #include "util/logging.h"
 
 namespace cmtos::transport {
@@ -225,7 +224,7 @@ std::optional<QosParams> TransportEntity::admit(const ConnectRequest& req,
 }
 
 void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
-  assert(req.src.node == node_);
+  CMTOS_DCHECK(req.src.node == node_);
   DisconnectReason reason = DisconnectReason::kProtocolError;
   auto offered = admit(req, reason);
   if (!offered) {

@@ -12,9 +12,36 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "util/contract.h"
+
 namespace cmtos {
+
+/// Checked narrowing for wire-width fields: converting a host-width value
+/// into a narrower PDU field must not silently truncate.  The value is
+/// round-tripped through the target type; a mismatch is a contract
+/// violation ("byte_io.narrow") and the truncated value is returned (wire
+/// formats stay total functions — release builds count and continue).
+/// cmtos-lint (rule narrowing-in-codec) requires PDU encoders to use this
+/// instead of a naked static_cast.
+template <typename To, typename From>
+constexpr To narrow(From v) {
+  const To out = static_cast<To>(v);
+  CMTOS_ASSERT(static_cast<From>(out) == v && ((out < To{}) == (v < From{})),
+               "byte_io.narrow");
+  return out;
+}
+
+/// Encodes an enum's underlying value into a u8 wire field, checking that
+/// the value actually fits: enums grow members over protocol revisions, the
+/// wire width does not.
+template <typename E>
+constexpr std::uint8_t wire_enum(E e) {
+  static_assert(std::is_enum_v<E>);
+  return narrow<std::uint8_t>(static_cast<std::underlying_type_t<E>>(e));
+}
 
 /// Append-only byte writer.
 class ByteWriter {
@@ -36,7 +63,7 @@ class ByteWriter {
   }
   /// Length-prefixed (u32) byte string.
   void blob(std::span<const std::uint8_t> b) {
-    u32(static_cast<std::uint32_t>(b.size()));
+    u32(narrow<std::uint32_t>(b.size()));
     bytes(b);
   }
   void str(const std::string& s) {
@@ -48,6 +75,7 @@ class ByteWriter {
     // Encode little-endian explicitly.
     std::uint64_t v = 0;
     std::memcpy(&v, p, n);
+    // Byte extraction, truncation intended.  cmtos-lint: allow(narrowing-in-codec)
     for (std::size_t i = 0; i < n; ++i) out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
   }
   std::vector<std::uint8_t>& out_;
@@ -65,8 +93,9 @@ class ByteReader {
   explicit ByteReader(std::span<const std::uint8_t> in) : in_(in) {}
 
   std::uint8_t u8() { return take(1)[0]; }
-  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }
-  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }
+  // le(n) reads exactly n bytes, so these casts cannot truncate.
+  std::uint16_t u16() { return static_cast<std::uint16_t>(le(2)); }  // cmtos-lint: allow(narrowing-in-codec)
+  std::uint32_t u32() { return static_cast<std::uint32_t>(le(4)); }  // cmtos-lint: allow(narrowing-in-codec)
   std::uint64_t u64() { return le(8); }
   std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
   double f64() {

@@ -1,0 +1,62 @@
+#include "util/contract.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace cmtos::contract {
+
+namespace {
+
+std::atomic<std::int64_t> g_violations{0};
+std::atomic<MetricHook> g_metric_hook{nullptr};
+
+// The handler is installed/uninstalled by tests around scheduler runs, never
+// from concurrent violation sites, but the threaded-buffer checks may fire
+// from a second thread: guard the std::function with a mutex and invoke a
+// copy outside the lock so a handler that itself trips a check cannot
+// deadlock.
+std::mutex g_handler_mu;
+Handler g_handler;  // NOLINT: guarded by g_handler_mu
+
+}  // namespace
+
+Handler set_violation_handler(Handler h) {
+  const std::lock_guard<std::mutex> lock(g_handler_mu);
+  std::swap(g_handler, h);
+  return h;
+}
+
+void set_metric_hook(MetricHook hook) { g_metric_hook.store(hook, std::memory_order_release); }
+
+std::int64_t violation_count() { return g_violations.load(std::memory_order_relaxed); }
+
+void report_violation(const char* check, const char* expr, const char* file, int line) {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (MetricHook hook = g_metric_hook.load(std::memory_order_acquire)) hook(check);
+
+  Handler handler;
+  {
+    const std::lock_guard<std::mutex> lock(g_handler_mu);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(Violation{check, expr, file, line});
+    return;
+  }
+#if defined(NDEBUG)
+  // Release: count (above), log, continue — a single violated invariant must
+  // not take down a media service; the obs counter makes it visible.
+  CMTOS_ERROR("contract", "violation [%s] %s at %s:%d", check, expr, file, line);
+#else
+  std::fprintf(stderr, "cmtos contract violation [%s]: %s at %s:%d\n", check, expr, file,
+               line);
+  std::abort();
+#endif
+}
+
+}  // namespace cmtos::contract

@@ -1,0 +1,79 @@
+// cmtos/util/contract.h
+//
+// The contract/invariant layer: machine-checked statements of the protocol
+// invariants the paper relies on but never writes down — the VC lifecycle
+// (connect -> prime -> start -> stop -> release), ring-index and
+// episode-accounting consistency in the shared circular buffers, LLO group
+// atomicity, and scheduler event ordering.
+//
+// Three macros, one policy split:
+//
+//   CMTOS_ASSERT(cond, check)     always compiled in.  `check` is a stable
+//                                 dotted name ("vc.transition") used as the
+//                                 metric label.
+//   CMTOS_INVARIANT(cond, check)  alias of CMTOS_ASSERT, used for state
+//                                 invariants rather than preconditions (the
+//                                 distinction documents intent at the site).
+//   CMTOS_DCHECK(cond)            debug builds only; compiled out (condition
+//                                 unevaluated) under NDEBUG.  For hot-path
+//                                 checks too expensive to ship.
+//
+// Violation policy: debug builds (!NDEBUG) print the failing site and
+// abort().  Release builds count the violation — through the handler hook,
+// which cmtos_obs wires to the global metrics registry as
+// `contract.violations{check=...}` — log it, and continue.  Tests override
+// the whole policy with set_violation_handler() to observe violations
+// without dying.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace cmtos::contract {
+
+/// One contract violation, as handed to the handler.
+struct Violation {
+  const char* check;  // stable site name, e.g. "vc.transition"
+  const char* expr;   // stringified failing condition
+  const char* file;
+  int line;
+};
+
+/// Handler invoked on every violation *instead of* the default action
+/// (abort in debug, log in release).  Returning normally continues
+/// execution.  Returns the previously installed handler; install nullptr
+/// to restore the default policy.
+using Handler = std::function<void(const Violation&)>;
+Handler set_violation_handler(Handler h);
+
+/// Low-level metric hook, called on every violation *in addition to* the
+/// handler/default action.  cmtos_obs installs one that bumps
+/// `contract.violations{check=...}` in the global registry; anything that
+/// links the obs library gets release-mode violation counters for free.
+using MetricHook = void (*)(const char* check);
+void set_metric_hook(MetricHook hook);
+
+/// Total violations reported since process start (any check).
+std::int64_t violation_count();
+
+/// Called by the macros.  Not for direct use.
+void report_violation(const char* check, const char* expr, const char* file, int line);
+
+}  // namespace cmtos::contract
+
+#define CMTOS_ASSERT(cond, check)                                              \
+  do {                                                                         \
+    if (!(cond))                                                               \
+      ::cmtos::contract::report_violation(check, #cond, __FILE__, __LINE__);   \
+  } while (0)
+
+#define CMTOS_INVARIANT(cond, check) CMTOS_ASSERT(cond, check)
+
+#if defined(NDEBUG)
+#define CMTOS_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define CMTOS_DCHECK(cond) CMTOS_ASSERT(cond, "dcheck")
+#endif

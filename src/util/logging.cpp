@@ -1,12 +1,21 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 
 namespace cmtos {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
-LogSink g_sink;
+// The threaded buffer benchmarks and the contract layer may log from a
+// second thread, so the level is atomic and the sink is reference-counted
+// behind a mutex: log() takes a shared_ptr snapshot and invokes it outside
+// the lock, so set_log_sink(nullptr) from one thread cannot destroy a
+// std::function another thread is executing.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_sink_mu;
+std::shared_ptr<const LogSink> g_sink;  // guarded by g_sink_mu
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -22,27 +31,35 @@ const char* level_name(LogLevel l) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+void set_log_sink(LogSink sink) {
+  auto next = sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(next);
+}
 
 void log(LogLevel level, const char* tag, const char* fmt, ...) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s: ", level_name(level), tag);
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  // Format into one buffer and write the line with a single fputs so
+  // concurrent loggers cannot interleave mid-line.
+  char msg[512];
   va_list ap;
   va_start(ap, fmt);
-  if (g_sink) {
-    char buf[512];
-    va_list ap2;
-    va_copy(ap2, ap);
-    std::vsnprintf(buf, sizeof buf, fmt, ap2);
-    va_end(ap2);
-    g_sink(level, tag, buf);
-  }
-  std::vfprintf(stderr, fmt, ap);
+  std::vsnprintf(msg, sizeof msg, fmt, ap);
   va_end(ap);
-  std::fputc('\n', stderr);
+
+  std::shared_ptr<const LogSink> sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_sink_mu);
+    sink = g_sink;
+  }
+  if (sink && *sink) (*sink)(level, tag, msg);
+
+  char line[600];
+  std::snprintf(line, sizeof line, "[%s] %s: %s\n", level_name(level), tag, msg);
+  std::fputs(line, stderr);
 }
 
 }  // namespace cmtos

@@ -1,9 +1,10 @@
 // cmtos/util/logging.h
 //
 // Minimal leveled logger.  Protocol modules log through this so tests and
-// benches can silence or capture output.  Not thread-safe by design: the
-// simulation is single-threaded, and the threaded micro-benchmarks do not
-// log on the hot path.
+// benches can silence or capture output.  Thread-safe: the level is atomic,
+// the sink is swapped under a mutex and invoked via a snapshot (so it can
+// be replaced while another thread logs), and each line is written to
+// stderr with a single call so concurrent lines never interleave.
 
 #pragma once
 

@@ -13,10 +13,11 @@
 
 #pragma once
 
-#include <cassert>
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "util/contract.h"
 
 namespace cmtos {
 
@@ -24,7 +25,7 @@ template <typename T>
 class RingBuffer {
  public:
   explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
-    assert(capacity > 0);
+    CMTOS_ASSERT(capacity > 0, "ring.capacity");
   }
 
   std::size_t capacity() const { return slots_.size(); }
@@ -34,28 +35,30 @@ class RingBuffer {
 
   /// Appends an element.  Precondition: !full().
   void push(T value) {
-    assert(!full());
+    CMTOS_ASSERT(!full(), "ring.push_full");
     slots_[tail_] = std::move(value);
     tail_ = advance(tail_);
     ++count_;
+    CMTOS_DCHECK(indices_consistent());
   }
 
   /// Removes and returns the oldest element.  Precondition: !empty().
   T pop() {
-    assert(!empty());
+    CMTOS_ASSERT(!empty(), "ring.pop_empty");
     T v = std::move(slots_[head_]);
     head_ = advance(head_);
     --count_;
+    CMTOS_DCHECK(indices_consistent());
     return v;
   }
 
   /// Returns a reference to the oldest element without removing it.
   const T& front() const {
-    assert(!empty());
+    CMTOS_ASSERT(!empty(), "ring.front_empty");
     return slots_[head_];
   }
   T& front() {
-    assert(!empty());
+    CMTOS_ASSERT(!empty(), "ring.front_empty");
     return slots_[head_];
   }
 
@@ -65,9 +68,10 @@ class RingBuffer {
   /// lets the producer "immediately insert another OSDU and thus overwrite
   /// the previous one before it is sent".  Precondition: !empty().
   T pop_newest() {
-    assert(!empty());
+    CMTOS_ASSERT(!empty(), "ring.pop_newest_empty");
     tail_ = retreat(tail_);
     --count_;
+    CMTOS_DCHECK(indices_consistent());
     return std::move(slots_[tail_]);
   }
 
@@ -79,6 +83,14 @@ class RingBuffer {
  private:
   std::size_t advance(std::size_t i) const { return i + 1 == slots_.size() ? 0 : i + 1; }
   std::size_t retreat(std::size_t i) const { return i == 0 ? slots_.size() - 1 : i - 1; }
+
+  /// Ring-index identity: the occupied count always equals the head-to-tail
+  /// distance (mod capacity), with count==capacity <=> full wraparound.
+  bool indices_consistent() const {
+    const std::size_t cap = slots_.size();
+    return head_ < cap && tail_ < cap && count_ <= cap &&
+           (tail_ + cap - head_) % cap == count_ % cap;
+  }
 
   std::vector<T> slots_;
   std::size_t head_ = 0;

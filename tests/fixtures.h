@@ -25,14 +25,14 @@ inline net::LinkConfig lan_link() {
 /// A star topology: N hosts around a switch node (the switch runs a full
 /// host stack too, but typically only forwards).
 struct StarPlatform {
-  explicit StarPlatform(std::size_t leaves, net::LinkConfig link = lan_link(),
+  explicit StarPlatform(std::size_t leaf_count, net::LinkConfig link = lan_link(),
                         std::uint64_t seed = 42)
       : platform(seed) {
     hub = &platform.add_host("hub");
-    for (std::size_t i = 0; i < leaves; ++i) {
+    for (std::size_t i = 0; i < leaf_count; ++i) {
       auto& h = platform.add_host("leaf" + std::to_string(i));
       platform.network().add_link(hub->id, h.id, link);
-      this->leaves.push_back(&h);
+      leaves.push_back(&h);
     }
     platform.network().finalize_routes();
   }

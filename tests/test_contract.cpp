@@ -1,0 +1,197 @@
+// Contract-layer tests: violation reporting policy, the obs metric
+// bridge, checked narrowing, and the VC / orchestration state-machine
+// transition tables the contract layer enforces.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "orch/llo.h"
+#include "transport/connection.h"
+#include "util/byte_io.h"
+#include "util/contract.h"
+
+namespace cmtos {
+namespace {
+
+using contract::set_violation_handler;
+using contract::Violation;
+using contract::violation_count;
+using orch::SessionPhase;
+using transport::VcState;
+
+/// Installs a recording handler for the test's scope so violations are
+/// observed instead of aborting the (debug) test binary.
+class RecordingHandler {
+ public:
+  RecordingHandler() {
+    prev_ = set_violation_handler([this](const Violation& v) {
+      checks_.emplace_back(v.check);
+      last_ = v;
+    });
+  }
+  ~RecordingHandler() { set_violation_handler(prev_); }
+
+  const std::vector<std::string>& checks() const { return checks_; }
+  const Violation& last() const { return last_; }
+
+ private:
+  contract::Handler prev_;
+  std::vector<std::string> checks_;
+  Violation last_{"", "", "", 0};
+};
+
+TEST(Contract, HandlerObservesViolationAndExecutionContinues) {
+  RecordingHandler rec;
+  const std::int64_t before = violation_count();
+  CMTOS_ASSERT(1 + 1 == 3, "test.arith");
+  ASSERT_EQ(rec.checks().size(), 1u);
+  EXPECT_EQ(rec.checks()[0], "test.arith");
+  EXPECT_STREQ(rec.last().expr, "1 + 1 == 3");
+  EXPECT_NE(rec.last().file, nullptr);
+  EXPECT_GT(rec.last().line, 0);
+  EXPECT_EQ(violation_count(), before + 1);
+}
+
+TEST(Contract, PassingAssertReportsNothing) {
+  RecordingHandler rec;
+  const std::int64_t before = violation_count();
+  CMTOS_ASSERT(2 + 2 == 4, "test.arith");
+  CMTOS_INVARIANT(true, "test.inv");
+  CMTOS_DCHECK(true);
+  EXPECT_TRUE(rec.checks().empty());
+  EXPECT_EQ(violation_count(), before);
+}
+
+TEST(Contract, HandlerRestoreReturnsPrevious) {
+  bool outer_hit = false;
+  auto outer = set_violation_handler([&](const Violation&) { outer_hit = true; });
+  {
+    RecordingHandler rec;  // nests: installs over ours, restores on scope exit
+    CMTOS_ASSERT(false, "test.nested");
+    EXPECT_EQ(rec.checks().size(), 1u);
+    EXPECT_FALSE(outer_hit);
+  }
+  CMTOS_ASSERT(false, "test.outer");
+  EXPECT_TRUE(outer_hit);
+  set_violation_handler(std::move(outer));
+}
+
+TEST(Contract, ViolationsSurfaceInObsMetricsRegistry) {
+  // cmtos_obs installs the metric hook from a static initializer; any
+  // violation must bump contract.violations{check=...} even while a test
+  // handler suppresses the abort.
+  RecordingHandler rec;
+  auto& counter =
+      obs::Registry::global().counter("contract.violations", {{"check", "test.metric"}});
+  const std::int64_t before = counter.value();
+  CMTOS_ASSERT(false, "test.metric");
+  CMTOS_ASSERT(false, "test.metric");
+  EXPECT_EQ(counter.value(), before + 2);
+}
+
+TEST(Contract, NarrowFlagsTruncationAndSignFlips) {
+  RecordingHandler rec;
+  EXPECT_EQ(narrow<std::uint32_t>(std::size_t{7}), 7u);
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_TRUE(rec.checks().empty());
+
+  (void)narrow<std::uint8_t>(300);  // truncates
+  ASSERT_EQ(rec.checks().size(), 1u);
+  EXPECT_EQ(rec.checks()[0], "byte_io.narrow");
+
+  (void)narrow<std::uint8_t>(-1);  // sign flip, round-trips numerically otherwise
+  EXPECT_EQ(rec.checks().size(), 2u);
+}
+
+TEST(Contract, WireEnumChecksFit) {
+  enum class Wide : std::uint16_t { kSmall = 3, kHuge = 700 };
+  RecordingHandler rec;
+  EXPECT_EQ(wire_enum(Wide::kSmall), 3);
+  EXPECT_TRUE(rec.checks().empty());
+  (void)wire_enum(Wide::kHuge);
+  ASSERT_EQ(rec.checks().size(), 1u);
+  EXPECT_EQ(rec.checks()[0], "byte_io.narrow");
+}
+
+// --- VC lifecycle transition table (§4: connect / data / disconnect) ----
+
+TEST(VcStateMachine, LegalTransitionTable) {
+  using transport::vc_transition_legal;
+  const VcState all[] = {VcState::kConnecting, VcState::kOpen, VcState::kClosing,
+                         VcState::kClosed};
+  // Exhaustive expectations: (from, to) -> legal.
+  auto legal = [](VcState f, VcState t) {
+    return (f == VcState::kConnecting && (t == VcState::kOpen || t == VcState::kClosed)) ||
+           (f == VcState::kOpen && (t == VcState::kClosing || t == VcState::kClosed)) ||
+           (f == VcState::kClosing && t == VcState::kClosed);
+  };
+  for (VcState f : all)
+    for (VcState t : all)
+      EXPECT_EQ(vc_transition_legal(f, t), legal(f, t))
+          << transport::to_string(f) << " -> " << transport::to_string(t);
+}
+
+TEST(VcStateMachine, ClosedIsTerminal) {
+  using transport::vc_transition_legal;
+  for (VcState t : {VcState::kConnecting, VcState::kOpen, VcState::kClosing, VcState::kClosed})
+    EXPECT_FALSE(vc_transition_legal(VcState::kClosed, t));
+}
+
+TEST(VcStateMachine, ToStringNamesEveryState) {
+  EXPECT_STREQ(transport::to_string(VcState::kConnecting), "connecting");
+  EXPECT_STREQ(transport::to_string(VcState::kOpen), "open");
+  EXPECT_STREQ(transport::to_string(VcState::kClosing), "closing");
+  EXPECT_STREQ(transport::to_string(VcState::kClosed), "closed");
+}
+
+// --- Orchestration session phase table (§6.2: prime/start/stop) ---------
+
+TEST(OrchStateMachine, SteadyPhasesAdmitGroupPrimitives) {
+  using orch::orch_transition_legal;
+  for (SessionPhase from : {SessionPhase::kIdle, SessionPhase::kPrimed, SessionPhase::kStopped}) {
+    EXPECT_TRUE(orch_transition_legal(from, SessionPhase::kPriming)) << orch::to_string(from);
+    // An unprimed start is legal: priming only pre-fills sink buffers.
+    EXPECT_TRUE(orch_transition_legal(from, SessionPhase::kStarting)) << orch::to_string(from);
+  }
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kPrimed, SessionPhase::kStopping));
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kRunning, SessionPhase::kStopping));
+}
+
+TEST(OrchStateMachine, TransientPhasesOnlyCommitOrRevert) {
+  using orch::orch_transition_legal;
+  // While an op is collecting acks no *other* group primitive may begin.
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kPriming, SessionPhase::kStarting));
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kStarting, SessionPhase::kStopping));
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kStopping, SessionPhase::kPriming));
+  // Commit edges.
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kPriming, SessionPhase::kPrimed));
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kStarting, SessionPhase::kRunning));
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kStopping, SessionPhase::kStopped));
+  // Revert edges (failed / timed-out ops fall back to the issuing phase).
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kStarting, SessionPhase::kIdle));
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kStarting, SessionPhase::kPrimed));
+  EXPECT_TRUE(orch_transition_legal(SessionPhase::kStarting, SessionPhase::kStopped));
+}
+
+TEST(OrchStateMachine, RunningForbidsPrimeAndStart) {
+  using orch::orch_transition_legal;
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kRunning, SessionPhase::kPriming));
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kRunning, SessionPhase::kStarting));
+  // Stop while merely idle makes no sense either: nothing is flowing and
+  // nothing is primed.
+  EXPECT_FALSE(orch_transition_legal(SessionPhase::kIdle, SessionPhase::kStopping));
+}
+
+TEST(OrchStateMachine, ToStringAndReasonNames) {
+  EXPECT_STREQ(orch::to_string(SessionPhase::kIdle), "idle");
+  EXPECT_STREQ(orch::to_string(SessionPhase::kRunning), "running");
+  EXPECT_STREQ(orch::to_string(orch::OrchReason::kNotEstablished), "not-established");
+  EXPECT_STREQ(orch::to_string(orch::OrchReason::kOpInProgress), "op-in-progress");
+  EXPECT_STREQ(orch::to_string(orch::OrchReason::kIllegalTransition), "illegal-transition");
+}
+
+}  // namespace
+}  // namespace cmtos

@@ -523,6 +523,96 @@ TEST(LloRegulate, AheadOfTargetHoldsDelivery) {
   EXPECT_GT(vconn->last_delivered_seq(), cur + 10);
 }
 
+// --- Session phase machine: every illegal primitive gets a distinct
+// rejection reason (and the contract layer guards the transitions) --------
+
+TEST(LloStateMachine, GroupOpBeforeEstablishmentIsNotEstablished) {
+  OrchWorld w;
+  // Issue the prime while Orch.request is still collecting acks: the
+  // session object exists but is not yet established.
+  w.llo().orch_request(1, w.vcs(), [](bool, OrchReason) {});
+  bool done = false;
+  w.llo().prime(1, false, [&](bool ok, OrchReason r) {
+    done = true;
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(r, OrchReason::kNotEstablished);
+  });
+  EXPECT_TRUE(done);  // rejected synchronously
+  w.p->run_until(kSecond);  // establishment itself still completes
+  EXPECT_TRUE(w.llo().has_session(1));
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kIdle);
+}
+
+TEST(LloStateMachine, OverlappingGroupOpsAreOpInProgress) {
+  OrchWorld w;
+  w.llo().orch_request(1, w.vcs(), [](bool, OrchReason) {});
+  w.p->run_until(kSecond);
+  w.llo().prime(1, false, [](bool, OrchReason) {});
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kPriming);
+  bool done = false;
+  w.llo().start(1, [&](bool ok, const auto&) {
+    done = true;
+    EXPECT_FALSE(ok);
+  });
+  EXPECT_TRUE(done);  // second op rejected while the first collects acks
+}
+
+TEST(LloStateMachine, StopWhenIdleIsIllegalTransition) {
+  OrchWorld w;
+  w.llo().orch_request(1, w.vcs(), [](bool, OrchReason) {});
+  w.p->run_until(kSecond);
+  ASSERT_EQ(w.llo().session_phase(1), orch::SessionPhase::kIdle);
+  bool done = false;
+  w.llo().stop(1, [&](bool ok, OrchReason r) {
+    done = true;
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(r, OrchReason::kIllegalTransition);
+  });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kIdle);
+}
+
+TEST(LloStateMachine, AddOnReleasedSessionIsNoSession) {
+  OrchWorld w;
+  w.llo().orch_request(1, w.vcs(), [](bool, OrchReason) {});
+  w.p->run_until(kSecond);
+  w.llo().orch_release(1);
+  w.p->run_until(2 * kSecond);
+  ASSERT_FALSE(w.llo().has_session(1));
+  bool done = false;
+  w.llo().add(1, w.vcs()[0], [&](bool ok, OrchReason r) {
+    done = true;
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(r, OrchReason::kNoSession);
+  });
+  EXPECT_TRUE(done);
+}
+
+TEST(LloStateMachine, PhaseTracksPrimeStartStopLifecycle) {
+  OrchWorld w;
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kEstablishing);  // unknown session
+  w.llo().orch_request(1, w.vcs(), [](bool, OrchReason) {});
+  w.p->run_until(kSecond);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kIdle);
+
+  w.llo().prime(1, false, [](bool, OrchReason) {});
+  w.p->run_until(3 * kSecond);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kPrimed);
+
+  w.llo().start(1, [](bool, const auto&) {});
+  w.p->run_until(4 * kSecond);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kRunning);
+
+  w.llo().stop(1, [](bool, OrchReason) {});
+  w.p->run_until(5 * kSecond);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kStopped);
+
+  // Restart after stop needs no re-prime: data stayed buffered.
+  w.llo().start(1, [](bool, const auto&) {});
+  w.p->run_until(6 * kSecond);
+  EXPECT_EQ(w.llo().session_phase(1), orch::SessionPhase::kRunning);
+}
+
 TEST(LloDelayed, ReachesApplicationThread) {
   OrchWorld w;
   w.llo().orch_request(1, w.vcs(), nullptr);

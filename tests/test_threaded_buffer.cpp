@@ -57,38 +57,55 @@ TEST(ThreadedBuffer, TwoThreadsTransferEverythingInOrder) {
 }
 
 TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowConsumer) {
+  // Deterministic form of "the producer outpaces the consumer": each
+  // episode fills the ring uncontended, then the next push must block on
+  // the full ring until a pop frees a slot (the statistic the orchestration
+  // service consumes, §3.7/§6.3.1.2).  Assertions are on the contended-wait
+  // counter and monotone accumulation, never on wall-clock thresholds,
+  // which made the previous version flaky on loaded CI machines.
   ThreadedStreamBuffer b(2);
-  std::thread consumer([&] {
-    for (int i = 0; i < 20; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      (void)b.pop();
-    }
-  });
-  std::thread producer([&] {
-    for (int i = 0; i < 20; ++i) b.push(make(static_cast<std::uint32_t>(i)));
-  });
-  producer.join();
-  consumer.join();
-  // The producer outpaced the consumer: it must have waited on the full
-  // ring; the semaphore-wait accounting captured it (the statistic the
-  // orchestration service consumes, §3.7/§6.3.1.2).
-  EXPECT_GT(b.producer_blocked_ns(), 10'000'000);  // >= 10 ms total
+  std::int64_t prev_ns = 0;
+  for (int episode = 1; episode <= 3; ++episode) {
+    b.push(make(0));
+    b.push(make(1));  // ring now full, both pushes uncontended
+    std::atomic<bool> pushing{false};
+    std::thread producer([&] {
+      pushing.store(true);
+      b.push(make(2));  // full ring: must wait for the pop below
+    });
+    while (!pushing.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(b.pop().seq, 0u);  // frees a slot, releases the producer
+    producer.join();
+    EXPECT_EQ(b.pop().seq, 1u);
+    EXPECT_EQ(b.pop().seq, 2u);  // drain for the next episode
+    EXPECT_EQ(b.producer_blocks(), episode);
+    EXPECT_GT(b.producer_blocked_ns(), prev_ns);
+    prev_ns = b.producer_blocked_ns();
+  }
+  EXPECT_EQ(b.consumer_blocks(), 0);
 }
 
 TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowProducer) {
+  // Mirror image: each episode the consumer waits on the empty ring until
+  // the delayed push arrives.  Same deterministic handshake-gated pattern.
   ThreadedStreamBuffer b(2);
-  std::thread producer([&] {
-    for (int i = 0; i < 20; ++i) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-      b.push(make(static_cast<std::uint32_t>(i)));
-    }
-  });
-  std::thread consumer([&] {
-    for (int i = 0; i < 20; ++i) (void)b.pop();
-  });
-  producer.join();
-  consumer.join();
-  EXPECT_GT(b.consumer_blocked_ns(), 10'000'000);
+  std::int64_t prev_ns = 0;
+  for (int episode = 1; episode <= 3; ++episode) {
+    std::atomic<bool> popping{false};
+    std::thread consumer([&] {
+      popping.store(true);
+      EXPECT_EQ(b.pop().seq, static_cast<std::uint32_t>(episode));  // empty ring: must wait
+    });
+    while (!popping.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.push(make(static_cast<std::uint32_t>(episode)));
+    consumer.join();
+    EXPECT_EQ(b.consumer_blocks(), episode);
+    EXPECT_GT(b.consumer_blocked_ns(), prev_ns);
+    prev_ns = b.consumer_blocked_ns();
+  }
+  EXPECT_EQ(b.producer_blocks(), 0);
 }
 
 TEST(ThreadedBuffer, ConsumerContendedWaitIsCounted) {

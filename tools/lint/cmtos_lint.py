@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""cmtos-lint: repo-specific static checks for the cmtos codebase.
+
+Fast, dependency-free line checks that encode project rules clang-tidy
+cannot express.  Run from the repo root:
+
+    python3 tools/lint/cmtos_lint.py            # check src/ tests/ bench/ examples/
+    python3 tools/lint/cmtos_lint.py src/orch   # restrict to a subtree
+
+Exit status is non-zero when any finding is reported, so CI can gate on it.
+
+Rules
+-----
+  naked-mutex          .lock()/.unlock() called directly on a mutex instead of
+                       through an RAII guard (lock_guard/unique_lock/scoped_lock).
+                       Manual unlock paths are how the pre-RAII code leaked locks
+                       on early returns.
+  narrowing-in-codec   PDU encoders (tpdu/opdu/rpc codecs, byte_io users) must
+                       narrow host-width values through cmtos::narrow<>, which
+                       asserts the value round-trips, never through a naked
+                       static_cast to a narrower wire type.
+  handler-state-check  Transport primitive handlers (on_data/on_ack/on_nak/
+                       on_feedback) must validate the VC state before acting;
+                       late packets racing teardown are otherwise processed
+                       against a closed VC.
+  include-hygiene      Headers carry #pragma once; no "../" relative includes;
+                       no <bits/...> internal libstdc++ headers.
+  banned-function      assert() in src/ (use CMTOS_ASSERT/CMTOS_DCHECK so release
+                       builds count violations instead of compiling the check
+                       out), plus sprintf/strcpy/strcat/gets.
+
+Suppressing
+-----------
+A finding is suppressed when the offending line (or the line above it) carries
+
+    // cmtos-lint: allow(<rule>)
+
+with the rule name from the list above.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_SCAN = ["src", "tests", "bench", "examples", "tools"]
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+ALLOW_RE = re.compile(r"//.*cmtos-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+# naked-mutex: a direct .lock()/.unlock() member call.  RAII guard
+# constructions mention the guard type on the same line; std::lock and
+# defer_lock idioms do too.
+NAKED_LOCK_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*(?:lock|unlock|try_lock)\s*\(")
+RAII_HINT_RE = re.compile(r"lock_guard|unique_lock|scoped_lock|shared_lock|std::lock\b")
+
+# narrowing-in-codec: naked static_cast to a narrower wire type inside a
+# codec file.  cmtos::narrow<> is the sanctioned spelling.
+CODEC_FILE_RE = re.compile(r"(tpdu|opdu|byte_io|codec|wire|rpc)[^/]*\.(h|hpp|cc|cpp)$")
+NARROW_CAST_RE = re.compile(r"static_cast<\s*(?:std::)?u?int(?:8|16|32)_t\s*>")
+
+# handler-state-check: transport primitive handler definitions.
+HANDLER_DEF_RE = re.compile(r"void\s+Connection::(on_data|on_ack|on_nak|on_feedback)\s*\(")
+STATE_CHECK_RE = re.compile(r"state_")
+
+# include-hygiene
+INCLUDE_RE = re.compile(r'#\s*include\s*[<"]([^">]+)[">]')
+
+BANNED_CALLS = {
+    # call-site regex -> (rule applies to src/ only?, message)
+    re.compile(r"(?<![\w.])assert\s*\("): (
+        True,
+        "raw assert(); use CMTOS_ASSERT/CMTOS_DCHECK from util/contract.h",
+    ),
+    re.compile(r"(?<![\w.])sprintf\s*\("): (False, "sprintf; use snprintf"),
+    re.compile(r"(?<![\w.])strcpy\s*\("): (False, "strcpy; use bounded copies"),
+    re.compile(r"(?<![\w.])strcat\s*\("): (False, "strcat; use bounded appends"),
+    re.compile(r"(?<![\w.])gets\s*\("): (False, "gets; never safe"),
+}
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed on line idx (0-based): same-line or preceding-line tag."""
+    rules: set[str] = set()
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = ALLOW_RE.search(lines[probe])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Crude removal of string literals and // comments so patterns inside
+    them don't fire.  Block comments spanning lines are rare in this repo
+    and handled conservatively (not stripped)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def check_file(path: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    in_src = rel.startswith("src/") or "/src/" in rel
+    is_header = path.suffix in {".h", ".hpp"}
+    is_codec = bool(CODEC_FILE_RE.search(rel))
+
+    if is_header and rel != "tools/lint/cmtos_lint.py" and "#pragma once" not in text:
+        findings.append(Finding(path, 1, "include-hygiene", "header lacks #pragma once"))
+
+    handler_spans: list[tuple[int, str]] = []  # (start line idx, handler name)
+    for idx, raw in enumerate(lines):
+        allow = allowed_rules(lines, idx)
+        line = strip_strings_and_comments(raw)
+
+        if "naked-mutex" not in allow and NAKED_LOCK_RE.search(line) and not RAII_HINT_RE.search(line):
+            findings.append(
+                Finding(path, idx + 1, "naked-mutex",
+                        "direct lock()/unlock(); use std::lock_guard or std::unique_lock"))
+
+        if is_codec and "narrowing-in-codec" not in allow and NARROW_CAST_RE.search(line):
+            findings.append(
+                Finding(path, idx + 1, "narrowing-in-codec",
+                        "naked static_cast to a narrow wire type; use cmtos::narrow<>"))
+
+        m = INCLUDE_RE.search(raw)  # raw: string-stripping would eat the "..." path
+        if m and "include-hygiene" not in allow:
+            target = m.group(1)
+            if target.startswith("../"):
+                findings.append(
+                    Finding(path, idx + 1, "include-hygiene",
+                            'relative "../" include; use a src-rooted path'))
+            if target.startswith("bits/"):
+                findings.append(
+                    Finding(path, idx + 1, "include-hygiene",
+                            "<bits/...> is libstdc++ internal; include the standard header"))
+
+        for pat, (src_only, msg) in BANNED_CALLS.items():
+            if src_only and not in_src:
+                continue
+            if "banned-function" not in allow and pat.search(line):
+                findings.append(Finding(path, idx + 1, "banned-function", msg))
+
+        hm = HANDLER_DEF_RE.search(line)
+        if hm:
+            handler_spans.append((idx, hm.group(1)))
+
+    # handler-state-check: the handler body's first dozen lines must consult
+    # the VC state (guard clause or CMTOS_DCHECK on state_).
+    for start, name in handler_spans:
+        body = "\n".join(lines[start : start + 12])
+        if "handler-state-check" in allowed_rules(lines, start):
+            continue
+        if not STATE_CHECK_RE.search(body.split("\n", 1)[1] if "\n" in body else ""):
+            findings.append(
+                Finding(path, start + 1, "handler-state-check",
+                        f"{name}() must validate the VC state before acting"))
+
+    return findings
+
+
+def iter_files(args: list[str]) -> list[Path]:
+    roots = [REPO_ROOT / a for a in args] if args else [REPO_ROOT / d for d in DEFAULT_SCAN]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in CXX_SUFFIXES and p.is_file():
+                files.append(p)
+    return files
+
+
+PROBE = """\
+#include "../foo.h"
+#include <bits/stdc++.h>
+void f() {
+  mu.lock();
+  char b[8]; sprintf(b, "x");
+  assert(1 == 1);
+  mu.unlock();  // cmtos-lint: allow(naked-mutex)
+  const auto n = static_cast<std::uint16_t>(v.size());
+}
+"""
+PROBE_EXPECT = {  # line -> rule
+    (1, "include-hygiene"),
+    (2, "include-hygiene"),
+    (4, "naked-mutex"),
+    (5, "banned-function"),
+    (6, "banned-function"),  # raw assert (probe scans as src/)
+    (8, "narrowing-in-codec"),  # probe scans as a codec file
+}
+
+
+def selftest() -> int:
+    """Verifies every rule both fires on a seeded probe and honours allow()."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT) as tmp:
+        # Path chosen so in_src and CODEC_FILE_RE both apply.
+        probe_dir = Path(tmp) / "src"
+        probe_dir.mkdir()
+        probe = probe_dir / "probe_codec.cpp"
+        probe.write_text(PROBE, encoding="utf-8")
+        got = {(f.line_no, f.rule) for f in check_file(probe)}
+    if got != PROBE_EXPECT:
+        print(f"cmtos-lint selftest FAILED:\n  missing: {PROBE_EXPECT - got}\n"
+              f"  spurious: {got - PROBE_EXPECT}", file=sys.stderr)
+        return 1
+    print("cmtos-lint selftest passed", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--selftest":
+        return selftest()
+    findings: list[Finding] = []
+    files = iter_files(argv)
+    for f in files:
+        findings.extend(check_file(f))
+    for finding in findings:
+        print(finding)
+    print(f"cmtos-lint: {len(files)} files, {len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
