@@ -1,0 +1,282 @@
+// chaos_soak — seeded fault-injection soak scenarios for CI.
+//
+// Stands up the FailoverWorld topology (hub + four leaves, three
+// orchestrated streams, the elected orchestrating node an endpoint of only
+// two of them), arms a ChaosPlan for the requested scenario and validates
+// the recovery invariants.  All faults go through the ChaosEngine, so the
+// observability snapshot written at the end carries `faults.injected`
+// counters CI can assert on, alongside `contract.violations` (which must
+// stay absent).
+//
+//   $ ./chaos_soak --scenario crash_mid_stream --seed 7 --json out.json
+//
+// Scenarios:
+//   crash_mid_stream       a source node dies mid-playback; the transport
+//                          liveness layer tears down its VC, the LLO
+//                          detaches it and the session plays on with the
+//                          remaining streams
+//   partition_prime_start  the network partitions during prime; the op
+//                          times out, the partition heals, and a re-prime +
+//                          start succeed
+//   orch_death             the orchestrating node dies mid-regulation; the
+//                          FailoverSupervisor re-elects a survivor,
+//                          re-primes, re-starts and delivers Orch.Delayed
+//
+// Exit status: 0 when the scenario's invariants held, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "media/sink.h"
+#include "media/stored_server.h"
+#include "obs/metrics.h"
+#include "orch/failover.h"
+#include "platform/host.h"
+#include "platform/stream.h"
+#include "sim/chaos.h"
+
+using namespace cmtos;
+
+namespace {
+
+struct World {
+  explicit World(std::uint64_t seed) : platform(seed) {
+    hub = &platform.add_host("hub");
+    srv1 = &platform.add_host("srv1");
+    wsB = &platform.add_host("wsB");
+    wsC = &platform.add_host("wsC");
+    srv2 = &platform.add_host("srv2");
+    net::LinkConfig link;
+    link.bandwidth_bps = 10'000'000;
+    link.propagation_delay = 1 * kMillisecond;
+    for (auto* h : {srv1, wsB, wsC, srv2}) platform.network().add_link(hub->id, h->id, link);
+    platform.network().finalize_routes();
+
+    transport::TransportConfig tc;
+    tc.keepalive_interval = 200 * kMillisecond;
+    tc.peer_dead_after = 800 * kMillisecond;
+    for (auto* h : {hub, srv1, wsB, wsC, srv2}) h->entity.set_config(tc);
+
+    platform::VideoQos vq;
+    vq.frames_per_second = 25;
+
+    server1 = std::make_unique<media::StoredMediaServer>(platform, *srv1, "srv1");
+    media::TrackConfig t;
+    t.auto_start = false;
+    t.vbr.base_bytes = vq.frame_bytes();
+    t.vbr.gop = 0;
+    t.vbr.wobble = 0;
+    t.track_id = 1;
+    const net::NetAddress a1 = server1->add_track(100, t);
+    t.track_id = 2;
+    const net::NetAddress a2 = server1->add_track(101, t);
+    server2 = std::make_unique<media::StoredMediaServer>(platform, *srv2, "srv2");
+    t.track_id = 3;
+    const net::NetAddress a3 = server2->add_track(102, t);
+
+    media::RenderConfig r;
+    r.expect_track = 1;
+    sink1 = std::make_unique<media::RenderingSink>(platform, *wsB, 200, r);
+    r.expect_track = 2;
+    sink2 = std::make_unique<media::RenderingSink>(platform, *wsC, 201, r);
+    r.expect_track = 3;
+    sink3 = std::make_unique<media::RenderingSink>(platform, *wsC, 202, r);
+
+    s1 = std::make_unique<platform::Stream>(platform, *srv1, "s1");
+    s2 = std::make_unique<platform::Stream>(platform, *srv1, "s2");
+    s3 = std::make_unique<platform::Stream>(platform, *srv2, "s3");
+    int connected = 0;
+    auto on_conn = [&](bool conn_ok, auto) { connected += conn_ok; };
+    s1->set_buffer_osdus(8);
+    s2->set_buffer_osdus(8);
+    s3->set_buffer_osdus(8);
+    s1->connect(a1, {wsB->id, 200}, vq, {}, on_conn);
+    s2->connect(a2, {wsC->id, 201}, vq, {}, on_conn);
+    s3->connect(a3, {wsC->id, 202}, vq, {}, on_conn);
+    platform.run_until(500 * kMillisecond);
+    ok = connected == 3;
+  }
+
+  /// Orch.request over all three streams (orchestrating node: wsC) and
+  /// adoption by the failover supervisor.
+  bool establish() {
+    orch::OrchPolicy policy;
+    policy.interval = 100 * kMillisecond;
+    policy.allow_no_common_node = true;
+    bool established = false;
+    auto session = platform.orchestrator().orchestrate(
+        {s1->orch_spec(2), s2->orch_spec(2), s3->orch_spec(2)}, policy,
+        [&](bool est, orch::OrchReason) { established = est; });
+    if (session == nullptr) return false;
+    platform.run_until(platform.scheduler().now() + kSecond);
+    if (!established) return false;
+    orch::FailoverConfig fc;
+    fc.check_interval = 200 * kMillisecond;
+    fc.agent_dead_after = kSecond;
+    supervisor = std::make_unique<orch::FailoverSupervisor>(
+        platform.scheduler(), platform.orchestrator(),
+        [this](net::NodeId n) { return &platform.host(n).llo; },
+        [this](net::NodeId n) { return platform.node_alive(n); }, fc);
+    supervisor->watch(std::move(session));
+    return true;
+  }
+
+  bool prime_and_start() {
+    bool primed = false, started = false;
+    supervisor->session()->prime(false, [&](bool p, auto) { primed = p; });
+    platform.run_until(platform.scheduler().now() + 2 * kSecond);
+    if (!primed) return false;
+    supervisor->session()->start([&](bool st, auto) { started = st; });
+    platform.run_until(platform.scheduler().now() + kSecond);
+    return started;
+  }
+
+  platform::Platform platform;
+  platform::Host* hub = nullptr;
+  platform::Host* srv1 = nullptr;
+  platform::Host* wsB = nullptr;
+  platform::Host* wsC = nullptr;
+  platform::Host* srv2 = nullptr;
+  std::unique_ptr<media::StoredMediaServer> server1, server2;
+  std::unique_ptr<media::RenderingSink> sink1, sink2, sink3;
+  std::unique_ptr<platform::Stream> s1, s2, s3;
+  std::unique_ptr<orch::FailoverSupervisor> supervisor;
+  bool ok = false;
+};
+
+bool fail(const char* what) {
+  std::fprintf(stderr, "chaos_soak: FAILED: %s\n", what);
+  return false;
+}
+
+/// A source node dies mid-playback; the session sheds its stream and keeps
+/// regulating the rest.
+bool run_crash_mid_stream(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.crash(w.platform.scheduler().now() + 2 * kSecond, w.srv2->id);
+  plan.events.back().start_jitter = 200 * kMillisecond;
+  engine.arm(plan);
+  const auto frames_before = w.sink1->stats().frames_rendered;
+  w.platform.run_until(w.platform.scheduler().now() + 8 * kSecond);
+  if (engine.injected() != 1) return fail("fault not injected");
+  if (w.supervisor->failovers() != 0) return fail("spurious failover");
+  if (w.supervisor->orphaned()) return fail("session orphaned");
+  auto& agent = w.supervisor->session()->agent();
+  if (agent.streams().size() != 2) return fail("dead stream not shed from the group");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+  return true;
+}
+
+/// The network partitions during prime: the op times out cleanly, then a
+/// re-prime after the heal succeeds and the session starts.
+bool run_partition_prime_start(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
+  if (!w.establish()) return fail("session setup");
+  w.platform.host(w.wsC->id).llo.set_op_timeout(kSecond);
+
+  // The cut must heal inside the transport liveness budget (800 ms), so the
+  // VCs survive the partition and only the prime op is lost.
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.partition(w.platform.scheduler().now() + 100 * kMillisecond, w.hub->id, w.srv1->id,
+                 600 * kMillisecond);
+  engine.arm(plan);
+
+  bool prime_done = false, prime_ok = false;
+  w.platform.run_until(w.platform.scheduler().now() + 200 * kMillisecond);
+  w.supervisor->session()->prime(false, [&](bool p, auto) {
+    prime_done = true;
+    prime_ok = p;
+  });
+  w.platform.run_until(w.platform.scheduler().now() + 1500 * kMillisecond);
+  if (!prime_done || prime_ok) return fail("partitioned prime should time out");
+
+  w.platform.run_until(w.platform.scheduler().now() + kSecond);  // heal well past
+  if (!w.prime_and_start()) return fail("re-prime/start after heal");
+  w.platform.run_until(w.platform.scheduler().now() + 3 * kSecond);
+  if (w.sink1->stats().frames_rendered <= 0) return fail("no playback after heal");
+  if (engine.injected() < 2) return fail("cut + heal not both injected");
+  return true;
+}
+
+/// The orchestrating node dies mid-regulation: the supervisor re-elects a
+/// survivor and the surviving stream is re-regulated.
+bool run_orch_death(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.crash(w.platform.scheduler().now() + 2 * kSecond, w.wsC->id);
+  plan.events.back().start_jitter = 200 * kMillisecond;
+  engine.arm(plan);
+  const auto frames_before = w.sink1->stats().frames_rendered;
+  w.platform.run_until(w.platform.scheduler().now() + 10 * kSecond);
+  if (engine.injected() != 1) return fail("fault not injected");
+  if (w.supervisor->failovers() != 1) return fail("no failover");
+  if (w.supervisor->orphaned()) return fail("session orphaned");
+  if (w.supervisor->session()->orchestrating_node() != w.wsB->id)
+    return fail("unexpected re-election");
+  if (w.sink1->stats().delayed_indications <= 0) return fail("Orch.Delayed not delivered");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "crash_mid_stream";
+  std::string json_path;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "chaos_soak: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: chaos_soak [--scenario crash_mid_stream|partition_prime_start|"
+                   "orch_death] [--seed N] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  World world(seed);
+  if (!world.ok) {
+    std::fprintf(stderr, "chaos_soak: world setup failed\n");
+    return 1;
+  }
+  sim::ChaosEngine engine(world.platform.scheduler(), world.platform.chaos_target());
+
+  bool passed = false;
+  if (scenario == "crash_mid_stream") {
+    passed = run_crash_mid_stream(world, engine, seed);
+  } else if (scenario == "partition_prime_start") {
+    passed = run_partition_prime_start(world, engine, seed);
+  } else if (scenario == "orch_death") {
+    passed = run_orch_death(world, engine, seed);
+  } else {
+    std::fprintf(stderr, "chaos_soak: unknown scenario '%s'\n", scenario.c_str());
+    return 2;
+  }
+
+  for (const auto& line : engine.log()) std::printf("fault: %s\n", line.c_str());
+  if (!json_path.empty()) {
+    obs::Registry::global().write_json(
+        json_path, {{"scenario", scenario}, {"seed", std::to_string(seed)}});
+  }
+  std::printf("chaos_soak: scenario %s seed %llu: %s\n", scenario.c_str(),
+              static_cast<unsigned long long>(seed), passed ? "OK" : "FAILED");
+  return passed ? 0 : 1;
+}

@@ -18,6 +18,12 @@ int Link::first_nonempty_band() const {
 }
 
 bool Link::transmit(Packet&& p) {
+  if (!up_) {
+    ++stats_.dropped_down;
+    CMTOS_TRACE("link", "down %u->%u pkt=%llu dropped", from_, to_,
+                static_cast<unsigned long long>(p.id));
+    return false;
+  }
   const auto band = static_cast<std::size_t>(p.priority);
   std::size_t total = 0;
   for (const auto& q : queues_) total += q.size();
@@ -69,6 +75,14 @@ void Link::finish_serialising() {
   queues_[band].pop_front();
   serialising_ = false;
   serialising_band_ = -1;
+
+  // A frame finishing serialisation on a link that went down mid-transfer
+  // is cut off: it never reaches the far end.
+  if (!up_) {
+    ++stats_.dropped_down;
+    if (first_nonempty_band() >= 0) start_serialising();
+    return;
+  }
 
   ++stats_.packets_sent;
   stats_.bytes_sent += static_cast<std::int64_t>(p.wire_size());

@@ -53,6 +53,7 @@ struct LinkStats {
   std::int64_t dropped_queue_overflow = 0;
   std::int64_t dropped_loss = 0;
   std::int64_t corrupted = 0;
+  std::int64_t dropped_down = 0;
 };
 
 class Link {
@@ -93,9 +94,24 @@ class Link {
   // --- mid-run degradation injection ---
   void set_bandwidth(std::int64_t bps) { cfg_.bandwidth_bps = bps; }
   void set_loss_rate(double p) { cfg_.loss_rate = p; }
+  /// Enables (or retunes) the Gilbert–Elliott burst-loss model mid-run, so
+  /// tests can establish cleanly and then subject live traffic to bursts.
+  void set_burst_loss(double p_good_to_bad, double p_bad_to_good, double loss_in_bad) {
+    cfg_.burst_loss = true;
+    cfg_.ge_p_good_to_bad = p_good_to_bad;
+    cfg_.ge_p_bad_to_good = p_bad_to_good;
+    cfg_.ge_loss_in_bad = loss_in_bad;
+  }
   void set_bit_error_rate(double p) { cfg_.bit_error_rate = p; }
   void set_jitter(Duration j) { cfg_.jitter = j; }
   void set_propagation_delay(Duration d) { cfg_.propagation_delay = d; }
+
+  // --- fault injection (partition primitive) ---
+  /// A down link drops every offered packet and every frame completing
+  /// serialisation; packets already propagating still arrive (they left
+  /// the wire before the cut).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
 
  private:
   void start_serialising();
@@ -114,6 +130,7 @@ class Link {
   bool serialising_ = false;
   int serialising_band_ = -1;  // band of the frame currently on the wire
   bool ge_in_bad_state_ = false;
+  bool up_ = true;
   std::int64_t reserved_bps_ = 0;
   LinkStats stats_;
 };

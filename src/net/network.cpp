@@ -63,6 +63,11 @@ Link* Network::link(NodeId from, NodeId to) {
   return it == links_.end() ? nullptr : it->second.get();
 }
 
+void Network::set_link_up(NodeId a, NodeId b, bool up) {
+  if (Link* l = link(a, b)) l->set_up(up);
+  if (Link* l = link(b, a)) l->set_up(up);
+}
+
 std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
   CMTOS_ASSERT(routes_valid_, "net.routes_stale");
   std::vector<NodeId> p;
@@ -94,6 +99,7 @@ void Network::send(Packet&& pkt) {
 }
 
 void Network::forward(Packet&& pkt, NodeId at) {
+  if (!nodes_[at]->up()) return;  // crashed node black-holes transit too
   if (pkt.dst == at) {
     nodes_[at]->receive(std::move(pkt));
     return;

@@ -55,6 +55,17 @@ class Network {
   /// One direction of a link, or nullptr.
   Link* link(NodeId from, NodeId to);
 
+  /// Sets both directions of the a<->b link up or down (the partition
+  /// primitive used by fault injection).  No-op when no such link exists.
+  /// Routing tables are left untouched: traffic toward a down link is
+  /// black-holed rather than re-routed, matching the static-route model.
+  void set_link_up(NodeId a, NodeId b, bool up);
+
+  /// Marks a node down (crash) or up (restart).  A down node drops all
+  /// terminating and transit packets.
+  void set_node_up(NodeId id, bool up) { nodes_.at(id)->set_up(up); }
+  bool node_up(NodeId id) const { return nodes_.at(id)->up(); }
+
   /// The route from src to dst (inclusive of both), empty if unreachable.
   std::vector<NodeId> path(NodeId src, NodeId dst) const;
 

@@ -10,6 +10,7 @@ Time Node::local_now() const {
 }
 
 void Node::receive(Packet&& pkt) {
+  if (!up_) return;  // crashed node: terminating traffic vanishes
   const auto idx = index(pkt.proto);
   if (idx >= handlers_.size() || !handlers_[idx]) {
     CMTOS_WARN("node", "%s: no handler for proto %u, packet %llu dropped", name_.c_str(),

@@ -46,6 +46,12 @@ class Node {
   /// Called by the Network when a packet addressed to this node arrives.
   void receive(Packet&& pkt);
 
+  /// Crash/restart support: a down node neither terminates nor forwards
+  /// traffic (the Network black-holes transit packets at a down node, the
+  /// same observable behaviour as a powered-off switch).
+  void set_up(bool up) { up_ = up; }
+  bool up() const { return up_; }
+
   Network& network() { return network_; }
 
  private:
@@ -55,6 +61,7 @@ class Node {
   NodeId id_;
   std::string name_;
   sim::LocalClock clock_;
+  bool up_ = true;
   std::array<Handler, 8> handlers_{};
 };
 

@@ -1,0 +1,144 @@
+#include "orch/failover.h"
+
+#include <cmath>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace cmtos::orch {
+
+FailoverSupervisor::FailoverSupervisor(sim::Scheduler& sched, Orchestrator& orch,
+                                       Orchestrator::LloResolver resolver, NodeAliveFn alive,
+                                       FailoverConfig cfg)
+    : sched_(sched),
+      orch_(orch),
+      resolve_(std::move(resolver)),
+      alive_(std::move(alive)),
+      cfg_(cfg) {}
+
+FailoverSupervisor::~FailoverSupervisor() { timer_.cancel(); }
+
+void FailoverSupervisor::watch(std::unique_ptr<OrchSession> session) {
+  session_ = std::move(session);
+  policy_ = session_->agent().policy();
+  orphaned_ = false;
+  if (!timer_.pending()) check();
+}
+
+void FailoverSupervisor::check() {
+  retired_.clear();  // safe here: never called from an agent callback
+  if (session_ != nullptr && !failing_over_ && !orphaned_) {
+    const net::NodeId n = session_->orchestrating_node();
+    Llo* llo = resolve_(n);
+    const bool node_dead = !alive_(n) || llo == nullptr || llo->down();
+    // The protocol-level signal (§6.3.1.2 reports double as heartbeats): a
+    // running agent that stops producing merged regulate indications has
+    // lost its node or been partitioned away from every endpoint.
+    const HloAgent& agent = session_->agent();
+    const bool reports_missed =
+        agent.running() && sched_.now() - agent.last_report_time() > cfg_.agent_dead_after;
+    if (node_dead || reports_missed) fail_over(node_dead ? "node-down" : "reports-missed");
+  }
+  timer_ = sched_.after(cfg_.check_interval, [this] { check(); });
+}
+
+void FailoverSupervisor::fail_over(const char* cause) {
+  failing_over_ = true;
+  const Time detected_at = sched_.now();
+  const net::NodeId old_node = session_->orchestrating_node();
+  const OrchSessionId old_session = session_->agent().session_id();
+  const std::vector<OrchStreamSpec> streams = session_->agent().streams();
+
+  std::vector<OrchStreamSpec> survivors;
+  for (const auto& s : streams)
+    if (alive_(s.vc.src_node) && alive_(s.vc.sink_node)) survivors.push_back(s);
+
+  obs::Registry::global().counter("orch.failover_attempts", {{"cause", cause}}).add();
+  CMTOS_WARN("failover", "orchestrator at node %u presumed dead (%s); %zu of %zu streams survive",
+             old_node, cause, survivors.size(), streams.size());
+  retired_.push_back(std::move(session_));
+
+  if (survivors.empty()) {
+    orphaned_ = true;
+    failing_over_ = false;
+    if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+    return;
+  }
+
+  // Re-election over the survivors.  When the dead node was the common
+  // node, no survivor may touch every VC — fall back to the §7 extension
+  // (relative targets make regulation location-independent).
+  OrchPolicy policy = policy_;
+  if (Orchestrator::choose_orchestrating_node(survivors, !policy.allow_no_common_node) ==
+      net::kInvalidNode) {
+    policy.allow_no_common_node = true;
+  }
+
+  const int gen = ++generation_;
+  const std::vector<OrchVcInfo> stale_vcs = [&] {
+    std::vector<OrchVcInfo> v;
+    for (const auto& s : streams) v.push_back(s.vc);
+    return v;
+  }();
+  auto next = orch_.orchestrate(
+      survivors, policy,
+      [this, gen, detected_at, old_node, old_session, stale_vcs,
+       survivors](bool ok, OrchReason reason) {
+        if (gen != generation_ || session_ == nullptr) return;
+        if (!ok) {
+          CMTOS_WARN("failover", "re-established session rejected: %s", to_string(reason));
+          retired_.push_back(std::move(session_));
+          orphaned_ = true;
+          failing_over_ = false;
+          if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+          return;
+        }
+        const net::NodeId new_node = session_->orchestrating_node();
+        // The dead orchestrator can never send kSessRel for its session;
+        // purge the survivors' stale endpoint attachments from here.
+        if (Llo* llo = resolve_(new_node)) llo->release_remote(old_session, stale_vcs);
+        session_->prime(false, [this, gen, detected_at, old_node, new_node,
+                                survivors](bool primed, OrchReason) {
+          if (gen != generation_ || session_ == nullptr) return;
+          if (!primed)
+            CMTOS_WARN("failover", "re-prime incomplete; starting survivors anyway");
+          session_->start([this, gen, detected_at, old_node, new_node,
+                           survivors](bool started, OrchReason) {
+            if (gen != generation_ || session_ == nullptr) return;
+            failing_over_ = false;
+            if (!started) {
+              orphaned_ = true;
+              if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+              return;
+            }
+            ++failovers_;
+            obs::Registry::global().counter("orch.failovers", {}).add();
+            obs::Tracer::global().instant("Orch.Failover", static_cast<int>(new_node), 0,
+                                          "{\"old_node\": " + std::to_string(old_node) + "}");
+            // Every surviving application stalled for the whole outage:
+            // Orch.Delayed with the stall expressed in its own OSDUs.
+            const double stall_s = to_seconds(sched_.now() - detected_at);
+            HloAgent& agent = session_->agent();
+            for (const auto& s : survivors) {
+              const std::int64_t behind = std::llround(stall_s * s.osdu_rate);
+              agent.llo().delayed(agent.session_id(), s.vc.vc, /*source_side=*/false, behind);
+            }
+            CMTOS_INFO("failover", "re-elected node %u for %zu surviving stream(s)", new_node,
+                       survivors.size());
+            if (on_failover_) on_failover_(old_node, new_node);
+          });
+        });
+      });
+  if (next == nullptr) {
+    // No LLO at the elected node (resolver gap): nothing to rebuild on.
+    orphaned_ = true;
+    failing_over_ = false;
+    if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+    return;
+  }
+  session_ = std::move(next);
+}
+
+}  // namespace cmtos::orch

@@ -1,0 +1,102 @@
+// cmtos/orch/failover.h
+//
+// Orchestrator failover: recovery from the death of the orchestrating node
+// itself (the robustness companion to §5's election).
+//
+// The paper's HLO picks one orchestrating node and keeps it for the life of
+// the session; if that node crashes, every surviving VC loses its
+// regulation loop silently — targets stop arriving, sinks free-run, and the
+// application never hears about it.  The FailoverSupervisor closes that
+// hole:
+//
+//   detect   the agent misses several regulate-report windows in a row
+//            (last_report_time stale), or the node is directly known dead
+//   re-elect Orchestrator::choose_orchestrating_node over the *surviving*
+//            streams (endpoints alive), falling back to the §7
+//            no-common-node extension when the survivors share no node
+//   rebuild  a fresh HLO agent (new session id) at the elected node,
+//            Orch.request / Orch.Prime / Orch.Start over the survivors,
+//            and a purge of the stale session state the dead node can no
+//            longer release (Llo::release_remote)
+//   report   Orch.Delayed to every surviving endpoint with the stall
+//            length, and an on_failover callback to the application
+//
+// The supervisor is deliberately *not* part of the protocol entities: it
+// models the management plane an operator deploys beside the platform, so
+// its liveness oracle (NodeAliveFn) is pluggable — tests wire it to the
+// simulated node-up bit, a real deployment would wire a heartbeat service.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "orch/orchestrator.h"
+#include "sim/scheduler.h"
+
+namespace cmtos::orch {
+
+struct FailoverConfig {
+  /// Cadence of liveness checks.
+  Duration check_interval = 500 * kMillisecond;
+  /// Regulate-report silence after which a running agent is presumed
+  /// dead.  Should be several regulation intervals: one lost report is
+  /// routine (RegMerge already degrades to a partial indication).
+  Duration agent_dead_after = 2 * kSecond;
+};
+
+class FailoverSupervisor {
+ public:
+  using NodeAliveFn = std::function<bool(net::NodeId)>;
+
+  FailoverSupervisor(sim::Scheduler& sched, Orchestrator& orch,
+                     Orchestrator::LloResolver resolver, NodeAliveFn alive,
+                     FailoverConfig cfg = {});
+  ~FailoverSupervisor();
+
+  FailoverSupervisor(const FailoverSupervisor&) = delete;
+  FailoverSupervisor& operator=(const FailoverSupervisor&) = delete;
+
+  /// Adopts `session` (established or still establishing) and begins
+  /// watching it.  The supervisor takes ownership; after a failover,
+  /// session() returns the replacement.
+  void watch(std::unique_ptr<OrchSession> session);
+
+  OrchSession* session() { return session_.get(); }
+  int failovers() const { return failovers_; }
+  /// True when recovery gave up: no stream survived, or rebuilding the
+  /// session on the elected node failed.
+  bool orphaned() const { return orphaned_; }
+
+  /// Fires when a failover completes (new_node) or is abandoned
+  /// (kInvalidNode).
+  void set_on_failover(std::function<void(net::NodeId old_node, net::NodeId new_node)> fn) {
+    on_failover_ = std::move(fn);
+  }
+
+ private:
+  void check();
+  void fail_over(const char* cause);
+
+  sim::Scheduler& sched_;
+  Orchestrator& orch_;
+  Orchestrator::LloResolver resolve_;
+  NodeAliveFn alive_;
+  FailoverConfig cfg_;
+
+  std::unique_ptr<OrchSession> session_;
+  /// Sessions awaiting destruction: a failed session may be retired from
+  /// inside one of its own agent's callbacks, so teardown is deferred to
+  /// the next supervisor tick.
+  std::vector<std::unique_ptr<OrchSession>> retired_;
+  OrchPolicy policy_;
+  sim::EventHandle timer_;
+  int failovers_ = 0;
+  int generation_ = 0;  // invalidates callbacks from superseded recoveries
+  bool orphaned_ = false;
+  bool failing_over_ = false;
+  std::function<void(net::NodeId, net::NodeId)> on_failover_;
+};
+
+}  // namespace cmtos::orch

@@ -25,12 +25,15 @@ HloAgent::HloAgent(Llo& llo, OrchSessionId session, std::vector<OrchStreamSpec> 
   for (const auto& s : streams_) status_[s.vc.vc] = VcStatus{};
   llo_.set_regulate_callback(session_,
                              [this](const RegulateIndication& ind) { on_regulate(ind); });
+  llo_.set_vc_dead_callback(session_,
+                            [this](const EventIndication& ind) { on_vc_dead(ind); });
 }
 
 HloAgent::~HloAgent() {
   tick_.cancel();
   llo_.set_regulate_callback(session_, nullptr);
   llo_.set_event_callback(session_, nullptr);
+  llo_.set_vc_dead_callback(session_, nullptr);
 }
 
 Time HloAgent::master_now() const {
@@ -67,6 +70,7 @@ void HloAgent::start(ResultFn done) {
         st.consecutive_misses = 0;
       }
       running_ = true;
+      last_report_ = llo_.network().scheduler().now();
       if (policy_.regulate) interval_tick();
     }
     if (done) done(ok, ok ? OrchReason::kOk : OrchReason::kTimeout);
@@ -129,8 +133,26 @@ double HloAgent::position_seconds(const OrchStreamSpec& s) const {
          s.osdu_rate;
 }
 
+void HloAgent::on_vc_dead(const EventIndication& ind) {
+  streams_.erase(std::remove_if(streams_.begin(), streams_.end(),
+                                [&](const OrchStreamSpec& s) { return s.vc.vc == ind.vc; }),
+                 streams_.end());
+  status_.erase(ind.vc);
+  CMTOS_WARN("hlo", "session %llu: vc %llu dead, %zu stream(s) remain",
+             static_cast<unsigned long long>(session_),
+             static_cast<unsigned long long>(ind.vc), streams_.size());
+  if (streams_.empty()) {
+    // Nothing left to orchestrate; the regulation loop winds down.
+    running_ = false;
+    tick_.cancel();
+  }
+  if (on_vc_dead_) on_vc_dead_(ind);
+}
+
 void HloAgent::interval_tick() {
-  if (!running_) return;
+  // A crashed LLO means this agent's node died: stop rearming (a failover
+  // supervisor will notice via last_report_time and re-elect elsewhere).
+  if (!running_ || llo_.down() || streams_.empty()) return;
   const std::uint32_t id = next_interval_id_++;
   obs::Tracer::global().instant("HLO.interval_tick", static_cast<int>(llo_.node_id()), 0,
                                 "{\"interval_id\": " + std::to_string(id) + "}");
@@ -189,6 +211,7 @@ void HloAgent::interval_tick() {
 }
 
 void HloAgent::on_regulate(const RegulateIndication& ind) {
+  last_report_ = llo_.network().scheduler().now();
   auto it = status_.find(ind.vc);
   if (it == status_.end()) return;
   VcStatus& st = it->second;

@@ -104,6 +104,7 @@ class HloAgent {
 
   OrchSessionId session_id() const { return session_; }
   const OrchPolicy& policy() const { return policy_; }
+  Llo& llo() { return llo_; }
 
   /// Orch.request to all involved LLOs; must complete before prime/start.
   void establish(ResultFn done);
@@ -140,6 +141,14 @@ class HloAgent {
   };
   const std::map<transport::VcId, VcStatus>& status() const { return status_; }
   bool running() const { return running_; }
+  const std::vector<OrchStreamSpec>& streams() const { return streams_; }
+
+  /// True simulation time of the last merged Orch.Regulate.indication (set
+  /// to the start time when regulation begins).  A supervisor watching for
+  /// orchestrator death reads this: an agent that misses several
+  /// regulate-report windows in a row is presumed dead (its node crashed or
+  /// was partitioned away).
+  Time last_report_time() const { return last_report_; }
 
   /// Fires on every merged Orch.Regulate.indication, with the target that
   /// was set for that interval (benches record the full time series).
@@ -152,10 +161,16 @@ class HloAgent {
       std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> fn) {
     on_escalate_ = std::move(fn);
   }
+  /// Fires after a dead VC has been dropped from the group (the LLO
+  /// reported kVcDead; event_value carries the transport DisconnectReason).
+  void set_vc_dead_callback(std::function<void(const EventIndication&)> fn) {
+    on_vc_dead_ = std::move(fn);
+  }
 
  private:
   void interval_tick();
   void on_regulate(const RegulateIndication& ind);
+  void on_vc_dead(const EventIndication& ind);
   /// Orchestrating node's local clock (the master reference / datum).
   Time master_now() const;
   /// Media-time position of a stream, in seconds since its base.
@@ -169,11 +184,13 @@ class HloAgent {
   bool established_ = false;
   bool running_ = false;
   Time start_master_time_ = 0;
+  Time last_report_ = 0;
   std::uint32_t next_interval_id_ = 1;
   sim::EventHandle tick_;
   std::map<transport::VcId, VcStatus> status_;
   std::function<void(const RegulateIndication&, std::int64_t)> on_interval_;
   std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> on_escalate_;
+  std::function<void(const EventIndication&)> on_vc_dead_;
 };
 
 }  // namespace cmtos::orch

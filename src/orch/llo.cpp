@@ -77,6 +77,11 @@ Llo::Llo(net::Network& network, net::NodeId node, transport::TransportEntity& en
     : network_(network), node_(node), entity_(entity) {
   network_.node(node_).set_handler(net::Proto::kOrch,
                                    [this](net::Packet&& p) { on_opdu_packet(std::move(p)); });
+  // A VC dying under an orchestration group must not strand the group: the
+  // LLO hears about every endpoint teardown and detaches/reports.
+  entity_.set_on_vc_closed([this](VcId vc, transport::DisconnectReason reason) {
+    on_vc_closed(vc, reason);
+  });
 }
 
 void Llo::send_opdu(net::NodeId dst, const Opdu& o) {
@@ -170,6 +175,103 @@ void Llo::orch_release(OrchSessionId s) {
   sessions_.erase(s);
 }
 
+void Llo::release_remote(OrchSessionId s, const std::vector<OrchVcInfo>& vcs) {
+  for (const auto& i : vcs) {
+    for (std::uint8_t flag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
+      Opdu o;
+      o.type = OpduType::kSessRel;
+      o.session = s;
+      o.vc = i.vc;
+      o.orch_node = node_;
+      o.flags = flag;
+      send_opdu(flag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
+    }
+  }
+}
+
+void Llo::crash() {
+  for (auto& [s, sess] : sessions_) {
+    if (sess.op) sess.op->timeout.cancel();
+    for (auto& [k, merge] : sess.reg_merge) merge.timeout.cancel();
+  }
+  for (auto& [k, st] : locals_) {
+    st.slot_timer.cancel();
+    st.src_timer.cancel();
+  }
+  sessions_.clear();
+  locals_.clear();
+  on_regulate_.clear();
+  on_event_.clear();
+  on_vc_dead_.clear();
+  clock_probes_.clear();
+  down_ = true;
+  CMTOS_WARN("llo", "node %u: LLO crashed, all orchestration state dropped", node_);
+}
+
+void Llo::restart() {
+  down_ = false;
+  CMTOS_INFO("llo", "node %u: LLO restarted", node_);
+}
+
+void Llo::on_vc_closed(VcId vc, transport::DisconnectReason reason) {
+  if (down_) return;
+  // Collect first: detach_endpoint mutates locals_.
+  std::vector<std::pair<LocalKey, net::NodeId>> dead;
+  for (const auto& [key, st] : locals_)
+    if (key.second == vc) dead.emplace_back(key, st.orch_node);
+  for (const auto& [key, orch_node] : dead) {
+    CMTOS_WARN("llo", "node %u: vc %llu died (%s), detaching from session %llu", node_,
+               static_cast<unsigned long long>(vc), to_string(reason).c_str(),
+               static_cast<unsigned long long>(key.first));
+    detach_endpoint(key);
+    obs::Registry::global()
+        .counter("orch.vc_detached", {{"node", std::to_string(node_)}})
+        .add();
+    Opdu o;
+    o.type = OpduType::kVcDead;
+    o.session = key.first;
+    o.vc = vc;
+    o.orch_node = node_;
+    o.event_value = static_cast<std::uint64_t>(reason);
+    send_opdu(orch_node, o);
+  }
+}
+
+void Llo::handle_vc_dead(const Opdu& o) {
+  Session* sess = session(o.session);
+  if (sess == nullptr) return;
+  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
+                         [&](const OrchVcInfo& i) { return i.vc == o.vc; });
+  if (it == sess->vcs.end()) return;  // duplicate report (both endpoints died)
+  sess->vcs.erase(it);
+  // Orphan any in-flight regulation merges for the dead VC.
+  for (auto mit = sess->reg_merge.begin(); mit != sess->reg_merge.end();) {
+    if (mit->first.first == o.vc) {
+      mit->second.timeout.cancel();
+      if (mit->second.span_id != 0)
+        obs::Tracer::global().async_end("Orch.Regulate", mit->second.span_id,
+                                        static_cast<int>(node_),
+                                        static_cast<int>(o.vc & 0xffffffffu));
+      mit = sess->reg_merge.erase(mit);
+    } else {
+      ++mit;
+    }
+  }
+  obs::Registry::global()
+      .counter("orch.vc_dead", {{"session", std::to_string(o.session)}})
+      .add();
+  obs::Tracer::global().instant("Orch.VcDead", static_cast<int>(node_),
+                                static_cast<int>(o.vc & 0xffffffffu));
+  if (auto cb = on_vc_dead_.find(o.session); cb != on_vc_dead_.end() && cb->second) {
+    EventIndication ind;
+    ind.session = o.session;
+    ind.vc = o.vc;
+    ind.event_value = o.event_value;
+    ind.matched_at = network_.scheduler().now();
+    cb->second(ind);
+  }
+}
+
 void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
                   StartFn start_done) {
   auto op = std::make_unique<PendingOp>();
@@ -201,7 +303,7 @@ void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn don
       break;
     }
   }
-  op->timeout = network_.scheduler().after(kOpTimeout, [this, sid] {
+  op->timeout = network_.scheduler().after(op_timeout_, [this, sid] {
     Session* se = session(sid);
     if (se == nullptr || se->op == nullptr) return;
     auto timed_out = std::move(se->op);
@@ -383,6 +485,26 @@ void Llo::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq, std::uint3
                                                if (se == nullptr) return;
                                                auto mit = se->reg_merge.find(key);
                                                if (mit == se->reg_merge.end()) return;
+                                               if (!mit->second.have_sink &&
+                                                   !mit->second.have_src) {
+                                                 // Total silence is not a report: swallow
+                                                 // the interval so the agent's
+                                                 // last_report_time goes stale — the
+                                                 // heartbeat failover detection reads.
+                                                 if (mit->second.span_id != 0)
+                                                   obs::Tracer::global().async_end(
+                                                       "Orch.Regulate", mit->second.span_id,
+                                                       static_cast<int>(node_),
+                                                       static_cast<int>(key.first &
+                                                                        0xffffffffu));
+                                                 obs::Registry::global()
+                                                     .counter("orch.regulate_silent",
+                                                              {{"vc", std::to_string(
+                                                                          key.first)}})
+                                                     .add();
+                                                 se->reg_merge.erase(mit);
+                                                 return;
+                                               }
                                                mit->second.ind.partial = true;
                                                emit_regulate_ind(s, key);
                                              });
@@ -980,6 +1102,7 @@ void Llo::handle_delayed(const Opdu& o) {
 // ====================================================================
 
 void Llo::on_opdu_packet(net::Packet&& pkt) {
+  if (down_) return;          // crashed LLO: protocol state is gone
   if (pkt.corrupted) return;  // control VCs have reserved, clean capacity
   auto o = Opdu::decode(pkt.payload);
   if (!o) {
@@ -999,6 +1122,7 @@ void Llo::on_opdu_packet(net::Packet&& pkt) {
     case OpduType::kDrop: handle_drop(*o); break;
     case OpduType::kEventReg: handle_event_reg(*o); break;
     case OpduType::kDelayed: handle_delayed(*o); break;
+    case OpduType::kVcDead: handle_vc_dead(*o); break;
 
     case OpduType::kSessAck:
     case OpduType::kPrimeAck:

@@ -225,9 +225,40 @@ class Llo {
     on_event_[session] = std::move(fn);
   }
 
+  /// Fires (on the orchestrating node) when an endpoint reports one of the
+  /// session's VCs dead via kVcDead: the VC has already been detached from
+  /// the group.  `event_value` carries the transport DisconnectReason.
+  void set_vc_dead_callback(OrchSessionId session,
+                            std::function<void(const EventIndication&)> fn) {
+    on_vc_dead_[session] = std::move(fn);
+  }
+
+  /// Releases every endpoint-side attachment of `session` at the endpoints
+  /// of `vcs` without requiring an orchestrating-side Session entry.  Used
+  /// after orchestrator failover: the new orchestrating node purges the
+  /// stale session the dead node can no longer release.
+  void release_remote(OrchSessionId session, const std::vector<OrchVcInfo>& vcs);
+
   /// Number of sessions this LLO can still accept (the paper's "table
   /// space"; rejection reason kNoTableSpace).
   void set_session_limit(std::size_t n) { session_limit_ = n; }
+
+  /// Budget for collecting group-primitive acknowledgements before the op
+  /// fails with kTimeout (previously a hardcoded 5 s; configurable so tests
+  /// can tighten it and chaos runs can match their partition lengths).
+  void set_op_timeout(Duration d) { op_timeout_ = d; }
+  Duration op_timeout() const { return op_timeout_; }
+
+  // ------------------------------------------------------------------
+  // Fault model
+  // ------------------------------------------------------------------
+
+  /// Node crash: drops all orchestration state — orchestrated sessions,
+  /// endpoint attachments, pending ops and their timers, callbacks, clock
+  /// probes — and ignores OPDUs until restart().
+  void crash();
+  void restart();
+  bool down() const { return down_; }
 
   // Introspection for tests/benches.
   bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
@@ -243,7 +274,6 @@ class Llo {
   /// Number of regulation micro-slots per interval (corrections are spread
   /// across the interval to avoid jitter, §6.3.1.1).
   static constexpr int kSlotsPerInterval = 8;
-  static constexpr Duration kOpTimeout = 5 * kSecond;
 
   // ---- orchestrating-side state ----
   struct PendingOp {
@@ -343,6 +373,12 @@ class Llo {
   void handle_drop(const Opdu& o);
   void handle_event_reg(const Opdu& o);
   void handle_delayed(const Opdu& o);
+  void handle_vc_dead(const Opdu& o);
+
+  /// Transport observer: a local VC endpoint was torn down (peer death,
+  /// local or remote release).  Detaches it from every session it belongs
+  /// to and reports kVcDead to each orchestrating node.
+  void on_vc_closed(transport::VcId vc, transport::DisconnectReason reason);
 
   void regulation_slot(LocalKey key);
   void finish_sink_interval(LocalKey key);
@@ -357,11 +393,14 @@ class Llo {
   transport::TransportEntity& entity_;
   OrchAppHandler* app_ = nullptr;
   std::size_t session_limit_ = 64;
+  Duration op_timeout_ = 5 * kSecond;
+  bool down_ = false;
 
   std::map<OrchSessionId, Session> sessions_;           // orchestrating role
   std::map<LocalKey, VcLocal> locals_;                  // endpoint role
   std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
   std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
+  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
 
   // Clock-sync probe state: probe id -> the estimation run it belongs to.
   std::uint32_t next_probe_id_ = 1;

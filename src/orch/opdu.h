@@ -65,6 +65,8 @@ enum class OpduType : std::uint8_t {
   kEventInd = 36,      // sink -> orchestrating: pattern matched
   kDelayed = 37,       // orchestrating -> endpoint: Orch.Delayed.indication
   kDelayedAck = 38,    // endpoint -> orchestrating: app response (deny?)
+  kVcDead = 39,        // endpoint -> orchestrating: a group VC's endpoint was
+                       // torn down (peer death, release); detach it
 
   // Clock synchronisation (§5 footnote / §7 future work: "a general
   // purpose clock synchronisation function (e.g. NTP) within the

@@ -18,6 +18,7 @@
 #include "platform/orch_app_mux.h"
 #include "platform/rpc.h"
 #include "platform/trader.h"
+#include "sim/chaos.h"
 #include "sim/scheduler.h"
 #include "transport/transport_entity.h"
 #include "util/rng.h"
@@ -83,6 +84,64 @@ class Platform {
   /// Convenience: run the simulation until quiescent or until `t`.
   void run_until(Time t) { scheduler_.run_until(t); }
   void run() { scheduler_.run(); }
+
+  // ------------------------------------------------------------------
+  // Fault model
+  // ------------------------------------------------------------------
+
+  /// Crashes one host: the network node goes down (terminating and transit
+  /// traffic black-holed) and every layer of its stack drops its volatile
+  /// state — transport VCs and pending handshakes, LLO sessions and
+  /// endpoint attachments, pending RPCs.
+  void crash_node(net::NodeId id) {
+    network_.set_node_up(id, false);
+    Host& h = host(id);
+    h.entity.crash();
+    h.llo.crash();
+    h.rpc.crash();
+  }
+
+  /// Brings a crashed host back with empty protocol state (cold start:
+  /// peers must re-establish everything).
+  void restart_node(net::NodeId id) {
+    network_.set_node_up(id, true);
+    Host& h = host(id);
+    h.entity.restart();
+    h.llo.restart();
+    h.rpc.restart();
+  }
+
+  bool node_alive(net::NodeId id) const { return network_.node_up(id); }
+
+  /// Binds a ChaosEngine's fault callbacks to this platform's topology.
+  /// Loss/jitter storms apply to both directions of the named link and
+  /// report the previous a->b value for restoration (symmetric links
+  /// assumed, as Network::add_link configures them).
+  sim::ChaosTarget chaos_target() {
+    sim::ChaosTarget t;
+    t.crash_node = [this](std::uint32_t n) { crash_node(n); };
+    t.restart_node = [this](std::uint32_t n) { restart_node(n); };
+    t.set_link_up = [this](std::uint32_t a, std::uint32_t b, bool up) {
+      network_.set_link_up(a, b, up);
+    };
+    t.set_link_loss = [this](std::uint32_t a, std::uint32_t b, double loss) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      const double prev = fwd != nullptr ? fwd->config().loss_rate : 0.0;
+      if (fwd != nullptr) fwd->set_loss_rate(loss);
+      if (rev != nullptr) rev->set_loss_rate(loss);
+      return prev;
+    };
+    t.set_link_jitter = [this](std::uint32_t a, std::uint32_t b, Duration jitter) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      const Duration prev = fwd != nullptr ? fwd->config().jitter : 0;
+      if (fwd != nullptr) fwd->set_jitter(jitter);
+      if (rev != nullptr) rev->set_jitter(jitter);
+      return prev;
+    };
+    return t;
+  }
 
  private:
   sim::Scheduler scheduler_;

@@ -1,5 +1,9 @@
 #include "platform/rpc.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
 #include "util/byte_io.h"
 #include "util/logging.h"
 
@@ -62,10 +66,19 @@ std::string to_string(RpcOutcome o) {
 }
 
 RpcRuntime::RpcRuntime(net::Network& network, net::NodeId node)
-    : network_(network), node_(node) {
+    : network_(network), node_(node), rng_(0x5eb0ff5731ull + node) {
   network_.node(node_).set_handler(net::Proto::kRpc,
                                    [this](net::Packet&& p) { on_packet(std::move(p)); });
 }
+
+void RpcRuntime::crash() {
+  for (auto& [id, p] : pending_) p.timeout.cancel();
+  pending_.clear();
+  down_ = true;
+  CMTOS_WARN("rpc", "node %u: RPC runtime crashed, pending calls dropped", node_);
+}
+
+void RpcRuntime::restart() { down_ = false; }
 
 void RpcRuntime::register_op(const std::string& interface, const std::string& op,
                              OpHandler handler) {
@@ -88,28 +101,63 @@ void RpcRuntime::invoke(net::NodeId node, const std::string& interface, const st
 
   PendingCall pend;
   pend.reply = std::move(reply);
-  if (delay_bound != kTimeNever) {
-    const std::uint64_t call_id = m.call_id;
-    pend.timeout = network_.scheduler().after(delay_bound, [this, call_id] {
-      auto it = pending_.find(call_id);
-      if (it == pending_.end()) return;
-      ReplyFn fn = std::move(it->second.reply);
-      pending_.erase(it);
-      if (fn) fn(RpcOutcome::kTimeout, {});
-    });
-  }
-  pending_.emplace(m.call_id, std::move(pend));
+  pend.dst = node;
+  pend.wire = m.encode();
+  pend.delay_bound = delay_bound;
+  // Unbounded calls never time out, so they never retry either.
+  pend.attempts_left = delay_bound == kTimeNever ? 0 : std::max(1, retry_.max_attempts) - 1;
+  const std::uint64_t call_id = m.call_id;
+  pending_.emplace(call_id, std::move(pend));
+  send_attempt(call_id);
+}
 
+void RpcRuntime::send_attempt(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end()) return;  // completed while a retry was backing off
   net::Packet pkt;
   pkt.src = node_;
-  pkt.dst = node;
+  pkt.dst = it->second.dst;
   pkt.proto = net::Proto::kRpc;
   pkt.priority = net::Priority::kControl;
-  pkt.payload = m.encode();
+  pkt.payload = it->second.wire;
   network_.send(std::move(pkt));
+  arm_timeout(call_id);
+}
+
+void RpcRuntime::arm_timeout(std::uint64_t call_id) {
+  auto it = pending_.find(call_id);
+  if (it == pending_.end() || it->second.delay_bound == kTimeNever) return;
+  it->second.timeout = network_.scheduler().after(it->second.delay_bound, [this, call_id] {
+    auto pit = pending_.find(call_id);
+    if (pit == pending_.end()) return;
+    if (pit->second.attempts_left > 0) {
+      --pit->second.attempts_left;
+      // Capped exponential backoff with jitter; this retry's ordinal (1-based)
+      // sets the exponent.
+      const int retry_no = std::max(1, retry_.max_attempts) - 1 - pit->second.attempts_left;
+      double d = static_cast<double>(retry_.base) *
+                 std::pow(retry_.multiplier, static_cast<double>(retry_no - 1));
+      d = std::min(d, static_cast<double>(retry_.cap));
+      if (retry_.jitter_frac > 0) d *= 1.0 + rng_.uniform_real(0.0, retry_.jitter_frac);
+      const Duration backoff = static_cast<Duration>(d);
+      obs::Registry::global()
+          .counter("rpc.retries", {{"node", std::to_string(node_)}})
+          .add();
+      CMTOS_INFO("rpc", "node %u: call %llu attempt timed out, retry %d in %lld ns", node_,
+                 static_cast<unsigned long long>(call_id), retry_no,
+                 static_cast<long long>(backoff));
+      pit->second.timeout =
+          network_.scheduler().after(backoff, [this, call_id] { send_attempt(call_id); });
+      return;
+    }
+    ReplyFn fn = std::move(pit->second.reply);
+    pending_.erase(pit);
+    if (fn) fn(RpcOutcome::kTimeout, {});
+  });
 }
 
 void RpcRuntime::on_packet(net::Packet&& pkt) {
+  if (down_) return;  // crashed node: no server, no caller
   if (pkt.corrupted) return;
   auto m = RpcMsg::decode(pkt.payload);
   if (!m) {

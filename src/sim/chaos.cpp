@@ -1,0 +1,140 @@
+#include "sim/chaos.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/contract.h"
+#include "util/logging.h"
+
+namespace cmtos::sim {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNodeCrash: return "node_crash";
+    case FaultKind::kNodeRestart: return "node_restart";
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kLossStorm: return "loss_storm";
+    case FaultKind::kJitterStorm: return "jitter_storm";
+  }
+  return "unknown";
+}
+
+ChaosPlan& ChaosPlan::crash(Time at, std::uint32_t node) {
+  events.push_back({.at = at, .kind = FaultKind::kNodeCrash, .node = node});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::restart(Time at, std::uint32_t node) {
+  events.push_back({.at = at, .kind = FaultKind::kNodeRestart, .node = node});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::partition(Time at, std::uint32_t a, std::uint32_t b, Duration heal_after) {
+  events.push_back({.at = at, .kind = FaultKind::kLinkDown, .a = a, .b = b,
+                    .duration = heal_after});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::heal(Time at, std::uint32_t a, std::uint32_t b) {
+  events.push_back({.at = at, .kind = FaultKind::kLinkUp, .a = a, .b = b});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::loss_storm(Time at, std::uint32_t a, std::uint32_t b, double loss_rate,
+                                 Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kLossStorm, .a = a, .b = b,
+                    .duration = duration, .loss_rate = loss_rate});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::jitter_storm(Time at, std::uint32_t a, std::uint32_t b, Duration jitter,
+                                   Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kJitterStorm, .a = a, .b = b,
+                    .duration = duration, .jitter = jitter});
+  return *this;
+}
+
+void ChaosEngine::arm(const ChaosPlan& plan) {
+  CMTOS_ASSERT(!armed_, "chaos.double_arm");
+  armed_ = true;
+  rng_.reseed(plan.seed);
+  for (const ChaosEvent& ev : plan.events) {
+    Time at = ev.at;
+    if (ev.start_jitter > 0) at += rng_.uniform(0, ev.start_jitter);
+    sched_.at(at, [this, ev] { inject(ev); });
+  }
+}
+
+void ChaosEngine::record(const ChaosEvent& ev, const std::string& detail) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "t=%lld %s %s",
+                static_cast<long long>(sched_.now()), to_string(ev.kind), detail.c_str());
+  log_.emplace_back(buf);
+  CMTOS_INFO("chaos", "%s", buf);
+}
+
+void ChaosEngine::inject(const ChaosEvent& ev) {
+  obs::Registry::global().counter("faults.injected", {{"kind", to_string(ev.kind)}}).add();
+  obs::Tracer::global().instant(to_string(ev.kind));
+  ++injected_;
+
+  switch (ev.kind) {
+    case FaultKind::kNodeCrash:
+      record(ev, "node=" + std::to_string(ev.node));
+      if (target_.crash_node) target_.crash_node(ev.node);
+      break;
+    case FaultKind::kNodeRestart:
+      record(ev, "node=" + std::to_string(ev.node));
+      if (target_.restart_node) target_.restart_node(ev.node);
+      break;
+    case FaultKind::kLinkDown: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b));
+      if (target_.set_link_up) target_.set_link_up(ev.a, ev.b, false);
+      if (ev.duration > 0) {
+        ChaosEvent healed = ev;
+        healed.kind = FaultKind::kLinkUp;
+        healed.duration = 0;
+        sched_.after(ev.duration, [this, healed] { inject(healed); });
+      }
+      break;
+    }
+    case FaultKind::kLinkUp:
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b));
+      if (target_.set_link_up) target_.set_link_up(ev.a, ev.b, true);
+      break;
+    case FaultKind::kLossStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " loss=" + std::to_string(ev.loss_rate));
+      if (!target_.set_link_loss) break;
+      const double prev = target_.set_link_loss(ev.a, ev.b, ev.loss_rate);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_loss(done.a, done.b, prev);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored loss=" + std::to_string(prev));
+        });
+      }
+      break;
+    }
+    case FaultKind::kJitterStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " jitter=" + std::to_string(ev.jitter));
+      if (!target_.set_link_jitter) break;
+      const Duration prev = target_.set_link_jitter(ev.a, ev.b, ev.jitter);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_jitter(done.a, done.b, prev);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored jitter=" + std::to_string(prev));
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace cmtos::sim

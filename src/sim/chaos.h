@@ -1,0 +1,120 @@
+// cmtos/sim/chaos.h
+//
+// Deterministic fault injection.  A ChaosPlan is a seeded list of timed
+// fault events — node crash/restart, link down/up (partition/heal),
+// transient loss and jitter storms — which a ChaosEngine schedules on the
+// simulation's Scheduler.  The engine never touches the network directly
+// (sim/ sits below net/): faults are applied through a ChaosTarget, a set
+// of callbacks the platform layer binds to the real topology.
+//
+// Replayability: the engine draws every stochastic choice (per-event start
+// jitter) from an Rng seeded by the plan, and records each applied fault in
+// an ordered textual log.  Running the same plan against the same world
+// twice yields byte-identical logs — the acceptance test for every chaos
+// scenario.  Each injection also emits a `faults.injected{kind=...}`
+// counter and a trace instant so soak runs can be validated from the obs
+// JSON snapshot alone.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace cmtos::sim {
+
+enum class FaultKind : std::uint8_t {
+  kNodeCrash = 0,
+  kNodeRestart = 1,
+  kLinkDown = 2,
+  kLinkUp = 3,
+  kLossStorm = 4,
+  kJitterStorm = 5,
+};
+
+const char* to_string(FaultKind k);
+
+/// One timed fault.  Which fields matter depends on `kind`:
+///   kNodeCrash / kNodeRestart : node
+///   kLinkDown                 : a, b; duration > 0 schedules the heal
+///   kLinkUp                   : a, b
+///   kLossStorm                : a, b, loss_rate, duration
+///   kJitterStorm              : a, b, jitter, duration
+struct ChaosEvent {
+  Time at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::uint32_t node = 0;
+  std::uint32_t a = 0, b = 0;
+  Duration duration = 0;
+  double loss_rate = 0.0;
+  Duration jitter = 0;
+  /// Uniform random offset in [0, start_jitter] added to `at`, drawn from
+  /// the plan-seeded Rng; lets a scenario decorrelate faults between seeds
+  /// while staying replayable for a fixed seed.
+  Duration start_jitter = 0;
+};
+
+/// A seeded fault schedule.  Builder methods append events and return the
+/// plan for chaining.
+struct ChaosPlan {
+  std::uint64_t seed = 1;
+  std::vector<ChaosEvent> events;
+
+  ChaosPlan& crash(Time at, std::uint32_t node);
+  ChaosPlan& restart(Time at, std::uint32_t node);
+  /// Cuts both directions of a<->b; heal_after > 0 re-raises the link
+  /// automatically that long after the cut.
+  ChaosPlan& partition(Time at, std::uint32_t a, std::uint32_t b, Duration heal_after = 0);
+  ChaosPlan& heal(Time at, std::uint32_t a, std::uint32_t b);
+  ChaosPlan& loss_storm(Time at, std::uint32_t a, std::uint32_t b, double loss_rate,
+                        Duration duration);
+  ChaosPlan& jitter_storm(Time at, std::uint32_t a, std::uint32_t b, Duration jitter,
+                          Duration duration);
+};
+
+/// The seam between the fault scheduler and the world it breaks.  The
+/// platform layer fills these in (Platform::chaos_target()); the storm
+/// setters return the previous value so the engine can restore it when the
+/// storm ends.
+struct ChaosTarget {
+  std::function<void(std::uint32_t node)> crash_node;
+  std::function<void(std::uint32_t node)> restart_node;
+  std::function<void(std::uint32_t a, std::uint32_t b, bool up)> set_link_up;
+  std::function<double(std::uint32_t a, std::uint32_t b, double loss)> set_link_loss;
+  std::function<Duration(std::uint32_t a, std::uint32_t b, Duration jitter)> set_link_jitter;
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(Scheduler& sched, ChaosTarget target)
+      : sched_(sched), target_(std::move(target)) {}
+
+  /// Schedules every event of the plan (relative times are absolute sim
+  /// times).  May be called once per engine.
+  void arm(const ChaosPlan& plan);
+
+  /// Ordered record of every fault applied so far; identical across runs
+  /// of the same plan against the same world.
+  const std::vector<std::string>& log() const { return log_; }
+
+  /// Faults applied so far (injections only, not storm restorations).
+  std::int64_t injected() const { return injected_; }
+
+ private:
+  void inject(const ChaosEvent& ev);
+  void record(const ChaosEvent& ev, const std::string& detail);
+
+  Scheduler& sched_;
+  ChaosTarget target_;
+  Rng rng_{1};
+  bool armed_ = false;
+  std::int64_t injected_ = 0;
+  std::vector<std::string> log_;
+};
+
+}  // namespace cmtos::sim

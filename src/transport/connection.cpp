@@ -84,6 +84,8 @@ Connection::~Connection() {
   rto_event_.cancel();
   feedback_event_.cancel();
   monitor_event_.cancel();
+  keepalive_event_.cancel();
+  liveness_event_.cancel();
 }
 
 net::NodeId Connection::local_node() const {
@@ -140,6 +142,11 @@ void Connection::open() {
     schedule_monitor();
     if (request_.service_class.profile == ProtocolProfile::kRateBasedCm) schedule_feedback();
   }
+  if (entity_.config().peer_dead_after > 0) {
+    last_peer_activity_ = sched_.now();
+    schedule_keepalive();
+    schedule_liveness_check();
+  }
 }
 
 void Connection::close() {
@@ -154,6 +161,8 @@ void Connection::close() {
   rto_event_.cancel();
   feedback_event_.cancel();
   monitor_event_.cancel();
+  keepalive_event_.cancel();
+  liveness_event_.cancel();
 }
 
 void Connection::apply_new_qos(const QosParams& agreed) {
@@ -667,6 +676,37 @@ void Connection::schedule_feedback() {
     send_feedback();
     give_up_on_holes();
     schedule_feedback();
+  });
+}
+
+// ====================================================================
+// Liveness (both roles)
+// ====================================================================
+
+void Connection::schedule_keepalive() {
+  // Timed by the local crystal like every other protocol timer (§3.6).
+  keepalive_event_ =
+      sched_.after(entity_.to_true(entity_.config().keepalive_interval), [this] {
+        if (state_ != VcState::kOpen) return;
+        KeepaliveTpdu ka;
+        ka.vc = id_;
+        entity_.send_tpdu(peer_node(), net::Proto::kTransportData, ka.encode());
+        schedule_keepalive();
+      });
+}
+
+void Connection::schedule_liveness_check() {
+  const Duration period =
+      std::max<Duration>(kMillisecond, entity_.config().peer_dead_after / 2);
+  liveness_event_ = sched_.after(entity_.to_true(period), [this] {
+    if (state_ != VcState::kOpen) return;
+    if (sched_.now() - last_peer_activity_ > entity_.config().peer_dead_after) {
+      // The entity destroys this Connection inside the call; nothing may
+      // touch *this afterwards.
+      entity_.on_peer_dead(id_);
+      return;
+    }
+    schedule_liveness_check();
   });
 }
 

@@ -174,6 +174,10 @@ class Connection {
   void on_nak(const NakTpdu& nak);
   void on_feedback(const FeedbackTpdu& fb);
 
+  /// Any data-plane TPDU for this VC proves the peer endpoint alive; the
+  /// entity calls this on every dispatch (liveness, tentpole 2).
+  void note_peer_activity() { last_peer_activity_ = sched_.now(); }
+
  private:
   /// The only writer of state_: checks the move against the legal-transition
   /// table (CMTOS_ASSERT "vc.transition") before committing it.
@@ -199,6 +203,10 @@ class Connection {
   void schedule_feedback();
   void schedule_monitor();
   void give_up_on_holes();
+
+  // --- liveness (both roles) ---
+  void schedule_keepalive();
+  void schedule_liveness_check();
 
   TransportEntity& entity_;
   sim::Scheduler& sched_;
@@ -254,6 +262,12 @@ class Connection {
   std::unique_ptr<QosMonitor> monitor_;
   std::function<void(const Osdu&)> on_osdu_arrival_;
   std::function<void(const Osdu&, Time)> on_osdu_delivered_;
+
+  // === liveness state (both roles; armed only when the entity's
+  // peer_dead_after config is nonzero) ===
+  Time last_peer_activity_ = 0;
+  sim::EventHandle keepalive_event_;
+  sim::EventHandle liveness_event_;
 
   // === observability ===
   // Cached global-registry instruments (labelled per VC + node + role);

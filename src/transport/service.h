@@ -80,6 +80,8 @@ enum class DisconnectReason : std::uint8_t {
   kRenegotiationFailed = 5, // T-Renegotiate rejected; the VC itself survives
   kProtocolError = 6,
   kNoSuchTsap = 7,
+  kPeerDead = 8,            // liveness timeout: the peer endpoint went silent
+  kEntityFailure = 9,       // the local transport entity itself crashed
 };
 
 std::string to_string(DisconnectReason r);

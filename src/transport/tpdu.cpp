@@ -246,6 +246,26 @@ std::optional<FeedbackTpdu> FeedbackTpdu::decode(std::span<const std::uint8_t> w
   }
 }
 
+std::vector<std::uint8_t> KeepaliveTpdu::encode() const {
+  std::vector<std::uint8_t> out;
+  ByteWriter w(out);
+  w.u8(wire_enum(TpduType::kKA));
+  w.u64(vc);
+  return out;
+}
+
+std::optional<KeepaliveTpdu> KeepaliveTpdu::decode(std::span<const std::uint8_t> wire) {
+  try {
+    ByteReader r(wire);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kKA) return std::nullopt;
+    KeepaliveTpdu t;
+    t.vc = r.u64();
+    return t;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
 std::vector<std::uint8_t> DatagramTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
@@ -297,6 +317,8 @@ std::string to_string(DisconnectReason r) {
     case DisconnectReason::kRenegotiationFailed: return "renegotiation-failed";
     case DisconnectReason::kProtocolError: return "protocol-error";
     case DisconnectReason::kNoSuchTsap: return "no-such-tsap";
+    case DisconnectReason::kPeerDead: return "peer-dead";
+    case DisconnectReason::kEntityFailure: return "entity-failure";
   }
   return "unknown";
 }

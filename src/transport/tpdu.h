@@ -38,6 +38,7 @@ enum class TpduType : std::uint8_t {
   kNAK = 18,  // selective retransmission request (rate profile, correction)
   kFB = 19,   // receiver rate feedback (rate profile)
   kDG = 20,   // best-effort datagram (T-Unitdata)
+  kKA = 21,   // keepalive (per-VC liveness probe on the internal control VC)
 };
 
 /// Connection-management TPDU.  One struct covers CR/CC/DR/DC/RCR/RCC/RDR/
@@ -123,6 +124,17 @@ struct FeedbackTpdu {
 
   std::vector<std::uint8_t> encode() const;
   static std::optional<FeedbackTpdu> decode(std::span<const std::uint8_t> wire);
+};
+
+/// Per-VC keepalive probe.  Each endpoint of an established VC emits one
+/// every keepalive interval on the data proto (control priority, riding the
+/// internal control VC's allowance); any data-plane TPDU for the VC counts
+/// as peer activity, so keepalives only matter on otherwise-idle paths.
+struct KeepaliveTpdu {
+  VcId vc = kInvalidVc;
+
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<KeepaliveTpdu> decode(std::span<const std::uint8_t> wire);
 };
 
 /// Best-effort datagram (T-Unitdata): connectionless, no recovery, lowest

@@ -11,7 +11,7 @@ constexpr std::int64_t kMaxWirePacket = 1400 + 64 + 32;
 }  // namespace
 
 TransportEntity::TransportEntity(net::Network& network, net::NodeId node)
-    : network_(network), node_(node) {
+    : network_(network), node_(node), rng_(0x7c3a9d5b11ull + node) {
   network_.node(node_).set_handler(net::Proto::kTransportControl,
                                    [this](net::Packet&& p) { on_control_packet(std::move(p)); });
   network_.node(node_).set_handler(net::Proto::kTransportData,
@@ -104,6 +104,7 @@ VcId TransportEntity::t_connect_request(const ConnectRequest& req) {
     PendingInitiated pend;
     pend.req = req;
     pend.remote = true;
+    pend.retries_left = config_.handshake_retries;
     pending_initiated_.emplace(vc, std::move(pend));
     send_tpdu(req.src.node, net::Proto::kTransportControl, t.encode());
     // Handshake TPDUs are retransmitted a few times before the connect is
@@ -113,10 +114,19 @@ VcId TransportEntity::t_connect_request(const ConnectRequest& req) {
   return vc;
 }
 
+Duration TransportEntity::handshake_delay() {
+  const Duration base = config_.handshake_retransmit;
+  if (config_.handshake_jitter <= 0) return base;
+  // Stretch only (never shrink): jitter must not tighten the overall
+  // budget, only decorrelate simultaneous retries.
+  const double stretch = 1.0 + rng_.uniform_real(0.0, config_.handshake_jitter);
+  return static_cast<Duration>(static_cast<double>(base) * stretch);
+}
+
 void TransportEntity::arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire) {
   auto it = pending_initiated_.find(vc);
   if (it == pending_initiated_.end()) return;
-  it->second.timeout = scheduler().after(connect_timeout_ / 4, [this, vc, wire] {
+  it->second.timeout = scheduler().after(handshake_delay(), [this, vc, wire] {
     auto it2 = pending_initiated_.find(vc);
     if (it2 == pending_initiated_.end()) return;
     if (it2->second.retries_left-- > 0) {
@@ -133,7 +143,7 @@ void TransportEntity::arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire) {
 void TransportEntity::arm_cr_timer(VcId vc) {
   auto it = pending_cc_.find(vc);
   if (it == pending_cc_.end()) return;
-  it->second.timeout = scheduler().after(connect_timeout_ / 4, [this, vc] {
+  it->second.timeout = scheduler().after(handshake_delay(), [this, vc] {
     auto it2 = pending_cc_.find(vc);
     if (it2 == pending_cc_.end()) return;
     if (it2->second.retries_left-- > 0) {
@@ -270,6 +280,7 @@ void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
   pend.offered = *offered;
   pend.reservation = resv;
   pend.reverse_reservation = reverse_resv;
+  pend.retries_left = config_.handshake_retries;
   pend.cr_wire = t.encode();
   pending_cc_.emplace(vc, std::move(pend));
   send_tpdu(req.dst.node, net::Proto::kTransportControl, t.encode());
@@ -500,6 +511,7 @@ void TransportEntity::t_disconnect_request(VcId vc) {
     scheduler().after(0, [this, vc, src_tsap] {
       deliver_disconnect(vc, src_tsap, DisconnectReason::kUserInitiated);
     });
+    if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kUserInitiated);
     return;
   }
   if (auto it = sinks_.find(vc); it != sinks_.end()) {
@@ -516,6 +528,7 @@ void TransportEntity::t_disconnect_request(VcId vc) {
     scheduler().after(0, [this, vc, dst_tsap] {
       deliver_disconnect(vc, dst_tsap, DisconnectReason::kUserInitiated);
     });
+    if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kUserInitiated);
     return;
   }
   CMTOS_WARN("transport", "T-Disconnect.request for unknown vc %llu",
@@ -559,6 +572,7 @@ void TransportEntity::handle_dr(const ControlTpdu& t) {
     dc.type = TpduType::kDC;
     dc.vc = t.vc;
     send_tpdu(peer, net::Proto::kTransportControl, dc.encode());
+    if (on_vc_closed_) on_vc_closed_(t.vc, reason);
   }
 }
 
@@ -571,6 +585,106 @@ void TransportEntity::handle_rdr(const ControlTpdu& t) {
   // attached to the addressed TSAP; per §4.1.1 the application may then
   // itself issue T-Disconnect.request to release the VC.
   deliver_disconnect(t.vc, t.src.tsap, DisconnectReason::kUserInitiated);
+}
+
+void TransportEntity::on_peer_dead(VcId vc) {
+  // Liveness teardown: the peer went silent past the configured threshold.
+  // Mirrors the handle_dr teardown (resources freed before the user hears
+  // about it) but with kPeerDead, and still sends a best-effort DR so a
+  // peer that was merely partitioned does not strand its half forever.
+  obs::Registry::global().counter("transport.peer_dead",
+                                  {{"node", std::to_string(node_)}}).add();
+  net::NodeId peer = net::kInvalidNode;
+  net::Tsap tsap = 0;
+  if (auto it = sources_.find(vc); it != sources_.end()) {
+    auto conn = std::move(it->second);
+    sources_.erase(it);
+    peer = conn->peer_node();
+    tsap = conn->request().src.tsap;
+    if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
+    if (auto rit = reverse_reservations_.find(vc); rit != reverse_reservations_.end()) {
+      network_.release(rit->second);
+      reverse_reservations_.erase(rit);
+    }
+    conn->close();
+  } else if (auto it2 = sinks_.find(vc); it2 != sinks_.end()) {
+    auto conn = std::move(it2->second);
+    sinks_.erase(it2);
+    peer = conn->peer_node();
+    tsap = conn->request().dst.tsap;
+    conn->close();
+  } else {
+    return;
+  }
+  CMTOS_WARN("transport", "vc %llu peer (node %u) declared dead",
+             static_cast<unsigned long long>(vc), peer);
+  ControlTpdu dr;
+  dr.type = TpduType::kDR;
+  dr.vc = vc;
+  dr.reason = static_cast<std::uint8_t>(DisconnectReason::kPeerDead);
+  send_tpdu(peer, net::Proto::kTransportControl, dr.encode());
+  deliver_disconnect(vc, tsap, DisconnectReason::kPeerDead);
+  if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kPeerDead);
+}
+
+// ====================================================================
+// Fault model: crash / restart
+// ====================================================================
+
+void TransportEntity::crash() {
+  down_ = true;
+  // Open VCs die in place: no DR handshake leaves this node (the node is
+  // off), but network-held reservations are returned to the substrate the
+  // way ST-II stream cleanup would reclaim them.  Local users *are*
+  // notified (kEntityFailure): in the simulation, device objects outlive
+  // the stack and must drop their Connection pointers before the rings
+  // under them are destroyed.  The on_vc_closed_ observer is NOT invoked —
+  // the co-located LLO dies in the same crash and rebuilds from its own
+  // crash(); a dead node reports nothing.
+  std::vector<std::pair<VcId, net::Tsap>> lost;
+  for (auto& [vc, conn] : sources_) {
+    lost.emplace_back(vc, conn->request().src.tsap);
+    if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
+    conn->close();
+  }
+  sources_.clear();
+  for (auto& [vc, rid] : reverse_reservations_) network_.release(rid);
+  reverse_reservations_.clear();
+  for (auto& [vc, conn] : sinks_) {
+    lost.emplace_back(vc, conn->request().dst.tsap);
+    conn->close();
+  }
+  sinks_.clear();
+
+  for (auto& [vc, pend] : pending_initiated_) {
+    pend.timeout.cancel();
+    lost.emplace_back(vc, pend.req.initiator.tsap);
+  }
+  pending_initiated_.clear();
+  pending_source_accept_.clear();
+  for (auto& [vc, pend] : pending_cc_) {
+    pend.timeout.cancel();
+    if (pend.reservation != net::kNoReservation) network_.release(pend.reservation);
+    if (pend.reverse_reservation != net::kNoReservation)
+      network_.release(pend.reverse_reservation);
+  }
+  pending_cc_.clear();
+  pending_dest_accept_.clear();
+  pending_reneg_.clear();
+  pending_reneg_peer_.clear();
+  peer_tentative_.clear();
+  // users_ and next_vc_ survive: TSAP bindings belong to the applications
+  // (which outlive the stack), and VC ids must stay unique across
+  // incarnations of this node.  Deliver last, against emptied maps, so a
+  // re-entrant user call sees consistent post-crash state.
+  for (const auto& [vc, tsap] : lost)
+    deliver_disconnect(vc, tsap, DisconnectReason::kEntityFailure);
+  CMTOS_WARN("transport", "entity at node %u crashed", node_);
+}
+
+void TransportEntity::restart() {
+  down_ = false;
+  CMTOS_INFO("transport", "entity at node %u restarted", node_);
 }
 
 // ====================================================================
@@ -844,6 +958,7 @@ void TransportEntity::handle_qi(const ControlTpdu& t) {
 // ====================================================================
 
 void TransportEntity::on_control_packet(net::Packet&& pkt) {
+  if (down_) return;  // crashed entity: traffic falls on the floor
   if (pkt.corrupted) return;  // control TPDUs ride reserved control capacity
   auto t = ControlTpdu::decode(pkt.payload);
   if (!t) {
@@ -868,12 +983,24 @@ void TransportEntity::on_control_packet(net::Packet&& pkt) {
 }
 
 void TransportEntity::on_data_packet(net::Packet&& pkt) {
+  if (down_) return;
   const auto type = peek_type(pkt.payload);
   const auto vc = peek_vc(pkt.payload);
   if (!type || !vc) return;
   switch (*type) {
     case TpduType::kDT: {
-      if (Connection* c = sink(*vc)) c->on_data(pkt);
+      if (Connection* c = sink(*vc)) {
+        c->note_peer_activity();
+        c->on_data(pkt);
+      }
+      break;
+    }
+    case TpduType::kKA: {
+      if (pkt.corrupted) return;
+      // A keepalive proves the peer endpoint is alive whichever role it
+      // has locally (loopback VCs have both).
+      if (Connection* c = source(*vc)) c->note_peer_activity();
+      if (Connection* c = sink(*vc)) c->note_peer_activity();
       break;
     }
     case TpduType::kDG: {
@@ -887,6 +1014,7 @@ void TransportEntity::on_data_packet(net::Packet&& pkt) {
     case TpduType::kAK: {
       if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
+        c->note_peer_activity();
         if (auto ack = AckTpdu::decode(pkt.payload)) c->on_ack(*ack);
       }
       break;
@@ -894,6 +1022,7 @@ void TransportEntity::on_data_packet(net::Packet&& pkt) {
     case TpduType::kNAK: {
       if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
+        c->note_peer_activity();
         if (auto nak = NakTpdu::decode(pkt.payload)) c->on_nak(*nak);
       }
       break;
@@ -901,6 +1030,7 @@ void TransportEntity::on_data_packet(net::Packet&& pkt) {
     case TpduType::kFB: {
       if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
+        c->note_peer_activity();
         if (auto fb = FeedbackTpdu::decode(pkt.payload)) c->on_feedback(*fb);
       }
       break;

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -21,8 +22,31 @@
 #include "transport/connection.h"
 #include "transport/service.h"
 #include "transport/tpdu.h"
+#include "util/rng.h"
 
 namespace cmtos::transport {
+
+/// Control-path timing policy.  Previously hardcoded constants; a config
+/// struct so tests can tighten them and deployments can match their RTTs.
+struct TransportConfig {
+  /// Overall connect-handshake budget before kUnreachable is reported.
+  Duration connect_timeout = 2 * kSecond;
+  /// Interval between handshake (RCR/CR) retransmissions.
+  Duration handshake_retransmit = 500 * kMillisecond;
+  /// Handshake retransmissions before giving up.
+  int handshake_retries = 3;
+  /// Uniform random extension of each retransmission interval, as a
+  /// fraction of it: delay = retransmit * (1 + U[0, jitter]).  Desynchronises
+  /// the retry storms that otherwise form when many connects race a healed
+  /// partition.
+  double handshake_jitter = 0.2;
+  /// Cadence of per-VC keepalive probes on established connections.
+  Duration keepalive_interval = 250 * kMillisecond;
+  /// Silence threshold after which a peer endpoint is declared dead and the
+  /// VC is torn down with kPeerDead.  0 disables liveness detection (and
+  /// keepalive emission) entirely.
+  Duration peer_dead_after = 0;
+};
 
 class TransportEntity {
  public:
@@ -116,8 +140,45 @@ class TransportEntity {
                  net::Priority priority = net::Priority::kControl);
   void on_qos_violation(Connection& conn, const QosReport& report);
 
-  /// Connect handshake timeout (kUnreachable failure).
-  void set_connect_timeout(Duration d) { connect_timeout_ = d; }
+  /// Liveness timeout fired by a Connection: the peer endpoint of `vc`
+  /// went silent past config().peer_dead_after.  Tears the local endpoint
+  /// down, frees its resources and delivers kPeerDead.
+  void on_peer_dead(VcId vc);
+
+  // ------------------------------------------------------------------
+  // Timing policy
+  // ------------------------------------------------------------------
+  const TransportConfig& config() const { return config_; }
+  void set_config(const TransportConfig& c) { config_ = c; }
+
+  /// Connect handshake timeout (kUnreachable failure).  Convenience that
+  /// keeps the historical interval relation (retransmit every quarter).
+  void set_connect_timeout(Duration d) {
+    config_.connect_timeout = d;
+    config_.handshake_retransmit = d / 4;
+  }
+
+  // ------------------------------------------------------------------
+  // Fault model
+  // ------------------------------------------------------------------
+
+  /// Node crash: drops every per-node transport state — open VCs (closed
+  /// without DR handshakes; reservations released), pending connects and
+  /// renegotiations (timers cancelled) — and ignores all traffic until
+  /// restart().  TSAP bindings and the VC-id counter survive: applications
+  /// outlive the protocol stack, and VC ids must never collide across
+  /// incarnations.
+  void crash();
+  void restart();
+  bool down() const { return down_; }
+
+  /// Observer invoked whenever an established VC endpoint is torn down
+  /// (local release, peer release, or liveness timeout) — the LLO uses it
+  /// to detach dead VCs from orchestration groups.  Not invoked on crash():
+  /// the co-located observer died with the node.
+  void set_on_vc_closed(std::function<void(VcId, DisconnectReason)> fn) {
+    on_vc_closed_ = std::move(fn);
+  }
 
   /// Bandwidth set aside per VC for its internal control channel (the
   /// [Shepherd,91] "special internal control VC associated with each
@@ -194,12 +255,18 @@ class TransportEntity {
   /// no other reliability; a lost CR must not strand the connect).
   void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
   void arm_cr_timer(VcId vc);
+  /// Jittered handshake retransmission delay (see TransportConfig).
+  Duration handshake_delay();
 
   VcId alloc_vc();
 
   net::Network& network_;
   net::NodeId node_;
-  Duration connect_timeout_ = 2 * kSecond;
+  TransportConfig config_;
+  bool down_ = false;
+  /// Deterministic per-entity stream for handshake retransmission jitter.
+  Rng rng_;
+  std::function<void(VcId, DisconnectReason)> on_vc_closed_;
   std::uint32_t next_vc_ = 1;
 
   std::map<net::Tsap, TransportUser*> users_;

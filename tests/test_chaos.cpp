@@ -1,0 +1,456 @@
+// Chaos tests: deterministic fault injection (sim/chaos + the platform
+// fault model), transport liveness under node crash, RPC retry across
+// transient partitions, tightened control-path timeouts, Gilbert–Elliott
+// burst loss under a full orchestrated session, and orchestrator failover
+// (orch/failover) — the acceptance scenario of the robustness milestone.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "fixtures.h"
+#include "orch/failover.h"
+#include "sim/chaos.h"
+
+namespace cmtos::test {
+namespace {
+
+using media::RenderConfig;
+using media::RenderingSink;
+using media::StoredMediaServer;
+using media::TrackConfig;
+using orch::OrchPolicy;
+using platform::RpcOutcome;
+using transport::DisconnectReason;
+using transport::TransportConfig;
+
+// ====================================================================
+// Chaos engine: replayability
+// ====================================================================
+
+/// Runs a multi-fault plan (crash, loss storm, partition + auto-heal,
+/// jitter storm, restart — every event with start jitter, so the plan seed
+/// matters) against a fresh world and returns the fault log.
+std::vector<std::string> run_soak(std::uint64_t plan_seed) {
+  StarPlatform star(3, lan_link(), 7);
+  const net::NodeId hub = star.hub->id;
+  const net::NodeId l0 = star.leaves[0]->id;
+  const net::NodeId l1 = star.leaves[1]->id;
+  const net::NodeId l2 = star.leaves[2]->id;
+
+  sim::ChaosPlan plan;
+  plan.seed = plan_seed;
+  plan.crash(100 * kMillisecond, l0)
+      .loss_storm(150 * kMillisecond, hub, l1, 0.5, 200 * kMillisecond)
+      .partition(200 * kMillisecond, hub, l2, 300 * kMillisecond)
+      .jitter_storm(250 * kMillisecond, hub, l1, 2 * kMillisecond, 100 * kMillisecond)
+      .restart(600 * kMillisecond, l0);
+  for (auto& e : plan.events) e.start_jitter = 50 * kMillisecond;
+
+  sim::ChaosEngine engine(star.platform.scheduler(), star.platform.chaos_target());
+  engine.arm(plan);
+  star.platform.run_until(2 * kSecond);
+  // crash + loss storm + cut + auto-heal + jitter storm + restart.
+  EXPECT_GE(engine.injected(), 6);
+  return engine.log();
+}
+
+TEST(ChaosEngine, SameSeedReproducesIdenticalFaultTrace) {
+  const auto log1 = run_soak(11);
+  const auto log2 = run_soak(11);
+  ASSERT_FALSE(log1.empty());
+  EXPECT_EQ(log1, log2);
+}
+
+TEST(ChaosEngine, DifferentSeedMovesJitteredStartTimes) {
+  EXPECT_NE(run_soak(11), run_soak(12));
+}
+
+// ====================================================================
+// Transport liveness
+// ====================================================================
+
+TEST(TransportLiveness, CrashedPeerTearsDownVcWithPeerDead) {
+  PairPlatform w;
+  TransportConfig tc;
+  tc.keepalive_interval = 100 * kMillisecond;
+  tc.peer_dead_after = 400 * kMillisecond;
+  w.a->entity.set_config(tc);
+  w.b->entity.set_config(tc);
+
+  ScriptedUser src(w.a->entity), dst(w.b->entity);
+  w.a->entity.bind(10, &src);
+  w.b->entity.bind(20, &dst);
+  w.a->entity.t_connect_request(basic_request({w.a->id, 10}, {w.b->id, 20}));
+  w.platform.run_until(500 * kMillisecond);
+  ASSERT_EQ(src.confirms.size(), 1u);
+  EXPECT_GT(w.platform.network().reserved_on(w.a->id, w.b->id), 0);
+
+  w.platform.crash_node(w.b->id);
+  w.platform.run_until(2 * kSecond);
+
+  // The crashed side's user heard its own stack die ...
+  ASSERT_EQ(dst.disconnects.size(), 1u);
+  EXPECT_EQ(dst.disconnects[0].second, DisconnectReason::kEntityFailure);
+  // ... and the surviving endpoint noticed the silence, freed the VC and
+  // returned the reservation.
+  ASSERT_EQ(src.disconnects.size(), 1u);
+  EXPECT_EQ(src.disconnects[0].second, DisconnectReason::kPeerDead);
+  EXPECT_EQ(w.platform.network().reserved_on(w.a->id, w.b->id), 0);
+}
+
+TEST(TransportLiveness, DisabledByDefault) {
+  PairPlatform w;
+  ScriptedUser src(w.a->entity), dst(w.b->entity);
+  w.a->entity.bind(10, &src);
+  w.b->entity.bind(20, &dst);
+  w.a->entity.t_connect_request(basic_request({w.a->id, 10}, {w.b->id, 20}));
+  w.platform.run_until(500 * kMillisecond);
+  ASSERT_EQ(src.confirms.size(), 1u);
+
+  w.platform.crash_node(w.b->id);
+  w.platform.run_until(5 * kSecond);
+  // peer_dead_after = 0: no keepalives, no liveness verdict — the survivor
+  // never learns (the historical behaviour, unchanged by default).
+  EXPECT_TRUE(src.disconnects.empty());
+}
+
+// ====================================================================
+// Tightened control-path timeouts (the knobs were hardcoded constants)
+// ====================================================================
+
+TEST(ControlTimeouts, TightenedConnectTimeoutFailsFast) {
+  PairPlatform w;
+  ScriptedUser src(w.a->entity);
+  w.a->entity.bind(10, &src);
+  w.a->entity.set_connect_timeout(250 * kMillisecond);
+
+  w.platform.crash_node(w.b->id);
+  w.a->entity.t_connect_request(basic_request({w.a->id, 10}, {w.b->id, 20}));
+  w.platform.run_until(200 * kMillisecond);
+  EXPECT_TRUE(src.disconnects.empty());  // still inside the budget
+  w.platform.run_until(600 * kMillisecond);
+  ASSERT_EQ(src.disconnects.size(), 1u);  // default budget would be 2 s
+  EXPECT_EQ(src.disconnects[0].second, DisconnectReason::kUnreachable);
+}
+
+TEST(ControlTimeouts, TightenedOrchOpTimeoutFailsFast) {
+  StarPlatform star(2, lan_link(), 5);
+  auto* a = star.leaves[0];
+  auto* b = star.leaves[1];
+  star.platform.crash_node(b->id);
+  a->llo.set_op_timeout(300 * kMillisecond);
+
+  std::optional<bool> ok;
+  orch::OrchReason reason = orch::OrchReason::kOk;
+  a->llo.orch_request(1, std::vector<orch::OrchVcInfo>{{7, a->id, b->id}},
+                      [&](bool o, orch::OrchReason r) {
+                        ok = o;
+                        reason = r;
+                      });
+  star.platform.run_until(250 * kMillisecond);
+  EXPECT_FALSE(ok.has_value());  // still collecting acks
+  star.platform.run_until(kSecond);
+  ASSERT_TRUE(ok.has_value());  // default budget would be 5 s
+  EXPECT_FALSE(*ok);
+  EXPECT_EQ(reason, orch::OrchReason::kTimeout);
+}
+
+TEST(HandshakeJitter, StretchesRetransmissionSchedule) {
+  // Identical worlds and seeds, differing only in the jitter knob: the
+  // stretch-only jitter must lower the retransmission count over a fixed
+  // horizon.  Deterministic because the simulation is.
+  auto handshake_packets = [](double jitter) {
+    PairPlatform w;
+    TransportConfig tc;
+    tc.connect_timeout = 10 * kSecond;
+    tc.handshake_retransmit = 100 * kMillisecond;
+    tc.handshake_retries = 1000;
+    tc.handshake_jitter = jitter;
+    w.a->entity.set_config(tc);
+    ScriptedUser src(w.a->entity);
+    w.a->entity.bind(10, &src);
+    w.platform.crash_node(w.b->id);
+    w.a->entity.t_connect_request(basic_request({w.a->id, 10}, {w.b->id, 20}));
+    w.platform.run_until(2 * kSecond);
+    return w.platform.network().link(w.a->id, w.b->id)->stats().packets_sent;
+  };
+  const auto without = handshake_packets(0.0);
+  const auto with = handshake_packets(1.0);
+  EXPECT_GT(with, 0);
+  EXPECT_GT(without, with);
+}
+
+// ====================================================================
+// RPC retry across partitions
+// ====================================================================
+
+platform::RpcRetryPolicy retry_policy(int attempts) {
+  platform::RpcRetryPolicy pol;
+  pol.max_attempts = attempts;
+  pol.base = 100 * kMillisecond;
+  return pol;
+}
+
+TEST(RpcRetry, TransientPartitionHealsTransparently) {
+  PairPlatform w;
+  w.b->rpc.register_op("echo", "ping", [](std::span<const std::uint8_t> in) {
+    return std::optional<std::vector<std::uint8_t>>(
+        std::vector<std::uint8_t>(in.begin(), in.end()));
+  });
+  w.a->rpc.set_retry_policy(retry_policy(5));
+
+  w.platform.network().set_link_up(w.a->id, w.b->id, false);
+  w.platform.scheduler().after(500 * kMillisecond, [&] {
+    w.platform.network().set_link_up(w.a->id, w.b->id, true);
+  });
+
+  std::optional<RpcOutcome> out;
+  w.a->rpc.invoke(w.b->id, "echo", "ping", std::vector<std::uint8_t>{1, 2, 3},
+                  150 * kMillisecond,
+                  [&](RpcOutcome o, std::span<const std::uint8_t>) { out = o; });
+  w.platform.run_until(5 * kSecond);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, RpcOutcome::kOk);
+}
+
+TEST(RpcRetry, HardPartitionStillSurfacesTimeout) {
+  PairPlatform w;
+  w.b->rpc.register_op("echo", "ping", [](std::span<const std::uint8_t>) {
+    return std::optional<std::vector<std::uint8_t>>(std::vector<std::uint8_t>{});
+  });
+  w.a->rpc.set_retry_policy(retry_policy(4));
+  w.platform.network().set_link_up(w.a->id, w.b->id, false);  // never heals
+
+  std::optional<RpcOutcome> out;
+  w.a->rpc.invoke(w.b->id, "echo", "ping", {}, 150 * kMillisecond,
+                  [&](RpcOutcome o, std::span<const std::uint8_t>) { out = o; });
+  w.platform.run_until(10 * kSecond);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, RpcOutcome::kTimeout);
+}
+
+// ====================================================================
+// Orchestrator failover
+// ====================================================================
+
+/// hub + four leaves; three orchestrated streams laid out so that the
+/// elected orchestrating node (wsC: touches two VCs, both as sink) is NOT
+/// an endpoint of every VC — s1 survives its death:
+///
+///   s1: srv1 -> wsB      (the survivor)
+///   s2: srv1 -> wsC
+///   s3: srv2 -> wsC
+struct FailoverWorld {
+  explicit FailoverWorld(orch::FailoverConfig fc = {200 * kMillisecond, kSecond})
+      : star(4, lan_link(), 20260805) {
+    srv1 = star.leaves[0];
+    wsB = star.leaves[1];
+    wsC = star.leaves[2];
+    srv2 = star.leaves[3];
+    p = &star.platform;
+
+    TransportConfig tc;
+    tc.keepalive_interval = 200 * kMillisecond;
+    tc.peer_dead_after = 800 * kMillisecond;
+    for (auto* h : {star.hub, srv1, wsB, wsC, srv2}) h->entity.set_config(tc);
+
+    platform::VideoQos vq;
+    vq.frames_per_second = 25;
+
+    server1 = std::make_unique<StoredMediaServer>(*p, *srv1, "srv1");
+    TrackConfig t1;
+    t1.track_id = 1;
+    t1.auto_start = false;
+    t1.vbr.base_bytes = vq.frame_bytes();
+    t1.vbr.gop = 0;
+    t1.vbr.wobble = 0;
+    TrackConfig t2 = t1;
+    t2.track_id = 2;
+    src1 = server1->add_track(100, t1);
+    src2 = server1->add_track(101, t2);
+    server2 = std::make_unique<StoredMediaServer>(*p, *srv2, "srv2");
+    TrackConfig t3 = t1;
+    t3.track_id = 3;
+    src3 = server2->add_track(102, t3);
+
+    RenderConfig r1;
+    r1.expect_track = 1;
+    sink1 = std::make_unique<RenderingSink>(*p, *wsB, 200, r1);
+    RenderConfig r2;
+    r2.expect_track = 2;
+    sink2 = std::make_unique<RenderingSink>(*p, *wsC, 201, r2);
+    RenderConfig r3;
+    r3.expect_track = 3;
+    sink3 = std::make_unique<RenderingSink>(*p, *wsC, 202, r3);
+
+    s1 = std::make_unique<platform::Stream>(*p, *srv1, "s1");
+    s2 = std::make_unique<platform::Stream>(*p, *srv1, "s2");
+    s3 = std::make_unique<platform::Stream>(*p, *srv2, "s3");
+    int connected = 0;
+    auto on_conn = [&](bool ok, auto) { connected += ok; };
+    s1->set_buffer_osdus(8);
+    s2->set_buffer_osdus(8);
+    s3->set_buffer_osdus(8);
+    s1->connect(src1, {wsB->id, 200}, vq, {}, on_conn);
+    s2->connect(src2, {wsC->id, 201}, vq, {}, on_conn);
+    s3->connect(src3, {wsC->id, 202}, vq, {}, on_conn);
+    p->run_until(500 * kMillisecond);
+    EXPECT_EQ(connected, 3);
+
+    OrchPolicy policy;
+    policy.interval = 100 * kMillisecond;
+    policy.allow_no_common_node = true;
+    bool established = false;
+    auto session = p->orchestrator().orchestrate(
+        {s1->orch_spec(2), s2->orch_spec(2), s3->orch_spec(2)}, policy,
+        [&](bool ok, orch::OrchReason) { established = ok; });
+    EXPECT_NE(session, nullptr);
+    if (session == nullptr) return;
+    EXPECT_EQ(session->orchestrating_node(), wsC->id);
+    p->run_until(kSecond);
+    EXPECT_TRUE(established);
+
+    supervisor = std::make_unique<orch::FailoverSupervisor>(
+        p->scheduler(), p->orchestrator(),
+        [this](net::NodeId n) { return &p->host(n).llo; },
+        [this](net::NodeId n) { return p->node_alive(n); }, fc);
+    supervisor->watch(std::move(session));
+
+    bool primed = false, started = false;
+    supervisor->session()->prime(false, [&](bool ok, auto) { primed = ok; });
+    p->run_until(2500 * kMillisecond);
+    EXPECT_TRUE(primed);
+    supervisor->session()->start([&](bool ok, auto) { started = ok; });
+    p->run_until(3 * kSecond);
+    EXPECT_TRUE(started);
+  }
+
+  std::int64_t surviving_intervals() {
+    const auto& st = supervisor->session()->agent().status();
+    auto it = st.find(s1->vc());
+    return it == st.end() ? -1 : it->second.intervals;
+  }
+
+  StarPlatform star;
+  platform::Platform* p = nullptr;
+  platform::Host* srv1 = nullptr;
+  platform::Host* wsB = nullptr;
+  platform::Host* wsC = nullptr;
+  platform::Host* srv2 = nullptr;
+  std::unique_ptr<StoredMediaServer> server1, server2;
+  std::unique_ptr<RenderingSink> sink1, sink2, sink3;
+  std::unique_ptr<platform::Stream> s1, s2, s3;
+  std::unique_ptr<orch::FailoverSupervisor> supervisor;
+  net::NetAddress src1, src2, src3;
+};
+
+TEST(Failover, OrchestratorDeathReElectsAndResumesSurvivors) {
+  FailoverWorld w;
+  w.p->run_until(5 * kSecond);
+  const auto frames_before = w.sink1->stats().frames_rendered;
+  EXPECT_GT(frames_before, 0);
+
+  net::NodeId old_node = net::kInvalidNode, new_node = net::kInvalidNode;
+  w.supervisor->set_on_failover([&](net::NodeId o, net::NodeId n) {
+    old_node = o;
+    new_node = n;
+  });
+
+  // Kill the orchestrating node mid-regulation, through the chaos engine so
+  // the fault is logged and counted like any soak scenario.
+  sim::ChaosEngine engine(w.p->scheduler(), w.p->chaos_target());
+  sim::ChaosPlan plan;
+  plan.crash(5 * kSecond + kMillisecond, w.wsC->id);
+  engine.arm(plan);
+  w.p->run_until(8 * kSecond);
+
+  EXPECT_EQ(engine.injected(), 1);
+  EXPECT_EQ(w.supervisor->failovers(), 1);
+  EXPECT_FALSE(w.supervisor->orphaned());
+  EXPECT_EQ(old_node, w.wsC->id);
+  EXPECT_EQ(new_node, w.wsB->id);  // survivor's sink wins the re-election
+  ASSERT_NE(w.supervisor->session(), nullptr);
+  EXPECT_EQ(w.supervisor->session()->orchestrating_node(), w.wsB->id);
+
+  // Only the surviving stream was rebuilt, and it is being re-regulated.
+  auto& agent = w.supervisor->session()->agent();
+  ASSERT_EQ(agent.streams().size(), 1u);
+  EXPECT_EQ(agent.streams()[0].vc.vc, w.s1->vc());
+  const auto intervals_mid = w.surviving_intervals();
+  EXPECT_GT(intervals_mid, 0);
+
+  // The stalled application heard Orch.Delayed at the surviving sink.
+  EXPECT_GT(w.sink1->stats().delayed_indications, 0);
+
+  // Playback continues across the outage and regulation keeps ticking.
+  w.p->run_until(10 * kSecond);
+  EXPECT_GT(w.sink1->stats().frames_rendered, frames_before);
+  EXPECT_GT(w.surviving_intervals(), intervals_mid);
+}
+
+TEST(Failover, PartitionedOrchestratorDetectedByMissedReports) {
+  // The node stays up (the liveness oracle keeps saying "alive"), but the
+  // partition starves the agent of regulate reports — the protocol-level
+  // heartbeat — which must trigger the failover on its own.  A longer
+  // agent_dead_after lets the transport-liveness layer prune the dead VCs
+  // from the group first, so the re-election sees only the survivor.
+  FailoverWorld w({200 * kMillisecond, 2 * kSecond});
+  w.p->run_until(5 * kSecond);
+  w.p->network().set_link_up(w.star.hub->id, w.wsC->id, false);
+  w.p->run_until(12 * kSecond);
+
+  EXPECT_EQ(w.supervisor->failovers(), 1);
+  EXPECT_FALSE(w.supervisor->orphaned());
+  ASSERT_NE(w.supervisor->session(), nullptr);
+  EXPECT_EQ(w.supervisor->session()->orchestrating_node(), w.wsB->id);
+  EXPECT_GT(w.surviving_intervals(), 0);
+}
+
+TEST(Failover, OrphansWhenNoStreamSurvives) {
+  FailoverWorld w;
+  w.p->run_until(5 * kSecond);
+
+  net::NodeId new_node = w.wsB->id;  // sentinel: must be overwritten
+  w.supervisor->set_on_failover(
+      [&](net::NodeId, net::NodeId n) { new_node = n; });
+
+  // srv1 + wsC dead kills an endpoint of every stream: nothing survives.
+  w.p->crash_node(w.wsC->id);
+  w.p->crash_node(w.srv1->id);
+  w.p->run_until(8 * kSecond);
+
+  EXPECT_EQ(w.supervisor->failovers(), 0);
+  EXPECT_TRUE(w.supervisor->orphaned());
+  EXPECT_EQ(new_node, net::kInvalidNode);
+}
+
+// ====================================================================
+// Gilbert–Elliott burst loss under a full orchestrated session
+// ====================================================================
+
+TEST(BurstLoss, OrchestratedSessionSurvivesGilbertElliottBursts) {
+  FailoverWorld w;
+  w.p->run_until(5 * kSecond);
+  const auto frames_before = w.sink2->stats().frames_rendered;
+  const auto intervals_before = w.surviving_intervals();
+
+  // Switch the inbound path to the orchestrating node to a bursty
+  // Gilbert–Elliott channel: ~7% stationary loss arriving in clumps
+  // (mean bad-state run of 4 packets at 80% loss).
+  net::Link* lossy = w.p->network().link(w.star.hub->id, w.wsC->id);
+  ASSERT_NE(lossy, nullptr);
+  lossy->set_burst_loss(0.02, 0.25, 0.8);
+  w.p->run_until(15 * kSecond);
+
+  EXPECT_GT(lossy->stats().dropped_loss, 0);
+  // The session rides out the bursts: no failover, no orphaning, delivery
+  // and regulation both keep advancing.
+  EXPECT_EQ(w.supervisor->failovers(), 0);
+  EXPECT_FALSE(w.supervisor->orphaned());
+  EXPECT_GT(w.sink2->stats().frames_rendered, frames_before);
+  EXPECT_GT(w.surviving_intervals(), intervals_before + 20);
+}
+
+}  // namespace
+}  // namespace cmtos::test

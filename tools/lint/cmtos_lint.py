@@ -28,6 +28,12 @@ Rules
   banned-function      assert() in src/ (use CMTOS_ASSERT/CMTOS_DCHECK so release
                        builds count violations instead of compiling the check
                        out), plus sprintf/strcpy/strcat/gets.
+  callback-liveness    a scheduler callback (.after()/.at()) that captures a raw
+                       node/connection-ish pointer (conn/link/node/host/peer) may
+                       fire after fault injection has torn the object down; the
+                       lambda body must re-validate liveness (null check, alive
+                       oracle, map lookup) before dereferencing.  Prefer
+                       capturing `this` + an id and resolving at fire time.
 
 Suppressing
 -----------
@@ -67,6 +73,15 @@ STATE_CHECK_RE = re.compile(r"state_")
 
 # include-hygiene
 INCLUDE_RE = re.compile(r'#\s*include\s*[<"]([^">]+)[">]')
+
+# callback-liveness: a lambda handed to the scheduler whose capture list
+# names a pointer-ish local.  The capture-list requirement keeps map
+# .at(key) calls from matching.
+SCHED_LAMBDA_RE = re.compile(r"\.\s*(?:after|at)\s*\(.*?\[([^\]]*)\]")
+PTRISH_CAPTURE_RE = re.compile(
+    r"(?:^|[,\s&=])(?:conn(?:ection)?|link|node|host|peer)(?:_?ptr)?\s*(?:$|[,=])")
+LIVENESS_HINT_RE = re.compile(
+    r"nullptr|alive|down\s*\(|expired|find\s*\(|count\s*\(|contains\s*\(|node_up|is_up")
 
 BANNED_CALLS = {
     # call-site regex -> (rule applies to src/ only?, message)
@@ -111,6 +126,27 @@ def strip_strings_and_comments(line: str) -> str:
     line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
     line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
     return line.split("//", 1)[0]
+
+
+def lambda_body(lines: list[str], idx: int, col: int, max_lines: int = 8) -> str:
+    """Text of the lambda body starting at lines[idx][col:], up to the brace
+    that closes it (or max_lines lines, for oversized bodies)."""
+    depth = 0
+    started = False
+    out: list[str] = []
+    for j in range(idx, min(idx + max_lines, len(lines))):
+        for ch in lines[j][col:] if j == idx else lines[j]:
+            if ch == "{":
+                depth += 1
+                started = True
+            elif ch == "}":
+                depth -= 1
+                if started and depth == 0:
+                    return "".join(out)
+            if started:
+                out.append(ch)
+        out.append("\n")
+    return "".join(out)
 
 
 def check_file(path: Path) -> list[Finding]:
@@ -158,6 +194,17 @@ def check_file(path: Path) -> list[Finding]:
             if "banned-function" not in allow and pat.search(line):
                 findings.append(Finding(path, idx + 1, "banned-function", msg))
 
+        if "callback-liveness" not in allow:
+            sm = SCHED_LAMBDA_RE.search(line)
+            if sm and PTRISH_CAPTURE_RE.search(sm.group(1)):
+                body = lambda_body(lines, idx, sm.end())
+                if not LIVENESS_HINT_RE.search(body):
+                    findings.append(
+                        Finding(path, idx + 1, "callback-liveness",
+                                "scheduler callback captures a raw node/connection "
+                                "pointer without a liveness guard; re-validate (or "
+                                "capture this + an id and resolve at fire time)"))
+
         hm = HANDLER_DEF_RE.search(line)
         if hm:
             handler_spans.append((idx, hm.group(1)))
@@ -198,6 +245,8 @@ void f() {
   assert(1 == 1);
   mu.unlock();  // cmtos-lint: allow(naked-mutex)
   const auto n = static_cast<std::uint16_t>(v.size());
+  sched.after(d, [this, conn] { conn->send(); });
+  sched.after(d, [this, conn] { if (conn != nullptr) conn->send(); });
 }
 """
 PROBE_EXPECT = {  # line -> rule
@@ -207,6 +256,7 @@ PROBE_EXPECT = {  # line -> rule
     (5, "banned-function"),
     (6, "banned-function"),  # raw assert (probe scans as src/)
     (8, "narrowing-in-codec"),  # probe scans as a codec file
+    (9, "callback-liveness"),  # line 10 is guarded: no finding
 }
 
 
