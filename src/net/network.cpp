@@ -165,6 +165,57 @@ void Network::release(ReservationId id) {
   reservations_.erase(it);
 }
 
+void Network::annotate_reservation(ReservationId id, std::uint8_t importance,
+                                   std::function<void()> on_preempt) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) return;
+  it->second.preemptible = true;
+  it->second.importance = importance;
+  it->second.on_preempt = std::move(on_preempt);
+}
+
+bool Network::preempt_for(NodeId src, NodeId dst, std::int64_t bps, std::uint8_t importance) {
+  if (!admission_enabled_) return true;
+  const auto p = path(src, dst);
+  if (p.size() < 2) return false;
+  std::vector<LinkKey> path_links;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) path_links.push_back(LinkKey{p[i], p[i + 1]});
+
+  for (;;) {
+    // Deficit links: where the requested reservation does not fit yet.
+    // Only victims holding bandwidth on one of those can help.
+    std::vector<LinkKey> deficit;
+    for (const auto& key : path_links) {
+      Link* l = link(key.from, key.to);
+      if (l->reserved_bps() + bps > l->reservable_bps()) deficit.push_back(key);
+    }
+    if (deficit.empty()) return true;
+
+    const Reservation* victim = nullptr;
+    ReservationId victim_id = kNoReservation;
+    for (const auto& [id, r] : reservations_) {
+      if (!r.preemptible || r.importance >= importance) continue;
+      const bool on_deficit_link = std::ranges::any_of(r.links, [&](const LinkKey& k) {
+        return std::ranges::find(deficit, k) != deficit.end();
+      });
+      if (!on_deficit_link) continue;
+      if (victim == nullptr || r.importance < victim->importance) {
+        victim = &r;
+        victim_id = id;
+      }
+    }
+    if (victim == nullptr) return false;
+
+    CMTOS_DEBUG("net", "preempting reservation %llu (importance %u) for class-%u admission",
+                static_cast<unsigned long long>(victim_id), victim->importance, importance);
+    auto on_preempt = victim->on_preempt;  // the callback erases the map entry
+    if (on_preempt) on_preempt();
+    // Progress guard: a mis-behaved owner that did not release loses the
+    // reservation anyway, or the loop would spin on the same victim.
+    if (reservations_.contains(victim_id)) release(victim_id);
+  }
+}
+
 std::int64_t Network::reserved_on(NodeId from, NodeId to) {
   Link* l = link(from, to);
   return l ? l->reserved_bps() : 0;

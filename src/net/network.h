@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -92,6 +93,20 @@ class Network {
 
   void release(ReservationId id);
 
+  /// Marks a reservation eligible for preemptive admission: `importance` is
+  /// its class and `on_preempt` the owner hook that tears the holding VC
+  /// down (releasing this reservation in the process).  Un-annotated
+  /// reservations are never preempted.
+  void annotate_reservation(ReservationId id, std::uint8_t importance,
+                            std::function<void()> on_preempt);
+
+  /// Preemptive admission: frees capacity for a `bps` reservation along
+  /// path(src,dst) by preempting annotated reservations of *strictly*
+  /// lower importance that hold bandwidth on a deficit link of the path,
+  /// lowest importance (then oldest) first.  Returns true once
+  /// available_bps(src,dst) >= bps; false when no eligible victims remain.
+  bool preempt_for(NodeId src, NodeId dst, std::int64_t bps, std::uint8_t importance);
+
   /// Total reserved bandwidth on one link direction.
   std::int64_t reserved_on(NodeId from, NodeId to);
 
@@ -107,6 +122,10 @@ class Network {
   struct Reservation {
     std::vector<LinkKey> links;
     std::int64_t bps = 0;
+    // Preemptive-admission annotation (see annotate_reservation).
+    bool preemptible = false;
+    std::uint8_t importance = 0;
+    std::function<void()> on_preempt;
   };
 
   void forward(Packet&& pkt, NodeId at);

@@ -118,6 +118,24 @@ void HloAgent::remove_stream(transport::VcId vc, ResultFn done) {
   });
 }
 
+bool HloAgent::retarget_stream_rate(transport::VcId vc, double osdu_rate) {
+  if (osdu_rate <= 0) return false;
+  for (auto& s : streams_) {
+    if (s.vc.vc != vc) continue;
+    auto it = status_.find(vc);
+    if (it != status_.end() && running_) {
+      // Keep media time continuous: position_seconds must read the same
+      // immediately before and after the rate swap, so rebase base_seq
+      // around the current position at the *new* rate.
+      const double pos = position_seconds(s);
+      it->second.base_seq = it->second.last_delivered + 1 - std::llround(pos * osdu_rate);
+    }
+    s.osdu_rate = osdu_rate;
+    return true;
+  }
+  return false;
+}
+
 void HloAgent::register_event(transport::VcId vc, std::uint64_t pattern, std::uint64_t mask) {
   llo_.register_event(session_, vc, pattern, mask);
 }

@@ -122,6 +122,13 @@ class HloAgent {
   void add_stream(OrchStreamSpec spec, ResultFn done);
   void remove_stream(transport::VcId vc, ResultFn done);
 
+  /// Retargets a stream's nominal OSDU rate after a QoS renegotiation (the
+  /// graceful-degradation loop: a degraded VC flows fewer OSDUs per second,
+  /// so its regulation targets must shrink in step or every interval counts
+  /// as a miss).  Rebases the stream so its media-time position is
+  /// continuous across the rate change.  Returns false for unknown VCs.
+  bool retarget_stream_rate(transport::VcId vc, double osdu_rate);
+
   /// Orch.Event registration/delivery passthrough.
   void register_event(transport::VcId vc, std::uint64_t pattern, std::uint64_t mask = ~0ull);
   void set_event_callback(std::function<void(const EventIndication&)> fn);

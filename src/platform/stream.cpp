@@ -37,6 +37,9 @@ void Stream::connect(const net::NetAddress& src, const net::NetAddress& dst,
   req.service_class = service_class;
   req.qos = to_transport_qos(media);
   req.buffer_osdus = buffer_osdus_;
+  req.sample_period = sample_period_;
+  req.importance = importance_;
+  req.shed_watermark_pct = shed_watermark_pct_;
   vc_ = home_.entity.t_connect_request(req);
 }
 
@@ -54,13 +57,17 @@ void Stream::disconnect() {
 }
 
 void Stream::change_qos(const MediaQos& media, QosChangeFn done) {
+  change_qos(media, to_transport_qos(media), std::move(done));
+}
+
+void Stream::change_qos(const MediaQos& media, const transport::QosTolerance& tol,
+                        QosChangeFn done) {
   if (!connected_) {
     if (done) done(false, agreed_);
     return;
   }
   media_ = media;
   qos_change_done_ = std::move(done);
-  const transport::QosTolerance tol = to_transport_qos(media);
   qos_change_goal_ = tol.preferred;
   // Renegotiation is driven from the source entity (which owns the
   // reservation).  The Stream is a management object: it reaches the

@@ -52,6 +52,12 @@ class Stream : public transport::TransportUser {
   /// compression module (§3.3).
   void change_qos(const MediaQos& media, QosChangeFn done);
 
+  /// Variant with an explicit transport tolerance (used by the QoS manager,
+  /// whose degradation ladder interpolates error/jitter tolerances as well
+  /// as the media description — to_transport_qos(media) alone would reset
+  /// those to the media defaults).
+  void change_qos(const MediaQos& media, const transport::QosTolerance& tol, QosChangeFn done);
+
   // --- introspection ---
   bool connected() const { return connected_; }
   transport::VcId vc() const { return vc_; }
@@ -65,6 +71,20 @@ class Stream : public transport::TransportUser {
 
   /// Ring capacity (in OSDUs) for the underlying VC; call before connect.
   void set_buffer_osdus(std::uint32_t n) { buffer_osdus_ = n; }
+
+  /// QoS-monitor sample period for the underlying VC; call before connect.
+  /// Shorter periods tighten the closed degradation loop's reaction time.
+  void set_sample_period(Duration d) { sample_period_ = d; }
+
+  /// Importance class for preemptive admission (call before connect;
+  /// strictly-lower classes may be preempted to admit this stream).
+  void set_importance(std::uint8_t importance) { importance_ = importance; }
+  std::uint8_t importance() const { return importance_; }
+
+  /// Arms sink-side load shedding: when the receive ring fills, stale
+  /// OSDUs are shed down to `pct`% of capacity (0 disables; call before
+  /// connect).
+  void set_shed_watermark(std::uint8_t pct) { shed_watermark_pct_ = pct; }
 
   // --- notifications ---
   void set_on_qos_degraded(std::function<void(const transport::QosReport&)> fn) {
@@ -94,6 +114,9 @@ class Stream : public transport::TransportUser {
   transport::VcId vc_ = transport::kInvalidVc;
   net::NetAddress src_, dst_;
   std::uint32_t buffer_osdus_ = 16;
+  Duration sample_period_ = 500 * kMillisecond;
+  std::uint8_t importance_ = 1;
+  std::uint8_t shed_watermark_pct_ = 0;
   MediaQos media_{VideoQos{}};
   transport::QosParams agreed_;
   ConnectFn connect_done_;

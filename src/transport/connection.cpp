@@ -67,7 +67,12 @@ Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
   m_tpdus_lost_ = &reg.counter("transport.tpdus_lost", labels);
   m_tpdus_corrupt_ = &reg.counter("transport.tpdus_corrupt", labels);
   m_osdus_delivered_ = &reg.counter("transport.osdus_delivered", labels);
+  m_osdus_shed_ = &reg.counter("buffer.shed", labels);
   if (role_ == VcRole::kSink) {
+    if (request_.shed_watermark_pct > 0) {
+      shed_watermark_slots_ = std::max<std::size_t>(
+          1, buffer_.capacity() * request_.shed_watermark_pct / 100);
+    }
     monitor_ = std::make_unique<QosMonitor>(id_, agreed_, request_.sample_period);
     monitor_->set_warmup_periods(1);  // pipeline fill distorts the first period
     // T-QoS.indication is generated only when the selected class of
@@ -606,8 +611,23 @@ void Connection::deliver_ready() {
 
 void Connection::push_delivery_queue() {
   while (!delivery_queue_.empty()) {
-    if (!buffer_.try_push(delivery_queue_.front(), sched_.now())) break;
-    delivery_queue_.pop_front();
+    if (buffer_.try_push(delivery_queue_.front(), sched_.now())) {
+      delivery_queue_.pop_front();
+      continue;
+    }
+    // Ring full.  With load shedding armed and the delivery gate open (a
+    // held buffer is *supposed* to fill during priming), stale OSDUs at the
+    // front lose their value as continuous media: shed down past the
+    // watermark so fresh data keeps flowing.
+    if (shed_watermark_slots_ == 0 || !buffer_.delivery_enabled()) break;
+    bool shed_any = false;
+    while (buffer_.size() >= shed_watermark_slots_) {
+      if (!buffer_.shed_oldest(sched_.now())) break;
+      ++stats_.osdus_shed;
+      m_osdus_shed_->add();
+      shed_any = true;
+    }
+    if (!shed_any) break;
   }
 }
 
@@ -664,6 +684,11 @@ void Connection::send_feedback() {
   const std::size_t backlog = delivery_queue_.size();
   const std::size_t free = buffer_.free_slots();
   fb.free_slots = static_cast<std::uint32_t>(free > backlog ? free - backlog : 0);
+  // With load shedding armed and the gate open the sink never truly stalls
+  // (it sheds instead), so keep the source trickling at its minimum rate
+  // rather than pausing it outright.
+  if (shed_watermark_slots_ > 0 && buffer_.delivery_enabled() && fb.free_slots == 0)
+    fb.free_slots = 1;
   fb.capacity = static_cast<std::uint32_t>(buffer_.capacity());
   fb.highest_osdu = static_cast<std::uint32_t>(std::max<std::int64_t>(0, highest_completed_seq_));
   fb.paused = 0;

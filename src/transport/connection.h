@@ -70,6 +70,7 @@ struct VcStats {
   std::int64_t osdus_completed = 0;       // fully reassembled
   std::int64_t osdus_skipped = 0;         // holes given up on (incl. source drops)
   std::int64_t osdus_delivered = 0;       // popped by the application
+  std::int64_t osdus_shed = 0;            // stale OSDUs dropped by load shedding
 };
 
 class Connection {
@@ -260,6 +261,10 @@ class Connection {
   sim::EventHandle feedback_event_;
   sim::EventHandle monitor_event_;
   std::unique_ptr<QosMonitor> monitor_;
+  // Load shedding: when the receive ring holds at least this many OSDUs and
+  // a new one cannot be pushed, the oldest are shed (0 = shedding disabled;
+  // derived from ConnectRequest::shed_watermark_pct at construction).
+  std::size_t shed_watermark_slots_ = 0;
   std::function<void(const Osdu&)> on_osdu_arrival_;
   std::function<void(const Osdu&, Time)> on_osdu_delivered_;
 
@@ -278,6 +283,7 @@ class Connection {
   obs::Counter* m_tpdus_lost_ = nullptr;
   obs::Counter* m_tpdus_corrupt_ = nullptr;
   obs::Counter* m_osdus_delivered_ = nullptr;
+  obs::Counter* m_osdus_shed_ = nullptr;
   int trace_pid_ = 0;  // node id
   int trace_tid_ = 0;  // VC (low 32 bits)
 };

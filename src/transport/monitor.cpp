@@ -55,9 +55,29 @@ void QosMonitor::on_tpdu_corrupt(std::int64_t wire_bytes) {
 }
 
 void QosMonitor::on_osdu_seen(std::uint32_t seq) {
-  const auto s = static_cast<std::int64_t>(seq);
-  if (min_seq_seen_ < 0 || s < min_seq_seen_) min_seq_seen_ = s;
-  if (s > max_seq_seen_) max_seq_seen_ = s;
+  if (!seq_seen_) {
+    seq_seen_ = true;
+    seq_ref_ = seq;
+    min_seq_off_ = 0;
+    max_seq_off_ = 0;
+    return;
+  }
+  // Serial-number arithmetic: the wrapping uint32 subtraction reinterpreted
+  // as int32 gives the signed distance from the anchor even across a 2^32
+  // wrap, as long as the true span stays below 2^31.
+  const auto off = static_cast<std::int64_t>(static_cast<std::int32_t>(seq - seq_ref_));
+  // A backward jump far beyond any plausible in-flight reordering means the
+  // peer reset its sequence space (e.g. after a flush); re-anchor rather
+  // than report the jump as offered load.
+  constexpr std::int64_t kResyncWindow = 1 << 16;
+  if (off < min_seq_off_ - kResyncWindow) {
+    seq_ref_ = seq;
+    min_seq_off_ = 0;
+    max_seq_off_ = 0;
+    return;
+  }
+  min_seq_off_ = std::min(min_seq_off_, off);
+  max_seq_off_ = std::max(max_seq_off_, off);
 }
 
 void QosMonitor::end_period(Time local_now) {
@@ -101,8 +121,8 @@ void QosMonitor::end_period(Time local_now) {
   // against the offered load (the OSDU seq span observed this period): an
   // application that submits below the contract is not a provider fault.
   const double offered_rate =
-      (min_seq_seen_ >= 0 && period_s > 0)
-          ? static_cast<double>(max_seq_seen_ - min_seq_seen_ + 1) / period_s
+      (seq_seen_ && period_s > 0)
+          ? static_cast<double>(max_seq_off_ - min_seq_off_ + 1) / period_s
           : 0.0;
   const double demand = std::min(offered_rate, agreed_.osdu_rate);
   rep.violations.throughput =
@@ -114,19 +134,48 @@ void QosMonitor::end_period(Time local_now) {
   rep.violations.bit_errors = rep.measured_bit_error_rate > agreed_.bit_error_rate;
 
   rep.warmup = warmup_left_ > 0;
+
+  // Indication coalescing: a sustained overload would otherwise emit one
+  // T-QoS.indication per sample period forever, flooding the control VC
+  // and the HLO agent's report path.  Track the violation run and emit only
+  // on the first violating period, when the violated parameter set changes,
+  // or as a periodic refresh every repeat_every_ periods.
+  bool emit = false;
+  if (rep.warmup) {
+    // Warmup periods neither report nor count toward a run.
+  } else if (rep.violations.any()) {
+    ++violation_run_;
+    ++periods_since_emit_;
+    emit = violation_run_ == 1 || !(rep.violations == last_emitted_set_) ||
+           periods_since_emit_ >= repeat_every_;
+  } else {
+    violation_run_ = 0;
+    coalesced_ = 0;
+    periods_since_emit_ = 0;
+    last_emitted_set_ = QosViolation{};
+  }
+  rep.consecutive_violation_periods = violation_run_;
+  rep.coalesced_periods = coalesced_;
+
   publish(rep);
   if (on_sample_) on_sample_(rep);
   if (warmup_left_ > 0) {
     --warmup_left_;
-  } else if (rep.violations.any() && on_violation_) {
-    on_violation_(rep);
+  } else if (emit) {
+    last_emitted_set_ = rep.violations;
+    periods_since_emit_ = 0;
+    coalesced_ = 0;
+    if (on_violation_) on_violation_(rep);
+  } else if (rep.violations.any()) {
+    ++coalesced_;
   }
 
   // Reset window.
   period_start_ = local_now;
   osdus_ = 0;
-  min_seq_seen_ = -1;
-  max_seq_seen_ = -1;
+  seq_seen_ = false;
+  min_seq_off_ = 0;
+  max_seq_off_ = 0;
   delay_.reset();
   tpdus_received_ = 0;
   bits_received_ = 0;

@@ -91,6 +91,8 @@ struct QosViolation {
 
   bool any() const { return throughput || delay || jitter || packet_errors || bit_errors; }
   std::string to_string() const;
+
+  friend bool operator==(const QosViolation&, const QosViolation&) = default;
 };
 
 }  // namespace cmtos::transport

@@ -69,6 +69,16 @@ struct ConnectRequest {
   Duration sample_period = 500 * kMillisecond;
   /// Receive/send ring capacity in OSDU slots.
   std::uint32_t buffer_osdus = 16;
+  /// Importance class for preemptive admission: when admission control
+  /// would refuse this connect, established VCs of *strictly lower*
+  /// importance on the contended path may be preempted (kPreempted) to
+  /// make room.  Equal importance never preempts.
+  std::uint8_t importance = 1;
+  /// Sink-side load shedding: when nonzero and the consumer stalls with
+  /// the receive ring full, stale OSDUs are dropped from the front of the
+  /// ring down to this percentage of capacity so fresh media keeps
+  /// flowing (a late frame is worthless).  0 disables shedding.
+  std::uint8_t shed_watermark_pct = 0;
 };
 
 enum class DisconnectReason : std::uint8_t {
@@ -82,6 +92,7 @@ enum class DisconnectReason : std::uint8_t {
   kNoSuchTsap = 7,
   kPeerDead = 8,            // liveness timeout: the peer endpoint went silent
   kEntityFailure = 9,       // the local transport entity itself crashed
+  kPreempted = 10,          // displaced by a higher-importance admission
 };
 
 std::string to_string(DisconnectReason r);
@@ -105,6 +116,14 @@ struct QosReport {
   /// T-QoS.indication.  Time-series consumers (on_sample) use this to
   /// separate fill artifacts from real degradation.
   bool warmup = false;
+  /// Length of the current run of back-to-back violating periods, this one
+  /// included.  A closed-loop QoS manager keys its degrade decision off
+  /// this instead of counting indications itself (indications for an
+  /// unchanged violation set are coalesced, so arrival count != periods).
+  std::uint32_t consecutive_violation_periods = 0;
+  /// Violating periods whose indication was suppressed (same parameter
+  /// set) since the previous emitted indication.
+  std::uint32_t coalesced_periods = 0;
 };
 
 /// Callback interface implemented by transport users (Stream objects, test

@@ -43,6 +43,16 @@ std::optional<Osdu> StreamBuffer::drop_newest(Time now) {
   return v;
 }
 
+std::optional<Osdu> StreamBuffer::shed_oldest(Time now) {
+  if (ring_.empty()) return std::nullopt;
+  Osdu v = ring_.pop();
+  // Frees a slot like a pop, but no space-available signal: the shedding
+  // caller (Connection::push_delivery_queue) immediately refills the slot
+  // and a callback here would re-enter it.
+  close_producer_episode(now);
+  return v;
+}
+
 void StreamBuffer::flush(Time now) {
   ring_.clear();
   const bool producer_was_blocked = producer_blocked_since_ != kTimeNever;

@@ -69,6 +69,15 @@ class StreamBuffer {
   /// §6.3.1.1).  Returns it, or nullopt if empty.
   std::optional<Osdu> drop_newest(Time now);
 
+  /// Discards the *oldest* OSDU regardless of the delivery gate (sink-side
+  /// load shedding: when the consumer stalls, stale continuous-media data
+  /// loses its value and is dropped to keep the pipeline moving).  Closes a
+  /// producer block episode but deliberately does NOT fire the
+  /// space-available callback: the shedding caller refills the freed slot
+  /// itself, and signalling here would re-enter it.  Returns the shed OSDU,
+  /// or nullopt if empty.
+  std::optional<Osdu> shed_oldest(Time now);
+
   /// Discards everything (stop-seek-restart flush, §6.2.1).
   void flush(Time now);
 

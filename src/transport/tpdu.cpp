@@ -54,6 +54,8 @@ void write_report(ByteWriter& w, const QosReport& rep) {
   v |= rep.violations.packet_errors ? 8 : 0;
   v |= rep.violations.bit_errors ? 16 : 0;
   w.u8(v);
+  w.u32(rep.consecutive_violation_periods);
+  w.u32(rep.coalesced_periods);
 }
 
 QosReport read_report(ByteReader& r) {
@@ -72,6 +74,8 @@ QosReport read_report(ByteReader& r) {
   rep.violations.jitter = v & 4;
   rep.violations.packet_errors = v & 8;
   rep.violations.bit_errors = v & 16;
+  rep.consecutive_violation_periods = r.u32();
+  rep.coalesced_periods = r.u32();
   return rep;
 }
 
@@ -92,6 +96,8 @@ std::vector<std::uint8_t> ControlTpdu::encode() const {
   write_qos_params(w, agreed);
   w.i64(sample_period);
   w.u32(buffer_osdus);
+  w.u8(importance);
+  w.u8(shed_watermark_pct);
   w.u8(reason);
   w.u8(accepted);
   write_report(w, report);
@@ -114,6 +120,8 @@ std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wir
     t.agreed = read_qos_params(r);
     t.sample_period = r.i64();
     t.buffer_osdus = r.u32();
+    t.importance = r.u8();
+    t.shed_watermark_pct = r.u8();
     t.reason = r.u8();
     t.accepted = r.u8();
     t.report = read_report(r);
@@ -319,6 +327,7 @@ std::string to_string(DisconnectReason r) {
     case DisconnectReason::kNoSuchTsap: return "no-such-tsap";
     case DisconnectReason::kPeerDead: return "peer-dead";
     case DisconnectReason::kEntityFailure: return "entity-failure";
+    case DisconnectReason::kPreempted: return "preempted";
   }
   return "unknown";
 }

@@ -54,6 +54,8 @@ struct ControlTpdu {
   QosParams agreed;             // CC/RNC: final contract
   Duration sample_period = 0;
   std::uint32_t buffer_osdus = 0;
+  std::uint8_t importance = 1;  // CR/RCR: preemptive-admission class
+  std::uint8_t shed_watermark_pct = 0;  // CR/RCR: sink load-shedding watermark
   std::uint8_t reason = 0;      // DR/DC/RCC(reject): DisconnectReason
   std::uint8_t accepted = 0;    // CC/RCC/RNC: 1 = accepted
   QosReport report;             // QI payload

@@ -101,6 +101,8 @@ VcId TransportEntity::t_connect_request(const ConnectRequest& req) {
     t.qos = req.qos;
     t.sample_period = req.sample_period;
     t.buffer_osdus = req.buffer_osdus;
+    t.importance = req.importance;
+    t.shed_watermark_pct = req.shed_watermark_pct;
     PendingInitiated pend;
     pend.req = req;
     pend.remote = true;
@@ -184,6 +186,8 @@ void TransportEntity::handle_rcr(const ControlTpdu& t) {
   req.qos = t.qos;
   req.sample_period = t.sample_period;
   req.buffer_osdus = t.buffer_osdus;
+  req.importance = t.importance;
+  req.shed_watermark_pct = t.shed_watermark_pct;
 
   TransportUser* user = user_at(req.src.tsap);
   if (user == nullptr) {
@@ -237,6 +241,14 @@ void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
   CMTOS_DCHECK(req.src.node == node_);
   DisconnectReason reason = DisconnectReason::kProtocolError;
   auto offered = admit(req, reason);
+  if (!offered && reason == DisconnectReason::kNoResources &&
+      network_.preempt_for(req.src.node, req.dst.node,
+                           req.qos.worst.required_bps() + kControlVcBps, req.importance)) {
+    // Preemptive admission: lower-importance VCs on the contended path were
+    // displaced (kPreempted); only enough for the worst-acceptable rate, so
+    // the collateral damage is minimal.
+    offered = admit(req, reason);
+  }
   if (!offered) {
     fail_connect(vc, req, reason);
     return;
@@ -254,12 +266,17 @@ void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
     resv = *r;
     // Reverse trickle for feedback TPDUs and orchestrator replies.
     auto rr = network_.reserve(req.dst.node, req.src.node, kControlVcBps);
+    if (!rr && network_.preempt_for(req.dst.node, req.src.node, kControlVcBps, req.importance))
+      rr = network_.reserve(req.dst.node, req.src.node, kControlVcBps);
     if (!rr) {
       network_.release(resv);
       fail_connect(vc, req, DisconnectReason::kNoResources);
       return;
     }
     reverse_resv = *rr;
+    // Register for preemptive admission: a later, more important connect on
+    // a contended link may displace this VC through preempt_vc.
+    network_.annotate_reservation(resv, req.importance, [this, vc] { preempt_vc(vc); });
   }
 
   ControlTpdu t;
@@ -274,6 +291,8 @@ void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
   t.agreed = *offered;
   t.sample_period = req.sample_period;
   t.buffer_osdus = req.buffer_osdus;
+  t.importance = req.importance;
+  t.shed_watermark_pct = req.shed_watermark_pct;
 
   PendingCc pend;
   pend.req = req;
@@ -311,6 +330,8 @@ void TransportEntity::handle_cr(const ControlTpdu& t) {
   req.qos = t.qos;
   req.sample_period = t.sample_period;
   req.buffer_osdus = t.buffer_osdus;
+  req.importance = t.importance;
+  req.shed_watermark_pct = t.shed_watermark_pct;
 
   TransportUser* user = user_at(req.dst.tsap);
   ControlTpdu reply;
@@ -434,6 +455,15 @@ void TransportEntity::handle_cc(const ControlTpdu& t) {
 void TransportEntity::notify_initiator(VcId vc, const ConnectRequest& req, bool accepted,
                                        const QosParams& agreed, DisconnectReason reason) {
   if (req.initiator.node == node_) {
+    // A co-located initiator is told directly, which must also resolve any
+    // pending RCR state exactly as an RCC arrival would: otherwise the RCR
+    // retransmit loop keeps replaying the connect, and a replay landing
+    // after the VC is gone (e.g. preempted) re-runs admission and delivers
+    // stale failure indications.
+    if (auto it = pending_initiated_.find(vc); it != pending_initiated_.end()) {
+      it->second.timeout.cancel();
+      pending_initiated_.erase(it);
+    }
     if (TransportUser* u = user_at(req.initiator.tsap)) {
       if (accepted) {
         u->t_connect_confirm(vc, agreed);
@@ -627,6 +657,57 @@ void TransportEntity::on_peer_dead(VcId vc) {
   if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kPeerDead);
 }
 
+void TransportEntity::preempt_vc(VcId vc) {
+  // Invoked (possibly re-entrantly, from inside another entity's
+  // source_connect) by Network::preempt_for.  Reservations must be
+  // released synchronously so the preempting admission can proceed; the
+  // user indication is delivered asynchronously like any other teardown.
+  obs::Registry::global()
+      .counter("admission.preempt", {{"node", std::to_string(node_)}})
+      .add();
+  if (auto it = pending_cc_.find(vc); it != pending_cc_.end()) {
+    // Still in the CR handshake: abort the pending connect.
+    PendingCc pend = std::move(it->second);
+    pending_cc_.erase(it);
+    pend.timeout.cancel();
+    if (pend.reservation != net::kNoReservation) network_.release(pend.reservation);
+    if (pend.reverse_reservation != net::kNoReservation)
+      network_.release(pend.reverse_reservation);
+    const ConnectRequest req = pend.req;
+    scheduler().after(0, [this, vc, req] {
+      fail_connect(vc, req, DisconnectReason::kPreempted);
+    });
+    return;
+  }
+  auto it = sources_.find(vc);
+  if (it == sources_.end()) return;
+  auto conn = std::move(it->second);
+  sources_.erase(it);
+  const net::NodeId peer = conn->peer_node();
+  if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
+  if (auto rit = reverse_reservations_.find(vc); rit != reverse_reservations_.end()) {
+    network_.release(rit->second);
+    reverse_reservations_.erase(rit);
+  }
+  conn->close();
+  CMTOS_INFO("transport", "vc %llu preempted by a higher-importance admission",
+             static_cast<unsigned long long>(vc));
+  ControlTpdu t;
+  t.type = TpduType::kDR;
+  t.vc = vc;
+  t.reason = static_cast<std::uint8_t>(DisconnectReason::kPreempted);
+  send_tpdu(peer, net::Proto::kTransportControl, t.encode());
+  const ConnectRequest req = conn->request();
+  scheduler().after(0, [this, vc, req] {
+    deliver_disconnect(vc, req.src.tsap, DisconnectReason::kPreempted);
+    // A distinct initiator (a managing Stream) hears about the displacement
+    // too; remote initiators are reached best-effort via RCC.
+    if (req.initiator != req.src)
+      notify_initiator(vc, req, false, {}, DisconnectReason::kPreempted);
+  });
+  if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kPreempted);
+}
+
 // ====================================================================
 // Fault model: crash / restart
 // ====================================================================
@@ -670,6 +751,7 @@ void TransportEntity::crash() {
   }
   pending_cc_.clear();
   pending_dest_accept_.clear();
+  for (auto& [vc, pend] : pending_reneg_) pend.timeout.cancel();
   pending_reneg_.clear();
   pending_reneg_peer_.clear();
   peer_tentative_.clear();
@@ -737,7 +819,6 @@ void TransportEntity::t_renegotiate_request(VcId vc, const QosTolerance& propose
       }
       pend.raised = true;
     }
-    pending_reneg_[vc] = pend;
 
     ControlTpdu t;
     t.type = TpduType::kRN;
@@ -747,7 +828,12 @@ void TransportEntity::t_renegotiate_request(VcId vc, const QosTolerance& propose
     t.dst = conn->request().dst;
     t.qos = proposed;
     t.agreed = *cand;
+    pend.rn_wire = t.encode();
+    pend.peer = conn->peer_node();
+    pend.retries_left = config_.handshake_retries;
+    pending_reneg_[vc] = pend;
     send_tpdu(conn->peer_node(), net::Proto::kTransportControl, t.encode());
+    arm_rn_timer(vc);
     return;
   }
   if (Connection* conn = sink(vc)) {
@@ -755,7 +841,6 @@ void TransportEntity::t_renegotiate_request(VcId vc, const QosTolerance& propose
     PendingReneg pend;
     pend.proposed = proposed;
     pend.at_source = false;
-    pending_reneg_[vc] = pend;
     ControlTpdu t;
     t.type = TpduType::kRN;
     t.vc = vc;
@@ -763,15 +848,67 @@ void TransportEntity::t_renegotiate_request(VcId vc, const QosTolerance& propose
     t.src = conn->request().src;
     t.dst = conn->request().dst;
     t.qos = proposed;
+    pend.rn_wire = t.encode();
+    pend.peer = conn->peer_node();
+    pend.retries_left = config_.handshake_retries;
+    pending_reneg_[vc] = pend;
     send_tpdu(conn->peer_node(), net::Proto::kTransportControl, t.encode());
+    arm_rn_timer(vc);
     return;
   }
   CMTOS_WARN("transport", "T-Renegotiate.request for unknown vc %llu",
              static_cast<unsigned long long>(vc));
 }
 
+void TransportEntity::arm_rn_timer(VcId vc) {
+  auto it = pending_reneg_.find(vc);
+  if (it == pending_reneg_.end()) return;
+  it->second.timeout = scheduler().after(handshake_delay(), [this, vc] {
+    auto it2 = pending_reneg_.find(vc);
+    if (it2 == pending_reneg_.end()) return;
+    if (it2->second.retries_left-- > 0) {
+      send_tpdu(it2->second.peer, net::Proto::kTransportControl, it2->second.rn_wire);
+      arm_rn_timer(vc);
+      return;
+    }
+    // Retries exhausted: the renegotiation failed but the VC survives
+    // under its old contract (§4.1.3); roll back any pre-raised
+    // reservation first.
+    PendingReneg pend = std::move(it2->second);
+    pending_reneg_.erase(it2);
+    if (pend.at_source) {
+      Connection* conn = source(vc);
+      if (conn == nullptr) return;
+      if (pend.raised && conn->reservation() != net::kNoReservation)
+        network_.adjust_reservation(conn->reservation(), pend.old_bps + kControlVcBps);
+      deliver_disconnect(vc, conn->request().src.tsap,
+                         DisconnectReason::kRenegotiationFailed);
+    } else if (Connection* conn = sink(vc)) {
+      deliver_disconnect(vc, conn->request().dst.tsap,
+                         DisconnectReason::kRenegotiationFailed);
+    }
+  });
+}
+
 void TransportEntity::handle_rn(const ControlTpdu& t) {
+  // Duplicate RN (retransmission) while the local user is still deciding:
+  // stay quiet, one answer is coming.
+  if (pending_reneg_peer_.contains(t.vc)) return;
   if (Connection* conn = sink(t.vc)) {
+    // Retransmitted RN whose accepting RNC was lost: the tentative
+    // contract is already in force here — resend the acceptance rather
+    // than re-asking the user.
+    const QosParams& cur = conn->agreed_qos();
+    if (cur.osdu_rate == t.agreed.osdu_rate && cur.max_osdu_bytes == t.agreed.max_osdu_bytes &&
+        cur.end_to_end_delay == t.agreed.end_to_end_delay) {
+      ControlTpdu reply;
+      reply.type = TpduType::kRNC;
+      reply.vc = t.vc;
+      reply.accepted = 1;
+      reply.agreed = cur;
+      send_tpdu(conn->peer_node(), net::Proto::kTransportControl, reply.encode());
+      return;
+    }
     // Source-initiated renegotiation reaching the sink: ask the sink user.
     PendingRenegPeer pend;
     pend.proposed = t.qos;
@@ -879,9 +1016,10 @@ void TransportEntity::renegotiate_response(VcId vc, bool accept) {
 
 void TransportEntity::handle_rnc(const ControlTpdu& t) {
   auto it = pending_reneg_.find(t.vc);
-  if (it == pending_reneg_.end()) return;
-  PendingReneg pend = it->second;
+  if (it == pending_reneg_.end()) return;  // duplicate RNC: already settled
+  PendingReneg pend = std::move(it->second);
   pending_reneg_.erase(it);
+  pend.timeout.cancel();
 
   if (pend.at_source) {
     Connection* conn = source(t.vc);

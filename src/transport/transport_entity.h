@@ -216,6 +216,13 @@ class TransportEntity {
     std::int64_t old_bps = 0;   // for rollback when we pre-raised
     bool raised = false;
     bool at_source = false;
+    // RN retransmission: the Table 3 handshake rides the same lossy
+    // control path as CR, so a storm that provokes the renegotiation can
+    // also eat it.
+    sim::EventHandle timeout;
+    int retries_left = 3;
+    std::vector<std::uint8_t> rn_wire;
+    net::NodeId peer = net::kInvalidNode;
   };
   struct PendingRenegPeer {  // peer side, waiting for local user response
     QosTolerance proposed;
@@ -255,6 +262,14 @@ class TransportEntity {
   /// no other reliability; a lost CR must not strand the connect).
   void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
   void arm_cr_timer(VcId vc);
+  /// RN retransmission; on exhaustion any pre-raised reservation is rolled
+  /// back and kRenegotiationFailed is delivered — the VC survives.
+  void arm_rn_timer(VcId vc);
+
+  /// Preemptive-admission teardown: the network picked this VC (lowest
+  /// importance on the contended path) to make room for a more important
+  /// connect.  Mirrors the t_disconnect_request teardown with kPreempted.
+  void preempt_vc(VcId vc);
   /// Jittered handshake retransmission delay (see TransportConfig).
   Duration handshake_delay();
 

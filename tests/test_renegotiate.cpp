@@ -170,6 +170,58 @@ TEST(Renegotiate, DataFlowsAtNewRateAfterUpgrade) {
   EXPECT_NEAR(rate_after, 50.0, 15.0);
 }
 
+// --- RN TPDU loss mid-storm (robustness) ---
+
+TEST(RenegotiateLoss, DroppedRnIsRetransmittedAndSucceeds) {
+  RenegWorld w;
+  auto* link = w.star.platform.network().link(w.h0->id, w.star.hub->id);
+  ASSERT_NE(link, nullptr);
+
+  // Black out the link just long enough to eat the first RN, then heal it
+  // before the handshake retransmit fires.
+  link->set_loss_rate(1.0);
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(20.0, 2048));
+  w.star.platform.run_until(w.star.platform.scheduler().now() + 100 * kMillisecond);
+  EXPECT_TRUE(w.src_user->reneg_confirms.empty());
+  link->set_loss_rate(0.0);
+  w.star.platform.run_until(w.star.platform.scheduler().now() + 2 * kSecond);
+
+  ASSERT_EQ(w.src_user->reneg_confirms.size(), 1u);
+  EXPECT_TRUE(w.src_user->reneg_confirms[0].first);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 20.0, 1e-9);
+  EXPECT_NEAR(w.h1->entity.sink(w.vc)->agreed_qos().osdu_rate, 20.0, 1e-9);
+  EXPECT_TRUE(w.src_user->disconnects.empty());
+}
+
+TEST(RenegotiateLoss, SustainedLossFailsAfterRetriesButVcSurvives) {
+  RenegWorld w;
+  auto* link = w.star.platform.network().link(w.h0->id, w.star.hub->id);
+  const auto before = w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id);
+
+  // Every RN (initial + all retries) is lost: the renegotiation must give
+  // up with kRenegotiationFailed, the VC must survive under the old
+  // contract, and the pre-raised reservation must be rolled back.
+  link->set_loss_rate(1.0);
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(40.0, 2048));
+  w.star.platform.run_until(w.star.platform.scheduler().now() + 6 * kSecond);
+  link->set_loss_rate(0.0);
+
+  ASSERT_EQ(w.src_user->disconnects.size(), 1u);
+  EXPECT_EQ(w.src_user->disconnects[0].second, DisconnectReason::kRenegotiationFailed);
+  ASSERT_NE(w.h0->entity.source(w.vc), nullptr);  // VC survives (§4.1.3)
+  ASSERT_NE(w.h1->entity.sink(w.vc), nullptr);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 10.0, 1e-9);
+  EXPECT_EQ(w.star.platform.network().reserved_on(w.h0->id, w.star.hub->id), before);
+
+  // The survivor is fully usable: a later renegotiation over the healed
+  // link goes through.
+  w.h0->entity.t_renegotiate_request(w.vc, w.tol(20.0, 2048));
+  w.star.platform.run_until(w.star.platform.scheduler().now() + 2 * kSecond);
+  ASSERT_FALSE(w.src_user->reneg_confirms.empty());
+  EXPECT_TRUE(w.src_user->reneg_confirms.back().first);
+  EXPECT_NEAR(w.h0->entity.source(w.vc)->agreed_qos().osdu_rate, 20.0, 1e-9);
+}
+
 TEST(Renegotiate, UnknownVcIsIgnoredSafely) {
   RenegWorld w;
   w.h0->entity.t_renegotiate_request(0xdeadbeef, w.tol(20.0, 2048));

@@ -28,6 +28,11 @@ Rules
   banned-function      assert() in src/ (use CMTOS_ASSERT/CMTOS_DCHECK so release
                        builds count violations instead of compiling the check
                        out), plus sprintf/strcpy/strcat/gets.
+  qos-set-agreed       QosMonitor::set_agreed() rebaselines the monitored
+                       contract, so it may only be called by the transport
+                       entity's renegotiation path (src/transport/).  Anywhere
+                       else it silently detaches the monitor from the contract
+                       the peers actually agreed on.
   callback-liveness    a scheduler callback (.after()/.at()) that captures a raw
                        node/connection-ish pointer (conn/link/node/host/peer) may
                        fire after fault injection has torn the object down; the
@@ -73,6 +78,10 @@ STATE_CHECK_RE = re.compile(r"state_")
 
 # include-hygiene
 INCLUDE_RE = re.compile(r'#\s*include\s*[<"]([^">]+)[">]')
+
+# qos-set-agreed: a member call (not the declaration) to set_agreed outside
+# src/transport/.  Contract changes must flow through renegotiation.
+SET_AGREED_RE = re.compile(r"(?:\.|->)\s*set_agreed\s*\(")
 
 # callback-liveness: a lambda handed to the scheduler whose capture list
 # names a pointer-ish local.  The capture-list requirement keeps map
@@ -155,6 +164,7 @@ def check_file(path: Path) -> list[Finding]:
     lines = text.splitlines()
     rel = path.relative_to(REPO_ROOT).as_posix()
     in_src = rel.startswith("src/") or "/src/" in rel
+    in_transport = rel.startswith("src/transport/") or "/src/transport/" in rel
     is_header = path.suffix in {".h", ".hpp"}
     is_codec = bool(CODEC_FILE_RE.search(rel))
 
@@ -187,6 +197,13 @@ def check_file(path: Path) -> list[Finding]:
                 findings.append(
                     Finding(path, idx + 1, "include-hygiene",
                             "<bits/...> is libstdc++ internal; include the standard header"))
+
+        if (not in_transport and "qos-set-agreed" not in allow
+                and SET_AGREED_RE.search(line)):
+            findings.append(
+                Finding(path, idx + 1, "qos-set-agreed",
+                        "QosMonitor::set_agreed() outside src/transport/; contract "
+                        "changes must flow through renegotiation"))
 
         for pat, (src_only, msg) in BANNED_CALLS.items():
             if src_only and not in_src:
@@ -247,6 +264,8 @@ void f() {
   const auto n = static_cast<std::uint16_t>(v.size());
   sched.after(d, [this, conn] { conn->send(); });
   sched.after(d, [this, conn] { if (conn != nullptr) conn->send(); });
+  mon.set_agreed(p);
+  mon.set_agreed(p);  // cmtos-lint: allow(qos-set-agreed)
 }
 """
 PROBE_EXPECT = {  # line -> rule
@@ -257,6 +276,7 @@ PROBE_EXPECT = {  # line -> rule
     (6, "banned-function"),  # raw assert (probe scans as src/)
     (8, "narrowing-in-codec"),  # probe scans as a codec file
     (9, "callback-liveness"),  # line 10 is guarded: no finding
+    (11, "qos-set-agreed"),  # probe is src/ but not src/transport/; 12 allowed
 }
 
 
