@@ -9,10 +9,21 @@
 // Table 2: selectivity: masked matching fires exactly on the flagged
 //          OSDUs and never otherwise.
 
+#include <chrono>
+
 #include "common.h"
 
 namespace cmtos::bench {
 namespace {
+
+/// Wall-clock seconds elapsed while `fn` runs.
+template <typename Fn>
+double wall_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
 
 struct EventWorld {
   EventWorld() : platform(61) {
@@ -102,6 +113,50 @@ int main(int argc, char** argv) {
     row("Expectation: LLO matching fires within the OPDU delivery time (here node-local,");
     row("sub-ms); application polling waits for the render thread to reach the flagged");
     row("OSDU -- up to a full buffer's worth of media time later.");
+  }
+
+  // ------------------------------------------------------------------
+  title("Scheduler event hot path",
+        "schedule+fire throughput and cancel churn of the core event engine");
+  {
+    // Throughput: self-rearming chains, the shape of pacer/feedback/monitor
+    // timers that dominate soak runs.
+    constexpr int kChains = 64;
+    constexpr std::size_t kTotal = 2'000'000;
+    sim::Scheduler s;
+    std::size_t fired = 0;
+    std::function<void()> tick = [&] {
+      ++fired;
+      if (fired < kTotal) s.after(10, tick);
+    };
+    for (int i = 0; i < kChains; ++i) s.after(i + 1, tick);
+    const double secs = wall_seconds([&] { s.run(); });
+    const double eps = static_cast<double>(fired) / secs;
+
+    // Cancel churn: arm-and-cancel cycles, the shape of keepalive and
+    // retransmit timers that almost never fire.
+    constexpr std::size_t kCancelRounds = 200'000;
+    sim::Scheduler cs;
+    std::size_t churned = 0;
+    const double cancel_secs = wall_seconds([&] {
+      for (std::size_t i = 0; i < kCancelRounds; ++i) {
+        sim::EventHandle keep = cs.after(1000, [] {});
+        sim::EventHandle retx = cs.after(2000, [] {});
+        cs.after(1, [&] { ++churned; });
+        keep.cancel();
+        retx.cancel();
+        cs.run();
+      }
+    });
+    const double cps = static_cast<double>(kCancelRounds) / cancel_secs;
+
+    row("%-34s %14s %14s", "workload", "events", "events/sec");
+    row("%-34s %14zu %14.0f", "self-rearming chains", fired, eps);
+    row("%-34s %14zu %14.0f", "arm+cancel cycles", kCancelRounds, cps);
+    row("pending() after cancel storm: %zu (live events only)", cs.pending());
+    bj.set("event.sched_events_per_sec", eps, {{"workload", "chain"}});
+    bj.set("event.sched_events_per_sec", cps, {{"workload", "cancel"}});
+    bj.set("event.sched_pending_after_cancel", static_cast<double>(cs.pending()));
   }
 
   // ------------------------------------------------------------------

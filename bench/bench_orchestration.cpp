@@ -6,10 +6,90 @@
 //          the control-loop RTT cost of orchestrating from the chosen node
 //          vs the worst admissible alternative.
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common.h"
 
 namespace cmtos::bench {
 namespace {
+
+/// Wall-clock seconds elapsed while `fn` runs.
+template <typename Fn>
+double wall_seconds(Fn&& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Sixteen orchestrated sessions on sixteen *disjoint* node pairs: every
+/// stream, its regulation loop and its HLO tick stay on the two shards that
+/// own the pair, so steady state has no global events and the executor can
+/// run every round in parallel.  Returns executed events per wall second.
+double run_sharded_workload(unsigned threads, std::size_t pairs) {
+  platform::Platform platform(97);
+  platform.set_threads(threads);
+  std::vector<platform::Host*> srcs, dsts;
+  std::vector<std::unique_ptr<media::StoredMediaServer>> servers;
+  std::vector<std::unique_ptr<media::RenderingSink>> sinks;
+  std::vector<std::unique_ptr<platform::Stream>> streams;
+  // Campus-scale links: the 10 ms propagation delay is the executor's
+  // lookahead, so every round spans 10 ms of simulated time and each shard
+  // drains a full pacer/regulation burst per round instead of one event.
+  net::LinkConfig link = lan_link();
+  link.propagation_delay = 10 * kMillisecond;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    auto& src = platform.add_host("src" + std::to_string(i));
+    auto& dst = platform.add_host("dst" + std::to_string(i));
+    srcs.push_back(&src);
+    dsts.push_back(&dst);
+    platform.network().add_link(src.id, dst.id, link);
+  }
+  platform.network().finalize_routes();
+  for (std::size_t i = 0; i < pairs; ++i) {
+    servers.push_back(
+        std::make_unique<media::StoredMediaServer>(platform, *srcs[i], "s" + std::to_string(i)));
+    media::TrackConfig t;
+    t.track_id = static_cast<std::uint32_t>(i + 1);
+    t.auto_start = false;
+    t.vbr.base_bytes = 1024;
+    const auto addr = servers.back()->add_track(100, t);
+    media::RenderConfig rc;
+    rc.expect_track = t.track_id;
+    sinks.push_back(std::make_unique<media::RenderingSink>(platform, *dsts[i], 200, rc));
+    streams.push_back(
+        std::make_unique<platform::Stream>(platform, *dsts[i], "p" + std::to_string(i)));
+    platform::VideoQos vq;
+    vq.frames_per_second = 100;
+    streams.back()->connect(addr, {dsts[i]->id, 200}, vq, {}, nullptr);
+  }
+  platform.run_until(500 * kMillisecond);
+  std::vector<std::unique_ptr<orch::OrchSession>> sessions;
+  orch::OrchPolicy policy;
+  policy.interval = 100 * kMillisecond;
+  for (std::size_t i = 0; i < pairs; ++i)
+    sessions.push_back(platform.orchestrator().orchestrate({streams[i]->orch_spec(2)}, policy,
+                                                           nullptr));
+  platform.run_until(platform.scheduler().now() + 500 * kMillisecond);
+  for (auto& s : sessions) s->prime(false, nullptr);
+  platform.run_until(platform.scheduler().now() + kSecond);
+  for (auto& s : sessions) s->start(nullptr);
+  platform.run_until(platform.scheduler().now() + 200 * kMillisecond);
+
+  // Timed steady-state section: 30 simulated seconds of paced media,
+  // regulation slots and HLO interval ticks.
+  std::size_t events = 0;
+  const auto& exec = platform.scheduler().executor();
+  const std::uint64_t serial0 = exec.serial_rounds(), par0 = exec.parallel_rounds();
+  const Time until = platform.scheduler().now() + 30 * kSecond;
+  const double secs = wall_seconds([&] { events = platform.scheduler().run_until(until); });
+  row("  [threads=%u: %zu events, %llu serial / %llu parallel rounds]", threads, events,
+      static_cast<unsigned long long>(exec.serial_rounds() - serial0),
+      static_cast<unsigned long long>(exec.parallel_rounds() - par0));
+  return static_cast<double>(events) / secs;
+}
 
 /// Builds `n` streams from one server to one workstation two hops apart.
 struct GroupWorld {
@@ -62,6 +142,10 @@ int main(int argc, char** argv) {
   using namespace cmtos;
   using namespace cmtos::bench;
   BenchJson bj("bench_orchestration", argc, argv);
+  unsigned threads = 1;
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--threads") == 0)
+      threads = static_cast<unsigned>(std::strtoul(argv[i + 1], nullptr, 10));
 
   title("Orch.request / Orch.Release latency vs group size",
         "Table 4: session establishment fans OPDUs to every source and sink LLO");
@@ -154,6 +238,35 @@ int main(int argc, char** argv) {
     row("interval by only %.3f ms on average (the regulate->report loop is node-local at",
         rtts.mean());
     row("the sink; only the source-side stats cross the network each interval)");
+  }
+
+  // ------------------------------------------------------------------
+  title("Sharded-runtime scaling (node-parallel executor)",
+        "16 orchestrated sessions on disjoint node pairs; rounds bounded by link lookahead");
+  {
+    constexpr std::size_t kPairs = 16;
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    row("hardware threads available: %u", hw);
+    row("%-12s %16s %10s", "threads", "events/sec", "speedup");
+    const double base = run_sharded_workload(1, kPairs);
+    row("%-12u %16.0f %10s", 1u, base, "1.00x");
+    bj.set("orchestration.sharded_events_per_sec", base,
+           {{"threads", "1"}, {"hw_threads", std::to_string(hw)}});
+    if (threads > 1) {
+      const double par = run_sharded_workload(threads, kPairs);
+      row("%-12u %16.0f %9.2fx", threads, par, par / base);
+      bj.set("orchestration.sharded_events_per_sec", par,
+             {{"threads", std::to_string(threads)}, {"hw_threads", std::to_string(hw)}});
+      bj.set("orchestration.sharded_speedup", par / base,
+             {{"threads", std::to_string(threads)}, {"hw_threads", std::to_string(hw)}});
+    }
+    row("%s", "");
+    row("Expectation: steady state has no global events (data TPDUs, OPDUs, media and");
+    row("regulation timers are all node-local), so throughput scales with the worker");
+    row("count up to the available hardware threads.  Wall-clock speedup is capped by");
+    row("the host: on a single-core runner the executor can only demonstrate identical");
+    row("event counts and round structure across thread counts (the determinism half");
+    row("of the contract), not parallel wall-clock gain.");
   }
   return 0;
 }

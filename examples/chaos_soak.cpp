@@ -43,7 +43,8 @@ using namespace cmtos;
 namespace {
 
 struct World {
-  explicit World(std::uint64_t seed) : platform(seed) {
+  explicit World(std::uint64_t seed, unsigned threads = 1) : platform(seed) {
+    platform.set_threads(threads);
     hub = &platform.add_host("hub");
     srv1 = &platform.add_host("srv1");
     wsB = &platform.add_host("wsB");
@@ -230,6 +231,7 @@ int main(int argc, char** argv) {
   std::string scenario = "crash_mid_stream";
   std::string json_path;
   std::uint64_t seed = 1;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -244,15 +246,17 @@ int main(int argc, char** argv) {
       seed = std::strtoull(next("--seed"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = next("--json");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--scenario crash_mid_stream|partition_prime_start|"
-                   "orch_death] [--seed N] [--json PATH]\n");
+                   "orch_death] [--seed N] [--threads N] [--json PATH]\n");
       return 2;
     }
   }
 
-  World world(seed);
+  World world(seed, threads);
   if (!world.ok) {
     std::fprintf(stderr, "chaos_soak: world setup failed\n");
     return 1;

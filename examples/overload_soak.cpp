@@ -70,7 +70,8 @@ platform::VideoQos small_video() {
 // ====================================================================
 
 struct StormWorld {
-  explicit StormWorld(std::uint64_t seed) : platform(seed) {
+  explicit StormWorld(std::uint64_t seed, unsigned threads = 1) : platform(seed) {
+    platform.set_threads(threads);
     hub = &platform.add_host("hub");
     vidsrv = &platform.add_host("vidsrv");
     audsrv = &platform.add_host("audsrv");
@@ -162,8 +163,8 @@ struct StormWorld {
   bool ok = false;
 };
 
-bool run_storm_recover(std::uint64_t seed) {
-  StormWorld w(seed);
+bool run_storm_recover(std::uint64_t seed, unsigned threads) {
+  StormWorld w(seed, threads);
   if (!w.ok) return fail("world setup");
   if (!w.establish_and_start()) return fail("session setup");
 
@@ -220,8 +221,9 @@ bool run_storm_recover(std::uint64_t seed) {
 // preempt
 // ====================================================================
 
-bool run_preempt(std::uint64_t seed) {
+bool run_preempt(std::uint64_t seed, unsigned threads) {
   platform::Platform platform(seed);
+  platform.set_threads(threads);
   auto& src1 = platform.add_host("src1");
   auto& src2 = platform.add_host("src2");
   auto& hub = platform.add_host("hub");
@@ -364,8 +366,9 @@ class StallSink : public platform::DeviceUser {
   sim::EventHandle tick_;
 };
 
-bool run_consumer_stall(std::uint64_t seed) {
+bool run_consumer_stall(std::uint64_t seed, unsigned threads) {
   platform::Platform platform(seed);
+  platform.set_threads(threads);
   auto& src = platform.add_host("src");
   auto& ws = platform.add_host("ws");
   net::LinkConfig link;
@@ -421,6 +424,7 @@ int main(int argc, char** argv) {
   std::string scenario = "storm_recover";
   std::string json_path;
   std::uint64_t seed = 1;
+  unsigned threads = 1;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -437,21 +441,23 @@ int main(int argc, char** argv) {
       json_path = next("--json");
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       set_log_level(LogLevel::kInfo);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: overload_soak [--scenario storm_recover|preempt|consumer_stall] "
-                   "[--seed N] [--json PATH] [--verbose]\n");
+                   "[--seed N] [--threads N] [--json PATH] [--verbose]\n");
       return 2;
     }
   }
 
   bool passed = false;
   if (scenario == "storm_recover") {
-    passed = run_storm_recover(seed);
+    passed = run_storm_recover(seed, threads);
   } else if (scenario == "preempt") {
-    passed = run_preempt(seed);
+    passed = run_preempt(seed, threads);
   } else if (scenario == "consumer_stall") {
-    passed = run_consumer_stall(seed);
+    passed = run_consumer_stall(seed, threads);
   } else {
     std::fprintf(stderr, "overload_soak: unknown scenario '%s'\n", scenario.c_str());
     return 2;

@@ -50,9 +50,11 @@ void LiveSource::tick() {
   }
   ++index_;
 
-  const auto& clock = platform_.network().node(host_.id).clock();
+  // Capture cadence is node-local: the frame lands in this node's transport
+  // buffer, so the tick never needs a serialised executor round.
+  auto& node = platform_.network().node(host_.id);
   const Duration local_period = static_cast<Duration>(1e9 / config_.rate);
-  tick_ = platform_.scheduler().after(clock.true_duration(local_period), [this] { tick(); });
+  tick_ = node.runtime().after(node.clock().true_duration(local_period), [this] { tick(); });
 }
 
 }  // namespace cmtos::media

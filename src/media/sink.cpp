@@ -73,10 +73,11 @@ void RenderingSink::render_tick() {
     if (config_.keep_records) records_.push_back(rec);
   }
 
-  const auto& clock = platform_.network().node(host_.id).clock();
+  // Rendering cadence is node-local, like the capture tick.
+  auto& node = platform_.network().node(host_.id);
   const Duration local_period = static_cast<Duration>(1e9 / rate_);
-  tick_ = platform_.scheduler().after(clock.true_duration(local_period),
-                                      [this] { render_tick(); });
+  tick_ = node.runtime().after(node.clock().true_duration(local_period),
+                               [this] { render_tick(); });
 }
 
 }  // namespace cmtos::media

@@ -96,9 +96,11 @@ class StoredMediaServer::TrackEndpoint : public DeviceUser, public orch::OrchApp
   }
 
   void schedule_paced_tick() {
-    const auto& clock = server_.platform_.network().node(server_.host_.id).clock();
+    // Paced production is node-local, like the live-source capture tick.
+    auto& node = server_.platform_.network().node(server_.host_.id);
+    const auto& clock = node.clock();
     const Duration local_period = static_cast<Duration>(1e9 / config_.paced_rate);
-    tick_ = server_.platform_.scheduler().after(clock.true_duration(local_period), [this] {
+    tick_ = node.runtime().after(clock.true_duration(local_period), [this] {
       if (!producing_ || conn_ == nullptr || stats.end_of_track) return;
       if (!submit_next()) ++stats.production_blocked_events;  // frame skipped this period
       schedule_paced_tick();

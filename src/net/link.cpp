@@ -1,14 +1,16 @@
 #include "net/link.h"
 
 #include <cmath>
+#include <memory>
 #include <utility>
 
 #include "util/logging.h"
 
 namespace cmtos::net {
 
-Link::Link(sim::Scheduler& sched, Rng rng, LinkConfig cfg, NodeId from, NodeId to)
-    : sched_(sched), rng_(rng), cfg_(cfg), from_(from), to_(to) {}
+Link::Link(sim::NodeRuntime& from_rt, sim::NodeRuntime& to_rt, Rng rng, LinkConfig cfg,
+           NodeId from, NodeId to)
+    : from_rt_(from_rt), to_rt_(to_rt), rng_(rng), cfg_(cfg), from_(from), to_(to) {}
 
 int Link::first_nonempty_band() const {
   for (int b = 0; b < kPriorityBands; ++b) {
@@ -63,7 +65,7 @@ void Link::start_serialising() {
   const Duration tx = transmission_time(
       static_cast<std::int64_t>(queues_[static_cast<std::size_t>(band)].front().wire_size()),
       cfg_.bandwidth_bps);
-  sched_.after(tx, [this] { finish_serialising(); });
+  from_rt_.after(tx, [this] { finish_serialising(); });
 }
 
 void Link::finish_serialising() {
@@ -121,12 +123,24 @@ void Link::finish_serialising() {
 void Link::propagate(Packet&& p) {
   Duration delay = cfg_.propagation_delay;
   if (cfg_.jitter > 0) delay += rng_.uniform(0, cfg_.jitter);
-  // Move the packet into the closure; deliver at the far end.
+  // Jitter is additive, so delay >= propagation_delay >= the executor's
+  // lookahead — the delivery always lands at or beyond the round horizon.
+  // The delivery event runs on the *receiving* node's shard; it is global
+  // only when this hop terminates the packet and its handler touches
+  // shared state (Packet::global_delivery).  Transit hops merely enqueue
+  // on the next link, which is local to the receiving shard.
+  const bool global = p.global_delivery && p.dst == to_;
+  const Time when = from_rt_.now() + delay;
   auto shared = std::make_shared<Packet>(std::move(p));
-  sched_.after(delay, [this, shared]() mutable {
+  auto fn = [this, shared]() mutable {
     ++shared->hops;
     if (deliver_) deliver_(std::move(*shared));
-  });
+  };
+  if (global) {
+    (void)to_rt_.at_global(when, std::move(fn));
+  } else {
+    (void)to_rt_.at(when, std::move(fn));
+  }
 }
 
 }  // namespace cmtos::net

@@ -19,7 +19,7 @@
 #include <functional>
 
 #include "net/packet.h"
-#include "sim/scheduler.h"
+#include "sim/node_runtime.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -60,7 +60,11 @@ class Link {
  public:
   using DeliverFn = std::function<void(Packet&&)>;
 
-  Link(sim::Scheduler& sched, Rng rng, LinkConfig cfg, NodeId from, NodeId to);
+  /// A link's transmit side (queues, serialisation timer, loss model) is
+  /// owned by the from-node's shard; delivery events are scheduled onto the
+  /// to-node's shard — the only way state crosses nodes.
+  Link(sim::NodeRuntime& from_rt, sim::NodeRuntime& to_rt, Rng rng, LinkConfig cfg, NodeId from,
+       NodeId to);
 
   NodeId from() const { return from_; }
   NodeId to() const { return to_; }
@@ -104,7 +108,14 @@ class Link {
   }
   void set_bit_error_rate(double p) { cfg_.bit_error_rate = p; }
   void set_jitter(Duration j) { cfg_.jitter = j; }
-  void set_propagation_delay(Duration d) { cfg_.propagation_delay = d; }
+  void set_propagation_delay(Duration d) {
+    cfg_.propagation_delay = d;
+    if (retune_) retune_();  // the network refreshes the executor lookahead
+  }
+
+  /// Installed by the Network: invoked when a latency-relevant parameter
+  /// changes mid-run so the conservative lookahead can be recomputed.
+  void set_retune_hook(std::function<void()> fn) { retune_ = std::move(fn); }
 
   // --- fault injection (partition primitive) ---
   /// A down link drops every offered packet and every frame completing
@@ -121,11 +132,13 @@ class Link {
   /// Highest-priority nonempty band, or -1.
   int first_nonempty_band() const;
 
-  sim::Scheduler& sched_;
+  sim::NodeRuntime& from_rt_;
+  sim::NodeRuntime& to_rt_;
   Rng rng_;
   LinkConfig cfg_;
   NodeId from_, to_;
   DeliverFn deliver_;
+  std::function<void()> retune_;
   std::array<std::deque<Packet>, kPriorityBands> queues_;
   bool serialising_ = false;
   int serialising_band_ = -1;  // band of the frame currently on the wire

@@ -10,7 +10,10 @@ namespace cmtos::net {
 
 NodeId Network::add_node(const std::string& name, sim::LocalClock clock) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(std::make_unique<Node>(*this, id, name, clock));
+  // Each node gets its own executor shard (shard 0 is the scheduler's
+  // control shard, so node i lives on shard i + 1).
+  sim::NodeRuntime& rt = sched_.executor().add_shard();
+  nodes_.push_back(std::make_unique<Node>(*this, id, name, clock, rt));
   routes_valid_ = false;
   return id;
 }
@@ -18,11 +21,28 @@ NodeId Network::add_node(const std::string& name, sim::LocalClock clock) {
 void Network::add_link(NodeId a, NodeId b, const LinkConfig& cfg) {
   CMTOS_ASSERT(a < nodes_.size() && b < nodes_.size() && a != b, "net.link_endpoints");
   for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
-    auto link = std::make_unique<Link>(sched_, rng_.split(), cfg, from, to);
+    auto link = std::make_unique<Link>(nodes_[from]->runtime(), nodes_[to]->runtime(),
+                                       rng_.split(), cfg, from, to);
     link->set_deliver([this, to](Packet&& p) { forward(std::move(p), to); });
+    link->set_retune_hook([this] { refresh_lookahead(); });
     links_[LinkKey{from, to}] = std::move(link);
   }
   routes_valid_ = false;
+  refresh_lookahead();
+}
+
+void Network::refresh_lookahead() {
+  Duration min_prop = kTimeNever;
+  for (const auto& [key, link] : links_) {
+    min_prop = std::min(min_prop, link->config().propagation_delay);
+  }
+  sched_.executor().set_lookahead(min_prop == kTimeNever ? 1 : min_prop);
+}
+
+void Network::set_node_up(NodeId id, bool up) {
+  Node& n = *nodes_.at(id);
+  n.set_up(up);
+  n.invoke_fault_handler(up);
 }
 
 void Network::finalize_routes() {
@@ -87,15 +107,34 @@ std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
 void Network::send(Packet&& pkt) {
   CMTOS_ASSERT(routes_valid_, "net.routes_stale");  // finalize_routes() not called
   pkt.injected_at = sched_.now();
-  pkt.id = next_packet_id_++;
-  // Dispatch through the scheduler (even for node-local delivery) so a
-  // send never re-enters the receiver synchronously from inside the
-  // sender's call stack.
+  // Packet ids come from the *calling* shard's node-scoped counter (the
+  // sender executes on its own node's shard), so no cross-shard counter is
+  // shared.  Callers outside any event context (test setup) charge the id
+  // to the source node.
+  sim::NodeRuntime* ctx = sim::Executor::current();
+  sim::NodeRuntime& id_rt = (ctx != nullptr && &ctx->executor() == &sched_.executor())
+                                ? *ctx
+                                : nodes_.at(pkt.src)->runtime();
+  pkt.id = id_rt.next_node_unique_id();
+  // Dispatch through the source node's shard (even for node-local
+  // delivery) so a send never re-enters the receiver synchronously from
+  // inside the sender's call stack.  The injection event forwards: for a
+  // loopback packet that invokes the terminal handler directly, so it
+  // inherits the packet's global classification; otherwise it only feeds
+  // the first link, which is local to the source shard.
+  sim::NodeRuntime& src_rt = nodes_.at(pkt.src)->runtime();
+  const bool global = pkt.global_delivery && pkt.src == pkt.dst;
+  const Time when = pkt.injected_at;
   auto shared = std::make_shared<Packet>(std::move(pkt));
-  sched_.after(0, [this, shared]() mutable {
+  auto fn = [this, shared]() mutable {
     const NodeId at = shared->src;
     forward(std::move(*shared), at);
-  });
+  };
+  if (global) {
+    (void)src_rt.at_global(when, std::move(fn));
+  } else {
+    (void)src_rt.at(when, std::move(fn));
+  }
 }
 
 void Network::forward(Packet&& pkt, NodeId at) {

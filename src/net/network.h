@@ -63,8 +63,10 @@ class Network {
   void set_link_up(NodeId a, NodeId b, bool up);
 
   /// Marks a node down (crash) or up (restart).  A down node drops all
-  /// terminating and transit packets.
-  void set_node_up(NodeId id, bool up) { nodes_.at(id)->set_up(up); }
+  /// terminating and transit packets.  The node's fault handler (if any)
+  /// runs afterwards, so the platform's stack teardown / cold start routes
+  /// through the network rather than the injector reaching into node state.
+  void set_node_up(NodeId id, bool up);
   bool node_up(NodeId id) const { return nodes_.at(id)->up(); }
 
   /// The route from src to dst (inclusive of both), empty if unreachable.
@@ -119,6 +121,11 @@ class Network {
   Duration path_delay_estimate(NodeId src, NodeId dst, std::int64_t bytes);
 
  private:
+  /// Conservative lookahead for the parallel executor: the minimum
+  /// propagation delay over all links.  Pushed on add_link and whenever a
+  /// link's propagation delay is retuned mid-run.
+  void refresh_lookahead();
+
   struct Reservation {
     std::vector<LinkKey> links;
     std::int64_t bps = 0;
@@ -138,7 +145,6 @@ class Network {
   std::vector<std::vector<NodeId>> routes_;
   bool routes_valid_ = false;
   bool admission_enabled_ = true;
-  std::uint64_t next_packet_id_ = 1;
   ReservationId next_reservation_id_ = 1;
   std::map<ReservationId, Reservation> reservations_;
 };

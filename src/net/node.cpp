@@ -1,12 +1,13 @@
 #include "net/node.h"
 
 #include "net/network.h"
+#include "sim/node_runtime.h"
 #include "util/logging.h"
 
 namespace cmtos::net {
 
 Time Node::local_now() const {
-  return clock_.local_time(network_.scheduler().now());
+  return clock_.local_time(runtime_->now());
 }
 
 void Node::receive(Packet&& pkt) {

@@ -20,6 +20,10 @@
 #include "sim/clock.h"
 #include "util/time.h"
 
+namespace cmtos::sim {
+class NodeRuntime;
+}
+
 namespace cmtos::net {
 
 class Network;
@@ -28,8 +32,9 @@ class Node {
  public:
   using Handler = std::function<void(Packet&&)>;
 
-  Node(Network& network, NodeId id, std::string name, sim::LocalClock clock)
-      : network_(network), id_(id), name_(std::move(name)), clock_(clock) {}
+  Node(Network& network, NodeId id, std::string name, sim::LocalClock clock,
+       sim::NodeRuntime& runtime)
+      : network_(network), runtime_(&runtime), id_(id), name_(std::move(name)), clock_(clock) {}
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -39,6 +44,11 @@ class Node {
 
   /// This node's local view of the current time.
   Time local_now() const;
+
+  /// The event-queue shard that owns every piece of state on this node.
+  /// Components resident on the node schedule their timers here.
+  sim::NodeRuntime& runtime() { return *runtime_; }
+  const sim::NodeRuntime& runtime() const { return *runtime_; }
 
   /// Registers the handler for packets terminating here with protocol `p`.
   void set_handler(Proto p, Handler h) { handlers_[index(p)] = std::move(h); }
@@ -52,17 +62,27 @@ class Node {
   void set_up(bool up) { up_ = up; }
   bool up() const { return up_; }
 
+  /// Installed by the platform: invoked by Network::set_node_up so crash /
+  /// restart of the software stack routes through the Network rather than
+  /// the fault injector poking node-owned state directly.
+  void set_fault_handler(std::function<void(bool up)> h) { fault_handler_ = std::move(h); }
+  void invoke_fault_handler(bool up) {
+    if (fault_handler_) fault_handler_(up);
+  }
+
   Network& network() { return network_; }
 
  private:
   static std::size_t index(Proto p) { return static_cast<std::size_t>(p); }
 
   Network& network_;
+  sim::NodeRuntime* runtime_;
   NodeId id_;
   std::string name_;
   sim::LocalClock clock_;
   bool up_ = true;
   std::array<Handler, 8> handlers_{};
+  std::function<void(bool)> fault_handler_;
 };
 
 }  // namespace cmtos::net

@@ -41,8 +41,15 @@ struct Packet {
   bool corrupted = false;
   /// Hop count so far, for diagnostics and TTL-style loop protection.
   int hops = 0;
-  /// Unique id assigned at injection, for tracing.
+  /// Unique id assigned at injection, for tracing.  Node-scoped (top bits
+  /// carry the injecting shard) so parallel shards never share a counter.
   std::uint64_t id = 0;
+  /// Set by the sending layer when the *terminal* delivery handler may
+  /// touch shared cross-node state (control TPDUs walk reservations, RPC
+  /// reaches orchestration state).  The executor then runs the delivery in
+  /// a serial round.  Media/data traffic leaves this false and stays
+  /// parallel.
+  bool global_delivery = false;
 
   std::size_t wire_size() const { return payload.size() + kPacketHeaderBytes; }
 };

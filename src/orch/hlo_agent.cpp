@@ -223,9 +223,11 @@ void HloAgent::interval_tick() {
   }
 
   // The interval timer runs off the orchestrating node's clock (the master
-  // reference), not ideal simulation time.
-  tick_ = llo_.network().scheduler().after(llo_.entity().to_true(policy_.interval),
-                                           [this] { interval_tick(); });
+  // reference), not ideal simulation time.  It is a node-local event: the
+  // tick only reads agent state and issues regulate() fan-outs, so
+  // steady-state orchestration never forces a serial executor round.
+  tick_ = llo_.entity().runtime().after(llo_.entity().to_true(policy_.interval),
+                                        [this] { interval_tick(); });
 }
 
 void HloAgent::on_regulate(const RegulateIndication& ind) {

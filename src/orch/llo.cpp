@@ -1,15 +1,10 @@
 #include "orch/llo.h"
 
-#include <algorithm>
-
-#include "obs/metrics.h"
-#include "obs/trace.h"
 #include "util/contract.h"
 #include "util/logging.h"
 
 namespace cmtos::orch {
 
-using transport::Connection;
 using transport::VcId;
 
 const char* to_string(OrchReason r) {
@@ -74,13 +69,19 @@ const char* to_string(SessionPhase s) {
 }
 
 Llo::Llo(net::Network& network, net::NodeId node, transport::TransportEntity& entity)
-    : network_(network), node_(node), entity_(entity) {
+    : network_(network),
+      node_(node),
+      entity_(entity),
+      timers_(network.node(node).runtime()),
+      table_(*this, timers_),
+      reg_(*this) {
   network_.node(node_).set_handler(net::Proto::kOrch,
                                    [this](net::Packet&& p) { on_opdu_packet(std::move(p)); });
   // A VC dying under an orchestration group must not strand the group: the
   // LLO hears about every endpoint teardown and detaches/reports.
   entity_.set_on_vc_closed([this](VcId vc, transport::DisconnectReason reason) {
-    on_vc_closed(vc, reason);
+    if (down_) return;
+    reg_.on_vc_closed(vc, reason);
   });
 }
 
@@ -94,115 +95,10 @@ void Llo::send_opdu(net::NodeId dst, const Opdu& o) {
   network_.send(std::move(pkt));
 }
 
-Llo::Session* Llo::session(OrchSessionId s) {
-  auto it = sessions_.find(s);
-  return it == sessions_.end() ? nullptr : &it->second;
-}
-
-Llo::VcLocal* Llo::local(LocalKey key) {
-  auto it = locals_.find(key);
-  return it == locals_.end() ? nullptr : &it->second;
-}
-
-void Llo::set_phase(OrchSessionId s, Session& sess, SessionPhase next) {
-  if (sess.phase == next) return;  // failed op reverting to where it started
-  CMTOS_ASSERT(orch_transition_legal(sess.phase, next), "orch.transition");
-  CMTOS_TRACE("orch", "session=%llu %s -> %s", static_cast<unsigned long long>(s),
-              to_string(sess.phase), to_string(next));
-  sess.phase = next;
-}
-
-OrchReason Llo::admit_group_op(const Session& sess, SessionPhase attempt) const {
-  if (!sess.established) return OrchReason::kNotEstablished;
-  // Group primitives are atomic over the whole group: a second op while one
-  // is still collecting acks would interleave the two fan-outs and clobber
-  // the pending-ack bookkeeping.
-  if (sess.op != nullptr) return OrchReason::kOpInProgress;
-  if (attempt != sess.phase && !orch_transition_legal(sess.phase, attempt))
-    return OrchReason::kIllegalTransition;
-  return OrchReason::kOk;
-}
-
-// ====================================================================
-// Orchestrating-node API
-// ====================================================================
-
-void Llo::orch_request(OrchSessionId s, std::vector<OrchVcInfo> vcs, ResultFn done,
-                       bool allow_no_common_node) {
-  if (sessions_.contains(s)) {
-    if (done) done(false, OrchReason::kNoTableSpace);
-    return;
-  }
-  // Common-node restriction (§5): this node must be an endpoint of every
-  // orchestrated VC so its clock can serve as the synchronisation datum.
-  // The §7 extension lifts it on request (see orch_request's doc comment).
-  if (!allow_no_common_node) {
-    for (const auto& i : vcs) {
-      if (i.src_node != node_ && i.sink_node != node_) {
-        if (done) done(false, OrchReason::kNoCommonNode);
-        return;
-      }
-    }
-  }
-  Session sess;
-  sess.vcs = vcs;
-  // OPDUs ride the internal control VC of each orchestrated transport
-  // connection (§5 / [Shepherd,91]); the transport reserved that bandwidth
-  // at connect time (TransportEntity::kControlVcBps, both directions), so
-  // no additional reservation is made here.
-  auto [it, _] = sessions_.emplace(s, std::move(sess));
-  fan_out(it->second, OpduType::kSessReq, 0, std::move(done), nullptr);
-  // Mark established once the fan-out completes successfully; finish_op
-  // handles that via the `established` flag check below.
-  it->second.op->commit_phase = SessionPhase::kIdle;
-  it->second.op->revert_phase = SessionPhase::kEstablishing;
-}
-
-void Llo::orch_release(OrchSessionId s) {
-  Session* sess = session(s);
-  if (sess == nullptr) return;
-  for (const auto& i : sess->vcs) {
-    for (std::uint8_t flag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
-      Opdu o;
-      o.type = OpduType::kSessRel;
-      o.session = s;
-      o.vc = i.vc;
-      o.orch_node = node_;
-      o.flags = flag;
-      send_opdu(flag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
-    }
-  }
-  sessions_.erase(s);
-}
-
-void Llo::release_remote(OrchSessionId s, const std::vector<OrchVcInfo>& vcs) {
-  for (const auto& i : vcs) {
-    for (std::uint8_t flag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
-      Opdu o;
-      o.type = OpduType::kSessRel;
-      o.session = s;
-      o.vc = i.vc;
-      o.orch_node = node_;
-      o.flags = flag;
-      send_opdu(flag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
-    }
-  }
-}
-
 void Llo::crash() {
-  for (auto& [s, sess] : sessions_) {
-    if (sess.op) sess.op->timeout.cancel();
-    for (auto& [k, merge] : sess.reg_merge) merge.timeout.cancel();
-  }
-  for (auto& [k, st] : locals_) {
-    st.slot_timer.cancel();
-    st.src_timer.cancel();
-  }
-  sessions_.clear();
-  locals_.clear();
-  on_regulate_.clear();
-  on_event_.clear();
-  on_vc_dead_.clear();
+  table_.crash();
+  reg_.crash();
+  timers_.cancel_all();
   clock_probes_.clear();
   down_ = true;
   CMTOS_WARN("llo", "node %u: LLO crashed, all orchestration state dropped", node_);
@@ -213,359 +109,9 @@ void Llo::restart() {
   CMTOS_INFO("llo", "node %u: LLO restarted", node_);
 }
 
-void Llo::on_vc_closed(VcId vc, transport::DisconnectReason reason) {
-  if (down_) return;
-  // Collect first: detach_endpoint mutates locals_.
-  std::vector<std::pair<LocalKey, net::NodeId>> dead;
-  for (const auto& [key, st] : locals_)
-    if (key.second == vc) dead.emplace_back(key, st.orch_node);
-  for (const auto& [key, orch_node] : dead) {
-    CMTOS_WARN("llo", "node %u: vc %llu died (%s), detaching from session %llu", node_,
-               static_cast<unsigned long long>(vc), to_string(reason).c_str(),
-               static_cast<unsigned long long>(key.first));
-    detach_endpoint(key);
-    obs::Registry::global()
-        .counter("orch.vc_detached", {{"node", std::to_string(node_)}})
-        .add();
-    Opdu o;
-    o.type = OpduType::kVcDead;
-    o.session = key.first;
-    o.vc = vc;
-    o.orch_node = node_;
-    o.event_value = static_cast<std::uint64_t>(reason);
-    send_opdu(orch_node, o);
-  }
-}
-
-void Llo::handle_vc_dead(const Opdu& o) {
-  Session* sess = session(o.session);
-  if (sess == nullptr) return;
-  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
-                         [&](const OrchVcInfo& i) { return i.vc == o.vc; });
-  if (it == sess->vcs.end()) return;  // duplicate report (both endpoints died)
-  sess->vcs.erase(it);
-  // Orphan any in-flight regulation merges for the dead VC.
-  for (auto mit = sess->reg_merge.begin(); mit != sess->reg_merge.end();) {
-    if (mit->first.first == o.vc) {
-      mit->second.timeout.cancel();
-      if (mit->second.span_id != 0)
-        obs::Tracer::global().async_end("Orch.Regulate", mit->second.span_id,
-                                        static_cast<int>(node_),
-                                        static_cast<int>(o.vc & 0xffffffffu));
-      mit = sess->reg_merge.erase(mit);
-    } else {
-      ++mit;
-    }
-  }
-  obs::Registry::global()
-      .counter("orch.vc_dead", {{"session", std::to_string(o.session)}})
-      .add();
-  obs::Tracer::global().instant("Orch.VcDead", static_cast<int>(node_),
-                                static_cast<int>(o.vc & 0xffffffffu));
-  if (auto cb = on_vc_dead_.find(o.session); cb != on_vc_dead_.end() && cb->second) {
-    EventIndication ind;
-    ind.session = o.session;
-    ind.vc = o.vc;
-    ind.event_value = o.event_value;
-    ind.matched_at = network_.scheduler().now();
-    cb->second(ind);
-  }
-}
-
-void Llo::fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
-                  StartFn start_done) {
-  auto op = std::make_unique<PendingOp>();
-  op->done = std::move(done);
-  op->start_done = std::move(start_done);
-  op->awaiting = static_cast<int>(sess.vcs.size()) * 2;
-  if (type == OpduType::kPrime) {
-    for (const auto& i : sess.vcs) op->primed_wanted.insert(i.vc);
-  }
-  // Trace span: request fan-out -> last ack (async; several ops across VCs
-  // may overlap on this node).
-  switch (type) {
-    case OpduType::kSessReq: op->span_name = "Orch.Session"; break;
-    case OpduType::kPrime: op->span_name = "Orch.Prime"; break;
-    case OpduType::kStart: op->span_name = "Orch.Start"; break;
-    case OpduType::kStop: op->span_name = "Orch.Stop"; break;
-    default: break;
-  }
-  auto& tracer = obs::Tracer::global();
-  if (op->span_name != nullptr && tracer.enabled()) {
-    op->span_id = tracer.next_async_id();
-    tracer.async_begin(op->span_name, op->span_id, static_cast<int>(node_));
-  }
-  // Find the session id (the map key) for the timeout closure.
-  OrchSessionId sid = 0;
-  for (auto& [k, v] : sessions_) {
-    if (&v == &sess) {
-      sid = k;
-      break;
-    }
-  }
-  op->timeout = network_.scheduler().after(op_timeout_, [this, sid] {
-    Session* se = session(sid);
-    if (se == nullptr || se->op == nullptr) return;
-    auto timed_out = std::move(se->op);
-    set_phase(sid, *se, timed_out->revert_phase);
-    if (timed_out->span_id != 0)
-      obs::Tracer::global().async_end(timed_out->span_name, timed_out->span_id,
-                                      static_cast<int>(node_));
-    if (timed_out->done) timed_out->done(false, OrchReason::kTimeout);
-    if (timed_out->start_done) timed_out->start_done(false, {});
-  });
-  sess.op = std::move(op);
-
-  for (const auto& i : sess.vcs) {
-    for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
-      Opdu o;
-      o.type = type;
-      o.session = sid;
-      o.vc = i.vc;
-      o.orch_node = node_;
-      o.flags = static_cast<std::uint8_t>(flags | roleflag);
-      o.vcs = {i};
-      send_opdu(roleflag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
-    }
-  }
-}
-
-void Llo::prime(OrchSessionId s, bool flush, ResultFn done) {
-  Session* sess = session(s);
-  if (sess == nullptr) {
-    if (done) done(false, OrchReason::kNoSession);
-    return;
-  }
-  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kPriming); r != OrchReason::kOk) {
-    CMTOS_WARN("orch", "Orch.Prime rejected in phase %s: %s", to_string(sess->phase),
-               to_string(r));
-    if (done) done(false, r);
-    return;
-  }
-  const SessionPhase from = sess->phase;
-  set_phase(s, *sess, SessionPhase::kPriming);
-  fan_out(*sess, OpduType::kPrime, flush ? kOpduFlagFlush : std::uint8_t{0}, std::move(done),
-          nullptr);
-  sess->op->commit_phase = SessionPhase::kPrimed;
-  sess->op->revert_phase = from;
-}
-
-void Llo::start(OrchSessionId s, StartFn done) {
-  Session* sess = session(s);
-  if (sess == nullptr) {
-    if (done) done(false, {});
-    return;
-  }
-  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kStarting); r != OrchReason::kOk) {
-    CMTOS_WARN("orch", "Orch.Start rejected in phase %s: %s", to_string(sess->phase),
-               to_string(r));
-    if (done) done(false, {});
-    return;
-  }
-  const SessionPhase from = sess->phase;
-  set_phase(s, *sess, SessionPhase::kStarting);
-  fan_out(*sess, OpduType::kStart, 0, nullptr, std::move(done));
-  sess->op->commit_phase = SessionPhase::kRunning;
-  sess->op->revert_phase = from;
-}
-
-void Llo::stop(OrchSessionId s, ResultFn done) {
-  Session* sess = session(s);
-  if (sess == nullptr) {
-    if (done) done(false, OrchReason::kNoSession);
-    return;
-  }
-  if (const OrchReason r = admit_group_op(*sess, SessionPhase::kStopping); r != OrchReason::kOk) {
-    CMTOS_WARN("orch", "Orch.Stop rejected in phase %s: %s", to_string(sess->phase),
-               to_string(r));
-    if (done) done(false, r);
-    return;
-  }
-  const SessionPhase from = sess->phase;
-  set_phase(s, *sess, SessionPhase::kStopping);
-  fan_out(*sess, OpduType::kStop, 0, std::move(done), nullptr);
-  sess->op->commit_phase = SessionPhase::kStopped;
-  sess->op->revert_phase = from;
-}
-
-void Llo::add(OrchSessionId s, OrchVcInfo vc, ResultFn done) {
-  Session* sess = session(s);
-  if (sess == nullptr) {
-    if (done) done(false, OrchReason::kNoSession);
-    return;
-  }
-  if (vc.src_node != node_ && vc.sink_node != node_) {
-    if (done) done(false, OrchReason::kNoCommonNode);
-    return;
-  }
-  // Membership changes keep the session's phase but still need exclusive
-  // use of the pending-op slot.
-  if (const OrchReason r = admit_group_op(*sess, sess->phase); r != OrchReason::kOk) {
-    if (done) done(false, r);
-    return;
-  }
-  sess->vcs.push_back(vc);
-  auto op = std::make_unique<PendingOp>();
-  op->done = std::move(done);
-  op->awaiting = 2;
-  op->commit_phase = sess->phase;
-  op->revert_phase = sess->phase;
-  sess->op = std::move(op);
-  for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
-    Opdu o;
-    o.type = OpduType::kAdd;
-    o.session = s;
-    o.vc = vc.vc;
-    o.orch_node = node_;
-    o.flags = roleflag;
-    o.vcs = {vc};
-    send_opdu(roleflag & kOpduFlagSourceTarget ? vc.src_node : vc.sink_node, o);
-  }
-}
-
-void Llo::remove(OrchSessionId s, VcId vc, ResultFn done) {
-  Session* sess = session(s);
-  if (sess == nullptr) {
-    if (done) done(false, OrchReason::kNoSession);
-    return;
-  }
-  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
-                         [&](const OrchVcInfo& i) { return i.vc == vc; });
-  if (it == sess->vcs.end()) {
-    if (done) done(false, OrchReason::kNoSuchVc);
-    return;
-  }
-  if (const OrchReason r = admit_group_op(*sess, sess->phase); r != OrchReason::kOk) {
-    if (done) done(false, r);
-    return;
-  }
-  const OrchVcInfo info = *it;
-  sess->vcs.erase(it);
-  auto op = std::make_unique<PendingOp>();
-  op->done = std::move(done);
-  op->awaiting = 2;
-  op->commit_phase = sess->phase;
-  op->revert_phase = sess->phase;
-  sess->op = std::move(op);
-  for (std::uint8_t roleflag : {std::uint8_t{0}, kOpduFlagSourceTarget}) {
-    Opdu o;
-    o.type = OpduType::kRemove;
-    o.session = s;
-    o.vc = vc;
-    o.orch_node = node_;
-    o.flags = roleflag;
-    send_opdu(roleflag & kOpduFlagSourceTarget ? info.src_node : info.sink_node, o);
-  }
-}
-
-void Llo::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq, std::uint32_t max_drop,
-                   Duration interval, std::uint32_t interval_id, bool relative) {
-  Session* sess = session(s);
-  if (sess == nullptr || !sess->established) return;
-  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
-                         [&](const OrchVcInfo& i) { return i.vc == vc; });
-  if (it == sess->vcs.end()) return;
-
-  RegMerge merge;
-  merge.ind.session = s;
-  merge.ind.vc = vc;
-  merge.ind.interval_id = interval_id;
-  const auto key = std::pair{vc, interval_id};
-  // One "Orch.Regulate" interval span per (vc, interval): request fan-out
-  // to merged indication.
-  auto& tracer = obs::Tracer::global();
-  if (tracer.enabled()) {
-    merge.span_id = tracer.next_async_id();
-    tracer.async_begin("Orch.Regulate", merge.span_id, static_cast<int>(node_),
-                       static_cast<int>(vc & 0xffffffffu));
-  }
-  merge.timeout = network_.scheduler().after(interval + interval / 2 + 100 * kMillisecond,
-                                             [this, s, key] {
-                                               Session* se = session(s);
-                                               if (se == nullptr) return;
-                                               auto mit = se->reg_merge.find(key);
-                                               if (mit == se->reg_merge.end()) return;
-                                               if (!mit->second.have_sink &&
-                                                   !mit->second.have_src) {
-                                                 // Total silence is not a report: swallow
-                                                 // the interval so the agent's
-                                                 // last_report_time goes stale — the
-                                                 // heartbeat failover detection reads.
-                                                 if (mit->second.span_id != 0)
-                                                   obs::Tracer::global().async_end(
-                                                       "Orch.Regulate", mit->second.span_id,
-                                                       static_cast<int>(node_),
-                                                       static_cast<int>(key.first &
-                                                                        0xffffffffu));
-                                                 obs::Registry::global()
-                                                     .counter("orch.regulate_silent",
-                                                              {{"vc", std::to_string(
-                                                                          key.first)}})
-                                                     .add();
-                                                 se->reg_merge.erase(mit);
-                                                 return;
-                                               }
-                                               mit->second.ind.partial = true;
-                                               emit_regulate_ind(s, key);
-                                             });
-  sess->reg_merge.emplace(key, std::move(merge));
-
-  Opdu to_sink;
-  to_sink.type = OpduType::kRegulateSink;
-  to_sink.session = s;
-  to_sink.vc = vc;
-  to_sink.orch_node = node_;
-  to_sink.flags = relative ? kOpduFlagRelativeTarget : std::uint8_t{0};
-  to_sink.target_seq = target_seq;
-  to_sink.max_drop = max_drop;
-  to_sink.interval = interval;
-  to_sink.interval_id = interval_id;
-  to_sink.src_node = it->src_node;
-  send_opdu(it->sink_node, to_sink);
-
-  Opdu to_src;
-  to_src.type = OpduType::kRegulateSrc;
-  to_src.session = s;
-  to_src.vc = vc;
-  to_src.orch_node = node_;
-  to_src.max_drop = max_drop;
-  to_src.interval = interval;
-  to_src.interval_id = interval_id;
-  send_opdu(it->src_node, to_src);
-}
-
-void Llo::delayed(OrchSessionId s, VcId vc, bool source_side, std::int64_t osdus_behind) {
-  Session* sess = session(s);
-  if (sess == nullptr) return;
-  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
-                         [&](const OrchVcInfo& i) { return i.vc == vc; });
-  if (it == sess->vcs.end()) return;
-  Opdu o;
-  o.type = OpduType::kDelayed;
-  o.session = s;
-  o.vc = vc;
-  o.orch_node = node_;
-  o.source_side = source_side ? 1 : 0;
-  o.flags = source_side ? kOpduFlagSourceTarget : std::uint8_t{0};
-  o.osdus_behind = osdus_behind;
-  send_opdu(source_side ? it->src_node : it->sink_node, o);
-}
-
-void Llo::register_event(OrchSessionId s, VcId vc, std::uint64_t pattern, std::uint64_t mask) {
-  Session* sess = session(s);
-  if (sess == nullptr) return;
-  auto it = std::find_if(sess->vcs.begin(), sess->vcs.end(),
-                         [&](const OrchVcInfo& i) { return i.vc == vc; });
-  if (it == sess->vcs.end()) return;
-  Opdu o;
-  o.type = OpduType::kEventReg;
-  o.session = s;
-  o.vc = vc;
-  o.orch_node = node_;
-  o.pattern = pattern;
-  o.mask = mask;
-  send_opdu(it->sink_node, o);
-}
+// ====================================================================
+// Clock-offset estimation (§5 footnote / §7)
+// ====================================================================
 
 void Llo::estimate_clock_offset(net::NodeId peer, int probes,
                                 std::function<void(const ClockEstimate&)> done) {
@@ -583,523 +129,73 @@ void Llo::estimate_clock_offset(net::NodeId peer, int probes,
     o.t_origin = entity_.local_now();
     send_opdu(peer, o);
   }
-  // Unanswered probes are abandoned after a generous deadline.
-  network_.scheduler().after(2 * kSecond, [this, session, ids] {
+  // Unanswered probes are abandoned after a generous deadline.  The timer
+  // deliberately stays outside timers_: a crash must not cancel it, so the
+  // caller's estimate still completes (with the probes it got) even after
+  // the node drops its orchestration state.
+  rt().after_global(2 * kSecond, [this, session, ids] {
     session->finish();
     for (auto id : ids) clock_probes_.erase(id);
   });
 }
 
-// ====================================================================
-// Ack collection at the orchestrating node
-// ====================================================================
-
-void Llo::op_ack(const Opdu& o) {
-  Session* sess = session(o.session);
-  if (sess == nullptr || sess->op == nullptr) return;
-  PendingOp& op = *sess->op;
-  --op.awaiting;
-  if (!o.ok) {
-    op.failed = true;
-    op.reason = o.reason;
-  }
-  if (o.type == OpduType::kStartAck && !(o.flags & kOpduFlagSourceTarget)) {
-    op.start_bases[o.vc] = o.delivered_seq;
-  }
-  if (o.type == OpduType::kSessAck && o.ok) sess->established = true;
-  finish_op(o.session, *sess);
+void Llo::handle_time_req(const Opdu& o) {
+  Opdu resp;
+  resp.type = OpduType::kTimeResp;
+  resp.probe_id = o.probe_id;
+  resp.t_origin = o.t_origin;          // echoed
+  resp.t_peer = entity_.local_now();   // my local clock
+  send_opdu(o.orch_node, resp);
 }
 
-void Llo::finish_op(OrchSessionId s, Session& sess) {
-  PendingOp& op = *sess.op;
-  if (op.awaiting > 0) return;
-  if (!op.failed && !op.primed_wanted.empty()) return;  // prime: wait for buffers to fill
-  op.timeout.cancel();
-  auto finished = std::move(sess.op);
-  set_phase(s, sess, finished->failed ? finished->revert_phase : finished->commit_phase);
-  if (finished->span_id != 0)
-    obs::Tracer::global().async_end(finished->span_name, finished->span_id,
-                                    static_cast<int>(node_));
-  if (finished->done) finished->done(!finished->failed, finished->reason);
-  if (finished->start_done) finished->start_done(!finished->failed, finished->start_bases);
-}
-
-void Llo::emit_regulate_ind(OrchSessionId s, std::pair<VcId, std::uint32_t> key) {
-  Session* sess = session(s);
-  if (sess == nullptr) return;
-  auto it = sess->reg_merge.find(key);
-  if (it == sess->reg_merge.end()) return;
-  it->second.timeout.cancel();
-  if (it->second.span_id != 0)
-    obs::Tracer::global().async_end("Orch.Regulate", it->second.span_id,
-                                    static_cast<int>(node_),
-                                    static_cast<int>(key.first & 0xffffffffu));
-  RegulateIndication ind = it->second.ind;
-  sess->reg_merge.erase(it);
-  obs::Registry::global()
-      .counter("orch.regulate_intervals", {{"vc", std::to_string(ind.vc)}})
-      .add();
-  if (ind.partial)
-    obs::Registry::global()
-        .counter("orch.regulate_partial", {{"vc", std::to_string(ind.vc)}})
-        .add();
-  if (auto cb = on_regulate_.find(s); cb != on_regulate_.end() && cb->second) cb->second(ind);
-}
-
-// ====================================================================
-// Endpoint-side handlers
-// ====================================================================
-
-void Llo::attach_endpoint(OrchSessionId s, const OrchVcInfo& info, net::NodeId orch_node) {
-  auto& st = locals_[{s, info.vc}];
-  st.info = info;
-  st.orch_node = orch_node;
-  if (info.src_node == node_) st.is_source = true;
-  if (info.sink_node == node_) st.is_sink = true;
-  if (st.is_sink) {
-    if (Connection* conn = entity_.sink(info.vc)) {
-      // Attach the event matcher to the per-OSDU OPDU stream (§6.3.4): the
-      // LLO matches at arrival so application code never scans OSDUs.
-      const LocalKey key{s, info.vc};
-      conn->set_on_osdu_arrival([this, key](const transport::Osdu& osdu) {
-        VcLocal* lst = local(key);
-        if (lst == nullptr || !lst->event_armed) return;
-        if ((osdu.event & lst->event_mask) != lst->event_pattern) return;
-        obs::Tracer::global().instant("Orch.Event", static_cast<int>(node_),
-                                      static_cast<int>(key.second & 0xffffffffu),
-                                      "{\"osdu_seq\": " + std::to_string(osdu.seq) + "}");
-        Opdu o;
-        o.type = OpduType::kEventInd;
-        o.session = key.first;
-        o.vc = key.second;
-        o.orch_node = node_;
-        o.event_value = osdu.event;
-        o.osdu_seq = osdu.seq;
-        o.timestamp = network_.scheduler().now();
-        send_opdu(lst->orch_node, o);
-      });
-    }
-  }
-}
-
-void Llo::detach_endpoint(LocalKey key) {
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  st->slot_timer.cancel();
-  st->src_timer.cancel();
-  if (st->is_sink) {
-    if (Connection* conn = entity_.sink(key.second)) {
-      conn->set_on_osdu_arrival(nullptr);
-      conn->buffer().set_became_full(nullptr);
-      // Leave delivery enabled: removal from a group must not freeze the VC
-      // ("when VCS are removed from an orchestrated group they are not
-      // disconnected and thus data may still be flowing", §6.2.4).
-      conn->set_delivery_enabled(true);
-    }
-  }
-  locals_.erase(key);
-}
-
-void Llo::handle_sess_req(const Opdu& o) {
-  Opdu ack;
-  ack.type = OpduType::kSessAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.orch_node = node_;
-  ack.flags = o.flags;
-
-  // "Table space" admission.
-  std::set<OrchSessionId> distinct;
-  for (const auto& [k, _] : locals_) distinct.insert(k.first);
-  if (!distinct.contains(o.session) && distinct.size() >= session_limit_) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoTableSpace;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  // The named VC endpoint must exist here.
-  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
-  Connection* conn = source_target ? entity_.source(o.vc) : entity_.sink(o.vc);
-  if (conn == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSuchVc;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  if (!o.vcs.empty()) attach_endpoint(o.session, o.vcs.front(), o.orch_node);
-  send_opdu(o.orch_node, ack);
-}
-
-void Llo::handle_sess_rel(const Opdu& o) { detach_endpoint({o.session, o.vc}); }
-
-void Llo::handle_add(const Opdu& o) {
-  // Same admission as session setup, then attach.
-  handle_sess_req(o);  // sends kSessAck...
-}
-
-void Llo::handle_remove_vc(const Opdu& o) {
-  detach_endpoint({o.session, o.vc});
-  Opdu ack;
-  ack.type = OpduType::kRemoveAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.flags = o.flags;
-  send_opdu(o.orch_node, ack);
-}
-
-void Llo::apply_delivery_gate(VcLocal& st) {
-  if (Connection* conn = entity_.sink(st.info.vc))
-    conn->set_delivery_enabled(!(st.reg_hold || st.group_hold));
-}
-
-void Llo::handle_prime(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  Opdu ack;
-  ack.type = OpduType::kPrimeAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.flags = o.flags;
-  if (st == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSession;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
-  const bool flush = (o.flags & kOpduFlagFlush) != 0;
-
-  if (source_target) {
-    Connection* conn = entity_.source(o.vc);
-    if (conn == nullptr) {
-      ack.ok = 0;
-      ack.reason = OrchReason::kNoSuchVc;
-      send_opdu(o.orch_node, ack);
-      return;
-    }
-    if (flush) conn->flush();
-    const bool accepted = app_ == nullptr || app_->orch_prime_indication(o.session, o.vc, true);
-    if (!accepted) {
-      ack.ok = 0;
-      ack.reason = OrchReason::kAppDenied;  // Orch.Deny.request (§6.2.1)
-      send_opdu(o.orch_node, ack);
-      return;
-    }
-    conn->pause_source(false);  // let the pipeline fill
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-
-  Connection* conn = entity_.sink(o.vc);
-  if (conn == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSuchVc;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  st->group_hold = true;
-  apply_delivery_gate(*st);
-  if (flush) conn->flush();
-  const bool accepted = app_ == nullptr || app_->orch_prime_indication(o.session, o.vc, false);
-  if (!accepted) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kAppDenied;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  st->primed_reported = false;
-  conn->buffer().set_became_full([this, key] {
-    VcLocal* lst = local(key);
-    if (lst == nullptr || lst->primed_reported) return;
-    lst->primed_reported = true;
-    Opdu primed;
-    primed.type = OpduType::kPrimed;
-    primed.session = key.first;
-    primed.vc = key.second;
-    primed.timestamp = network_.scheduler().now();
-    send_opdu(lst->orch_node, primed);
-  });
-  if (conn->buffer().full()) {
-    st->primed_reported = true;
-    Opdu primed;
-    primed.type = OpduType::kPrimed;
-    primed.session = o.session;
-    primed.vc = o.vc;
-    primed.timestamp = network_.scheduler().now();
-    send_opdu(o.orch_node, primed);
-  }
-  send_opdu(o.orch_node, ack);
-}
-
-void Llo::handle_start(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  Opdu ack;
-  ack.type = OpduType::kStartAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.flags = o.flags;
-  if (st == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSession;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
-  if (source_target) {
-    if (Connection* conn = entity_.source(o.vc)) conn->pause_source(false);
-    if (app_) app_->orch_start_indication(o.session, o.vc, true);
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  Connection* conn = entity_.sink(o.vc);
-  if (conn == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSuchVc;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  st->group_hold = false;
-  apply_delivery_gate(*st);
-  // Report the position base: the OSDU the application will see first.
-  const transport::Osdu* head = conn->buffer().peek();
-  ack.delivered_seq = head != nullptr ? static_cast<std::int64_t>(head->seq)
-                                      : conn->last_delivered_seq() + 1;
-  if (app_) app_->orch_start_indication(o.session, o.vc, false);
-  send_opdu(o.orch_node, ack);
-}
-
-void Llo::handle_stop(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  Opdu ack;
-  ack.type = OpduType::kStopAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.flags = o.flags;
-  if (st == nullptr) {
-    ack.ok = 0;
-    ack.reason = OrchReason::kNoSession;
-    send_opdu(o.orch_node, ack);
-    return;
-  }
-  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
-  if (source_target) {
-    if (Connection* conn = entity_.source(o.vc)) conn->pause_source(true);
-    if (app_) app_->orch_stop_indication(o.session, o.vc, true);
-  } else {
-    st->group_hold = true;
-    apply_delivery_gate(*st);
-    // Cancel any in-flight regulation: a stopped VC has no rate target.
-    st->slot_timer.cancel();
-    st->reg_hold = false;
-    if (app_) app_->orch_stop_indication(o.session, o.vc, false);
-  }
-  send_opdu(o.orch_node, ack);
-}
-
-// --------------------------------------------------------------------
-// Regulation mechanism (§6.3.1)
-// --------------------------------------------------------------------
-
-void Llo::handle_regulate_sink(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.sink(o.vc);
-  if (conn == nullptr) return;
-
-  // If the previous interval is still in flight (the next request can
-  // arrive in the same instant as its final slot), close it out first so
-  // its report is never orphaned.
-  if (st->slot_timer.pending()) {
-    st->slot_timer.cancel();
-    finish_sink_interval(key);
-  }
-  st->interval = o.interval;
-  st->interval_id = o.interval_id;
-  st->interval_start = network_.scheduler().now();
-  st->max_drop = o.max_drop;
-  st->drops_requested = 0;
-  st->slot = 0;
-  st->start_seq = conn->last_delivered_seq();
-  st->target_seq = (o.flags & kOpduFlagRelativeTarget) ? st->start_seq + o.target_seq
-                                                       : o.target_seq;
-  st->drop_target = o.src_node;
-  conn->buffer().reset_window(st->interval_start);
-
-  const Duration slot_len = std::max<Duration>(1, o.interval / kSlotsPerInterval);
-  st->slot_timer = network_.scheduler().after(slot_len, [this, key] { regulation_slot(key); });
-}
-
-void Llo::regulation_slot(LocalKey key) {
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.sink(key.second);
-  if (conn == nullptr) {  // VC closed under us: orchestration dissolves
-    detach_endpoint(key);
-    return;
-  }
-  ++st->slot;
-  const int k = st->slot;
-  const std::int64_t span = st->target_seq - st->start_seq;
-  // Round-to-nearest interpolation: floor bias would read a legitimate
-  // on-rate stream as "ahead" mid-interval and hold it spuriously.
-  const std::int64_t expected =
-      st->start_seq + (2 * span * k + kSlotsPerInterval) / (2 * kSlotsPerInterval);
-  const std::int64_t cur = conn->last_delivered_seq();
-
-  // Ahead of target by more than one OSDU: block delivery for (at least)
-  // the next slot.  Behind: request drop-at-source, spread over the
-  // remaining slots.  The one-OSDU slack absorbs rounding and render-phase
-  // quantisation.
-  if (cur > expected + 1) {
-    st->reg_hold = true;
-  } else {
-    st->reg_hold = false;
-    const std::int64_t behind = expected - cur;
-    if (behind > 1 && st->drops_requested < st->max_drop) {
-      const int remaining_slots = kSlotsPerInterval - k + 1;
-      const std::uint32_t want = static_cast<std::uint32_t>(std::min<std::int64_t>(
-          st->max_drop - st->drops_requested,
-          (behind + remaining_slots - 1) / remaining_slots));
-      if (want > 0) {
-        Opdu drop;
-        drop.type = OpduType::kDrop;
-        drop.session = key.first;
-        drop.vc = key.second;
-        drop.orch_node = st->orch_node;
-        drop.drop_count = want;
-        send_opdu(st->drop_target, drop);
-        st->drops_requested += want;
-      }
-    }
-  }
-  apply_delivery_gate(*st);
-
-  if (k >= kSlotsPerInterval) {
-    finish_sink_interval(key);
-    return;
-  }
-  const Duration slot_len = std::max<Duration>(1, st->interval / kSlotsPerInterval);
-  st->slot_timer = network_.scheduler().after(slot_len, [this, key] { regulation_slot(key); });
-}
-
-void Llo::finish_sink_interval(LocalKey key) {
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.sink(key.second);
-  if (conn == nullptr) return;
-  st->reg_hold = false;
-  apply_delivery_gate(*st);
-
-  const Time now = network_.scheduler().now();
-  const auto stats = conn->buffer().window_stats(now);
-  Opdu o;
-  o.type = OpduType::kRegInd;
-  o.session = key.first;
-  o.vc = key.second;
-  o.interval_id = st->interval_id;
-  o.delivered_seq = conn->last_delivered_seq();
-  o.target_seq = st->start_seq;  // echo the interval-begin position
-  // At the sink ring the *protocol* is the producer and the *application*
-  // is the consumer.
-  o.proto_blocked = stats.producer_blocked;
-  o.app_blocked = stats.consumer_blocked;
-  o.timestamp = now;
-  send_opdu(st->orch_node, o);
-  conn->buffer().reset_window(now);
-}
-
-void Llo::handle_regulate_src(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.source(o.vc);
-  if (conn == nullptr) return;
-  if (st->src_timer.pending()) {
-    st->src_timer.cancel();
-    finish_src_interval(key);
-  }
-  st->src_budget = o.max_drop;
-  st->src_dropped = 0;
-  st->src_interval_id = o.interval_id;
-  conn->buffer().reset_window(network_.scheduler().now());
-  st->src_timer =
-      network_.scheduler().after(o.interval, [this, key] { finish_src_interval(key); });
-}
-
-void Llo::finish_src_interval(LocalKey key) {
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.source(key.second);
-  if (conn == nullptr) return;
-  const Time now = network_.scheduler().now();
-  const auto stats = conn->buffer().window_stats(now);
-  Opdu o;
-  o.type = OpduType::kSrcStats;
-  o.session = key.first;
-  o.vc = key.second;
-  o.interval_id = st->src_interval_id;
-  o.dropped = st->src_dropped;
-  // At the source ring the *application* is the producer and the
-  // *protocol* is the consumer.
-  o.app_blocked = stats.producer_blocked;
-  o.proto_blocked = stats.consumer_blocked;
-  o.timestamp = now;
-  send_opdu(st->orch_node, o);
-  conn->buffer().reset_window(now);
-}
-
-void Llo::handle_drop(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  Connection* conn = entity_.source(o.vc);
-  if (conn == nullptr) return;
-  const std::uint32_t allowed =
-      st->src_budget > st->src_dropped ? st->src_budget - st->src_dropped : 0;
-  const std::uint32_t executed = conn->drop_at_source(std::min(o.drop_count, allowed));
-  st->src_dropped += executed;
-  if (executed > 0) {
-    obs::Registry::global()
-        .counter("orch.osdus_dropped", {{"vc", std::to_string(o.vc)}})
-        .add(executed);
-    obs::Tracer::global().instant("Orch.Drop", static_cast<int>(node_),
-                                  static_cast<int>(o.vc & 0xffffffffu),
-                                  "{\"count\": " + std::to_string(executed) + "}");
-  }
-}
-
-void Llo::handle_event_reg(const Opdu& o) {
-  const LocalKey key{o.session, o.vc};
-  VcLocal* st = local(key);
-  if (st == nullptr) return;
-  st->event_armed = true;
-  st->event_pattern = o.pattern;
-  st->event_mask = o.mask;
-}
-
-void Llo::handle_delayed(const Opdu& o) {
-  const bool source_side = o.source_side != 0;
-  obs::Tracer::global().instant("Orch.Delayed", static_cast<int>(node_),
-                                static_cast<int>(o.vc & 0xffffffffu),
-                                "{\"osdus_behind\": " + std::to_string(o.osdus_behind) + "}");
-  const bool accepted =
-      app_ == nullptr ||
-      app_->orch_delayed_indication(o.session, o.vc, source_side, o.osdus_behind);
-  Opdu ack;
-  ack.type = OpduType::kDelayedAck;
-  ack.session = o.session;
-  ack.vc = o.vc;
-  ack.ok = accepted ? 1 : 0;
-  ack.reason = accepted ? OrchReason::kOk : OrchReason::kAppDenied;
-  send_opdu(o.orch_node, ack);
+void Llo::handle_time_resp(const Opdu& o) {
+  auto it = clock_probes_.find(o.probe_id);
+  if (it == clock_probes_.end()) return;
+  auto session = it->second;
+  clock_probes_.erase(it);
+  (void)session->on_response(o.probe_id, o.t_origin, o.t_peer, entity_.local_now());
 }
 
 // ====================================================================
 // OPDU dispatch
 // ====================================================================
+
+const std::array<Llo::OpduHandler, 42>& Llo::opdu_dispatch() {
+  static const std::array<OpduHandler, 42> table = [] {
+    std::array<OpduHandler, 42> t{};  // unknown rows stay null -> warn
+    auto at = [&t](OpduType type) -> OpduHandler& {
+      return t[static_cast<std::size_t>(type)];
+    };
+    at(OpduType::kSessReq) = &Llo::dispatch_sess_req;
+    at(OpduType::kSessAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kSessRel) = &Llo::dispatch_sess_rel;
+    at(OpduType::kPrime) = &Llo::dispatch_prime;
+    at(OpduType::kPrimeAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kPrimed) = &Llo::dispatch_primed;
+    at(OpduType::kStart) = &Llo::dispatch_start;
+    at(OpduType::kStartAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kStop) = &Llo::dispatch_stop;
+    at(OpduType::kStopAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kAdd) = &Llo::dispatch_add;
+    at(OpduType::kAddAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kRemove) = &Llo::dispatch_remove_vc;
+    at(OpduType::kRemoveAck) = &Llo::dispatch_op_ack;
+    at(OpduType::kRegulateSink) = &Llo::dispatch_regulate_sink;
+    at(OpduType::kRegulateSrc) = &Llo::dispatch_regulate_src;
+    at(OpduType::kDrop) = &Llo::dispatch_drop;
+    at(OpduType::kRegInd) = &Llo::dispatch_reg_ind;
+    at(OpduType::kSrcStats) = &Llo::dispatch_src_stats;
+    at(OpduType::kEventReg) = &Llo::dispatch_event_reg;
+    at(OpduType::kEventInd) = &Llo::dispatch_event_ind;
+    at(OpduType::kDelayed) = &Llo::dispatch_delayed;
+    at(OpduType::kDelayedAck) = &Llo::dispatch_ignore;  // informational
+    at(OpduType::kVcDead) = &Llo::dispatch_vc_dead;
+    at(OpduType::kTimeReq) = &Llo::handle_time_req;
+    at(OpduType::kTimeResp) = &Llo::handle_time_resp;
+    return t;
+  }();
+  return table;
+}
 
 void Llo::on_opdu_packet(net::Packet&& pkt) {
   if (down_) return;          // crashed LLO: protocol state is gone
@@ -1109,98 +205,14 @@ void Llo::on_opdu_packet(net::Packet&& pkt) {
     CMTOS_WARN("llo", "undecodable OPDU at node %u", node_);
     return;
   }
-  switch (o->type) {
-    case OpduType::kSessReq: handle_sess_req(*o); break;
-    case OpduType::kSessRel: handle_sess_rel(*o); break;
-    case OpduType::kPrime: handle_prime(*o); break;
-    case OpduType::kStart: handle_start(*o); break;
-    case OpduType::kStop: handle_stop(*o); break;
-    case OpduType::kAdd: handle_add(*o); break;
-    case OpduType::kRemove: handle_remove_vc(*o); break;
-    case OpduType::kRegulateSink: handle_regulate_sink(*o); break;
-    case OpduType::kRegulateSrc: handle_regulate_src(*o); break;
-    case OpduType::kDrop: handle_drop(*o); break;
-    case OpduType::kEventReg: handle_event_reg(*o); break;
-    case OpduType::kDelayed: handle_delayed(*o); break;
-    case OpduType::kVcDead: handle_vc_dead(*o); break;
-
-    case OpduType::kSessAck:
-    case OpduType::kPrimeAck:
-    case OpduType::kStartAck:
-    case OpduType::kStopAck:
-    case OpduType::kAddAck:
-    case OpduType::kRemoveAck:
-      op_ack(*o);
-      break;
-
-    case OpduType::kPrimed: {
-      Session* sess = session(o->session);
-      if (sess && sess->op) {
-        sess->op->primed_wanted.erase(o->vc);
-        finish_op(o->session, *sess);
-      }
-      break;
-    }
-    case OpduType::kRegInd: {
-      Session* sess = session(o->session);
-      if (sess == nullptr) break;
-      const auto key = std::pair{o->vc, o->interval_id};
-      auto it = sess->reg_merge.find(key);
-      if (it == sess->reg_merge.end()) break;
-      it->second.have_sink = true;
-      it->second.ind.delivered_seq = o->delivered_seq;
-      it->second.ind.interval_start_seq = o->target_seq;
-      it->second.ind.sink_proto_blocked = o->proto_blocked;
-      it->second.ind.sink_app_blocked = o->app_blocked;
-      if (it->second.have_src) emit_regulate_ind(o->session, key);
-      break;
-    }
-    case OpduType::kSrcStats: {
-      Session* sess = session(o->session);
-      if (sess == nullptr) break;
-      const auto key = std::pair{o->vc, o->interval_id};
-      auto it = sess->reg_merge.find(key);
-      if (it == sess->reg_merge.end()) break;
-      it->second.have_src = true;
-      it->second.ind.dropped = o->dropped;
-      it->second.ind.src_app_blocked = o->app_blocked;
-      it->second.ind.src_proto_blocked = o->proto_blocked;
-      if (it->second.have_sink) emit_regulate_ind(o->session, key);
-      break;
-    }
-    case OpduType::kEventInd: {
-      if (auto cb = on_event_.find(o->session); cb != on_event_.end() && cb->second) {
-        EventIndication ind;
-        ind.session = o->session;
-        ind.vc = o->vc;
-        ind.osdu_seq = o->osdu_seq;
-        ind.event_value = o->event_value;
-        ind.matched_at = o->timestamp;
-        cb->second(ind);
-      }
-      break;
-    }
-    case OpduType::kDelayedAck:
-      break;  // informational
-
-    case OpduType::kTimeReq: {
-      Opdu resp;
-      resp.type = OpduType::kTimeResp;
-      resp.probe_id = o->probe_id;
-      resp.t_origin = o->t_origin;          // echoed
-      resp.t_peer = entity_.local_now();    // my local clock
-      send_opdu(o->orch_node, resp);
-      break;
-    }
-    case OpduType::kTimeResp: {
-      auto it = clock_probes_.find(o->probe_id);
-      if (it == clock_probes_.end()) break;
-      auto session = it->second;
-      clock_probes_.erase(it);
-      (void)session->on_response(o->probe_id, o->t_origin, o->t_peer, entity_.local_now());
-      break;
-    }
+  const auto& table = opdu_dispatch();
+  const auto idx = static_cast<std::size_t>(o->type);
+  if (idx >= table.size() || table[idx] == nullptr) {
+    CMTOS_WARN("llo", "node %u: OPDU type %u has no dispatch row", node_,
+               static_cast<unsigned>(o->type));
+    return;
   }
+  (this->*table[idx])(*o);
 }
 
 }  // namespace cmtos::orch

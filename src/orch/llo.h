@@ -2,154 +2,55 @@
 //
 // The Low Level Orchestrator (§6): one instance per node.
 //
-// An LLO plays two roles simultaneously:
+// An LLO plays two roles simultaneously, each implemented by a dedicated
+// engine sharing this facade's wire I/O and node identity:
 //
-//  * On the *orchestrating node* it exposes the Table 4/5/6 primitives to
-//    the local HLO agent, fans the corresponding OPDUs out to the LLO
-//    instances at every source and sink of the orchestrated VCs, collects
-//    acknowledgements, and merges end-of-interval reports
+//  * SessionTable — the *orchestrating node* role: exposes the Table 4/5/6
+//    primitives to the local HLO agent, fans the corresponding OPDUs out to
+//    the LLO instances at every source and sink of the orchestrated VCs,
+//    collects acknowledgements, and merges end-of-interval reports
 //    (Orch.Regulate.indication = sink delivery report + source blocking
 //    report).
 //
-//  * On every *endpoint node* (which may be the orchestrating node itself;
-//    OPDUs loop back through the network layer uniformly) it holds per-VC
-//    local state and executes the mechanism: delivery gating for
-//    prime/start/stop, micro-slot regulation toward the interval target
-//    (hold when ahead; request drop-at-source when behind, spread over the
-//    interval "to avoid unnecessary jitter", §6.3.1.1), buffer flushing,
-//    semaphore-statistics windows, and event-pattern matching against the
-//    per-OSDU OPDU event field.
+//  * RegulationEngine — the *endpoint node* role (which may be the
+//    orchestrating node itself; OPDUs loop back through the network layer
+//    uniformly): per-VC local state and the mechanism — delivery gating for
+//    prime/start/stop, micro-slot regulation toward the interval target,
+//    buffer flushing, semaphore-statistics windows, and event-pattern
+//    matching against the per-OSDU OPDU event field.
 //
-// Application threads receive Orch.*.indication callbacks through the
-// OrchAppHandler each node registers (Fig 7's source/sink application
-// threads).
+// The Llo itself keeps the wiring (packet handler, vc-closed observer), the
+// OPDU dispatch table routing each row to the owning engine, the clock-sync
+// function (§7), and the crash/restart fault model.  Application threads
+// receive Orch.*.indication callbacks through the OrchAppHandler each node
+// registers (Fig 7's source/sink application threads).
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <set>
-#include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "orch/clock_sync.h"
 #include "orch/opdu.h"
-#include "sim/scheduler.h"
+#include "orch/orch_types.h"
+#include "orch/regulation_engine.h"
+#include "orch/session_table.h"
+#include "transport/timer_set.h"
 #include "transport/transport_entity.h"
 
 namespace cmtos::orch {
 
-/// Orch.Regulate.indication (§6.3.1.2), as merged by the orchestrating LLO
-/// and handed to the HLO agent: position achieved, drops used, and the
-/// semaphore blocking times of all four threads touching the VC.
-struct RegulateIndication {
-  OrchSessionId session = 0;
-  transport::VcId vc = transport::kInvalidVc;
-  std::uint32_t interval_id = 0;
-  /// OSDU sequence number delivered to the sink application at interval
-  /// end (-1: nothing delivered yet).
-  std::int64_t delivered_seq = -1;
-  /// Position when the interval began (for target-vs-achieved evaluation
-  /// with relative targets).
-  std::int64_t interval_start_seq = -1;
-  std::uint32_t dropped = 0;
-  Duration src_app_blocked = 0;
-  Duration src_proto_blocked = 0;
-  Duration sink_proto_blocked = 0;
-  Duration sink_app_blocked = 0;
-  /// True when the source report was lost/late and only sink-side data is
-  /// present.
-  bool partial = false;
-};
-
-/// Event-driven synchronisation notification (Orch.Event.indication).
-struct EventIndication {
-  OrchSessionId session = 0;
-  transport::VcId vc = transport::kInvalidVc;
-  std::uint32_t osdu_seq = 0;
-  std::uint64_t event_value = 0;
-  /// True simulation time the match fired at the sink (for latency
-  /// benches).
-  Time matched_at = 0;
-};
-
-/// Lifecycle of an orchestration session as seen by its *orchestrating*
-/// LLO.  Group primitives are only accepted in the phases the paper's
-/// narrative implies (prime fills buffers, start releases them, stop
-/// freezes them for a later primed restart):
-///
-///   kEstablishing -> kIdle                  Orch.request acks collected
-///   kIdle/kPrimed/kStopped -> kPriming      Orch.Prime (re-prime and
-///                                           prime-after-stop are legal;
-///                                           the seek flow is stop ->
-///                                           prime(flush) -> start)
-///   kPriming -> kPrimed                     all sinks reported kPrimed
-///   kIdle/kPrimed/kStopped -> kStarting     Orch.Start (restart after a
-///                                           stop needs no re-prime: data
-///                                           stayed buffered; an unprimed
-///                                           start is legal too — priming
-///                                           only pre-fills sink buffers)
-///   kStarting -> kRunning
-///   kPrimed/kRunning -> kStopping           Orch.Stop
-///   kStopping -> kStopped
-///
-/// A failed or timed-out primitive reverts to the phase it was issued
-/// from.  Every move goes through Llo::set_phase, which checks
-/// orch_transition_legal via the contract layer ("orch.transition").
-enum class SessionPhase : std::uint8_t {
-  kEstablishing,
-  kIdle,
-  kPriming,
-  kPrimed,
-  kStarting,
-  kRunning,
-  kStopping,
-  kStopped,
-};
-
-bool orch_transition_legal(SessionPhase from, SessionPhase to);
-const char* to_string(SessionPhase s);
-
-/// Callbacks into the application threads at one node (Fig 7).  Returning
-/// false from a prime/delayed indication maps to Orch.Deny.
-class OrchAppHandler {
- public:
-  virtual ~OrchAppHandler() = default;
-  virtual bool orch_prime_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
-    (void)s;
-    (void)vc;
-    (void)is_source;
-    return true;
-  }
-  virtual void orch_start_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
-    (void)s;
-    (void)vc;
-    (void)is_source;
-  }
-  virtual void orch_stop_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
-    (void)s;
-    (void)vc;
-    (void)is_source;
-  }
-  virtual bool orch_delayed_indication(OrchSessionId s, transport::VcId vc, bool is_source,
-                                       std::int64_t osdus_behind) {
-    (void)s;
-    (void)vc;
-    (void)is_source;
-    (void)osdus_behind;
-    return true;
-  }
-};
-
 class Llo {
  public:
-  using ResultFn = std::function<void(bool ok, OrchReason reason)>;
+  using ResultFn = OrchResultFn;
   /// `start` confirm additionally reports, per VC, the sink's next
   /// deliverable OSDU seq at start time (the HLO agent's position base).
-  using StartFn = std::function<void(bool ok, const std::map<transport::VcId, std::int64_t>&)>;
+  using StartFn = OrchStartFn;
 
   Llo(net::Network& network, net::NodeId node, transport::TransportEntity& entity);
 
@@ -171,7 +72,9 @@ class Llo {
   /// relative-target regulation semantics (position control is local to
   /// each sink, so the orchestrating node needs no shared clock with it).
   void orch_request(OrchSessionId session, std::vector<OrchVcInfo> vcs, ResultFn done,
-                    bool allow_no_common_node = false);
+                    bool allow_no_common_node = false) {
+    table_.orch_request(session, std::move(vcs), std::move(done), allow_no_common_node);
+  }
 
   /// Estimates the offset of `peer`'s local clock relative to this node's
   /// (Cristian/NTP over kTimeReq/kTimeResp OPDUs; §5 footnote).  `probes`
@@ -180,23 +83,29 @@ class Llo {
                              std::function<void(const ClockEstimate&)> done);
 
   /// Orch.Release.request.
-  void orch_release(OrchSessionId session);
+  void orch_release(OrchSessionId session) { table_.orch_release(session); }
 
   /// Orch.Prime (Fig 7).  `flush` clears any stale buffered media first
   /// (the stop-seek-restart case of §6.2.1).
-  void prime(OrchSessionId session, bool flush, ResultFn done);
+  void prime(OrchSessionId session, bool flush, ResultFn done) {
+    table_.prime(session, flush, std::move(done));
+  }
 
   /// Orch.Start: atomically release delivery at all sinks.
-  void start(OrchSessionId session, StartFn done);
+  void start(OrchSessionId session, StartFn done) { table_.start(session, std::move(done)); }
 
   /// Orch.Stop: atomically freeze all VCs (data stays buffered for a
   /// subsequent primed start).
-  void stop(OrchSessionId session, ResultFn done);
+  void stop(OrchSessionId session, ResultFn done) { table_.stop(session, std::move(done)); }
 
   /// Orch.Add / Orch.Remove: membership changes (VCs keep flowing when
   /// removed, §6.2.4).
-  void add(OrchSessionId session, OrchVcInfo vc, ResultFn done);
-  void remove(OrchSessionId session, transport::VcId vc, ResultFn done);
+  void add(OrchSessionId session, OrchVcInfo vc, ResultFn done) {
+    table_.add(session, vc, std::move(done));
+  }
+  void remove(OrchSessionId session, transport::VcId vc, ResultFn done) {
+    table_.remove(session, vc, std::move(done));
+  }
 
   /// Orch.Regulate.request (§6.3.1.1): sets the flow-rate target for one
   /// VC for the forthcoming interval.  With `relative` the target is a
@@ -204,25 +113,31 @@ class Llo {
   /// The matching indication arrives via the regulate callback.
   void regulate(OrchSessionId session, transport::VcId vc, std::int64_t target_seq,
                 std::uint32_t max_drop, Duration interval, std::uint32_t interval_id,
-                bool relative = false);
+                bool relative = false) {
+    table_.regulate(session, vc, target_seq, max_drop, interval, interval_id, relative);
+  }
   /// Per-session indication sink (one HLO agent per session).
   void set_regulate_callback(OrchSessionId session,
                              std::function<void(const RegulateIndication&)> fn) {
-    on_regulate_[session] = std::move(fn);
+    table_.set_regulate_callback(session, std::move(fn));
   }
 
   /// Orch.Delayed (§6.3.3): tell the application thread at one end that it
   /// is too slow.
   void delayed(OrchSessionId session, transport::VcId vc, bool source_side,
-               std::int64_t osdus_behind);
+               std::int64_t osdus_behind) {
+    table_.delayed(session, vc, source_side, osdus_behind);
+  }
 
   /// Orch.Event (§6.3.4): register interest in OSDUs whose event field
   /// matches (value & mask) == pattern at the sink of `vc`.
   void register_event(OrchSessionId session, transport::VcId vc, std::uint64_t pattern,
-                      std::uint64_t mask = ~0ull);
+                      std::uint64_t mask = ~0ull) {
+    table_.register_event(session, vc, pattern, mask);
+  }
   void set_event_callback(OrchSessionId session,
                           std::function<void(const EventIndication&)> fn) {
-    on_event_[session] = std::move(fn);
+    table_.set_event_callback(session, std::move(fn));
   }
 
   /// Fires (on the orchestrating node) when an endpoint reports one of the
@@ -230,24 +145,26 @@ class Llo {
   /// the group.  `event_value` carries the transport DisconnectReason.
   void set_vc_dead_callback(OrchSessionId session,
                             std::function<void(const EventIndication&)> fn) {
-    on_vc_dead_[session] = std::move(fn);
+    table_.set_vc_dead_callback(session, std::move(fn));
   }
 
   /// Releases every endpoint-side attachment of `session` at the endpoints
   /// of `vcs` without requiring an orchestrating-side Session entry.  Used
   /// after orchestrator failover: the new orchestrating node purges the
   /// stale session the dead node can no longer release.
-  void release_remote(OrchSessionId session, const std::vector<OrchVcInfo>& vcs);
+  void release_remote(OrchSessionId session, const std::vector<OrchVcInfo>& vcs) {
+    table_.release_remote(session, vcs);
+  }
 
   /// Number of sessions this LLO can still accept (the paper's "table
   /// space"; rejection reason kNoTableSpace).
-  void set_session_limit(std::size_t n) { session_limit_ = n; }
+  void set_session_limit(std::size_t n) { reg_.set_session_limit(n); }
 
   /// Budget for collecting group-primitive acknowledgements before the op
   /// fails with kTimeout (previously a hardcoded 5 s; configurable so tests
   /// can tighten it and chaos runs can match their partition lengths).
-  void set_op_timeout(Duration d) { op_timeout_ = d; }
-  Duration op_timeout() const { return op_timeout_; }
+  void set_op_timeout(Duration d) { table_.set_op_timeout(d); }
+  Duration op_timeout() const { return table_.op_timeout(); }
 
   // ------------------------------------------------------------------
   // Fault model
@@ -261,150 +178,64 @@ class Llo {
   bool down() const { return down_; }
 
   // Introspection for tests/benches.
-  bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
-  std::size_t local_vc_count() const { return locals_.size(); }
+  bool has_session(OrchSessionId s) const { return table_.has_session(s); }
+  std::size_t local_vc_count() const { return reg_.local_vc_count(); }
   /// Phase of a session this node orchestrates (kEstablishing when the
   /// session does not exist; check has_session to disambiguate).
-  SessionPhase session_phase(OrchSessionId s) const {
-    auto it = sessions_.find(s);
-    return it == sessions_.end() ? SessionPhase::kEstablishing : it->second.phase;
-  }
+  SessionPhase session_phase(OrchSessionId s) const { return table_.session_phase(s); }
 
  private:
-  /// Number of regulation micro-slots per interval (corrections are spread
-  /// across the interval to avoid jitter, §6.3.1.1).
-  static constexpr int kSlotsPerInterval = 8;
+  friend class SessionTable;
+  friend class RegulationEngine;
 
-  // ---- orchestrating-side state ----
-  struct PendingOp {
-    int awaiting = 0;
-    bool failed = false;
-    OrchReason reason = OrchReason::kOk;
-    ResultFn done;
-    StartFn start_done;
-    std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
-    std::map<transport::VcId, std::int64_t> start_bases;
-    sim::EventHandle timeout;
-    // Phase the session commits to when the op succeeds / reverts to when
-    // it fails or times out (set by the primitive that issued the op).
-    SessionPhase commit_phase = SessionPhase::kIdle;
-    SessionPhase revert_phase = SessionPhase::kEstablishing;
-    // Tracing: open async span for this op (0 = none).
-    std::uint64_t span_id = 0;
-    const char* span_name = nullptr;
-  };
-  struct RegMerge {
-    RegulateIndication ind;
-    bool have_sink = false;
-    bool have_src = false;
-    sim::EventHandle timeout;
-    std::uint64_t span_id = 0;  // open "Orch.Regulate" interval span
-  };
-  struct Session {
-    std::vector<OrchVcInfo> vcs;
-    std::unique_ptr<PendingOp> op;
-    std::map<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
-    bool established = false;
-    SessionPhase phase = SessionPhase::kEstablishing;
-  };
-
-  // ---- endpoint-side state (per session & VC with a local endpoint) ----
-  struct VcLocal {
-    OrchVcInfo info;
-    net::NodeId orch_node = net::kInvalidNode;
-    bool is_source = false;
-    bool is_sink = false;
-    // Sink-side regulation:
-    bool reg_hold = false;    // regulation delivery gate (ahead of target)
-    bool group_hold = false;  // prime/stop delivery gate
-    std::int64_t target_seq = 0;
-    std::int64_t start_seq = 0;
-    std::uint32_t interval_id = 0;
-    Duration interval = 0;
-    Time interval_start = 0;
-    std::uint32_t max_drop = 0;
-    std::uint32_t drops_requested = 0;
-    int slot = 0;
-    net::NodeId drop_target = net::kInvalidNode;
-    sim::EventHandle slot_timer;
-    // Source-side regulation:
-    std::uint32_t src_budget = 0;
-    std::uint32_t src_dropped = 0;
-    std::uint32_t src_interval_id = 0;
-    sim::EventHandle src_timer;
-    // Prime:
-    bool primed_reported = false;
-    // Events:
-    bool event_armed = false;
-    std::uint64_t event_pattern = 0;
-    std::uint64_t event_mask = ~0ull;
-  };
-
-  using LocalKey = std::pair<OrchSessionId, transport::VcId>;
+  /// This node's shard runtime: every LLO timer and timestamp reads it.
+  sim::NodeRuntime& rt() { return network_.node(node_).runtime(); }
 
   void send_opdu(net::NodeId dst, const Opdu& o);
   void on_opdu_packet(net::Packet&& pkt);
-
-  // Orchestrating-side helpers.
-  Session* session(OrchSessionId s);
-  /// The only writer of Session::phase: no-op when already there, checks
-  /// the legal-transition table otherwise (CMTOS_ASSERT "orch.transition").
-  void set_phase(OrchSessionId s, Session& sess, SessionPhase next);
-  /// Common admission for group primitives: session established, no other
-  /// group op collecting acks, and `attempt` legal from the current phase.
-  /// Returns kOk or the rejection reason.
-  OrchReason admit_group_op(const Session& sess, SessionPhase attempt) const;
-  void fan_out(Session& sess, OpduType type, std::uint8_t flags, ResultFn done,
-               StartFn start_done);
-  void op_ack(const Opdu& o);
-  void finish_op(OrchSessionId s, Session& sess);
-  void emit_regulate_ind(OrchSessionId s, std::pair<transport::VcId, std::uint32_t> key);
-
-  // Endpoint-side handlers.
-  void handle_sess_req(const Opdu& o);
-  void handle_sess_rel(const Opdu& o);
-  void handle_prime(const Opdu& o);
-  void handle_start(const Opdu& o);
-  void handle_stop(const Opdu& o);
-  void handle_add(const Opdu& o);
-  void handle_remove_vc(const Opdu& o);
-  void handle_regulate_sink(const Opdu& o);
-  void handle_regulate_src(const Opdu& o);
-  void handle_drop(const Opdu& o);
-  void handle_event_reg(const Opdu& o);
-  void handle_delayed(const Opdu& o);
-  void handle_vc_dead(const Opdu& o);
-
-  /// Transport observer: a local VC endpoint was torn down (peer death,
-  /// local or remote release).  Detaches it from every session it belongs
-  /// to and reports kVcDead to each orchestrating node.
-  void on_vc_closed(transport::VcId vc, transport::DisconnectReason reason);
-
-  void regulation_slot(LocalKey key);
-  void finish_sink_interval(LocalKey key);
-  void finish_src_interval(LocalKey key);
-  void apply_delivery_gate(VcLocal& st);
-  void attach_endpoint(OrchSessionId session, const OrchVcInfo& info, net::NodeId orch_node);
-  void detach_endpoint(LocalKey key);
-  VcLocal* local(LocalKey key);
+  void handle_time_req(const Opdu& o);
+  void handle_time_resp(const Opdu& o);
 
   net::Network& network_;
   net::NodeId node_;
   transport::TransportEntity& entity_;
   OrchAppHandler* app_ = nullptr;
-  std::size_t session_limit_ = 64;
-  Duration op_timeout_ = 5 * kSecond;
   bool down_ = false;
 
-  std::map<OrchSessionId, Session> sessions_;           // orchestrating role
-  std::map<LocalKey, VcLocal> locals_;                  // endpoint role
-  std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
-  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
-  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
+  /// Orchestration timers that die as a unit on crash() (currently the
+  /// group-operation timeouts; see SessionTable).
+  transport::TimerSet timers_;
+  SessionTable table_;   // orchestrating role
+  RegulationEngine reg_; // endpoint role
 
   // Clock-sync probe state: probe id -> the estimation run it belongs to.
   std::uint32_t next_probe_id_ = 1;
   std::map<std::uint32_t, std::shared_ptr<ClockSyncSession>> clock_probes_;
+
+  /// OPDU dispatch: indexed by OpduType, routing each row to the owning
+  /// engine.  Replaces the historical switch so adding an OPDU type is a
+  /// table entry, not a code path.
+  using OpduHandler = void (Llo::*)(const Opdu&);
+  void dispatch_sess_req(const Opdu& o) { reg_.handle_sess_req(o); }
+  void dispatch_sess_rel(const Opdu& o) { reg_.handle_sess_rel(o); }
+  void dispatch_prime(const Opdu& o) { reg_.handle_prime(o); }
+  void dispatch_start(const Opdu& o) { reg_.handle_start(o); }
+  void dispatch_stop(const Opdu& o) { reg_.handle_stop(o); }
+  void dispatch_add(const Opdu& o) { reg_.handle_add(o); }
+  void dispatch_remove_vc(const Opdu& o) { reg_.handle_remove_vc(o); }
+  void dispatch_regulate_sink(const Opdu& o) { reg_.handle_regulate_sink(o); }
+  void dispatch_regulate_src(const Opdu& o) { reg_.handle_regulate_src(o); }
+  void dispatch_drop(const Opdu& o) { reg_.handle_drop(o); }
+  void dispatch_event_reg(const Opdu& o) { reg_.handle_event_reg(o); }
+  void dispatch_delayed(const Opdu& o) { reg_.handle_delayed(o); }
+  void dispatch_vc_dead(const Opdu& o) { table_.handle_vc_dead(o); }
+  void dispatch_op_ack(const Opdu& o) { table_.op_ack(o); }
+  void dispatch_primed(const Opdu& o) { table_.handle_primed(o); }
+  void dispatch_reg_ind(const Opdu& o) { table_.handle_reg_ind(o); }
+  void dispatch_src_stats(const Opdu& o) { table_.handle_src_stats(o); }
+  void dispatch_event_ind(const Opdu& o) { table_.handle_event_ind(o); }
+  void dispatch_ignore(const Opdu& o) { (void)o; }  // informational rows
+  static const std::array<OpduHandler, 42>& opdu_dispatch();
 };
 
 }  // namespace cmtos::orch

@@ -1,0 +1,129 @@
+// cmtos/orch/orch_types.h
+//
+// Orchestration-service types shared by the LLO and its two engines: the
+// indications handed to the HLO agent, the orchestrating-session phase
+// machine, and the application-thread callback interface (Fig 7).  Split
+// out of llo.h so session_table.h and regulation_engine.h can name them
+// without pulling in the full Llo declaration.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "orch/opdu.h"
+#include "util/time.h"
+
+namespace cmtos::orch {
+
+/// Orch.Regulate.indication (§6.3.1.2), as merged by the orchestrating LLO
+/// and handed to the HLO agent: position achieved, drops used, and the
+/// semaphore blocking times of all four threads touching the VC.
+struct RegulateIndication {
+  OrchSessionId session = 0;
+  transport::VcId vc = transport::kInvalidVc;
+  std::uint32_t interval_id = 0;
+  /// OSDU sequence number delivered to the sink application at interval
+  /// end (-1: nothing delivered yet).
+  std::int64_t delivered_seq = -1;
+  /// Position when the interval began (for target-vs-achieved evaluation
+  /// with relative targets).
+  std::int64_t interval_start_seq = -1;
+  std::uint32_t dropped = 0;
+  Duration src_app_blocked = 0;
+  Duration src_proto_blocked = 0;
+  Duration sink_proto_blocked = 0;
+  Duration sink_app_blocked = 0;
+  /// True when the source report was lost/late and only sink-side data is
+  /// present.
+  bool partial = false;
+};
+
+/// Event-driven synchronisation notification (Orch.Event.indication).
+struct EventIndication {
+  OrchSessionId session = 0;
+  transport::VcId vc = transport::kInvalidVc;
+  std::uint32_t osdu_seq = 0;
+  std::uint64_t event_value = 0;
+  /// True simulation time the match fired at the sink (for latency
+  /// benches).
+  Time matched_at = 0;
+};
+
+/// Lifecycle of an orchestration session as seen by its *orchestrating*
+/// LLO.  Group primitives are only accepted in the phases the paper's
+/// narrative implies (prime fills buffers, start releases them, stop
+/// freezes them for a later primed restart):
+///
+///   kEstablishing -> kIdle                  Orch.request acks collected
+///   kIdle/kPrimed/kStopped -> kPriming      Orch.Prime (re-prime and
+///                                           prime-after-stop are legal;
+///                                           the seek flow is stop ->
+///                                           prime(flush) -> start)
+///   kPriming -> kPrimed                     all sinks reported kPrimed
+///   kIdle/kPrimed/kStopped -> kStarting     Orch.Start (restart after a
+///                                           stop needs no re-prime: data
+///                                           stayed buffered; an unprimed
+///                                           start is legal too — priming
+///                                           only pre-fills sink buffers)
+///   kStarting -> kRunning
+///   kPrimed/kRunning -> kStopping           Orch.Stop
+///   kStopping -> kStopped
+///
+/// A failed or timed-out primitive reverts to the phase it was issued
+/// from.  Every move goes through SessionTable::set_phase, which checks
+/// orch_transition_legal via the contract layer ("orch.transition").
+enum class SessionPhase : std::uint8_t {
+  kEstablishing,
+  kIdle,
+  kPriming,
+  kPrimed,
+  kStarting,
+  kRunning,
+  kStopping,
+  kStopped,
+};
+
+bool orch_transition_legal(SessionPhase from, SessionPhase to);
+const char* to_string(SessionPhase s);
+
+/// Completion callback for the Table 4/5/6 primitives.
+using OrchResultFn = std::function<void(bool ok, OrchReason reason)>;
+/// Orch.Start confirm additionally reports, per VC, the sink's next
+/// deliverable OSDU seq at start time (the HLO agent's position base).
+using OrchStartFn =
+    std::function<void(bool ok, const std::map<transport::VcId, std::int64_t>&)>;
+
+/// Callbacks into the application threads at one node (Fig 7).  Returning
+/// false from a prime/delayed indication maps to Orch.Deny.
+class OrchAppHandler {
+ public:
+  virtual ~OrchAppHandler() = default;
+  virtual bool orch_prime_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+    return true;
+  }
+  virtual void orch_start_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+  }
+  virtual void orch_stop_indication(OrchSessionId s, transport::VcId vc, bool is_source) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+  }
+  virtual bool orch_delayed_indication(OrchSessionId s, transport::VcId vc, bool is_source,
+                                       std::int64_t osdus_behind) {
+    (void)s;
+    (void)vc;
+    (void)is_source;
+    (void)osdus_behind;
+    return true;
+  }
+};
+
+}  // namespace cmtos::orch

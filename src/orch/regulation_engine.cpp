@@ -1,0 +1,510 @@
+#include "orch/regulation_engine.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "orch/llo.h"
+#include "util/logging.h"
+
+namespace cmtos::orch {
+
+using transport::Connection;
+using transport::VcId;
+
+RegulationEngine::VcLocal* RegulationEngine::local(LocalKey key) {
+  auto it = locals_.find(key);
+  return it == locals_.end() ? nullptr : &it->second;
+}
+
+void RegulationEngine::crash() {
+  for (auto& [k, st] : locals_) {
+    st.slot_timer.cancel();
+    st.src_timer.cancel();
+  }
+  locals_.clear();
+}
+
+void RegulationEngine::on_vc_closed(VcId vc, transport::DisconnectReason reason) {
+  // Collect first: detach_endpoint mutates locals_.
+  std::vector<std::pair<LocalKey, net::NodeId>> dead;
+  for (const auto& [key, st] : locals_)
+    if (key.second == vc) dead.emplace_back(key, st.orch_node);
+  for (const auto& [key, orch_node] : dead) {
+    CMTOS_WARN("llo", "node %u: vc %llu died (%s), detaching from session %llu", llo_.node_,
+               static_cast<unsigned long long>(vc), to_string(reason).c_str(),
+               static_cast<unsigned long long>(key.first));
+    detach_endpoint(key);
+    obs::Registry::global()
+        .counter("orch.vc_detached", {{"node", std::to_string(llo_.node_)}})
+        .add();
+    Opdu o;
+    o.type = OpduType::kVcDead;
+    o.session = key.first;
+    o.vc = vc;
+    o.orch_node = llo_.node_;
+    o.event_value = static_cast<std::uint64_t>(reason);
+    llo_.send_opdu(orch_node, o);
+  }
+}
+
+// ====================================================================
+// Attachment
+// ====================================================================
+
+void RegulationEngine::attach_endpoint(OrchSessionId s, const OrchVcInfo& info,
+                                       net::NodeId orch_node) {
+  auto& st = locals_[{s, info.vc}];
+  st.info = info;
+  st.orch_node = orch_node;
+  if (info.src_node == llo_.node_) st.is_source = true;
+  if (info.sink_node == llo_.node_) st.is_sink = true;
+  if (st.is_sink) {
+    if (Connection* conn = llo_.entity_.sink(info.vc)) {
+      // Attach the event matcher to the per-OSDU OPDU stream (§6.3.4): the
+      // LLO matches at arrival so application code never scans OSDUs.
+      const LocalKey key{s, info.vc};
+      conn->set_on_osdu_arrival([this, key](const transport::Osdu& osdu) {
+        VcLocal* lst = local(key);
+        if (lst == nullptr || !lst->event_armed) return;
+        if ((osdu.event & lst->event_mask) != lst->event_pattern) return;
+        obs::Tracer::global().instant("Orch.Event", static_cast<int>(llo_.node_),
+                                      static_cast<int>(key.second & 0xffffffffu),
+                                      "{\"osdu_seq\": " + std::to_string(osdu.seq) + "}");
+        Opdu o;
+        o.type = OpduType::kEventInd;
+        o.session = key.first;
+        o.vc = key.second;
+        o.orch_node = llo_.node_;
+        o.event_value = osdu.event;
+        o.osdu_seq = osdu.seq;
+        o.timestamp = llo_.rt().now();
+        llo_.send_opdu(lst->orch_node, o);
+      });
+    }
+  }
+}
+
+void RegulationEngine::detach_endpoint(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  st->slot_timer.cancel();
+  st->src_timer.cancel();
+  if (st->is_sink) {
+    if (Connection* conn = llo_.entity_.sink(key.second)) {
+      conn->set_on_osdu_arrival(nullptr);
+      conn->buffer().set_became_full(nullptr);
+      // Leave delivery enabled: removal from a group must not freeze the VC
+      // ("when VCS are removed from an orchestrated group they are not
+      // disconnected and thus data may still be flowing", §6.2.4).
+      conn->set_delivery_enabled(true);
+    }
+  }
+  locals_.erase(key);
+}
+
+void RegulationEngine::handle_sess_req(const Opdu& o) {
+  Opdu ack;
+  ack.type = OpduType::kSessAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.orch_node = llo_.node_;
+  ack.flags = o.flags;
+
+  // "Table space" admission.
+  std::set<OrchSessionId> distinct;
+  for (const auto& [k, _] : locals_) distinct.insert(k.first);
+  if (!distinct.contains(o.session) && distinct.size() >= session_limit_) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoTableSpace;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  // The named VC endpoint must exist here.
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  Connection* conn = source_target ? llo_.entity_.source(o.vc) : llo_.entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  if (!o.vcs.empty()) attach_endpoint(o.session, o.vcs.front(), o.orch_node);
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+void RegulationEngine::handle_sess_rel(const Opdu& o) { detach_endpoint({o.session, o.vc}); }
+
+void RegulationEngine::handle_add(const Opdu& o) {
+  // Same admission as session setup, then attach.
+  handle_sess_req(o);  // sends kSessAck...
+}
+
+void RegulationEngine::handle_remove_vc(const Opdu& o) {
+  detach_endpoint({o.session, o.vc});
+  Opdu ack;
+  ack.type = OpduType::kRemoveAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+// ====================================================================
+// Group primitives at the endpoints
+// ====================================================================
+
+void RegulationEngine::apply_delivery_gate(VcLocal& st) {
+  if (Connection* conn = llo_.entity_.sink(st.info.vc))
+    conn->set_delivery_enabled(!(st.reg_hold || st.group_hold));
+}
+
+void RegulationEngine::handle_prime(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kPrimeAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  const bool flush = (o.flags & kOpduFlagFlush) != 0;
+
+  if (source_target) {
+    Connection* conn = llo_.entity_.source(o.vc);
+    if (conn == nullptr) {
+      ack.ok = 0;
+      ack.reason = OrchReason::kNoSuchVc;
+      llo_.send_opdu(o.orch_node, ack);
+      return;
+    }
+    if (flush) conn->flush();
+    const bool accepted =
+        llo_.app_ == nullptr || llo_.app_->orch_prime_indication(o.session, o.vc, true);
+    if (!accepted) {
+      ack.ok = 0;
+      ack.reason = OrchReason::kAppDenied;  // Orch.Deny.request (§6.2.1)
+      llo_.send_opdu(o.orch_node, ack);
+      return;
+    }
+    conn->pause_source(false);  // let the pipeline fill
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+
+  Connection* conn = llo_.entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->group_hold = true;
+  apply_delivery_gate(*st);
+  if (flush) conn->flush();
+  const bool accepted =
+      llo_.app_ == nullptr || llo_.app_->orch_prime_indication(o.session, o.vc, false);
+  if (!accepted) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kAppDenied;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->primed_reported = false;
+  conn->buffer().set_became_full([this, key] {
+    VcLocal* lst = local(key);
+    if (lst == nullptr || lst->primed_reported) return;
+    lst->primed_reported = true;
+    Opdu primed;
+    primed.type = OpduType::kPrimed;
+    primed.session = key.first;
+    primed.vc = key.second;
+    primed.timestamp = llo_.rt().now();
+    llo_.send_opdu(lst->orch_node, primed);
+  });
+  if (conn->buffer().full()) {
+    st->primed_reported = true;
+    Opdu primed;
+    primed.type = OpduType::kPrimed;
+    primed.session = o.session;
+    primed.vc = o.vc;
+    primed.timestamp = llo_.rt().now();
+    llo_.send_opdu(o.orch_node, primed);
+  }
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+void RegulationEngine::handle_start(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kStartAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  if (source_target) {
+    if (Connection* conn = llo_.entity_.source(o.vc)) conn->pause_source(false);
+    if (llo_.app_) llo_.app_->orch_start_indication(o.session, o.vc, true);
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  Connection* conn = llo_.entity_.sink(o.vc);
+  if (conn == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSuchVc;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  st->group_hold = false;
+  apply_delivery_gate(*st);
+  // Report the position base: the OSDU the application will see first.
+  const transport::Osdu* head = conn->buffer().peek();
+  ack.delivered_seq = head != nullptr ? static_cast<std::int64_t>(head->seq)
+                                      : conn->last_delivered_seq() + 1;
+  if (llo_.app_) llo_.app_->orch_start_indication(o.session, o.vc, false);
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+void RegulationEngine::handle_stop(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  Opdu ack;
+  ack.type = OpduType::kStopAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.flags = o.flags;
+  if (st == nullptr) {
+    ack.ok = 0;
+    ack.reason = OrchReason::kNoSession;
+    llo_.send_opdu(o.orch_node, ack);
+    return;
+  }
+  const bool source_target = (o.flags & kOpduFlagSourceTarget) != 0;
+  if (source_target) {
+    if (Connection* conn = llo_.entity_.source(o.vc)) conn->pause_source(true);
+    if (llo_.app_) llo_.app_->orch_stop_indication(o.session, o.vc, true);
+  } else {
+    st->group_hold = true;
+    apply_delivery_gate(*st);
+    // Cancel any in-flight regulation: a stopped VC has no rate target.
+    st->slot_timer.cancel();
+    st->reg_hold = false;
+    if (llo_.app_) llo_.app_->orch_stop_indication(o.session, o.vc, false);
+  }
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+// --------------------------------------------------------------------
+// Regulation mechanism (§6.3.1)
+// --------------------------------------------------------------------
+
+void RegulationEngine::handle_regulate_sink(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.sink(o.vc);
+  if (conn == nullptr) return;
+
+  // If the previous interval is still in flight (the next request can
+  // arrive in the same instant as its final slot), close it out first so
+  // its report is never orphaned.
+  if (st->slot_timer.pending()) {
+    st->slot_timer.cancel();
+    finish_sink_interval(key);
+  }
+  st->interval = o.interval;
+  st->interval_id = o.interval_id;
+  st->interval_start = llo_.rt().now();
+  st->max_drop = o.max_drop;
+  st->drops_requested = 0;
+  st->slot = 0;
+  st->start_seq = conn->last_delivered_seq();
+  st->target_seq = (o.flags & kOpduFlagRelativeTarget) ? st->start_seq + o.target_seq
+                                                       : o.target_seq;
+  st->drop_target = o.src_node;
+  conn->buffer().reset_window(st->interval_start);
+
+  const Duration slot_len = std::max<Duration>(1, o.interval / kSlotsPerInterval);
+  st->slot_timer = llo_.rt().after(slot_len, [this, key] { regulation_slot(key); });
+}
+
+void RegulationEngine::regulation_slot(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.sink(key.second);
+  if (conn == nullptr) {  // VC closed under us: orchestration dissolves
+    detach_endpoint(key);
+    return;
+  }
+  ++st->slot;
+  const int k = st->slot;
+  const std::int64_t span = st->target_seq - st->start_seq;
+  // Round-to-nearest interpolation: floor bias would read a legitimate
+  // on-rate stream as "ahead" mid-interval and hold it spuriously.
+  const std::int64_t expected =
+      st->start_seq + (2 * span * k + kSlotsPerInterval) / (2 * kSlotsPerInterval);
+  const std::int64_t cur = conn->last_delivered_seq();
+
+  // Ahead of target by more than one OSDU: block delivery for (at least)
+  // the next slot.  Behind: request drop-at-source, spread over the
+  // remaining slots.  The one-OSDU slack absorbs rounding and render-phase
+  // quantisation.
+  if (cur > expected + 1) {
+    st->reg_hold = true;
+  } else {
+    st->reg_hold = false;
+    const std::int64_t behind = expected - cur;
+    if (behind > 1 && st->drops_requested < st->max_drop) {
+      const int remaining_slots = kSlotsPerInterval - k + 1;
+      const std::uint32_t want = static_cast<std::uint32_t>(std::min<std::int64_t>(
+          st->max_drop - st->drops_requested,
+          (behind + remaining_slots - 1) / remaining_slots));
+      if (want > 0) {
+        Opdu drop;
+        drop.type = OpduType::kDrop;
+        drop.session = key.first;
+        drop.vc = key.second;
+        drop.orch_node = st->orch_node;
+        drop.drop_count = want;
+        llo_.send_opdu(st->drop_target, drop);
+        st->drops_requested += want;
+      }
+    }
+  }
+  apply_delivery_gate(*st);
+
+  if (k >= kSlotsPerInterval) {
+    finish_sink_interval(key);
+    return;
+  }
+  const Duration slot_len = std::max<Duration>(1, st->interval / kSlotsPerInterval);
+  st->slot_timer = llo_.rt().after(slot_len, [this, key] { regulation_slot(key); });
+}
+
+void RegulationEngine::finish_sink_interval(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.sink(key.second);
+  if (conn == nullptr) return;
+  st->reg_hold = false;
+  apply_delivery_gate(*st);
+
+  const Time now = llo_.rt().now();
+  const auto stats = conn->buffer().window_stats(now);
+  Opdu o;
+  o.type = OpduType::kRegInd;
+  o.session = key.first;
+  o.vc = key.second;
+  o.interval_id = st->interval_id;
+  o.delivered_seq = conn->last_delivered_seq();
+  o.target_seq = st->start_seq;  // echo the interval-begin position
+  // At the sink ring the *protocol* is the producer and the *application*
+  // is the consumer.
+  o.proto_blocked = stats.producer_blocked;
+  o.app_blocked = stats.consumer_blocked;
+  o.timestamp = now;
+  llo_.send_opdu(st->orch_node, o);
+  conn->buffer().reset_window(now);
+}
+
+void RegulationEngine::handle_regulate_src(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.source(o.vc);
+  if (conn == nullptr) return;
+  if (st->src_timer.pending()) {
+    st->src_timer.cancel();
+    finish_src_interval(key);
+  }
+  st->src_budget = o.max_drop;
+  st->src_dropped = 0;
+  st->src_interval_id = o.interval_id;
+  conn->buffer().reset_window(llo_.rt().now());
+  st->src_timer = llo_.rt().after(o.interval, [this, key] { finish_src_interval(key); });
+}
+
+void RegulationEngine::finish_src_interval(LocalKey key) {
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.source(key.second);
+  if (conn == nullptr) return;
+  const Time now = llo_.rt().now();
+  const auto stats = conn->buffer().window_stats(now);
+  Opdu o;
+  o.type = OpduType::kSrcStats;
+  o.session = key.first;
+  o.vc = key.second;
+  o.interval_id = st->src_interval_id;
+  o.dropped = st->src_dropped;
+  // At the source ring the *application* is the producer and the
+  // *protocol* is the consumer.
+  o.app_blocked = stats.producer_blocked;
+  o.proto_blocked = stats.consumer_blocked;
+  o.timestamp = now;
+  llo_.send_opdu(st->orch_node, o);
+  conn->buffer().reset_window(now);
+}
+
+void RegulationEngine::handle_drop(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  Connection* conn = llo_.entity_.source(o.vc);
+  if (conn == nullptr) return;
+  const std::uint32_t allowed =
+      st->src_budget > st->src_dropped ? st->src_budget - st->src_dropped : 0;
+  const std::uint32_t executed = conn->drop_at_source(std::min(o.drop_count, allowed));
+  st->src_dropped += executed;
+  if (executed > 0) {
+    obs::Registry::global()
+        .counter("orch.osdus_dropped", {{"vc", std::to_string(o.vc)}})
+        .add(executed);
+    obs::Tracer::global().instant("Orch.Drop", static_cast<int>(llo_.node_),
+                                  static_cast<int>(o.vc & 0xffffffffu),
+                                  "{\"count\": " + std::to_string(executed) + "}");
+  }
+}
+
+void RegulationEngine::handle_event_reg(const Opdu& o) {
+  const LocalKey key{o.session, o.vc};
+  VcLocal* st = local(key);
+  if (st == nullptr) return;
+  st->event_armed = true;
+  st->event_pattern = o.pattern;
+  st->event_mask = o.mask;
+}
+
+void RegulationEngine::handle_delayed(const Opdu& o) {
+  const bool source_side = o.source_side != 0;
+  obs::Tracer::global().instant("Orch.Delayed", static_cast<int>(llo_.node_),
+                                static_cast<int>(o.vc & 0xffffffffu),
+                                "{\"osdus_behind\": " + std::to_string(o.osdus_behind) + "}");
+  const bool accepted =
+      llo_.app_ == nullptr ||
+      llo_.app_->orch_delayed_indication(o.session, o.vc, source_side, o.osdus_behind);
+  Opdu ack;
+  ack.type = OpduType::kDelayedAck;
+  ack.session = o.session;
+  ack.vc = o.vc;
+  ack.ok = accepted ? 1 : 0;
+  ack.reason = accepted ? OrchReason::kOk : OrchReason::kAppDenied;
+  llo_.send_opdu(o.orch_node, ack);
+}
+
+}  // namespace cmtos::orch

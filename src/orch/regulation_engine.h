@@ -1,0 +1,113 @@
+// cmtos/orch/regulation_engine.h
+//
+// The endpoint-node half of the LLO (§6.2–§6.3): per-VC local state and the
+// mechanism itself — delivery gating for prime/start/stop, micro-slot
+// regulation toward the interval target (hold when ahead; request
+// drop-at-source when behind, spread over the interval "to avoid
+// unnecessary jitter", §6.3.1.1), buffer flushing, semaphore-statistics
+// windows, and event-pattern matching against the per-OSDU OPDU field.
+//
+// Every timer here (regulation slots, source budget intervals) is
+// node-local: steady-state regulation touches nothing outside this node,
+// which is what keeps orchestration rounds parallelisable across shards.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "orch/orch_types.h"
+#include "sim/node_runtime.h"
+#include "transport/service.h"
+
+namespace cmtos::orch {
+
+class Llo;
+
+class RegulationEngine {
+ public:
+  explicit RegulationEngine(Llo& llo) : llo_(llo) {}
+  RegulationEngine(const RegulationEngine&) = delete;
+  RegulationEngine& operator=(const RegulationEngine&) = delete;
+
+  // --- OPDU rows dispatched here by the Llo (endpoint side) ---
+  void handle_sess_req(const Opdu& o);
+  void handle_sess_rel(const Opdu& o);
+  void handle_add(const Opdu& o);
+  void handle_remove_vc(const Opdu& o);
+  void handle_prime(const Opdu& o);
+  void handle_start(const Opdu& o);
+  void handle_stop(const Opdu& o);
+  void handle_regulate_sink(const Opdu& o);
+  void handle_regulate_src(const Opdu& o);
+  void handle_drop(const Opdu& o);
+  void handle_event_reg(const Opdu& o);
+  void handle_delayed(const Opdu& o);
+
+  /// Transport observer: a local VC endpoint was torn down (peer death,
+  /// local or remote release).  Detaches it from every session it belongs
+  /// to and reports kVcDead to each orchestrating node.
+  void on_vc_closed(transport::VcId vc, transport::DisconnectReason reason);
+
+  /// "Table space" (paper's rejection reason kNoTableSpace): distinct
+  /// sessions this endpoint will hold local state for.
+  void set_session_limit(std::size_t n) { session_limit_ = n; }
+  std::size_t local_vc_count() const { return locals_.size(); }
+
+  /// Drops every endpoint attachment and its regulation timers.
+  void crash();
+
+ private:
+  /// Number of regulation micro-slots per interval (corrections are spread
+  /// across the interval to avoid jitter, §6.3.1.1).
+  static constexpr int kSlotsPerInterval = 8;
+
+  // Per (session, VC-with-a-local-endpoint) state.
+  struct VcLocal {
+    OrchVcInfo info;
+    net::NodeId orch_node = net::kInvalidNode;
+    bool is_source = false;
+    bool is_sink = false;
+    // Sink-side regulation:
+    bool reg_hold = false;    // regulation delivery gate (ahead of target)
+    bool group_hold = false;  // prime/stop delivery gate
+    std::int64_t target_seq = 0;
+    std::int64_t start_seq = 0;
+    std::uint32_t interval_id = 0;
+    Duration interval = 0;
+    Time interval_start = 0;
+    std::uint32_t max_drop = 0;
+    std::uint32_t drops_requested = 0;
+    int slot = 0;
+    net::NodeId drop_target = net::kInvalidNode;
+    sim::EventHandle slot_timer;
+    // Source-side regulation:
+    std::uint32_t src_budget = 0;
+    std::uint32_t src_dropped = 0;
+    std::uint32_t src_interval_id = 0;
+    sim::EventHandle src_timer;
+    // Prime:
+    bool primed_reported = false;
+    // Events:
+    bool event_armed = false;
+    std::uint64_t event_pattern = 0;
+    std::uint64_t event_mask = ~0ull;
+  };
+
+  using LocalKey = std::pair<OrchSessionId, transport::VcId>;
+
+  VcLocal* local(LocalKey key);
+  void regulation_slot(LocalKey key);
+  void finish_sink_interval(LocalKey key);
+  void finish_src_interval(LocalKey key);
+  void apply_delivery_gate(VcLocal& st);
+  void attach_endpoint(OrchSessionId session, const OrchVcInfo& info, net::NodeId orch_node);
+  void detach_endpoint(LocalKey key);
+
+  Llo& llo_;
+  std::size_t session_limit_ = 64;
+  std::map<LocalKey, VcLocal> locals_;
+};
+
+}  // namespace cmtos::orch

@@ -1,0 +1,147 @@
+// cmtos/orch/session_table.h
+//
+// The orchestrating-node half of the LLO (§6.1–§6.3): owns the session
+// table, fans the Table 4/5/6 primitives out as OPDUs to every endpoint
+// LLO, collects acknowledgements against a per-session pending operation,
+// and merges the end-of-interval sink/source reports into the
+// Orch.Regulate.indication handed to the HLO agent.
+//
+// The table shares the Llo's wire I/O and node identity through a back
+// reference; its group-operation timeouts live in the Llo's TimerSet
+// (TimerKind::kOpTimeout, keyed by session id) so a node crash drops them
+// with every other orchestration timer.  Regulate-merge windows keep raw
+// EventHandles: their (vc, interval_id) key does not fit a TimerSet slot,
+// and two windows for the same VC legitimately overlap.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "orch/orch_types.h"
+#include "sim/node_runtime.h"
+#include "transport/timer_set.h"
+
+namespace cmtos::orch {
+
+class Llo;
+
+class SessionTable {
+ public:
+  SessionTable(Llo& llo, transport::TimerSet& timers) : llo_(llo), timers_(timers) {}
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+  // --- Table 4/5/6 primitives (bodies of the former Llo methods) ---
+  void orch_request(OrchSessionId session, std::vector<OrchVcInfo> vcs, OrchResultFn done,
+                    bool allow_no_common_node);
+  void orch_release(OrchSessionId session);
+  void release_remote(OrchSessionId session, const std::vector<OrchVcInfo>& vcs);
+  void prime(OrchSessionId session, bool flush, OrchResultFn done);
+  void start(OrchSessionId session, OrchStartFn done);
+  void stop(OrchSessionId session, OrchResultFn done);
+  void add(OrchSessionId session, OrchVcInfo vc, OrchResultFn done);
+  void remove(OrchSessionId session, transport::VcId vc, OrchResultFn done);
+  void regulate(OrchSessionId session, transport::VcId vc, std::int64_t target_seq,
+                std::uint32_t max_drop, Duration interval, std::uint32_t interval_id,
+                bool relative);
+  void delayed(OrchSessionId session, transport::VcId vc, bool source_side,
+               std::int64_t osdus_behind);
+  void register_event(OrchSessionId session, transport::VcId vc, std::uint64_t pattern,
+                      std::uint64_t mask);
+
+  // --- indication sinks (one HLO agent per session) ---
+  void set_regulate_callback(OrchSessionId session,
+                             std::function<void(const RegulateIndication&)> fn) {
+    on_regulate_[session] = std::move(fn);
+  }
+  void set_event_callback(OrchSessionId session,
+                          std::function<void(const EventIndication&)> fn) {
+    on_event_[session] = std::move(fn);
+  }
+  void set_vc_dead_callback(OrchSessionId session,
+                            std::function<void(const EventIndication&)> fn) {
+    on_vc_dead_[session] = std::move(fn);
+  }
+
+  void set_op_timeout(Duration d) { op_timeout_ = d; }
+  Duration op_timeout() const { return op_timeout_; }
+
+  // --- OPDU rows dispatched here by the Llo (orchestrating-node side) ---
+  void op_ack(const Opdu& o);
+  void handle_primed(const Opdu& o);
+  void handle_reg_ind(const Opdu& o);
+  void handle_src_stats(const Opdu& o);
+  void handle_event_ind(const Opdu& o);
+  void handle_vc_dead(const Opdu& o);
+
+  // --- introspection / fault model ---
+  bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
+  SessionPhase session_phase(OrchSessionId s) const {
+    auto it = sessions_.find(s);
+    return it == sessions_.end() ? SessionPhase::kEstablishing : it->second.phase;
+  }
+  /// Drops every orchestrating-side structure: sessions, pending ops,
+  /// merge windows, registered callbacks.  The op timeouts die when the
+  /// Llo cancels the shared TimerSet.
+  void crash();
+
+ private:
+  struct PendingOp {
+    int awaiting = 0;
+    bool failed = false;
+    OrchReason reason = OrchReason::kOk;
+    OrchResultFn done;
+    OrchStartFn start_done;
+    std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
+    std::map<transport::VcId, std::int64_t> start_bases;
+    // Phase the session commits to when the op succeeds / reverts to when
+    // it fails or times out (set by the primitive that issued the op).
+    SessionPhase commit_phase = SessionPhase::kIdle;
+    SessionPhase revert_phase = SessionPhase::kEstablishing;
+    // Tracing: open async span for this op (0 = none).
+    std::uint64_t span_id = 0;
+    const char* span_name = nullptr;
+  };
+  struct RegMerge {
+    RegulateIndication ind;
+    bool have_sink = false;
+    bool have_src = false;
+    sim::EventHandle timeout;
+    std::uint64_t span_id = 0;  // open "Orch.Regulate" interval span
+  };
+  struct Session {
+    std::vector<OrchVcInfo> vcs;
+    std::unique_ptr<PendingOp> op;
+    std::map<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
+    bool established = false;
+    SessionPhase phase = SessionPhase::kEstablishing;
+  };
+
+  Session* session(OrchSessionId s);
+  /// The only writer of Session::phase: no-op when already there, checks
+  /// the legal-transition table otherwise (CMTOS_ASSERT "orch.transition").
+  void set_phase(OrchSessionId s, Session& sess, SessionPhase next);
+  /// Common admission for group primitives: session established, no other
+  /// group op collecting acks, and `attempt` legal from the current phase.
+  OrchReason admit_group_op(const Session& sess, SessionPhase attempt) const;
+  void fan_out(OrchSessionId sid, Session& sess, OpduType type, std::uint8_t flags,
+               OrchResultFn done, OrchStartFn start_done);
+  void finish_op(OrchSessionId s, Session& sess);
+  void emit_regulate_ind(OrchSessionId s, std::pair<transport::VcId, std::uint32_t> key);
+
+  Llo& llo_;
+  transport::TimerSet& timers_;
+  Duration op_timeout_ = 5 * kSecond;
+
+  std::map<OrchSessionId, Session> sessions_;
+  std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
+  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
+  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
+};
+
+}  // namespace cmtos::orch

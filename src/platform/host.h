@@ -35,6 +35,20 @@ struct Host {
   Host(net::Network& network, net::NodeId node)
       : id(node), entity(network, node), llo(network, node, entity), rpc(network, node) {
     llo.set_app_handler(&app_mux);
+    // Crash/restart of the software stack routes through the network node:
+    // Network::set_node_up is the single cross-shard fault channel, and the
+    // handler tears down / cold-starts the layers that live on this shard.
+    network.node(node).set_fault_handler([this](bool up) {
+      if (up) {
+        entity.restart();
+        llo.restart();
+        rpc.restart();
+      } else {
+        entity.crash();
+        llo.crash();
+        rpc.crash();
+      }
+    });
   }
 
   /// Allocates a fresh TSAP for dynamically created users (Streams).
@@ -85,31 +99,23 @@ class Platform {
   void run_until(Time t) { scheduler_.run_until(t); }
   void run() { scheduler_.run(); }
 
+  /// Worker count for parallel executor rounds; 1 reproduces serial traces
+  /// byte-for-byte (the determinism oracle).
+  void set_threads(unsigned n) { scheduler_.set_threads(n); }
+
   // ------------------------------------------------------------------
   // Fault model
   // ------------------------------------------------------------------
 
   /// Crashes one host: the network node goes down (terminating and transit
-  /// traffic black-holed) and every layer of its stack drops its volatile
-  /// state — transport VCs and pending handshakes, LLO sessions and
-  /// endpoint attachments, pending RPCs.
-  void crash_node(net::NodeId id) {
-    network_.set_node_up(id, false);
-    Host& h = host(id);
-    h.entity.crash();
-    h.llo.crash();
-    h.rpc.crash();
-  }
+  /// traffic black-holed) and its fault handler drops every layer's
+  /// volatile state — transport VCs and pending handshakes, LLO sessions
+  /// and endpoint attachments, pending RPCs.
+  void crash_node(net::NodeId id) { network_.set_node_up(id, false); }
 
   /// Brings a crashed host back with empty protocol state (cold start:
   /// peers must re-establish everything).
-  void restart_node(net::NodeId id) {
-    network_.set_node_up(id, true);
-    Host& h = host(id);
-    h.entity.restart();
-    h.llo.restart();
-    h.rpc.restart();
-  }
+  void restart_node(net::NodeId id) { network_.set_node_up(id, true); }
 
   bool node_alive(net::NodeId id) const { return network_.node_up(id); }
 

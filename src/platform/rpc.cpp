@@ -119,6 +119,9 @@ void RpcRuntime::send_attempt(std::uint64_t call_id) {
   pkt.dst = it->second.dst;
   pkt.proto = net::Proto::kRpc;
   pkt.priority = net::Priority::kControl;
+  // RPC handlers are registered by facade-side services (orchestrator
+  // registry, failover control): deliver globally so those rounds serialise.
+  pkt.global_delivery = true;
   pkt.payload = it->second.wire;
   network_.send(std::move(pkt));
   arm_timeout(call_id);
@@ -127,7 +130,10 @@ void RpcRuntime::send_attempt(std::uint64_t call_id) {
 void RpcRuntime::arm_timeout(std::uint64_t call_id) {
   auto it = pending_.find(call_id);
   if (it == pending_.end() || it->second.delay_bound == kTimeNever) return;
-  it->second.timeout = network_.scheduler().after(it->second.delay_bound, [this, call_id] {
+  // Call timeouts run on the caller node's shard but as global events: the
+  // reply callback may touch facade-side state.
+  auto& rt = network_.node(node_).runtime();
+  it->second.timeout = rt.after_global(it->second.delay_bound, [this, call_id] {
     auto pit = pending_.find(call_id);
     if (pit == pending_.end()) return;
     if (pit->second.attempts_left > 0) {
@@ -146,8 +152,8 @@ void RpcRuntime::arm_timeout(std::uint64_t call_id) {
       CMTOS_INFO("rpc", "node %u: call %llu attempt timed out, retry %d in %lld ns", node_,
                  static_cast<unsigned long long>(call_id), retry_no,
                  static_cast<long long>(backoff));
-      pit->second.timeout =
-          network_.scheduler().after(backoff, [this, call_id] { send_attempt(call_id); });
+      pit->second.timeout = network_.node(node_).runtime().after_global(
+          backoff, [this, call_id] { send_attempt(call_id); });
       return;
     }
     ReplyFn fn = std::move(pit->second.reply);
@@ -191,6 +197,7 @@ void RpcRuntime::on_packet(net::Packet&& pkt) {
     out.dst = m->caller;
     out.proto = net::Proto::kRpc;
     out.priority = net::Priority::kControl;
+    out.global_delivery = true;
     out.payload = reply.encode();
     network_.send(std::move(out));
     return;

@@ -74,7 +74,8 @@ void Stream::change_qos(const MediaQos& media, const transport::QosTolerance& to
   // source entity through the platform, standing in for the management
   // RPC the paper's platform would use.
   Host& src_host = platform_.host(src_.node);
-  src_host.entity.t_renegotiate_request(vc_, tol);
+  // Runs in a control-shard (global) event, so the source shard is quiescent.
+  src_host.entity.t_renegotiate_request(vc_, tol);  // cmtos-lint: allow(cross-node-state-access)
   // The confirm is delivered to the *source device* user; observe the
   // outcome by polling the contract (bounded, RTT-scaled).
   poll_qos_change(10);
@@ -83,7 +84,8 @@ void Stream::change_qos(const MediaQos& media, const transport::QosTolerance& to
 void Stream::poll_qos_change(int tries_left) {
   qos_poll_ = platform_.scheduler().after(50 * kMillisecond, [this, tries_left] {
     Host& src_host = platform_.host(src_.node);
-    transport::Connection* conn = src_host.entity.source(vc_);
+    // Scheduler::after events are global: the poll never races the source shard.
+    transport::Connection* conn = src_host.entity.source(vc_);  // cmtos-lint: allow(cross-node-state-access)
     if (conn == nullptr) {
       if (qos_change_done_) {
         auto done = std::move(qos_change_done_);

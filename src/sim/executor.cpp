@@ -1,0 +1,268 @@
+#include "sim/executor.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+#include "util/contract.h"
+
+namespace cmtos::sim {
+namespace {
+
+// Spin iterations before parking on the condvar.  On a single-hardware-thread
+// host spinning only steals cycles from whoever holds the core, so park
+// immediately there.
+const int kSpinLimit = std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+
+}  // namespace
+
+thread_local NodeRuntime* Executor::current_ = nullptr;
+
+Executor::Executor(std::uint64_t seed) : seed_(seed) {}
+
+Executor::~Executor() { stop_workers(); }
+
+NodeRuntime& Executor::add_shard() {
+  const auto id = static_cast<std::uint32_t>(shards_.size());
+  // splitmix-style per-shard stream derivation: equal executor seeds give
+  // equal per-shard streams regardless of worker count.
+  const std::uint64_t shard_seed = seed_ ^ (0x2545f4914f6cdd1dull * (id + 1));
+  shards_.push_back(std::unique_ptr<NodeRuntime>(new NodeRuntime(this, id, shard_seed)));
+  return *shards_.back();
+}
+
+void Executor::set_threads(unsigned n) {
+  if (n == 0) n = 1;
+  if (n == threads_) return;
+  stop_workers();
+  threads_ = n;
+  if (n > 1) start_workers(n - 1);
+}
+
+std::size_t Executor::live_events() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->live();
+  return n;
+}
+
+Time Executor::min_head_time() {
+  Time t = kTimeNever;
+  for (auto& s : shards_) {
+    const NodeRuntime::HeapEntry* h = s->head();
+    if (h != nullptr && h->time < t) t = h->time;
+  }
+  return t;
+}
+
+Time Executor::min_global_time() {
+  Time t = kTimeNever;
+  for (auto& s : shards_) t = std::min(t, s->global_head_time());
+  return t;
+}
+
+std::size_t Executor::run(std::size_t limit) {
+  // Global single-stepping in (time, shard, seq) order — the fully serial
+  // mode behind Scheduler::run(limit) and unit tests.
+  std::size_t fired = 0;
+  while (fired < limit) {
+    NodeRuntime* best = nullptr;
+    Time best_time = kTimeNever;
+    for (auto& s : shards_) {
+      const NodeRuntime::HeapEntry* h = s->head();
+      if (h != nullptr && (best == nullptr || h->time < best_time)) {
+        best = s.get();
+        best_time = h->time;
+      }
+    }
+    if (best == nullptr) break;
+    best->execute_head();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t Executor::run_until(Time t) {
+  fired_ = 0;
+  const Time bound = t >= kTimeNever ? kTimeNever : t + 1;  // events at exactly t run
+  for (;;) {
+    const Time tmin = min_head_time();
+    if (tmin >= bound) break;
+    Time horizon = tmin > kTimeNever - lookahead_ ? kTimeNever : tmin + lookahead_;
+    if (horizon > bound) horizon = bound;
+    // Tracing serialises everything: the tracer's sim-time stamp and event
+    // stream are global, and a deterministic trace byte order is part of
+    // the determinism contract (DESIGN.md §10).
+    const bool serial = obs::Tracer::global().enabled() || min_global_time() < horizon;
+    if (serial) {
+      ++serial_rounds_;
+      run_serial_round(horizon);
+    } else {
+      ++parallel_rounds_;
+      run_parallel_round(horizon);
+    }
+  }
+  for (auto& s : shards_) {
+    if (s->now() < t) s->set_now(t);
+  }
+  return fired_;
+}
+
+void Executor::run_serial_round(Time horizon) {
+  // Merged (time, shard, seq) order across all shards, including events
+  // spawned mid-round below the horizon.  Cross-shard schedule calls insert
+  // directly (no outbox) — serial rounds are serial at every thread count,
+  // so the insertion order is deterministic by construction.
+  for (;;) {
+    NodeRuntime* best = nullptr;
+    Time best_time = kTimeNever;
+    for (auto& s : shards_) {
+      const NodeRuntime::HeapEntry* h = s->head();
+      if (h == nullptr || h->time >= horizon) continue;
+      if (best == nullptr || h->time < best_time) {
+        best = s.get();
+        best_time = h->time;
+      }
+    }
+    if (best == nullptr) return;
+    best->execute_head();
+    ++fired_;
+  }
+}
+
+void Executor::run_parallel_round(Time horizon) {
+  parallel_phase_ = true;
+  round_horizon_ = horizon;
+  round_next_.store(0, std::memory_order_relaxed);
+  round_fired_.store(0, std::memory_order_relaxed);
+  // Small-round elision: waking the pool costs more than draining one or
+  // two shards inline.  Which thread executes a shard never affects event
+  // order (per-shard order plus the sorted outbox drain carry determinism),
+  // and the runnable count is pure queue state, so this stays reproducible.
+  unsigned runnable = 0;
+  for (auto& s : shards_) {
+    const NodeRuntime::HeapEntry* h = s->head();
+    if (h != nullptr && h->time < horizon && ++runnable > 2) break;
+  }
+  if (!workers_.empty() && runnable > 2) {
+    round_active_.store(static_cast<unsigned>(workers_.size()), std::memory_order_relaxed);
+    round_gen_.fetch_add(1, std::memory_order_release);
+    {
+      // Empty critical section: a worker is either before its predicate
+      // check (and will observe the new generation) or parked inside wait
+      // (and will get the notify) — never between the two.
+      std::lock_guard<std::mutex> lk(mu_);
+    }
+    cv_start_.notify_all();
+    work_round();  // the calling thread participates
+    for (int spin = 0; round_active_.load(std::memory_order_acquire) != 0; ++spin) {
+      if (spin < kSpinLimit) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_done_.wait(lk, [this] { return round_active_.load(std::memory_order_acquire) == 0; });
+      break;
+    }
+  } else {
+    work_round();
+  }
+  parallel_phase_ = false;
+  fired_ += round_fired_.load(std::memory_order_relaxed);
+  drain_outboxes();
+}
+
+void Executor::work_round() {
+  const std::uint32_t n = shard_count();
+  std::size_t fired = 0;
+  for (;;) {
+    const std::uint32_t i = round_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    NodeRuntime& s = *shards_[i];
+    for (;;) {
+      const NodeRuntime::HeapEntry* h = s.head();
+      if (h == nullptr || h->time >= round_horizon_) break;
+      // A global event spawned mid-round (defer_global) parks the shard:
+      // the next round will be serial and run it in merged order.
+      if (s.slots_[h->slot].global) break;
+      s.execute_head();
+      ++fired;
+    }
+  }
+  round_fired_.fetch_add(fired, std::memory_order_relaxed);
+}
+
+void Executor::drain_outboxes() {
+  std::vector<NodeRuntime::Deferred> all;
+  for (auto& s : shards_) {
+    if (s->outbox_.empty()) continue;
+    for (auto& d : s->outbox_) all.push_back(std::move(d));
+    s->outbox_.clear();
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(),
+            [](const NodeRuntime::Deferred& a, const NodeRuntime::Deferred& b) {
+              if (a.src_time != b.src_time) return a.src_time < b.src_time;
+              if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+              if (a.src_seq != b.src_seq) return a.src_seq < b.src_seq;
+              return a.idx < b.idx;
+            });
+  for (auto& d : all) {
+    // With a sound lookahead the delivery lands at or after the target's
+    // clock; the clamp keeps a mid-run lookahead shrink deterministic
+    // rather than time-travelling.
+    const Time t = std::max(d.time, d.target->now());
+    (void)d.target->insert_direct(t, std::move(d.fn), d.global);
+  }
+}
+
+void Executor::start_workers(unsigned n) {
+  shutdown_.store(false, std::memory_order_relaxed);
+  const std::uint64_t start_gen = round_gen_.load(std::memory_order_relaxed);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this, start_gen] {
+      std::uint64_t seen = start_gen;
+      for (;;) {
+        // Spin briefly before parking: consecutive parallel rounds arrive
+        // back-to-back and a futex sleep/wake costs more than the round.
+        int spin = 0;
+        std::uint64_t gen;
+        while ((gen = round_gen_.load(std::memory_order_acquire)) == seen &&
+               !shutdown_.load(std::memory_order_acquire)) {
+          if (++spin < kSpinLimit) {
+            std::this_thread::yield();
+            continue;
+          }
+          std::unique_lock<std::mutex> lk(mu_);
+          cv_start_.wait(lk, [&] {
+            return shutdown_.load(std::memory_order_acquire) ||
+                   round_gen_.load(std::memory_order_acquire) != seen;
+          });
+          break;
+        }
+        if (shutdown_.load(std::memory_order_acquire)) return;
+        seen = round_gen_.load(std::memory_order_acquire);
+        work_round();
+        if (round_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+          }
+          cv_done_.notify_all();
+        }
+      }
+    });
+  }
+}
+
+void Executor::stop_workers() {
+  if (workers_.empty()) return;
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  shutdown_.store(false, std::memory_order_relaxed);
+  round_active_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace cmtos::sim

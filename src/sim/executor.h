@@ -1,0 +1,140 @@
+// cmtos/sim/executor.h
+//
+// Conservative parallel discrete-event executor over node shards.
+//
+// Time advances in lock-stepped rounds.  Each round:
+//   1. T_min  = earliest pending event time across all shards.
+//   2. H      = min(T_min + L, bound), where L is the lookahead — the
+//      minimum in-flight link latency reported by the network.  Every
+//      cross-shard delivery scheduled by an event at time t lands at
+//      >= t + L >= H, so no event executed in this round can affect
+//      another shard *within* the round.
+//   3. Classify: if any shard holds a *global* event earlier than H (or
+//      tracing is enabled), the round is serial — events across all shards
+//      run one at a time in (time, shard, seq) order and may touch shared
+//      state.  Otherwise the round is parallel: each shard independently
+//      drains its own events below H in (time, seq) order, stopping early
+//      if its head becomes a global event (which then forces the next
+//      round serial).
+//   4. Barrier: schedule calls that targeted another shard during a
+//      parallel round were buffered in per-shard outboxes; they are applied
+//      in deterministic (source time, source shard, source seq, index)
+//      order.
+//
+// The same classification and execution rules run at every worker count:
+// at --threads 1 a "parallel" round simply visits the shards sequentially.
+// Round structure is a pure function of queue state, so N=1 and N=8
+// produce byte-identical event orders — N=1 is the determinism oracle.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/node_runtime.h"
+#include "util/time.h"
+
+namespace cmtos::sim {
+
+class Executor {
+ public:
+  explicit Executor(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Creates the next shard (0 is the control shard, created by the
+  /// Scheduler facade; the network allocates one per node).
+  NodeRuntime& add_shard();
+  NodeRuntime& shard(std::uint32_t i) { return *shards_[i]; }
+  std::uint32_t shard_count() const { return static_cast<std::uint32_t>(shards_.size()); }
+
+  /// Worker count for parallel rounds (1 = run everything on the calling
+  /// thread).  May be called between runs, not from inside an event.
+  void set_threads(unsigned n);
+  unsigned threads() const { return threads_; }
+
+  /// Lookahead: lower bound on cross-shard delivery latency.  The network
+  /// keeps this equal to the minimum link propagation delay and must
+  /// refresh it when links are added or retuned mid-run.  Clamped to >= 1.
+  void set_lookahead(Duration l) { lookahead_ = l < 1 ? 1 : l; }
+  Duration lookahead() const { return lookahead_; }
+
+  /// Runs events in global (time, shard, seq) order until all queues are
+  /// empty or `limit` events have fired.  Always serial.  Returns events
+  /// fired.
+  std::size_t run(std::size_t limit);
+
+  /// Runs conservative rounds until every event with time <= t has fired,
+  /// then advances every shard's clock to exactly t.  Returns events fired.
+  std::size_t run_until(Time t);
+
+  /// The runtime whose event is executing on this thread, or nullptr
+  /// outside event context.  Scheduling against a different runtime during
+  /// a parallel round is what routes through the outbox.
+  static NodeRuntime* current() { return current_; }
+
+  /// True while a parallel round is executing (cross-shard schedule calls
+  /// must detour through the outbox instead of touching foreign heaps).
+  bool in_parallel_round() const { return parallel_phase_; }
+
+  /// Live events across all shards.
+  std::size_t live_events() const;
+
+  /// Round-classification counters since construction (observability: a
+  /// workload that should scale but doesn't usually shows up here as an
+  /// unexpected serial-round majority).
+  std::uint64_t serial_rounds() const { return serial_rounds_; }
+  std::uint64_t parallel_rounds() const { return parallel_rounds_; }
+
+ private:
+  friend class NodeRuntime;
+
+  /// Earliest pending event time across shards, kTimeNever when idle.
+  Time min_head_time();
+  /// Earliest pending *global* event time across shards.
+  Time min_global_time();
+  void run_serial_round(Time horizon);
+  void run_parallel_round(Time horizon);
+  void drain_outboxes();
+
+  void start_workers(unsigned n);
+  void stop_workers();
+  /// Executes shards (claimed via round_next_) below round_horizon_.
+  void work_round();
+
+  static thread_local NodeRuntime* current_;
+
+  std::uint64_t seed_;
+  Duration lookahead_ = 1;
+  unsigned threads_ = 1;
+  bool parallel_phase_ = false;
+  std::size_t fired_ = 0;  // events fired in the current run_* call
+  std::uint64_t serial_rounds_ = 0;
+  std::uint64_t parallel_rounds_ = 0;
+  std::vector<std::unique_ptr<NodeRuntime>> shards_;
+
+  // Worker pool (threads_ - 1 workers; the calling thread participates).
+  // Handoff is spin-then-block: rounds are often far shorter than a futex
+  // wake, so workers briefly spin on round_gen_ before parking on the
+  // condvar, and the coordinator spins on round_active_ before parking on
+  // cv_done_.  The mutex only guards the park/notify edge; all round state
+  // is published through the release increment of round_gen_.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::atomic<std::uint64_t> round_gen_{0};  // incremented to launch a round
+  std::atomic<unsigned> round_active_{0};    // workers still inside the round
+  std::atomic<bool> shutdown_{false};
+  Time round_horizon_ = 0;
+  std::atomic<std::uint32_t> round_next_{0};  // shard claim cursor
+  std::atomic<std::size_t> round_fired_{0};
+};
+
+}  // namespace cmtos::sim

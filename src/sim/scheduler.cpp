@@ -1,59 +1,29 @@
 #include "sim/scheduler.h"
 
-#include "obs/trace.h"
-#include "util/contract.h"
-
 namespace cmtos::sim {
 
-void EventHandle::cancel() {
-  if (state_) state_->cancelled = true;
+Scheduler::Scheduler()
+    : exec_(std::make_unique<Executor>()), control_(&exec_->add_shard()) {}
+
+Time Scheduler::now() const {
+  // Inside an event, "now" is the executing shard's clock — node-local
+  // components read a consistent time even while other shards are mid-round.
+  NodeRuntime* cur = Executor::current();
+  if (cur != nullptr && &cur->executor() == exec_.get()) return cur->now();
+  return control_->now();
 }
 
-bool EventHandle::pending() const {
-  return state_ && !state_->cancelled && !state_->fired;
+EventHandle Scheduler::at(Time t, EventFn fn) {
+  return control_->at_global(t, std::move(fn));
 }
 
-EventHandle Scheduler::at(Time t, std::function<void()> fn) {
-  CMTOS_ASSERT(t >= now_, "sched.past_event");  // clamped to now_ below
-  auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{t < now_ ? now_ : t, next_seq_++, std::move(fn), state});
-  return EventHandle(std::move(state));
+EventHandle Scheduler::after(Duration d, EventFn fn) {
+  if (d < 0) d = 0;
+  return control_->at_global(now() + d, std::move(fn));
 }
 
-bool Scheduler::fire_next(Time horizon) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (top.time > horizon) return false;
-    // Copy out before pop: fn may schedule new events, invalidating `top`.
-    Entry entry{top.time, top.seq, std::move(const_cast<Entry&>(top).fn), top.state};
-    queue_.pop();
-    if (entry.state->cancelled) continue;
-    // Event ordering: the queue must hand out events in non-decreasing
-    // time order — simulated time never runs backwards.
-    CMTOS_INVARIANT(entry.time >= now_, "sched.ordering");
-    now_ = entry.time;
-    // Tracing: events emitted while `fn` runs are stamped with simulated
-    // time, not wall time.
-    auto& tracer = obs::Tracer::global();
-    if (tracer.enabled()) tracer.set_sim_time(now_);
-    entry.state->fired = true;
-    entry.fn();
-    return true;
-  }
-  return false;
-}
+std::size_t Scheduler::run(std::size_t limit) { return exec_->run(limit); }
 
-std::size_t Scheduler::run(std::size_t limit) {
-  std::size_t fired = 0;
-  while (fired < limit && fire_next(kTimeNever)) ++fired;
-  return fired;
-}
-
-std::size_t Scheduler::run_until(Time t) {
-  std::size_t fired = 0;
-  while (fire_next(t)) ++fired;
-  if (t > now_) now_ = t;
-  return fired;
-}
+std::size_t Scheduler::run_until(Time t) { return exec_->run_until(t); }
 
 }  // namespace cmtos::sim

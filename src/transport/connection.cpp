@@ -48,7 +48,7 @@ Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
                        const ConnectRequest& request, const QosParams& agreed,
                        net::ReservationId reservation)
     : entity_(entity),
-      sched_(entity.scheduler()),
+      sched_(entity.runtime()),
       id_(id),
       role_(role),
       request_(request),
@@ -78,8 +78,18 @@ Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
     // T-QoS.indication is generated only when the selected class of
     // service includes the indication facility (§3.4 / §4.1.2).
     if (wants_indication(request_.service_class.error_control)) {
-      monitor_->set_on_violation(
-          [this](const QosReport& rep) { entity_.on_qos_violation(*this, rep); });
+      // The violation fires inside the (shard-local) monitor sweep but its
+      // handler relays QI TPDUs and reaches facade-side users, so escalate
+      // it to a global event.  Capture entity + vc, not `this`: the
+      // endpoint can be torn down at the same timestamp before the
+      // deferred event runs.
+      monitor_->set_on_violation([this](const QosReport& rep) {
+        TransportEntity& ent = entity_;
+        const VcId vc = id_;
+        sched_.defer_global([&ent, vc, rep] {
+          if (Connection* c = ent.endpoint(vc)) ent.on_qos_violation(*c, rep);
+        });
+      });
     }
   }
 }
@@ -89,8 +99,7 @@ Connection::~Connection() {
   rto_event_.cancel();
   feedback_event_.cancel();
   monitor_event_.cancel();
-  keepalive_event_.cancel();
-  liveness_event_.cancel();
+  cancel_liveness_timers();
 }
 
 net::NodeId Connection::local_node() const {
@@ -166,8 +175,7 @@ void Connection::close() {
   rto_event_.cancel();
   feedback_event_.cancel();
   monitor_event_.cancel();
-  keepalive_event_.cancel();
-  liveness_event_.cancel();
+  cancel_liveness_timers();
 }
 
 void Connection::apply_new_qos(const QosParams& agreed) {
@@ -708,10 +716,20 @@ void Connection::schedule_feedback() {
 // Liveness (both roles)
 // ====================================================================
 
+std::uint64_t Connection::liveness_key() const {
+  return (role_ == VcRole::kSink ? (std::uint64_t{1} << 63) : 0) | id_;
+}
+
+void Connection::cancel_liveness_timers() {
+  entity_.timer_set().cancel(TimerKind::kKeepalive, liveness_key());
+  entity_.timer_set().cancel(TimerKind::kLiveness, liveness_key());
+}
+
 void Connection::schedule_keepalive() {
   // Timed by the local crystal like every other protocol timer (§3.6).
-  keepalive_event_ =
-      sched_.after(entity_.to_true(entity_.config().keepalive_interval), [this] {
+  entity_.timer_set().arm_local(
+      TimerKind::kKeepalive, liveness_key(),
+      entity_.to_true(entity_.config().keepalive_interval), [this] {
         if (state_ != VcState::kOpen) return;
         KeepaliveTpdu ka;
         ka.vc = id_;
@@ -723,12 +741,17 @@ void Connection::schedule_keepalive() {
 void Connection::schedule_liveness_check() {
   const Duration period =
       std::max<Duration>(kMillisecond, entity_.config().peer_dead_after / 2);
-  liveness_event_ = sched_.after(entity_.to_true(period), [this] {
+  entity_.timer_set().arm_local(TimerKind::kLiveness, liveness_key(),
+                                entity_.to_true(period), [this] {
     if (state_ != VcState::kOpen) return;
     if (sched_.now() - last_peer_activity_ > entity_.config().peer_dead_after) {
-      // The entity destroys this Connection inside the call; nothing may
-      // touch *this afterwards.
-      entity_.on_peer_dead(id_);
+      // Teardown releases network reservations and notifies users, so it
+      // must run as a global event.  Capture entity + vc, not `this`: a
+      // same-timestamp DR can destroy this Connection before the deferred
+      // event fires (on_peer_dead tolerates an unknown vc).
+      TransportEntity& ent = entity_;
+      const VcId vc = id_;
+      sched_.defer_global([&ent, vc] { ent.on_peer_dead(vc); });
       return;
     }
     schedule_liveness_check();

@@ -26,7 +26,7 @@
 #include "net/address.h"
 #include "net/network.h"
 #include "obs/metrics.h"
-#include "sim/scheduler.h"
+#include "sim/node_runtime.h"
 #include "transport/monitor.h"
 #include "transport/osdu.h"
 #include "transport/service.h"
@@ -208,9 +208,18 @@ class Connection {
   // --- liveness (both roles) ---
   void schedule_keepalive();
   void schedule_liveness_check();
+  void cancel_liveness_timers();
+  /// TimerSet key for this endpoint's keepalive/liveness slots: the VC id
+  /// with the role in bit 63 — a loopback VC has two Connections sharing an
+  /// id, and each needs its own timers.
+  std::uint64_t liveness_key() const;
 
   TransportEntity& entity_;
-  sim::Scheduler& sched_;
+  /// The owning node's shard runtime: every data-plane timer of this
+  /// endpoint is shard-local.  The two escalation points that must touch
+  /// shared state (peer-dead teardown, QoS-violation reporting) go through
+  /// defer_global.
+  sim::NodeRuntime& sched_;
   VcId id_;
   VcRole role_;
   VcState state_ = VcState::kConnecting;
@@ -271,8 +280,6 @@ class Connection {
   // === liveness state (both roles; armed only when the entity's
   // peer_dead_after config is nonzero) ===
   Time last_peer_activity_ = 0;
-  sim::EventHandle keepalive_event_;
-  sim::EventHandle liveness_event_;
 
   // === observability ===
   // Cached global-registry instruments (labelled per VC + node + role);

@@ -1,0 +1,115 @@
+// cmtos/transport/connection_manager.h
+//
+// Connection establishment and release: the Table 1 half of the transport
+// control plane, split out of TransportEntity.
+//
+// Owns the in-flight handshake state — remote connects awaiting RCC,
+// CRs awaiting CC, user-consent stages at source and destination — and
+// implements the CR/CC/RCR/RCC handshake of §4.1.1 / Fig 3, the DR/DC/RDR
+// release machinery, liveness teardown (peer declared dead) and preemptive
+// displacement.  Established endpoints (the sources_/sinks_ maps), TSAP
+// bindings and wire I/O stay on the TransportEntity; this engine reaches
+// them through the entity it serves.
+//
+// Handshake retransmission timers live in the entity's shared TimerSet and
+// are armed *global*: their exhaustion paths release network reservations
+// and notify (possibly facade-side) users.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "transport/service.h"
+#include "transport/timer_set.h"
+#include "transport/tpdu.h"
+
+namespace cmtos::transport {
+
+class TransportEntity;
+
+class ConnectionManager {
+ public:
+  ConnectionManager(TransportEntity& entity, TimerSet& timers);
+  ConnectionManager(const ConnectionManager&) = delete;
+  ConnectionManager& operator=(const ConnectionManager&) = delete;
+
+  // --- Table 1 primitives (forwarded from the entity's public API) ---
+  VcId t_connect_request(const ConnectRequest& req);
+  void connect_response(VcId vc, bool accept, std::optional<QosParams> narrowed);
+  void t_disconnect_request(VcId vc);
+  void t_remote_disconnect_request(VcId vc, const net::NetAddress& endpoint);
+
+  // --- control-TPDU handlers (rows of the entity's dispatch table) ---
+  void handle_rcr(const ControlTpdu& t);
+  void handle_cr(const ControlTpdu& t);
+  void handle_cc(const ControlTpdu& t);
+  void handle_rcc(const ControlTpdu& t);
+  void handle_dr(const ControlTpdu& t);
+  void handle_dc(const ControlTpdu& t);
+  void handle_rdr(const ControlTpdu& t);
+
+  /// Liveness teardown: the peer endpoint of `vc` went silent.
+  void on_peer_dead(VcId vc);
+
+  /// Preemptive-admission teardown, invoked through the reservation's
+  /// annotation callback.
+  void preempt_vc(VcId vc);
+
+  /// Reports a failed connect to the consenting source user and a distinct
+  /// initiator (also used by the renegotiation-free failure paths).
+  void fail_connect(VcId vc, const ConnectRequest& req, DisconnectReason reason);
+
+  /// Drops all in-flight handshake state (node crash).  Returns the
+  /// (vc, tsap) pairs of initiators that must hear kEntityFailure.
+  std::vector<std::pair<VcId, net::Tsap>> crash();
+
+ private:
+  struct PendingInitiated {  // at the initiator: waiting for RCC / CC
+    ConnectRequest req;
+    bool remote = false;  // true: RCR sent, waiting for RCC
+    int retries_left = 3;
+  };
+  struct PendingSourceAccept {  // at the source: user asked (remote connect)
+    ConnectRequest req;
+  };
+  struct PendingCc {  // at the source: CR sent, waiting for CC
+    ConnectRequest req;
+    QosParams offered;
+    net::ReservationId reservation = net::kNoReservation;
+    net::ReservationId reverse_reservation = net::kNoReservation;
+    int retries_left = 3;
+    std::vector<std::uint8_t> cr_wire;  // for retransmission
+  };
+  struct PendingDestAccept {  // at the destination: user asked
+    ConnectRequest req;
+    QosParams offered;
+  };
+
+  /// Source-side connect stage: admission + CR emission.
+  void source_connect(VcId vc, const ConnectRequest& req);
+  void notify_initiator(VcId vc, const ConnectRequest& req, bool accepted,
+                        const QosParams& agreed, DisconnectReason reason);
+
+  /// Computes the contract to offer given tolerance, path capacity and
+  /// path latency.  nullopt => reason holds why.
+  std::optional<QosParams> admit(const ConnectRequest& req, DisconnectReason& reason);
+
+  /// Self-rearming handshake retransmission timers (the control path has
+  /// no other reliability; a lost CR must not strand the connect).
+  void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
+  void arm_cr_timer(VcId vc);
+
+  TransportEntity& ent_;
+  TimerSet& timers_;
+
+  std::map<VcId, PendingInitiated> pending_initiated_;
+  std::map<VcId, PendingSourceAccept> pending_source_accept_;
+  std::map<VcId, PendingCc> pending_cc_;
+  std::map<VcId, PendingDestAccept> pending_dest_accept_;
+};
+
+}  // namespace cmtos::transport

@@ -5,13 +5,13 @@
 
 namespace cmtos::transport {
 
-namespace {
-/// Worst-case wire bytes of one data TPDU, for path latency estimation.
-constexpr std::int64_t kMaxWirePacket = 1400 + 64 + 32;
-}  // namespace
-
 TransportEntity::TransportEntity(net::Network& network, net::NodeId node)
-    : network_(network), node_(node), rng_(0x7c3a9d5b11ull + node) {
+    : network_(network),
+      node_(node),
+      rng_(0x7c3a9d5b11ull + node),
+      timers_(network.node(node).runtime()),
+      conn_mgr_(*this, timers_),
+      reneg_(*this, timers_) {
   network_.node(node_).set_handler(net::Proto::kTransportControl,
                                    [this](net::Packet&& p) { on_control_packet(std::move(p)); });
   network_.node(node_).set_handler(net::Proto::kTransportData,
@@ -53,6 +53,15 @@ VcId TransportEntity::alloc_vc() {
   return (static_cast<VcId>(node_) + 1) << 32 | next_vc_++;
 }
 
+Duration TransportEntity::handshake_delay() {
+  const Duration base = config_.handshake_retransmit;
+  if (config_.handshake_jitter <= 0) return base;
+  // Stretch only (never shrink): jitter must not tighten the overall
+  // budget, only decorrelate simultaneous retries.
+  const double stretch = 1.0 + rng_.uniform_real(0.0, config_.handshake_jitter);
+  return static_cast<Duration>(static_cast<double>(base) * stretch);
+}
+
 void TransportEntity::send_tpdu(net::NodeId dst, net::Proto proto,
                                 std::vector<std::uint8_t> payload, net::Priority priority) {
   net::Packet pkt;
@@ -61,6 +70,10 @@ void TransportEntity::send_tpdu(net::NodeId dst, net::Proto proto,
   pkt.proto = proto;
   pkt.priority = priority;
   pkt.payload = std::move(payload);
+  // Control TPDU handlers release reservations and call into (possibly
+  // facade-side) users: their terminal delivery must run in a serial
+  // round.  The data plane (DT/AK/NAK/FB/KA/DG) stays shard-local.
+  pkt.global_delivery = (proto == net::Proto::kTransportControl);
   network_.send(std::move(pkt));
 }
 
@@ -73,639 +86,15 @@ void TransportEntity::t_unitdata_request(net::Tsap src_tsap, const net::NetAddre
   send_tpdu(dst.node, net::Proto::kTransportData, dg.encode(), net::Priority::kDatagram);
 }
 
-// ====================================================================
-// Connection establishment (Table 1, Fig 3)
-// ====================================================================
-
-VcId TransportEntity::t_connect_request(const ConnectRequest& req) {
-  if (req.initiator.node != node_) {
-    CMTOS_ERROR("transport", "T-Connect.request issued at node %u but initiator is node %u",
-                node_, req.initiator.node);
-    return kInvalidVc;
-  }
-  const VcId vc = alloc_vc();
-  if (req.initiator == req.src) {
-    // Conventional connect: "the caller simply sets the initiator to be
-    // the same as the source address" (§4.1.1).
-    source_connect(vc, req);
-  } else {
-    // Remote connect (§3.5): relay to the source entity, which asks the
-    // application attached to the source TSAP.
-    ControlTpdu t;
-    t.type = TpduType::kRCR;
-    t.vc = vc;
-    t.initiator = req.initiator;
-    t.src = req.src;
-    t.dst = req.dst;
-    t.service_class = req.service_class;
-    t.qos = req.qos;
-    t.sample_period = req.sample_period;
-    t.buffer_osdus = req.buffer_osdus;
-    t.importance = req.importance;
-    t.shed_watermark_pct = req.shed_watermark_pct;
-    PendingInitiated pend;
-    pend.req = req;
-    pend.remote = true;
-    pend.retries_left = config_.handshake_retries;
-    pending_initiated_.emplace(vc, std::move(pend));
-    send_tpdu(req.src.node, net::Proto::kTransportControl, t.encode());
-    // Handshake TPDUs are retransmitted a few times before the connect is
-    // declared unreachable (the control path has no other reliability).
-    arm_rcr_timer(vc, t.encode());
-  }
-  return vc;
-}
-
-Duration TransportEntity::handshake_delay() {
-  const Duration base = config_.handshake_retransmit;
-  if (config_.handshake_jitter <= 0) return base;
-  // Stretch only (never shrink): jitter must not tighten the overall
-  // budget, only decorrelate simultaneous retries.
-  const double stretch = 1.0 + rng_.uniform_real(0.0, config_.handshake_jitter);
-  return static_cast<Duration>(static_cast<double>(base) * stretch);
-}
-
-void TransportEntity::arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire) {
-  auto it = pending_initiated_.find(vc);
-  if (it == pending_initiated_.end()) return;
-  it->second.timeout = scheduler().after(handshake_delay(), [this, vc, wire] {
-    auto it2 = pending_initiated_.find(vc);
-    if (it2 == pending_initiated_.end()) return;
-    if (it2->second.retries_left-- > 0) {
-      send_tpdu(it2->second.req.src.node, net::Proto::kTransportControl, wire);
-      arm_rcr_timer(vc, wire);
-      return;
-    }
-    const ConnectRequest req = it2->second.req;
-    pending_initiated_.erase(it2);
-    deliver_disconnect(vc, req.initiator.tsap, DisconnectReason::kUnreachable);
-  });
-}
-
-void TransportEntity::arm_cr_timer(VcId vc) {
-  auto it = pending_cc_.find(vc);
-  if (it == pending_cc_.end()) return;
-  it->second.timeout = scheduler().after(handshake_delay(), [this, vc] {
-    auto it2 = pending_cc_.find(vc);
-    if (it2 == pending_cc_.end()) return;
-    if (it2->second.retries_left-- > 0) {
-      send_tpdu(it2->second.req.dst.node, net::Proto::kTransportControl, it2->second.cr_wire);
-      arm_cr_timer(vc);
-      return;
-    }
-    const ConnectRequest req = it2->second.req;
-    if (it2->second.reservation != net::kNoReservation) network_.release(it2->second.reservation);
-    if (it2->second.reverse_reservation != net::kNoReservation)
-      network_.release(it2->second.reverse_reservation);
-    pending_cc_.erase(it2);
-    fail_connect(vc, req, DisconnectReason::kUnreachable);
-  });
-}
-
-void TransportEntity::handle_rcr(const ControlTpdu& t) {
-  // Duplicate RCR (handshake retransmission): the connect is already in
-  // progress or concluded here; do not re-ask the user.
-  if (pending_source_accept_.contains(t.vc) || pending_cc_.contains(t.vc)) return;
-  if (sources_.contains(t.vc)) {
-    ControlTpdu rcc;
-    rcc.type = TpduType::kRCC;
-    rcc.vc = t.vc;
-    rcc.initiator = t.initiator;
-    rcc.src = t.src;
-    rcc.dst = t.dst;
-    rcc.accepted = 1;
-    rcc.agreed = sources_.at(t.vc)->agreed_qos();
-    send_tpdu(t.initiator.node, net::Proto::kTransportControl, rcc.encode());
-    return;
-  }
-  ConnectRequest req;
-  req.initiator = t.initiator;
-  req.src = t.src;
-  req.dst = t.dst;
-  req.service_class = t.service_class;
-  req.qos = t.qos;
-  req.sample_period = t.sample_period;
-  req.buffer_osdus = t.buffer_osdus;
-  req.importance = t.importance;
-  req.shed_watermark_pct = t.shed_watermark_pct;
-
-  TransportUser* user = user_at(req.src.tsap);
-  if (user == nullptr) {
-    notify_initiator(t.vc, req, false, {}, DisconnectReason::kNoSuchTsap);
-    return;
-  }
-  pending_source_accept_.emplace(t.vc, PendingSourceAccept{req});
-  user->t_connect_indication(t.vc, req);
-}
-
-std::optional<QosParams> TransportEntity::admit(const ConnectRequest& req,
-                                                DisconnectReason& reason) {
-  const auto route = network_.path(req.src.node, req.dst.node);
-  if (route.empty() && req.src.node != req.dst.node) {
-    reason = DisconnectReason::kUnreachable;
-    return std::nullopt;
-  }
-  std::optional<QosParams> cand;
-  if (req.src.node == req.dst.node) {
-    cand = req.qos.preferred;  // node-local VC: no network resources needed
-  } else if (!network_.admission_control()) {
-    // No reservation substrate (the A4 ablation): accept the preference
-    // blindly and hope — exactly the failure mode the paper's assumed
-    // ST-II-style reservation exists to prevent.
-    cand = req.qos.preferred;
-  } else {
-    // The internal control VC's allowance comes off the top before the
-    // data rate is negotiated.
-    cand = degrade_to_bandwidth(
-        req.qos, network_.available_bps(req.src.node, req.dst.node) - kControlVcBps);
-    if (!cand) {
-      reason = DisconnectReason::kNoResources;
-      return std::nullopt;
-    }
-    const Duration est = network_.path_delay_estimate(req.src.node, req.dst.node, kMaxWirePacket);
-    if (est > req.qos.worst.end_to_end_delay) {
-      reason = DisconnectReason::kQosUnachievable;
-      return std::nullopt;
-    }
-    // Offer an end-to-end delay bound that the path can plausibly meet:
-    // keep the preference when the path is comfortably faster, otherwise
-    // weaken toward the worst-acceptable bound.
-    cand->end_to_end_delay = std::max(cand->end_to_end_delay,
-                                      std::min(req.qos.worst.end_to_end_delay,
-                                               2 * est + 5 * kMillisecond));
-  }
-  return cand;
-}
-
-void TransportEntity::source_connect(VcId vc, const ConnectRequest& req) {
-  CMTOS_DCHECK(req.src.node == node_);
-  DisconnectReason reason = DisconnectReason::kProtocolError;
-  auto offered = admit(req, reason);
-  if (!offered && reason == DisconnectReason::kNoResources &&
-      network_.preempt_for(req.src.node, req.dst.node,
-                           req.qos.worst.required_bps() + kControlVcBps, req.importance)) {
-    // Preemptive admission: lower-importance VCs on the contended path were
-    // displaced (kPreempted); only enough for the worst-acceptable rate, so
-    // the collateral damage is minimal.
-    offered = admit(req, reason);
-  }
-  if (!offered) {
-    fail_connect(vc, req, reason);
-    return;
-  }
-
-  net::ReservationId resv = net::kNoReservation;
-  net::ReservationId reverse_resv = net::kNoReservation;
-  if (req.src.node != req.dst.node) {
-    auto r = network_.reserve(req.src.node, req.dst.node,
-                              offered->required_bps() + kControlVcBps);
-    if (!r) {
-      fail_connect(vc, req, DisconnectReason::kNoResources);
-      return;
-    }
-    resv = *r;
-    // Reverse trickle for feedback TPDUs and orchestrator replies.
-    auto rr = network_.reserve(req.dst.node, req.src.node, kControlVcBps);
-    if (!rr && network_.preempt_for(req.dst.node, req.src.node, kControlVcBps, req.importance))
-      rr = network_.reserve(req.dst.node, req.src.node, kControlVcBps);
-    if (!rr) {
-      network_.release(resv);
-      fail_connect(vc, req, DisconnectReason::kNoResources);
-      return;
-    }
-    reverse_resv = *rr;
-    // Register for preemptive admission: a later, more important connect on
-    // a contended link may displace this VC through preempt_vc.
-    network_.annotate_reservation(resv, req.importance, [this, vc] { preempt_vc(vc); });
-  }
-
-  ControlTpdu t;
-  t.type = TpduType::kCR;
-  t.vc = vc;
-  t.initiator = req.initiator;
-  t.src = req.src;
-  t.dst = req.dst;
-  t.service_class = req.service_class;
-  t.qos.preferred = *offered;  // the offer cannot exceed what was admitted
-  t.qos.worst = req.qos.worst;
-  t.agreed = *offered;
-  t.sample_period = req.sample_period;
-  t.buffer_osdus = req.buffer_osdus;
-  t.importance = req.importance;
-  t.shed_watermark_pct = req.shed_watermark_pct;
-
-  PendingCc pend;
-  pend.req = req;
-  pend.offered = *offered;
-  pend.reservation = resv;
-  pend.reverse_reservation = reverse_resv;
-  pend.retries_left = config_.handshake_retries;
-  pend.cr_wire = t.encode();
-  pending_cc_.emplace(vc, std::move(pend));
-  send_tpdu(req.dst.node, net::Proto::kTransportControl, t.encode());
-  arm_cr_timer(vc);
-}
-
-void TransportEntity::handle_cr(const ControlTpdu& t) {
-  // Duplicate CR: if the sink already exists the CC was probably lost —
-  // resend it; if the user is still deciding, stay quiet.
-  if (pending_dest_accept_.contains(t.vc)) return;
-  if (auto it = sinks_.find(t.vc); it != sinks_.end()) {
-    ControlTpdu cc;
-    cc.type = TpduType::kCC;
-    cc.vc = t.vc;
-    cc.initiator = t.initiator;
-    cc.src = t.src;
-    cc.dst = t.dst;
-    cc.accepted = 1;
-    cc.agreed = it->second->agreed_qos();
-    send_tpdu(t.src.node, net::Proto::kTransportControl, cc.encode());
-    return;
-  }
-  ConnectRequest req;
-  req.initiator = t.initiator;
-  req.src = t.src;
-  req.dst = t.dst;
-  req.service_class = t.service_class;
-  req.qos = t.qos;
-  req.sample_period = t.sample_period;
-  req.buffer_osdus = t.buffer_osdus;
-  req.importance = t.importance;
-  req.shed_watermark_pct = t.shed_watermark_pct;
-
-  TransportUser* user = user_at(req.dst.tsap);
-  ControlTpdu reply;
-  reply.type = TpduType::kCC;
-  reply.vc = t.vc;
-  reply.initiator = req.initiator;
-  reply.src = req.src;
-  reply.dst = req.dst;
-  if (user == nullptr) {
-    reply.accepted = 0;
-    reply.reason = static_cast<std::uint8_t>(DisconnectReason::kNoSuchTsap);
-    send_tpdu(req.src.node, net::Proto::kTransportControl, reply.encode());
-    return;
-  }
-  pending_dest_accept_.emplace(t.vc, PendingDestAccept{req, t.agreed});
-  user->t_connect_indication(t.vc, req);
-}
-
-void TransportEntity::connect_response(VcId vc, bool accept,
-                                       std::optional<QosParams> narrowed) {
-  // Stage A: remote-connect consent at the source (§3.5, Fig 3 left half).
-  if (auto it = pending_source_accept_.find(vc); it != pending_source_accept_.end()) {
-    const ConnectRequest req = it->second.req;
-    pending_source_accept_.erase(it);
-    if (accept) {
-      source_connect(vc, req);
-    } else {
-      notify_initiator(vc, req, false, {}, DisconnectReason::kRejectedByUser);
-    }
-    return;
-  }
-  // Stage B: acceptance at the destination.
-  auto it = pending_dest_accept_.find(vc);
-  if (it == pending_dest_accept_.end()) {
-    CMTOS_WARN("transport", "connect_response for unknown vc %llu",
-               static_cast<unsigned long long>(vc));
-    return;
-  }
-  const ConnectRequest req = it->second.req;
-  const QosParams offered = it->second.offered;
-  pending_dest_accept_.erase(it);
-
-  ControlTpdu reply;
-  reply.type = TpduType::kCC;
-  reply.vc = vc;
-  reply.initiator = req.initiator;
-  reply.src = req.src;
-  reply.dst = req.dst;
-  if (!accept) {
-    reply.accepted = 0;
-    reply.reason = static_cast<std::uint8_t>(DisconnectReason::kRejectedByUser);
-    send_tpdu(req.src.node, net::Proto::kTransportControl, reply.encode());
-    return;
-  }
-  QosParams agreed = offered;
-  if (narrowed) {
-    // The destination may narrow the offer within the tolerance: it cannot
-    // ask for more than was offered, nor less than the worst-acceptable.
-    if (narrowed->osdu_rate <= offered.osdu_rate && req.qos.acceptable(*narrowed)) {
-      agreed = *narrowed;
-    } else {
-      CMTOS_WARN("transport", "destination narrowing outside tolerance ignored");
-    }
-  }
-  ConnectRequest sink_req = req;
-  auto conn = std::make_unique<Connection>(*this, vc, VcRole::kSink, sink_req, agreed,
-                                           net::kNoReservation);
-  conn->open();
-  sinks_.emplace(vc, std::move(conn));
-
-  reply.accepted = 1;
-  reply.agreed = agreed;
-  send_tpdu(req.src.node, net::Proto::kTransportControl, reply.encode());
-}
-
-void TransportEntity::handle_cc(const ControlTpdu& t) {
-  if (sources_.contains(t.vc)) return;  // duplicate CC after success
-  auto it = pending_cc_.find(t.vc);
-  if (it == pending_cc_.end()) {
-    // Late CC after timeout: tear the orphan sink down.
-    if (t.accepted) {
-      ControlTpdu dr;
-      dr.type = TpduType::kDR;
-      dr.vc = t.vc;
-      dr.reason = static_cast<std::uint8_t>(DisconnectReason::kProtocolError);
-      send_tpdu(t.dst.node, net::Proto::kTransportControl, dr.encode());
-    }
-    return;
-  }
-  PendingCc pend = std::move(it->second);
-  pend.timeout.cancel();
-  pending_cc_.erase(it);
-
-  if (!t.accepted) {
-    if (pend.reservation != net::kNoReservation) network_.release(pend.reservation);
-    if (pend.reverse_reservation != net::kNoReservation) network_.release(pend.reverse_reservation);
-    fail_connect(t.vc, pend.req, static_cast<DisconnectReason>(t.reason));
-    return;
-  }
-
-  QosParams agreed = t.agreed;
-  if (pend.reservation != net::kNoReservation &&
-      agreed.required_bps() < pend.offered.required_bps()) {
-    // The destination narrowed the contract; shrink the reservation.
-    network_.adjust_reservation(pend.reservation, agreed.required_bps() + kControlVcBps);
-  }
-  if (pend.reverse_reservation != net::kNoReservation)
-    reverse_reservations_[t.vc] = pend.reverse_reservation;
-  auto conn = std::make_unique<Connection>(*this, t.vc, VcRole::kSource, pend.req, agreed,
-                                           pend.reservation);
-  conn->open();
-  sources_.emplace(t.vc, std::move(conn));
-
-  // T-Connect.confirm to the source user and, for a remote connect, to the
-  // initiator as well (§3.5).
-  if (TransportUser* u = user_at(pend.req.src.tsap)) u->t_connect_confirm(t.vc, agreed);
-  if (pend.req.initiator != pend.req.src)
-    notify_initiator(t.vc, pend.req, true, agreed, DisconnectReason::kUserInitiated);
-}
-
-void TransportEntity::notify_initiator(VcId vc, const ConnectRequest& req, bool accepted,
-                                       const QosParams& agreed, DisconnectReason reason) {
-  if (req.initiator.node == node_) {
-    // A co-located initiator is told directly, which must also resolve any
-    // pending RCR state exactly as an RCC arrival would: otherwise the RCR
-    // retransmit loop keeps replaying the connect, and a replay landing
-    // after the VC is gone (e.g. preempted) re-runs admission and delivers
-    // stale failure indications.
-    if (auto it = pending_initiated_.find(vc); it != pending_initiated_.end()) {
-      it->second.timeout.cancel();
-      pending_initiated_.erase(it);
-    }
-    if (TransportUser* u = user_at(req.initiator.tsap)) {
-      if (accepted) {
-        u->t_connect_confirm(vc, agreed);
-      } else {
-        u->t_disconnect_indication(vc, reason);
-      }
-    }
-    return;
-  }
-  ControlTpdu t;
-  t.type = TpduType::kRCC;
-  t.vc = vc;
-  t.initiator = req.initiator;
-  t.src = req.src;
-  t.dst = req.dst;
-  t.accepted = accepted ? 1 : 0;
-  t.agreed = agreed;
-  t.reason = static_cast<std::uint8_t>(reason);
-  send_tpdu(req.initiator.node, net::Proto::kTransportControl, t.encode());
-}
-
-void TransportEntity::handle_rcc(const ControlTpdu& t) {
-  auto it = pending_initiated_.find(t.vc);
-  if (it == pending_initiated_.end()) return;
-  const ConnectRequest req = it->second.req;
-  it->second.timeout.cancel();
-  pending_initiated_.erase(it);
-
-  if (TransportUser* u = user_at(req.initiator.tsap)) {
-    if (t.accepted) {
-      u->t_connect_confirm(t.vc, t.agreed);
-    } else {
-      u->t_disconnect_indication(t.vc, static_cast<DisconnectReason>(t.reason));
-    }
-  }
-}
-
-void TransportEntity::fail_connect(VcId vc, const ConnectRequest& req, DisconnectReason reason) {
-  // Report to the source user (it consented to this connect) ...
-  if (TransportUser* u = user_at(req.src.tsap); u != nullptr && req.src.node == node_)
-    u->t_disconnect_indication(vc, reason);
-  // ... and separately to a distinct initiator.
-  if (req.initiator != req.src) notify_initiator(vc, req, false, {}, reason);
-}
-
 void TransportEntity::deliver_disconnect(VcId vc, net::Tsap tsap, DisconnectReason reason) {
   if (TransportUser* u = user_at(tsap)) u->t_disconnect_indication(vc, reason);
 }
 
-// ====================================================================
-// Release (Table 1)
-// ====================================================================
-
-void TransportEntity::t_disconnect_request(VcId vc) {
-  if (auto it = sources_.find(vc); it != sources_.end()) {
-    auto conn = std::move(it->second);
-    sources_.erase(it);
-    const net::NodeId peer = conn->peer_node();
-    if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
-    if (auto rit = reverse_reservations_.find(vc); rit != reverse_reservations_.end()) {
-      network_.release(rit->second);
-      reverse_reservations_.erase(rit);
-    }
-    conn->close();
-    ControlTpdu t;
-    t.type = TpduType::kDR;
-    t.vc = vc;
-    t.reason = static_cast<std::uint8_t>(DisconnectReason::kUserInitiated);
-    send_tpdu(peer, net::Proto::kTransportControl, t.encode());
-    // Courtesy indication to the endpoint's bound user: the release may
-    // have been requested by a management object rather than the device
-    // itself, and the device must learn its connection handle is dead.
-    // Delivered asynchronously so no caller is re-entered mid-operation.
-    const net::Tsap src_tsap = conn->request().src.tsap;
-    scheduler().after(0, [this, vc, src_tsap] {
-      deliver_disconnect(vc, src_tsap, DisconnectReason::kUserInitiated);
-    });
-    if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kUserInitiated);
-    return;
-  }
-  if (auto it = sinks_.find(vc); it != sinks_.end()) {
-    auto conn = std::move(it->second);
-    sinks_.erase(it);
-    const net::NodeId peer = conn->peer_node();
-    conn->close();
-    ControlTpdu t;
-    t.type = TpduType::kDR;
-    t.vc = vc;
-    t.reason = static_cast<std::uint8_t>(DisconnectReason::kUserInitiated);
-    send_tpdu(peer, net::Proto::kTransportControl, t.encode());
-    const net::Tsap dst_tsap = conn->request().dst.tsap;
-    scheduler().after(0, [this, vc, dst_tsap] {
-      deliver_disconnect(vc, dst_tsap, DisconnectReason::kUserInitiated);
-    });
-    if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kUserInitiated);
-    return;
-  }
-  CMTOS_WARN("transport", "T-Disconnect.request for unknown vc %llu",
-             static_cast<unsigned long long>(vc));
-}
-
-void TransportEntity::t_remote_disconnect_request(VcId vc, const net::NetAddress& endpoint) {
-  ControlTpdu t;
-  t.type = TpduType::kRDR;
-  t.vc = vc;
-  t.src = endpoint;
-  send_tpdu(endpoint.node, net::Proto::kTransportControl, t.encode());
-}
-
-void TransportEntity::handle_dr(const ControlTpdu& t) {
-  DisconnectReason reason = static_cast<DisconnectReason>(t.reason);
-  net::NodeId peer = net::kInvalidNode;
-  // Tear the endpoint down *before* notifying the user: a user that reacts
-  // to the indication by calling t_disconnect_request must find the VC
-  // already gone, not re-enter a map we hold an iterator into.
-  if (auto it = sources_.find(t.vc); it != sources_.end()) {
-    auto conn = std::move(it->second);
-    sources_.erase(it);
-    peer = conn->peer_node();
-    if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
-    if (auto rit = reverse_reservations_.find(t.vc); rit != reverse_reservations_.end()) {
-      network_.release(rit->second);
-      reverse_reservations_.erase(rit);
-    }
-    conn->close();
-    deliver_disconnect(t.vc, conn->request().src.tsap, reason);
-  } else if (auto it2 = sinks_.find(t.vc); it2 != sinks_.end()) {
-    auto conn = std::move(it2->second);
-    sinks_.erase(it2);
-    peer = conn->peer_node();
-    conn->close();
-    deliver_disconnect(t.vc, conn->request().dst.tsap, reason);
-  }
-  if (peer != net::kInvalidNode) {
-    ControlTpdu dc;
-    dc.type = TpduType::kDC;
-    dc.vc = t.vc;
-    send_tpdu(peer, net::Proto::kTransportControl, dc.encode());
-    if (on_vc_closed_) on_vc_closed_(t.vc, reason);
-  }
-}
-
-void TransportEntity::handle_dc(const ControlTpdu&) {
-  // Nothing to do: the local endpoint was removed when DR was sent.
-}
-
-void TransportEntity::handle_rdr(const ControlTpdu& t) {
-  // Remote release: put a T-Disconnect.indication to the application
-  // attached to the addressed TSAP; per §4.1.1 the application may then
-  // itself issue T-Disconnect.request to release the VC.
-  deliver_disconnect(t.vc, t.src.tsap, DisconnectReason::kUserInitiated);
-}
-
-void TransportEntity::on_peer_dead(VcId vc) {
-  // Liveness teardown: the peer went silent past the configured threshold.
-  // Mirrors the handle_dr teardown (resources freed before the user hears
-  // about it) but with kPeerDead, and still sends a best-effort DR so a
-  // peer that was merely partitioned does not strand its half forever.
-  obs::Registry::global().counter("transport.peer_dead",
-                                  {{"node", std::to_string(node_)}}).add();
-  net::NodeId peer = net::kInvalidNode;
-  net::Tsap tsap = 0;
-  if (auto it = sources_.find(vc); it != sources_.end()) {
-    auto conn = std::move(it->second);
-    sources_.erase(it);
-    peer = conn->peer_node();
-    tsap = conn->request().src.tsap;
-    if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
-    if (auto rit = reverse_reservations_.find(vc); rit != reverse_reservations_.end()) {
-      network_.release(rit->second);
-      reverse_reservations_.erase(rit);
-    }
-    conn->close();
-  } else if (auto it2 = sinks_.find(vc); it2 != sinks_.end()) {
-    auto conn = std::move(it2->second);
-    sinks_.erase(it2);
-    peer = conn->peer_node();
-    tsap = conn->request().dst.tsap;
-    conn->close();
-  } else {
-    return;
-  }
-  CMTOS_WARN("transport", "vc %llu peer (node %u) declared dead",
-             static_cast<unsigned long long>(vc), peer);
-  ControlTpdu dr;
-  dr.type = TpduType::kDR;
-  dr.vc = vc;
-  dr.reason = static_cast<std::uint8_t>(DisconnectReason::kPeerDead);
-  send_tpdu(peer, net::Proto::kTransportControl, dr.encode());
-  deliver_disconnect(vc, tsap, DisconnectReason::kPeerDead);
-  if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kPeerDead);
-}
-
-void TransportEntity::preempt_vc(VcId vc) {
-  // Invoked (possibly re-entrantly, from inside another entity's
-  // source_connect) by Network::preempt_for.  Reservations must be
-  // released synchronously so the preempting admission can proceed; the
-  // user indication is delivered asynchronously like any other teardown.
-  obs::Registry::global()
-      .counter("admission.preempt", {{"node", std::to_string(node_)}})
-      .add();
-  if (auto it = pending_cc_.find(vc); it != pending_cc_.end()) {
-    // Still in the CR handshake: abort the pending connect.
-    PendingCc pend = std::move(it->second);
-    pending_cc_.erase(it);
-    pend.timeout.cancel();
-    if (pend.reservation != net::kNoReservation) network_.release(pend.reservation);
-    if (pend.reverse_reservation != net::kNoReservation)
-      network_.release(pend.reverse_reservation);
-    const ConnectRequest req = pend.req;
-    scheduler().after(0, [this, vc, req] {
-      fail_connect(vc, req, DisconnectReason::kPreempted);
-    });
-    return;
-  }
-  auto it = sources_.find(vc);
-  if (it == sources_.end()) return;
-  auto conn = std::move(it->second);
-  sources_.erase(it);
-  const net::NodeId peer = conn->peer_node();
-  if (conn->reservation() != net::kNoReservation) network_.release(conn->reservation());
-  if (auto rit = reverse_reservations_.find(vc); rit != reverse_reservations_.end()) {
-    network_.release(rit->second);
-    reverse_reservations_.erase(rit);
-  }
-  conn->close();
-  CMTOS_INFO("transport", "vc %llu preempted by a higher-importance admission",
-             static_cast<unsigned long long>(vc));
-  ControlTpdu t;
-  t.type = TpduType::kDR;
-  t.vc = vc;
-  t.reason = static_cast<std::uint8_t>(DisconnectReason::kPreempted);
-  send_tpdu(peer, net::Proto::kTransportControl, t.encode());
-  const ConnectRequest req = conn->request();
-  scheduler().after(0, [this, vc, req] {
-    deliver_disconnect(vc, req.src.tsap, DisconnectReason::kPreempted);
-    // A distinct initiator (a managing Stream) hears about the displacement
-    // too; remote initiators are reached best-effort via RCC.
-    if (req.initiator != req.src)
-      notify_initiator(vc, req, false, {}, DisconnectReason::kPreempted);
-  });
-  if (on_vc_closed_) on_vc_closed_(vc, DisconnectReason::kPreempted);
+void TransportEntity::release_reverse_reservation(VcId vc) {
+  auto it = reverse_reservations_.find(vc);
+  if (it == reverse_reservations_.end()) return;
+  network_.release(it->second);
+  reverse_reservations_.erase(it);
 }
 
 // ====================================================================
@@ -737,24 +126,9 @@ void TransportEntity::crash() {
   }
   sinks_.clear();
 
-  for (auto& [vc, pend] : pending_initiated_) {
-    pend.timeout.cancel();
-    lost.emplace_back(vc, pend.req.initiator.tsap);
-  }
-  pending_initiated_.clear();
-  pending_source_accept_.clear();
-  for (auto& [vc, pend] : pending_cc_) {
-    pend.timeout.cancel();
-    if (pend.reservation != net::kNoReservation) network_.release(pend.reservation);
-    if (pend.reverse_reservation != net::kNoReservation)
-      network_.release(pend.reverse_reservation);
-  }
-  pending_cc_.clear();
-  pending_dest_accept_.clear();
-  for (auto& [vc, pend] : pending_reneg_) pend.timeout.cancel();
-  pending_reneg_.clear();
-  pending_reneg_peer_.clear();
-  peer_tentative_.clear();
+  for (const auto& [vc, tsap] : conn_mgr_.crash()) lost.emplace_back(vc, tsap);
+  reneg_.crash();
+  timers_.cancel_all();
   // users_ and next_vc_ survive: TSAP bindings belong to the applications
   // (which outlive the stack), and VC ids must stay unique across
   // incarnations of this node.  Deliver last, against emptied maps, so a
@@ -770,330 +144,26 @@ void TransportEntity::restart() {
 }
 
 // ====================================================================
-// QoS renegotiation (Table 3)
-// ====================================================================
-
-void TransportEntity::t_renegotiate_request(VcId vc, const QosTolerance& proposed) {
-  if (Connection* conn = source(vc)) {
-    // Source-initiated.
-    DisconnectReason reason = DisconnectReason::kProtocolError;
-    ConnectRequest probe = conn->request();
-    probe.qos = proposed;
-    const std::int64_t current_bps = conn->agreed_qos().required_bps();
-    // Admission against path capacity *plus* what this VC already holds.
-    std::optional<QosParams> cand;
-    if (probe.src.node == probe.dst.node) {
-      cand = proposed.preferred;
-    } else {
-      cand = degrade_to_bandwidth(
-          proposed, network_.available_bps(probe.src.node, probe.dst.node) + current_bps);
-      if (cand) {
-        const Duration est =
-            network_.path_delay_estimate(probe.src.node, probe.dst.node, kMaxWirePacket);
-        if (est > proposed.worst.end_to_end_delay) cand.reset();
-        if (cand)
-          cand->end_to_end_delay =
-              std::max(cand->end_to_end_delay,
-                       std::min(proposed.worst.end_to_end_delay, 2 * est + 5 * kMillisecond));
-      }
-      if (!cand) reason = DisconnectReason::kNoResources;
-    }
-    if (!cand) {
-      (void)reason;
-      deliver_disconnect(vc, conn->request().src.tsap, DisconnectReason::kRenegotiationFailed);
-      return;
-    }
-    PendingReneg pend;
-    pend.proposed = proposed;
-    pend.tentative_agreed = *cand;
-    pend.old_bps = current_bps;
-    pend.at_source = true;
-    const std::int64_t new_bps = cand->required_bps();
-    if (new_bps > current_bps) {
-      // Raise the reservation up-front so the peer is never promised
-      // bandwidth we do not hold; roll back if the peer rejects.
-      if (!network_.adjust_reservation(conn->reservation(), new_bps + kControlVcBps)) {
-        deliver_disconnect(vc, conn->request().src.tsap,
-                           DisconnectReason::kRenegotiationFailed);
-        return;
-      }
-      pend.raised = true;
-    }
-
-    ControlTpdu t;
-    t.type = TpduType::kRN;
-    t.vc = vc;
-    t.initiator = conn->request().initiator;
-    t.src = conn->request().src;
-    t.dst = conn->request().dst;
-    t.qos = proposed;
-    t.agreed = *cand;
-    pend.rn_wire = t.encode();
-    pend.peer = conn->peer_node();
-    pend.retries_left = config_.handshake_retries;
-    pending_reneg_[vc] = pend;
-    send_tpdu(conn->peer_node(), net::Proto::kTransportControl, t.encode());
-    arm_rn_timer(vc);
-    return;
-  }
-  if (Connection* conn = sink(vc)) {
-    // Sink-initiated: ask the source entity (which owns the reservation).
-    PendingReneg pend;
-    pend.proposed = proposed;
-    pend.at_source = false;
-    ControlTpdu t;
-    t.type = TpduType::kRN;
-    t.vc = vc;
-    t.initiator = conn->request().initiator;
-    t.src = conn->request().src;
-    t.dst = conn->request().dst;
-    t.qos = proposed;
-    pend.rn_wire = t.encode();
-    pend.peer = conn->peer_node();
-    pend.retries_left = config_.handshake_retries;
-    pending_reneg_[vc] = pend;
-    send_tpdu(conn->peer_node(), net::Proto::kTransportControl, t.encode());
-    arm_rn_timer(vc);
-    return;
-  }
-  CMTOS_WARN("transport", "T-Renegotiate.request for unknown vc %llu",
-             static_cast<unsigned long long>(vc));
-}
-
-void TransportEntity::arm_rn_timer(VcId vc) {
-  auto it = pending_reneg_.find(vc);
-  if (it == pending_reneg_.end()) return;
-  it->second.timeout = scheduler().after(handshake_delay(), [this, vc] {
-    auto it2 = pending_reneg_.find(vc);
-    if (it2 == pending_reneg_.end()) return;
-    if (it2->second.retries_left-- > 0) {
-      send_tpdu(it2->second.peer, net::Proto::kTransportControl, it2->second.rn_wire);
-      arm_rn_timer(vc);
-      return;
-    }
-    // Retries exhausted: the renegotiation failed but the VC survives
-    // under its old contract (§4.1.3); roll back any pre-raised
-    // reservation first.
-    PendingReneg pend = std::move(it2->second);
-    pending_reneg_.erase(it2);
-    if (pend.at_source) {
-      Connection* conn = source(vc);
-      if (conn == nullptr) return;
-      if (pend.raised && conn->reservation() != net::kNoReservation)
-        network_.adjust_reservation(conn->reservation(), pend.old_bps + kControlVcBps);
-      deliver_disconnect(vc, conn->request().src.tsap,
-                         DisconnectReason::kRenegotiationFailed);
-    } else if (Connection* conn = sink(vc)) {
-      deliver_disconnect(vc, conn->request().dst.tsap,
-                         DisconnectReason::kRenegotiationFailed);
-    }
-  });
-}
-
-void TransportEntity::handle_rn(const ControlTpdu& t) {
-  // Duplicate RN (retransmission) while the local user is still deciding:
-  // stay quiet, one answer is coming.
-  if (pending_reneg_peer_.contains(t.vc)) return;
-  if (Connection* conn = sink(t.vc)) {
-    // Retransmitted RN whose accepting RNC was lost: the tentative
-    // contract is already in force here — resend the acceptance rather
-    // than re-asking the user.
-    const QosParams& cur = conn->agreed_qos();
-    if (cur.osdu_rate == t.agreed.osdu_rate && cur.max_osdu_bytes == t.agreed.max_osdu_bytes &&
-        cur.end_to_end_delay == t.agreed.end_to_end_delay) {
-      ControlTpdu reply;
-      reply.type = TpduType::kRNC;
-      reply.vc = t.vc;
-      reply.accepted = 1;
-      reply.agreed = cur;
-      send_tpdu(conn->peer_node(), net::Proto::kTransportControl, reply.encode());
-      return;
-    }
-    // Source-initiated renegotiation reaching the sink: ask the sink user.
-    PendingRenegPeer pend;
-    pend.proposed = t.qos;
-    pend.requester_node = conn->peer_node();
-    pending_reneg_peer_[t.vc] = pend;
-    peer_tentative_[t.vc] = t.agreed;
-    if (TransportUser* u = user_at(conn->request().dst.tsap)) {
-      u->t_renegotiate_indication(t.vc, t.qos);
-    } else {
-      renegotiate_response(t.vc, false);
-    }
-    return;
-  }
-  if (Connection* conn = source(t.vc)) {
-    // Sink-initiated renegotiation reaching the source: ask the source user.
-    PendingRenegPeer pend;
-    pend.proposed = t.qos;
-    pend.requester_node = conn->peer_node();
-    pending_reneg_peer_[t.vc] = pend;
-    if (TransportUser* u = user_at(conn->request().src.tsap)) {
-      u->t_renegotiate_indication(t.vc, t.qos);
-    } else {
-      renegotiate_response(t.vc, false);
-    }
-    return;
-  }
-}
-
-void TransportEntity::renegotiate_response(VcId vc, bool accept) {
-  auto it = pending_reneg_peer_.find(vc);
-  if (it == pending_reneg_peer_.end()) {
-    CMTOS_WARN("transport", "renegotiate_response for unknown vc %llu",
-               static_cast<unsigned long long>(vc));
-    return;
-  }
-  PendingRenegPeer pend = it->second;
-  pending_reneg_peer_.erase(it);
-
-  ControlTpdu reply;
-  reply.type = TpduType::kRNC;
-  reply.vc = vc;
-
-  if (Connection* conn = sink(vc)) {
-    // We are the sink peer of a source-initiated renegotiation.
-    auto tent = peer_tentative_.find(vc);
-    const QosParams agreed =
-        tent != peer_tentative_.end() ? tent->second : conn->agreed_qos();
-    if (tent != peer_tentative_.end()) peer_tentative_.erase(tent);
-    if (accept) {
-      conn->apply_new_qos(agreed);
-      reply.accepted = 1;
-      reply.agreed = agreed;
-    } else {
-      reply.accepted = 0;
-      reply.reason = static_cast<std::uint8_t>(DisconnectReason::kRejectedByUser);
-    }
-    send_tpdu(pend.requester_node, net::Proto::kTransportControl, reply.encode());
-    return;
-  }
-  if (Connection* conn = source(vc)) {
-    // We are the source peer of a sink-initiated renegotiation: run
-    // admission and adjust the reservation before accepting.
-    if (!accept) {
-      reply.accepted = 0;
-      reply.reason = static_cast<std::uint8_t>(DisconnectReason::kRejectedByUser);
-      send_tpdu(pend.requester_node, net::Proto::kTransportControl, reply.encode());
-      return;
-    }
-    const ConnectRequest& req = conn->request();
-    const std::int64_t current_bps = conn->agreed_qos().required_bps();
-    std::optional<QosParams> cand;
-    if (req.src.node == req.dst.node) {
-      cand = pend.proposed.preferred;
-    } else {
-      cand = degrade_to_bandwidth(
-          pend.proposed, network_.available_bps(req.src.node, req.dst.node) + current_bps);
-      if (cand) {
-        const Duration est =
-            network_.path_delay_estimate(req.src.node, req.dst.node, kMaxWirePacket);
-        if (est > pend.proposed.worst.end_to_end_delay) cand.reset();
-        if (cand)
-          cand->end_to_end_delay = std::max(
-              cand->end_to_end_delay,
-              std::min(pend.proposed.worst.end_to_end_delay, 2 * est + 5 * kMillisecond));
-      }
-    }
-    if (cand && conn->reservation() != net::kNoReservation &&
-        !network_.adjust_reservation(conn->reservation(),
-                                     cand->required_bps() + kControlVcBps)) {
-      cand.reset();
-    }
-    if (!cand) {
-      reply.accepted = 0;
-      reply.reason = static_cast<std::uint8_t>(DisconnectReason::kNoResources);
-      send_tpdu(pend.requester_node, net::Proto::kTransportControl, reply.encode());
-      return;
-    }
-    conn->apply_new_qos(*cand);
-    reply.accepted = 1;
-    reply.agreed = *cand;
-    send_tpdu(pend.requester_node, net::Proto::kTransportControl, reply.encode());
-    return;
-  }
-}
-
-void TransportEntity::handle_rnc(const ControlTpdu& t) {
-  auto it = pending_reneg_.find(t.vc);
-  if (it == pending_reneg_.end()) return;  // duplicate RNC: already settled
-  PendingReneg pend = std::move(it->second);
-  pending_reneg_.erase(it);
-  pend.timeout.cancel();
-
-  if (pend.at_source) {
-    Connection* conn = source(t.vc);
-    if (conn == nullptr) return;
-    if (t.accepted) {
-      const std::int64_t new_bps = pend.tentative_agreed.required_bps();
-      if (!pend.raised && conn->reservation() != net::kNoReservation)
-        network_.adjust_reservation(conn->reservation(),
-                                    new_bps + kControlVcBps);  // shrink: always fits
-      conn->apply_new_qos(pend.tentative_agreed);
-      if (TransportUser* u = user_at(conn->request().src.tsap))
-        u->t_renegotiate_confirm(t.vc, true, pend.tentative_agreed);
-    } else {
-      if (pend.raised && conn->reservation() != net::kNoReservation)
-        network_.adjust_reservation(conn->reservation(),
-                                    pend.old_bps + kControlVcBps);  // roll back
-      // Per §4.1.3: rejection is notified with T-Disconnect.indication but
-      // the existing VC is *not* torn down.
-      deliver_disconnect(t.vc, conn->request().src.tsap, DisconnectReason::kRenegotiationFailed);
-    }
-    return;
-  }
-  // Sink-initiated requester side.
-  Connection* conn = sink(t.vc);
-  if (conn == nullptr) return;
-  if (t.accepted) {
-    conn->apply_new_qos(t.agreed);
-    if (TransportUser* u = user_at(conn->request().dst.tsap))
-      u->t_renegotiate_confirm(t.vc, true, t.agreed);
-  } else {
-    deliver_disconnect(t.vc, conn->request().dst.tsap, DisconnectReason::kRenegotiationFailed);
-  }
-}
-
-// ====================================================================
-// QoS degradation notification (Table 2)
-// ====================================================================
-
-void TransportEntity::on_qos_violation(Connection& conn, const QosReport& report) {
-  // Local (sink) user first.
-  if (TransportUser* u = user_at(conn.request().dst.tsap)) u->t_qos_indication(conn.id(), report);
-  // An initiator co-located with the sink (a Stream managing from the
-  // receiving workstation) is notified directly.
-  const net::NetAddress& init = conn.request().initiator;
-  if (init.node == node_ && init != conn.request().dst) {
-    if (TransportUser* u = user_at(init.tsap)) u->t_qos_indication(conn.id(), report);
-  }
-
-  // Relay to the source user, and to a distinct initiator (§4.1.2 lists
-  // the initiator address in the primitive).
-  ControlTpdu t;
-  t.type = TpduType::kQI;
-  t.vc = conn.id();
-  t.initiator = conn.request().initiator;
-  t.src = conn.request().src;
-  t.dst = conn.request().dst;
-  t.report = report;
-  send_tpdu(conn.request().src.node, net::Proto::kTransportControl, t.encode());
-  if (t.initiator.node != t.src.node && t.initiator.node != t.dst.node)
-    send_tpdu(t.initiator.node, net::Proto::kTransportControl, t.encode());
-}
-
-void TransportEntity::handle_qi(const ControlTpdu& t) {
-  if (t.src.node == node_) {
-    if (TransportUser* u = user_at(t.src.tsap)) u->t_qos_indication(t.vc, t.report);
-  }
-  if (t.initiator.node == node_ && t.initiator != t.src) {
-    if (TransportUser* u = user_at(t.initiator.tsap)) u->t_qos_indication(t.vc, t.report);
-  }
-}
-
-// ====================================================================
 // Packet dispatch
 // ====================================================================
+
+const std::array<TransportEntity::ControlHandler, 11>& TransportEntity::control_dispatch() {
+  static const std::array<ControlHandler, 11> table = [] {
+    std::array<ControlHandler, 11> t{};
+    t[static_cast<std::size_t>(TpduType::kCR)] = &TransportEntity::dispatch_cr;
+    t[static_cast<std::size_t>(TpduType::kCC)] = &TransportEntity::dispatch_cc;
+    t[static_cast<std::size_t>(TpduType::kDR)] = &TransportEntity::dispatch_dr;
+    t[static_cast<std::size_t>(TpduType::kDC)] = &TransportEntity::dispatch_dc;
+    t[static_cast<std::size_t>(TpduType::kRCR)] = &TransportEntity::dispatch_rcr;
+    t[static_cast<std::size_t>(TpduType::kRCC)] = &TransportEntity::dispatch_rcc;
+    t[static_cast<std::size_t>(TpduType::kRDR)] = &TransportEntity::dispatch_rdr;
+    t[static_cast<std::size_t>(TpduType::kRN)] = &TransportEntity::dispatch_rn;
+    t[static_cast<std::size_t>(TpduType::kRNC)] = &TransportEntity::dispatch_rnc;
+    t[static_cast<std::size_t>(TpduType::kQI)] = &TransportEntity::dispatch_qi;
+    return t;
+  }();
+  return table;
+}
 
 void TransportEntity::on_control_packet(net::Packet&& pkt) {
   if (down_) return;  // crashed entity: traffic falls on the floor
@@ -1103,20 +173,12 @@ void TransportEntity::on_control_packet(net::Packet&& pkt) {
     CMTOS_WARN("transport", "undecodable control TPDU at node %u", node_);
     return;
   }
-  switch (t->type) {
-    case TpduType::kRCR: handle_rcr(*t); break;
-    case TpduType::kCR: handle_cr(*t); break;
-    case TpduType::kCC: handle_cc(*t); break;
-    case TpduType::kRCC: handle_rcc(*t); break;
-    case TpduType::kDR: handle_dr(*t); break;
-    case TpduType::kDC: handle_dc(*t); break;
-    case TpduType::kRDR: handle_rdr(*t); break;
-    case TpduType::kRN: handle_rn(*t); break;
-    case TpduType::kRNC: handle_rnc(*t); break;
-    case TpduType::kQI: handle_qi(*t); break;
-    default:
-      CMTOS_WARN("transport", "unexpected control TPDU type %u",
-                 static_cast<unsigned>(t->type));
+  const auto& table = control_dispatch();
+  const auto idx = static_cast<std::size_t>(t->type);
+  if (idx < table.size() && table[idx] != nullptr) {
+    (this->*table[idx])(*t);
+  } else {
+    CMTOS_WARN("transport", "unexpected control TPDU type %u", static_cast<unsigned>(t->type));
   }
 }
 

@@ -3,15 +3,25 @@
 // The per-node transport entity: the control plane of the CM transport
 // service (§4).
 //
-// It owns every VC endpoint on its node, implements the Table 1 connection
-// establishment / release primitives — including the three-party remote
-// connection facility of §3.5 / Fig 2/3 — the Table 2 QoS-degradation
-// notification and the Table 3 QoS renegotiation, performs QoS option
-// negotiation against the network's reservation service (the ST-II
-// analogue), and demultiplexes the data plane onto Connection objects.
+// It owns every VC endpoint on its node and fronts the Table 1/2/3 service
+// primitives, delegating the handshake machinery to two engines that share
+// its state:
+//
+//   ConnectionManager    — CR/CC/RCR/RCC establishment (incl. the §3.5
+//                          three-party remote connect), DR/DC/RDR release,
+//                          liveness teardown, preemptive displacement;
+//   RenegotiationEngine  — RN/RNC contract renegotiation and the QI
+//                          degradation relay.
+//
+// The entity keeps what both engines (and the data plane) need: TSAP
+// bindings, the sources_/sinks_ endpoint maps, reverse-path reservations,
+// timing config, wire I/O, the crash/restart fault model, and a shared
+// TimerSet holding every protocol timer.  Incoming control TPDUs are
+// demultiplexed through a dispatch table indexed by TPDU type.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -20,7 +30,10 @@
 
 #include "net/network.h"
 #include "transport/connection.h"
+#include "transport/connection_manager.h"
+#include "transport/renegotiation_engine.h"
 #include "transport/service.h"
+#include "transport/timer_set.h"
 #include "transport/tpdu.h"
 #include "util/rng.h"
 
@@ -54,6 +67,9 @@ class TransportEntity {
 
   net::Network& network() { return network_; }
   sim::Scheduler& scheduler() { return network_.scheduler(); }
+  /// This node's shard runtime: every timer and local event of the entity
+  /// runs here, never on another node's shard.
+  sim::NodeRuntime& runtime() { return network_.node(node_).runtime(); }
   net::NodeId node_id() const { return node_; }
   /// This node's local (skewed) clock reading.
   Time local_now() const;
@@ -80,7 +96,7 @@ class TransportEntity {
   /// initiator/src/dst.  Returns the allocated vc-id; the outcome arrives
   /// via t_connect_confirm / t_disconnect_indication on the initiator's
   /// user (and, for remote connects, also on the source user).
-  VcId t_connect_request(const ConnectRequest& req);
+  VcId t_connect_request(const ConnectRequest& req) { return conn_mgr_.t_connect_request(req); }
 
   /// T-Connect.response / rejection, issued by a user that received
   /// t_connect_indication.  `accept=false` maps to T-Disconnect.request
@@ -88,15 +104,19 @@ class TransportEntity {
   /// offered QoS by passing `narrowed` (must be within the offered
   /// tolerance; checked).
   void connect_response(VcId vc, bool accept,
-                        std::optional<QosParams> narrowed = std::nullopt);
+                        std::optional<QosParams> narrowed = std::nullopt) {
+    conn_mgr_.connect_response(vc, accept, std::move(narrowed));
+  }
 
   /// T-Disconnect.request for a VC with a local endpoint.
-  void t_disconnect_request(VcId vc);
+  void t_disconnect_request(VcId vc) { conn_mgr_.t_disconnect_request(vc); }
 
   /// Remote release (§4.1.1): ask the entity at `endpoint` to put a
   /// T-Disconnect.indication to the application attached there, which may
   /// then release the VC.  Usable by the initiator of a remote connect.
-  void t_remote_disconnect_request(VcId vc, const net::NetAddress& endpoint);
+  void t_remote_disconnect_request(VcId vc, const net::NetAddress& endpoint) {
+    conn_mgr_.t_remote_disconnect_request(vc, endpoint);
+  }
 
   // ------------------------------------------------------------------
   // Datagram service (§4 mentions it as part of the standard protocol
@@ -117,10 +137,12 @@ class TransportEntity {
   /// call renegotiate_response; the requester then gets
   /// t_renegotiate_confirm, or (per the paper) t_disconnect_indication
   /// with kRenegotiationFailed — in which case the VC itself survives.
-  void t_renegotiate_request(VcId vc, const QosTolerance& proposed);
+  void t_renegotiate_request(VcId vc, const QosTolerance& proposed) {
+    reneg_.t_renegotiate_request(vc, proposed);
+  }
 
   /// T-Renegotiate.response from the peer user.
-  void renegotiate_response(VcId vc, bool accept);
+  void renegotiate_response(VcId vc, bool accept) { reneg_.renegotiate_response(vc, accept); }
 
   // ------------------------------------------------------------------
   // Endpoint access
@@ -132,18 +154,28 @@ class TransportEntity {
   Connection* endpoint(VcId vc);
 
   // ------------------------------------------------------------------
-  // Internal plumbing (used by Connection)
+  // Internal plumbing (used by Connection and the engines)
   // ------------------------------------------------------------------
   /// Sends an encoded TPDU.  Control TPDUs (and the data plane's small
   /// AK/NAK/FB) ride the high-priority band; DT carries media priority.
+  /// Control TPDUs are marked for *global* delivery: their handlers touch
+  /// shared state (reservations, facade users), so the executor serialises
+  /// the rounds they complete in.
   void send_tpdu(net::NodeId dst, net::Proto proto, std::vector<std::uint8_t> payload,
                  net::Priority priority = net::Priority::kControl);
-  void on_qos_violation(Connection& conn, const QosReport& report);
+  void on_qos_violation(Connection& conn, const QosReport& report) {
+    reneg_.on_qos_violation(conn, report);
+  }
+
+  /// The entity's protocol TimerSet.  Connections park their per-VC
+  /// keepalive/liveness slots here (keyed by vc with the endpoint role in
+  /// bit 63, so the two halves of a loopback VC stay independent).
+  TimerSet& timer_set() { return timers_; }
 
   /// Liveness timeout fired by a Connection: the peer endpoint of `vc`
   /// went silent past config().peer_dead_after.  Tears the local endpoint
   /// down, frees its resources and delivers kPeerDead.
-  void on_peer_dead(VcId vc);
+  void on_peer_dead(VcId vc) { conn_mgr_.on_peer_dead(vc); }
 
   // ------------------------------------------------------------------
   // Timing policy
@@ -188,91 +220,17 @@ class TransportEntity {
   static constexpr std::int64_t kControlVcBps = 64'000;
 
  private:
-  struct PendingInitiated {  // at the initiator: waiting for RCC / CC
-    ConnectRequest req;
-    sim::EventHandle timeout;
-    bool remote = false;  // true: RCR sent, waiting for RCC
-    int retries_left = 3;
-  };
-  struct PendingSourceAccept {  // at the source: user asked (remote connect)
-    ConnectRequest req;
-  };
-  struct PendingCc {  // at the source: CR sent, waiting for CC
-    ConnectRequest req;
-    QosParams offered;
-    net::ReservationId reservation = net::kNoReservation;
-    net::ReservationId reverse_reservation = net::kNoReservation;
-    sim::EventHandle timeout;
-    int retries_left = 3;
-    std::vector<std::uint8_t> cr_wire;  // for retransmission
-  };
-  struct PendingDestAccept {  // at the destination: user asked
-    ConnectRequest req;
-    QosParams offered;
-  };
-  struct PendingReneg {  // requester side, waiting for RNC
-    QosTolerance proposed;
-    QosParams tentative_agreed;
-    std::int64_t old_bps = 0;   // for rollback when we pre-raised
-    bool raised = false;
-    bool at_source = false;
-    // RN retransmission: the Table 3 handshake rides the same lossy
-    // control path as CR, so a storm that provokes the renegotiation can
-    // also eat it.
-    sim::EventHandle timeout;
-    int retries_left = 3;
-    std::vector<std::uint8_t> rn_wire;
-    net::NodeId peer = net::kInvalidNode;
-  };
-  struct PendingRenegPeer {  // peer side, waiting for local user response
-    QosTolerance proposed;
-    net::NodeId requester_node = net::kInvalidNode;
-  };
+  friend class ConnectionManager;
+  friend class RenegotiationEngine;
 
   void on_control_packet(net::Packet&& pkt);
   void on_data_packet(net::Packet&& pkt);
 
-  // Control handlers.
-  void handle_rcr(const ControlTpdu& t);
-  void handle_cr(const ControlTpdu& t);
-  void handle_cc(const ControlTpdu& t);
-  void handle_rcc(const ControlTpdu& t);
-  void handle_dr(const ControlTpdu& t);
-  void handle_dc(const ControlTpdu& t);
-  void handle_rdr(const ControlTpdu& t);
-  void handle_rn(const ControlTpdu& t);
-  void handle_rnc(const ControlTpdu& t);
-  void handle_qi(const ControlTpdu& t);
-
-  /// Source-side connect stage: admission + CR emission.  Failures are
-  /// reported to the local source user (if bound) and to a remote
-  /// initiator via RCC-reject.
-  void source_connect(VcId vc, const ConnectRequest& req);
-  void fail_connect(VcId vc, const ConnectRequest& req, DisconnectReason reason);
-  void notify_initiator(VcId vc, const ConnectRequest& req, bool accepted,
-                        const QosParams& agreed, DisconnectReason reason);
-
-  /// Computes the contract to offer given tolerance, path capacity and
-  /// path latency.  nullopt => reason holds why.
-  std::optional<QosParams> admit(const ConnectRequest& req, DisconnectReason& reason);
-
   void deliver_disconnect(VcId vc, net::Tsap tsap, DisconnectReason reason);
-
-  /// Self-rearming handshake retransmission timers (the control path has
-  /// no other reliability; a lost CR must not strand the connect).
-  void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
-  void arm_cr_timer(VcId vc);
-  /// RN retransmission; on exhaustion any pre-raised reservation is rolled
-  /// back and kRenegotiationFailed is delivered — the VC survives.
-  void arm_rn_timer(VcId vc);
-
-  /// Preemptive-admission teardown: the network picked this VC (lowest
-  /// importance on the contended path) to make room for a more important
-  /// connect.  Mirrors the t_disconnect_request teardown with kPreempted.
-  void preempt_vc(VcId vc);
+  /// Releases (and forgets) the reverse-path control trickle of `vc`.
+  void release_reverse_reservation(VcId vc);
   /// Jittered handshake retransmission delay (see TransportConfig).
   Duration handshake_delay();
-
   VcId alloc_vc();
 
   net::Network& network_;
@@ -284,21 +242,36 @@ class TransportEntity {
   std::function<void(VcId, DisconnectReason)> on_vc_closed_;
   std::uint32_t next_vc_ = 1;
 
+  /// Every protocol timer of this entity (handshake retransmits, RN
+  /// retries, per-VC keepalive/liveness), shared by both engines and the
+  /// connections; dies as a unit on crash().  Declared before the endpoint
+  /// maps: ~Connection cancels its slots through timer_set(), so the
+  /// TimerSet must outlive sources_/sinks_.
+  TimerSet timers_;
+  ConnectionManager conn_mgr_;
+  RenegotiationEngine reneg_;
+
   std::map<net::Tsap, TransportUser*> users_;
   std::map<VcId, std::unique_ptr<Connection>> sources_;
   std::map<VcId, std::unique_ptr<Connection>> sinks_;
   /// Reverse-path control-trickle reservation per source VC.
   std::map<VcId, net::ReservationId> reverse_reservations_;
 
-  std::map<VcId, PendingInitiated> pending_initiated_;
-  std::map<VcId, PendingSourceAccept> pending_source_accept_;
-  std::map<VcId, PendingCc> pending_cc_;
-  std::map<VcId, PendingDestAccept> pending_dest_accept_;
-  std::map<VcId, PendingReneg> pending_reneg_;
-  std::map<VcId, PendingRenegPeer> pending_reneg_peer_;
-  /// Tentative contract proposed to this (sink) peer via RN, applied on
-  /// user acceptance.
-  std::map<VcId, QosParams> peer_tentative_;
+  /// Control-TPDU dispatch: indexed by TpduType (control types are 1..10),
+  /// routing each row to the owning engine.  Replaces the historical
+  /// switch so adding a TPDU type is a table entry, not a code path.
+  using ControlHandler = void (TransportEntity::*)(const ControlTpdu&);
+  void dispatch_rcr(const ControlTpdu& t) { conn_mgr_.handle_rcr(t); }
+  void dispatch_cr(const ControlTpdu& t) { conn_mgr_.handle_cr(t); }
+  void dispatch_cc(const ControlTpdu& t) { conn_mgr_.handle_cc(t); }
+  void dispatch_rcc(const ControlTpdu& t) { conn_mgr_.handle_rcc(t); }
+  void dispatch_dr(const ControlTpdu& t) { conn_mgr_.handle_dr(t); }
+  void dispatch_dc(const ControlTpdu& t) { conn_mgr_.handle_dc(t); }
+  void dispatch_rdr(const ControlTpdu& t) { conn_mgr_.handle_rdr(t); }
+  void dispatch_rn(const ControlTpdu& t) { reneg_.handle_rn(t); }
+  void dispatch_rnc(const ControlTpdu& t) { reneg_.handle_rnc(t); }
+  void dispatch_qi(const ControlTpdu& t) { reneg_.handle_qi(t); }
+  static const std::array<ControlHandler, 11>& control_dispatch();
 };
 
 }  // namespace cmtos::transport

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Sharded-runtime determinism regression check (DESIGN.md section 10).
+
+Runs the chaos and overload soaks at --threads 1/2/8 with the same seed and
+asserts that the fault log (stdout+stderr) and the metric snapshot (--json)
+are byte-identical across thread counts.  --threads 1 is the determinism
+oracle: the executor classifies and orders rounds identically at every
+worker count, so any divergence here is a cross-shard ordering bug, not
+noise.
+
+Usage: determinism_check.py <chaos_soak-binary> <overload_soak-binary>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+THREADS = [1, 2, 8]
+
+RUNS = [
+    ("chaos_soak", ["--scenario", "crash_mid_stream", "--seed", "5"]),
+    ("chaos_soak", ["--scenario", "partition_prime_start", "--seed", "5"]),
+    ("chaos_soak", ["--scenario", "orch_death", "--seed", "5"]),
+    ("overload_soak", ["--scenario", "storm_recover", "--seed", "7"]),
+    ("overload_soak", ["--scenario", "preempt", "--seed", "7"]),
+    ("overload_soak", ["--scenario", "consumer_stall", "--seed", "7"]),
+]
+
+
+def run_one(binary, scenario_args, threads, json_path):
+    cmd = [binary, *scenario_args, "--threads", str(threads), "--json", str(json_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"FAIL: {' '.join(cmd)} exited {proc.returncode}\n{proc.stdout}{proc.stderr}"
+        )
+    return proc.stdout + proc.stderr, json_path.read_bytes()
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    binaries = {"chaos_soak": sys.argv[1], "overload_soak": sys.argv[2]}
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        for name, scenario_args in RUNS:
+            label = f"{name} {' '.join(scenario_args)}"
+            ref_log = ref_json = None
+            for t in THREADS:
+                log, snap = run_one(
+                    binaries[name], scenario_args, t, tmp / f"{name}-{t}.json"
+                )
+                json.loads(snap)  # the snapshot must at least be valid JSON
+                if t == THREADS[0]:
+                    ref_log, ref_json = log, snap
+                    continue
+                if log != ref_log:
+                    print(f"FAIL: {label}: fault log differs at --threads {t}")
+                    failures += 1
+                if snap != ref_json:
+                    print(f"FAIL: {label}: metric snapshot differs at --threads {t}")
+                    failures += 1
+            print(f"ok: {label}: byte-identical at threads {THREADS}")
+    if failures:
+        raise SystemExit(f"{failures} determinism failure(s)")
+    print("determinism check passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -39,6 +39,14 @@ Rules
                        lambda body must re-validate liveness (null check, alive
                        oracle, map lookup) before dereferencing.  Prefer
                        capturing `this` + an id and resolving at fire time.
+  cross-node-state-access
+                       node-scoped layers (src/transport, src/orch, src/media,
+                       src/platform) may resolve only their *own* node in the
+                       network registry; reaching another node's entity/LLO
+                       object directly races its shard under --threads N and
+                       bypasses the Network-delivery ownership rule (DESIGN.md
+                       §10).  Control-shard managers that legitimately touch
+                       many nodes from global events carry an allow() tag.
 
 Suppressing
 -----------
@@ -91,6 +99,18 @@ PTRISH_CAPTURE_RE = re.compile(
     r"(?:^|[,\s&=])(?:conn(?:ection)?|link|node|host|peer)(?:_?ptr)?\s*(?:$|[,=])")
 LIVENESS_HINT_RE = re.compile(
     r"nullptr|alive|down\s*\(|expired|find\s*\(|count\s*\(|contains\s*\(|node_up|is_up")
+
+# cross-node-state-access: node-scoped layers resolve nodes in the network
+# registry only by their own id.  Self spellings are `node_`/`node`,
+# `host_.id`/`host.id` and `node_id()`; anything else (a peer id, a spec
+# field, a loop variable) is a foreign node whose state belongs to another
+# shard.  A second pattern catches reaching a foreign Host's layer objects
+# (`src_host.entity`, `peer->llo`) without going through the registry.
+NODE_SCOPED_DIR_RE = re.compile(r"(^|/)src/(transport|orch|media|platform)/")
+NODE_RESOLVE_RE = re.compile(r"(?:\.|->)\s*node\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+SELF_NODE_RE = re.compile(r"\bnode_?\b|\bhost_?\.id\b|node_id\s*\(")
+FOREIGN_LAYER_RE = re.compile(
+    r"\b(?:src|dst|peer|remote|other|target|tgt)\w*\s*(?:\.|->)\s*(?:entity|llo)\b")
 
 BANNED_CALLS = {
     # call-site regex -> (rule applies to src/ only?, message)
@@ -165,6 +185,7 @@ def check_file(path: Path) -> list[Finding]:
     rel = path.relative_to(REPO_ROOT).as_posix()
     in_src = rel.startswith("src/") or "/src/" in rel
     in_transport = rel.startswith("src/transport/") or "/src/transport/" in rel
+    in_node_scoped = bool(NODE_SCOPED_DIR_RE.search(rel))
     is_header = path.suffix in {".h", ".hpp"}
     is_codec = bool(CODEC_FILE_RE.search(rel))
 
@@ -204,6 +225,20 @@ def check_file(path: Path) -> list[Finding]:
                 Finding(path, idx + 1, "qos-set-agreed",
                         "QosMonitor::set_agreed() outside src/transport/; contract "
                         "changes must flow through renegotiation"))
+
+        if in_node_scoped and "cross-node-state-access" not in allow:
+            nm = NODE_RESOLVE_RE.search(line)
+            if nm and not SELF_NODE_RE.search(nm.group(1)):
+                findings.append(
+                    Finding(path, idx + 1, "cross-node-state-access",
+                            f"resolving foreign node ({nm.group(1).strip()}); "
+                            "another node's state belongs to another shard — "
+                            "interact through net::Network delivery"))
+            if FOREIGN_LAYER_RE.search(line):
+                findings.append(
+                    Finding(path, idx + 1, "cross-node-state-access",
+                            "dereferencing a foreign host's entity/LLO; "
+                            "interact through net::Network delivery"))
 
         for pat, (src_only, msg) in BANNED_CALLS.items():
             if src_only and not in_src:
@@ -280,6 +315,22 @@ PROBE_EXPECT = {  # line -> rule
 }
 
 
+NODE_PROBE = """\
+void g() {
+  auto& a = network_.node(node_).runtime();
+  auto& b = network_.node(spec.sink).entity();
+  auto& c = network_.node(peer_id).runtime();
+  src_host.entity.t_connect_request(req);
+  src_host.entity.bind(t, u);  // cmtos-lint: allow(cross-node-state-access)
+}
+"""
+NODE_PROBE_EXPECT = {
+    (3, "cross-node-state-access"),  # foreign node resolve (spec.sink)
+    (4, "cross-node-state-access"),  # foreign node resolve (peer_id)
+    (5, "cross-node-state-access"),  # foreign host layer deref; 6 allowed
+}
+
+
 def selftest() -> int:
     """Verifies every rule both fires on a seeded probe and honours allow()."""
     import tempfile
@@ -291,9 +342,24 @@ def selftest() -> int:
         probe = probe_dir / "probe_codec.cpp"
         probe.write_text(PROBE, encoding="utf-8")
         got = {(f.line_no, f.rule) for f in check_file(probe)}
+        # Second probe: cross-node-state-access applies only inside the
+        # node-scoped layer dirs, so it gets its own file under src/orch/.
+        node_dir = probe_dir / "orch"
+        node_dir.mkdir()
+        node_probe = node_dir / "probe_node.cpp"
+        node_probe.write_text(NODE_PROBE, encoding="utf-8")
+        node_got = {(f.line_no, f.rule) for f in check_file(node_probe)}
+    ok = True
     if got != PROBE_EXPECT:
         print(f"cmtos-lint selftest FAILED:\n  missing: {PROBE_EXPECT - got}\n"
               f"  spurious: {got - PROBE_EXPECT}", file=sys.stderr)
+        ok = False
+    if node_got != NODE_PROBE_EXPECT:
+        print(f"cmtos-lint selftest (node probe) FAILED:\n"
+              f"  missing: {NODE_PROBE_EXPECT - node_got}\n"
+              f"  spurious: {node_got - NODE_PROBE_EXPECT}", file=sys.stderr)
+        ok = False
+    if not ok:
         return 1
     print("cmtos-lint selftest passed", file=sys.stderr)
     return 0
