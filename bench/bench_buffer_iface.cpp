@@ -23,7 +23,7 @@ using cmtos::transport::ThreadedStreamBuffer;
 
 Osdu make_osdu(std::size_t bytes) {
   Osdu o;
-  o.data.assign(bytes, 0x5a);
+  o.data = cmtos::PayloadView::adopt(std::vector<std::uint8_t>(bytes, 0x5a));
   return o;
 }
 

@@ -13,7 +13,10 @@
 // Table 2: behaviour under loss — with one VC, audio inherits video's
 //          relaxed loss tolerance (or video pays for audio's strict one).
 
+#include "alloc_hooks.h"
 #include "common.h"
+
+#include <chrono>
 
 namespace cmtos::bench {
 namespace {
@@ -173,6 +176,88 @@ MuxResult run_separate(double loss) {
   return r;
 }
 
+// ---------------------------------------------------------------------
+// Data-plane throughput: wall-clock cost of moving media bytes through
+// the stack.  A single demanding video VC (64 KiB OSDUs at 250/s) runs
+// over a fat, clean link so the measurement is CPU-bound: it counts the
+// per-fragment work of segmentation, encoding, link transit, reassembly
+// and delivery — exactly what the zero-copy two-world split targets.
+// ---------------------------------------------------------------------
+
+struct PumpResult {
+  std::int64_t delivered = 0;
+  std::int64_t delivered_bytes = 0;
+  double wall_s = 0;
+  double allocs_per_osdu = 0;
+  bool connected = false;
+};
+
+PumpResult run_dataplane_pump() {
+  constexpr std::size_t kOsduBytes = 64 * 1024;
+  constexpr double kOsduRate = 250.0;
+  constexpr Duration kWarmup = 1 * kSecond;
+  constexpr Duration kPlay = 8 * kSecond;
+
+  platform::Platform p(97);
+  auto& a = p.add_host("src");
+  auto& b = p.add_host("dst");
+  net::LinkConfig link;
+  link.bandwidth_bps = 1'000'000'000;
+  link.propagation_delay = 1 * kMillisecond;
+  link.media_batch_max = 32;  // batched media serialisation/delivery events
+  p.network().add_link(a.id, b.id, link);
+  p.network().finalize_routes();
+
+  AutoUser src_user(a.entity), dst_user(b.entity);
+  a.entity.bind(1, &src_user);
+  b.entity.bind(2, &dst_user);
+  auto req = basic_request({a.id, 1}, {b.id, 2}, kOsduRate,
+                           static_cast<std::int64_t>(kOsduBytes));
+  req.service_class.profile = transport::ProtocolProfile::kRateBasedCm;
+  req.service_class.error_control = transport::ErrorControl::kIndicate;
+  req.buffer_osdus = 64;
+  req.pacing_burst = 32;  // one pacing tick drains a fragment burst
+  const auto vc = a.entity.t_connect_request(req);
+  p.run_until(500 * kMillisecond);
+
+  PumpResult r;
+  auto* source = a.entity.source(vc);
+  auto* sink = b.entity.sink(vc);
+  if (source == nullptr || sink == nullptr) return r;
+  r.connected = true;
+
+  // The media source writes the payload once; the pump re-submits the same
+  // content every period (the transport must not care what the bytes are).
+  // One immutable template frame; every submission shares it by refcount.
+  const auto frame = media::make_frame_view(1, 0, kOsduBytes);
+
+  auto pump_for = [&](Duration dur) {
+    const Time until = p.scheduler().now() + dur;
+    while (p.scheduler().now() < until) {
+      while (source->submit(frame)) {
+      }
+      p.run_until(p.scheduler().now() + 20 * kMillisecond);
+      while (auto o = sink->receive()) {
+        ++r.delivered;
+        r.delivered_bytes += static_cast<std::int64_t>(o->data.size());
+      }
+    }
+  };
+
+  pump_for(kWarmup);  // fill the pipeline before the clock starts
+  r.delivered = 0;
+  r.delivered_bytes = 0;
+  const std::int64_t allocs0 = heap_allocs();
+  const auto wall0 = std::chrono::steady_clock::now();
+  pump_for(kPlay);
+  const auto wall1 = std::chrono::steady_clock::now();
+  const std::int64_t allocs1 = heap_allocs();
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  r.allocs_per_osdu = static_cast<double>(allocs1 - allocs0) /
+                      static_cast<double>(std::max<std::int64_t>(1, r.delivered));
+  return r;
+}
+
 }  // namespace
 }  // namespace cmtos::bench
 
@@ -217,5 +302,23 @@ int main(int argc, char** argv) {
   row("Expectation: on the mux VC both media see the raw loss rate (one error-control");
   row("class for all); with separate VCs audio's correcting class recovers nearly");
   row("everything while video cheaply tolerates its losses.");
+
+  title("Data-plane throughput",
+        "steady-state cost per delivered OSDU: 64 KiB OSDUs at 250/s over a clean 1 Gbit/s "
+        "link, wall-clock measured");
+  {
+    const auto pump = run_dataplane_pump();
+    row("%-22s %14s %16s %16s", "delivered OSDUs", "OSDU/wall-s", "MB/wall-s",
+        "allocs/OSDU");
+    const double osdus_per_s =
+        static_cast<double>(pump.delivered) / std::max(1e-9, pump.wall_s);
+    const double mb_per_s = static_cast<double>(pump.delivered_bytes) / 1e6 /
+                            std::max(1e-9, pump.wall_s);
+    row("%-22lld %14.0f %16.1f %16.1f", static_cast<long long>(pump.delivered),
+        osdus_per_s, mb_per_s, pump.allocs_per_osdu);
+    bj.set("multiplex.dataplane_osdus_per_wall_s", osdus_per_s);
+    bj.set("multiplex.dataplane_mbytes_per_wall_s", mb_per_s);
+    bj.set("multiplex.dataplane_allocs_per_osdu", pump.allocs_per_osdu);
+  }
   return 0;
 }

@@ -10,27 +10,39 @@ namespace cmtos::media {
 
 namespace {
 constexpr std::size_t kHeaderBytes = 16;  // track(4) + index(4) + len(4) + crc(4)
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
 }
+
+/// Writes one frame (header + deterministic body) into `out`, which must
+/// be exactly the frame size.  Shared by the heap and pooled variants so
+/// both produce byte-identical frames.
+void fill_frame(std::span<std::uint8_t> out, std::uint32_t track_id, std::uint32_t index) {
+  const std::size_t body_len = out.size() - kHeaderBytes;
+  const auto body = out.subspan(kHeaderBytes);
+  Rng rng((static_cast<std::uint64_t>(track_id) << 32) | index);
+  for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u64());
+  put_u32(out.data(), track_id);
+  put_u32(out.data() + 4, index);
+  put_u32(out.data() + 8, static_cast<std::uint32_t>(body_len));
+  put_u32(out.data() + 12, crc32(body));
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> make_frame(std::uint32_t track_id, std::uint32_t index,
                                      std::size_t size) {
-  size = std::max(size, kHeaderBytes);
-  const std::size_t body_len = size - kHeaderBytes;
-
-  // Deterministic body from (track, index).
-  std::vector<std::uint8_t> body(body_len);
-  Rng rng((static_cast<std::uint64_t>(track_id) << 32) | index);
-  for (auto& b : body) b = static_cast<std::uint8_t>(rng.next_u64());
-
-  std::vector<std::uint8_t> frame;
-  frame.reserve(size);
-  ByteWriter w(frame);
-  w.u32(track_id);
-  w.u32(index);
-  w.u32(static_cast<std::uint32_t>(body_len));
-  w.u32(crc32(body));
-  w.bytes(body);
+  std::vector<std::uint8_t> frame(std::max(size, kHeaderBytes));
+  fill_frame(frame, track_id, index);
   return frame;
+}
+
+PayloadView make_frame_view(std::uint32_t track_id, std::uint32_t index, std::size_t size) {
+  size = std::max(size, kHeaderBytes);
+  FrameLease lease = FramePool::global().lease(size);
+  fill_frame({lease.data(), size}, track_id, index);
+  return std::move(lease).freeze(size);
 }
 
 std::optional<FrameHeader> verify_frame(std::span<const std::uint8_t> frame) {

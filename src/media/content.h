@@ -13,6 +13,8 @@
 #include <span>
 #include <vector>
 
+#include "util/frame_pool.h"
+
 namespace cmtos::media {
 
 struct FrameHeader {
@@ -23,6 +25,11 @@ struct FrameHeader {
 /// Generates a frame of exactly `size` bytes (minimum 16 for the header).
 std::vector<std::uint8_t> make_frame(std::uint32_t track_id, std::uint32_t index,
                                      std::size_t size);
+
+/// Same frame bytes written once into a pooled frame (the zero-copy media
+/// path): no heap allocation in steady state, and the returned view rides
+/// refcounted through segmentation, link transit and reassembly.
+PayloadView make_frame_view(std::uint32_t track_id, std::uint32_t index, std::size_t size);
 
 /// Verifies integrity and returns the embedded header, or nullopt when the
 /// frame is malformed or its CRC does not match.

@@ -43,7 +43,8 @@ void LiveSource::tick() {
   const std::size_t size = config_.vbr_enabled
                                ? config_.vbr.frame_bytes(index_)
                                : static_cast<std::size_t>(config_.frame_bytes);
-  const auto frame = make_frame(config_.track_id, index_, size);
+  // One pooled frame, written once; every connection shares it by refcount.
+  const auto frame = make_frame_view(config_.track_id, index_, size);
   ++stats_.frames_captured;
   for (auto* conn : conns_) {
     if (!conn->submit(frame)) ++stats_.frames_dropped_at_capture;

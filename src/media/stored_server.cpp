@@ -117,7 +117,7 @@ class StoredMediaServer::TrackEndpoint : public DeviceUser, public orch::OrchApp
     std::uint64_t event = 0;
     if (config_.event_every > 0 && idx32 % config_.event_every == 0 && index > 0)
       event = config_.event_value;
-    auto frame = make_frame(config_.track_id, idx32, config_.vbr.frame_bytes(idx32));
+    auto frame = make_frame_view(config_.track_id, idx32, config_.vbr.frame_bytes(idx32));
     if (!conn_->submit(std::move(frame), event)) return false;
     ++index;
     ++stats.frames_produced;

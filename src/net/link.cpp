@@ -37,7 +37,8 @@ bool Link::transmit(Packet&& p) {
     int victim = -1;
     for (int b = kPriorityBands - 1; b > static_cast<int>(band); --b) {
       const auto& q = queues_[static_cast<std::size_t>(b)];
-      const std::size_t committed = (b == serialising_band_) ? 1u : 0u;
+      const std::size_t committed =
+          (b == serialising_band_) ? static_cast<std::size_t>(serialising_count_) : 0u;
       if (q.size() > committed) {
         victim = b;
         break;
@@ -61,48 +62,75 @@ void Link::start_serialising() {
   const int band = first_nonempty_band();
   if (band < 0) return;
   serialising_ = true;
-  serialising_band_ = band;  // this frame is committed; no preemption
-  const Duration tx = transmission_time(
-      static_cast<std::int64_t>(queues_[static_cast<std::size_t>(band)].front().wire_size()),
-      cfg_.bandwidth_bps);
+  serialising_band_ = band;  // these frames are committed; no preemption
+  const auto& q = queues_[static_cast<std::size_t>(band)];
+  // Media batching: commit several queued media frames as one episode (one
+  // timer event for their summed transmission time).  A packet whose
+  // terminal delivery must run globally cannot ride in a (shard-local)
+  // batch delivery, so it ends the batch; media traffic never sets the
+  // flag, control and datagram bands are never batched.
+  const auto eligible = [this](const Packet& p) {
+    return p.priority == Priority::kMedia && !(p.global_delivery && p.dst == to_);
+  };
+  std::size_t n = 1;
+  if (cfg_.media_batch_max > 1 && eligible(q.front())) {
+    while (n < cfg_.media_batch_max && n < q.size() && eligible(q[n])) ++n;
+  }
+  serialising_count_ = static_cast<int>(n);
+  Duration tx = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    tx += transmission_time(static_cast<std::int64_t>(q[i].wire_size()), cfg_.bandwidth_bps);
   from_rt_.after(tx, [this] { finish_serialising(); });
 }
 
 void Link::finish_serialising() {
-  // Pop the frame that was committed to the wire at start time (a
+  // Pop the frames that were committed to the wire at start time (a
   // higher-priority arrival during serialisation must not be mistaken for
-  // it — it merely wins the *next* serialisation slot).
+  // them — it merely wins the *next* serialisation slot).
   const auto band = static_cast<std::size_t>(serialising_band_);
-  Packet p = std::move(queues_[band].front());
-  queues_[band].pop_front();
+  const auto count = static_cast<std::size_t>(serialising_count_);
+  auto& q = queues_[band];
+  std::deque<Packet> committed;
+  for (std::size_t i = 0; i < count; ++i) {
+    committed.push_back(std::move(q.front()));
+    q.pop_front();
+  }
   serialising_ = false;
   serialising_band_ = -1;
+  serialising_count_ = 0;
 
-  // A frame finishing serialisation on a link that went down mid-transfer
-  // is cut off: it never reaches the far end.
+  // Frames finishing serialisation on a link that went down mid-transfer
+  // are cut off: they never reach the far end.
   if (!up_) {
-    ++stats_.dropped_down;
+    stats_.dropped_down += static_cast<std::int64_t>(committed.size());
     if (first_nonempty_band() >= 0) start_serialising();
     return;
   }
 
-  ++stats_.packets_sent;
-  stats_.bytes_sent += static_cast<std::int64_t>(p.wire_size());
+  // Loss and bit-error draws are per packet, in wire order, whether or not
+  // the episode was batched.
+  std::deque<Packet> survivors;
+  for (auto& p : committed) {
+    ++stats_.packets_sent;
+    stats_.bytes_sent += static_cast<std::int64_t>(p.wire_size());
 
-  // Loss decision (Bernoulli or Gilbert–Elliott burst model).
-  bool lost = false;
-  if (cfg_.burst_loss) {
-    if (ge_in_bad_state_) {
-      lost = rng_.bernoulli(cfg_.ge_loss_in_bad);
-      if (rng_.bernoulli(cfg_.ge_p_bad_to_good)) ge_in_bad_state_ = false;
+    // Loss decision (Bernoulli or Gilbert–Elliott burst model).
+    bool lost = false;
+    if (cfg_.burst_loss) {
+      if (ge_in_bad_state_) {
+        lost = rng_.bernoulli(cfg_.ge_loss_in_bad);
+        if (rng_.bernoulli(cfg_.ge_p_bad_to_good)) ge_in_bad_state_ = false;
+      } else {
+        if (rng_.bernoulli(cfg_.ge_p_good_to_bad)) ge_in_bad_state_ = true;
+      }
     } else {
-      if (rng_.bernoulli(cfg_.ge_p_good_to_bad)) ge_in_bad_state_ = true;
+      lost = rng_.bernoulli(cfg_.loss_rate);
     }
-  } else {
-    lost = rng_.bernoulli(cfg_.loss_rate);
-  }
 
-  if (!lost) {
+    if (lost) {
+      ++stats_.dropped_loss;
+      continue;
+    }
     // Bit-error injection: probability any bit flips across the packet.
     if (cfg_.bit_error_rate > 0) {
       const double bits = static_cast<double>(p.wire_size()) * 8.0;
@@ -112,9 +140,14 @@ void Link::finish_serialising() {
         ++stats_.corrupted;
       }
     }
-    propagate(std::move(p));
-  } else {
-    ++stats_.dropped_loss;
+    survivors.push_back(std::move(p));
+  }
+
+  if (count == 1) {
+    // Legacy path: per-packet jitter draw, per-packet delivery event.
+    if (!survivors.empty()) propagate(std::move(survivors.front()));
+  } else if (!survivors.empty()) {
+    propagate_batch(std::move(survivors));
   }
 
   if (first_nonempty_band() >= 0) start_serialising();
@@ -141,6 +174,23 @@ void Link::propagate(Packet&& p) {
   } else {
     (void)to_rt_.at(when, std::move(fn));
   }
+}
+
+void Link::propagate_batch(std::deque<Packet>&& batch) {
+  Duration delay = cfg_.propagation_delay;
+  if (cfg_.jitter > 0) delay += rng_.uniform(0, cfg_.jitter);
+  // One delivery event hands the whole surviving batch to the receiving
+  // shard in wire order.  Every member was checked batch-eligible at
+  // commit time (media priority, shard-local terminal delivery), so the
+  // event never needs a serial round.
+  const Time when = from_rt_.now() + delay;
+  auto shared = std::make_shared<std::deque<Packet>>(std::move(batch));
+  (void)to_rt_.at(when, [this, shared]() mutable {
+    for (auto& p : *shared) {
+      ++p.hops;
+      if (deliver_) deliver_(std::move(p));
+    }
+  });
 }
 
 }  // namespace cmtos::net

@@ -45,6 +45,15 @@ struct LinkConfig {
   double ge_p_good_to_bad = 0.0;   // per-packet transition probability
   double ge_p_bad_to_good = 0.0;
   double ge_loss_in_bad = 0.5;     // loss probability while in the bad state
+  /// Media serialisation batching: up to this many queued kMedia packets
+  /// are committed to the wire as one serialisation episode (one timer
+  /// event for their summed transmission time, one delivery event for the
+  /// survivors).  Loss and bit-error draws stay per-packet, in queue
+  /// order; jitter is drawn once per episode, so intra-batch spacing
+  /// collapses — acceptable for bulk media, which is why control and
+  /// datagram bands are never batched.  1 = one event per packet (the
+  /// legacy wire timeline, exactly).
+  std::uint16_t media_batch_max = 1;
 };
 
 struct LinkStats {
@@ -79,9 +88,9 @@ class Link {
   /// overflow.
   bool transmit(Packet&& p);
 
-  /// Queue occupancy in packets (including the one being serialised).
+  /// Queue occupancy in packets (including any being serialised).
   std::size_t queue_depth() const {
-    std::size_t n = serialising_ ? 1u : 0u;
+    std::size_t n = static_cast<std::size_t>(serialising_count_);
     for (const auto& q : queues_) n += q.size();
     return n;
   }
@@ -128,6 +137,9 @@ class Link {
   void start_serialising();
   void finish_serialising();
   void propagate(Packet&& p);
+  /// Delivers a whole surviving media batch with one event (propagation +
+  /// one jitter draw); every member is handed to deliver_ in wire order.
+  void propagate_batch(std::deque<Packet>&& batch);
 
   /// Highest-priority nonempty band, or -1.
   int first_nonempty_band() const;
@@ -141,7 +153,9 @@ class Link {
   std::function<void()> retune_;
   std::array<std::deque<Packet>, kPriorityBands> queues_;
   bool serialising_ = false;
-  int serialising_band_ = -1;  // band of the frame currently on the wire
+  int serialising_band_ = -1;   // band of the frame(s) currently on the wire
+  int serialising_count_ = 0;   // committed packets in this episode (>1 only
+                                // for a media batch)
   bool ge_in_bad_state_ = false;
   bool up_ = true;
   std::int64_t reserved_bps_ = 0;

@@ -137,6 +137,46 @@ void Network::send(Packet&& pkt) {
   }
 }
 
+void Network::send(std::vector<Packet>&& burst) {
+  if (burst.empty()) return;
+  if (burst.size() == 1) {
+    send(std::move(burst.front()));
+    return;
+  }
+  CMTOS_ASSERT(routes_valid_, "net.routes_stale");
+  const NodeId src = burst.front().src;
+  bool any_global = false;
+  for (const auto& pkt : burst) {
+    CMTOS_ASSERT(pkt.src == src, "net.burst_mixed_src");
+    any_global |= pkt.global_delivery && pkt.src == pkt.dst;
+  }
+  if (any_global) {
+    // A loopback global delivery cannot share the burst's local injection
+    // event; this is not a data-plane shape, so take the slow path whole.
+    for (auto& pkt : burst) send(std::move(pkt));
+    return;
+  }
+  // Stamping is identical to send(): one id per packet from the calling
+  // shard's node-scoped counter, in burst order.
+  sim::NodeRuntime* ctx = sim::Executor::current();
+  sim::NodeRuntime& id_rt = (ctx != nullptr && &ctx->executor() == &sched_.executor())
+                                ? *ctx
+                                : nodes_.at(src)->runtime();
+  const Time when = sched_.now();
+  for (auto& pkt : burst) {
+    pkt.injected_at = when;
+    pkt.id = id_rt.next_node_unique_id();
+  }
+  sim::NodeRuntime& src_rt = nodes_.at(src)->runtime();
+  auto shared = std::make_shared<std::vector<Packet>>(std::move(burst));
+  (void)src_rt.at(when, [this, shared]() mutable {
+    for (auto& pkt : *shared) {
+      const NodeId at = pkt.src;
+      forward(std::move(pkt), at);
+    }
+  });
+}
+
 void Network::forward(Packet&& pkt, NodeId at) {
   if (!nodes_[at]->up()) return;  // crashed node black-holes transit too
   if (pkt.dst == at) {

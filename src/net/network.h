@@ -77,6 +77,13 @@ class Network {
   /// (datagram semantics); reliability is the transport's business.
   void send(Packet&& pkt);
 
+  /// Injects a burst of packets sharing one source node with a single
+  /// injection event (the paced-burst data path): each packet is stamped
+  /// and forwarded exactly as by send(), in order, but the scheduler sees
+  /// one event instead of burst-many.  Any packet needing a global
+  /// terminal delivery (loopback control) falls back to per-packet send().
+  void send(std::vector<Packet>&& burst);
+
   // --- reservation / admission control (ST-II analogue) ---
 
   /// When disabled, reserve() always succeeds without accounting; the A4

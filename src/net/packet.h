@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/address.h"
+#include "util/frame_pool.h"
 #include "util/time.h"
 
 namespace cmtos::net {
@@ -31,6 +32,12 @@ struct Packet {
   Proto proto = Proto::kTransportData;
   Priority priority = Priority::kMedia;
   std::vector<std::uint8_t> payload;
+  /// Zero-copy media payload body (two-world data plane): data TPDUs carry
+  /// their serialized header in `payload` and the OSDU fragment here as a
+  /// refcounted view into the source's frame, so link transit never copies
+  /// media bytes.  Control-plane packets leave this empty.  Charged to the
+  /// wire image by wire_size() exactly like inline payload bytes.
+  PayloadView frame;
 
   // --- simulation metadata (not part of the wire image) ---
   /// True simulation time the packet entered the network at the source.
@@ -51,7 +58,9 @@ struct Packet {
   /// parallel.
   bool global_delivery = false;
 
-  std::size_t wire_size() const { return payload.size() + kPacketHeaderBytes; }
+  std::size_t wire_size() const {
+    return payload.size() + frame.size() + kPacketHeaderBytes;
+  }
 };
 
 }  // namespace cmtos::net

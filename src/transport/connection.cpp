@@ -1,6 +1,7 @@
 #include "transport/connection.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "obs/trace.h"
 #include "transport/transport_entity.h"
@@ -188,6 +189,12 @@ void Connection::apply_new_qos(const QosParams& agreed) {
 // ====================================================================
 
 bool Connection::submit(std::vector<std::uint8_t> data, std::uint64_t event) {
+  // Compat path: wrap the caller's heap buffer in place (one frame-header
+  // allocation, no byte copy) and take the zero-copy path.
+  return submit(PayloadView::adopt(std::move(data)), event);
+}
+
+bool Connection::submit(PayloadView data, std::uint64_t event) {
   CMTOS_DCHECK(role_ == VcRole::kSource);
   // Submitting on a circuit being torn down is a user error; refusing it
   // looks exactly like a full ring to the application (retry on the
@@ -308,15 +315,17 @@ void Connection::refill_txq() {
     dt.frag_count = frag_count;
     dt.src_timestamp = osdu->src_timestamp;
     dt.true_submit = osdu->true_submit;
+    // For any fragment f < frag_count, off < total (and for the empty
+    // OSDU, off == total == 0), so the subtraction cannot underflow.
     const std::size_t off = static_cast<std::size_t>(f) * kMaxTpduPayload;
-    const std::size_t len = std::min(kMaxTpduPayload, total - std::min(total, off));
-    dt.payload.assign(osdu->data.begin() + static_cast<std::ptrdiff_t>(off),
-                      osdu->data.begin() + static_cast<std::ptrdiff_t>(off + len));
+    const std::size_t len = std::min(kMaxTpduPayload, total - off);
+    dt.payload = osdu->data.subview(off, len);  // index arithmetic, no copy
     txq_.push_back(std::move(dt));
   }
 }
 
-void Connection::send_data_tpdu(DataTpdu&& dt, bool retransmission) {
+void Connection::send_data_tpdu(DataTpdu&& dt, bool retransmission,
+                                std::vector<net::Packet>* burst) {
   if (retransmission) {
     dt.flags |= kDtRetransmission;
     ++stats_.tpdus_retransmitted;
@@ -326,14 +335,27 @@ void Connection::send_data_tpdu(DataTpdu&& dt, bool retransmission) {
   m_tpdus_sent_->add();
   obs::Tracer::global().instant(retransmission ? "TPDU.retx" : "TPDU.tx", trace_pid_,
                                 trace_tid_);
-  // Retain a copy for NAK-driven recovery (bounded).
+  // Retain for NAK-driven recovery (bounded).  The payload is a refcounted
+  // view, so retention pins the frame but copies nothing.
   if (wants_correction(request_.service_class.error_control) ||
       request_.service_class.profile == ProtocolProfile::kWindowBased) {
     retain_[dt.tpdu_seq] = dt;
-    while (retain_.size() > retain_limit_) retain_.erase(retain_.begin());
+    if (request_.service_class.profile == ProtocolProfile::kWindowBased) {
+      // Go-back-N recovery depends on every un-acked TPDU staying in the
+      // map: evict only entries already acknowledged (seq < send_base_).
+      // window_try_send() clamps the send window to retain_limit_, so the
+      // un-acked span alone can never exceed the bound.
+      while (retain_.size() > retain_limit_ && retain_.begin()->first < send_base_)
+        retain_.erase(retain_.begin());
+    } else {
+      while (retain_.size() > retain_limit_) retain_.erase(retain_.begin());
+    }
   }
-  entity_.send_tpdu(peer_node(), net::Proto::kTransportData, dt.encode(),
-                    net::Priority::kMedia);
+  if (burst != nullptr) {
+    burst->push_back(entity_.make_dt_packet(peer_node(), dt));
+  } else {
+    entity_.send_dt(peer_node(), dt);
+  }
 }
 
 void Connection::schedule_pacer(Duration delay) {
@@ -347,14 +369,28 @@ void Connection::pacer_tick() {
   pacer_armed_ = false;
   if (state_ != VcState::kOpen || source_paused_) return;
   if (receiver_full_ || rate_factor_ <= 0) return;  // resumed by feedback
-  if (txq_.empty()) refill_txq();
-  if (txq_.empty()) return;  // woken by data_available
-  DataTpdu dt = std::move(txq_.front());
-  txq_.pop_front();
-  const bool retrans = (dt.flags & kDtRetransmission) != 0;
-  const std::uint16_t frag_count = dt.frag_count;
-  send_data_tpdu(std::move(dt), retrans);
-  schedule_pacer(tpdu_interval(frag_count));
+  // pacing_burst > 1 coarsens the pacing grain: up to that many fragments
+  // go out back to back (staged into one network injection event) and the
+  // pacer then sleeps the sum of their per-TPDU intervals, so the average
+  // rate is exactly the burst-1 schedule's.
+  const std::uint32_t burst_max = std::max<std::uint16_t>(1, request_.pacing_burst);
+  std::vector<net::Packet> burst;
+  auto* staging = burst_max > 1 ? &burst : nullptr;
+  Duration sleep = 0;
+  std::uint32_t sent = 0;
+  while (sent < burst_max) {
+    if (txq_.empty()) refill_txq();
+    if (txq_.empty()) break;
+    DataTpdu dt = std::move(txq_.front());
+    txq_.pop_front();
+    const bool retrans = (dt.flags & kDtRetransmission) != 0;
+    sleep += tpdu_interval(dt.frag_count);
+    send_data_tpdu(std::move(dt), retrans, staging);
+    ++sent;
+  }
+  if (staging != nullptr && !staging->empty()) entity_.send_dt_burst(std::move(burst));
+  if (sent == 0) return;  // woken by data_available
+  schedule_pacer(sleep);
 }
 
 void Connection::window_try_send() {
@@ -363,7 +399,12 @@ void Connection::window_try_send() {
     if (txq_.empty()) refill_txq();
     if (txq_.empty()) return;
     const std::uint32_t in_flight = txq_.front().tpdu_seq - send_base_;
-    if (in_flight >= window_credit_) return;  // window closed; wait for AK
+    // The effective window never exceeds the retain bound: a window larger
+    // than retention would force eviction of un-acked TPDUs, and a single
+    // loss would then stall the circuit forever (no copy left to resend).
+    const std::uint32_t window = std::min<std::uint32_t>(
+        window_credit_, static_cast<std::uint32_t>(retain_limit_));
+    if (in_flight >= window) return;  // window closed; wait for AK
     DataTpdu dt = std::move(txq_.front());
     txq_.pop_front();
     send_data_tpdu(std::move(dt), false);
@@ -449,7 +490,7 @@ void Connection::on_data(const net::Packet& pkt) {
   // sink opens on CR receipt, the source on CC receipt), so anything else
   // here is a late packet racing teardown: discard.
   if (role_ != VcRole::kSink || state_ != VcState::kOpen) return;
-  auto dt = DataTpdu::decode(pkt.payload, pkt.corrupted);
+  auto dt = DataTpdu::decode_packet(pkt);
   if (!dt) {
     ++stats_.tpdus_corrupt;
     // The corrupt TPDU's bytes still crossed the wire; they belong in the
@@ -533,13 +574,25 @@ void Connection::note_gap(std::uint32_t from_seq, std::uint32_t to_seq) {
   }
 }
 
+std::int64_t Connection::unwrap_osdu_seq(std::uint32_t seq) const {
+  // Serial-number arithmetic (the QosMonitor idiom): interpret `seq` as
+  // the projection nearest the delivery cursor, so the timeline keeps
+  // advancing monotonically across 32-bit wraparound.  Before resync the
+  // raw value itself anchors the timeline.
+  if (next_deliver_seq_ < 0) return static_cast<std::int64_t>(seq);
+  const auto delta = static_cast<std::int32_t>(
+      seq - static_cast<std::uint32_t>(next_deliver_seq_));
+  return next_deliver_seq_ + delta;
+}
+
 void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes) {
   (void)corrupted;
   (void)wire_bytes;
-  if (next_deliver_seq_ >= 0 && static_cast<std::int64_t>(dt.osdu_seq) < next_deliver_seq_)
+  const std::int64_t useq = unwrap_osdu_seq(dt.osdu_seq);
+  if (next_deliver_seq_ >= 0 && useq < next_deliver_seq_)
     return;  // stale (late retransmission of already-skipped data)
 
-  Partial& p = partials_[dt.osdu_seq];
+  Partial& p = partials_[useq];
   if (p.frag_count == 0) {
     p.frag_count = dt.frag_count;
     p.frags.resize(dt.frag_count);
@@ -552,10 +605,10 @@ void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wir
     return;  // duplicate fragment
   p.frags[dt.frag_index] = std::move(dt.payload);
   ++p.frags_received;
-  if (p.frags_received == p.frag_count) complete_osdu(dt.osdu_seq);
+  if (p.frags_received == p.frag_count) complete_osdu(useq);
 }
 
-void Connection::complete_osdu(std::uint32_t osdu_seq) {
+void Connection::complete_osdu(std::int64_t osdu_seq) {
   auto it = partials_.find(osdu_seq);
   CMTOS_ASSERT(it != partials_.end(), "vc.reassembly");
   if (it == partials_.end()) return;
@@ -563,14 +616,45 @@ void Connection::complete_osdu(std::uint32_t osdu_seq) {
   partials_.erase(it);
 
   Osdu osdu;
-  osdu.seq = osdu_seq;
+  osdu.seq = static_cast<std::uint32_t>(osdu_seq);
   osdu.event = p.event;
   osdu.src_timestamp = p.src_timestamp;
   osdu.true_submit = p.true_submit;
+
   std::size_t total = 0;
   for (const auto& f : p.frags) total += f.size();
-  osdu.data.reserve(total);
-  for (auto& f : p.frags) osdu.data.insert(osdu.data.end(), f.begin(), f.end());
+  // Fragments of one OSDU are consecutive slices of the frame the source
+  // wrote, so reassembly is normally pure index arithmetic: verify
+  // contiguity and re-join by extending the first fragment's view.
+  bool contiguous = total > 0;
+  if (contiguous) {
+    const auto* frame = p.frags.front().frame();
+    std::size_t expect_off = p.frags.front().offset();
+    for (const auto& f : p.frags) {
+      if (f.frame() != frame || f.offset() != expect_off) {
+        contiguous = false;
+        break;
+      }
+      expect_off += f.size();
+    }
+  }
+  if (total == 0) {
+    osdu.data = PayloadView();
+  } else if (contiguous) {
+    osdu.data = p.frags.front().extend(total);
+  } else {
+    // Gather fallback (fragments from distinct frames, e.g. decoded via
+    // the flat wire image): one pool-backed copy, counted in pool stats.
+    auto& pool = FramePool::global();
+    FrameLease lease = pool.lease(total);
+    std::size_t off = 0;
+    for (const auto& f : p.frags) {
+      std::memcpy(lease.data() + off, f.data(), f.size());
+      off += f.size();
+    }
+    pool.count_copy(total);
+    osdu.data = std::move(lease).freeze(total);
+  }
 
   ++stats_.osdus_completed;
   highest_completed_seq_ = std::max<std::int64_t>(highest_completed_seq_, osdu_seq);
@@ -587,21 +671,23 @@ void Connection::deliver_ready() {
     next_deliver_seq_ = completed_.begin()->first;
   }
   for (;;) {
-    auto it = completed_.find(static_cast<std::uint32_t>(next_deliver_seq_));
+    auto it = completed_.find(next_deliver_seq_);
     if (it == completed_.end()) {
       // If the hole below the next completed OSDU cannot be explained by an
       // outstanding transport-level recovery, the source dropped those
       // OSDUs deliberately (Orch.Regulate max-drop#): skip ahead at once.
       if (!completed_.empty() && nak_tries_.empty()) {
         bool partial_below = false;
-        const std::uint32_t first_ready = completed_.begin()->first;
+        const std::int64_t first_ready = completed_.begin()->first;
         for (auto& [seq, _] : partials_) {
-          if (static_cast<std::int64_t>(seq) >= next_deliver_seq_ && seq < first_ready) {
+          if (seq >= next_deliver_seq_ && seq < first_ready) {
             partial_below = true;
             break;
           }
         }
         if (!partial_below) {
+          // Both sides of the subtraction live on the unwrapped 64-bit
+          // timeline, so the count stays exact across 32-bit seq wrap.
           stats_.osdus_skipped += first_ready - next_deliver_seq_;
           next_deliver_seq_ = first_ready;
           continue;
@@ -671,9 +757,9 @@ void Connection::give_up_on_holes() {
   const Duration hole_timeout =
       std::max<Duration>(50 * kMillisecond, 2 * agreed_.delay_jitter);
   if (!completed_.empty() && next_deliver_seq_ >= 0 &&
-      completed_.begin()->first > static_cast<std::uint32_t>(next_deliver_seq_) &&
+      completed_.begin()->first > next_deliver_seq_ &&
       now - last_hole_progress_ > hole_timeout) {
-    const std::uint32_t first_ready = completed_.begin()->first;
+    const std::int64_t first_ready = completed_.begin()->first;
     stats_.osdus_skipped += first_ready - next_deliver_seq_;
     // Purge partials below the skip point.
     for (auto it = partials_.begin(); it != partials_.end();) {

@@ -16,12 +16,14 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "net/address.h"
 #include "net/network.h"
@@ -103,6 +105,9 @@ class Connection {
   /// Source: submits one OSDU.  The transport stamps the sequence number
   /// and the source-local timestamp.  Returns false when the send ring is
   /// full (the producer block episode starts; retry on space-available).
+  /// The view form is the zero-copy path (the frame was written once by
+  /// the media source); the vector form adopts the heap buffer in place.
+  bool submit(PayloadView data, std::uint64_t event = 0);
   bool submit(std::vector<std::uint8_t> data, std::uint64_t event = 0);
 
   /// Sink: takes the next in-order OSDU, or nullopt when none is available
@@ -179,6 +184,17 @@ class Connection {
   /// entity calls this on every dispatch (liveness, tentpole 2).
   void note_peer_activity() { last_peer_activity_ = sched_.now(); }
 
+  /// Source: bounds the retransmission-retain map (tests shrink it to
+  /// exercise the window/retention interaction).  In window mode the
+  /// effective send window is clamped to this bound so go-back-N recovery
+  /// can never lose an un-acked TPDU to eviction.
+  void set_retain_limit(std::size_t n) { retain_limit_ = std::max<std::size_t>(1, n); }
+  std::size_t retain_limit() const { return retain_limit_; }
+
+  /// Source: test hook starting the OSDU sequence at an arbitrary value
+  /// (the seq-wrap regression starts just below 2^32).
+  void set_next_osdu_seq(std::uint32_t seq) { next_osdu_seq_ = seq; }
+
  private:
   /// The only writer of state_: checks the move against the legal-transition
   /// table (CMTOS_ASSERT "vc.transition") before committing it.
@@ -189,7 +205,11 @@ class Connection {
   void schedule_pacer(Duration delay);
   void refill_txq();
   Duration tpdu_interval(std::uint16_t frag_count) const;
-  void send_data_tpdu(DataTpdu&& dt, bool retransmission);
+  /// Emits one data TPDU (stats, retention, transmission).  When `burst`
+  /// is non-null the encoded packet is staged there instead of being
+  /// injected — the pacer flushes the whole burst with one network event.
+  void send_data_tpdu(DataTpdu&& dt, bool retransmission,
+                      std::vector<net::Packet>* burst = nullptr);
   void window_try_send();
   void arm_retransmit_timer();
   void on_retransmit_timeout();
@@ -197,7 +217,11 @@ class Connection {
   // --- sink side ---
   void handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes);
   void note_gap(std::uint32_t from_seq, std::uint32_t to_seq);
-  void complete_osdu(std::uint32_t osdu_seq);
+  void complete_osdu(std::int64_t osdu_seq);
+  /// Maps the 32-bit on-wire OSDU seq onto the unwrapped 64-bit delivery
+  /// timeline via serial-number arithmetic (nearest projection to the
+  /// delivery cursor), so reassembly state survives seq wraparound.
+  std::int64_t unwrap_osdu_seq(std::uint32_t seq) const;
   void deliver_ready();
   void push_delivery_queue();
   void send_feedback();
@@ -254,12 +278,14 @@ class Connection {
     std::uint64_t event = 0;
     Time src_timestamp = 0;
     Time true_submit = 0;
-    std::vector<std::vector<std::uint8_t>> frags;
+    std::vector<PayloadView> frags;  // refcounted slices, no per-frag copies
   };
   std::uint32_t expected_tpdu_seq_ = 0;
   bool tpdu_resync_ = true;  // adopt the next TPDU's seq (fresh open / after flush)
-  std::map<std::uint32_t, Partial> partials_;       // osdu_seq -> partial
-  std::map<std::uint32_t, Osdu> completed_;         // awaiting in-order delivery
+  // Reassembly state is keyed by the *unwrapped* OSDU seq (see
+  // unwrap_osdu_seq) so ordering stays correct across 32-bit wraparound.
+  std::map<std::int64_t, Partial> partials_;        // unwrapped osdu_seq -> partial
+  std::map<std::int64_t, Osdu> completed_;          // awaiting in-order delivery
   std::deque<Osdu> delivery_queue_;                 // ready, waiting for ring space
   std::int64_t next_deliver_seq_ = 0;               // next expected OSDU seq
   std::int64_t last_delivered_seq_ = -1;

@@ -45,6 +45,7 @@ VcId ConnectionManager::t_connect_request(const ConnectRequest& req) {
     t.buffer_osdus = req.buffer_osdus;
     t.importance = req.importance;
     t.shed_watermark_pct = req.shed_watermark_pct;
+  t.pacing_burst = req.pacing_burst;
     PendingInitiated pend;
     pend.req = req;
     pend.remote = true;
@@ -121,6 +122,7 @@ void ConnectionManager::handle_rcr(const ControlTpdu& t) {
   req.buffer_osdus = t.buffer_osdus;
   req.importance = t.importance;
   req.shed_watermark_pct = t.shed_watermark_pct;
+  req.pacing_burst = t.pacing_burst;
 
   TransportUser* user = ent_.user_at(req.src.tsap);
   if (user == nullptr) {
@@ -230,6 +232,7 @@ void ConnectionManager::source_connect(VcId vc, const ConnectRequest& req) {
   t.buffer_osdus = req.buffer_osdus;
   t.importance = req.importance;
   t.shed_watermark_pct = req.shed_watermark_pct;
+  t.pacing_burst = req.pacing_burst;
 
   PendingCc pend;
   pend.req = req;
@@ -269,6 +272,7 @@ void ConnectionManager::handle_cr(const ControlTpdu& t) {
   req.buffer_osdus = t.buffer_osdus;
   req.importance = t.importance;
   req.shed_watermark_pct = t.shed_watermark_pct;
+  req.pacing_burst = t.pacing_burst;
 
   TransportUser* user = ent_.user_at(req.dst.tsap);
   ControlTpdu reply;

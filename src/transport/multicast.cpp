@@ -41,7 +41,7 @@ void MulticastGroup::remove_member(const net::NetAddress& dst) {
   members_.erase(it);
 }
 
-int MulticastGroup::submit(const std::vector<std::uint8_t>& data, std::uint64_t event) {
+int MulticastGroup::submit(PayloadView data, std::uint64_t event) {
   int accepted = 0;
   for (auto& [dst, m] : members_) {
     if (!m.connected) continue;
@@ -50,6 +50,11 @@ int MulticastGroup::submit(const std::vector<std::uint8_t>& data, std::uint64_t 
     if (conn->submit(data, event)) ++accepted;
   }
   return accepted;
+}
+
+int MulticastGroup::submit(const std::vector<std::uint8_t>& data, std::uint64_t event) {
+  // One pool-backed frame shared by every member VC.
+  return submit(PayloadView::copy_of(data), event);
 }
 
 VcId MulticastGroup::member_vc(const net::NetAddress& dst) const {

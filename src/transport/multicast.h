@@ -53,7 +53,9 @@ class MulticastGroup : public TransportUser {
 
   /// Fans one OSDU out to every connected member.  Returns the number of
   /// members whose send ring accepted it (a full member ring drops — the
-  /// group never blocks on its slowest member).
+  /// group never blocks on its slowest member).  All members share one
+  /// refcounted frame: fan-out costs N refcount bumps, not N copies.
+  int submit(PayloadView data, std::uint64_t event = 0);
   int submit(const std::vector<std::uint8_t>& data, std::uint64_t event = 0);
 
   std::size_t member_count() const { return members_.size(); }

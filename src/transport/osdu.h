@@ -9,8 +9,8 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "util/frame_pool.h"
 #include "util/time.h"
 
 namespace cmtos::transport {
@@ -31,8 +31,10 @@ struct Osdu {
   /// estimate delay and jitter.
   Time src_timestamp = 0;
 
-  /// Media payload.  Boundaries are preserved end to end.
-  std::vector<std::uint8_t> data;
+  /// Media payload: a refcounted view into the frame the source wrote
+  /// (two-world data plane).  Boundaries are preserved end to end; copying
+  /// an Osdu bumps a refcount instead of duplicating media bytes.
+  PayloadView data;
 
   // --- simulation-side metadata (not on the wire) ---
   /// True simulation time of submission, for ground-truth delay metrics.

@@ -79,6 +79,12 @@ struct ConnectRequest {
   /// ring down to this percentage of capacity so fresh media keeps
   /// flowing (a late frame is worthless).  0 disables shedding.
   std::uint8_t shed_watermark_pct = 0;
+  /// Rate-profile pacing granularity: fragments emitted per pacer tick.
+  /// The average rate is unchanged (each tick sleeps burst x the per-TPDU
+  /// interval); >1 trades pacing smoothness for per-fragment event
+  /// overhead, which is what high-bandwidth streams want.  1 = one event
+  /// per fragment (the legacy schedule, exactly).
+  std::uint16_t pacing_burst = 1;
 };
 
 enum class DisconnectReason : std::uint8_t {

@@ -98,6 +98,7 @@ std::vector<std::uint8_t> ControlTpdu::encode() const {
   w.u32(buffer_osdus);
   w.u8(importance);
   w.u8(shed_watermark_pct);
+  w.u16(pacing_burst);
   w.u8(reason);
   w.u8(accepted);
   write_report(w, report);
@@ -122,6 +123,7 @@ std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wir
     t.buffer_osdus = r.u32();
     t.importance = r.u8();
     t.shed_watermark_pct = r.u8();
+    t.pacing_burst = r.u16();
     t.reason = r.u8();
     t.accepted = r.u8();
     t.report = read_report(r);
@@ -131,19 +133,42 @@ std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wir
   }
 }
 
+namespace {
+
+// Header layout shared by the flat and split DataTpdu encodings.
+void write_dt_header(ByteWriter& w, const DataTpdu& t) {
+  w.u8(wire_enum(TpduType::kDT));
+  w.u64(t.vc);
+  w.u32(t.tpdu_seq);
+  w.u32(t.osdu_seq);
+  w.u64(t.event);
+  w.u16(t.frag_index);
+  w.u16(t.frag_count);
+  w.u8(t.flags);
+  w.i64(t.src_timestamp);
+  w.i64(t.true_submit);
+}
+
+bool read_dt_header(ByteReader& r, DataTpdu& t) {
+  if (static_cast<TpduType>(r.u8()) != TpduType::kDT) return false;
+  t.vc = r.u64();
+  t.tpdu_seq = r.u32();
+  t.osdu_seq = r.u32();
+  t.event = r.u64();
+  t.frag_index = r.u16();
+  t.frag_count = r.u16();
+  t.flags = r.u8();
+  t.src_timestamp = r.i64();
+  t.true_submit = r.i64();
+  return true;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> DataTpdu::encode() const {
   std::vector<std::uint8_t> out;
   ByteWriter w(out);
-  w.u8(wire_enum(TpduType::kDT));
-  w.u64(vc);
-  w.u32(tpdu_seq);
-  w.u32(osdu_seq);
-  w.u64(event);
-  w.u16(frag_index);
-  w.u16(frag_count);
-  w.u8(flags);
-  w.i64(src_timestamp);
-  w.i64(true_submit);
+  write_dt_header(w, *this);
   w.blob(payload);
   w.u32(crc32(out));
   return out;
@@ -159,17 +184,40 @@ std::optional<DataTpdu> DataTpdu::decode(std::span<const std::uint8_t> wire,
     if (simulated_corruption) return std::nullopt;  // links mark, CRC "catches"
     ByteReader r(body);
     DataTpdu t;
-    if (static_cast<TpduType>(r.u8()) != TpduType::kDT) return std::nullopt;
-    t.vc = r.u64();
-    t.tpdu_seq = r.u32();
-    t.osdu_seq = r.u32();
-    t.event = r.u64();
-    t.frag_index = r.u16();
-    t.frag_count = r.u16();
-    t.flags = r.u8();
-    t.src_timestamp = r.i64();
-    t.true_submit = r.i64();
-    t.payload = r.blob();
+    if (!read_dt_header(r, t)) return std::nullopt;
+    t.payload = PayloadView::adopt(r.blob());
+    return t;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+void DataTpdu::encode_onto(net::Packet& pkt) const {
+  pkt.payload.clear();
+  ByteWriter w(pkt.payload);
+  write_dt_header(w, *this);
+  // Payload length rides in the header; the bytes themselves ride as a
+  // refcounted view.  The CRC covers the header only — the links mark
+  // corruption instead of flipping bits, and media frames carry their own
+  // body CRC for end-to-end integrity.
+  w.u32(narrow<std::uint32_t>(payload.size()));
+  w.u32(crc32(pkt.payload));
+  pkt.frame = payload;
+}
+
+std::optional<DataTpdu> DataTpdu::decode_packet(const net::Packet& pkt) {
+  try {
+    const std::span<const std::uint8_t> wire(pkt.payload);
+    if (wire.size() < 4) return std::nullopt;
+    const auto body = wire.subspan(0, wire.size() - 4);
+    ByteReader crc_r(wire.subspan(wire.size() - 4));
+    if (crc32(body) != crc_r.u32()) return std::nullopt;
+    if (pkt.corrupted) return std::nullopt;  // links mark, CRC "catches"
+    ByteReader r(body);
+    DataTpdu t;
+    if (!read_dt_header(r, t)) return std::nullopt;
+    if (r.u32() != pkt.frame.size()) return std::nullopt;  // header/frame mismatch
+    t.payload = pkt.frame;
     return t;
   } catch (const DecodeError&) {
     return std::nullopt;

@@ -16,8 +16,10 @@
 #include <vector>
 
 #include "net/address.h"
+#include "net/packet.h"
 #include "transport/qos.h"
 #include "transport/service.h"
+#include "util/frame_pool.h"
 #include "util/time.h"
 
 namespace cmtos::transport {
@@ -56,6 +58,7 @@ struct ControlTpdu {
   std::uint32_t buffer_osdus = 0;
   std::uint8_t importance = 1;  // CR/RCR: preemptive-admission class
   std::uint8_t shed_watermark_pct = 0;  // CR/RCR: sink load-shedding watermark
+  std::uint16_t pacing_burst = 1;       // CR/RCR: source pacing granularity
   std::uint8_t reason = 0;      // DR/DC/RCC(reject): DisconnectReason
   std::uint8_t accepted = 0;    // CC/RCC/RNC: 1 = accepted
   QosReport report;             // QI payload
@@ -83,16 +86,34 @@ struct DataTpdu {
   /// hardware has no access to a global clock; protocol logic must never
   /// read this, it exists so benches can report ground-truth delay.
   Time true_submit = 0;
-  std::vector<std::uint8_t> payload;
+  /// OSDU fragment: a refcounted slice of the source's frame.  Copying a
+  /// DataTpdu (retain map, retransmission) bumps a refcount; the media
+  /// bytes themselves are written exactly once.
+  PayloadView payload;
 
-  /// Encodes with a trailing CRC-32 over the whole TPDU.
+  /// Encodes the whole TPDU into one flat byte string with a trailing
+  /// CRC-32 (legacy/diagnostic wire image; the packet path below keeps
+  /// header and payload separate).
   std::vector<std::uint8_t> encode() const;
 
-  /// Decodes and verifies the CRC; nullopt on checksum failure or
-  /// malformed input.  `simulated_corruption` forces a checksum failure
-  /// (links mark packets corrupt instead of flipping payload bits).
+  /// Decodes the flat wire image and verifies the CRC; nullopt on checksum
+  /// failure or malformed input.  `simulated_corruption` forces a checksum
+  /// failure (links mark packets corrupt instead of flipping payload bits).
   static std::optional<DataTpdu> decode(std::span<const std::uint8_t> wire,
                                         bool simulated_corruption);
+
+  /// Zero-copy packet encoding (two-world split): the serialized header
+  /// (fields + payload length + CRC over the header) goes into
+  /// pkt.payload; the fragment rides as pkt.frame, a refcounted view —
+  /// no media byte is copied.  The wire image is byte-for-byte the same
+  /// size as encode(), so link timing is unchanged.
+  void encode_onto(net::Packet& pkt) const;
+
+  /// Inverse of encode_onto: verifies the header CRC and the payload
+  /// length, honours the link's corruption mark, and takes a reference to
+  /// the packet's frame.  (Media frames carry their own body CRC, so
+  /// header-only coverage loses no end-to-end integrity checking.)
+  static std::optional<DataTpdu> decode_packet(const net::Packet& pkt);
 };
 
 /// Window-profile cumulative acknowledgement.

@@ -77,6 +77,24 @@ void TransportEntity::send_tpdu(net::NodeId dst, net::Proto proto,
   network_.send(std::move(pkt));
 }
 
+void TransportEntity::send_dt(net::NodeId dst, const DataTpdu& dt) {
+  network_.send(make_dt_packet(dst, dt));
+}
+
+net::Packet TransportEntity::make_dt_packet(net::NodeId dst, const DataTpdu& dt) const {
+  net::Packet pkt;
+  pkt.src = node_;
+  pkt.dst = dst;
+  pkt.proto = net::Proto::kTransportData;
+  pkt.priority = net::Priority::kMedia;
+  dt.encode_onto(pkt);
+  return pkt;
+}
+
+void TransportEntity::send_dt_burst(std::vector<net::Packet>&& burst) {
+  network_.send(std::move(burst));
+}
+
 void TransportEntity::t_unitdata_request(net::Tsap src_tsap, const net::NetAddress& dst,
                                          std::vector<std::uint8_t> data) {
   DatagramTpdu dg;

@@ -163,6 +163,17 @@ class TransportEntity {
   /// the rounds they complete in.
   void send_tpdu(net::NodeId dst, net::Proto proto, std::vector<std::uint8_t> payload,
                  net::Priority priority = net::Priority::kControl);
+
+  /// Sends a data TPDU on the zero-copy path: the header is serialized
+  /// into the packet, the fragment rides as a refcounted frame view
+  /// (DataTpdu::encode_onto), media priority, shard-local delivery.
+  void send_dt(net::NodeId dst, const DataTpdu& dt);
+
+  /// Stages a data TPDU as a network packet without injecting it, for
+  /// burst pacing: the connection collects one packet per fragment and
+  /// hands the whole burst to send_dt_burst, costing one injection event.
+  net::Packet make_dt_packet(net::NodeId dst, const DataTpdu& dt) const;
+  void send_dt_burst(std::vector<net::Packet>&& burst);
   void on_qos_violation(Connection& conn, const QosReport& report) {
     reneg_.on_qos_violation(conn, report);
   }

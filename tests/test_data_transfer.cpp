@@ -83,7 +83,7 @@ TEST(DataTransfer, LargeOsduIsFragmentedAndReassembled) {
 TEST(DataTransfer, EmptyOsduIsLegal) {
   PairPlatform w;
   Wire wire(w, basic_request({w.a->id, 1}, {w.b->id, 2}, 10.0, 1024));
-  ASSERT_TRUE(wire.source->submit({}));
+  ASSERT_TRUE(wire.source->submit(std::vector<std::uint8_t>{}));
   ASSERT_TRUE(wire.source->submit(payload(5, 9)));
   w.platform.run_until(kSecond);
   const auto got = drain(*wire.sink);
@@ -309,6 +309,98 @@ TEST(WindowProfile, DeliversInOrderReliably) {
   // Go-back-N: everything submitted is eventually delivered, in order.
   EXPECT_EQ(wire.sink->stats().osdus_delivered, kCount);
   EXPECT_GT(wire.source->stats().tpdus_retransmitted, 0);
+}
+
+// Regression (retain-map eviction): in window mode the send window may be
+// granted far past retain_limit_.  Evicting *un-acked* TPDUs from the
+// retain map would make a single loss unrecoverable (go-back-N has no copy
+// left to resend) and stall the circuit forever.  The fix evicts only
+// acked entries and clamps the effective window to the retain bound.
+TEST(WindowProfile, WindowLargerThanRetainLimitStillRecovers) {
+  net::LinkConfig lossy = lan_link();
+  lossy.loss_rate = 0.12;
+  PairPlatform w(lossy, 23);
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 50.0, 1024);
+  req.service_class.profile = ProtocolProfile::kWindowBased;
+  req.buffer_osdus = 32;  // receiver grants ~32 TPDUs of window
+  Wire wire(w, req);
+  ASSERT_NE(wire.source, nullptr);
+  // Retention far below the granted window: pre-fix, every send past 4
+  // in-flight evicted an un-acked TPDU, so a loss among the evicted ones
+  // stalled the circuit forever.  Each 10-submit burst below goes out
+  // back-to-back (well past 4 in flight) before any AK returns.
+  wire.source->set_retain_limit(4);
+
+  constexpr int kCount = 60;
+  int submitted = 0;
+  for (int burst = 0; burst < 6; ++burst) {
+    for (int i = 0; i < 10; ++i) submitted += wire.source->submit(payload(300, 5));
+    w.platform.run_until(w.platform.scheduler().now() + kSecond);
+    (void)drain(*wire.sink);
+  }
+  w.platform.run_until(w.platform.scheduler().now() + 15 * kSecond);
+  (void)drain(*wire.sink);
+  EXPECT_EQ(submitted, kCount);
+  // Nothing may be stranded: every loss was recoverable from retention.
+  EXPECT_EQ(wire.sink->stats().osdus_delivered, kCount);
+}
+
+// Regression (fragment-length math): OSDU sizes on the MTU boundary must
+// produce exactly total/MTU fragments — an exact multiple must not emit a
+// trailing zero-length fragment, and the empty OSDU is exactly one.
+TEST(DataTransfer, FragmentCountsAtMtuBoundaries) {
+  constexpr std::size_t kMtu = 1400;  // transport MTU (kMaxTpduPayload)
+  PairPlatform w;
+  Wire wire(w, basic_request({w.a->id, 1}, {w.b->id, 2}, 100.0, 8 * 1024));
+  ASSERT_NE(wire.source, nullptr);
+
+  ASSERT_TRUE(wire.source->submit(std::vector<std::uint8_t>{}));  // 1 TPDU
+  ASSERT_TRUE(wire.source->submit(payload(kMtu, 1)));             // 1 TPDU
+  ASSERT_TRUE(wire.source->submit(payload(2 * kMtu, 2)));         // 2 TPDUs
+  ASSERT_TRUE(wire.source->submit(payload(2 * kMtu + 1, 3)));     // 3 TPDUs
+  w.platform.run_until(2 * kSecond);
+
+  EXPECT_EQ(wire.source->stats().tpdus_sent, 1 + 1 + 2 + 3);
+  const auto got = drain(*wire.sink);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].data.size(), 0u);
+  EXPECT_EQ(got[1].data.size(), kMtu);
+  EXPECT_EQ(got[2].data.size(), 2 * kMtu);
+  EXPECT_EQ(got[3].data.size(), 2 * kMtu + 1);
+  for (std::size_t i = 1; i < got.size(); ++i)
+    for (auto b : got[i].data) EXPECT_EQ(b, static_cast<std::uint8_t>(i));
+}
+
+// Regression (32-bit OSDU sequence wrap): the delivery cursor and the
+// skipped-count arithmetic live on an unwrapped 64-bit timeline.  A stream
+// crossing 2^32 must keep delivering in order, and a source-side drop
+// spanning the wrap must count exactly the dropped OSDUs — not the 4-billion
+// difference the raw 32-bit values suggest.
+TEST(DataTransfer, OsduSequenceWrapDeliversAndCountsSkipsExactly) {
+  PairPlatform w;
+  auto req = basic_request({w.a->id, 1}, {w.b->id, 2}, 50.0, 1024);
+  req.buffer_osdus = 16;
+  Wire wire(w, req);
+  ASSERT_NE(wire.source, nullptr);
+  // Start the source three OSDUs shy of the wrap; resync the sink so it
+  // anchors its timeline on whatever arrives (as after any seek).
+  wire.source->set_next_osdu_seq(0xfffffffdu);
+  wire.sink->flush();
+
+  // Seqs fffffffd..2: the pacer sends the first immediately, the rest
+  // queue in the ring.
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(wire.source->submit(payload(200, 4)));
+  // Drop the 3 newest undelivered (seqs 0, 1, 2) — the skip interval
+  // straddles the wrap point.
+  EXPECT_EQ(wire.source->drop_at_source(3), 3u);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(wire.source->submit(payload(200, 4)));
+  w.platform.run_until(3 * kSecond);
+
+  const auto got = drain(*wire.sink);
+  ASSERT_EQ(got.size(), 7u);  // 10 submitted, 3 dropped
+  const std::uint32_t expect_seq[] = {0xfffffffdu, 0xfffffffeu, 0xffffffffu, 3, 4, 5, 6};
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i].seq, expect_seq[i]);
+  EXPECT_EQ(wire.sink->stats().osdus_skipped, 3);
 }
 
 TEST(DataTransfer, StatsCountersConsistent) {

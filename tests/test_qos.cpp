@@ -180,7 +180,7 @@ TEST(Tpdu, DataRoundTripWithCrc) {
   dt.frag_count = 5;
   dt.src_timestamp = 123456789;
   dt.true_submit = 111;
-  dt.payload = {1, 2, 3, 4, 5};
+  dt.payload = PayloadView::adopt({1, 2, 3, 4, 5});
 
   const auto wire = dt.encode();
   const auto back = DataTpdu::decode(wire, false);
@@ -198,7 +198,7 @@ TEST(Tpdu, DataRoundTripWithCrc) {
 TEST(Tpdu, DataCrcDetectsCorruption) {
   DataTpdu dt;
   dt.vc = 1;
-  dt.payload = {9, 9, 9};
+  dt.payload = PayloadView::adopt({9, 9, 9});
   auto wire = dt.encode();
   wire[wire.size() / 2] ^= 0x01;
   EXPECT_FALSE(DataTpdu::decode(wire, false).has_value());
@@ -207,10 +207,56 @@ TEST(Tpdu, DataCrcDetectsCorruption) {
 TEST(Tpdu, SimulatedCorruptionFlagFailsDecode) {
   DataTpdu dt;
   dt.vc = 1;
-  dt.payload = {1};
+  dt.payload = PayloadView::adopt({1});
   const auto wire = dt.encode();
   EXPECT_TRUE(DataTpdu::decode(wire, false).has_value());
   EXPECT_FALSE(DataTpdu::decode(wire, true).has_value());
+}
+
+TEST(Tpdu, PacketSplitRoundTripIsZeroCopy) {
+  DataTpdu dt;
+  dt.vc = 7;
+  dt.tpdu_seq = 42;
+  dt.osdu_seq = 9;
+  dt.frag_index = 1;
+  dt.frag_count = 3;
+  dt.payload = PayloadView::adopt({10, 20, 30, 40});
+
+  net::Packet pkt;
+  dt.encode_onto(pkt);
+  // Split wire image charges the link exactly like the flat encoding.
+  EXPECT_EQ(pkt.payload.size() + pkt.frame.size(), dt.encode().size());
+
+  const auto back = DataTpdu::decode_packet(pkt);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->vc, 7u);
+  EXPECT_EQ(back->tpdu_seq, 42u);
+  EXPECT_EQ(back->osdu_seq, 9u);
+  EXPECT_EQ(back->frag_index, 1);
+  EXPECT_EQ(back->frag_count, 3);
+  EXPECT_EQ(back->payload, dt.payload);
+  // Zero copy: the decoded payload aliases the very bytes the source wrote.
+  EXPECT_EQ(back->payload.data(), dt.payload.data());
+}
+
+TEST(Tpdu, PacketSplitDecodeRejectsDamage) {
+  DataTpdu dt;
+  dt.vc = 7;
+  dt.payload = PayloadView::adopt({1, 2, 3});
+  net::Packet pkt;
+  dt.encode_onto(pkt);
+
+  net::Packet corrupted = pkt;
+  corrupted.corrupted = true;  // links mark instead of flipping bits
+  EXPECT_FALSE(DataTpdu::decode_packet(corrupted).has_value());
+
+  net::Packet header_damage = pkt;
+  header_damage.payload[3] ^= 0x01;
+  EXPECT_FALSE(DataTpdu::decode_packet(header_damage).has_value());
+
+  net::Packet length_mismatch = pkt;
+  length_mismatch.frame = dt.payload.subview(0, 2);
+  EXPECT_FALSE(DataTpdu::decode_packet(length_mismatch).has_value());
 }
 
 TEST(Tpdu, AckNakFeedbackRoundTrip) {
@@ -239,7 +285,7 @@ TEST(Tpdu, AckNakFeedbackRoundTrip) {
 TEST(Tpdu, PeekTypeAndVc) {
   DataTpdu dt;
   dt.vc = 0xabcd;
-  dt.payload = {1};
+  dt.payload = PayloadView::adopt({1});
   const auto wire = dt.encode();
   EXPECT_EQ(peek_type(wire), TpduType::kDT);
   EXPECT_EQ(peek_vc(wire), 0xabcdu);

@@ -11,7 +11,8 @@ namespace {
 Osdu osdu(std::uint32_t seq, std::size_t bytes = 10) {
   Osdu o;
   o.seq = seq;
-  o.data.assign(bytes, static_cast<std::uint8_t>(seq));
+  o.data = cmtos::PayloadView::adopt(
+      std::vector<std::uint8_t>(bytes, static_cast<std::uint8_t>(seq)));
   return o;
 }
 

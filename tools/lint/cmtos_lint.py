@@ -39,6 +39,16 @@ Rules
                        lambda body must re-validate liveness (null check, alive
                        oracle, map lookup) before dereferencing.  Prefer
                        capturing `this` + an id and resolving at fire time.
+  dataplane-payload-copy
+                       media payload bytes inside the data-plane layers
+                       (src/transport, src/media, src/net) must travel as
+                       pooled PayloadView slices (DESIGN.md "Two-world data
+                       plane").  Copy idioms on payload-ish receivers —
+                       payload.assign(...), payload = std::vector<...>(...),
+                       or a std::vector<uint8_t> copy-constructed from a
+                       view/frame/payload — reintroduce a per-fragment heap
+                       copy on the steady-state media path.  Control-plane
+                       copies carry an allow() tag.
   cross-node-state-access
                        node-scoped layers (src/transport, src/orch, src/media,
                        src/platform) may resolve only their *own* node in the
@@ -99,6 +109,19 @@ PTRISH_CAPTURE_RE = re.compile(
     r"(?:^|[,\s&=])(?:conn(?:ection)?|link|node|host|peer)(?:_?ptr)?\s*(?:$|[,=])")
 LIVENESS_HINT_RE = re.compile(
     r"nullptr|alive|down\s*\(|expired|find\s*\(|count\s*\(|contains\s*\(|node_up|is_up")
+
+# dataplane-payload-copy: byte-copy idioms on payload-ish receivers inside
+# the data-plane layers.  Three spellings: .assign() onto a payload/frag/
+# frame member, assigning a freshly built vector to one, and building a
+# std::vector<uint8_t> from a view/frame/payload source (iterator-pair or
+# pointer+size copy).
+DATAPLANE_DIR_RE = re.compile(r"(^|/)src/(transport|media|net)/")
+PAYLOAD_ASSIGN_RE = re.compile(
+    r"\b\w*(?:payload|frag|frame|osdu)\w*\s*(?:\.|->)\s*assign\s*\(")
+PAYLOAD_VEC_ASSIGN_RE = re.compile(
+    r"\b\w*(?:payload|frag|frame|osdu)\w*\s*=\s*std::vector<\s*(?:std::)?uint8_t\s*>\s*[({]")
+VIEW_VEC_COPY_RE = re.compile(
+    r"std::vector<\s*(?:std::)?uint8_t\s*>\s*[({][^)}]*\b(?:payload|view|frame|frag)")
 
 # cross-node-state-access: node-scoped layers resolve nodes in the network
 # registry only by their own id.  Self spellings are `node_`/`node`,
@@ -186,6 +209,7 @@ def check_file(path: Path) -> list[Finding]:
     in_src = rel.startswith("src/") or "/src/" in rel
     in_transport = rel.startswith("src/transport/") or "/src/transport/" in rel
     in_node_scoped = bool(NODE_SCOPED_DIR_RE.search(rel))
+    in_dataplane = bool(DATAPLANE_DIR_RE.search(rel))
     is_header = path.suffix in {".h", ".hpp"}
     is_codec = bool(CODEC_FILE_RE.search(rel))
 
@@ -225,6 +249,14 @@ def check_file(path: Path) -> list[Finding]:
                 Finding(path, idx + 1, "qos-set-agreed",
                         "QosMonitor::set_agreed() outside src/transport/; contract "
                         "changes must flow through renegotiation"))
+
+        if in_dataplane and "dataplane-payload-copy" not in allow:
+            if (PAYLOAD_ASSIGN_RE.search(line) or PAYLOAD_VEC_ASSIGN_RE.search(line)
+                    or VIEW_VEC_COPY_RE.search(line)):
+                findings.append(
+                    Finding(path, idx + 1, "dataplane-payload-copy",
+                            "byte copy onto a data-plane payload; share the pooled "
+                            "frame via PayloadView (subview/extend/adopt) instead"))
 
         if in_node_scoped and "cross-node-state-access" not in allow:
             nm = NODE_RESOLVE_RE.search(line)
@@ -331,6 +363,23 @@ NODE_PROBE_EXPECT = {
 }
 
 
+DATAPLANE_PROBE = """\
+void h() {
+  pkt.payload.assign(bytes.begin(), bytes.end());
+  pkt.payload = std::vector<std::uint8_t>(len, 0);
+  auto copy = std::vector<std::uint8_t>(view.begin(), view.end());
+  frag->assign(p, p + n);
+  pkt.payload.assign(hdr.begin(), hdr.end());  // cmtos-lint: allow(dataplane-payload-copy)
+}
+"""
+DATAPLANE_PROBE_EXPECT = {
+    (2, "dataplane-payload-copy"),  # .assign onto a payload member
+    (3, "dataplane-payload-copy"),  # fresh vector assigned to a payload
+    (4, "dataplane-payload-copy"),  # vector copy-constructed from a view
+    (5, "dataplane-payload-copy"),  # .assign onto a fragment; 6 allowed
+}
+
+
 def selftest() -> int:
     """Verifies every rule both fires on a seeded probe and honours allow()."""
     import tempfile
@@ -349,6 +398,13 @@ def selftest() -> int:
         node_probe = node_dir / "probe_node.cpp"
         node_probe.write_text(NODE_PROBE, encoding="utf-8")
         node_got = {(f.line_no, f.rule) for f in check_file(node_probe)}
+        # Third probe: dataplane-payload-copy applies inside the data-plane
+        # layers; src/net/ is one and carries no other dir-scoped rules.
+        dp_dir = probe_dir / "net"
+        dp_dir.mkdir()
+        dp_probe = dp_dir / "probe_link.cpp"
+        dp_probe.write_text(DATAPLANE_PROBE, encoding="utf-8")
+        dp_got = {(f.line_no, f.rule) for f in check_file(dp_probe)}
     ok = True
     if got != PROBE_EXPECT:
         print(f"cmtos-lint selftest FAILED:\n  missing: {PROBE_EXPECT - got}\n"
@@ -358,6 +414,11 @@ def selftest() -> int:
         print(f"cmtos-lint selftest (node probe) FAILED:\n"
               f"  missing: {NODE_PROBE_EXPECT - node_got}\n"
               f"  spurious: {node_got - NODE_PROBE_EXPECT}", file=sys.stderr)
+        ok = False
+    if dp_got != DATAPLANE_PROBE_EXPECT:
+        print(f"cmtos-lint selftest (dataplane probe) FAILED:\n"
+              f"  missing: {DATAPLANE_PROBE_EXPECT - dp_got}\n"
+              f"  spurious: {dp_got - DATAPLANE_PROBE_EXPECT}", file=sys.stderr)
         ok = False
     if not ok:
         return 1
