@@ -60,8 +60,10 @@ void BM_SharedRing(benchmark::State& state) {
   const auto osdu_bytes = static_cast<std::size_t>(state.range(0));
   constexpr int kBatch = 4096;
   ThreadedStreamBuffer ring(64);
+  cmtos::ThreadRoleGuard prod(ring.producer_role());
   for (auto _ : state) {
     std::thread consumer([&] {
+      cmtos::ThreadRoleGuard cons(ring.consumer_role());
       for (int i = 0; i < kBatch; ++i) {
         Osdu* o = ring.acquire();  // zero copy: read in place
         benchmark::DoNotOptimize(o->data.data());
@@ -103,6 +105,8 @@ BENCHMARK(BM_CopyInterface)->Arg(256)->Arg(4096)->Arg(65536);
 /// Cost of the semaphore-wait accounting itself: uncontended push/pop pairs.
 void BM_RingUncontendedHandoff(benchmark::State& state) {
   ThreadedStreamBuffer ring(4);
+  cmtos::ThreadRoleGuard prod(ring.producer_role());
+  cmtos::ThreadRoleGuard cons(ring.consumer_role());
   Osdu o = make_osdu(1024);
   for (auto _ : state) {
     ring.push(std::move(o));

@@ -15,6 +15,7 @@
 #include "media/content.h"
 #include "platform/device_user.h"
 #include "platform/host.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::media {
 
@@ -26,7 +27,7 @@ struct LiveConfig {
   bool vbr_enabled = false;
 };
 
-class LiveSource : public platform::DeviceUser {
+class CMTOS_SHARD_AFFINE LiveSource : public platform::DeviceUser {
  public:
   LiveSource(platform::Platform& platform, platform::Host& host, net::Tsap tsap,
              LiveConfig config);

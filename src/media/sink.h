@@ -18,6 +18,7 @@
 #include "media/content.h"
 #include "platform/device_user.h"
 #include "platform/host.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::media {
 
@@ -40,7 +41,7 @@ struct DeliveryRecord {
   bool intact = true;
 };
 
-class RenderingSink : public platform::DeviceUser, public orch::OrchAppHandler {
+class CMTOS_SHARD_AFFINE RenderingSink : public platform::DeviceUser, public orch::OrchAppHandler {
  public:
   RenderingSink(platform::Platform& platform, platform::Host& host, net::Tsap tsap,
                 RenderConfig config);

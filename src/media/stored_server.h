@@ -23,6 +23,7 @@
 #include "orch/llo.h"
 #include "platform/device_user.h"
 #include "platform/host.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::media {
 
@@ -45,7 +46,7 @@ struct TrackConfig {
   std::uint64_t event_value = 0;
 };
 
-class StoredMediaServer {
+class CMTOS_SHARD_AFFINE StoredMediaServer {
  public:
   StoredMediaServer(platform::Platform& platform, platform::Host& host, std::string name);
   ~StoredMediaServer();

@@ -19,6 +19,7 @@
 #include "net/packet.h"
 #include "sim/clock.h"
 #include "util/time.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::sim {
 class NodeRuntime;
@@ -28,7 +29,7 @@ namespace cmtos::net {
 
 class Network;
 
-class Node {
+class CMTOS_SHARD_AFFINE Node {
  public:
   using Handler = std::function<void(Packet&&)>;
 

@@ -73,7 +73,7 @@ std::string Registry::key_of(const std::string& name, const Labels& labels) {
 
 Registry::Entry& Registry::find_or_create(const std::string& name, const Labels& labels,
                                           Kind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto [it, inserted] = entries_.try_emplace(key_of(name, labels));
   Entry& e = it->second;
   if (inserted) {
@@ -105,17 +105,17 @@ Histogram& Registry::histogram(const std::string& name, const Labels& labels) {
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   return entries_.size();
 }
 
 void Registry::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   entries_.clear();
 }
 
 std::string Registry::to_json(const Labels& meta) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   std::string out = "{\n  \"meta\": {";
   bool first = true;
   for (const auto& [k, v] : meta) {

@@ -21,10 +21,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace cmtos::obs {
 
@@ -124,8 +125,8 @@ class Registry {
   static std::string key_of(const std::string& name, const Labels& labels);
   Entry& find_or_create(const std::string& name, const Labels& labels, Kind kind);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ CMTOS_GUARDED_BY(mu_);
 };
 
 }  // namespace cmtos::obs

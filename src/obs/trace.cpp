@@ -21,7 +21,7 @@ std::int64_t wall_now_ns() {
 Tracer::~Tracer() { stop(); }
 
 bool Tracer::start(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (file_ != nullptr) return false;
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
@@ -42,7 +42,7 @@ bool Tracer::start(const std::string& path) {
 
 void Tracer::stop() {
   set_log_sink(nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   enabled_.store(false, std::memory_order_relaxed);
   if (file_ == nullptr) return;
   auto* f = static_cast<std::FILE*>(file_);
@@ -53,7 +53,7 @@ void Tracer::stop() {
 
 void Tracer::set_sim_time(Time t) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   have_sim_time_ = true;
   sim_time_ = t;
 }
@@ -66,7 +66,7 @@ double Tracer::now_us() {
 void Tracer::emit(char ph, const char* name, int pid, int tid, std::uint64_t id,
                   bool has_id, const std::string& args_json, double value,
                   bool has_value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   if (file_ == nullptr) return;
   auto* f = static_cast<std::FILE*>(file_);
   if (events_ > 0) std::fputs(",\n", f);

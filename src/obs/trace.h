@@ -20,9 +20,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
+#include "util/sync.h"
 #include "util/time.h"
 
 namespace cmtos::obs {
@@ -77,16 +77,18 @@ class Tracer {
  private:
   void emit(char ph, const char* name, int pid, int tid, std::uint64_t id,
             bool has_id, const std::string& args_json, double value, bool has_value);
-  double now_us();
+  /// Reads the mu_-guarded trace clock; callable only with mu_ held (the
+  /// emit path).  Previously this contract lived in a comment alone.
+  double now_us() CMTOS_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
-  std::mutex mu_;
-  void* file_ = nullptr;  // FILE*, kept out of the header
+  Mutex mu_;
+  void* file_ CMTOS_GUARDED_BY(mu_) = nullptr;  // FILE*, kept out of the header
   std::atomic<std::int64_t> events_{0};  // written under mu_, read lock-free
-  bool have_sim_time_ = false;
-  Time sim_time_ = 0;
-  std::int64_t wall_start_ns_ = 0;
+  bool have_sim_time_ CMTOS_GUARDED_BY(mu_) = false;
+  Time sim_time_ CMTOS_GUARDED_BY(mu_) = 0;
+  std::int64_t wall_start_ns_ CMTOS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cmtos::obs

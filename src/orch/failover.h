@@ -34,6 +34,7 @@
 
 #include "orch/orchestrator.h"
 #include "sim/scheduler.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::orch {
 
@@ -46,7 +47,7 @@ struct FailoverConfig {
   Duration agent_dead_after = 2 * kSecond;
 };
 
-class FailoverSupervisor {
+class CMTOS_CONTROL_PLANE FailoverSupervisor {
  public:
   using NodeAliveFn = std::function<bool(net::NodeId)>;
 

@@ -42,10 +42,11 @@
 #include "orch/session_table.h"
 #include "transport/timer_set.h"
 #include "transport/transport_entity.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::orch {
 
-class Llo {
+class CMTOS_SHARD_AFFINE Llo {
  public:
   using ResultFn = OrchResultFn;
   /// `start` confirm additionally reports, per VC, the sink's next

@@ -20,12 +20,13 @@
 #include "orch/orch_types.h"
 #include "sim/node_runtime.h"
 #include "transport/service.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::orch {
 
 class Llo;
 
-class RegulationEngine {
+class CMTOS_SHARD_AFFINE RegulationEngine {
  public:
   explicit RegulationEngine(Llo& llo) : llo_(llo) {}
   RegulationEngine(const RegulationEngine&) = delete;

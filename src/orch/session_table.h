@@ -25,12 +25,13 @@
 #include "orch/orch_types.h"
 #include "sim/node_runtime.h"
 #include "transport/timer_set.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::orch {
 
 class Llo;
 
-class SessionTable {
+class CMTOS_SHARD_AFFINE SessionTable {
  public:
   SessionTable(Llo& llo, transport::TimerSet& timers) : llo_(llo), timers_(timers) {}
   SessionTable(const SessionTable&) = delete;

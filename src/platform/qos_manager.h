@@ -33,6 +33,7 @@
 #include "orch/hlo_agent.h"
 #include "platform/media_qos.h"
 #include "platform/stream.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::platform {
 
@@ -106,7 +107,7 @@ class LadderState {
   bool in_flight_ = false;
 };
 
-class QosManager {
+class CMTOS_CONTROL_PLANE QosManager {
  public:
   struct Config {
     LadderState::Config ladder;

@@ -149,7 +149,7 @@ void Executor::run_parallel_round(Time horizon) {
       // Empty critical section: a worker is either before its predicate
       // check (and will observe the new generation) or parked inside wait
       // (and will get the notify) — never between the two.
-      std::lock_guard<std::mutex> lk(mu_);
+      const MutexLock lk(mu_);
     }
     cv_start_.notify_all();
     work_round();  // the calling thread participates
@@ -158,8 +158,8 @@ void Executor::run_parallel_round(Time horizon) {
         std::this_thread::yield();
         continue;
       }
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_done_.wait(lk, [this] { return round_active_.load(std::memory_order_acquire) == 0; });
+      const MutexLock lk(mu_);
+      cv_done_.wait(mu_, [this] { return round_active_.load(std::memory_order_acquire) == 0; });
       break;
     }
   } else {
@@ -231,8 +231,8 @@ void Executor::start_workers(unsigned n) {
             std::this_thread::yield();
             continue;
           }
-          std::unique_lock<std::mutex> lk(mu_);
-          cv_start_.wait(lk, [&] {
+          const MutexLock lk(mu_);
+          cv_start_.wait(mu_, [&] {
             return shutdown_.load(std::memory_order_acquire) ||
                    round_gen_.load(std::memory_order_acquire) != seen;
           });
@@ -243,7 +243,7 @@ void Executor::start_workers(unsigned n) {
         work_round();
         if (round_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           {
-            std::lock_guard<std::mutex> lk(mu_);
+            const MutexLock lk(mu_);
           }
           cv_done_.notify_all();
         }
@@ -256,7 +256,7 @@ void Executor::stop_workers() {
   if (workers_.empty()) return;
   shutdown_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const MutexLock lk(mu_);
   }
   cv_start_.notify_all();
   for (auto& w : workers_) w.join();

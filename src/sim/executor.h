@@ -29,14 +29,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sim/node_runtime.h"
+#include "util/sync.h"
 #include "util/time.h"
 
 namespace cmtos::sim {
@@ -126,9 +125,9 @@ class Executor {
   // cv_done_.  The mutex only guards the park/notify edge; all round state
   // is published through the release increment of round_gen_.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_start_;
-  std::condition_variable cv_done_;
+  Mutex mu_;
+  CondVar cv_start_;
+  CondVar cv_done_;
   std::atomic<std::uint64_t> round_gen_{0};  // incremented to launch a round
   std::atomic<unsigned> round_active_{0};    // workers still inside the round
   std::atomic<bool> shutdown_{false};

@@ -34,6 +34,7 @@
 #include "transport/service.h"
 #include "transport/stream_buffer.h"
 #include "transport/tpdu.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::transport {
 
@@ -75,7 +76,7 @@ struct VcStats {
   std::int64_t osdus_shed = 0;            // stale OSDUs dropped by load shedding
 };
 
-class Connection {
+class CMTOS_SHARD_AFFINE Connection {
  public:
   Connection(TransportEntity& entity, VcId id, VcRole role, const ConnectRequest& request,
              const QosParams& agreed, net::ReservationId reservation);

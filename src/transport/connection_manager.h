@@ -26,12 +26,13 @@
 #include "transport/service.h"
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::transport {
 
 class TransportEntity;
 
-class ConnectionManager {
+class CMTOS_SHARD_AFFINE ConnectionManager {
  public:
   ConnectionManager(TransportEntity& entity, TimerSet& timers);
   ConnectionManager(const ConnectionManager&) = delete;

@@ -24,13 +24,14 @@
 #include "transport/service.h"
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::transport {
 
 class Connection;
 class TransportEntity;
 
-class RenegotiationEngine {
+class CMTOS_SHARD_AFFINE RenegotiationEngine {
  public:
   RenegotiationEngine(TransportEntity& entity, TimerSet& timers);
   RenegotiationEngine(const RenegotiationEngine&) = delete;

@@ -30,6 +30,7 @@
 #include "transport/osdu.h"
 #include "util/ring_buffer.h"
 #include "util/time.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::transport {
 
@@ -39,7 +40,7 @@ struct BlockStats {
   Duration consumer_blocked = 0;
 };
 
-class StreamBuffer {
+class CMTOS_SHARD_AFFINE StreamBuffer {
  public:
   explicit StreamBuffer(std::size_t capacity_osdus) : ring_(capacity_osdus) {}
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "transport/osdu.h"
+#include "util/sync.h"
 
 namespace cmtos::transport {
 
@@ -29,20 +30,33 @@ class ThreadedStreamBuffer {
 
   std::size_t capacity() const { return slots_.size(); }
 
+  /// The SPSC role capabilities.  Each side of the ring wraps its calls in
+  /// a cmtos::ThreadRoleGuard on the matching role; Clang's thread-safety
+  /// analysis then proves at compile time that producer-side state (tail_)
+  /// and consumer-side state (head_, the acquire/release pairing flag) are
+  /// never touched from the wrong side.  Zero runtime cost — the roles are
+  /// phantom capabilities (util/sync.h).
+  ThreadRole& producer_role() CMTOS_RETURN_CAPABILITY(producer_role_) {
+    return producer_role_;
+  }
+  ThreadRole& consumer_role() CMTOS_RETURN_CAPABILITY(consumer_role_) {
+    return consumer_role_;
+  }
+
   /// Blocks until a slot is free, then moves `osdu` in.  Wait time is
   /// accumulated into producer_blocked_ns.
-  void push(Osdu&& osdu);
+  void push(Osdu&& osdu) CMTOS_REQUIRES(producer_role_);
 
   /// Blocks until data is available and returns a pointer to the OSDU *in
   /// place* (zero copy).  The slot remains owned by the consumer until
   /// release() is called.  Wait time accumulates into consumer_blocked_ns.
-  Osdu* acquire();
+  Osdu* acquire() CMTOS_REQUIRES(consumer_role_);
 
   /// Releases the slot returned by the last acquire().
-  void release();
+  void release() CMTOS_REQUIRES(consumer_role_);
 
   /// Convenience: acquire + move out + release (one copy).
-  Osdu pop();
+  Osdu pop() CMTOS_REQUIRES(consumer_role_);
 
   std::int64_t producer_blocked_ns() const { return producer_blocked_ns_.load(); }
   std::int64_t consumer_blocked_ns() const { return consumer_blocked_ns_.load(); }
@@ -53,12 +67,18 @@ class ThreadedStreamBuffer {
   std::int64_t consumer_blocks() const { return consumer_blocks_.load(); }
 
  private:
+  ThreadRole producer_role_;
+  ThreadRole consumer_role_;
+
+  // slots_ itself is shared: slot handoff is mediated by the semaphores,
+  // which the role capabilities cannot express, so it stays unannotated.
   std::vector<Osdu> slots_;
   std::counting_semaphore<> free_slots_;
   std::counting_semaphore<> filled_slots_;
-  std::size_t head_ = 0;  // consumer index
-  std::size_t tail_ = 0;  // producer index
-  bool consumer_holds_slot_ = false;  // acquire/release pairing (consumer thread only)
+  std::size_t head_ CMTOS_GUARDED_BY(consumer_role_) = 0;  // consumer index
+  std::size_t tail_ CMTOS_GUARDED_BY(producer_role_) = 0;  // producer index
+  // acquire/release pairing flag (consumer thread only)
+  bool consumer_holds_slot_ CMTOS_GUARDED_BY(consumer_role_) = false;
   std::atomic<std::int64_t> producer_blocked_ns_{0};
   std::atomic<std::int64_t> consumer_blocked_ns_{0};
   std::atomic<std::int64_t> producer_blocks_{0};

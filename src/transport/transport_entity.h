@@ -36,6 +36,7 @@
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace cmtos::transport {
 
@@ -61,7 +62,7 @@ struct TransportConfig {
   Duration peer_dead_after = 0;
 };
 
-class TransportEntity {
+class CMTOS_SHARD_AFFINE TransportEntity {
  public:
   TransportEntity(net::Network& network, net::NodeId node);
 

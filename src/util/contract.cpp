@@ -3,10 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/sync.h"
 
 namespace cmtos::contract {
 
@@ -20,13 +20,13 @@ std::atomic<MetricHook> g_metric_hook{nullptr};
 // from a second thread: guard the std::function with a mutex and invoke a
 // copy outside the lock so a handler that itself trips a check cannot
 // deadlock.
-std::mutex g_handler_mu;
-Handler g_handler;  // NOLINT: guarded by g_handler_mu
+Mutex g_handler_mu;
+Handler g_handler CMTOS_GUARDED_BY(g_handler_mu);
 
 }  // namespace
 
 Handler set_violation_handler(Handler h) {
-  const std::lock_guard<std::mutex> lock(g_handler_mu);
+  const MutexLock lock(g_handler_mu);
   std::swap(g_handler, h);
   return h;
 }
@@ -41,7 +41,7 @@ void report_violation(const char* check, const char* expr, const char* file, int
 
   Handler handler;
   {
-    const std::lock_guard<std::mutex> lock(g_handler_mu);
+    const MutexLock lock(g_handler_mu);
     handler = g_handler;
   }
   if (handler) {

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 
 #include "util/contract.h"
+#include "util/sync.h"
 
 namespace cmtos {
 
@@ -29,8 +29,8 @@ int class_for(std::size_t n) {
 }  // namespace
 
 struct FramePool::Depot {
-  std::mutex mu;
-  std::vector<FrameBuf*> free[kNumClasses];
+  Mutex mu;
+  std::vector<FrameBuf*> free[kNumClasses] CMTOS_GUARDED_BY(mu);
 };
 
 struct FramePool::Magazine {
@@ -39,9 +39,10 @@ struct FramePool::Magazine {
 
   void flush() {
     if (owner == nullptr) return;
-    std::lock_guard<std::mutex> lock(owner->depot_->mu);
+    Depot& depot = *owner->depot_;
+    const MutexLock lock(depot.mu);
     for (int c = 0; c < kNumClasses; ++c) {
-      auto& dst = owner->depot_->free[c];
+      auto& dst = depot.free[c];
       dst.insert(dst.end(), free[c].begin(), free[c].end());
       free[c].clear();
     }
@@ -116,10 +117,16 @@ FramePool::FramePool() : depot_(new Depot) {}
 FramePool::~FramePool() {
   // Only non-global pools are ever destroyed (global() leaks by design);
   // their frames all sit in the depot because magazines serve the global
-  // instance alone.
+  // instance alone.  The depot lock is still taken for the sweep: a
+  // release() racing destruction is already UB, but holding mu keeps the
+  // declared guarded_by discipline intact on every depot access.
   if (depot_ == nullptr) return;
-  for (auto& cls : depot_->free) {
-    for (FrameBuf* f : cls) delete f;
+  {
+    const MutexLock lock(depot_->mu);
+    for (auto& cls : depot_->free) {
+      for (FrameBuf* f : cls) delete f;
+      cls.clear();
+    }
   }
   delete depot_;
 }
@@ -161,7 +168,7 @@ FrameLease FramePool::lease(std::size_t min_bytes) {
       shelf.pop_back();
     } else {
       // Refill half a magazine from the depot in one lock hold.
-      std::lock_guard<std::mutex> lock(depot_->mu);
+      const MutexLock lock(depot_->mu);
       auto& src = depot_->free[static_cast<std::size_t>(c)];
       const std::size_t take = std::min(src.size(), kMagazineCap / 2);
       if (take > 0) {
@@ -172,7 +179,7 @@ FrameLease FramePool::lease(std::size_t min_bytes) {
       }
     }
   } else {
-    std::lock_guard<std::mutex> lock(depot_->mu);
+    const MutexLock lock(depot_->mu);
     auto& src = depot_->free[static_cast<std::size_t>(c)];
     if (!src.empty()) {
       f = src.back();
@@ -201,14 +208,14 @@ void FramePool::release(FrameBuf* f) {
     shelf.push_back(f);
     if (shelf.size() > kMagazineCap) {
       // Flush the older half to the depot in one lock hold.
-      std::lock_guard<std::mutex> lock(depot_->mu);
+      const MutexLock lock(depot_->mu);
       auto& dst = depot_->free[c];
       dst.insert(dst.end(), shelf.begin(),
                  shelf.begin() + static_cast<std::ptrdiff_t>(kMagazineCap / 2));
       shelf.erase(shelf.begin(), shelf.begin() + static_cast<std::ptrdiff_t>(kMagazineCap / 2));
     }
   } else {
-    std::lock_guard<std::mutex> lock(depot_->mu);
+    const MutexLock lock(depot_->mu);
     depot_->free[c].push_back(f);
   }
 }

@@ -3,7 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <memory>
-#include <mutex>
+
+#include "util/sync.h"
 
 namespace cmtos {
 namespace {
@@ -14,8 +15,8 @@ namespace {
 // the lock, so set_log_sink(nullptr) from one thread cannot destroy a
 // std::function another thread is executing.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_sink_mu;
-std::shared_ptr<const LogSink> g_sink;  // guarded by g_sink_mu
+Mutex g_sink_mu;
+std::shared_ptr<const LogSink> g_sink CMTOS_GUARDED_BY(g_sink_mu);
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -36,7 +37,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_sink(LogSink sink) {
   auto next = sink ? std::make_shared<const LogSink>(std::move(sink)) : nullptr;
-  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  const MutexLock lock(g_sink_mu);
   g_sink = std::move(next);
 }
 
@@ -52,7 +53,7 @@ void log(LogLevel level, const char* tag, const char* fmt, ...) {
 
   std::shared_ptr<const LogSink> sink;
   {
-    const std::lock_guard<std::mutex> lock(g_sink_mu);
+    const MutexLock lock(g_sink_mu);
     sink = g_sink;
   }
   if (sink && *sink) (*sink)(level, tag, msg);

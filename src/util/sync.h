@@ -1,0 +1,98 @@
+// cmtos/util/sync.h
+//
+// Annotated synchronisation primitives for Clang's -Wthread-safety
+// analysis (DESIGN.md §12).
+//
+// libstdc++'s std::mutex carries no capability attributes, so guarding a
+// member with a bare std::mutex gives the analysis nothing to check.
+// cmtos::Mutex is a zero-cost wrapper that adds the capability contract;
+// cmtos::MutexLock is the matching scoped guard; cmtos::CondVar wraps
+// std::condition_variable_any so waits can take the Mutex directly (it is
+// a BasicLockable).  cmtos::ThreadRole is a *phantom* capability — no
+// runtime state at all — used to express single-threaded role discipline
+// (e.g. the SPSC producer/consumer split in ThreadedStreamBuffer) to the
+// same analysis.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace cmtos {
+
+/// Annotated mutex.  Same layout and cost as std::mutex.
+class CMTOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CMTOS_ACQUIRE() { mu_.lock(); }                // cmtos-lint: allow(naked-mutex)
+  void unlock() CMTOS_RELEASE() { mu_.unlock(); }            // cmtos-lint: allow(naked-mutex)
+  bool try_lock() CMTOS_TRY_ACQUIRE(true) { return mu_.try_lock(); }  // cmtos-lint: allow(naked-mutex)
+
+  /// For the rare interop case (e.g. std::unique_lock in generic code).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard over cmtos::Mutex, visible to the analysis.
+class CMTOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  // The guard body is where the direct calls belong.  cmtos-lint: allow(naked-mutex)
+  explicit MutexLock(Mutex& mu) CMTOS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CMTOS_RELEASE() { mu_.unlock(); }  // cmtos-lint: allow(naked-mutex)
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable that waits directly on cmtos::Mutex.
+/// condition_variable_any accepts any BasicLockable, so no unique_lock
+/// shim is needed and the capability stays visible to the analysis.
+class CondVar {
+ public:
+  void wait(Mutex& mu) CMTOS_REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) CMTOS_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// Phantom capability expressing "this code runs on thread role X".
+/// Carries no state and takes no locks: ThreadRoleGuard exists purely so
+/// the thread-safety analysis can prove, at compile time, that e.g. only
+/// the producer thread touches producer-side ring indices.
+class CMTOS_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Scoped assumption of a ThreadRole.  Zero-cost: both functions are
+/// empty; the attributes are the whole point.
+class CMTOS_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) CMTOS_ACQUIRE(role) { (void)role; }
+  ~ThreadRoleGuard() CMTOS_RELEASE() {}
+
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+};
+
+}  // namespace cmtos

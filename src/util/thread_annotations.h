@@ -1,0 +1,94 @@
+// cmtos/util/thread_annotations.h
+//
+// Compiler-enforced concurrency annotations (DESIGN.md §12).
+//
+// Two families live here:
+//
+//  1. Thread-safety attributes — CMTOS_GUARDED_BY / CMTOS_REQUIRES /
+//     CMTOS_ACQUIRE / ... — thin wrappers over Clang's -Wthread-safety
+//     capability analysis.  Under Clang they expand to the attributes the
+//     analysis consumes (and the WERROR build turns findings into hard
+//     errors); under GCC they expand to nothing, so local builds are
+//     unaffected.  The lockable types that carry the capability side of
+//     the contract (cmtos::Mutex, cmtos::MutexLock, cmtos::ThreadRole)
+//     live in util/sync.h.
+//
+//  2. Shard-affinity annotations — CMTOS_SHARD_AFFINE /
+//     CMTOS_CONTROL_PLANE — [[clang::annotate]] markers consumed by
+//     tools/analyze/cmtos_analyze.py (and visible to any AST tool).  A
+//     class marked CMTOS_SHARD_AFFINE is owned by one node's
+//     sim::NodeRuntime: all access must happen from that node's events,
+//     and cross-node interaction goes through net::Network delivery
+//     (DESIGN.md §10).  A function or class marked CMTOS_CONTROL_PLANE is
+//     a sanctioned control-shard escape: it runs only inside global
+//     (serial-round) events and may therefore reach across shards.
+//     Under GCC both expand to nothing.
+
+#pragma once
+
+// -- Clang thread-safety attribute plumbing ---------------------------------
+
+#if defined(__clang__)
+#define CMTOS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define CMTOS_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+/// Marks a type as a capability ("mutex", "role", ...).
+#define CMTOS_CAPABILITY(x) CMTOS_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define CMTOS_SCOPED_CAPABILITY CMTOS_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define CMTOS_GUARDED_BY(x) CMTOS_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define CMTOS_PT_GUARDED_BY(x) CMTOS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and exit).
+#define CMTOS_REQUIRES(...) \
+  CMTOS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability (held on exit, not on entry).
+#define CMTOS_ACQUIRE(...) \
+  CMTOS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, not on exit).
+#define CMTOS_RELEASE(...) \
+  CMTOS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `b`.
+#define CMTOS_TRY_ACQUIRE(...) \
+  CMTOS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held
+/// (deadlock prevention for self-locking entry points).
+#define CMTOS_EXCLUDES(...) CMTOS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Asserts (to the analysis, no runtime effect) that the capability is held.
+#define CMTOS_ASSERT_CAPABILITY(x) CMTOS_THREAD_ANNOTATION__(assert_capability(x))
+
+/// Accessor returning a reference to the named capability.
+#define CMTOS_RETURN_CAPABILITY(x) CMTOS_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Ordering hint: this capability is acquired before the listed ones.
+#define CMTOS_ACQUIRED_BEFORE(...) \
+  CMTOS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+/// Escape hatch for functions the analysis cannot model.  Every use needs a
+/// comment explaining why the discipline holds anyway.
+#define CMTOS_NO_THREAD_SAFETY_ANALYSIS \
+  CMTOS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// -- Shard-affinity annotations (consumed by tools/analyze) -----------------
+
+#if defined(__clang__)
+/// State owned by one node's NodeRuntime; cross-shard access is a bug.
+#define CMTOS_SHARD_AFFINE [[clang::annotate("cmtos::shard_affine")]]
+/// Sanctioned control-shard escape: runs only in global (serial) events.
+#define CMTOS_CONTROL_PLANE [[clang::annotate("cmtos::control_plane")]]
+#else
+#define CMTOS_SHARD_AFFINE
+#define CMTOS_CONTROL_PLANE
+#endif

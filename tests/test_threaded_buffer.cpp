@@ -21,6 +21,9 @@ Osdu make(std::uint32_t seq, std::size_t bytes = 64) {
 
 TEST(ThreadedBuffer, SingleThreadedFifo) {
   ThreadedStreamBuffer b(4);
+  // One thread playing both SPSC roles: hold both role capabilities.
+  ThreadRoleGuard prod(b.producer_role());
+  ThreadRoleGuard cons(b.consumer_role());
   b.push(make(1));
   b.push(make(2));
   EXPECT_EQ(b.pop().seq, 1u);
@@ -29,6 +32,8 @@ TEST(ThreadedBuffer, SingleThreadedFifo) {
 
 TEST(ThreadedBuffer, AcquireReleaseZeroCopy) {
   ThreadedStreamBuffer b(2);
+  ThreadRoleGuard prod(b.producer_role());
+  ThreadRoleGuard cons(b.consumer_role());
   b.push(make(9, 128));
   Osdu* p = b.acquire();
   ASSERT_NE(p, nullptr);
@@ -44,9 +49,11 @@ TEST(ThreadedBuffer, TwoThreadsTransferEverythingInOrder) {
   received.reserve(kCount);
 
   std::thread consumer([&] {
+    ThreadRoleGuard cons(b.consumer_role());
     for (int i = 0; i < kCount; ++i) received.push_back(b.pop().seq);
   });
   std::thread producer([&] {
+    ThreadRoleGuard prod(b.producer_role());
     for (int i = 0; i < kCount; ++i) b.push(make(static_cast<std::uint32_t>(i), 16));
   });
   producer.join();
@@ -65,12 +72,18 @@ TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowConsumer) {
   // counter and monotone accumulation, never on wall-clock thresholds,
   // which made the previous version flaky on loaded CI machines.
   ThreadedStreamBuffer b(2);
+  // The main thread seeds the ring (producer role) and drains it (consumer
+  // role); the spawned thread takes over the producer role for the one
+  // contended push per episode, after the handshake.
+  ThreadRoleGuard prod(b.producer_role());
+  ThreadRoleGuard cons(b.consumer_role());
   std::int64_t prev_ns = 0;
   for (int episode = 1; episode <= 3; ++episode) {
     b.push(make(0));
     b.push(make(1));  // ring now full, both pushes uncontended
     std::atomic<bool> pushing{false};
     std::thread producer([&] {
+      ThreadRoleGuard thread_prod(b.producer_role());
       pushing.store(true);
       b.push(make(2));  // full ring: must wait for the pop below
     });
@@ -91,10 +104,12 @@ TEST(ThreadedBuffer, BlockingTimeAccumulatesForSlowProducer) {
   // Mirror image: each episode the consumer waits on the empty ring until
   // the delayed push arrives.  Same deterministic handshake-gated pattern.
   ThreadedStreamBuffer b(2);
+  ThreadRoleGuard prod(b.producer_role());
   std::int64_t prev_ns = 0;
   for (int episode = 1; episode <= 3; ++episode) {
     std::atomic<bool> popping{false};
     std::thread consumer([&] {
+      ThreadRoleGuard cons(b.consumer_role());
       popping.store(true);
       EXPECT_EQ(b.pop().seq, static_cast<std::uint32_t>(episode));  // empty ring: must wait
     });
@@ -116,8 +131,10 @@ TEST(ThreadedBuffer, ConsumerContendedWaitIsCounted) {
   // the contended-wait *counter* (not a wall-clock threshold), which stays
   // robust on loaded CI machines.
   ThreadedStreamBuffer b(2);
+  ThreadRoleGuard prod(b.producer_role());
   std::atomic<bool> popping{false};
   std::thread consumer([&] {
+    ThreadRoleGuard cons(b.consumer_role());
     popping.store(true);
     EXPECT_EQ(b.pop().seq, 7u);
   });
@@ -132,9 +149,14 @@ TEST(ThreadedBuffer, ConsumerContendedWaitIsCounted) {
 
 TEST(ThreadedBuffer, ProducerContendedWaitIsCounted) {
   ThreadedStreamBuffer b(1);
-  b.push(make(0));  // fills the ring uncontended
+  ThreadRoleGuard cons(b.consumer_role());
+  {
+    ThreadRoleGuard seed_prod(b.producer_role());
+    b.push(make(0));  // fills the ring uncontended
+  }
   std::atomic<bool> pushing{false};
   std::thread producer([&] {
+    ThreadRoleGuard prod(b.producer_role());
     pushing.store(true);
     b.push(make(1));  // ring full: must wait for the pop
   });
@@ -150,9 +172,11 @@ TEST(ThreadedBuffer, ProducerContendedWaitIsCounted) {
 TEST(ThreadedBuffer, CapacityOneDegenerate) {
   ThreadedStreamBuffer b(1);
   std::thread consumer([&] {
+    ThreadRoleGuard cons(b.consumer_role());
     for (int i = 0; i < 1000; ++i) EXPECT_EQ(b.pop().seq, static_cast<std::uint32_t>(i));
   });
   std::thread producer([&] {
+    ThreadRoleGuard prod(b.producer_role());
     for (int i = 0; i < 1000; ++i) b.push(make(static_cast<std::uint32_t>(i), 8));
   });
   producer.join();

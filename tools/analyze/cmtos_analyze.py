@@ -1,0 +1,1029 @@
+#!/usr/bin/env python3
+"""cmtos-analyze: AST-aware ownership/affinity analysis for the cmtos codebase.
+
+The successor to the weakest regex rules in tools/lint/cmtos_lint.py: where
+the lint works line-by-line with token patterns, this analyzer builds real
+facts about the code — lambda capture lists, variable and member types,
+class/function spans, [[clang::annotate]] markers — and runs scope- and
+type-aware checks against them.  Run from the repo root:
+
+    python3 tools/analyze/cmtos_analyze.py                # analyze src/
+    python3 tools/analyze/cmtos_analyze.py src/transport  # restrict to a subtree
+    python3 tools/analyze/cmtos_analyze.py --selftest     # probe every check
+    python3 tools/analyze/cmtos_analyze.py --engine libclang
+
+Exit status is non-zero when any finding is reported, so CI can gate on it.
+
+Engines
+-------
+Two fact providers feed one shared set of checks:
+
+  structural   A self-contained C++ scanner: comments and string literals are
+               blanked (offsets preserved), brace/paren depth is tracked per
+               character, and from that view the analyzer extracts lambda
+               capture lists (including multi-line lists and init-captures),
+               local/parameter/member types for the handful of types the
+               checks care about, annotation macro spans, and class member
+               declarations.  No dependencies; always available.
+
+  libclang     The same facts lifted from a real Clang AST via clang.cindex,
+               driven off compile_commands.json (CMakeLists.txt exports it;
+               see --compdb).  Types come from the semantic analyzer instead
+               of declaration scanning, so aliased or inferred types resolve
+               too.  Used when python3-clang + libclang are installed (CI
+               installs them; see .github/workflows/ci.yml `analyze`).
+               Files whose TU fails to parse fall back to structural facts.
+
+  --engine auto (default) picks libclang when importable, else structural.
+
+Checks
+------
+  callback-liveness     A scheduler/timer callback (.after/.at/.after_global/
+                        .at_global/defer_global/arm_local/arm_global) whose
+                        lambda captures a raw conn/node/link/host/peer pointer
+                        — by name, or by *type* when the pointer declaration
+                        is visible — may fire after fault injection has torn
+                        the object down.  The body must re-validate liveness
+                        (null check, alive oracle, map lookup) before
+                        dereferencing; prefer capturing `this` + an id and
+                        resolving at fire time.  Unlike the retired lint rule,
+                        capture lists spanning multiple lines and init-
+                        captures are analyzed.
+  dataplane-payload-copy
+                        Media payload bytes inside src/{transport,media,net}
+                        must travel as pooled PayloadView slices (DESIGN.md
+                        "Two-world data plane").  Flagged by *type*: any
+                        .to_vector() materialisation, and any std::vector<
+                        uint8_t> constructed or .assign()ed from an expression
+                        the analyzer knows is PayloadView-typed (a declared
+                        view variable, or the .data/.frame member of a known
+                        Osdu/Packet) — whatever the receiver is called.
+  shard-affinity        State marked CMTOS_SHARD_AFFINE is owned by one
+                        node's sim::NodeRuntime (DESIGN.md §10).  Node-scoped
+                        layers (src/{transport,orch,media,platform}) may
+                        resolve only their own node in the network registry
+                        and may not reach a foreign host's entity/LLO —
+                        except inside a span annotated CMTOS_CONTROL_PLANE,
+                        the sanctioned control-shard escapes, which run only
+                        in global (serial-round) events.  A CMTOS_SHARD_AFFINE
+                        class must not declare static mutable state (shared
+                        across shards by construction).
+  frame-lifecycle       A FrameLease is consumed by std::move(lease).freeze():
+                        any use of the lease after the freeze (before a
+                        reassignment) is a use-after-move on the frame.  And
+                        only data-plane types may *store* payload handles: a
+                        PayloadView/FrameLease member outside the data-plane
+                        dirs — or in any CMTOS_CONTROL_PLANE class — pins
+                        pooled frames from control-plane lifetimes.
+
+Suppressing
+-----------
+A finding is suppressed when the offending line (or the line above it)
+carries
+
+    // cmtos-analyze: allow(<check>)
+
+with the check name from the list above.  The namespace is deliberately
+distinct from `cmtos-lint: allow(...)`; tools/lint/cmtos_lint.py reports
+stale tags in either namespace it owns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_SCAN = ["src"]
+DEFAULT_COMPDB = REPO_ROOT / "build" / "compile_commands.json"
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+CHECKS = (
+    "callback-liveness",
+    "dataplane-payload-copy",
+    "shard-affinity",
+    "frame-lifecycle",
+)
+
+ALLOW_RE = re.compile(r"//.*cmtos-analyze:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+DATAPLANE_DIR_RE = re.compile(r"(^|/)src/(transport|media|net)/")
+NODE_SCOPED_DIR_RE = re.compile(r"(^|/)src/(transport|orch|media|platform)/")
+# frame_pool.h defines PayloadView/FrameLease themselves; sync/annotation
+# headers are infrastructure.
+FRAME_TYPES_HOME_RE = re.compile(r"(^|/)src/util/frame_pool\.(h|cpp)$")
+
+# ---------------------------------------------------------------------------
+# Source model: comment/string-blanked code view with per-char brace depth.
+# ---------------------------------------------------------------------------
+
+
+def code_view(text: str) -> str:
+    """Returns text of identical length with comments and string/char
+    literal *contents* replaced by spaces (newlines preserved), so regexes
+    and brace matching see only real code at true offsets."""
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(j: int) -> None:
+        if out[j] != "\n":
+            out[j] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                blank(i)
+                i += 1
+        elif c == "/" and nxt == "*":
+            blank(i)
+            blank(i + 1)
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                blank(i)
+                i += 1
+            if i < n:
+                blank(i)
+                blank(i + 1)
+                i += 2
+        elif c == '"' and i >= 1 and text[i - 1] == "R":
+            # Raw string: R"delim( ... )delim"
+            j = text.find("(", i)
+            if j < 0:
+                i += 1
+                continue
+            delim = text[i + 1 : j]
+            close = text.find(")" + delim + '"', j)
+            end = n if close < 0 else close + len(delim) + 2
+            for k in range(i, min(end, n)):
+                blank(k)
+            i = end
+        elif c == '"':
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\":
+                    blank(i)
+                    i += 1
+                if i < n:
+                    blank(i)
+                    i += 1
+            i += 1
+        elif c == "'":
+            # Distinguish char literals from digit separators (1'000'000).
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum() and nxt.isdigit():
+                i += 1  # digit separator
+                continue
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\":
+                    blank(i)
+                    i += 1
+                if i < n:
+                    blank(i)
+                    i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    """A parsed source file: raw text, blanked code view, offset/line maps,
+    per-char brace depth, and the cmtos-analyze allow() tags."""
+
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.text = path.read_text(encoding="utf-8", errors="replace")
+        self.code = code_view(self.text)
+        self.lines = self.text.splitlines()
+        # line_start[k] = offset of 1-based line k+1
+        self.line_start = [0]
+        for m in re.finditer("\n", self.text):
+            self.line_start.append(m.end())
+        # brace depth BEFORE each character of the code view
+        self.depth = [0] * (len(self.code) + 1)
+        d = 0
+        for i, ch in enumerate(self.code):
+            self.depth[i] = d
+            if ch == "{":
+                d += 1
+            elif ch == "}":
+                d = max(0, d - 1)
+        self.depth[len(self.code)] = d
+        # allow tags: line (1-based) -> set of check names the tag names
+        self.allow_at: dict[int, set[str]] = {}
+        for idx, raw in enumerate(self.lines):
+            m = ALLOW_RE.search(raw)
+            if m:
+                self.allow_at[idx + 1] = {r.strip() for r in m.group(1).split(",")}
+
+    def line_of(self, offset: int) -> int:
+        """1-based line containing offset."""
+        lo, hi = 0, len(self.line_start) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.line_start[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    def allowed(self, line: int) -> set[str]:
+        """Checks suppressed on 1-based `line`: same-line or preceding-line
+        tag (mirrors cmtos-lint's suppression window)."""
+        return self.allow_at.get(line, set()) | self.allow_at.get(line - 1, set())
+
+    def match_brace(self, open_off: int) -> int:
+        """Offset of the '}' closing the '{' at open_off (or end of file)."""
+        d = 0
+        for i in range(open_off, len(self.code)):
+            if self.code[i] == "{":
+                d += 1
+            elif self.code[i] == "}":
+                d -= 1
+                if d == 0:
+                    return i
+        return len(self.code) - 1
+
+    def next_block(self, start: int) -> tuple[int, int] | None:
+        """(open, close) offsets of the next top-level {...} after `start`,
+        tracking paren depth so argument lists don't confuse it.  Returns
+        None if a ';' at paren depth 0 arrives first (declaration only)."""
+        pd = 0
+        for i in range(start, len(self.code)):
+            ch = self.code[i]
+            if ch == "(":
+                pd += 1
+            elif ch == ")":
+                pd = max(0, pd - 1)
+            elif ch == "{" and pd == 0:
+                return i, self.match_brace(i)
+            elif ch == ";" and pd == 0:
+                return None
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Facts: what the checks consume.  Either engine produces one per file.
+# ---------------------------------------------------------------------------
+
+
+class Capture:
+    def __init__(self, text: str):
+        self.text = text.strip()
+        self.by_ref = self.text.startswith("&")
+        body = self.text.lstrip("&").strip()
+        # init-capture `name = expr` / plain capture `name`
+        if "=" in body:
+            name, _, init = body.partition("=")
+            self.name = name.strip()
+            self.init = init.strip()
+        else:
+            self.name = body
+            self.init = ""
+
+
+class Callback:
+    """A lambda handed to a scheduler/timer call."""
+
+    def __init__(self, line: int, method: str, captures: list[Capture], body: str):
+        self.line = line
+        self.method = method
+        self.captures = captures
+        self.body = body
+
+
+class ClassInfo:
+    def __init__(self, name: str, line: int, open_off: int, close_off: int,
+                 annotation: str | None):
+        self.name = name
+        self.line = line
+        self.open_off = open_off
+        self.close_off = close_off
+        self.annotation = annotation  # "shard_affine" | "control_plane" | None
+        self.member_lines: list[tuple[int, str]] = []  # (1-based line, decl text)
+
+
+class Facts:
+    def __init__(self) -> None:
+        self.callbacks: list[Callback] = []
+        self.view_vars: set[str] = set()       # names typed PayloadView
+        self.lease_vars: set[str] = set()      # names typed FrameLease
+        self.osdu_vars: set[str] = set()       # names typed Osdu (has .data view)
+        self.packet_vars: set[str] = set()     # names typed Packet (has .frame view)
+        self.raw_ptr_vars: set[str] = set()    # names declared as entity-ish T*
+        self.control_plane_spans: list[tuple[int, int]] = []  # 1-based line spans
+        self.classes: list[ClassInfo] = []
+        self.freeze_sites: list[tuple[int, str, int]] = []  # (line, var, block end off)
+        self.engine = "structural"
+
+    def in_control_plane(self, line: int) -> bool:
+        return any(a <= line <= b for a, b in self.control_plane_spans)
+
+
+# -- structural engine ------------------------------------------------------
+
+SCHED_CALL_RE = re.compile(
+    r"(?:(?:\.|->)\s*(after_global|at_global|after|at|arm_local|arm_global)"
+    r"|\b(defer_global))\s*\(")
+PTR_NAME_RE = re.compile(r"^(?:conn(?:ection)?|link|node|host|peer)(?:_?ptr)?_?$")
+LIVENESS_HINT_RE = re.compile(
+    r"nullptr|alive|down\s*\(|expired|find\s*\(|count\s*\(|contains\s*\(|node_up|is_up")
+RAW_PTR_DECL_RE = re.compile(
+    r"\b(?:\w+::)*(?:Connection|Node|Link|Host|Llo)\s*\*\s*(\w+)\s*[=;,)]")
+VIEW_DECL_RE = re.compile(r"\bPayloadView\s*(?:&&?|\*)?\s+(\w+)\b")
+LEASE_DECL_RE = re.compile(r"\bFrameLease\s*(?:&&?|\*)?\s+(\w+)\b")
+OSDU_DECL_RE = re.compile(r"\bOsdu\s*(?:&&?|\*)?\s+(\w+)\b")
+PACKET_DECL_RE = re.compile(r"\bPacket\s*(?:&&?|\*)?\s+(\w+)\b")
+CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(CMTOS_SHARD_AFFINE|CMTOS_CONTROL_PLANE)?\s*(\w+)")
+ANNOT_FN_RE = re.compile(r"\bCMTOS_CONTROL_PLANE\b")
+FREEZE_RE = re.compile(r"std::move\s*\(\s*(\w+)\s*\)\s*\.\s*freeze\s*\(")
+
+
+def split_top_level(s: str, sep: str = ",") -> list[str]:
+    out, depth, cur = [], 0, []
+    for ch in s:
+        if ch in "([{<":
+            depth += 1
+        elif ch in ")]}>":
+            depth = max(0, depth - 1)
+        if ch == sep and depth == 0:
+            out.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    out.append("".join(cur))
+    return [x for x in (e.strip() for e in out) if x]
+
+
+def find_lambda(sf: SourceFile, call_open: int) -> tuple[int, int, int, int] | None:
+    """Given the offset of the '(' opening a scheduler call's argument list,
+    returns (capture_open, capture_close, body_open, body_close) offsets of
+    the first lambda among the arguments, or None."""
+    code = sf.code
+    pd = 0
+    i = call_open
+    while i < len(code):
+        ch = code[i]
+        if ch == "(":
+            pd += 1
+        elif ch == ")":
+            pd -= 1
+            if pd == 0:
+                return None  # call closed without a lambda
+        elif ch == "[" and pd >= 1:
+            prev = code[:i].rstrip()
+            # A lambda-introducer follows '(' or ',' (or assignment in an
+            # argument default) — an index expression follows an identifier.
+            if prev and prev[-1] in "(,=":
+                d = 0
+                j = i
+                while j < len(code):
+                    if code[j] == "[":
+                        d += 1
+                    elif code[j] == "]":
+                        d -= 1
+                        if d == 0:
+                            break
+                    j += 1
+                blk = sf.next_block(j + 1)
+                if blk is None:
+                    return None
+                return i, j, blk[0], blk[1]
+        i += 1
+    return None
+
+
+def gather_facts_structural(sf: SourceFile) -> Facts:
+    facts = Facts()
+    code = sf.code
+
+    # Variable/parameter/member types the checks care about.
+    for rx, bag in ((RAW_PTR_DECL_RE, facts.raw_ptr_vars),
+                    (VIEW_DECL_RE, facts.view_vars),
+                    (LEASE_DECL_RE, facts.lease_vars),
+                    (OSDU_DECL_RE, facts.osdu_vars),
+                    (PACKET_DECL_RE, facts.packet_vars)):
+        for m in rx.finditer(code):
+            bag.add(m.group(1))
+
+    # Classes, their annotations, and member-declaration lines (the lines at
+    # exactly class-body depth — member function bodies sit deeper).
+    for m in CLASS_RE.finditer(code):
+        blk = sf.next_block(m.end())
+        if blk is None:
+            continue  # forward declaration
+        open_off, close_off = blk
+        annotation = None
+        if m.group(2) == "CMTOS_SHARD_AFFINE":
+            annotation = "shard_affine"
+        elif m.group(2) == "CMTOS_CONTROL_PLANE":
+            annotation = "control_plane"
+        ci = ClassInfo(m.group(3), sf.line_of(m.start()), open_off, close_off, annotation)
+        body_depth = sf.depth[open_off] + 1
+        line = sf.line_of(open_off)
+        end_line = sf.line_of(close_off)
+        for ln in range(line + 1, end_line + 1):
+            off = sf.line_start[ln - 1]
+            if off <= close_off and sf.depth[off] == body_depth:
+                text = code[off:sf.line_start[ln] if ln < len(sf.line_start) else len(code)]
+                ci.member_lines.append((ln, text))
+        facts.classes.append(ci)
+        if annotation == "control_plane":
+            facts.control_plane_spans.append((ci.line, sf.line_of(close_off)))
+
+    # CMTOS_CONTROL_PLANE on function definitions: the macro not preceded by
+    # class/struct, followed by a body.
+    for m in ANNOT_FN_RE.finditer(code):
+        before = code[:m.start()].rstrip()
+        if before.endswith("class") or before.endswith("struct"):
+            continue
+        blk = sf.next_block(m.end())
+        if blk is None:
+            continue
+        facts.control_plane_spans.append((sf.line_of(m.start()), sf.line_of(blk[1])))
+
+    # Scheduler/timer callbacks with their capture lists and bodies.
+    for m in SCHED_CALL_RE.finditer(code):
+        lam = find_lambda(sf, m.end() - 1)
+        if lam is None:
+            continue
+        cap_open, cap_close, body_open, body_close = lam
+        caps = [Capture(c) for c in split_top_level(code[cap_open + 1 : cap_close])]
+        body = code[body_open + 1 : body_close]
+        facts.callbacks.append(
+            Callback(sf.line_of(m.start()), m.group(1) or m.group(2), caps, body))
+
+    # FrameLease freeze sites: (line, lease var, end of enclosing block).
+    for m in FREEZE_RE.finditer(code):
+        d0 = sf.depth[m.start()]
+        end = len(code)
+        for i in range(m.end(), len(code)):
+            if sf.depth[i] < d0:
+                end = i
+                break
+        facts.freeze_sites.append((sf.line_of(m.start()), m.group(1), end))
+
+    return facts
+
+
+# -- libclang engine --------------------------------------------------------
+
+
+def libclang_index():
+    """Returns a clang.cindex.Index or None when libclang is unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    try:
+        return cindex.Index.create()
+    except Exception:  # library present but libclang.so missing/mismatched
+        return None
+
+
+def load_compdb(path: Path) -> dict:
+    """compile_commands.json as {abs file -> arg list (without compiler/file)}."""
+    out: dict[str, list[str]] = {}
+    if not path.is_file():
+        return out
+    try:
+        entries = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return out
+    for e in entries:
+        args = e.get("arguments")
+        if args is None and "command" in e:
+            args = e["command"].split()
+        if not args:
+            continue
+        keep = [a for a in args[1:]
+                if a.startswith(("-I", "-D", "-std", "-isystem", "-W"))]
+        f = str((Path(e.get("directory", ".")) / e["file"]).resolve())
+        out[f] = keep
+    return out
+
+
+def default_clang_args() -> list[str]:
+    return ["-std=c++20", "-xc++", f"-I{REPO_ROOT / 'src'}"]
+
+
+def gather_facts_libclang(sf: SourceFile, index, compdb: dict) -> Facts:
+    """Facts from the Clang AST.  Structural facts seed the result; the AST
+    pass replaces the type sets and annotation spans with semantic ones and
+    re-derives lambda captures from real LAMBDA_EXPR cursors.  Any parse
+    trouble falls back to the structural facts unchanged."""
+    from clang import cindex  # type: ignore
+
+    facts = gather_facts_structural(sf)
+    args = compdb.get(str(sf.path.resolve())) or default_clang_args()
+    try:
+        tu = index.parse(str(sf.path), args=args,
+                         options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+    except cindex.TranslationUnitLoadError:
+        return facts
+    if tu is None:
+        return facts
+
+    K = cindex.CursorKind
+    view_vars, lease_vars, osdu_vars = set(), set(), set()
+    packet_vars, ptr_vars = set(), set()
+    cp_spans: list[tuple[int, int]] = []
+
+    def type_name(t) -> str:
+        return t.get_canonical().spelling
+
+    def walk(cur) -> None:
+        try:
+            loc_file = cur.location.file
+        except Exception:
+            loc_file = None
+        # Only classify declarations from this file; includes are context.
+        in_file = loc_file is not None and Path(str(loc_file)).resolve() == sf.path.resolve()
+        if in_file and cur.kind in (K.VAR_DECL, K.PARM_DECL, K.FIELD_DECL):
+            tn = type_name(cur.type)
+            name = cur.spelling or ""
+            if name:
+                if "PayloadView" in tn:
+                    view_vars.add(name)
+                if "FrameLease" in tn:
+                    lease_vars.add(name)
+                if re.search(r"\bOsdu\b", tn):
+                    osdu_vars.add(name)
+                if re.search(r"\bPacket\b", tn):
+                    packet_vars.add(name)
+                if tn.endswith("*") and re.search(
+                        r"(Connection|Node|Link|Host|Llo)\s*\*$", tn):
+                    ptr_vars.add(name)
+        if in_file and cur.kind == K.ANNOTATE_ATTR and cur.spelling in (
+                "cmtos::control_plane",):
+            parent = cur.semantic_parent
+            target = parent if parent is not None else cur
+            ext = target.extent
+            if ext and ext.start.line and ext.end.line:
+                cp_spans.append((ext.start.line, ext.end.line))
+        for child in cur.get_children():
+            walk(child)
+
+    try:
+        walk(tu.cursor)
+    except Exception:
+        return facts
+
+    if view_vars or lease_vars or ptr_vars or osdu_vars or packet_vars:
+        facts.view_vars |= view_vars
+        facts.lease_vars |= lease_vars
+        facts.osdu_vars |= osdu_vars
+        facts.packet_vars |= packet_vars
+        facts.raw_ptr_vars |= ptr_vars
+    if cp_spans:
+        merged = facts.control_plane_spans + cp_spans
+        facts.control_plane_spans = sorted(set(merged))
+    facts.engine = "libclang"
+    return facts
+
+
+# ---------------------------------------------------------------------------
+# Checks (engine-independent: consume SourceFile + Facts).
+# ---------------------------------------------------------------------------
+
+
+class Finding:
+    def __init__(self, rel: str, line: int, check: str, message: str):
+        self.rel = rel
+        self.line = line
+        self.check = check
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.rel}:{self.line}: [{self.check}] {self.message}"
+
+
+def check_callback_liveness(sf: SourceFile, facts: Facts) -> list[Finding]:
+    out = []
+    for cb in facts.callbacks:
+        risky = []
+        for cap in cb.captures:
+            if cap.name in ("", "=", "&", "this", "*this"):
+                continue
+            # A capture is a raw entity pointer when its *name* says so, its
+            # declared *type* says so, or an init-capture aliases one.
+            ptrish = (PTR_NAME_RE.match(cap.name) is not None
+                      or cap.name in facts.raw_ptr_vars
+                      or (cap.init and any(
+                          re.search(rf"\b{re.escape(v)}\b", cap.init)
+                          for v in facts.raw_ptr_vars)))
+            if ptrish:
+                risky.append(cap.name)
+        if risky and not LIVENESS_HINT_RE.search(cb.body):
+            out.append(Finding(
+                sf.rel, cb.line, "callback-liveness",
+                f"callback captures raw pointer(s) {', '.join(sorted(set(risky)))} "
+                "without a liveness guard; re-validate in the body (or capture "
+                "this + an id and resolve at fire time)"))
+    return out
+
+
+VEC_U8_RE = re.compile(r"std::vector<\s*(?:std::)?uint8_t\s*>\s*(\w*)\s*([({])")
+ASSIGN_CALL_RE = re.compile(r"[\w\)\]]\s*(?:\.|->)\s*assign\s*\(")
+TO_VECTOR_RE = re.compile(r"(?:\.|->)\s*to_vector\s*\(")
+
+
+def payload_typed_expr(args: str, facts: Facts) -> str | None:
+    """Returns the payload-typed source expression inside `args`, if any:
+    a known PayloadView variable, or the .data/.frame view member of a known
+    Osdu/Packet variable."""
+    for name in facts.view_vars:
+        if re.search(rf"\b{re.escape(name)}\s*(?:\.|->)\s*(?:begin|end|data|size)\s*\(",
+                     args) or re.search(rf"\b{re.escape(name)}\b\s*[,)]", args):
+            return name
+    for name in facts.osdu_vars:
+        if re.search(rf"\b{re.escape(name)}\s*(?:\.|->)\s*data\b", args):
+            return f"{name}.data"
+    for name in facts.packet_vars:
+        if re.search(rf"\b{re.escape(name)}\s*(?:\.|->)\s*frame\b", args):
+            return f"{name}.frame"
+    return None
+
+
+def call_args(sf: SourceFile, open_off: int) -> str:
+    """Text of a balanced (...) or {...} starting at open_off."""
+    code = sf.code
+    open_ch = code[open_off]
+    close_ch = ")" if open_ch == "(" else "}"
+    d = 0
+    for i in range(open_off, len(code)):
+        if code[i] == open_ch:
+            d += 1
+        elif code[i] == close_ch:
+            d -= 1
+            if d == 0:
+                return code[open_off + 1 : i]
+    return code[open_off + 1 :]
+
+
+def check_dataplane_payload_copy(sf: SourceFile, facts: Facts) -> list[Finding]:
+    if not DATAPLANE_DIR_RE.search(sf.rel):
+        return []
+    out = []
+    code = sf.code
+    # Materialising a heap vector from a view is a copy by definition.
+    # (to_vector exists for tests and debug dumps, not the media path.)
+    for m in TO_VECTOR_RE.finditer(code):
+        out.append(Finding(
+            sf.rel, sf.line_of(m.start()), "dataplane-payload-copy",
+            "to_vector() materialises a heap copy of pooled payload bytes; "
+            "keep the PayloadView (subview/extend) on the media path"))
+    # std::vector<uint8_t> built from a PayloadView-typed source.
+    for m in VEC_U8_RE.finditer(code):
+        args = call_args(sf, m.end() - 1)
+        src = payload_typed_expr(args, facts)
+        if src is not None:
+            out.append(Finding(
+                sf.rel, sf.line_of(m.start()), "dataplane-payload-copy",
+                f"std::vector<uint8_t> copy-constructed from PayloadView-typed "
+                f"'{src}'; share the pooled frame via PayloadView instead"))
+    # container.assign(view.begin(), view.end()) — copying out of a view.
+    for m in ASSIGN_CALL_RE.finditer(code):
+        args = call_args(sf, m.end() - 1)
+        src = payload_typed_expr(args, facts)
+        if src is not None:
+            out.append(Finding(
+                sf.rel, sf.line_of(m.start()), "dataplane-payload-copy",
+                f"assign() copies bytes out of PayloadView-typed '{src}'; "
+                "share the pooled frame via PayloadView instead"))
+    return out
+
+
+NODE_RESOLVE_RE = re.compile(r"(?:\.|->)\s*node\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+SELF_NODE_RE = re.compile(r"\bnode_?\b|\bhost_?\.id\b|node_id\s*\(")
+FOREIGN_LAYER_RE = re.compile(
+    r"\b(?:src|dst|peer|remote|other|target|tgt)\w*\s*(?:\.|->)\s*(?:entity|llo)\b")
+STATIC_MUTABLE_RE = re.compile(
+    r"^\s*(?:inline\s+)?static\s+(?!const\b|constexpr\b|void\b)\w")
+
+
+def check_shard_affinity(sf: SourceFile, facts: Facts) -> list[Finding]:
+    out = []
+    if NODE_SCOPED_DIR_RE.search(sf.rel):
+        code = sf.code
+        for m in NODE_RESOLVE_RE.finditer(code):
+            line = sf.line_of(m.start())
+            if facts.in_control_plane(line):
+                continue
+            if not SELF_NODE_RE.search(m.group(1)):
+                out.append(Finding(
+                    sf.rel, line, "shard-affinity",
+                    f"resolving foreign node ({m.group(1).strip()}); that node's "
+                    "CMTOS_SHARD_AFFINE state belongs to another shard — interact "
+                    "through net::Network delivery or a CMTOS_CONTROL_PLANE span"))
+        for m in FOREIGN_LAYER_RE.finditer(code):
+            line = sf.line_of(m.start())
+            if facts.in_control_plane(line):
+                continue
+            out.append(Finding(
+                sf.rel, line, "shard-affinity",
+                "dereferencing a foreign host's entity/LLO outside a "
+                "CMTOS_CONTROL_PLANE span; interact through net::Network delivery"))
+    # Static mutable state in a shard-affine class is shared across shards
+    # by construction — exactly what the annotation promises never happens.
+    for ci in facts.classes:
+        if ci.annotation != "shard_affine":
+            continue
+        for line, text in ci.member_lines:
+            if STATIC_MUTABLE_RE.search(text) and "(" not in text.split("=")[0].split(";")[0]:
+                out.append(Finding(
+                    sf.rel, line, "shard-affinity",
+                    f"static mutable member in CMTOS_SHARD_AFFINE class "
+                    f"{ci.name}; shard-affine state cannot be process-global"))
+    return out
+
+
+MEMBER_HANDLE_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:cmtos::)?(PayloadView|FrameLease)\b[^(;]*;")
+
+
+def check_frame_lifecycle(sf: SourceFile, facts: Facts) -> list[Finding]:
+    out = []
+    code = sf.code
+    # Use-after-freeze: the lease is consumed; any later use before a
+    # reassignment operates on a moved-from handle.
+    for line, var, block_end in facts.freeze_sites:
+        # scan from just after the freeze call to the end of the block
+        start = sf.line_start[line - 1]
+        m0 = FREEZE_RE.search(code, start)
+        if m0 is None:
+            continue
+        tail = code[m0.end():block_end]
+        base = m0.end()
+        for um in re.finditer(rf"\b{re.escape(var)}\b", tail):
+            after = tail[um.end():].lstrip()
+            before = tail[:um.start()].rstrip()
+            if after.startswith("="):  # reassignment re-arms the lease
+                break
+            if before.endswith(("std::move(", "move(")):
+                break  # moved away wholesale; a new ownership story begins
+            out.append(Finding(
+                sf.rel, sf.line_of(base + um.start()), "frame-lifecycle",
+                f"'{var}' used after std::move({var}).freeze(); the lease is "
+                "consumed — freeze must be the last use (or reassign first)"))
+            break
+    # Payload handles stored outside the data plane (or in control-plane
+    # classes anywhere) pin pooled frames from control-plane lifetimes.
+    in_dataplane = bool(DATAPLANE_DIR_RE.search(sf.rel))
+    types_home = bool(FRAME_TYPES_HOME_RE.search(sf.rel))
+    for ci in facts.classes:
+        is_control = ci.annotation == "control_plane"
+        if types_home:
+            continue
+        if in_dataplane and not is_control:
+            continue
+        for line, text in ci.member_lines:
+            mm = MEMBER_HANDLE_RE.search(text)
+            if mm:
+                where = ("a CMTOS_CONTROL_PLANE class" if is_control
+                         else "a class outside src/{transport,media,net}")
+                out.append(Finding(
+                    sf.rel, line, "frame-lifecycle",
+                    f"{mm.group(1)} member in {where} ({ci.name}); control-plane "
+                    "types must not store pooled payload handles"))
+    return out
+
+
+ALL_CHECKS = (
+    check_callback_liveness,
+    check_dataplane_payload_copy,
+    check_shard_affinity,
+    check_frame_lifecycle,
+)
+
+
+def analyze_file(path: Path, rel: str | None = None, engine: str = "structural",
+                 index=None, compdb: dict | None = None) -> list[Finding]:
+    rel = rel if rel is not None else path.resolve().relative_to(REPO_ROOT).as_posix()
+    sf = SourceFile(path, rel)
+    if engine == "libclang" and index is not None:
+        facts = gather_facts_libclang(sf, index, compdb or {})
+    else:
+        facts = gather_facts_structural(sf)
+    findings: list[Finding] = []
+    for chk in ALL_CHECKS:
+        findings.extend(chk(sf, facts))
+    return [f for f in findings if f.check not in sf.allowed(f.line)]
+
+
+# ---------------------------------------------------------------------------
+# Selftest: every check must both fire on seeded probes and stay silent on
+# the adjacent pass probes (>=2 fail + >=1 pass probe per check; spurious
+# findings fail the selftest because expectations are compared exactly).
+# ---------------------------------------------------------------------------
+
+CB_PROBE = """\
+#include "transport/connection.h"
+void f(cmtos::transport::Connection* conn, cmtos::net::Link* wire) {
+  sched.after(d, [conn] { conn->send(); });
+  timers.arm_global(TimerKind::kKeepalive, key, d,
+                    [this,
+                     wire] { wire->pump(); });
+  sched.after(d, [conn] { if (conn != nullptr) conn->send(); });
+  sched.after(d, [this, id] { resolve(id); });
+  sched.after(d, [&ent] { ent.tick(); });
+  sched.after(d, [conn] { conn->send(); });  // cmtos-analyze: allow(callback-liveness)
+}
+"""
+CB_EXPECT = {
+    (3, "callback-liveness"),   # classic name-based raw capture
+    (4, "callback-liveness"),   # multi-line capture list, type-resolved 'wire'
+}
+
+DP_PROBE = """\
+#include "util/frame_pool.h"
+void g(const cmtos::PayloadView& view, cmtos::transport::Osdu& osdu) {
+  auto bytes = view.to_vector();
+  std::vector<std::uint8_t> scratch(view.begin(), view.end());
+  staging.assign(osdu.data.begin(), osdu.data.end());
+  std::vector<std::uint8_t> hdr(header.begin(), header.end());
+  auto sub = view.subview(0, 4);
+  auto dump = view.to_vector();  // cmtos-analyze: allow(dataplane-payload-copy)
+}
+"""
+DP_EXPECT = {
+    (3, "dataplane-payload-copy"),  # to_vector materialisation
+    (4, "dataplane-payload-copy"),  # vector built from a *typed* view (receiver
+                                    # name carries no payload hint — regex-proof)
+    (5, "dataplane-payload-copy"),  # assign() out of an Osdu's view member
+}
+
+SH_PROBE = """\
+#include "util/thread_annotations.h"
+void h() {
+  auto& a = network_.node(node_).runtime();
+  auto& b = network_.node(spec.sink).entity();
+  src_host.entity.t_connect_request(req);
+  auto& c = network_.node(peer_id).runtime();  // cmtos-analyze: allow(shard-affinity)
+}
+CMTOS_CONTROL_PLANE
+void sanctioned() {
+  auto& d = network_.node(spec.sink).entity();
+  peer_host.entity.bind(t, u);
+}
+class CMTOS_SHARD_AFFINE ProbeEntity {
+ public:
+  static constexpr int kMax = 4;
+  static int live_count;
+  int x_ = 0;
+};
+"""
+SH_EXPECT = {
+    (4, "shard-affinity"),    # foreign node resolve (spec.sink)
+    (5, "shard-affinity"),    # foreign host layer deref
+    (16, "shard-affinity"),   # static mutable member in shard-affine class
+}
+
+FL_PROBE = """\
+#include "util/frame_pool.h"
+cmtos::PayloadView p(cmtos::FramePool& pool) {
+  cmtos::FrameLease lease = pool.lease(64);
+  auto view = std::move(lease).freeze(64);
+  lease.data();
+  cmtos::FrameLease l2 = pool.lease(32);
+  auto v2 = std::move(l2).freeze(32);
+  l2 = pool.lease(16);
+  auto v3 = std::move(l2).freeze(16);
+  return view;
+}
+"""
+FL_EXPECT = {
+    (5, "frame-lifecycle"),   # use after freeze
+}
+
+FL_MEMBER_PROBE = """\
+#include "util/frame_pool.h"
+class SessionPlanner {
+ public:
+  void plan();
+
+ private:
+  cmtos::PayloadView stash_;
+  cmtos::FrameLease pending_;
+  std::vector<std::uint8_t> control_bytes_;
+  cmtos::PayloadView scratch_;  // cmtos-analyze: allow(frame-lifecycle)
+};
+"""
+FL_MEMBER_EXPECT = {
+    (7, "frame-lifecycle"),   # PayloadView member outside the data plane
+    (8, "frame-lifecycle"),   # FrameLease member outside the data plane
+}
+
+PROBES = (
+    # (relative path the dir-scoped checks see, source, expected findings)
+    ("src/transport/probe_callbacks.cpp", CB_PROBE, CB_EXPECT),
+    ("src/net/probe_dataplane.cpp", DP_PROBE, DP_EXPECT),
+    ("src/orch/probe_shard.cpp", SH_PROBE, SH_EXPECT),
+    ("src/media/probe_freeze.cpp", FL_PROBE, FL_EXPECT),
+    ("src/platform/probe_members.h", FL_MEMBER_PROBE, FL_MEMBER_EXPECT),
+)
+
+
+def selftest(engines: list[str], index, compdb: dict) -> int:
+    import tempfile
+
+    ok = True
+    with tempfile.TemporaryDirectory(dir=REPO_ROOT) as tmp:
+        for rel, source, expect in PROBES:
+            probe = Path(tmp) / rel
+            probe.parent.mkdir(parents=True, exist_ok=True)
+            probe.write_text(source, encoding="utf-8")
+        for engine in engines:
+            for rel, source, expect in PROBES:
+                probe = Path(tmp) / rel
+                got = {(f.line, f.check)
+                       for f in analyze_file(probe, rel=rel, engine=engine,
+                                             index=index, compdb=compdb)}
+                if got != expect:
+                    print(f"cmtos-analyze selftest FAILED [{engine}] {rel}:\n"
+                          f"  missing:  {sorted(expect - got)}\n"
+                          f"  spurious: {sorted(got - expect)}", file=sys.stderr)
+                    ok = False
+            if ok:
+                print(f"cmtos-analyze selftest passed [{engine}]", file=sys.stderr)
+    return 0 if ok else 1
+
+
+# ---------------------------------------------------------------------------
+
+
+def iter_files(args: list[str]) -> list[Path]:
+    roots = [REPO_ROOT / a for a in args] if args else [REPO_ROOT / d for d in DEFAULT_SCAN]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in CXX_SUFFIXES and p.is_file():
+                files.append(p)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="cmtos_analyze.py",
+        description="AST-aware ownership/affinity checks (see module docstring)")
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src/)")
+    ap.add_argument("--engine", choices=["auto", "structural", "libclang"],
+                    default="auto")
+    ap.add_argument("--compdb", type=Path, default=DEFAULT_COMPDB,
+                    help="compile_commands.json (default: build/)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="verify every check fires on probes and honours allow()")
+    ap.add_argument("--list-checks", action="store_true")
+    opts = ap.parse_args(argv)
+
+    if opts.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    index = None
+    engine = opts.engine
+    if engine in ("auto", "libclang"):
+        index = libclang_index()
+        if index is None:
+            if engine == "libclang":
+                print("cmtos-analyze: --engine libclang requested but clang.cindex/"
+                      "libclang is unavailable", file=sys.stderr)
+                return 2
+            engine = "structural"
+        else:
+            engine = "libclang"
+    compdb = load_compdb(opts.compdb)
+    if engine == "libclang" and not compdb:
+        print(f"cmtos-analyze: note: no compile_commands.json at {opts.compdb}; "
+              "using default clang args (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+
+    if opts.selftest:
+        engines = ["structural"] + (["libclang"] if index is not None else [])
+        return selftest(engines, index, compdb)
+
+    findings: list[Finding] = []
+    files = iter_files(opts.paths)
+    for f in files:
+        findings.extend(analyze_file(f, engine=engine, index=index, compdb=compdb))
+    for finding in findings:
+        print(finding)
+    print(f"cmtos-analyze [{engine}]: {len(files)} files, {len(findings)} finding(s)",
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,12 @@ cannot express.  Run from the repo root:
 
 Exit status is non-zero when any finding is reported, so CI can gate on it.
 
+The former regex rules callback-liveness, dataplane-payload-copy and
+cross-node-state-access have moved to the AST-aware analyzer
+(tools/analyze/cmtos_analyze.py), which resolves types and scopes instead
+of matching variable names.  Their suppression namespace is
+`cmtos-analyze: allow(...)`; this tool only owns `cmtos-lint: allow(...)`.
+
 Rules
 -----
   naked-mutex          .lock()/.unlock() called directly on a mutex instead of
@@ -33,30 +39,12 @@ Rules
                        entity's renegotiation path (src/transport/).  Anywhere
                        else it silently detaches the monitor from the contract
                        the peers actually agreed on.
-  callback-liveness    a scheduler callback (.after()/.at()) that captures a raw
-                       node/connection-ish pointer (conn/link/node/host/peer) may
-                       fire after fault injection has torn the object down; the
-                       lambda body must re-validate liveness (null check, alive
-                       oracle, map lookup) before dereferencing.  Prefer
-                       capturing `this` + an id and resolving at fire time.
-  dataplane-payload-copy
-                       media payload bytes inside the data-plane layers
-                       (src/transport, src/media, src/net) must travel as
-                       pooled PayloadView slices (DESIGN.md "Two-world data
-                       plane").  Copy idioms on payload-ish receivers —
-                       payload.assign(...), payload = std::vector<...>(...),
-                       or a std::vector<uint8_t> copy-constructed from a
-                       view/frame/payload — reintroduce a per-fragment heap
-                       copy on the steady-state media path.  Control-plane
-                       copies carry an allow() tag.
-  cross-node-state-access
-                       node-scoped layers (src/transport, src/orch, src/media,
-                       src/platform) may resolve only their *own* node in the
-                       network registry; reaching another node's entity/LLO
-                       object directly races its shard under --threads N and
-                       bypasses the Network-delivery ownership rule (DESIGN.md
-                       §10).  Control-shard managers that legitimately touch
-                       many nodes from global events carry an allow() tag.
+  stale-allow          a `cmtos-lint: allow(rule)` comment that suppresses
+                       nothing — the named rule no longer fires on that line or
+                       the next — or that names a rule this tool does not know
+                       (including the rules that migrated to cmtos-analyze).
+                       Stale tags are how suppressions rot into blanket
+                       exemptions after the code under them changes.
 
 Suppressing
 -----------
@@ -76,6 +64,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[2]
 DEFAULT_SCAN = ["src", "tests", "bench", "examples", "tools"]
 CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+KNOWN_RULES = {
+    "naked-mutex",
+    "narrowing-in-codec",
+    "handler-state-check",
+    "include-hygiene",
+    "banned-function",
+    "qos-set-agreed",
+    "stale-allow",
+}
 
 ALLOW_RE = re.compile(r"//.*cmtos-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -100,40 +98,6 @@ INCLUDE_RE = re.compile(r'#\s*include\s*[<"]([^">]+)[">]')
 # qos-set-agreed: a member call (not the declaration) to set_agreed outside
 # src/transport/.  Contract changes must flow through renegotiation.
 SET_AGREED_RE = re.compile(r"(?:\.|->)\s*set_agreed\s*\(")
-
-# callback-liveness: a lambda handed to the scheduler whose capture list
-# names a pointer-ish local.  The capture-list requirement keeps map
-# .at(key) calls from matching.
-SCHED_LAMBDA_RE = re.compile(r"\.\s*(?:after|at)\s*\(.*?\[([^\]]*)\]")
-PTRISH_CAPTURE_RE = re.compile(
-    r"(?:^|[,\s&=])(?:conn(?:ection)?|link|node|host|peer)(?:_?ptr)?\s*(?:$|[,=])")
-LIVENESS_HINT_RE = re.compile(
-    r"nullptr|alive|down\s*\(|expired|find\s*\(|count\s*\(|contains\s*\(|node_up|is_up")
-
-# dataplane-payload-copy: byte-copy idioms on payload-ish receivers inside
-# the data-plane layers.  Three spellings: .assign() onto a payload/frag/
-# frame member, assigning a freshly built vector to one, and building a
-# std::vector<uint8_t> from a view/frame/payload source (iterator-pair or
-# pointer+size copy).
-DATAPLANE_DIR_RE = re.compile(r"(^|/)src/(transport|media|net)/")
-PAYLOAD_ASSIGN_RE = re.compile(
-    r"\b\w*(?:payload|frag|frame|osdu)\w*\s*(?:\.|->)\s*assign\s*\(")
-PAYLOAD_VEC_ASSIGN_RE = re.compile(
-    r"\b\w*(?:payload|frag|frame|osdu)\w*\s*=\s*std::vector<\s*(?:std::)?uint8_t\s*>\s*[({]")
-VIEW_VEC_COPY_RE = re.compile(
-    r"std::vector<\s*(?:std::)?uint8_t\s*>\s*[({][^)}]*\b(?:payload|view|frame|frag)")
-
-# cross-node-state-access: node-scoped layers resolve nodes in the network
-# registry only by their own id.  Self spellings are `node_`/`node`,
-# `host_.id`/`host.id` and `node_id()`; anything else (a peer id, a spec
-# field, a loop variable) is a foreign node whose state belongs to another
-# shard.  A second pattern catches reaching a foreign Host's layer objects
-# (`src_host.entity`, `peer->llo`) without going through the registry.
-NODE_SCOPED_DIR_RE = re.compile(r"(^|/)src/(transport|orch|media|platform)/")
-NODE_RESOLVE_RE = re.compile(r"(?:\.|->)\s*node\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
-SELF_NODE_RE = re.compile(r"\bnode_?\b|\bhost_?\.id\b|node_id\s*\(")
-FOREIGN_LAYER_RE = re.compile(
-    r"\b(?:src|dst|peer|remote|other|target|tgt)\w*\s*(?:\.|->)\s*(?:entity|llo)\b")
 
 BANNED_CALLS = {
     # call-site regex -> (rule applies to src/ only?, message)
@@ -180,59 +144,36 @@ def strip_strings_and_comments(line: str) -> str:
     return line.split("//", 1)[0]
 
 
-def lambda_body(lines: list[str], idx: int, col: int, max_lines: int = 8) -> str:
-    """Text of the lambda body starting at lines[idx][col:], up to the brace
-    that closes it (or max_lines lines, for oversized bodies)."""
-    depth = 0
-    started = False
-    out: list[str] = []
-    for j in range(idx, min(idx + max_lines, len(lines))):
-        for ch in lines[j][col:] if j == idx else lines[j]:
-            if ch == "{":
-                depth += 1
-                started = True
-            elif ch == "}":
-                depth -= 1
-                if started and depth == 0:
-                    return "".join(out)
-            if started:
-                out.append(ch)
-        out.append("\n")
-    return "".join(out)
-
-
-def check_file(path: Path) -> list[Finding]:
+def raw_findings(path: Path, lines: list[str], rel: str) -> list[Finding]:
+    """Every finding the rules produce, before allow() suppression.  Kept
+    separate so stale-allow can ask "would this rule fire here?" without the
+    tag under test hiding the answer."""
     findings: list[Finding] = []
-    text = path.read_text(encoding="utf-8", errors="replace")
-    lines = text.splitlines()
-    rel = path.relative_to(REPO_ROOT).as_posix()
     in_src = rel.startswith("src/") or "/src/" in rel
     in_transport = rel.startswith("src/transport/") or "/src/transport/" in rel
-    in_node_scoped = bool(NODE_SCOPED_DIR_RE.search(rel))
-    in_dataplane = bool(DATAPLANE_DIR_RE.search(rel))
     is_header = path.suffix in {".h", ".hpp"}
     is_codec = bool(CODEC_FILE_RE.search(rel))
+    text = "\n".join(lines)
 
-    if is_header and rel != "tools/lint/cmtos_lint.py" and "#pragma once" not in text:
+    if is_header and "#pragma once" not in text:
         findings.append(Finding(path, 1, "include-hygiene", "header lacks #pragma once"))
 
     handler_spans: list[tuple[int, str]] = []  # (start line idx, handler name)
     for idx, raw in enumerate(lines):
-        allow = allowed_rules(lines, idx)
         line = strip_strings_and_comments(raw)
 
-        if "naked-mutex" not in allow and NAKED_LOCK_RE.search(line) and not RAII_HINT_RE.search(line):
+        if NAKED_LOCK_RE.search(line) and not RAII_HINT_RE.search(line):
             findings.append(
                 Finding(path, idx + 1, "naked-mutex",
                         "direct lock()/unlock(); use std::lock_guard or std::unique_lock"))
 
-        if is_codec and "narrowing-in-codec" not in allow and NARROW_CAST_RE.search(line):
+        if is_codec and NARROW_CAST_RE.search(line):
             findings.append(
                 Finding(path, idx + 1, "narrowing-in-codec",
                         "naked static_cast to a narrow wire type; use cmtos::narrow<>"))
 
         m = INCLUDE_RE.search(raw)  # raw: string-stripping would eat the "..." path
-        if m and "include-hygiene" not in allow:
+        if m:
             target = m.group(1)
             if target.startswith("../"):
                 findings.append(
@@ -243,51 +184,17 @@ def check_file(path: Path) -> list[Finding]:
                     Finding(path, idx + 1, "include-hygiene",
                             "<bits/...> is libstdc++ internal; include the standard header"))
 
-        if (not in_transport and "qos-set-agreed" not in allow
-                and SET_AGREED_RE.search(line)):
+        if not in_transport and SET_AGREED_RE.search(line):
             findings.append(
                 Finding(path, idx + 1, "qos-set-agreed",
                         "QosMonitor::set_agreed() outside src/transport/; contract "
                         "changes must flow through renegotiation"))
 
-        if in_dataplane and "dataplane-payload-copy" not in allow:
-            if (PAYLOAD_ASSIGN_RE.search(line) or PAYLOAD_VEC_ASSIGN_RE.search(line)
-                    or VIEW_VEC_COPY_RE.search(line)):
-                findings.append(
-                    Finding(path, idx + 1, "dataplane-payload-copy",
-                            "byte copy onto a data-plane payload; share the pooled "
-                            "frame via PayloadView (subview/extend/adopt) instead"))
-
-        if in_node_scoped and "cross-node-state-access" not in allow:
-            nm = NODE_RESOLVE_RE.search(line)
-            if nm and not SELF_NODE_RE.search(nm.group(1)):
-                findings.append(
-                    Finding(path, idx + 1, "cross-node-state-access",
-                            f"resolving foreign node ({nm.group(1).strip()}); "
-                            "another node's state belongs to another shard — "
-                            "interact through net::Network delivery"))
-            if FOREIGN_LAYER_RE.search(line):
-                findings.append(
-                    Finding(path, idx + 1, "cross-node-state-access",
-                            "dereferencing a foreign host's entity/LLO; "
-                            "interact through net::Network delivery"))
-
         for pat, (src_only, msg) in BANNED_CALLS.items():
             if src_only and not in_src:
                 continue
-            if "banned-function" not in allow and pat.search(line):
+            if pat.search(line):
                 findings.append(Finding(path, idx + 1, "banned-function", msg))
-
-        if "callback-liveness" not in allow:
-            sm = SCHED_LAMBDA_RE.search(line)
-            if sm and PTRISH_CAPTURE_RE.search(sm.group(1)):
-                body = lambda_body(lines, idx, sm.end())
-                if not LIVENESS_HINT_RE.search(body):
-                    findings.append(
-                        Finding(path, idx + 1, "callback-liveness",
-                                "scheduler callback captures a raw node/connection "
-                                "pointer without a liveness guard; re-validate (or "
-                                "capture this + an id and resolve at fire time)"))
 
         hm = HANDLER_DEF_RE.search(line)
         if hm:
@@ -297,12 +204,46 @@ def check_file(path: Path) -> list[Finding]:
     # the VC state (guard clause or CMTOS_DCHECK on state_).
     for start, name in handler_spans:
         body = "\n".join(lines[start : start + 12])
-        if "handler-state-check" in allowed_rules(lines, start):
-            continue
         if not STATE_CHECK_RE.search(body.split("\n", 1)[1] if "\n" in body else ""):
             findings.append(
                 Finding(path, start + 1, "handler-state-check",
                         f"{name}() must validate the VC state before acting"))
+
+    return findings
+
+
+def check_file(path: Path) -> list[Finding]:
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    rel = path.relative_to(REPO_ROOT).as_posix()
+
+    raw = raw_findings(path, lines, rel)
+    findings = [f for f in raw
+                if f.rule not in allowed_rules(lines, f.line_no - 1)]
+
+    # stale-allow: a tag at line t suppresses findings at t and t+1 (see
+    # allowed_rules), so it is live iff the named rule fires raw on one of
+    # those lines.  Unknown names — typos, or rules that migrated to
+    # cmtos-analyze — are always findings: they suppress nothing here and
+    # hide nothing there.
+    fired = {(f.line_no, f.rule) for f in raw}
+    for idx, line in enumerate(lines):
+        m = ALLOW_RE.search(line)
+        if not m or "stale-allow" in allowed_rules(lines, idx):
+            continue
+        for rule in (r.strip() for r in m.group(1).split(",")):
+            if rule == "stale-allow":
+                continue  # meta-suppression; staleness checking it would recurse
+            if rule not in KNOWN_RULES:
+                findings.append(
+                    Finding(path, idx + 1, "stale-allow",
+                            f"allow({rule}) names an unknown rule; if it moved to "
+                            "the AST analyzer, retag as cmtos-analyze: allow(...)"))
+            elif not any((t, rule) in fired for t in (idx + 1, idx + 2)):
+                findings.append(
+                    Finding(path, idx + 1, "stale-allow",
+                            f"allow({rule}) suppresses nothing — the rule no longer "
+                            "fires on this line or the next; delete the tag"))
 
     return findings
 
@@ -329,8 +270,6 @@ void f() {
   assert(1 == 1);
   mu.unlock();  // cmtos-lint: allow(naked-mutex)
   const auto n = static_cast<std::uint16_t>(v.size());
-  sched.after(d, [this, conn] { conn->send(); });
-  sched.after(d, [this, conn] { if (conn != nullptr) conn->send(); });
   mon.set_agreed(p);
   mon.set_agreed(p);  // cmtos-lint: allow(qos-set-agreed)
 }
@@ -342,41 +281,23 @@ PROBE_EXPECT = {  # line -> rule
     (5, "banned-function"),
     (6, "banned-function"),  # raw assert (probe scans as src/)
     (8, "narrowing-in-codec"),  # probe scans as a codec file
-    (9, "callback-liveness"),  # line 10 is guarded: no finding
-    (11, "qos-set-agreed"),  # probe is src/ but not src/transport/; 12 allowed
+    (9, "qos-set-agreed"),  # probe is src/ but not src/transport/; 10 allowed
 }
 
 
-NODE_PROBE = """\
-void g() {
-  auto& a = network_.node(node_).runtime();
-  auto& b = network_.node(spec.sink).entity();
-  auto& c = network_.node(peer_id).runtime();
-  src_host.entity.t_connect_request(req);
-  src_host.entity.bind(t, u);  // cmtos-lint: allow(cross-node-state-access)
-}
-"""
-NODE_PROBE_EXPECT = {
-    (3, "cross-node-state-access"),  # foreign node resolve (spec.sink)
-    (4, "cross-node-state-access"),  # foreign node resolve (peer_id)
-    (5, "cross-node-state-access"),  # foreign host layer deref; 6 allowed
-}
-
-
-DATAPLANE_PROBE = """\
-void h() {
-  pkt.payload.assign(bytes.begin(), bytes.end());
-  pkt.payload = std::vector<std::uint8_t>(len, 0);
-  auto copy = std::vector<std::uint8_t>(view.begin(), view.end());
-  frag->assign(p, p + n);
-  pkt.payload.assign(hdr.begin(), hdr.end());  // cmtos-lint: allow(dataplane-payload-copy)
+STALE_PROBE = """\
+void s() {
+  mu.lock();  // cmtos-lint: allow(naked-mutex)
+  int x = 0;  // cmtos-lint: allow(naked-mutex)
+  int y = 0;  // cmtos-lint: allow(callback-liveness)
+  // cmtos-lint: allow(stale-allow)
+  int z = 0;  // cmtos-lint: allow(qos-set-agreed)
 }
 """
-DATAPLANE_PROBE_EXPECT = {
-    (2, "dataplane-payload-copy"),  # .assign onto a payload member
-    (3, "dataplane-payload-copy"),  # fresh vector assigned to a payload
-    (4, "dataplane-payload-copy"),  # vector copy-constructed from a view
-    (5, "dataplane-payload-copy"),  # .assign onto a fragment; 6 allowed
+STALE_PROBE_EXPECT = {
+    (3, "stale-allow"),  # naked-mutex doesn't fire on line 3 or 4
+    (4, "stale-allow"),  # callback-liveness migrated to cmtos-analyze
+    # line 6 is stale too, but line 5's allow(stale-allow) suppresses it
 }
 
 
@@ -391,34 +312,20 @@ def selftest() -> int:
         probe = probe_dir / "probe_codec.cpp"
         probe.write_text(PROBE, encoding="utf-8")
         got = {(f.line_no, f.rule) for f in check_file(probe)}
-        # Second probe: cross-node-state-access applies only inside the
-        # node-scoped layer dirs, so it gets its own file under src/orch/.
-        node_dir = probe_dir / "orch"
-        node_dir.mkdir()
-        node_probe = node_dir / "probe_node.cpp"
-        node_probe.write_text(NODE_PROBE, encoding="utf-8")
-        node_got = {(f.line_no, f.rule) for f in check_file(node_probe)}
-        # Third probe: dataplane-payload-copy applies inside the data-plane
-        # layers; src/net/ is one and carries no other dir-scoped rules.
-        dp_dir = probe_dir / "net"
-        dp_dir.mkdir()
-        dp_probe = dp_dir / "probe_link.cpp"
-        dp_probe.write_text(DATAPLANE_PROBE, encoding="utf-8")
-        dp_got = {(f.line_no, f.rule) for f in check_file(dp_probe)}
+        # Second probe: stale-allow needs tags that suppress nothing, which
+        # the first probe deliberately never has.
+        stale_probe = probe_dir / "probe_stale.cpp"
+        stale_probe.write_text(STALE_PROBE, encoding="utf-8")
+        stale_got = {(f.line_no, f.rule) for f in check_file(stale_probe)}
     ok = True
     if got != PROBE_EXPECT:
         print(f"cmtos-lint selftest FAILED:\n  missing: {PROBE_EXPECT - got}\n"
               f"  spurious: {got - PROBE_EXPECT}", file=sys.stderr)
         ok = False
-    if node_got != NODE_PROBE_EXPECT:
-        print(f"cmtos-lint selftest (node probe) FAILED:\n"
-              f"  missing: {NODE_PROBE_EXPECT - node_got}\n"
-              f"  spurious: {node_got - NODE_PROBE_EXPECT}", file=sys.stderr)
-        ok = False
-    if dp_got != DATAPLANE_PROBE_EXPECT:
-        print(f"cmtos-lint selftest (dataplane probe) FAILED:\n"
-              f"  missing: {DATAPLANE_PROBE_EXPECT - dp_got}\n"
-              f"  spurious: {dp_got - DATAPLANE_PROBE_EXPECT}", file=sys.stderr)
+    if stale_got != STALE_PROBE_EXPECT:
+        print(f"cmtos-lint selftest (stale probe) FAILED:\n"
+              f"  missing: {STALE_PROBE_EXPECT - stale_got}\n"
+              f"  spurious: {stale_got - STALE_PROBE_EXPECT}", file=sys.stderr)
         ok = False
     if not ok:
         return 1
