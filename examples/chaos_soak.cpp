@@ -21,6 +21,21 @@
 //   orch_death             the orchestrating node dies mid-regulation; the
 //                          FailoverSupervisor re-elects a survivor,
 //                          re-primes, re-starts and delivers Orch.Delayed
+//   partition_heal_split_brain
+//                          the orchestrating node is isolated (alive but
+//                          unreachable), a successor is elected at a higher
+//                          epoch, then the partition heals and the stale
+//                          orchestrator comes back swinging; epoch fencing
+//                          must nack it into self-retirement with zero
+//                          stale targets applied (run with --no-fencing to
+//                          watch the split brain happen instead)
+//   orch_flap              two isolation blips short enough that nothing
+//                          should fail over, then one real outage: exactly
+//                          one failover, and the healed flapper is fenced
+//   fault_sweep            randomised schedules over 20 derived seeds (all
+//                          fault families that keep the s1 endpoints
+//                          alive); every run must satisfy the fencing,
+//                          single-regulator, liveness and contract oracles
 //
 // Exit status: 0 when the scenario's invariants held, 1 otherwise.
 
@@ -135,6 +150,12 @@ struct World {
     return started;
   }
 
+  /// Toggles epoch fencing on every endpoint LLO.  Off reproduces the
+  /// pre-fencing protocol for the split-brain contrast run.
+  void set_fencing(bool on) {
+    for (auto* h : {hub, srv1, wsB, wsC, srv2}) h->llo.set_fencing_enabled(on);
+  }
+
   platform::Platform platform;
   platform::Host* hub = nullptr;
   platform::Host* srv1 = nullptr;
@@ -151,6 +172,26 @@ struct World {
 bool fail(const char* what) {
   std::fprintf(stderr, "chaos_soak: FAILED: %s\n", what);
   return false;
+}
+
+/// Sums one counter across all label sets.  The Registry is global and
+/// monotonic across Worlds in one process, so scenarios diff totals taken
+/// before and after the faulted window.  (The registry deliberately has no
+/// enumeration API; the JSON snapshot is the supported export, and each
+/// metric sits on its own line.)
+std::int64_t counter_total(const std::string& name) {
+  const std::string json = obs::Registry::global().to_json();
+  const std::string needle = "\"name\": \"" + name + "\"";
+  std::int64_t total = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    const std::size_t eol = json.find('\n', pos);
+    const std::size_t val = json.find("\"value\": ", pos);
+    if (val != std::string::npos && (eol == std::string::npos || val < eol))
+      total += std::strtoll(json.c_str() + val + 9, nullptr, 10);
+    pos += needle.size();
+  }
+  return total;
 }
 
 /// A source node dies mid-playback; the session sheds its stream and keeps
@@ -225,6 +266,198 @@ bool run_orch_death(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
   return true;
 }
 
+/// The orchestrating node is partitioned away (alive, state intact), a
+/// successor is elected at a bumped epoch, the partition heals, and the
+/// stale orchestrator resumes regulating into the new world.  With fencing
+/// the endpoints nack it into self-retirement and no stale target is ever
+/// applied; without fencing its targets land beside the successor's — the
+/// split brain the epoch exists to prevent.
+bool run_partition_heal_split_brain(World& w, sim::ChaosEngine& engine, std::uint64_t seed,
+                                    bool fencing) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  w.set_fencing(fencing);
+  const std::int64_t rejected_before = counter_total("orch.stale_epoch_rejected");
+  const std::int64_t applied_before = counter_total("orch.stale_target_applied");
+  const std::int64_t superseded_before = counter_total("orch.superseded");
+
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.isolate(w.platform.scheduler().now() + 2 * kSecond, w.wsC->id, 3 * kSecond);
+  engine.arm(plan);
+
+  const auto frames_before = w.sink1->stats().frames_rendered;
+  w.platform.run_until(w.platform.scheduler().now() + 12 * kSecond);
+
+  if (engine.injected() != 2) return fail("isolate + heal not both injected");
+  if (w.supervisor->failovers() != 1) return fail("no failover");
+  if (w.supervisor->orphaned()) return fail("session orphaned");
+  if (w.supervisor->session()->orchestrating_node() != w.wsB->id)
+    return fail("unexpected re-election");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+
+  const std::int64_t rejected = counter_total("orch.stale_epoch_rejected") - rejected_before;
+  const std::int64_t applied = counter_total("orch.stale_target_applied") - applied_before;
+  if (fencing) {
+    if (rejected <= 0) return fail("healed stale orchestrator was never fenced");
+    if (applied != 0) return fail("stale target applied despite fencing");
+    if (counter_total("orch.superseded") - superseded_before != 1)
+      return fail("stale orchestrator did not self-retire");
+    if (w.supervisor->superseded_count() != 0)
+      return fail("superseded session not reaped by the supervisor");
+    // End state: exactly one regulator owns the surviving VC at its sink —
+    // the re-elected node, at the fence epoch the endpoints adopted.
+    auto& sink_llo = w.platform.host(w.wsB->id).llo;
+    if (sink_llo.vc_regulator(w.s1->vc()) != w.wsB->id)
+      return fail("stale regulator still owns the sink VC");
+    if (sink_llo.vc_epoch(w.s1->vc()) != w.supervisor->session()->agent().epoch())
+      return fail("sink fence does not match the active epoch");
+  } else {
+    // Contrast run: the healed orchestrator regulates beside its successor.
+    if (applied <= 0) return fail("expected stale targets applied without fencing");
+  }
+  return true;
+}
+
+/// Two isolation blips shorter than both the transport liveness budget
+/// (800 ms) and the supervisor's agent_dead_after (1 s): no failover may
+/// result.  Then one real outage: exactly one failover, and the flapper is
+/// fenced when it heals.
+bool run_orch_flap(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  const std::int64_t rejected_before = counter_total("orch.stale_epoch_rejected");
+  const Time t0 = w.platform.scheduler().now();
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.isolate(t0 + kSecond, w.wsC->id, 300 * kMillisecond);
+  plan.isolate(t0 + 2 * kSecond, w.wsC->id, 300 * kMillisecond);
+  plan.isolate(t0 + 3500 * kMillisecond, w.wsC->id, 3 * kSecond);
+  engine.arm(plan);
+
+  const auto frames_before = w.sink1->stats().frames_rendered;
+  w.platform.run_until(t0 + 12 * kSecond);
+
+  if (engine.injected() != 6) return fail("isolates + heals not all injected");
+  if (w.supervisor->failovers() != 1) return fail("flapping must cause exactly one failover");
+  if (w.supervisor->orphaned()) return fail("session orphaned");
+  if (w.supervisor->session()->orchestrating_node() != w.wsB->id)
+    return fail("unexpected re-election");
+  if (counter_total("orch.stale_epoch_rejected") <= rejected_before)
+    return fail("healed flapper was never fenced");
+  if (w.supervisor->superseded_count() != 0)
+    return fail("superseded session not reaped by the supervisor");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+  return true;
+}
+
+/// Randomised fault schedules over seeds derived from the base seed.  Each
+/// derived seed builds a fresh world and draws from the fault families that
+/// keep the s1 endpoints (srv1, wsB) alive, so the surviving stream's
+/// regulation is always part of the oracle:
+///   0: isolate the orchestrating node, heal after a random hold
+///   1: crash the orchestrating node outright
+///   2: crash srv2 (sheds s3), then isolate the orchestrating node
+///   3: brief hub<->srv2 partition plus a sub-budget orchestrator blip
+/// Oracles (outcome-agnostic — a short isolation may legitimately heal
+/// before any failover):
+///   - no stale regulation target is ever applied (fencing holds)
+///   - end state has exactly one regulator for s1's sink VC, and it is the
+///     supervisor's current orchestrating node at the agent's epoch
+///   - the session is alive: not orphaned, status reports fresh
+///   - no contract violations
+/// Every seed is printed so any failure replays as
+///   chaos_soak --scenario fault_sweep --seed <base>  (or dig in with the
+///   printed derived seed and the matching family's dedicated scenario).
+bool run_fault_sweep(std::uint64_t base_seed, unsigned threads) {
+  constexpr int kSeeds = 20;
+  int failures = 0;
+  for (int i = 0; i < kSeeds; ++i) {
+    const std::uint64_t seed = base_seed + 1000ull * static_cast<std::uint64_t>(i + 1);
+    const std::int64_t applied_before = counter_total("orch.stale_target_applied");
+    const std::int64_t violations_before = counter_total("contract.violations");
+
+    auto seed_fail = [&](const char* what) {
+      std::printf("sweep seed=%llu FAILED: %s\n", static_cast<unsigned long long>(seed), what);
+      ++failures;
+    };
+
+    World w(seed, threads);
+    if (!w.ok || !w.establish() || !w.prime_and_start()) {
+      seed_fail("session setup");
+      continue;
+    }
+    sim::ChaosEngine engine(w.platform.scheduler(), w.platform.chaos_target());
+
+    Rng rng(seed ^ 0x5eed5eedull);
+    const Time t0 = w.platform.scheduler().now();
+    const int family = static_cast<int>(rng.uniform(0, 3));
+    sim::ChaosPlan plan;
+    plan.seed = seed;
+    switch (family) {
+      case 0:
+        plan.isolate(t0 + rng.uniform(1, 3) * kSecond, w.wsC->id,
+                     rng.uniform(1500, 3500) * kMillisecond);
+        break;
+      case 1:
+        plan.crash(t0 + rng.uniform(1, 3) * kSecond, w.wsC->id);
+        break;
+      case 2: {
+        const Time crash_at = t0 + rng.uniform(1, 2) * kSecond;
+        plan.crash(crash_at, w.srv2->id);
+        plan.isolate(crash_at + 2 * kSecond, w.wsC->id, 2 * kSecond);
+        break;
+      }
+      default:
+        plan.partition(t0 + rng.uniform(1, 2) * kSecond, w.hub->id, w.srv2->id,
+                       rng.uniform(500, 1500) * kMillisecond);
+        plan.isolate(t0 + rng.uniform(3, 4) * kSecond, w.wsC->id,
+                     rng.uniform(100, 300) * kMillisecond);
+        break;
+    }
+    engine.arm(plan);
+    w.platform.run_until(t0 + 14 * kSecond);
+
+    const std::int64_t applied = counter_total("orch.stale_target_applied") - applied_before;
+    const std::int64_t violations = counter_total("contract.violations") - violations_before;
+    if (applied != 0) {
+      seed_fail("stale target applied");
+      continue;
+    }
+    if (violations != 0) {
+      seed_fail("contract violations");
+      continue;
+    }
+    if (w.supervisor->orphaned()) {
+      seed_fail("session orphaned");
+      continue;
+    }
+    if (w.supervisor->superseded_count() != 0) {
+      seed_fail("superseded session not reaped");
+      continue;
+    }
+    const net::NodeId orch_node = w.supervisor->session()->orchestrating_node();
+    auto& sink_llo = w.platform.host(w.wsB->id).llo;
+    if (sink_llo.vc_regulator(w.s1->vc()) != orch_node) {
+      seed_fail("sink VC regulator is not the current orchestrating node");
+      continue;
+    }
+    if (sink_llo.vc_epoch(w.s1->vc()) != w.supervisor->session()->agent().epoch()) {
+      seed_fail("sink fence does not match the active epoch");
+      continue;
+    }
+    auto& agent = w.supervisor->session()->agent();
+    if (w.platform.scheduler().now() - agent.last_report_time() > 2 * kSecond) {
+      seed_fail("status reports stale at end of run");
+      continue;
+    }
+    std::printf("sweep seed=%llu family=%d faults=%lld failovers=%d retries=%d ok\n",
+                static_cast<unsigned long long>(seed), family,
+                static_cast<long long>(engine.injected()), w.supervisor->failovers(),
+                w.supervisor->rebuild_retries());
+  }
+  std::printf("sweep: %d/%d seeds passed\n", kSeeds - failures, kSeeds);
+  return failures == 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -232,6 +465,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::uint64_t seed = 1;
   unsigned threads = 1;
+  bool fencing = true;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -248,37 +482,50 @@ int main(int argc, char** argv) {
       json_path = next("--json");
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-fencing") == 0) {
+      fencing = false;
     } else {
       std::fprintf(stderr,
                    "usage: chaos_soak [--scenario crash_mid_stream|partition_prime_start|"
-                   "orch_death] [--seed N] [--threads N] [--json PATH]\n");
+                   "orch_death|partition_heal_split_brain|orch_flap|fault_sweep] "
+                   "[--seed N] [--threads N] [--no-fencing] [--json PATH]\n");
       return 2;
     }
   }
 
-  World world(seed, threads);
-  if (!world.ok) {
-    std::fprintf(stderr, "chaos_soak: world setup failed\n");
-    return 1;
-  }
-  sim::ChaosEngine engine(world.platform.scheduler(), world.platform.chaos_target());
-
   bool passed = false;
-  if (scenario == "crash_mid_stream") {
-    passed = run_crash_mid_stream(world, engine, seed);
-  } else if (scenario == "partition_prime_start") {
-    passed = run_partition_prime_start(world, engine, seed);
-  } else if (scenario == "orch_death") {
-    passed = run_orch_death(world, engine, seed);
+  if (scenario == "fault_sweep") {
+    // The sweep builds a fresh world per derived seed.
+    passed = run_fault_sweep(seed, threads);
   } else {
-    std::fprintf(stderr, "chaos_soak: unknown scenario '%s'\n", scenario.c_str());
-    return 2;
+    World world(seed, threads);
+    if (!world.ok) {
+      std::fprintf(stderr, "chaos_soak: world setup failed\n");
+      return 1;
+    }
+    sim::ChaosEngine engine(world.platform.scheduler(), world.platform.chaos_target());
+
+    if (scenario == "crash_mid_stream") {
+      passed = run_crash_mid_stream(world, engine, seed);
+    } else if (scenario == "partition_prime_start") {
+      passed = run_partition_prime_start(world, engine, seed);
+    } else if (scenario == "orch_death") {
+      passed = run_orch_death(world, engine, seed);
+    } else if (scenario == "partition_heal_split_brain") {
+      passed = run_partition_heal_split_brain(world, engine, seed, fencing);
+    } else if (scenario == "orch_flap") {
+      passed = run_orch_flap(world, engine, seed);
+    } else {
+      std::fprintf(stderr, "chaos_soak: unknown scenario '%s'\n", scenario.c_str());
+      return 2;
+    }
+    for (const auto& line : engine.log()) std::printf("fault: %s\n", line.c_str());
   }
 
-  for (const auto& line : engine.log()) std::printf("fault: %s\n", line.c_str());
   if (!json_path.empty()) {
     obs::Registry::global().write_json(
-        json_path, {{"scenario", scenario}, {"seed", std::to_string(seed)}});
+        json_path, {{"scenario", scenario}, {"seed", std::to_string(seed)},
+                    {"fencing", fencing ? "on" : "off"}});
   }
   std::printf("chaos_soak: scenario %s seed %llu: %s\n", scenario.c_str(),
               static_cast<unsigned long long>(seed), passed ? "OK" : "FAILED");

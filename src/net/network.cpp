@@ -88,6 +88,11 @@ void Network::set_link_up(NodeId a, NodeId b, bool up) {
   if (Link* l = link(b, a)) l->set_up(up);
 }
 
+void Network::set_node_isolated(NodeId id, bool isolated) {
+  for (auto& [key, l] : links_)
+    if (key.from == id || key.to == id) l->set_up(!isolated);
+}
+
 std::vector<NodeId> Network::path(NodeId src, NodeId dst) const {
   CMTOS_ASSERT(routes_valid_, "net.routes_stale");
   std::vector<NodeId> p;

@@ -62,6 +62,12 @@ class Network {
   /// black-holed rather than re-routed, matching the static-route model.
   void set_link_up(NodeId a, NodeId b, bool up);
 
+  /// Sets every link direction touching `id` up or down in one call: the
+  /// node-isolation primitive (partition one node from the whole cluster,
+  /// then heal it).  The node itself stays up — unlike set_node_up(false)
+  /// its protocol state survives, which is exactly the split-brain case.
+  void set_node_isolated(NodeId id, bool isolated);
+
   /// Marks a node down (crash) or up (restart).  A down node drops all
   /// terminating and transit packets.  The node's fault handler (if any)
   /// runs afterwards, so the platform's stack teardown / cold start routes

@@ -1,5 +1,6 @@
 #include "orch/failover.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
@@ -18,17 +19,31 @@ FailoverSupervisor::FailoverSupervisor(sim::Scheduler& sched, Orchestrator& orch
       alive_(std::move(alive)),
       cfg_(cfg) {}
 
-FailoverSupervisor::~FailoverSupervisor() { timer_.cancel(); }
+FailoverSupervisor::~FailoverSupervisor() {
+  timer_.cancel();
+  retry_timer_.cancel();
+}
 
 void FailoverSupervisor::watch(std::unique_ptr<OrchSession> session) {
   session_ = std::move(session);
   policy_ = session_->agent().policy();
+  epoch_ = session_->agent().epoch();
   orphaned_ = false;
   if (!timer_.pending()) check();
 }
 
 void FailoverSupervisor::check() {
   retired_.clear();  // safe here: never called from an agent callback
+  // A superseded predecessor has self-retired at the protocol level (its
+  // first post-heal OPDU was fenced); now its object can go too.
+  for (auto it = superseded_.begin(); it != superseded_.end();) {
+    if ((*it)->agent().superseded()) {
+      retired_.push_back(std::move(*it));
+      it = superseded_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (session_ != nullptr && !failing_over_ && !orphaned_) {
     const net::NodeId n = session_->orchestrating_node();
     Llo* llo = resolve_(n);
@@ -39,106 +54,150 @@ void FailoverSupervisor::check() {
     const HloAgent& agent = session_->agent();
     const bool reports_missed =
         agent.running() && sched_.now() - agent.last_report_time() > cfg_.agent_dead_after;
-    if (node_dead || reports_missed) fail_over(node_dead ? "node-down" : "reports-missed");
+    if (node_dead || reports_missed)
+      fail_over(node_dead ? "node-down" : "reports-missed", node_dead);
   }
   timer_ = sched_.after(cfg_.check_interval, [this] { check(); });
 }
 
-void FailoverSupervisor::fail_over(const char* cause) {
+void FailoverSupervisor::fail_over(const char* cause, bool node_dead) {
   failing_over_ = true;
-  const Time detected_at = sched_.now();
-  const net::NodeId old_node = session_->orchestrating_node();
-  const OrchSessionId old_session = session_->agent().session_id();
+  recovery_ = Recovery{};
+  recovery_.detected_at = sched_.now();
+  recovery_.old_node = session_->orchestrating_node();
+  recovery_.old_session = session_->agent().session_id();
   const std::vector<OrchStreamSpec> streams = session_->agent().streams();
 
-  std::vector<OrchStreamSpec> survivors;
-  for (const auto& s : streams)
-    if (alive_(s.vc.src_node) && alive_(s.vc.sink_node)) survivors.push_back(s);
+  // A stream survives when both endpoints are alive and — for a partition,
+  // where the old node is alive but unreachable — neither endpoint sits on
+  // the old node (its VCs are unreachable from the rest of the cluster).
+  for (const auto& s : streams) {
+    if (!alive_(s.vc.src_node) || !alive_(s.vc.sink_node)) continue;
+    if (!node_dead &&
+        (s.vc.src_node == recovery_.old_node || s.vc.sink_node == recovery_.old_node))
+      continue;
+    recovery_.survivors.push_back(s);
+  }
+  for (const auto& s : streams) recovery_.stale_vcs.push_back(s.vc);
 
   obs::Registry::global().counter("orch.failover_attempts", {{"cause", cause}}).add();
   CMTOS_WARN("failover", "orchestrator at node %u presumed dead (%s); %zu of %zu streams survive",
-             old_node, cause, survivors.size(), streams.size());
-  retired_.push_back(std::move(session_));
+             recovery_.old_node, cause, recovery_.survivors.size(), streams.size());
+  if (node_dead) {
+    retired_.push_back(std::move(session_));
+  } else {
+    // Partitioned, not dead: the old agent free-runs on the far side until
+    // an epoch fence makes it self-retire.  Hold the object alive so the
+    // simulation models that honestly.
+    superseded_.push_back(std::move(session_));
+  }
 
-  if (survivors.empty()) {
+  if (recovery_.survivors.empty()) {
     orphaned_ = true;
     failing_over_ = false;
-    if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+    if (on_failover_) on_failover_(recovery_.old_node, net::kInvalidNode);
     return;
   }
 
-  // Re-election over the survivors.  When the dead node was the common
+  // Re-election over the survivors.  When the old node was the common
   // node, no survivor may touch every VC — fall back to the §7 extension
   // (relative targets make regulation location-independent).
-  OrchPolicy policy = policy_;
-  if (Orchestrator::choose_orchestrating_node(survivors, !policy.allow_no_common_node) ==
+  recovery_.policy = policy_;
+  if (Orchestrator::choose_orchestrating_node(recovery_.survivors,
+                                              !recovery_.policy.allow_no_common_node) ==
       net::kInvalidNode) {
-    policy.allow_no_common_node = true;
+    recovery_.policy.allow_no_common_node = true;
   }
+  attempt_rebuild();
+}
 
+void FailoverSupervisor::attempt_rebuild() {
   const int gen = ++generation_;
-  const std::vector<OrchVcInfo> stale_vcs = [&] {
-    std::vector<OrchVcInfo> v;
-    for (const auto& s : streams) v.push_back(s.vc);
-    return v;
-  }();
+  ++recovery_.attempt;
+  // Every attempt runs at a fresh, strictly higher epoch: endpoints adopt
+  // it from the Orch.request fan-out, fencing the old incarnation out
+  // before the first regulation target is even issued.
+  const std::uint32_t epoch = ++epoch_;
   auto next = orch_.orchestrate(
-      survivors, policy,
-      [this, gen, detected_at, old_node, old_session, stale_vcs,
-       survivors](bool ok, OrchReason reason) {
+      recovery_.survivors, recovery_.policy,
+      [this, gen](bool ok, OrchReason reason) {
         if (gen != generation_ || session_ == nullptr) return;
         if (!ok) {
           CMTOS_WARN("failover", "re-established session rejected: %s", to_string(reason));
           retired_.push_back(std::move(session_));
-          orphaned_ = true;
-          failing_over_ = false;
-          if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+          retry_or_orphan();
           return;
         }
         const net::NodeId new_node = session_->orchestrating_node();
-        // The dead orchestrator can never send kSessRel for its session;
-        // purge the survivors' stale endpoint attachments from here.
-        if (Llo* llo = resolve_(new_node)) llo->release_remote(old_session, stale_vcs);
-        session_->prime(false, [this, gen, detected_at, old_node, new_node,
-                                survivors](bool primed, OrchReason) {
+        // The old orchestrator cannot (dead) or must not be trusted to
+        // (partitioned) release its session; purge the survivors' stale
+        // endpoint attachments from here.  kSessRel is epoch-exempt.
+        if (Llo* llo = resolve_(new_node))
+          llo->release_remote(recovery_.old_session, recovery_.stale_vcs);
+        session_->prime(false, [this, gen, new_node](bool primed, OrchReason) {
           if (gen != generation_ || session_ == nullptr) return;
           if (!primed)
             CMTOS_WARN("failover", "re-prime incomplete; starting survivors anyway");
-          session_->start([this, gen, detected_at, old_node, new_node,
-                           survivors](bool started, OrchReason) {
+          session_->start([this, gen, new_node](bool started, OrchReason) {
             if (gen != generation_ || session_ == nullptr) return;
-            failing_over_ = false;
             if (!started) {
-              orphaned_ = true;
-              if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+              retired_.push_back(std::move(session_));
+              retry_or_orphan();
               return;
             }
+            failing_over_ = false;
             ++failovers_;
-            obs::Registry::global().counter("orch.failovers", {}).add();
-            obs::Tracer::global().instant("Orch.Failover", static_cast<int>(new_node), 0,
-                                          "{\"old_node\": " + std::to_string(old_node) + "}");
+            auto& reg = obs::Registry::global();
+            reg.counter("orch.failovers", {}).add();
+            // Recovery gap: detection of the dead orchestrator to the
+            // survivors regulating again under the replacement.
+            reg.set_gauge("orch.recovery_gap_s",
+                          to_seconds(sched_.now() - recovery_.detected_at));
+            obs::Tracer::global().instant(
+                "Orch.Failover", static_cast<int>(new_node), 0,
+                "{\"old_node\": " + std::to_string(recovery_.old_node) + "}");
             // Every surviving application stalled for the whole outage:
             // Orch.Delayed with the stall expressed in its own OSDUs.
-            const double stall_s = to_seconds(sched_.now() - detected_at);
+            const double stall_s = to_seconds(sched_.now() - recovery_.detected_at);
             HloAgent& agent = session_->agent();
-            for (const auto& s : survivors) {
+            for (const auto& s : recovery_.survivors) {
               const std::int64_t behind = std::llround(stall_s * s.osdu_rate);
               agent.llo().delayed(agent.session_id(), s.vc.vc, /*source_side=*/false, behind);
             }
-            CMTOS_INFO("failover", "re-elected node %u for %zu surviving stream(s)", new_node,
-                       survivors.size());
-            if (on_failover_) on_failover_(old_node, new_node);
+            CMTOS_INFO("failover", "re-elected node %u (epoch %u) for %zu surviving stream(s)",
+                       new_node, session_->agent().epoch(), recovery_.survivors.size());
+            if (on_failover_) on_failover_(recovery_.old_node, new_node);
           });
         });
-      });
+      },
+      epoch);
   if (next == nullptr) {
-    // No LLO at the elected node (resolver gap): nothing to rebuild on.
-    orphaned_ = true;
-    failing_over_ = false;
-    if (on_failover_) on_failover_(old_node, net::kInvalidNode);
+    // No LLO at the elected node (resolver gap); it may resolve later.
+    retry_or_orphan();
     return;
   }
   session_ = std::move(next);
+}
+
+void FailoverSupervisor::retry_or_orphan() {
+  if (recovery_.attempt > cfg_.max_rebuild_retries) {
+    CMTOS_WARN("failover", "rebuild failed %d time(s); session orphaned", recovery_.attempt);
+    orphaned_ = true;
+    failing_over_ = false;
+    if (on_failover_) on_failover_(recovery_.old_node, net::kInvalidNode);
+    return;
+  }
+  Duration backoff = cfg_.retry_backoff;
+  for (int i = 1; i < recovery_.attempt; ++i)
+    backoff = std::min(backoff * 2, cfg_.retry_backoff_max);
+  ++retries_;
+  obs::Registry::global().counter("orch.failover_retries", {}).add();
+  CMTOS_WARN("failover", "rebuild attempt %d failed; retrying in %lld us", recovery_.attempt,
+             static_cast<long long>(backoff));
+  retry_timer_ = sched_.after(backoff, [this, gen = generation_] {
+    if (gen != generation_ || !failing_over_) return;
+    attempt_rebuild();
+  });
 }
 
 }  // namespace cmtos::orch

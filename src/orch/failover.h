@@ -12,14 +12,26 @@
 //   detect   the agent misses several regulate-report windows in a row
 //            (last_report_time stale), or the node is directly known dead
 //   re-elect Orchestrator::choose_orchestrating_node over the *surviving*
-//            streams (endpoints alive), falling back to the §7
-//            no-common-node extension when the survivors share no node
-//   rebuild  a fresh HLO agent (new session id) at the elected node,
-//            Orch.request / Orch.Prime / Orch.Start over the survivors,
-//            and a purge of the stale session state the dead node can no
-//            longer release (Llo::release_remote)
+//            streams (endpoints alive and, for a partition, not on the
+//            unreachable node), falling back to the §7 no-common-node
+//            extension when the survivors share no node
+//   rebuild  a fresh HLO agent (new session id, *higher epoch*) at the
+//            elected node, Orch.request / Orch.Prime / Orch.Start over the
+//            survivors, and a purge of the stale session state the old node
+//            can no longer release (Llo::release_remote).  A failed rebuild
+//            is retried with capped exponential backoff before the session
+//            is declared orphaned.
 //   report   Orch.Delayed to every surviving endpoint with the stall
 //            length, and an on_failover callback to the application
+//
+// Split brain: a *partitioned* orchestrator (cause "reports-missed") is not
+// dead — its agent keeps free-running on the far side and will regulate
+// again the moment the partition heals.  The supervisor cannot reach it, so
+// fencing does the work: the replacement runs at a higher epoch, every
+// endpoint adopts that epoch as its fence, and the old agent's first
+// post-heal OPDU is nacked (kStaleEpoch), making it self-retire.  The
+// supervisor keeps the old session object in a superseded-holding list and
+// only destroys it after that protocol-level retirement is observed.
 //
 // The supervisor is deliberately *not* part of the protocol entities: it
 // models the management plane an operator deploys beside the platform, so
@@ -45,6 +57,13 @@ struct FailoverConfig {
   /// dead.  Should be several regulation intervals: one lost report is
   /// routine (RegMerge already degrades to a partial indication).
   Duration agent_dead_after = 2 * kSecond;
+  /// Rebuild attempts after the first failed one before the session is
+  /// declared orphaned (a survivor endpoint may itself be briefly
+  /// unreachable when recovery starts).
+  int max_rebuild_retries = 4;
+  /// Backoff before the first retry; doubles per retry up to the cap.
+  Duration retry_backoff = 500 * kMillisecond;
+  Duration retry_backoff_max = 4 * kSecond;
 };
 
 class CMTOS_CONTROL_PLANE FailoverSupervisor {
@@ -66,9 +85,14 @@ class CMTOS_CONTROL_PLANE FailoverSupervisor {
 
   OrchSession* session() { return session_.get(); }
   int failovers() const { return failovers_; }
-  /// True when recovery gave up: no stream survived, or rebuilding the
-  /// session on the elected node failed.
+  /// True when recovery gave up: no stream survived, or every rebuild
+  /// attempt (initial + max_rebuild_retries) failed.
   bool orphaned() const { return orphaned_; }
+  /// Rebuild attempts beyond the first across all failovers.
+  int rebuild_retries() const { return retries_; }
+  /// Superseded-but-unretired old sessions (partitioned orchestrators whose
+  /// protocol-level self-retirement has not been observed yet).
+  std::size_t superseded_count() const { return superseded_.size(); }
 
   /// Fires when a failover completes (new_node) or is abandoned
   /// (kInvalidNode).
@@ -78,7 +102,9 @@ class CMTOS_CONTROL_PLANE FailoverSupervisor {
 
  private:
   void check();
-  void fail_over(const char* cause);
+  void fail_over(const char* cause, bool node_dead);
+  void attempt_rebuild();
+  void retry_or_orphan();
 
   sim::Scheduler& sched_;
   Orchestrator& orch_;
@@ -91,9 +117,27 @@ class CMTOS_CONTROL_PLANE FailoverSupervisor {
   /// inside one of its own agent's callbacks, so teardown is deferred to
   /// the next supervisor tick.
   std::vector<std::unique_ptr<OrchSession>> retired_;
+  /// Partitioned (unreachable-but-alive) predecessors: kept intact until
+  /// their agent reports superseded() — destroying them early would model a
+  /// management plane with magical reach into the far partition.
+  std::vector<std::unique_ptr<OrchSession>> superseded_;
+  /// Context of the in-flight recovery, carried across rebuild retries.
+  struct Recovery {
+    net::NodeId old_node = net::kInvalidNode;
+    OrchSessionId old_session = 0;
+    std::vector<OrchVcInfo> stale_vcs;
+    std::vector<OrchStreamSpec> survivors;
+    OrchPolicy policy;
+    Time detected_at = 0;
+    int attempt = 0;  // rebuild attempts made so far
+  };
+  Recovery recovery_;
   OrchPolicy policy_;
   sim::EventHandle timer_;
+  sim::EventHandle retry_timer_;
+  std::uint32_t epoch_ = 1;  // epoch of the current incarnation
   int failovers_ = 0;
+  int retries_ = 0;
   int generation_ = 0;  // invalidates callbacks from superseded recoveries
   bool orphaned_ = false;
   bool failing_over_ = false;

@@ -27,6 +27,7 @@ HloAgent::HloAgent(Llo& llo, OrchSessionId session, std::vector<OrchStreamSpec> 
                              [this](const RegulateIndication& ind) { on_regulate(ind); });
   llo_.set_vc_dead_callback(session_,
                             [this](const EventIndication& ind) { on_vc_dead(ind); });
+  llo_.set_superseded_callback(session_, [this] { on_superseded_nack(); });
 }
 
 HloAgent::~HloAgent() {
@@ -34,6 +35,30 @@ HloAgent::~HloAgent() {
   llo_.set_regulate_callback(session_, nullptr);
   llo_.set_event_callback(session_, nullptr);
   llo_.set_vc_dead_callback(session_, nullptr);
+  llo_.set_superseded_callback(session_, nullptr);
+}
+
+void HloAgent::set_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  llo_.set_session_epoch(session_, epoch);
+}
+
+void HloAgent::on_superseded_nack() {
+  if (superseded_) return;  // several endpoints may fence us in one burst
+  superseded_ = true;
+  CMTOS_WARN("hlo", "session %llu: superseded at epoch %u, self-retiring",
+             static_cast<unsigned long long>(session_), epoch_);
+  obs::Registry::global()
+      .counter("orch.superseded", {{"node", std::to_string(llo_.node_id())}})
+      .add();
+  // Self-retire: stop steering and give back every slot this incarnation
+  // holds.  orch_release also sends kSessRel for any endpoint attachments
+  // the successor has not already purged.
+  running_ = false;
+  tick_.cancel();
+  llo_.orch_release(session_);
+  established_ = false;
+  if (on_superseded_) on_superseded_();
 }
 
 Time HloAgent::master_now() const {

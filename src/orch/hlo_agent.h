@@ -106,6 +106,19 @@ class HloAgent {
   const OrchPolicy& policy() const { return policy_; }
   Llo& llo() { return llo_; }
 
+  /// Fencing epoch this agent stamps on every OPDU (via the session table).
+  /// Must be set before establish(); a failover supervisor assigns each
+  /// re-elected agent a strictly higher epoch than its predecessor.
+  void set_epoch(std::uint32_t epoch);
+  std::uint32_t epoch() const { return epoch_; }
+
+  /// True once an endpoint fenced this agent (kEpochNack): a re-elected
+  /// successor owns the session now.  The agent has already stopped
+  /// regulating and released its session state when this reads true.
+  bool superseded() const { return superseded_; }
+  /// Fires (once) when the agent self-retires on supersession.
+  void set_on_superseded(std::function<void()> fn) { on_superseded_ = std::move(fn); }
+
   /// Orch.request to all involved LLOs; must complete before prime/start.
   void establish(ResultFn done);
   /// Orch.Prime: fill the pipelines; confirm fires when every sink's
@@ -178,6 +191,7 @@ class HloAgent {
   void interval_tick();
   void on_regulate(const RegulateIndication& ind);
   void on_vc_dead(const EventIndication& ind);
+  void on_superseded_nack();
   /// Orchestrating node's local clock (the master reference / datum).
   Time master_now() const;
   /// Media-time position of a stream, in seconds since its base.
@@ -190,6 +204,8 @@ class HloAgent {
 
   bool established_ = false;
   bool running_ = false;
+  bool superseded_ = false;
+  std::uint32_t epoch_ = 1;
   Time start_master_time_ = 0;
   Time last_report_ = 0;
   std::uint32_t next_interval_id_ = 1;
@@ -198,6 +214,7 @@ class HloAgent {
   std::function<void(const RegulateIndication&, std::int64_t)> on_interval_;
   std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> on_escalate_;
   std::function<void(const EventIndication&)> on_vc_dead_;
+  std::function<void()> on_superseded_;
 };
 
 }  // namespace cmtos::orch

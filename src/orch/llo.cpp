@@ -20,6 +20,7 @@ const char* to_string(OrchReason r) {
     case OrchReason::kNotEstablished: return "not-established";
     case OrchReason::kOpInProgress: return "op-in-progress";
     case OrchReason::kIllegalTransition: return "illegal-transition";
+    case OrchReason::kStaleEpoch: return "stale-epoch";
   }
   return "?";
 }
@@ -160,9 +161,9 @@ void Llo::handle_time_resp(const Opdu& o) {
 // OPDU dispatch
 // ====================================================================
 
-const std::array<Llo::OpduHandler, 42>& Llo::opdu_dispatch() {
-  static const std::array<OpduHandler, 42> table = [] {
-    std::array<OpduHandler, 42> t{};  // unknown rows stay null -> warn
+const std::array<Llo::OpduHandler, 43>& Llo::opdu_dispatch() {
+  static const std::array<OpduHandler, 43> table = [] {
+    std::array<OpduHandler, 43> t{};  // unknown rows stay null -> warn
     auto at = [&t](OpduType type) -> OpduHandler& {
       return t[static_cast<std::size_t>(type)];
     };
@@ -192,6 +193,7 @@ const std::array<Llo::OpduHandler, 42>& Llo::opdu_dispatch() {
     at(OpduType::kVcDead) = &Llo::dispatch_vc_dead;
     at(OpduType::kTimeReq) = &Llo::handle_time_req;
     at(OpduType::kTimeResp) = &Llo::handle_time_resp;
+    at(OpduType::kEpochNack) = &Llo::dispatch_epoch_nack;
     return t;
   }();
   return table;

@@ -157,6 +157,39 @@ class CMTOS_SHARD_AFFINE Llo {
     table_.release_remote(session, vcs);
   }
 
+  // ------------------------------------------------------------------
+  // Epoch fencing (split-brain protection across failover)
+  // ------------------------------------------------------------------
+
+  /// Sets the fencing token stamped on every OPDU this node sends for
+  /// `session`.  Must be set before Orch.request (the HLO agent does this);
+  /// unset sessions stamp the default epoch 1.
+  void set_session_epoch(OrchSessionId session, std::uint32_t epoch) {
+    table_.set_session_epoch(session, epoch);
+  }
+  std::uint32_t session_epoch(OrchSessionId session) const {
+    return table_.session_epoch(session);
+  }
+
+  /// Fires once when this node's session is told (via kEpochNack) that a
+  /// newer epoch has fenced it out: the owning HLO agent self-retires.
+  void set_superseded_callback(OrchSessionId session, std::function<void()> fn) {
+    table_.set_superseded_callback(session, std::move(fn));
+  }
+
+  /// Endpoint-side fence switch.  On by default; the partition-heal
+  /// regression and the BENCH_failover baseline turn it off to reproduce
+  /// the pre-epoch split brain (stale targets applied, dual regulators).
+  void set_fencing_enabled(bool on) { reg_.set_fencing_enabled(on); }
+
+  /// Orchestrating node of the last *applied* kRegulateSink for `vc` at
+  /// this endpoint (kInvalidNode if never regulated), and the epoch fence
+  /// currently in force.  The chaos oracles read these: at scenario end
+  /// every surviving sink must name exactly the current orchestrating node
+  /// at the current epoch.
+  net::NodeId vc_regulator(transport::VcId vc) const { return reg_.vc_regulator(vc); }
+  std::uint32_t vc_epoch(transport::VcId vc) const { return reg_.vc_epoch(vc); }
+
   /// Number of sessions this LLO can still accept (the paper's "table
   /// space"; rejection reason kNoTableSpace).
   void set_session_limit(std::size_t n) { reg_.set_session_limit(n); }
@@ -230,13 +263,14 @@ class CMTOS_SHARD_AFFINE Llo {
   void dispatch_event_reg(const Opdu& o) { reg_.handle_event_reg(o); }
   void dispatch_delayed(const Opdu& o) { reg_.handle_delayed(o); }
   void dispatch_vc_dead(const Opdu& o) { table_.handle_vc_dead(o); }
+  void dispatch_epoch_nack(const Opdu& o) { table_.handle_epoch_nack(o); }
   void dispatch_op_ack(const Opdu& o) { table_.op_ack(o); }
   void dispatch_primed(const Opdu& o) { table_.handle_primed(o); }
   void dispatch_reg_ind(const Opdu& o) { table_.handle_reg_ind(o); }
   void dispatch_src_stats(const Opdu& o) { table_.handle_src_stats(o); }
   void dispatch_event_ind(const Opdu& o) { table_.handle_event_ind(o); }
   void dispatch_ignore(const Opdu& o) { (void)o; }  // informational rows
-  static const std::array<OpduHandler, 42>& opdu_dispatch();
+  static const std::array<OpduHandler, 43>& opdu_dispatch();
 };
 
 }  // namespace cmtos::orch

@@ -11,6 +11,7 @@ std::vector<std::uint8_t> Opdu::encode() const {
   w.u64(session);
   w.u64(vc);
   w.u32(orch_node);
+  w.u32(epoch);
   w.u32(narrow<std::uint32_t>(vcs.size()));
   for (const auto& i : vcs) {
     w.u64(i.vc);
@@ -51,6 +52,7 @@ std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire) {
     o.session = r.u64();
     o.vc = r.u64();
     o.orch_node = r.u32();
+    o.epoch = r.u32();
     const std::uint32_t n = r.u32();
     if (n > r.remaining() / 16) return std::nullopt;  // garbage length field
     o.vcs.reserve(n);

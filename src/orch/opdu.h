@@ -73,6 +73,10 @@ enum class OpduType : std::uint8_t {
   // orchestrator protocols" lifts the common-node restriction).
   kTimeReq = 40,       // requester -> peer: carries requester's local send time
   kTimeResp = 41,      // peer -> requester: echoes it + peer's local time
+
+  // Epoch fencing (failover split-brain protection).
+  kEpochNack = 42,     // endpoint -> stale orchestrating node: your epoch is
+                       // superseded; `epoch` carries the fence now in force
 };
 
 /// Reasons carried in negative acks.
@@ -88,6 +92,7 @@ enum class OrchReason : std::uint8_t {
   kNotEstablished = 8,      // group primitive before Orch.request completed
   kOpInProgress = 9,        // a group primitive is still collecting acks
   kIllegalTransition = 10,  // primitive not legal in the session's phase
+  kStaleEpoch = 11,         // OPDU carries an epoch older than the fence
 };
 
 const char* to_string(OrchReason r);
@@ -97,6 +102,16 @@ struct Opdu {
   OrchSessionId session = 0;
   transport::VcId vc = transport::kInvalidVc;
   net::NodeId orch_node = net::kInvalidNode;  // reply address
+
+  /// Session epoch (fencing token): bumped on every re-election, stamped by
+  /// the orchestrating side on every session-scoped OPDU.  Endpoint LLOs
+  /// track the highest epoch seen per VC and nack anything older with
+  /// kEpochNack/kStaleEpoch, so a partitioned-then-healed orchestrator can
+  /// never regulate alongside its replacement.  kSessRel is exempt (a stale
+  /// release only removes already-superseded state; reconciliation depends
+  /// on it working).  In kEpochNack itself this field carries the fence
+  /// currently in force at the rejecting endpoint.
+  std::uint32_t epoch = 1;
 
   // kSessReq / kAdd: VC geometry this node must track.
   std::vector<OrchVcInfo> vcs;

@@ -43,7 +43,8 @@ net::NodeId Orchestrator::choose_orchestrating_node(
 
 std::unique_ptr<OrchSession> Orchestrator::orchestrate(std::vector<OrchStreamSpec> streams,
                                                        OrchPolicy policy,
-                                                       HloAgent::ResultFn established) {
+                                                       HloAgent::ResultFn established,
+                                                       std::uint32_t epoch) {
   const net::NodeId node =
       choose_orchestrating_node(streams, /*require_common=*/!policy.allow_no_common_node);
   if (node == net::kInvalidNode) {
@@ -57,6 +58,7 @@ std::unique_ptr<OrchSession> Orchestrator::orchestrate(std::vector<OrchStreamSpe
     return nullptr;
   }
   auto agent = std::make_unique<HloAgent>(*llo, next_session_++, std::move(streams), policy);
+  agent->set_epoch(epoch);
   agent->establish(std::move(established));
   return std::make_unique<OrchSession>(std::move(agent), node);
 }

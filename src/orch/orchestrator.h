@@ -73,10 +73,13 @@ class Orchestrator {
   /// instantiates the HLO agent there and runs Orch.request.  `established`
   /// fires with the outcome; on failure the returned session is still
   /// valid but unusable (release it).  Returns nullptr only if no common
-  /// node exists or no LLO runs there.
+  /// node exists or no LLO runs there.  `epoch` is the fencing token the
+  /// agent stamps on every OPDU — a failover supervisor rebuilding a
+  /// session passes one strictly higher than the superseded incarnation's.
   std::unique_ptr<OrchSession> orchestrate(std::vector<OrchStreamSpec> streams,
                                            OrchPolicy policy,
-                                           HloAgent::ResultFn established);
+                                           HloAgent::ResultFn established,
+                                           std::uint32_t epoch = 1);
 
  private:
   LloResolver resolve_;

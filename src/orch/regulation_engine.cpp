@@ -25,6 +25,35 @@ void RegulationEngine::crash() {
     st.src_timer.cancel();
   }
   locals_.clear();
+  vc_epoch_.clear();
+  vc_regulator_.clear();
+}
+
+bool RegulationEngine::epoch_fenced(const Opdu& o) {
+  auto it = vc_epoch_.find(o.vc);
+  const std::uint32_t cur = it == vc_epoch_.end() ? 0 : it->second;
+  if (o.epoch >= cur) {
+    vc_epoch_[o.vc] = o.epoch;  // adopt the newer fence
+    return false;
+  }
+  // Stale epoch.  Track the fence even when fencing is disabled so the
+  // contrast runs can *count* the targets a fence would have stopped.
+  if (!fencing_) return false;
+  obs::Registry::global()
+      .counter("orch.stale_epoch_rejected", {{"node", std::to_string(llo_.node_)}})
+      .add();
+  CMTOS_WARN("llo", "node %u: fenced OPDU type %u from node %u (epoch %u < fence %u)",
+             llo_.node_, static_cast<unsigned>(o.type), o.orch_node, o.epoch, cur);
+  Opdu nack;
+  nack.type = OpduType::kEpochNack;
+  nack.session = o.session;
+  nack.vc = o.vc;
+  nack.orch_node = llo_.node_;
+  nack.epoch = cur;  // the fence now in force
+  nack.ok = 0;
+  nack.reason = OrchReason::kStaleEpoch;
+  llo_.send_opdu(o.orch_node, nack);
+  return true;
 }
 
 void RegulationEngine::on_vc_closed(VcId vc, transport::DisconnectReason reason) {
@@ -106,6 +135,7 @@ void RegulationEngine::detach_endpoint(LocalKey key) {
 }
 
 void RegulationEngine::handle_sess_req(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   Opdu ack;
   ack.type = OpduType::kSessAck;
   ack.session = o.session;
@@ -131,10 +161,20 @@ void RegulationEngine::handle_sess_req(const Opdu& o) {
     llo_.send_opdu(o.orch_node, ack);
     return;
   }
-  if (!o.vcs.empty()) attach_endpoint(o.session, o.vcs.front(), o.orch_node);
+  if (!o.vcs.empty()) {
+    attach_endpoint(o.session, o.vcs.front(), o.orch_node);
+    // The attachment starts life at the establishing epoch, so reports
+    // emitted before the first regulate already carry the right fence.
+    if (VcLocal* st = local({o.session, o.vcs.front().vc})) st->epoch = o.epoch;
+  }
   llo_.send_opdu(o.orch_node, ack);
 }
 
+// kSessRel is deliberately NOT fenced: a release only removes state that
+// belongs to the (possibly superseded) session named in it, and partition
+// reconciliation depends on the new orchestrator being able to purge the
+// old session's attachments (Llo::release_remote) without knowing the old
+// epoch.
 void RegulationEngine::handle_sess_rel(const Opdu& o) { detach_endpoint({o.session, o.vc}); }
 
 void RegulationEngine::handle_add(const Opdu& o) {
@@ -143,6 +183,7 @@ void RegulationEngine::handle_add(const Opdu& o) {
 }
 
 void RegulationEngine::handle_remove_vc(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   detach_endpoint({o.session, o.vc});
   Opdu ack;
   ack.type = OpduType::kRemoveAck;
@@ -162,6 +203,7 @@ void RegulationEngine::apply_delivery_gate(VcLocal& st) {
 }
 
 void RegulationEngine::handle_prime(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   Opdu ack;
@@ -243,6 +285,7 @@ void RegulationEngine::handle_prime(const Opdu& o) {
 }
 
 void RegulationEngine::handle_start(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   Opdu ack;
@@ -281,6 +324,7 @@ void RegulationEngine::handle_start(const Opdu& o) {
 }
 
 void RegulationEngine::handle_stop(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   Opdu ack;
@@ -314,11 +358,22 @@ void RegulationEngine::handle_stop(const Opdu& o) {
 // --------------------------------------------------------------------
 
 void RegulationEngine::handle_regulate_sink(const Opdu& o) {
+  if (epoch_fenced(o)) return;
+  // Only reachable with the fence disabled: a target older than the fence
+  // actually took effect.  >0 here is the split-brain oracle — two
+  // orchestrators are steering the same VC.
+  if (o.epoch < vc_epoch(o.vc)) {
+    obs::Registry::global()
+        .counter("orch.stale_target_applied", {{"node", std::to_string(llo_.node_)}})
+        .add();
+  }
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   if (st == nullptr) return;
   Connection* conn = llo_.entity_.sink(o.vc);
   if (conn == nullptr) return;
+  vc_regulator_[o.vc] = o.orch_node;
+  st->epoch = o.epoch;
 
   // If the previous interval is still in flight (the next request can
   // arrive in the same instant as its final slot), close it out first so
@@ -380,6 +435,7 @@ void RegulationEngine::regulation_slot(LocalKey key) {
         drop.session = key.first;
         drop.vc = key.second;
         drop.orch_node = st->orch_node;
+        drop.epoch = st->epoch;
         drop.drop_count = want;
         llo_.send_opdu(st->drop_target, drop);
         st->drops_requested += want;
@@ -410,6 +466,7 @@ void RegulationEngine::finish_sink_interval(LocalKey key) {
   o.type = OpduType::kRegInd;
   o.session = key.first;
   o.vc = key.second;
+  o.epoch = st->epoch;  // echo the interval's issuing epoch
   o.interval_id = st->interval_id;
   o.delivered_seq = conn->last_delivered_seq();
   o.target_seq = st->start_seq;  // echo the interval-begin position
@@ -423,6 +480,7 @@ void RegulationEngine::finish_sink_interval(LocalKey key) {
 }
 
 void RegulationEngine::handle_regulate_src(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   if (st == nullptr) return;
@@ -432,6 +490,7 @@ void RegulationEngine::handle_regulate_src(const Opdu& o) {
     st->src_timer.cancel();
     finish_src_interval(key);
   }
+  st->epoch = o.epoch;
   st->src_budget = o.max_drop;
   st->src_dropped = 0;
   st->src_interval_id = o.interval_id;
@@ -450,6 +509,7 @@ void RegulationEngine::finish_src_interval(LocalKey key) {
   o.type = OpduType::kSrcStats;
   o.session = key.first;
   o.vc = key.second;
+  o.epoch = st->epoch;  // echo the interval's issuing epoch
   o.interval_id = st->src_interval_id;
   o.dropped = st->src_dropped;
   // At the source ring the *application* is the producer and the
@@ -462,6 +522,7 @@ void RegulationEngine::finish_src_interval(LocalKey key) {
 }
 
 void RegulationEngine::handle_drop(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   if (st == nullptr) return;
@@ -482,6 +543,7 @@ void RegulationEngine::handle_drop(const Opdu& o) {
 }
 
 void RegulationEngine::handle_event_reg(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const LocalKey key{o.session, o.vc};
   VcLocal* st = local(key);
   if (st == nullptr) return;
@@ -491,6 +553,7 @@ void RegulationEngine::handle_event_reg(const Opdu& o) {
 }
 
 void RegulationEngine::handle_delayed(const Opdu& o) {
+  if (epoch_fenced(o)) return;
   const bool source_side = o.source_side != 0;
   obs::Tracer::global().instant("Orch.Delayed", static_cast<int>(llo_.node_),
                                 static_cast<int>(o.vc & 0xffffffffu),

@@ -56,6 +56,25 @@ class CMTOS_SHARD_AFFINE RegulationEngine {
   void set_session_limit(std::size_t n) { session_limit_ = n; }
   std::size_t local_vc_count() const { return locals_.size(); }
 
+  /// Epoch fencing switch (default on).  Off reproduces the unfenced
+  /// protocol for split-brain contrast runs: stale-epoch OPDUs are applied
+  /// instead of nacked, counted as orch.stale_target_applied.
+  void set_fencing_enabled(bool on) { fencing_ = on; }
+
+  /// Highest session epoch seen on `vc` (the fence in force); 0 if none.
+  std::uint32_t vc_epoch(transport::VcId vc) const {
+    auto it = vc_epoch_.find(vc);
+    return it == vc_epoch_.end() ? 0 : it->second;
+  }
+  /// Orchestrating node whose regulation target was last *applied* on `vc`
+  /// at this endpoint (kInvalidNode if never regulated).  Split-brain
+  /// oracle: after a partition heals, every sink must report the new
+  /// orchestrator here.
+  net::NodeId vc_regulator(transport::VcId vc) const {
+    auto it = vc_regulator_.find(vc);
+    return it == vc_regulator_.end() ? net::kInvalidNode : it->second;
+  }
+
   /// Drops every endpoint attachment and its regulation timers.
   void crash();
 
@@ -73,6 +92,8 @@ class CMTOS_SHARD_AFFINE RegulationEngine {
     // Sink-side regulation:
     bool reg_hold = false;    // regulation delivery gate (ahead of target)
     bool group_hold = false;  // prime/stop delivery gate
+    std::uint32_t epoch = 1;  // epoch of the last applied kRegulateSink;
+                              // stamped on the kDrop requests it spawns
     std::int64_t target_seq = 0;
     std::int64_t start_seq = 0;
     std::uint32_t interval_id = 0;
@@ -99,6 +120,13 @@ class CMTOS_SHARD_AFFINE RegulationEngine {
   using LocalKey = std::pair<OrchSessionId, transport::VcId>;
 
   VcLocal* local(LocalKey key);
+  /// The fence (first thing every fenced handler runs).  Adopts `o.epoch`
+  /// as the VC's fence when it is newer; when it is older and fencing is
+  /// on, nacks the sender with kEpochNack/kStaleEpoch and returns true
+  /// (drop the OPDU).  Deliberately independent of `locals_`: the fence
+  /// must keep rejecting a superseded orchestrator even after its
+  /// endpoint attachments were purged by release_remote.
+  bool epoch_fenced(const Opdu& o);
   void regulation_slot(LocalKey key);
   void finish_sink_interval(LocalKey key);
   void finish_src_interval(LocalKey key);
@@ -108,7 +136,10 @@ class CMTOS_SHARD_AFFINE RegulationEngine {
 
   Llo& llo_;
   std::size_t session_limit_ = 64;
+  bool fencing_ = true;
   std::map<LocalKey, VcLocal> locals_;
+  std::map<transport::VcId, std::uint32_t> vc_epoch_;     // fence per VC
+  std::map<transport::VcId, net::NodeId> vc_regulator_;   // last applied target's origin
 };
 
 }  // namespace cmtos::orch

@@ -78,6 +78,7 @@ void SessionTable::orch_release(OrchSessionId s) {
   release_remote(s, sess->vcs);
   timers_.cancel(TimerKind::kOpTimeout, s);
   sessions_.erase(s);
+  session_epochs_.erase(s);
 }
 
 void SessionTable::release_remote(OrchSessionId s, const std::vector<OrchVcInfo>& vcs) {
@@ -88,6 +89,7 @@ void SessionTable::release_remote(OrchSessionId s, const std::vector<OrchVcInfo>
       o.session = s;
       o.vc = i.vc;
       o.orch_node = llo_.node_;
+      o.epoch = session_epoch(s);
       o.flags = flag;
       llo_.send_opdu(flag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
     }
@@ -98,9 +100,11 @@ void SessionTable::crash() {
   for (auto& [s, sess] : sessions_)
     for (auto& [k, merge] : sess.reg_merge) merge.timeout.cancel();
   sessions_.clear();
+  session_epochs_.clear();
   on_regulate_.clear();
   on_event_.clear();
   on_vc_dead_.clear();
+  on_superseded_.clear();
 }
 
 void SessionTable::fan_out(OrchSessionId sid, Session& sess, OpduType type, std::uint8_t flags,
@@ -148,6 +152,7 @@ void SessionTable::fan_out(OrchSessionId sid, Session& sess, OpduType type, std:
       o.session = sid;
       o.vc = i.vc;
       o.orch_node = llo_.node_;
+      o.epoch = session_epoch(sid);
       o.flags = static_cast<std::uint8_t>(flags | roleflag);
       o.vcs = {i};
       llo_.send_opdu(roleflag & kOpduFlagSourceTarget ? i.src_node : i.sink_node, o);
@@ -242,6 +247,7 @@ void SessionTable::add(OrchSessionId s, OrchVcInfo vc, OrchResultFn done) {
     o.session = s;
     o.vc = vc.vc;
     o.orch_node = llo_.node_;
+    o.epoch = session_epoch(s);
     o.flags = roleflag;
     o.vcs = {vc};
     llo_.send_opdu(roleflag & kOpduFlagSourceTarget ? vc.src_node : vc.sink_node, o);
@@ -278,6 +284,7 @@ void SessionTable::remove(OrchSessionId s, VcId vc, OrchResultFn done) {
     o.session = s;
     o.vc = vc;
     o.orch_node = llo_.node_;
+    o.epoch = session_epoch(s);
     o.flags = roleflag;
     llo_.send_opdu(roleflag & kOpduFlagSourceTarget ? info.src_node : info.sink_node, o);
   }
@@ -338,6 +345,7 @@ void SessionTable::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq,
   to_sink.session = s;
   to_sink.vc = vc;
   to_sink.orch_node = llo_.node_;
+  to_sink.epoch = session_epoch(s);
   to_sink.flags = relative ? kOpduFlagRelativeTarget : std::uint8_t{0};
   to_sink.target_seq = target_seq;
   to_sink.max_drop = max_drop;
@@ -351,6 +359,7 @@ void SessionTable::regulate(OrchSessionId s, VcId vc, std::int64_t target_seq,
   to_src.session = s;
   to_src.vc = vc;
   to_src.orch_node = llo_.node_;
+  to_src.epoch = session_epoch(s);
   to_src.max_drop = max_drop;
   to_src.interval = interval;
   to_src.interval_id = interval_id;
@@ -369,6 +378,7 @@ void SessionTable::delayed(OrchSessionId s, VcId vc, bool source_side,
   o.session = s;
   o.vc = vc;
   o.orch_node = llo_.node_;
+  o.epoch = session_epoch(s);
   o.source_side = source_side ? 1 : 0;
   o.flags = source_side ? kOpduFlagSourceTarget : std::uint8_t{0};
   o.osdus_behind = osdus_behind;
@@ -387,6 +397,7 @@ void SessionTable::register_event(OrchSessionId s, VcId vc, std::uint64_t patter
   o.session = s;
   o.vc = vc;
   o.orch_node = llo_.node_;
+  o.epoch = session_epoch(s);
   o.pattern = pattern;
   o.mask = mask;
   llo_.send_opdu(it->sink_node, o);
@@ -458,6 +469,10 @@ void SessionTable::emit_regulate_ind(OrchSessionId s, std::pair<VcId, std::uint3
 void SessionTable::handle_reg_ind(const Opdu& o) {
   Session* sess = session(o.session);
   if (sess == nullptr) return;
+  // Reports echo the epoch of the regulate that opened the interval; one
+  // from an interval issued before our re-election must not pollute the
+  // current merge state.
+  if (o.epoch < session_epoch(o.session)) return;
   const auto key = std::pair{o.vc, o.interval_id};
   auto it = sess->reg_merge.find(key);
   if (it == sess->reg_merge.end()) return;
@@ -472,6 +487,7 @@ void SessionTable::handle_reg_ind(const Opdu& o) {
 void SessionTable::handle_src_stats(const Opdu& o) {
   Session* sess = session(o.session);
   if (sess == nullptr) return;
+  if (o.epoch < session_epoch(o.session)) return;  // stale-interval report
   const auto key = std::pair{o.vc, o.interval_id};
   auto it = sess->reg_merge.find(key);
   if (it == sess->reg_merge.end()) return;
@@ -491,6 +507,23 @@ void SessionTable::handle_event_ind(const Opdu& o) {
     ind.event_value = o.event_value;
     ind.matched_at = o.timestamp;
     cb->second(ind);
+  }
+}
+
+void SessionTable::handle_epoch_nack(const Opdu& o) {
+  // An endpoint fenced one of our OPDUs: a re-elected orchestrator with a
+  // higher epoch (carried in o.epoch) owns the session now.  Ignore unless
+  // the fence really is ahead of us — a reordered nack from an earlier
+  // incarnation must not kill the current one.
+  Session* sess = session(o.session);
+  if (sess == nullptr) return;
+  if (o.epoch <= session_epoch(o.session)) return;
+  CMTOS_WARN("orch", "node %u: session %llu superseded (our epoch %u, fence %u)",
+             llo_.node_, static_cast<unsigned long long>(o.session),
+             session_epoch(o.session), o.epoch);
+  if (auto cb = on_superseded_.find(o.session); cb != on_superseded_.end() && cb->second) {
+    auto fn = cb->second;  // the callback typically releases the session,
+    fn();                  // erasing the map entry mid-call
   }
 }
 

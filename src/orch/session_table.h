@@ -68,6 +68,19 @@ class CMTOS_SHARD_AFFINE SessionTable {
                             std::function<void(const EventIndication&)> fn) {
     on_vc_dead_[session] = std::move(fn);
   }
+  void set_superseded_callback(OrchSessionId session, std::function<void()> fn) {
+    on_superseded_[session] = std::move(fn);
+  }
+
+  /// Fencing token stamped on every OPDU sent for `session` (default 1;
+  /// the HLO agent sets it before Orch.request, bumped per re-election).
+  void set_session_epoch(OrchSessionId session, std::uint32_t epoch) {
+    session_epochs_[session] = epoch;
+  }
+  std::uint32_t session_epoch(OrchSessionId session) const {
+    auto it = session_epochs_.find(session);
+    return it == session_epochs_.end() ? 1 : it->second;
+  }
 
   void set_op_timeout(Duration d) { op_timeout_ = d; }
   Duration op_timeout() const { return op_timeout_; }
@@ -79,6 +92,7 @@ class CMTOS_SHARD_AFFINE SessionTable {
   void handle_src_stats(const Opdu& o);
   void handle_event_ind(const Opdu& o);
   void handle_vc_dead(const Opdu& o);
+  void handle_epoch_nack(const Opdu& o);
 
   // --- introspection / fault model ---
   bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
@@ -140,9 +154,11 @@ class CMTOS_SHARD_AFFINE SessionTable {
   Duration op_timeout_ = 5 * kSecond;
 
   std::map<OrchSessionId, Session> sessions_;
+  std::map<OrchSessionId, std::uint32_t> session_epochs_;
   std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
   std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
   std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
+  std::map<OrchSessionId, std::function<void()>> on_superseded_;
 };
 
 }  // namespace cmtos::orch

@@ -130,6 +130,9 @@ class Platform {
     t.set_link_up = [this](std::uint32_t a, std::uint32_t b, bool up) {
       network_.set_link_up(a, b, up);
     };
+    t.set_node_isolated = [this](std::uint32_t n, bool isolated) {
+      network_.set_node_isolated(n, isolated);
+    };
     t.set_link_loss = [this](std::uint32_t a, std::uint32_t b, double loss) {
       net::Link* fwd = network_.link(a, b);
       net::Link* rev = network_.link(b, a);

@@ -17,6 +17,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::kLinkUp: return "link_up";
     case FaultKind::kLossStorm: return "loss_storm";
     case FaultKind::kJitterStorm: return "jitter_storm";
+    case FaultKind::kNodeIsolate: return "node_isolate";
+    case FaultKind::kNodeHeal: return "node_heal";
   }
   return "unknown";
 }
@@ -39,6 +41,12 @@ ChaosPlan& ChaosPlan::partition(Time at, std::uint32_t a, std::uint32_t b, Durat
 
 ChaosPlan& ChaosPlan::heal(Time at, std::uint32_t a, std::uint32_t b) {
   events.push_back({.at = at, .kind = FaultKind::kLinkUp, .a = a, .b = b});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::isolate(Time at, std::uint32_t node, Duration heal_after) {
+  events.push_back({.at = at, .kind = FaultKind::kNodeIsolate, .node = node,
+                    .duration = heal_after});
   return *this;
 }
 
@@ -119,6 +127,21 @@ void ChaosEngine::inject(const ChaosEvent& ev) {
       }
       break;
     }
+    case FaultKind::kNodeIsolate: {
+      record(ev, "node=" + std::to_string(ev.node));
+      if (target_.set_node_isolated) target_.set_node_isolated(ev.node, true);
+      if (ev.duration > 0) {
+        ChaosEvent healed = ev;
+        healed.kind = FaultKind::kNodeHeal;
+        healed.duration = 0;
+        sched_.after(ev.duration, [this, healed] { inject(healed); });
+      }
+      break;
+    }
+    case FaultKind::kNodeHeal:
+      record(ev, "node=" + std::to_string(ev.node));
+      if (target_.set_node_isolated) target_.set_node_isolated(ev.node, false);
+      break;
     case FaultKind::kJitterStorm: {
       record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
                      " jitter=" + std::to_string(ev.jitter));

@@ -35,6 +35,8 @@ enum class FaultKind : std::uint8_t {
   kLinkUp = 3,
   kLossStorm = 4,
   kJitterStorm = 5,
+  kNodeIsolate = 6,
+  kNodeHeal = 7,
 };
 
 const char* to_string(FaultKind k);
@@ -45,6 +47,8 @@ const char* to_string(FaultKind k);
 ///   kLinkUp                   : a, b
 ///   kLossStorm                : a, b, loss_rate, duration
 ///   kJitterStorm              : a, b, jitter, duration
+///   kNodeIsolate              : node; duration > 0 schedules the heal
+///   kNodeHeal                 : node
 struct ChaosEvent {
   Time at = 0;
   FaultKind kind = FaultKind::kNodeCrash;
@@ -71,6 +75,10 @@ struct ChaosPlan {
   /// automatically that long after the cut.
   ChaosPlan& partition(Time at, std::uint32_t a, std::uint32_t b, Duration heal_after = 0);
   ChaosPlan& heal(Time at, std::uint32_t a, std::uint32_t b);
+  /// Cuts every link touching `node` in one event (node alive but
+  /// unreachable — the split-brain primitive); heal_after > 0 re-raises
+  /// them all that long after the cut.
+  ChaosPlan& isolate(Time at, std::uint32_t node, Duration heal_after = 0);
   ChaosPlan& loss_storm(Time at, std::uint32_t a, std::uint32_t b, double loss_rate,
                         Duration duration);
   ChaosPlan& jitter_storm(Time at, std::uint32_t a, std::uint32_t b, Duration jitter,
@@ -85,6 +93,7 @@ struct ChaosTarget {
   std::function<void(std::uint32_t node)> crash_node;
   std::function<void(std::uint32_t node)> restart_node;
   std::function<void(std::uint32_t a, std::uint32_t b, bool up)> set_link_up;
+  std::function<void(std::uint32_t node, bool isolated)> set_node_isolated;
   std::function<double(std::uint32_t a, std::uint32_t b, double loss)> set_link_loss;
   std::function<Duration(std::uint32_t a, std::uint32_t b, Duration jitter)> set_link_jitter;
 };

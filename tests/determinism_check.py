@@ -23,6 +23,8 @@ RUNS = [
     ("chaos_soak", ["--scenario", "crash_mid_stream", "--seed", "5"]),
     ("chaos_soak", ["--scenario", "partition_prime_start", "--seed", "5"]),
     ("chaos_soak", ["--scenario", "orch_death", "--seed", "5"]),
+    ("chaos_soak", ["--scenario", "partition_heal_split_brain", "--seed", "5"]),
+    ("chaos_soak", ["--scenario", "orch_flap", "--seed", "5"]),
     ("overload_soak", ["--scenario", "storm_recover", "--seed", "7"]),
     ("overload_soak", ["--scenario", "preempt", "--seed", "7"]),
     ("overload_soak", ["--scenario", "consumer_stall", "--seed", "7"]),

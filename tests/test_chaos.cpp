@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "fixtures.h"
+#include "obs/metrics.h"
 #include "orch/failover.h"
 #include "sim/chaos.h"
 
@@ -401,6 +402,108 @@ TEST(Failover, PartitionedOrchestratorDetectedByMissedReports) {
   w.p->run_until(12 * kSecond);
 
   EXPECT_EQ(w.supervisor->failovers(), 1);
+  EXPECT_FALSE(w.supervisor->orphaned());
+  ASSERT_NE(w.supervisor->session(), nullptr);
+  EXPECT_EQ(w.supervisor->session()->orchestrating_node(), w.wsB->id);
+  EXPECT_GT(w.surviving_intervals(), 0);
+}
+
+TEST(Failover, PartitionHealFencedStaleOrchestratorSelfRetires) {
+  // The orchestrating node is isolated — alive, protocol state intact.  A
+  // successor is elected at a bumped epoch while the old agent free-runs.
+  // When the partition heals, the old agent's first regulate must bounce
+  // off the endpoints' epoch fence, never reach the data path, and drive
+  // the old agent into self-retirement.  This is the regression test for
+  // the fencing layer: with set_fencing_enabled(false) (next test) the
+  // same schedule produces an observable split brain.
+  FailoverWorld w({200 * kMillisecond, 2 * kSecond});
+  auto& registry = obs::Registry::global();
+  auto& rejected =
+      registry.counter("orch.stale_epoch_rejected", {{"node", std::to_string(w.wsB->id)}});
+  auto& applied =
+      registry.counter("orch.stale_target_applied", {{"node", std::to_string(w.wsB->id)}});
+  auto& superseded =
+      registry.counter("orch.superseded", {{"node", std::to_string(w.wsC->id)}});
+  const auto rejected_before = rejected.value();
+  const auto applied_before = applied.value();
+  const auto superseded_before = superseded.value();
+
+  w.p->run_until(5 * kSecond);
+  w.p->network().set_node_isolated(w.wsC->id, true);
+  w.p->run_until(10 * kSecond);
+
+  // Mid-partition: successor elected at epoch 2, the partitioned
+  // predecessor held (not destroyed — it is alive on the far side).
+  EXPECT_EQ(w.supervisor->failovers(), 1);
+  EXPECT_FALSE(w.supervisor->orphaned());
+  ASSERT_NE(w.supervisor->session(), nullptr);
+  EXPECT_EQ(w.supervisor->session()->orchestrating_node(), w.wsB->id);
+  EXPECT_EQ(w.supervisor->session()->agent().epoch(), 2u);
+  EXPECT_EQ(w.supervisor->superseded_count(), 1u);
+
+  w.p->network().set_node_isolated(w.wsC->id, false);
+  w.p->run_until(13 * kSecond);
+
+  // Post-heal: the stale orchestrator was nacked, applied nothing, and
+  // self-retired; the supervisor reaped the superseded session.
+  EXPECT_GT(rejected.value(), rejected_before);
+  EXPECT_EQ(applied.value(), applied_before);
+  EXPECT_EQ(superseded.value(), superseded_before + 1);
+  EXPECT_EQ(w.supervisor->superseded_count(), 0u);
+
+  // Exactly one regulator owns the surviving VC at its sink: the new
+  // orchestrating node, at the fence epoch.
+  auto& sink_llo = w.p->host(w.wsB->id).llo;
+  EXPECT_EQ(sink_llo.vc_regulator(w.s1->vc()), w.wsB->id);
+  EXPECT_EQ(sink_llo.vc_epoch(w.s1->vc()), 2u);
+  EXPECT_GT(w.surviving_intervals(), 0);
+}
+
+TEST(Failover, PartitionHealWithoutFencingShowsSplitBrain) {
+  // Same schedule with the fence disabled: after the heal the stale
+  // orchestrator's targets land beside the successor's — two regulators
+  // steering one VC, which the stale-applied counter makes observable.
+  FailoverWorld w({200 * kMillisecond, 2 * kSecond});
+  for (auto* h : {w.star.hub, w.srv1, w.wsB, w.wsC, w.srv2})
+    w.p->host(h->id).llo.set_fencing_enabled(false);
+  auto& applied = obs::Registry::global().counter(
+      "orch.stale_target_applied", {{"node", std::to_string(w.wsB->id)}});
+  const auto applied_before = applied.value();
+
+  w.p->run_until(5 * kSecond);
+  w.p->network().set_node_isolated(w.wsC->id, true);
+  w.p->run_until(10 * kSecond);
+  EXPECT_EQ(w.supervisor->failovers(), 1);
+  w.p->network().set_node_isolated(w.wsC->id, false);
+  w.p->run_until(13 * kSecond);
+
+  EXPECT_GT(applied.value(), applied_before);
+  // Never nacked, so the stale agent never learns it was superseded and
+  // the supervisor can never retire it.
+  EXPECT_EQ(w.supervisor->superseded_count(), 1u);
+}
+
+TEST(Failover, RebuildRetriesWithBackoffUntilEndpointReachable) {
+  // The orchestrating node dies while the surviving stream's source is
+  // briefly unreachable: the first rebuild's Sess.req fan-out is lost and
+  // the op times out.  The supervisor must not give up — it retries with
+  // backoff and succeeds once the source is reachable again.  The source's
+  // isolation stays under the transport liveness budget (800 ms) so the
+  // surviving VC itself is never torn down.
+  FailoverWorld w;
+  w.p->host(w.wsB->id).llo.set_op_timeout(500 * kMillisecond);
+  w.p->run_until(5 * kSecond);
+
+  sim::ChaosEngine engine(w.p->scheduler(), w.p->chaos_target());
+  sim::ChaosPlan plan;
+  plan.isolate(5 * kSecond - 50 * kMillisecond, w.srv1->id, 700 * kMillisecond);
+  plan.crash(5 * kSecond + kMillisecond, w.wsC->id);
+  engine.arm(plan);
+  w.p->run_until(12 * kSecond);
+
+  EXPECT_EQ(engine.injected(), 3);  // isolate + heal + crash
+  EXPECT_EQ(w.supervisor->failovers(), 1);
+  EXPECT_GE(w.supervisor->rebuild_retries(), 1);
   EXPECT_FALSE(w.supervisor->orphaned());
   ASSERT_NE(w.supervisor->session(), nullptr);
   EXPECT_EQ(w.supervisor->session()->orchestrating_node(), w.wsB->id);

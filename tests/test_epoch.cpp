@@ -1,0 +1,131 @@
+// Epoch fencing at the endpoint LLO (orch/regulation_engine).
+//
+// Drives raw OPDUs over the wire at an endpoint and checks the fence table:
+// which OPDU types are rejected when stale, that the fence ratchets up to
+// the highest epoch seen per VC, and that Sess.rel is deliberately exempt
+// (partition-heal reconciliation depends on the *new* orchestrator purging
+// the old session's attachments without knowing the old epoch).  The
+// split-brain integration behaviour — nack, self-retirement, supervisor
+// reaping — lives in test_chaos.cpp; this file pins the per-OPDU contract.
+
+#include <gtest/gtest.h>
+
+#include "fixtures.h"
+#include "obs/metrics.h"
+#include "orch/opdu.h"
+
+namespace cmtos::test {
+namespace {
+
+using orch::Opdu;
+using orch::OpduType;
+
+/// a plays a (possibly stale) orchestrating node, b is the endpoint under
+/// test.  OPDUs are injected as wire packets so they traverse the same
+/// dispatch path as production traffic.
+struct EpochWorld {
+  PairPlatform w;
+
+  void inject(OpduType type, std::uint32_t epoch, transport::VcId vc = 99) {
+    Opdu o;
+    o.type = type;
+    o.session = 7;
+    o.vc = vc;
+    o.orch_node = w.a->id;
+    o.epoch = epoch;
+    net::Packet pkt;
+    pkt.src = w.a->id;
+    pkt.dst = w.b->id;
+    pkt.proto = net::Proto::kOrch;
+    pkt.priority = net::Priority::kControl;
+    pkt.payload = o.encode();
+    w.platform.network().send(std::move(pkt));
+    w.platform.run_until(w.platform.scheduler().now() + 10 * kMillisecond);
+  }
+
+  /// Monotonic global counter — tests diff it around injections.
+  std::int64_t rejected() {
+    return obs::Registry::global()
+        .counter("orch.stale_epoch_rejected", {{"node", std::to_string(w.b->id)}})
+        .value();
+  }
+
+  std::uint32_t fence(transport::VcId vc = 99) { return w.b->llo.vc_epoch(vc); }
+};
+
+TEST(EpochFence, EveryRegulationOpduTypeRejectsStaleEpochs) {
+  EpochWorld e;
+  e.inject(OpduType::kSessReq, 5);  // adopt the fence
+  ASSERT_EQ(e.fence(), 5u);
+
+  const OpduType fenced[] = {
+      OpduType::kSessReq, OpduType::kAdd,          OpduType::kRemove,
+      OpduType::kPrime,   OpduType::kStart,        OpduType::kStop,
+      OpduType::kRegulateSink, OpduType::kRegulateSrc, OpduType::kDrop,
+      OpduType::kEventReg, OpduType::kDelayed,
+  };
+  for (OpduType type : fenced) {
+    const std::int64_t before = e.rejected();
+    e.inject(type, 3);
+    EXPECT_EQ(e.rejected(), before + 1)
+        << "OPDU type " << static_cast<int>(type) << " not fenced";
+    EXPECT_EQ(e.fence(), 5u);  // a stale OPDU never moves the fence
+  }
+}
+
+TEST(EpochFence, CurrentEpochPassesUnrejected) {
+  EpochWorld e;
+  e.inject(OpduType::kSessReq, 5);
+  const std::int64_t before = e.rejected();
+  e.inject(OpduType::kRegulateSink, 5);
+  EXPECT_EQ(e.rejected(), before);
+}
+
+TEST(EpochFence, HigherEpochRatchetsTheFence) {
+  EpochWorld e;
+  e.inject(OpduType::kSessReq, 5);
+  const std::int64_t before = e.rejected();
+  e.inject(OpduType::kRegulateSink, 6);  // successor takes over
+  EXPECT_EQ(e.rejected(), before);
+  EXPECT_EQ(e.fence(), 6u);
+  e.inject(OpduType::kRegulateSink, 5);  // predecessor is now stale
+  EXPECT_EQ(e.rejected(), before + 1);
+}
+
+TEST(EpochFence, FenceIsPerVc) {
+  EpochWorld e;
+  e.inject(OpduType::kSessReq, 5, 99);
+  const std::int64_t before = e.rejected();
+  e.inject(OpduType::kRegulateSink, 2, 98);  // other VC: 2 is its high water
+  EXPECT_EQ(e.rejected(), before);
+  EXPECT_EQ(e.fence(98), 2u);
+  EXPECT_EQ(e.fence(99), 5u);
+}
+
+TEST(EpochFence, SessRelIsExemptFromFencing) {
+  EpochWorld e;
+  e.inject(OpduType::kSessReq, 5);
+  const std::int64_t before = e.rejected();
+  e.inject(OpduType::kSessRel, 3);  // stale release must still be honoured
+  EXPECT_EQ(e.rejected(), before);
+}
+
+TEST(EpochFence, DisabledFencingAppliesStaleOpdusAndCounts) {
+  EpochWorld e;
+  e.w.b->llo.set_fencing_enabled(false);
+  e.inject(OpduType::kSessReq, 5);
+  const std::int64_t rejected_before = e.rejected();
+  const std::int64_t applied_before =
+      obs::Registry::global()
+          .counter("orch.stale_target_applied", {{"node", std::to_string(e.w.b->id)}})
+          .value();
+  e.inject(OpduType::kRegulateSink, 3);
+  EXPECT_EQ(e.rejected(), rejected_before);  // nothing rejected...
+  EXPECT_EQ(obs::Registry::global()
+                .counter("orch.stale_target_applied", {{"node", std::to_string(e.w.b->id)}})
+                .value(),
+            applied_before + 1);  // ...and the split brain is observable
+}
+
+}  // namespace
+}  // namespace cmtos::test

@@ -68,6 +68,16 @@ Checks
                         in global (serial-round) events.  A CMTOS_SHARD_AFFINE
                         class must not declare static mutable state (shared
                         across shards by construction).
+  epoch-check           A regulation-OPDU handler in src/orch/ (a function
+                        taking `const Opdu&`) that reads a regulation field
+                        (target_seq, max_drop, interval_id, interval,
+                        drop_count) from the OPDU must compare the OPDU's
+                        epoch against its fence first — epoch_fenced(o) at
+                        the endpoints, a session_epoch comparison on the
+                        orchestrating side.  An unfenced read is exactly the
+                        split-brain bug the fencing layer exists to prevent:
+                        a superseded orchestrator's stale targets applied as
+                        if current (DESIGN.md section 13).
   frame-lifecycle       A FrameLease is consumed by std::move(lease).freeze():
                         any use of the lease after the freeze (before a
                         reassignment) is a use-after-move on the frame.  And
@@ -106,6 +116,7 @@ CHECKS = (
     "dataplane-payload-copy",
     "shard-affinity",
     "frame-lifecycle",
+    "epoch-check",
 )
 
 ALLOW_RE = re.compile(r"//.*cmtos-analyze:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -797,11 +808,60 @@ def check_frame_lifecycle(sf: SourceFile, facts: Facts) -> list[Finding]:
     return out
 
 
+OPDU_HANDLER_RE = re.compile(r"\b\w+\s*\(\s*const\s+Opdu&\s*(\w+)\s*\)")
+REGULATION_FIELDS = ("target_seq", "max_drop", "interval_id", "interval", "drop_count")
+EPOCH_GUARD_RE = re.compile(r"\bepoch\b|\bepoch_fenced\b|\bsession_epoch\b|\bvc_epoch\b")
+
+
+def check_epoch_fencing(sf: SourceFile, facts: Facts) -> list[Finding]:
+    """Flags OPDU handlers in src/orch/ that apply regulation fields from the
+    wire without an epoch comparison earlier in the body."""
+    if not re.search(r"(^|/)src/orch/", sf.rel):
+        return []
+    out = []
+    code = sf.code
+    for m in OPDU_HANDLER_RE.finditer(code):
+        param = m.group(1)
+        # Skip to the body's opening brace; a ';' first means this is only a
+        # declaration.
+        j = m.end()
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] == ";":
+            continue
+        depth = 0
+        end = len(code)
+        for k in range(j, len(code)):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = k
+                    break
+        body = code[j:end]
+        read = re.search(
+            rf"\b{re.escape(param)}\s*(?:\.|->)\s*(?:{'|'.join(REGULATION_FIELDS)})\b",
+            body)
+        if read is None:
+            continue
+        if EPOCH_GUARD_RE.search(body, 0, read.start()):
+            continue
+        out.append(Finding(
+            sf.rel, sf.line_of(j + read.start()), "epoch-check",
+            f"OPDU handler reads '{param}.{{regulation field}}' without "
+            "comparing the OPDU's epoch against the fence first; a superseded "
+            "orchestrator's stale targets would apply as current "
+            "(epoch_fenced()/session_epoch comparison must come before the read)"))
+    return out
+
+
 ALL_CHECKS = (
     check_callback_liveness,
     check_dataplane_payload_copy,
     check_shard_affinity,
     check_frame_lifecycle,
+    check_epoch_fencing,
 )
 
 
@@ -922,6 +982,34 @@ FL_MEMBER_EXPECT = {
     (8, "frame-lifecycle"),   # FrameLease member outside the data plane
 }
 
+EP_PROBE = """\
+#include "orch/opdu.h"
+void RegulationEngine::handle_regulate_sink(const Opdu& o) {
+  if (epoch_fenced(o)) return;
+  st->target_seq = o.target_seq;
+}
+void RegulationEngine::handle_regulate_src(const Opdu& o) {
+  st->max_drop = o.max_drop;
+}
+void RegulationEngine::handle_drop(const Opdu& o) {
+  conn->drop_at_source(o.drop_count);
+}
+void RegulationEngine::handle_sess_rel(const Opdu& o) {
+  detach_endpoint({o.session, o.vc});
+}
+void SessionTable::handle_reg_ind(const Opdu& o) {
+  if (o.epoch < session_epoch(o.session)) return;
+  merge(o.vc, o.interval_id);
+}
+void RegulationEngine::handle_delayed(const Opdu& o) {
+  note(o.interval);  // cmtos-analyze: allow(epoch-check)
+}
+"""
+EP_EXPECT = {
+    (7, "epoch-check"),    # regulation field applied with no fence in sight
+    (10, "epoch-check"),   # drop budget consumed unfenced
+}
+
 PROBES = (
     # (relative path the dir-scoped checks see, source, expected findings)
     ("src/transport/probe_callbacks.cpp", CB_PROBE, CB_EXPECT),
@@ -929,6 +1017,7 @@ PROBES = (
     ("src/orch/probe_shard.cpp", SH_PROBE, SH_EXPECT),
     ("src/media/probe_freeze.cpp", FL_PROBE, FL_EXPECT),
     ("src/platform/probe_members.h", FL_MEMBER_PROBE, FL_MEMBER_EXPECT),
+    ("src/orch/probe_epoch.cpp", EP_PROBE, EP_EXPECT),
 )
 
 
