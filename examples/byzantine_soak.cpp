@@ -1,0 +1,403 @@
+// byzantine_soak — adversarial wire-model soak scenarios for CI.
+//
+// Stands up the familiar hub-and-leaves topology (three orchestrated
+// streams), then batters the media and control paths with the byte-level
+// impairment families of DESIGN.md §14 — bit corruption, reordering,
+// duplication, truncation — through seeded ChaosPlan storms.  The stack
+// must shrug: checksums refuse the damage, duplicates are discarded,
+// nothing crashes, no contract is violated, nobody gets quarantined for
+// line noise, and playback survives the storm.
+//
+//   $ ./byzantine_soak --scenario byzantine_storm --seed 7 --json out.json
+//
+// Scenarios:
+//   byzantine_storm   all four impairment families strike the hub<->srv1
+//                     and hub<->wsB links mid-playback; the session rides
+//                     it out with zero contract violations
+//   dup_flood         a pure duplication storm; the GBN/reassembly dedup
+//                     guards must discard every copy exactly once
+//   goodput_contrast  the identical storm hardened and unhardened, with
+//                     per-mode goodput gauges (frames rendered / intact /
+//                     silently corrupt) — BENCH_byzantine.json is this
+//                     scenario's committed snapshot
+//
+// --no-hardening reruns byzantine_storm with every wire checksum disabled
+// (the pre-hardening protocol): the same storm then feeds flipped bytes
+// straight through the decoders — wire.checksum_failed stays at zero while
+// the links report corrupted packets, i.e. silent garbage acceptance.  The
+// contrast run demonstrates the failure mode the hardening exists to stop.
+//
+// Exit status: 0 when the scenario's invariants held, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "media/sink.h"
+#include "media/stored_server.h"
+#include "obs/metrics.h"
+#include "orch/failover.h"
+#include "platform/host.h"
+#include "platform/stream.h"
+#include "sim/chaos.h"
+#include "util/wire_hardening.h"
+
+using namespace cmtos;
+
+namespace {
+
+struct World {
+  explicit World(std::uint64_t seed, unsigned threads = 1) : platform(seed) {
+    platform.set_threads(threads);
+    hub = &platform.add_host("hub");
+    srv1 = &platform.add_host("srv1");
+    wsB = &platform.add_host("wsB");
+    wsC = &platform.add_host("wsC");
+    srv2 = &platform.add_host("srv2");
+    net::LinkConfig link;
+    link.bandwidth_bps = 10'000'000;
+    link.propagation_delay = 1 * kMillisecond;
+    for (auto* h : {srv1, wsB, wsC, srv2}) platform.network().add_link(hub->id, h->id, link);
+    platform.network().finalize_routes();
+
+    transport::TransportConfig tc;
+    tc.keepalive_interval = 200 * kMillisecond;
+    tc.peer_dead_after = 800 * kMillisecond;
+    for (auto* h : {hub, srv1, wsB, wsC, srv2}) h->entity.set_config(tc);
+
+    platform::VideoQos vq;
+    vq.frames_per_second = 25;
+
+    server1 = std::make_unique<media::StoredMediaServer>(platform, *srv1, "srv1");
+    media::TrackConfig t;
+    t.auto_start = false;
+    t.vbr.base_bytes = vq.frame_bytes();
+    t.vbr.gop = 0;
+    t.vbr.wobble = 0;
+    t.track_id = 1;
+    const net::NetAddress a1 = server1->add_track(100, t);
+    t.track_id = 2;
+    const net::NetAddress a2 = server1->add_track(101, t);
+    server2 = std::make_unique<media::StoredMediaServer>(platform, *srv2, "srv2");
+    t.track_id = 3;
+    const net::NetAddress a3 = server2->add_track(102, t);
+
+    media::RenderConfig r;
+    r.expect_track = 1;
+    sink1 = std::make_unique<media::RenderingSink>(platform, *wsB, 200, r);
+    r.expect_track = 2;
+    sink2 = std::make_unique<media::RenderingSink>(platform, *wsC, 201, r);
+    r.expect_track = 3;
+    sink3 = std::make_unique<media::RenderingSink>(platform, *wsC, 202, r);
+
+    s1 = std::make_unique<platform::Stream>(platform, *srv1, "s1");
+    s2 = std::make_unique<platform::Stream>(platform, *srv1, "s2");
+    s3 = std::make_unique<platform::Stream>(platform, *srv2, "s3");
+    int connected = 0;
+    auto on_conn = [&](bool conn_ok, auto) { connected += conn_ok; };
+    s1->set_buffer_osdus(8);
+    s2->set_buffer_osdus(8);
+    s3->set_buffer_osdus(8);
+    s1->connect(a1, {wsB->id, 200}, vq, {}, on_conn);
+    s2->connect(a2, {wsC->id, 201}, vq, {}, on_conn);
+    s3->connect(a3, {wsC->id, 202}, vq, {}, on_conn);
+    platform.run_until(500 * kMillisecond);
+    ok = connected == 3;
+  }
+
+  bool establish() {
+    orch::OrchPolicy policy;
+    policy.interval = 100 * kMillisecond;
+    policy.allow_no_common_node = true;
+    bool established = false;
+    auto session = platform.orchestrator().orchestrate(
+        {s1->orch_spec(2), s2->orch_spec(2), s3->orch_spec(2)}, policy,
+        [&](bool est, orch::OrchReason) { established = est; });
+    if (session == nullptr) return false;
+    platform.run_until(platform.scheduler().now() + kSecond);
+    if (!established) return false;
+    orch::FailoverConfig fc;
+    fc.check_interval = 200 * kMillisecond;
+    fc.agent_dead_after = kSecond;
+    supervisor = std::make_unique<orch::FailoverSupervisor>(
+        platform.scheduler(), platform.orchestrator(),
+        [this](net::NodeId n) { return &platform.host(n).llo; },
+        [this](net::NodeId n) { return platform.node_alive(n); }, fc);
+    supervisor->watch(std::move(session));
+    return true;
+  }
+
+  bool prime_and_start() {
+    bool primed = false, started = false;
+    supervisor->session()->prime(false, [&](bool p, auto) { primed = p; });
+    platform.run_until(platform.scheduler().now() + 2 * kSecond);
+    if (!primed) return false;
+    supervisor->session()->start([&](bool st, auto) { started = st; });
+    platform.run_until(platform.scheduler().now() + kSecond);
+    return started;
+  }
+
+  platform::Platform platform;
+  platform::Host* hub = nullptr;
+  platform::Host* srv1 = nullptr;
+  platform::Host* wsB = nullptr;
+  platform::Host* wsC = nullptr;
+  platform::Host* srv2 = nullptr;
+  std::unique_ptr<media::StoredMediaServer> server1, server2;
+  std::unique_ptr<media::RenderingSink> sink1, sink2, sink3;
+  std::unique_ptr<platform::Stream> s1, s2, s3;
+  std::unique_ptr<orch::FailoverSupervisor> supervisor;
+  bool ok = false;
+};
+
+bool fail(const char* what) {
+  std::fprintf(stderr, "byzantine_soak: FAILED: %s\n", what);
+  return false;
+}
+
+/// Sums one counter across all label sets from the JSON snapshot (the
+/// registry has no enumeration API; each metric sits on its own line).
+std::int64_t counter_total(const std::string& name) {
+  const std::string json = obs::Registry::global().to_json();
+  const std::string needle = "\"name\": \"" + name + "\"";
+  std::int64_t total = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find(needle, pos)) != std::string::npos) {
+    const std::size_t eol = json.find('\n', pos);
+    const std::size_t val = json.find("\"value\": ", pos);
+    if (val != std::string::npos && (eol == std::string::npos || val < eol))
+      total += std::strtoll(json.c_str() + val + 9, nullptr, 10);
+    pos += needle.size();
+  }
+  return total;
+}
+
+/// Sums Link::stats().corrupted over every link in the world's star.
+std::int64_t links_corrupted(World& w) {
+  std::int64_t total = 0;
+  for (auto* h : {w.srv1, w.wsB, w.wsC, w.srv2}) {
+    if (auto* l = w.platform.network().link(w.hub->id, h->id)) total += l->stats().corrupted;
+    if (auto* l = w.platform.network().link(h->id, w.hub->id)) total += l->stats().corrupted;
+  }
+  return total;
+}
+
+/// All four impairment families hit the s1 media path (hub<->srv1 on the
+/// source side, hub<->wsB on the sink side) mid-playback.  `hardening`
+/// false reruns the identical storm against the pre-hardening protocol.
+bool run_byzantine_storm(World& w, sim::ChaosEngine& engine, std::uint64_t seed,
+                         bool hardening) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  cmtos::wire::set_hardening(hardening);
+
+  const std::int64_t violations_before = counter_total("contract.violations");
+  const std::int64_t decode_failed_before = counter_total("wire.decode_failed");
+  const std::int64_t checksum_failed_before = counter_total("wire.checksum_failed");
+  const std::int64_t quarantined_before = counter_total("wire.peer_quarantined");
+  const std::int64_t corrupted_before = links_corrupted(w);
+  const auto frames_before = w.sink1->stats().frames_rendered;
+
+  const Time t0 = w.platform.scheduler().now();
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  // ~10% of full media frames take a flip; small control PDUs mostly slip
+  // through, so liveness survives while the data plane is under fire.
+  plan.corrupt_storm(t0 + kSecond, w.hub->id, w.srv1->id, 2e-6, 4 * kSecond);
+  plan.corrupt_storm(t0 + kSecond, w.hub->id, w.wsB->id, 2e-6, 4 * kSecond);
+  plan.dup_storm(t0 + kSecond, w.hub->id, w.srv1->id, 0.2, 4 * kSecond);
+  plan.reorder_storm(t0 + kSecond, w.hub->id, w.wsB->id, 0.2, 5 * kMillisecond,
+                     4 * kSecond);
+  plan.truncate_storm(t0 + 2 * kSecond, w.hub->id, w.srv1->id, 0.05, 2 * kSecond);
+  engine.arm(plan);
+
+  w.platform.run_until(t0 + 10 * kSecond);
+
+  if (engine.injected() != 5) return fail("storms not all injected");
+  if (links_corrupted(w) - corrupted_before <= 0) return fail("storm drew no blood");
+  if (w.supervisor->failovers() != 0) return fail("line noise caused a failover");
+  if (w.supervisor->orphaned()) return fail("session orphaned");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+  if (counter_total("contract.violations") - violations_before != 0)
+    return fail("contract violations under the storm");
+  if (counter_total("wire.peer_quarantined") - quarantined_before != 0)
+    return fail("line noise quarantined a peer");
+
+  const std::int64_t refused = counter_total("wire.decode_failed") - decode_failed_before;
+  const std::int64_t checksum = counter_total("wire.checksum_failed") - checksum_failed_before;
+  if (hardening) {
+    if (refused <= 0) return fail("decoders refused nothing under the storm");
+    if (checksum <= 0) return fail("no checksum refusals despite bit corruption");
+  } else {
+    // Contrast: the links flipped real bytes and not one checksum fired —
+    // the pre-hardening stack swallows garbage in silence.
+    if (checksum != 0) return fail("contrast run unexpectedly verified checksums");
+    std::printf(
+        "byzantine_soak: CONTRAST: %lld corrupted packets, %lld checksum refusals "
+        "— silent garbage acceptance demonstrated\n",
+        static_cast<long long>(links_corrupted(w) - corrupted_before),
+        static_cast<long long>(checksum));
+  }
+  return true;
+}
+
+/// A pure duplication flood on the source path: every duplicate must be
+/// discarded exactly once, nothing delivered twice, zero violations.
+bool run_dup_flood(World& w, sim::ChaosEngine& engine, std::uint64_t seed) {
+  if (!w.establish() || !w.prime_and_start()) return fail("session setup");
+  const std::int64_t violations_before = counter_total("contract.violations");
+  const std::int64_t dup_dropped_before = counter_total("transport.dup_dropped");
+  const auto frames_before = w.sink1->stats().frames_rendered;
+
+  const Time t0 = w.platform.scheduler().now();
+  sim::ChaosPlan plan;
+  plan.seed = seed;
+  plan.dup_storm(t0 + kSecond, w.hub->id, w.srv1->id, 0.4, 5 * kSecond);
+  plan.dup_storm(t0 + kSecond, w.hub->id, w.wsB->id, 0.4, 5 * kSecond);
+  engine.arm(plan);
+
+  w.platform.run_until(t0 + 9 * kSecond);
+
+  if (engine.injected() != 2) return fail("storms not all injected");
+  if (w.supervisor->failovers() != 0) return fail("duplication caused a failover");
+  if (counter_total("transport.dup_dropped") - dup_dropped_before <= 0)
+    return fail("no duplicates discarded under a dup storm");
+  if (w.sink1->stats().frames_rendered <= frames_before) return fail("playback stalled");
+  if (counter_total("contract.violations") - violations_before != 0)
+    return fail("contract violations under duplication");
+  return true;
+}
+
+/// One byzantine_storm run measured for goodput: how many frames rendered,
+/// and how many of those were silently corrupt (the sink's media-level
+/// frame CRC is ground truth the transport cannot fake).
+struct GoodputSample {
+  bool ok = false;
+  std::int64_t frames = 0;
+  std::int64_t corrupt_rendered = 0;
+  std::int64_t checksum_refused = 0;
+};
+
+GoodputSample measure_goodput(std::uint64_t seed, unsigned threads, bool hardening) {
+  GoodputSample s;
+  const std::int64_t checksum_before = counter_total("wire.checksum_failed");
+  World w(seed, threads);
+  if (!w.ok) return s;
+  sim::ChaosEngine engine(w.platform.scheduler(), w.platform.chaos_target());
+  s.ok = run_byzantine_storm(w, engine, seed, hardening);
+  for (auto* sink : {w.sink1.get(), w.sink2.get(), w.sink3.get()}) {
+    s.frames += sink->stats().frames_rendered;
+    s.corrupt_rendered += sink->stats().integrity_failures;
+  }
+  s.checksum_refused = counter_total("wire.checksum_failed") - checksum_before;
+  return s;
+}
+
+/// The before/after cost of hardening under the identical storm: hardened,
+/// every rendered frame is intact (damage refused at the transport);
+/// unhardened, corrupt frames reach the render path undetected.  The gauges
+/// land in the --json snapshot (BENCH_byzantine.json is this scenario's
+/// committed output).
+bool run_goodput_contrast(std::uint64_t seed, unsigned threads) {
+  const GoodputSample on = measure_goodput(seed, threads, true);
+  if (!on.ok) return fail("hardened goodput run failed");
+  const GoodputSample off = measure_goodput(seed, threads, false);
+  if (!off.ok) return fail("contrast goodput run failed");
+  if (on.corrupt_rendered != 0) return fail("hardened run rendered corrupt frames");
+  if (off.corrupt_rendered <= 0)
+    return fail("contrast run rendered no corrupt frames — nothing demonstrated");
+
+  auto& reg = obs::Registry::global();
+  for (const auto& [label, sample] : {std::pair{"on", &on}, std::pair{"off", &off}}) {
+    const obs::Labels labels = {{"hardening", label}};
+    reg.set_gauge("byzantine.frames_rendered",
+                  static_cast<double>(sample->frames), labels);
+    reg.set_gauge("byzantine.frames_intact",
+                  static_cast<double>(sample->frames - sample->corrupt_rendered),
+                  labels);
+    reg.set_gauge("byzantine.frames_corrupt_rendered",
+                  static_cast<double>(sample->corrupt_rendered), labels);
+    reg.set_gauge("byzantine.checksum_refused",
+                  static_cast<double>(sample->checksum_refused), labels);
+  }
+  std::printf(
+      "byzantine_soak: GOODPUT: hardened %lld frames (%lld corrupt, %lld refused "
+      "at the wire) vs unhardened %lld frames (%lld corrupt rendered)\n",
+      static_cast<long long>(on.frames), static_cast<long long>(on.corrupt_rendered),
+      static_cast<long long>(on.checksum_refused), static_cast<long long>(off.frames),
+      static_cast<long long>(off.corrupt_rendered));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario = "byzantine_storm";
+  std::string json_path;
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+  bool hardening = true;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "byzantine_soak: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = next("--json");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<unsigned>(std::strtoul(next("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--no-hardening") == 0) {
+      hardening = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: byzantine_soak "
+                   "[--scenario byzantine_storm|dup_flood|goodput_contrast] "
+                   "[--seed N] [--threads N] [--no-hardening] [--json PATH]\n");
+      return 2;
+    }
+  }
+
+  bool passed = false;
+  if (scenario == "goodput_contrast") {
+    // Builds its own worlds (one hardened, one not); the per-mode goodput
+    // gauges land in the snapshot below.
+    passed = run_goodput_contrast(seed, threads);
+  } else {
+    World world(seed, threads);
+    if (!world.ok) {
+      std::fprintf(stderr, "byzantine_soak: world setup failed\n");
+      return 1;
+    }
+    sim::ChaosEngine engine(world.platform.scheduler(), world.platform.chaos_target());
+    if (scenario == "byzantine_storm") {
+      passed = run_byzantine_storm(world, engine, seed, hardening);
+    } else if (scenario == "dup_flood") {
+      passed = run_dup_flood(world, engine, seed);
+    } else {
+      std::fprintf(stderr, "byzantine_soak: unknown scenario '%s'\n", scenario.c_str());
+      return 2;
+    }
+    for (const auto& line : engine.log()) std::printf("fault: %s\n", line.c_str());
+  }
+
+  // Leave the process-wide toggle the way tier-1 tests expect it.
+  cmtos::wire::set_hardening(true);
+
+  if (!json_path.empty()) {
+    obs::Registry::global().write_json(
+        json_path, {{"scenario", scenario}, {"seed", std::to_string(seed)},
+                    {"hardening", hardening ? "on" : "off"}});
+  }
+  std::printf("byzantine_soak: scenario %s seed %llu: %s\n", scenario.c_str(),
+              static_cast<unsigned long long>(seed), passed ? "OK" : "FAILED");
+  return passed ? 0 : 1;
+}

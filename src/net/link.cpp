@@ -1,7 +1,9 @@
 #include "net/link.h"
 
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "util/logging.h"
@@ -131,15 +133,7 @@ void Link::finish_serialising() {
       ++stats_.dropped_loss;
       continue;
     }
-    // Bit-error injection: probability any bit flips across the packet.
-    if (cfg_.bit_error_rate > 0) {
-      const double bits = static_cast<double>(p.wire_size()) * 8.0;
-      const double p_corrupt = 1.0 - std::pow(1.0 - cfg_.bit_error_rate, bits);
-      if (rng_.bernoulli(p_corrupt)) {
-        p.corrupted = true;
-        ++stats_.corrupted;
-      }
-    }
+    impair(p);
     survivors.push_back(std::move(p));
   }
 
@@ -153,32 +147,119 @@ void Link::finish_serialising() {
   if (first_nonempty_band() >= 0) start_serialising();
 }
 
+void Link::impair(Packet& p) {
+  // Bit-error injection: real byte-level corruption of the wire image.
+  if (cfg_.bit_error_rate > 0) {
+    const double bits = static_cast<double>(p.wire_size()) * 8.0;
+    const double p_corrupt = 1.0 - std::pow(1.0 - cfg_.bit_error_rate, bits);
+    const std::size_t payload_bytes = p.payload.size();
+    const std::size_t total = payload_bytes + p.frame.size();
+    if (total > 0 && rng_.bernoulli(p_corrupt)) {
+      // 1–4 seeded flip positions across payload + frame.  A flip landing
+      // in the attached frame materialises a private corrupted copy first:
+      // the original frame bytes are shared (refcounted) with the sender's
+      // retransmission retain map and must stay pristine.
+      const std::int64_t flips = rng_.uniform(1, 4);
+      std::vector<std::uint8_t> frame_copy;
+      for (std::int64_t i = 0; i < flips; ++i) {
+        const auto pos =
+            static_cast<std::size_t>(rng_.uniform(0, static_cast<std::int64_t>(total) - 1));
+        const auto bit = static_cast<std::uint8_t>(1u << rng_.uniform(0, 7));
+        if (pos < payload_bytes) {
+          p.payload[pos] ^= bit;
+        } else {
+          if (frame_copy.empty()) {
+            frame_copy.resize(p.frame.size());
+            std::memcpy(frame_copy.data(), p.frame.data(), p.frame.size());
+          }
+          frame_copy[pos - payload_bytes] ^= bit;
+        }
+      }
+      if (!frame_copy.empty()) p.frame = PayloadView::adopt(std::move(frame_copy));
+      ++stats_.corrupted;
+    }
+  }
+  // Truncation: cut the wire image to a random proper prefix.
+  if (cfg_.truncate_rate > 0 && rng_.bernoulli(cfg_.truncate_rate)) {
+    const std::size_t total = p.payload.size() + p.frame.size();
+    if (total > 0) {
+      const auto keep =
+          static_cast<std::size_t>(rng_.uniform(0, static_cast<std::int64_t>(total) - 1));
+      if (keep <= p.payload.size()) {
+        p.payload.resize(keep);
+        p.frame.reset();
+      } else {
+        p.frame = p.frame.subview(0, keep - p.payload.size());
+      }
+      ++stats_.truncated;
+    }
+  }
+}
+
 void Link::propagate(Packet&& p) {
   Duration delay = cfg_.propagation_delay;
   if (cfg_.jitter > 0) delay += rng_.uniform(0, cfg_.jitter);
-  // Jitter is additive, so delay >= propagation_delay >= the executor's
-  // lookahead — the delivery always lands at or beyond the round horizon.
+  // Reordering: hold this packet back by an extra bounded delay so packets
+  // serialised behind it within the window overtake it.  Both jitter and
+  // the reorder hold are additive, so delay >= propagation_delay >= the
+  // executor's lookahead — the delivery always lands at or beyond the
+  // round horizon.
+  if (cfg_.reorder_rate > 0 && cfg_.reorder_window > 0 && rng_.bernoulli(cfg_.reorder_rate)) {
+    delay += rng_.uniform(1, cfg_.reorder_window);
+    ++stats_.reordered;
+  }
+  // Duplication: deliver an extra copy of the whole packet (payload bytes
+  // copied, frame refcount bumped).  The copy is scheduled after the
+  // original — at the same instant or one extra jitter draw later — so the
+  // receiver always sees original first, duplicate second.
+  std::optional<Duration> dup_delay;
+  if (cfg_.dup_rate > 0 && rng_.bernoulli(cfg_.dup_rate)) {
+    dup_delay = delay + (cfg_.jitter > 0 ? rng_.uniform(0, cfg_.jitter) : 0);
+    ++stats_.duplicated;
+  }
   // The delivery event runs on the *receiving* node's shard; it is global
   // only when this hop terminates the packet and its handler touches
   // shared state (Packet::global_delivery).  Transit hops merely enqueue
   // on the next link, which is local to the receiving shard.
   const bool global = p.global_delivery && p.dst == to_;
   const Time when = from_rt_.now() + delay;
-  auto shared = std::make_shared<Packet>(std::move(p));
-  auto fn = [this, shared]() mutable {
-    ++shared->hops;
-    if (deliver_) deliver_(std::move(*shared));
+  const auto schedule = [this, global](Time at, Packet&& pkt) {
+    auto shared = std::make_shared<Packet>(std::move(pkt));
+    auto fn = [this, shared]() mutable {
+      ++shared->hops;
+      if (deliver_) deliver_(std::move(*shared));
+    };
+    if (global) {
+      (void)to_rt_.at_global(at, std::move(fn));
+    } else {
+      (void)to_rt_.at(at, std::move(fn));
+    }
   };
-  if (global) {
-    (void)to_rt_.at_global(when, std::move(fn));
+  if (dup_delay) {
+    Packet copy = p;
+    schedule(when, std::move(p));
+    schedule(from_rt_.now() + *dup_delay, std::move(copy));
   } else {
-    (void)to_rt_.at(when, std::move(fn));
+    schedule(when, std::move(p));
   }
 }
 
 void Link::propagate_batch(std::deque<Packet>&& batch) {
   Duration delay = cfg_.propagation_delay;
   if (cfg_.jitter > 0) delay += rng_.uniform(0, cfg_.jitter);
+  // Duplication inside a batch: the copy rides the same delivery event,
+  // immediately after its original.  Reordering does not apply within a
+  // batch — a batch is one serialisation episode, so its members share one
+  // wire interval by construction.
+  if (cfg_.dup_rate > 0) {
+    for (auto it = batch.begin(); it != batch.end(); ++it) {
+      if (rng_.bernoulli(cfg_.dup_rate)) {
+        ++stats_.duplicated;
+        Packet copy = *it;  // copy first: insert shifts the referenced slot
+        it = batch.insert(std::next(it), std::move(copy));
+      }
+    }
+  }
   // One delivery event hands the whole surviving batch to the receiving
   // shard in wire order.  Every member was checked batch-eligible at
   // commit time (media priority, shard-local terminal delivery), so the

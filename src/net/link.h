@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 
 #include "net/packet.h"
 #include "sim/node_runtime.h"
@@ -32,9 +33,22 @@ struct LinkConfig {
   Duration jitter = 0;
   /// Independent (Bernoulli) packet loss probability.
   double loss_rate = 0.0;
-  /// Per-bit error probability; a packet is marked corrupted with
-  /// probability 1 - (1 - ber)^bits.
+  /// Per-bit error probability; a packet suffers real bit flips with
+  /// probability 1 - (1 - ber)^bits (drawn per packet in wire order, then
+  /// 1–4 seeded flip positions across the wire image).
   double bit_error_rate = 0.0;
+  /// Probability a delivered packet is duplicated: the copy arrives one
+  /// extra propagation-jitter draw later (always after the original).
+  double dup_rate = 0.0;
+  /// Probability a packet's wire bytes are cut to a random prefix in
+  /// flight (payload and/or attached frame; wire_size shrinks).
+  double truncate_rate = 0.0;
+  /// Probability a packet is held back by an extra uniform(0, reorder_window]
+  /// propagation delay, letting later packets overtake it.  The window
+  /// bounds the displacement: a held packet can only be passed by packets
+  /// serialised within that window behind it.
+  double reorder_rate = 0.0;
+  Duration reorder_window = 0;
   /// Output queue bound; packets arriving to a full queue are dropped.
   std::size_t queue_limit_packets = 128;
   /// Fraction of bandwidth the reservation manager may hand out.
@@ -61,8 +75,11 @@ struct LinkStats {
   std::int64_t bytes_sent = 0;
   std::int64_t dropped_queue_overflow = 0;
   std::int64_t dropped_loss = 0;
-  std::int64_t corrupted = 0;
+  std::int64_t corrupted = 0;    // packets whose wire bytes were bit-flipped
   std::int64_t dropped_down = 0;
+  std::int64_t duplicated = 0;   // extra copies injected by dup_rate
+  std::int64_t truncated = 0;    // packets cut to a prefix in flight
+  std::int64_t reordered = 0;    // packets held back by reorder_rate
 };
 
 class Link {
@@ -117,6 +134,13 @@ class Link {
   }
   void set_bit_error_rate(double p) { cfg_.bit_error_rate = p; }
   void set_jitter(Duration j) { cfg_.jitter = j; }
+  // --- byzantine impairment injection (chaos storm setters; each returns
+  // the previous value so the engine can restore it when the storm ends) ---
+  double set_dup_rate(double p) { return std::exchange(cfg_.dup_rate, p); }
+  double set_truncate_rate(double p) { return std::exchange(cfg_.truncate_rate, p); }
+  std::pair<double, Duration> set_reorder(double p, Duration window) {
+    return {std::exchange(cfg_.reorder_rate, p), std::exchange(cfg_.reorder_window, window)};
+  }
   void set_propagation_delay(Duration d) {
     cfg_.propagation_delay = d;
     if (retune_) retune_();  // the network refreshes the executor lookahead
@@ -136,6 +160,9 @@ class Link {
  private:
   void start_serialising();
   void finish_serialising();
+  /// Applies the byzantine impairments to a committed packet in wire
+  /// order: bit flips (bit_error_rate), then truncation (truncate_rate).
+  void impair(Packet& p);
   void propagate(Packet&& p);
   /// Delivers a whole surviving media batch with one event (propagation +
   /// one jitter draw); every member is handed to deliver_ in wire order.

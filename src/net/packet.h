@@ -31,6 +31,9 @@ struct Packet {
   NodeId dst = kInvalidNode;
   Proto proto = Proto::kTransportData;
   Priority priority = Priority::kMedia;
+  /// Wire bytes of the layer above.  An impaired link mutates these in
+  /// flight (bit flips, truncation) — receivers detect damage through their
+  /// own PDU checksums, never through simulation metadata.
   std::vector<std::uint8_t> payload;
   /// Zero-copy media payload body (two-world data plane): data TPDUs carry
   /// their serialized header in `payload` and the OSDU fragment here as a
@@ -42,10 +45,6 @@ struct Packet {
   // --- simulation metadata (not part of the wire image) ---
   /// True simulation time the packet entered the network at the source.
   Time injected_at = 0;
-  /// Set by a link when bit errors were injected; receivers detect this via
-  /// their own checksum, the flag exists so links do not need to actually
-  /// flip payload bits (which would break content-addressed test fixtures).
-  bool corrupted = false;
   /// Hop count so far, for diagnostics and TTL-style loop protection.
   int hops = 0;
   /// Unique id assigned at injection, for tracing.  Node-scoped (top bits

@@ -1,0 +1,31 @@
+// cmtos/obs/wire_stats.h
+//
+// Counters for the adversarial wire model (DESIGN.md §14).  Every decoder
+// that rejects input reports here, so the whole decode-error taxonomy is
+// visible from one JSON snapshot:
+//
+//   wire.decode_failed{pdu,reason}  — every decoder refusal, classified
+//   wire.checksum_failed{pdu}       — the subset caused by CRC mismatch
+//                                     (bit errors on the wire, not peers)
+//
+// Refusals are cold paths (a storm produces thousands, not millions), so
+// the registry lookup per event is fine; the hot accept path pays only the
+// CRC itself.
+
+#pragma once
+
+#include "obs/metrics.h"
+#include "util/byte_io.h"
+
+namespace cmtos::obs {
+
+/// Records one decoder refusal of PDU family `pdu` (e.g. "control_tpdu",
+/// "data_tpdu", "opdu", "rpc") for reason `fault`.
+inline void wire_decode_failed(const char* pdu, WireFault fault) {
+  Registry::global().counter("wire.decode_failed",
+                             {{"pdu", pdu}, {"reason", to_string(fault)}}).add();
+  if (fault == WireFault::kChecksum)
+    Registry::global().counter("wire.checksum_failed", {{"pdu", pdu}}).add();
+}
+
+}  // namespace cmtos::obs

@@ -1,5 +1,6 @@
 #include "orch/llo.h"
 
+#include "obs/wire_stats.h"
 #include "util/contract.h"
 #include "util/logging.h"
 
@@ -200,11 +201,15 @@ const std::array<Llo::OpduHandler, 43>& Llo::opdu_dispatch() {
 }
 
 void Llo::on_opdu_packet(net::Packet&& pkt) {
-  if (down_) return;          // crashed LLO: protocol state is gone
-  if (pkt.corrupted) return;  // control VCs have reserved, clean capacity
-  auto o = Opdu::decode(pkt.payload);
+  if (down_) return;  // crashed LLO: protocol state is gone
+  if (table_.peer_quarantined(pkt.src)) return;
+  WireFault fault = WireFault::kNone;
+  auto o = Opdu::decode(pkt.payload, &fault);
   if (!o) {
-    CMTOS_WARN("llo", "undecodable OPDU at node %u", node_);
+    obs::wire_decode_failed("opdu", fault);
+    // Checksum refusals are line damage; a structural refusal with a valid
+    // CRC counts toward the sender's quarantine.
+    if (fault != WireFault::kChecksum) table_.note_malformed_opdu(pkt.src);
     return;
   }
   const auto& table = opdu_dispatch();

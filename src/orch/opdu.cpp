@@ -1,8 +1,53 @@
 #include "orch/opdu.h"
 
 #include "util/byte_io.h"
+#include "util/checksum.h"
+#include "util/wire_hardening.h"
 
 namespace cmtos::orch {
+
+namespace {
+
+void set_fault(WireFault* fault, WireFault f) {
+  if (fault != nullptr) *fault = f;
+}
+
+/// Sparse validity check over the OpduType space (1..42 with gaps).
+bool valid_opdu_type(std::uint8_t t) {
+  switch (static_cast<OpduType>(t)) {
+    case OpduType::kSessReq:
+    case OpduType::kSessAck:
+    case OpduType::kSessRel:
+    case OpduType::kPrime:
+    case OpduType::kPrimeAck:
+    case OpduType::kPrimed:
+    case OpduType::kStart:
+    case OpduType::kStartAck:
+    case OpduType::kStop:
+    case OpduType::kStopAck:
+    case OpduType::kAdd:
+    case OpduType::kAddAck:
+    case OpduType::kRemove:
+    case OpduType::kRemoveAck:
+    case OpduType::kRegulateSink:
+    case OpduType::kRegulateSrc:
+    case OpduType::kDrop:
+    case OpduType::kRegInd:
+    case OpduType::kSrcStats:
+    case OpduType::kEventReg:
+    case OpduType::kEventInd:
+    case OpduType::kDelayed:
+    case OpduType::kDelayedAck:
+    case OpduType::kVcDead:
+    case OpduType::kTimeReq:
+    case OpduType::kTimeResp:
+    case OpduType::kEpochNack:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 std::vector<std::uint8_t> Opdu::encode() const {
   std::vector<std::uint8_t> out;
@@ -41,20 +86,37 @@ std::vector<std::uint8_t> Opdu::encode() const {
   w.i64(t_origin);
   w.i64(t_peer);
   w.u32(probe_id);
+  append_crc32(out);
   return out;
 }
 
-std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire, WireFault* fault) {
+  if (cmtos::wire::hardening()) {
+    auto body = strip_crc32(wire);
+    if (!body) {
+      set_fault(fault, WireFault::kChecksum);
+      return std::nullopt;
+    }
+    wire = *body;
+  }
   try {
     ByteReader r(wire);
     Opdu o;
-    o.type = static_cast<OpduType>(r.u8());
+    const std::uint8_t raw_type = r.u8();
+    if (!valid_opdu_type(raw_type)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
+    o.type = static_cast<OpduType>(raw_type);
     o.session = r.u64();
     o.vc = r.u64();
     o.orch_node = r.u32();
     o.epoch = r.u32();
     const std::uint32_t n = r.u32();
-    if (n > r.remaining() / 16) return std::nullopt;  // garbage length field
+    if (n > r.remaining() / 16) {  // garbage length field: refuse pre-reserve
+      set_fault(fault, WireFault::kBadLength);
+      return std::nullopt;
+    }
     o.vcs.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       OrchVcInfo info;
@@ -65,7 +127,12 @@ std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire) {
     }
     o.flags = r.u8();
     o.ok = r.u8();
-    o.reason = static_cast<OrchReason>(r.u8());
+    const std::uint8_t raw_reason = r.u8();
+    if (raw_reason > wire_enum(OrchReason::kStaleEpoch)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
+    o.reason = static_cast<OrchReason>(raw_reason);
     o.target_seq = r.i64();
     o.max_drop = r.u32();
     o.interval = r.i64();
@@ -88,6 +155,7 @@ std::optional<Opdu> Opdu::decode(std::span<const std::uint8_t> wire) {
     o.probe_id = r.u32();
     return o;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }

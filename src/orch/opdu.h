@@ -19,6 +19,7 @@
 
 #include "net/address.h"
 #include "transport/service.h"
+#include "util/byte_io.h"
 #include "util/time.h"
 
 namespace cmtos::orch {
@@ -154,8 +155,14 @@ struct Opdu {
   Time t_peer = 0;    // peer's local clock when answering
   std::uint32_t probe_id = 0;
 
+  /// Encoding ends with a CRC-32 trailer (adversarial wire model: links
+  /// flip real bytes, every control-plane PDU carries its own checksum).
   std::vector<std::uint8_t> encode() const;
-  static std::optional<Opdu> decode(std::span<const std::uint8_t> wire);
+  /// Total over arbitrary bytes: CRC-verified, type/reason range-checked,
+  /// vcs length guarded before reserve.  On refusal `fault` (when non-null)
+  /// carries the taxonomy entry for wire.decode_failed{pdu,reason}.
+  static std::optional<Opdu> decode(std::span<const std::uint8_t> wire,
+                                    WireFault* fault = nullptr);
 };
 
 inline constexpr std::uint8_t kOpduFlagFlush = 1;

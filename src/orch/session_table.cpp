@@ -96,6 +96,29 @@ void SessionTable::release_remote(OrchSessionId s, const std::vector<OrchVcInfo>
   }
 }
 
+void SessionTable::note_malformed_opdu(net::NodeId peer) {
+  // Only CRC-valid structural refusals reach here (see util/quarantine.h):
+  // checksum damage is line noise and never blamed on the peer.
+  switch (quarantine_.note_malformed(peer)) {
+    case PeerQuarantine::Action::kNone:
+      break;
+    case PeerQuarantine::Action::kWarn:
+      CMTOS_WARN("llo", "node %u: peer node %u sent %lld malformed OPDUs", llo_.node_, peer,
+                 static_cast<long long>(quarantine_.malformed(peer)));
+      break;
+    case PeerQuarantine::Action::kEscalate:
+      obs::Registry::global()
+          .counter("wire.peer_quarantined", {{"node", std::to_string(llo_.node_)}})
+          .add();
+      CMTOS_WARN("llo", "node %u: quarantining peer node %u (malformed-OPDU escalation)",
+                 llo_.node_, peer);
+      // No forced session teardown: a peer that stops answering (because we
+      // drop its OPDUs from now on) is exactly what the op-timeout and
+      // vc-dead machinery already recovers from.
+      break;
+  }
+}
+
 void SessionTable::crash() {
   for (auto& [s, sess] : sessions_)
     for (auto& [k, merge] : sess.reg_merge) merge.timeout.cancel();

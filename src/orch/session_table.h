@@ -25,6 +25,7 @@
 #include "orch/orch_types.h"
 #include "sim/node_runtime.h"
 #include "transport/timer_set.h"
+#include "util/quarantine.h"
 #include "util/thread_annotations.h"
 
 namespace cmtos::orch {
@@ -94,6 +95,15 @@ class CMTOS_SHARD_AFFINE SessionTable {
   void handle_vc_dead(const Opdu& o);
   void handle_epoch_nack(const Opdu& o);
 
+  // --- malformed-OPDU quarantine (adversarial wire model) ---
+  /// Records a structurally-invalid OPDU (valid checksum, refused decode)
+  /// from `peer`.  Warn threshold logs; escalation quarantines the peer —
+  /// its OPDUs are dropped pre-decode from then on.  Orchestration sessions
+  /// themselves recover through the normal op-timeout / vc-dead machinery,
+  /// so no teardown is forced here.
+  void note_malformed_opdu(net::NodeId peer);
+  bool peer_quarantined(net::NodeId peer) const { return quarantine_.quarantined(peer); }
+
   // --- introspection / fault model ---
   bool has_session(OrchSessionId s) const { return sessions_.contains(s); }
   SessionPhase session_phase(OrchSessionId s) const {
@@ -152,6 +162,7 @@ class CMTOS_SHARD_AFFINE SessionTable {
   Llo& llo_;
   transport::TimerSet& timers_;
   Duration op_timeout_ = 5 * kSecond;
+  PeerQuarantine quarantine_;
 
   std::map<OrchSessionId, Session> sessions_;
   std::map<OrchSessionId, std::uint32_t> session_epochs_;

@@ -11,6 +11,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "net/network.h"
 #include "orch/llo.h"
@@ -147,6 +148,38 @@ class Platform {
       const Duration prev = fwd != nullptr ? fwd->config().jitter : 0;
       if (fwd != nullptr) fwd->set_jitter(jitter);
       if (rev != nullptr) rev->set_jitter(jitter);
+      return prev;
+    };
+    t.set_link_ber = [this](std::uint32_t a, std::uint32_t b, double ber) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      const double prev = fwd != nullptr ? fwd->config().bit_error_rate : 0.0;
+      if (fwd != nullptr) fwd->set_bit_error_rate(ber);
+      if (rev != nullptr) rev->set_bit_error_rate(ber);
+      return prev;
+    };
+    t.set_link_dup = [this](std::uint32_t a, std::uint32_t b, double rate) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      double prev = 0.0;
+      if (fwd != nullptr) prev = fwd->set_dup_rate(rate);
+      if (rev != nullptr) rev->set_dup_rate(rate);
+      return prev;
+    };
+    t.set_link_truncate = [this](std::uint32_t a, std::uint32_t b, double rate) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      double prev = 0.0;
+      if (fwd != nullptr) prev = fwd->set_truncate_rate(rate);
+      if (rev != nullptr) rev->set_truncate_rate(rate);
+      return prev;
+    };
+    t.set_link_reorder = [this](std::uint32_t a, std::uint32_t b, double rate, Duration window) {
+      net::Link* fwd = network_.link(a, b);
+      net::Link* rev = network_.link(b, a);
+      std::pair<double, Duration> prev{0.0, 0};
+      if (fwd != nullptr) prev = fwd->set_reorder(rate, window);
+      if (rev != nullptr) rev->set_reorder(rate, window);
       return prev;
     };
     return t;

@@ -4,14 +4,21 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/wire_stats.h"
 #include "util/byte_io.h"
+#include "util/checksum.h"
 #include "util/logging.h"
+#include "util/wire_hardening.h"
 
 namespace cmtos::platform {
 
 namespace {
 
 enum class MsgKind : std::uint8_t { kRequest = 1, kReply = 2 };
+
+void set_fault(WireFault* fault, WireFault f) {
+  if (fault != nullptr) *fault = f;
+}
 
 struct RpcMsg {
   MsgKind kind = MsgKind::kRequest;
@@ -32,21 +39,44 @@ struct RpcMsg {
     w.str(interface);
     w.str(op);
     w.blob(body);
+    append_crc32(out);  // adversarial wire model: links flip real bytes
     return out;
   }
-  static std::optional<RpcMsg> decode(std::span<const std::uint8_t> wire) {
+  /// Total over arbitrary bytes: CRC-verified, enum fields range-checked.
+  static std::optional<RpcMsg> decode(std::span<const std::uint8_t> wire,
+                                      WireFault* fault = nullptr) {
+    if (cmtos::wire::hardening()) {
+      auto body_span = strip_crc32(wire);
+      if (!body_span) {
+        set_fault(fault, WireFault::kChecksum);
+        return std::nullopt;
+      }
+      wire = *body_span;
+    }
     try {
       ByteReader r(wire);
       RpcMsg m;
-      m.kind = static_cast<MsgKind>(r.u8());
+      const std::uint8_t raw_kind = r.u8();
+      if (raw_kind != wire_enum(MsgKind::kRequest) &&
+          raw_kind != wire_enum(MsgKind::kReply)) {
+        set_fault(fault, WireFault::kBadType);
+        return std::nullopt;
+      }
+      m.kind = static_cast<MsgKind>(raw_kind);
       m.call_id = r.u64();
       m.caller = r.u32();
-      m.outcome = static_cast<RpcOutcome>(r.u8());
+      const std::uint8_t raw_outcome = r.u8();
+      if (raw_outcome > wire_enum(RpcOutcome::kAppError)) {
+        set_fault(fault, WireFault::kBadType);
+        return std::nullopt;
+      }
+      m.outcome = static_cast<RpcOutcome>(raw_outcome);
       m.interface = r.str();
       m.op = r.str();
       m.body = r.blob();
       return m;
     } catch (const DecodeError&) {
+      set_fault(fault, WireFault::kTruncated);
       return std::nullopt;
     }
   }
@@ -164,10 +194,10 @@ void RpcRuntime::arm_timeout(std::uint64_t call_id) {
 
 void RpcRuntime::on_packet(net::Packet&& pkt) {
   if (down_) return;  // crashed node: no server, no caller
-  if (pkt.corrupted) return;
-  auto m = RpcMsg::decode(pkt.payload);
+  WireFault fault = WireFault::kNone;
+  auto m = RpcMsg::decode(pkt.payload, &fault);
   if (!m) {
-    CMTOS_WARN("rpc", "undecodable RPC message at node %u", node_);
+    obs::wire_decode_failed("rpc", fault);
     return;
   }
   if (m->kind == MsgKind::kRequest) {

@@ -19,6 +19,10 @@ const char* to_string(FaultKind k) {
     case FaultKind::kJitterStorm: return "jitter_storm";
     case FaultKind::kNodeIsolate: return "node_isolate";
     case FaultKind::kNodeHeal: return "node_heal";
+    case FaultKind::kCorruptStorm: return "corrupt_storm";
+    case FaultKind::kReorderStorm: return "reorder_storm";
+    case FaultKind::kDupStorm: return "dup_storm";
+    case FaultKind::kTruncStorm: return "truncate_storm";
   }
   return "unknown";
 }
@@ -61,6 +65,34 @@ ChaosPlan& ChaosPlan::jitter_storm(Time at, std::uint32_t a, std::uint32_t b, Du
                                    Duration duration) {
   events.push_back({.at = at, .kind = FaultKind::kJitterStorm, .a = a, .b = b,
                     .duration = duration, .jitter = jitter});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::corrupt_storm(Time at, std::uint32_t a, std::uint32_t b,
+                                    double bit_error_rate, Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kCorruptStorm, .a = a, .b = b,
+                    .duration = duration, .loss_rate = bit_error_rate});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::reorder_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                                    Duration window, Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kReorderStorm, .a = a, .b = b,
+                    .duration = duration, .loss_rate = rate, .jitter = window});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::dup_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                                Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kDupStorm, .a = a, .b = b,
+                    .duration = duration, .loss_rate = rate});
+  return *this;
+}
+
+ChaosPlan& ChaosPlan::truncate_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                                     Duration duration) {
+  events.push_back({.at = at, .kind = FaultKind::kTruncStorm, .a = a, .b = b,
+                    .duration = duration, .loss_rate = rate});
   return *this;
 }
 
@@ -153,6 +185,67 @@ void ChaosEngine::inject(const ChaosEvent& ev) {
           target_.set_link_jitter(done.a, done.b, prev);
           record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
                            " restored jitter=" + std::to_string(prev));
+        });
+      }
+      break;
+    }
+    case FaultKind::kCorruptStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " ber=" + std::to_string(ev.loss_rate));
+      if (!target_.set_link_ber) break;
+      const double prev = target_.set_link_ber(ev.a, ev.b, ev.loss_rate);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_ber(done.a, done.b, prev);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored ber=" + std::to_string(prev));
+        });
+      }
+      break;
+    }
+    case FaultKind::kReorderStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " rate=" + std::to_string(ev.loss_rate) +
+                     " window=" + std::to_string(ev.jitter));
+      if (!target_.set_link_reorder) break;
+      const auto prev = target_.set_link_reorder(ev.a, ev.b, ev.loss_rate, ev.jitter);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_reorder(done.a, done.b, prev.first, prev.second);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored reorder=" + std::to_string(prev.first));
+        });
+      }
+      break;
+    }
+    case FaultKind::kDupStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " rate=" + std::to_string(ev.loss_rate));
+      if (!target_.set_link_dup) break;
+      const double prev = target_.set_link_dup(ev.a, ev.b, ev.loss_rate);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_dup(done.a, done.b, prev);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored dup=" + std::to_string(prev));
+        });
+      }
+      break;
+    }
+    case FaultKind::kTruncStorm: {
+      record(ev, "link=" + std::to_string(ev.a) + "<->" + std::to_string(ev.b) +
+                     " rate=" + std::to_string(ev.loss_rate));
+      if (!target_.set_link_truncate) break;
+      const double prev = target_.set_link_truncate(ev.a, ev.b, ev.loss_rate);
+      if (ev.duration > 0) {
+        const ChaosEvent done = ev;
+        sched_.after(ev.duration, [this, done, prev] {
+          target_.set_link_truncate(done.a, done.b, prev);
+          record(done, "link=" + std::to_string(done.a) + "<->" + std::to_string(done.b) +
+                           " restored trunc=" + std::to_string(prev));
         });
       }
       break;

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.h"
@@ -37,6 +38,13 @@ enum class FaultKind : std::uint8_t {
   kJitterStorm = 5,
   kNodeIsolate = 6,
   kNodeHeal = 7,
+  // Byzantine wire impairments: windows of real byte damage rather than
+  // clean loss.  Each storm sets a link impairment for `duration`, then
+  // restores the previous value.
+  kCorruptStorm = 8,    // bit_error_rate: seeded bit flips in wire bytes
+  kReorderStorm = 9,    // bounded-displacement reordering (extra hold delay)
+  kDupStorm = 10,       // packet duplication
+  kTruncStorm = 11,     // truncation to a random prefix
 };
 
 const char* to_string(FaultKind k);
@@ -49,6 +57,14 @@ const char* to_string(FaultKind k);
 ///   kJitterStorm              : a, b, jitter, duration
 ///   kNodeIsolate              : node; duration > 0 schedules the heal
 ///   kNodeHeal                 : node
+///   kCorruptStorm             : a, b, loss_rate (= bit error rate), duration
+///   kReorderStorm             : a, b, loss_rate (= reorder rate),
+///                               jitter (= reorder window), duration
+///   kDupStorm                 : a, b, loss_rate (= dup rate), duration
+///   kTruncStorm               : a, b, loss_rate (= truncate rate), duration
+/// The byzantine storms reuse `loss_rate` as their generic probability knob
+/// and `jitter` as the reorder window; no new fields, so existing plans
+/// serialize/replay unchanged.
 struct ChaosEvent {
   Time at = 0;
   FaultKind kind = FaultKind::kNodeCrash;
@@ -83,6 +99,15 @@ struct ChaosPlan {
                         Duration duration);
   ChaosPlan& jitter_storm(Time at, std::uint32_t a, std::uint32_t b, Duration jitter,
                           Duration duration);
+  // --- byzantine wire storms ---
+  ChaosPlan& corrupt_storm(Time at, std::uint32_t a, std::uint32_t b, double bit_error_rate,
+                           Duration duration);
+  ChaosPlan& reorder_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                           Duration window, Duration duration);
+  ChaosPlan& dup_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                       Duration duration);
+  ChaosPlan& truncate_storm(Time at, std::uint32_t a, std::uint32_t b, double rate,
+                            Duration duration);
 };
 
 /// The seam between the fault scheduler and the world it breaks.  The
@@ -96,6 +121,14 @@ struct ChaosTarget {
   std::function<void(std::uint32_t node, bool isolated)> set_node_isolated;
   std::function<double(std::uint32_t a, std::uint32_t b, double loss)> set_link_loss;
   std::function<Duration(std::uint32_t a, std::uint32_t b, Duration jitter)> set_link_jitter;
+  // Byzantine impairments (same set-then-restore contract as the storms
+  // above: each setter returns the value it replaced).
+  std::function<double(std::uint32_t a, std::uint32_t b, double ber)> set_link_ber;
+  std::function<double(std::uint32_t a, std::uint32_t b, double rate)> set_link_dup;
+  std::function<double(std::uint32_t a, std::uint32_t b, double rate)> set_link_truncate;
+  std::function<std::pair<double, Duration>(std::uint32_t a, std::uint32_t b, double rate,
+                                            Duration window)>
+      set_link_reorder;
 };
 
 class ChaosEngine {

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/trace.h"
+#include "obs/wire_stats.h"
 #include "transport/transport_entity.h"
 #include "util/contract.h"
 #include "util/logging.h"
@@ -67,6 +68,7 @@ Connection::Connection(TransportEntity& entity, VcId id, VcRole role,
   m_tpdus_received_ = &reg.counter("transport.tpdus_received", labels);
   m_tpdus_lost_ = &reg.counter("transport.tpdus_lost", labels);
   m_tpdus_corrupt_ = &reg.counter("transport.tpdus_corrupt", labels);
+  m_dup_dropped_ = &reg.counter("transport.dup_dropped", labels);
   m_osdus_delivered_ = &reg.counter("transport.osdus_delivered", labels);
   m_osdus_shed_ = &reg.counter("buffer.shed", labels);
   if (role_ == VcRole::kSink) {
@@ -490,13 +492,23 @@ void Connection::on_data(const net::Packet& pkt) {
   // sink opens on CR receipt, the source on CC receipt), so anything else
   // here is a late packet racing teardown: discard.
   if (role_ != VcRole::kSink || state_ != VcState::kOpen) return;
-  auto dt = DataTpdu::decode_packet(pkt);
+  WireFault fault = WireFault::kNone;
+  auto dt = DataTpdu::decode_packet(pkt, &fault);
   if (!dt) {
     ++stats_.tpdus_corrupt;
     // The corrupt TPDU's bytes still crossed the wire; they belong in the
     // BER denominator.
     if (monitor_) monitor_->on_tpdu_corrupt(static_cast<std::int64_t>(pkt.wire_size()));
     m_tpdus_corrupt_->add();
+    // On the packet path, kBadLength means the attached frame was cut or
+    // padded in flight — line damage, same as a checksum failure.  Only a
+    // CRC-valid header with structural nonsense (kBadType) is the peer's
+    // doing, so only that routes through the quarantine-counting helper.
+    if (fault == WireFault::kBadType) {
+      entity_.note_wire_refusal(peer_node(), "dt", fault);
+    } else {
+      obs::wire_decode_failed("dt", fault);
+    }
     obs::Tracer::global().instant("TPDU.corrupt", trace_pid_, trace_tid_);
     // The sequence number is unreadable; recovery (if any) rides on the
     // gap-detection path when the next good TPDU arrives.
@@ -514,6 +526,12 @@ void Connection::on_data(const net::Packet& pkt) {
   if (window) {
     // Go-back-N: only the expected TPDU is accepted.
     if (dt->tpdu_seq != expected_tpdu_seq_) {
+      // Serial arithmetic: a seq below the cursor is a duplicate (the
+      // network copied it, or a retransmission raced the cumulative ACK).
+      // Count it — a duplication storm must stay visible — then re-ACK
+      // either way so the source's window keeps moving.
+      if (static_cast<std::int32_t>(dt->tpdu_seq - expected_tpdu_seq_) < 0)
+        drop_duplicate_tpdu();
       AckTpdu ack;
       ack.vc = id_;
       ack.cumulative_ack = expected_tpdu_seq_;
@@ -531,12 +549,13 @@ void Connection::on_data(const net::Packet& pkt) {
       if (dt->tpdu_seq > expected_tpdu_seq_) note_gap(expected_tpdu_seq_, dt->tpdu_seq);
       expected_tpdu_seq_ = dt->tpdu_seq + 1;
     } else {
-      // A retransmission plugged a hole.
+      // A retransmission plugged a hole (or a duplicate re-arrived; the
+      // reassembly guards below tell those apart).
       nak_tries_.erase(dt->tpdu_seq);
     }
   }
 
-  handle_data_tpdu(std::move(*dt), false, pkt.wire_size());
+  handle_data_tpdu(std::move(*dt), pkt.wire_size());
 
   if (window) {
     const std::uint16_t frags_per_osdu = static_cast<std::uint16_t>(std::max<std::int64_t>(
@@ -585,12 +604,28 @@ std::int64_t Connection::unwrap_osdu_seq(std::uint32_t seq) const {
   return next_deliver_seq_ + delta;
 }
 
-void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes) {
-  (void)corrupted;
+void Connection::drop_duplicate_tpdu() {
+  ++stats_.tpdus_dup_dropped;
+  m_dup_dropped_->add();
+  obs::Tracer::global().instant("TPDU.dup", trace_pid_, trace_tid_);
+}
+
+void Connection::handle_data_tpdu(DataTpdu&& dt, std::size_t wire_bytes) {
   (void)wire_bytes;
   const std::int64_t useq = unwrap_osdu_seq(dt.osdu_seq);
-  if (next_deliver_seq_ >= 0 && useq < next_deliver_seq_)
-    return;  // stale (late retransmission of already-skipped data)
+  if (next_deliver_seq_ >= 0 && useq < next_deliver_seq_) {
+    // Stale: late retransmission or network duplicate of an OSDU already
+    // delivered or skipped past.
+    drop_duplicate_tpdu();
+    return;
+  }
+  if (completed_.count(useq) > 0) {
+    // Duplicate of a completed-but-undelivered OSDU.  Without this guard
+    // it would recreate a Partial, re-complete, double-count the OSDU and
+    // re-fire the arrival hook.
+    drop_duplicate_tpdu();
+    return;
+  }
 
   Partial& p = partials_[useq];
   if (p.frag_count == 0) {
@@ -601,8 +636,10 @@ void Connection::handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wir
     p.true_submit = dt.true_submit;
   }
   if (dt.frag_index >= p.frags.size()) return;  // malformed
-  if (!p.frags[dt.frag_index].empty() || (p.frag_count == 1 && p.frags_received > 0))
-    return;  // duplicate fragment
+  if (!p.frags[dt.frag_index].empty() || (p.frag_count == 1 && p.frags_received > 0)) {
+    drop_duplicate_tpdu();
+    return;
+  }
   p.frags[dt.frag_index] = std::move(dt.payload);
   ++p.frags_received;
   if (p.frags_received == p.frag_count) complete_osdu(useq);
@@ -667,8 +704,14 @@ void Connection::complete_osdu(std::int64_t osdu_seq) {
 
 void Connection::deliver_ready() {
   if (next_deliver_seq_ < 0 && !completed_.empty()) {
-    // Resync after open/flush: adopt the first completed OSDU as the base.
+    // Resync after open/flush: adopt the first completed OSDU as the base,
+    // and release any partials stranded below it (fragments that arrived
+    // pre-resync, e.g. with a sibling checksum-dropped): nothing can
+    // complete them, and their frames must not stay pinned until close.
     next_deliver_seq_ = completed_.begin()->first;
+    for (auto it = partials_.begin(); it != partials_.end();) {
+      it = it->first < next_deliver_seq_ ? partials_.erase(it) : std::next(it);
+    }
   }
   for (;;) {
     auto it = completed_.find(next_deliver_seq_);
@@ -689,6 +732,12 @@ void Connection::deliver_ready() {
           // Both sides of the subtraction live on the unwrapped 64-bit
           // timeline, so the count stays exact across 32-bit seq wrap.
           stats_.osdus_skipped += first_ready - next_deliver_seq_;
+          // Purge partials below the skip point (give_up_on_holes does the
+          // same): any stray below the cursor would pin its frames forever
+          // once the cursor moves past it.
+          for (auto pit = partials_.begin(); pit != partials_.end();) {
+            pit = pit->first < first_ready ? partials_.erase(pit) : std::next(pit);
+          }
           next_deliver_seq_ = first_ready;
           continue;
         }

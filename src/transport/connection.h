@@ -69,6 +69,7 @@ struct VcStats {
   // Sink side.
   std::int64_t tpdus_received = 0;
   std::int64_t tpdus_corrupt = 0;
+  std::int64_t tpdus_dup_dropped = 0;     // duplicate DT TPDUs discarded
   std::int64_t tpdus_lost = 0;            // detected via gaps, never recovered
   std::int64_t osdus_completed = 0;       // fully reassembled
   std::int64_t osdus_skipped = 0;         // holes given up on (incl. source drops)
@@ -216,7 +217,12 @@ class CMTOS_SHARD_AFFINE Connection {
   void on_retransmit_timeout();
 
   // --- sink side ---
-  void handle_data_tpdu(DataTpdu&& dt, bool corrupted, std::size_t wire_bytes);
+  void handle_data_tpdu(DataTpdu&& dt, std::size_t wire_bytes);
+  /// Discards a duplicate data TPDU (GBN stale seq, repeated fragment,
+  /// re-delivery of a completed or already-consumed OSDU): counts it so a
+  /// duplication storm is visible, and nothing else — a dup must never
+  /// re-fire hooks or re-enter reassembly.
+  void drop_duplicate_tpdu();
   void note_gap(std::uint32_t from_seq, std::uint32_t to_seq);
   void complete_osdu(std::int64_t osdu_seq);
   /// Maps the 32-bit on-wire OSDU seq onto the unwrapped 64-bit delivery
@@ -316,6 +322,7 @@ class CMTOS_SHARD_AFFINE Connection {
   obs::Counter* m_tpdus_received_ = nullptr;
   obs::Counter* m_tpdus_lost_ = nullptr;
   obs::Counter* m_tpdus_corrupt_ = nullptr;
+  obs::Counter* m_dup_dropped_ = nullptr;
   obs::Counter* m_osdus_delivered_ = nullptr;
   obs::Counter* m_osdus_shed_ = nullptr;
   int trace_pid_ = 0;  // node id

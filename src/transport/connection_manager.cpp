@@ -1,5 +1,8 @@
 #include "transport/connection_manager.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
 #include "transport/connection.h"
 #include "transport/transport_entity.h"
 #include "util/contract.h"
@@ -590,6 +593,69 @@ void ConnectionManager::on_peer_dead(VcId vc) {
   ent_.send_tpdu(peer, net::Proto::kTransportControl, dr.encode());
   ent_.deliver_disconnect(vc, tsap, DisconnectReason::kPeerDead);
   if (ent_.on_vc_closed_) ent_.on_vc_closed_(vc, DisconnectReason::kPeerDead);
+}
+
+void ConnectionManager::note_malformed_pdu(net::NodeId peer) {
+  // Called only for CRC-valid structural refusals: checksum failures are
+  // line noise and never blamed on the peer (see util/quarantine.h).
+  switch (quarantine_.note_malformed(peer)) {
+    case PeerQuarantine::Action::kNone:
+      break;
+    case PeerQuarantine::Action::kWarn:
+      CMTOS_WARN("transport", "node %u: peer node %u sent %lld malformed PDUs", ent_.node_,
+                 peer, static_cast<long long>(quarantine_.malformed(peer)));
+      break;
+    case PeerQuarantine::Action::kEscalate:
+      quarantine_peer(peer);
+      break;
+  }
+}
+
+void ConnectionManager::quarantine_peer(net::NodeId peer) {
+  obs::Registry::global()
+      .counter("wire.peer_quarantined", {{"node", std::to_string(ent_.node_)}})
+      .add();
+  CMTOS_WARN("transport", "node %u: quarantining peer node %u (malformed-PDU escalation)",
+             ent_.node_, peer);
+  // Tear down every established endpoint whose peer is the quarantined
+  // node, on_peer_dead-style: free resources first, user hears
+  // kPeerMisbehaving, best-effort DR so the (possibly healthy) remote half
+  // does not strand.
+  std::vector<VcId> victims;
+  for (const auto& [vc, conn] : ent_.sources_)
+    if (conn->peer_node() == peer) victims.push_back(vc);
+  for (const auto& [vc, conn] : ent_.sinks_)
+    if (conn->peer_node() == peer && std::find(victims.begin(), victims.end(), vc) ==
+                                         victims.end())
+      victims.push_back(vc);
+  for (VcId vc : victims) {
+    net::Tsap tsap = 0;
+    bool found = false;
+    if (auto it = ent_.sources_.find(vc); it != ent_.sources_.end()) {
+      auto conn = std::move(it->second);
+      ent_.sources_.erase(it);
+      tsap = conn->request().src.tsap;
+      if (conn->reservation() != net::kNoReservation) ent_.network_.release(conn->reservation());
+      ent_.release_reverse_reservation(vc);
+      conn->close();
+      found = true;
+    }
+    if (auto it2 = ent_.sinks_.find(vc); it2 != ent_.sinks_.end()) {
+      auto conn = std::move(it2->second);
+      ent_.sinks_.erase(it2);
+      if (!found) tsap = conn->request().dst.tsap;
+      conn->close();
+      found = true;
+    }
+    if (!found) continue;
+    ControlTpdu dr;
+    dr.type = TpduType::kDR;
+    dr.vc = vc;
+    dr.reason = static_cast<std::uint8_t>(DisconnectReason::kPeerMisbehaving);
+    ent_.send_tpdu(peer, net::Proto::kTransportControl, dr.encode());
+    ent_.deliver_disconnect(vc, tsap, DisconnectReason::kPeerMisbehaving);
+    if (ent_.on_vc_closed_) ent_.on_vc_closed_(vc, DisconnectReason::kPeerMisbehaving);
+  }
 }
 
 void ConnectionManager::preempt_vc(VcId vc) {

@@ -26,6 +26,7 @@
 #include "transport/service.h"
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
+#include "util/quarantine.h"
 #include "util/thread_annotations.h"
 
 namespace cmtos::transport {
@@ -55,6 +56,15 @@ class CMTOS_SHARD_AFFINE ConnectionManager {
 
   /// Liveness teardown: the peer endpoint of `vc` went silent.
   void on_peer_dead(VcId vc);
+
+  // --- malformed-PDU quarantine (adversarial wire model) ---
+  /// Records a structurally-invalid PDU (valid checksum, refused decode)
+  /// from `peer`.  Crossing the warn threshold logs; crossing the
+  /// escalation threshold tears down every VC with that peer
+  /// (kPeerMisbehaving) and drops its traffic from then on.
+  void note_malformed_pdu(net::NodeId peer);
+  /// True once `peer` escalated; the entity drops its packets pre-decode.
+  bool peer_quarantined(net::NodeId peer) const { return quarantine_.quarantined(peer); }
 
   /// Preemptive-admission teardown, invoked through the reservation's
   /// annotation callback.
@@ -104,8 +114,13 @@ class CMTOS_SHARD_AFFINE ConnectionManager {
   void arm_rcr_timer(VcId vc, std::vector<std::uint8_t> wire);
   void arm_cr_timer(VcId vc);
 
+  /// Quarantine escalation: closes every local endpoint whose peer node is
+  /// `peer` with kPeerMisbehaving (on_peer_dead-style teardown).
+  void quarantine_peer(net::NodeId peer);
+
   TransportEntity& ent_;
   TimerSet& timers_;
+  PeerQuarantine quarantine_;
 
   std::map<VcId, PendingInitiated> pending_initiated_;
   std::map<VcId, PendingSourceAccept> pending_source_accept_;

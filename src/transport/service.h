@@ -99,6 +99,8 @@ enum class DisconnectReason : std::uint8_t {
   kPeerDead = 8,            // liveness timeout: the peer endpoint went silent
   kEntityFailure = 9,       // the local transport entity itself crashed
   kPreempted = 10,          // displaced by a higher-importance admission
+  kPeerMisbehaving = 11,    // quarantine escalation: the peer keeps sending
+                            // structurally invalid PDUs with valid checksums
 };
 
 std::string to_string(DisconnectReason r);

@@ -2,9 +2,26 @@
 
 #include "util/byte_io.h"
 #include "util/checksum.h"
+#include "util/wire_hardening.h"
 
 namespace cmtos::transport {
 namespace {
+
+void set_fault(WireFault* fault, WireFault f) {
+  if (fault != nullptr) *fault = f;
+}
+
+// Verifies and strips the CRC-32 trailer every control-plane TPDU carries.
+// With hardening off (the byzantine_soak contrast mode) the full span is
+// returned unverified — decoders ignore trailing bytes, so the 4-byte
+// trailer parses as garbage tolerance, exactly the pre-hardening stack.
+std::optional<std::span<const std::uint8_t>> checked_body(
+    std::span<const std::uint8_t> wire, WireFault* fault) {
+  if (!cmtos::wire::hardening()) return wire;
+  auto body = strip_crc32(wire);
+  if (!body) set_fault(fault, WireFault::kChecksum);
+  return body;
+}
 
 void write_address(ByteWriter& w, const net::NetAddress& a) {
   w.u32(a.node);
@@ -102,20 +119,38 @@ std::vector<std::uint8_t> ControlTpdu::encode() const {
   w.u8(reason);
   w.u8(accepted);
   write_report(w, report);
+  append_crc32(out);
   return out;
 }
 
-std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wire,
+                                               WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
+    ByteReader r(*body);
     ControlTpdu t;
-    t.type = static_cast<TpduType>(r.u8());
+    const std::uint8_t type = r.u8();
+    if (type < wire_enum(TpduType::kCR) ||
+        type > wire_enum(TpduType::kQI)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
+    t.type = static_cast<TpduType>(type);
     t.vc = r.u64();
     t.initiator = read_address(r);
     t.src = read_address(r);
     t.dst = read_address(r);
-    t.service_class.profile = static_cast<ProtocolProfile>(r.u8());
-    t.service_class.error_control = static_cast<ErrorControl>(r.u8());
+    const std::uint8_t profile = r.u8();
+    const std::uint8_t error_control = r.u8();
+    if (profile > wire_enum(ProtocolProfile::kWindowBased) ||
+        error_control > wire_enum(ErrorControl::kCorrectAndIndicate)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
+    t.service_class.profile = static_cast<ProtocolProfile>(profile);
+    t.service_class.error_control = static_cast<ErrorControl>(error_control);
     t.qos.preferred = read_qos_params(r);
     t.qos.worst = read_qos_params(r);
     t.agreed = read_qos_params(r);
@@ -125,10 +160,15 @@ std::optional<ControlTpdu> ControlTpdu::decode(std::span<const std::uint8_t> wir
     t.shed_watermark_pct = r.u8();
     t.pacing_burst = r.u16();
     t.reason = r.u8();
+    if (t.reason > wire_enum(DisconnectReason::kPeerMisbehaving)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     t.accepted = r.u8();
     t.report = read_report(r);
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -175,19 +215,21 @@ std::vector<std::uint8_t> DataTpdu::encode() const {
 }
 
 std::optional<DataTpdu> DataTpdu::decode(std::span<const std::uint8_t> wire,
-                                         bool simulated_corruption) {
+                                         WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    if (wire.size() < 4) return std::nullopt;
-    const auto body = wire.subspan(0, wire.size() - 4);
-    ByteReader crc_r(wire.subspan(wire.size() - 4));
-    if (crc32(body) != crc_r.u32()) return std::nullopt;
-    if (simulated_corruption) return std::nullopt;  // links mark, CRC "catches"
-    ByteReader r(body);
+    ByteReader r(*body);
     DataTpdu t;
-    if (!read_dt_header(r, t)) return std::nullopt;
+    if (!read_dt_header(r, t)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     t.payload = PayloadView::adopt(r.blob());
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -196,30 +238,60 @@ void DataTpdu::encode_onto(net::Packet& pkt) const {
   pkt.payload.clear();
   ByteWriter w(pkt.payload);
   write_dt_header(w, *this);
-  // Payload length rides in the header; the bytes themselves ride as a
-  // refcounted view.  The CRC covers the header only — the links mark
-  // corruption instead of flipping bits, and media frames carry their own
-  // body CRC for end-to-end integrity.
+  // Payload length and the frame-body CRC ride in the header; the bytes
+  // themselves ride as a refcounted view.  The trailing CRC covers the
+  // header (including the frame CRC field), so header bit flips, frame
+  // truncation (length mismatch) and frame-body flips are all caught
+  // without ever copying the frame into the wire image.
   w.u32(narrow<std::uint32_t>(payload.size()));
+  w.u32(crc32(std::span<const std::uint8_t>(payload.data(), payload.size())));
   w.u32(crc32(pkt.payload));
   pkt.frame = payload;
 }
 
-std::optional<DataTpdu> DataTpdu::decode_packet(const net::Packet& pkt) {
+std::optional<DataTpdu> DataTpdu::decode_packet(const net::Packet& pkt,
+                                                WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
   try {
     const std::span<const std::uint8_t> wire(pkt.payload);
-    if (wire.size() < 4) return std::nullopt;
-    const auto body = wire.subspan(0, wire.size() - 4);
-    ByteReader crc_r(wire.subspan(wire.size() - 4));
-    if (crc32(body) != crc_r.u32()) return std::nullopt;
-    if (pkt.corrupted) return std::nullopt;  // links mark, CRC "catches"
-    ByteReader r(body);
+    if (cmtos::wire::hardening()) {
+      if (wire.size() < 4) {
+        set_fault(fault, WireFault::kChecksum);
+        return std::nullopt;
+      }
+      const auto body = wire.subspan(0, wire.size() - 4);
+      ByteReader crc_r(wire.subspan(wire.size() - 4));
+      if (crc32(body) != crc_r.u32()) {
+        set_fault(fault, WireFault::kChecksum);
+        return std::nullopt;
+      }
+    }
+    ByteReader r(wire);
     DataTpdu t;
-    if (!read_dt_header(r, t)) return std::nullopt;
-    if (r.u32() != pkt.frame.size()) return std::nullopt;  // header/frame mismatch
+    if (!read_dt_header(r, t)) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
+    const std::uint32_t len = r.u32();
+    const std::uint32_t frame_crc = r.u32();
+    if (cmtos::wire::hardening()) {
+      if (len != pkt.frame.size()) {
+        // Header/frame mismatch: the link truncated (or duplicated bytes
+        // of) the frame in flight.
+        set_fault(fault, WireFault::kBadLength);
+        return std::nullopt;
+      }
+      if (frame_crc !=
+          crc32(std::span<const std::uint8_t>(pkt.frame.data(), pkt.frame.size()))) {
+        // Header intact but the frame body took bit flips in flight.
+        set_fault(fault, WireFault::kChecksum);
+        return std::nullopt;
+      }
+    }
     t.payload = pkt.frame;
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -231,19 +303,28 @@ std::vector<std::uint8_t> AckTpdu::encode() const {
   w.u64(vc);
   w.u32(cumulative_ack);
   w.u32(window);
+  append_crc32(out);
   return out;
 }
 
-std::optional<AckTpdu> AckTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<AckTpdu> AckTpdu::decode(std::span<const std::uint8_t> wire,
+                                       WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
-    if (static_cast<TpduType>(r.u8()) != TpduType::kAK) return std::nullopt;
+    ByteReader r(*body);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kAK) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     AckTpdu t;
     t.vc = r.u64();
     t.cumulative_ack = r.u32();
     t.window = r.u32();
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -255,21 +336,35 @@ std::vector<std::uint8_t> NakTpdu::encode() const {
   w.u64(vc);
   w.u32(narrow<std::uint32_t>(missing.size()));
   for (auto s : missing) w.u32(s);
+  append_crc32(out);
   return out;
 }
 
-std::optional<NakTpdu> NakTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<NakTpdu> NakTpdu::decode(std::span<const std::uint8_t> wire,
+                                       WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
-    if (static_cast<TpduType>(r.u8()) != TpduType::kNAK) return std::nullopt;
+    ByteReader r(*body);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kNAK) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     NakTpdu t;
     t.vc = r.u64();
+    // Range-check the length field against the bytes actually present
+    // before reserving: a stomped length must not drive the allocation.
     const std::uint32_t n = r.u32();
-    if (n > r.remaining() / 4) return std::nullopt;  // garbage length field
+    if (n > r.remaining() / 4) {
+      set_fault(fault, WireFault::kBadLength);
+      return std::nullopt;
+    }
     t.missing.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) t.missing.push_back(r.u32());
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -283,13 +378,21 @@ std::vector<std::uint8_t> FeedbackTpdu::encode() const {
   w.u32(capacity);
   w.u32(highest_osdu);
   w.u8(paused);
+  append_crc32(out);
   return out;
 }
 
-std::optional<FeedbackTpdu> FeedbackTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<FeedbackTpdu> FeedbackTpdu::decode(std::span<const std::uint8_t> wire,
+                                                 WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
-    if (static_cast<TpduType>(r.u8()) != TpduType::kFB) return std::nullopt;
+    ByteReader r(*body);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kFB) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     FeedbackTpdu t;
     t.vc = r.u64();
     t.free_slots = r.u32();
@@ -298,6 +401,7 @@ std::optional<FeedbackTpdu> FeedbackTpdu::decode(std::span<const std::uint8_t> w
     t.paused = r.u8();
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -307,17 +411,26 @@ std::vector<std::uint8_t> KeepaliveTpdu::encode() const {
   ByteWriter w(out);
   w.u8(wire_enum(TpduType::kKA));
   w.u64(vc);
+  append_crc32(out);
   return out;
 }
 
-std::optional<KeepaliveTpdu> KeepaliveTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<KeepaliveTpdu> KeepaliveTpdu::decode(std::span<const std::uint8_t> wire,
+                                                   WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
-    if (static_cast<TpduType>(r.u8()) != TpduType::kKA) return std::nullopt;
+    ByteReader r(*body);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kKA) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     KeepaliveTpdu t;
     t.vc = r.u64();
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -330,13 +443,21 @@ std::vector<std::uint8_t> DatagramTpdu::encode() const {
   write_address(w, src);
   w.u16(dst_tsap);
   w.blob(payload);
+  append_crc32(out);
   return out;
 }
 
-std::optional<DatagramTpdu> DatagramTpdu::decode(std::span<const std::uint8_t> wire) {
+std::optional<DatagramTpdu> DatagramTpdu::decode(std::span<const std::uint8_t> wire,
+                                                 WireFault* fault) {
+  set_fault(fault, WireFault::kNone);
+  const auto body = checked_body(wire, fault);
+  if (!body) return std::nullopt;
   try {
-    ByteReader r(wire);
-    if (static_cast<TpduType>(r.u8()) != TpduType::kDG) return std::nullopt;
+    ByteReader r(*body);
+    if (static_cast<TpduType>(r.u8()) != TpduType::kDG) {
+      set_fault(fault, WireFault::kBadType);
+      return std::nullopt;
+    }
     (void)r.u64();
     DatagramTpdu t;
     t.src = read_address(r);
@@ -344,6 +465,7 @@ std::optional<DatagramTpdu> DatagramTpdu::decode(std::span<const std::uint8_t> w
     t.payload = r.blob();
     return t;
   } catch (const DecodeError&) {
+    set_fault(fault, WireFault::kTruncated);
     return std::nullopt;
   }
 }
@@ -376,6 +498,7 @@ std::string to_string(DisconnectReason r) {
     case DisconnectReason::kPeerDead: return "peer-dead";
     case DisconnectReason::kEntityFailure: return "entity-failure";
     case DisconnectReason::kPreempted: return "preempted";
+    case DisconnectReason::kPeerMisbehaving: return "peer-misbehaving";
   }
   return "unknown";
 }

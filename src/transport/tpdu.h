@@ -19,6 +19,7 @@
 #include "net/packet.h"
 #include "transport/qos.h"
 #include "transport/service.h"
+#include "util/byte_io.h"
 #include "util/frame_pool.h"
 #include "util/time.h"
 
@@ -63,8 +64,15 @@ struct ControlTpdu {
   std::uint8_t accepted = 0;    // CC/RCC/RNC: 1 = accepted
   QosReport report;             // QI payload
 
+  /// Encoding ends with a CRC-32 trailer: links flip real wire bytes now,
+  /// so every control-plane PDU carries its own checksum.
   std::vector<std::uint8_t> encode() const;
-  static std::optional<ControlTpdu> decode(std::span<const std::uint8_t> wire);
+  /// Total over arbitrary bytes: verifies the CRC trailer, range-checks
+  /// every enum field, and never reads past the span.  On refusal, `fault`
+  /// (when non-null) carries the taxonomy entry for the receive path's
+  /// `wire.decode_failed{pdu,reason}` counter.
+  static std::optional<ControlTpdu> decode(std::span<const std::uint8_t> wire,
+                                           WireFault* fault = nullptr);
 };
 
 /// Flags on a data TPDU.
@@ -97,23 +105,23 @@ struct DataTpdu {
   std::vector<std::uint8_t> encode() const;
 
   /// Decodes the flat wire image and verifies the CRC; nullopt on checksum
-  /// failure or malformed input.  `simulated_corruption` forces a checksum
-  /// failure (links mark packets corrupt instead of flipping payload bits).
+  /// failure or malformed input.  Total over arbitrary bytes.
   static std::optional<DataTpdu> decode(std::span<const std::uint8_t> wire,
-                                        bool simulated_corruption);
+                                        WireFault* fault = nullptr);
 
   /// Zero-copy packet encoding (two-world split): the serialized header
-  /// (fields + payload length + CRC over the header) goes into
-  /// pkt.payload; the fragment rides as pkt.frame, a refcounted view —
-  /// no media byte is copied.  The wire image is byte-for-byte the same
-  /// size as encode(), so link timing is unchanged.
+  /// (fields + payload length + frame-body CRC + CRC over the header) goes
+  /// into pkt.payload; the fragment rides as pkt.frame, a refcounted view —
+  /// no media byte is copied.  The wire image charges the link 4 bytes more
+  /// than encode() for the frame-body CRC field.
   void encode_onto(net::Packet& pkt) const;
 
-  /// Inverse of encode_onto: verifies the header CRC and the payload
-  /// length, honours the link's corruption mark, and takes a reference to
-  /// the packet's frame.  (Media frames carry their own body CRC, so
-  /// header-only coverage loses no end-to-end integrity checking.)
-  static std::optional<DataTpdu> decode_packet(const net::Packet& pkt);
+  /// Inverse of encode_onto: verifies the header CRC, the payload length
+  /// against the frame actually attached, and the frame-body CRC over the
+  /// attached bytes, then takes a reference to the packet's frame.  Header
+  /// bit flips, frame truncation and frame-body flips are all refused.
+  static std::optional<DataTpdu> decode_packet(const net::Packet& pkt,
+                                               WireFault* fault = nullptr);
 };
 
 /// Window-profile cumulative acknowledgement.
@@ -123,7 +131,8 @@ struct AckTpdu {
   std::uint32_t window = 0;          // receiver-granted credit in TPDUs
 
   std::vector<std::uint8_t> encode() const;
-  static std::optional<AckTpdu> decode(std::span<const std::uint8_t> wire);
+  static std::optional<AckTpdu> decode(std::span<const std::uint8_t> wire,
+                                       WireFault* fault = nullptr);
 };
 
 /// Rate-profile selective retransmission request.
@@ -132,7 +141,8 @@ struct NakTpdu {
   std::vector<std::uint32_t> missing;  // TPDU seqs to retransmit
 
   std::vector<std::uint8_t> encode() const;
-  static std::optional<NakTpdu> decode(std::span<const std::uint8_t> wire);
+  static std::optional<NakTpdu> decode(std::span<const std::uint8_t> wire,
+                                       WireFault* fault = nullptr);
 };
 
 /// Rate-profile receiver feedback: the state of the receive buffer, from
@@ -146,7 +156,8 @@ struct FeedbackTpdu {
   std::uint8_t paused = 0;           // 1 = source must stop sending
 
   std::vector<std::uint8_t> encode() const;
-  static std::optional<FeedbackTpdu> decode(std::span<const std::uint8_t> wire);
+  static std::optional<FeedbackTpdu> decode(std::span<const std::uint8_t> wire,
+                                            WireFault* fault = nullptr);
 };
 
 /// Per-VC keepalive probe.  Each endpoint of an established VC emits one
@@ -157,7 +168,8 @@ struct KeepaliveTpdu {
   VcId vc = kInvalidVc;
 
   std::vector<std::uint8_t> encode() const;
-  static std::optional<KeepaliveTpdu> decode(std::span<const std::uint8_t> wire);
+  static std::optional<KeepaliveTpdu> decode(std::span<const std::uint8_t> wire,
+                                             WireFault* fault = nullptr);
 };
 
 /// Best-effort datagram (T-Unitdata): connectionless, no recovery, lowest
@@ -168,7 +180,8 @@ struct DatagramTpdu {
   std::vector<std::uint8_t> payload;
 
   std::vector<std::uint8_t> encode() const;
-  static std::optional<DatagramTpdu> decode(std::span<const std::uint8_t> wire);
+  static std::optional<DatagramTpdu> decode(std::span<const std::uint8_t> wire,
+                                            WireFault* fault = nullptr);
 };
 
 /// Reads the type tag of an encoded TPDU without full decode.

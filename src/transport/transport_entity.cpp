@@ -1,5 +1,6 @@
 #include "transport/transport_entity.h"
 
+#include "obs/wire_stats.h"
 #include "util/contract.h"
 #include "util/logging.h"
 
@@ -185,10 +186,11 @@ const std::array<TransportEntity::ControlHandler, 11>& TransportEntity::control_
 
 void TransportEntity::on_control_packet(net::Packet&& pkt) {
   if (down_) return;  // crashed entity: traffic falls on the floor
-  if (pkt.corrupted) return;  // control TPDUs ride reserved control capacity
-  auto t = ControlTpdu::decode(pkt.payload);
+  if (conn_mgr_.peer_quarantined(pkt.src)) return;
+  WireFault fault = WireFault::kNone;
+  auto t = ControlTpdu::decode(pkt.payload, &fault);
   if (!t) {
-    CMTOS_WARN("transport", "undecodable control TPDU at node %u", node_);
+    note_wire_refusal(pkt.src, "control", fault);
     return;
   }
   const auto& table = control_dispatch();
@@ -202,9 +204,16 @@ void TransportEntity::on_control_packet(net::Packet&& pkt) {
 
 void TransportEntity::on_data_packet(net::Packet&& pkt) {
   if (down_) return;
+  if (conn_mgr_.peer_quarantined(pkt.src)) return;
   const auto type = peek_type(pkt.payload);
   const auto vc = peek_vc(pkt.payload);
   if (!type || !vc) return;
+  // Decoder refusals on the data plane are counted (and, when the CRC was
+  // valid, blamed on the peer) exactly like the control plane; damaged
+  // bytes themselves are silent beyond the counters — media error control
+  // (NAK/retransmit) recovers what the service class asks for.
+  WireFault fault = WireFault::kNone;
+  const auto refused = [&](const char* pdu) { note_wire_refusal(pkt.src, pdu, fault); };
   switch (*type) {
     case TpduType::kDT: {
       if (Connection* c = sink(*vc)) {
@@ -214,48 +223,69 @@ void TransportEntity::on_data_packet(net::Packet&& pkt) {
       break;
     }
     case TpduType::kKA: {
-      if (pkt.corrupted) return;
       // A keepalive proves the peer endpoint is alive whichever role it
-      // has locally (loopback VCs have both).
-      if (Connection* c = source(*vc)) c->note_peer_activity();
-      if (Connection* c = sink(*vc)) c->note_peer_activity();
+      // has locally (loopback VCs have both) — but only a checksum-valid
+      // one: damaged bytes must not masquerade as liveness.
+      if (auto ka = KeepaliveTpdu::decode(pkt.payload, &fault)) {
+        if (Connection* c = source(ka->vc)) c->note_peer_activity();
+        if (Connection* c = sink(ka->vc)) c->note_peer_activity();
+      } else {
+        refused("ka");
+      }
       break;
     }
     case TpduType::kDG: {
-      if (pkt.corrupted) return;  // datagrams: silently dropped on damage
-      if (auto dg = DatagramTpdu::decode(pkt.payload)) {
+      if (auto dg = DatagramTpdu::decode(pkt.payload, &fault)) {
         if (TransportUser* u = user_at(dg->dst_tsap))
           u->t_unitdata_indication(dg->src, dg->dst_tsap, dg->payload);
+      } else {
+        refused("dg");
       }
       break;
     }
     case TpduType::kAK: {
-      if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
-        c->note_peer_activity();
-        if (auto ack = AckTpdu::decode(pkt.payload)) c->on_ack(*ack);
+        if (auto ack = AckTpdu::decode(pkt.payload, &fault)) {
+          c->note_peer_activity();
+          c->on_ack(*ack);
+        } else {
+          refused("ak");
+        }
       }
       break;
     }
     case TpduType::kNAK: {
-      if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
-        c->note_peer_activity();
-        if (auto nak = NakTpdu::decode(pkt.payload)) c->on_nak(*nak);
+        if (auto nak = NakTpdu::decode(pkt.payload, &fault)) {
+          c->note_peer_activity();
+          c->on_nak(*nak);
+        } else {
+          refused("nak");
+        }
       }
       break;
     }
     case TpduType::kFB: {
-      if (pkt.corrupted) return;
       if (Connection* c = source(*vc)) {
-        c->note_peer_activity();
-        if (auto fb = FeedbackTpdu::decode(pkt.payload)) c->on_feedback(*fb);
+        if (auto fb = FeedbackTpdu::decode(pkt.payload, &fault)) {
+          c->note_peer_activity();
+          c->on_feedback(*fb);
+        } else {
+          refused("fb");
+        }
       }
       break;
     }
     default:
       break;
   }
+}
+
+void TransportEntity::note_wire_refusal(net::NodeId peer, const char* pdu, WireFault fault) {
+  obs::wire_decode_failed(pdu, fault);
+  // Checksum refusals are line damage; a structural refusal with a valid
+  // CRC is the peer misbehaving and counts toward its quarantine.
+  if (fault != WireFault::kChecksum) conn_mgr_.note_malformed_pdu(peer);
 }
 
 }  // namespace cmtos::transport

@@ -189,6 +189,12 @@ class CMTOS_SHARD_AFFINE TransportEntity {
   /// down, frees its resources and delivers kPeerDead.
   void on_peer_dead(VcId vc) { conn_mgr_.on_peer_dead(vc); }
 
+  /// Records a decoder refusal from `peer`: bumps the
+  /// wire.decode_failed{pdu,reason} taxonomy counter and, for CRC-valid
+  /// structural refusals, the peer's malformed-PDU quarantine count.
+  /// Called by the dispatch paths here and by Connection for DT refusals.
+  void note_wire_refusal(net::NodeId peer, const char* pdu, WireFault fault);
+
   // ------------------------------------------------------------------
   // Timing policy
   // ------------------------------------------------------------------

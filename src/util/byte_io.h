@@ -87,6 +87,31 @@ class DecodeError : public std::runtime_error {
   explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Why a PDU decode rejected its input.  Every decoder is total over
+/// arbitrary bytes and classifies its refusals with this taxonomy; the
+/// receive paths turn it into `wire.decode_failed{pdu,reason}` counters and
+/// the peer-quarantine logic keys off it (checksum failures are line noise
+/// and never blamed on the peer; a structurally invalid PDU that carries a
+/// *valid* checksum can only come from a buggy or hostile sender).
+enum class WireFault : std::uint8_t {
+  kNone = 0,
+  kChecksum = 1,   // trailing CRC-32 mismatch (bit errors on the wire)
+  kTruncated = 2,  // byte stream underrun (reader ran past the span)
+  kBadType = 3,    // unknown type tag / enum value out of range
+  kBadLength = 4,  // length field inconsistent with the bytes present
+};
+
+inline const char* to_string(WireFault f) {
+  switch (f) {
+    case WireFault::kNone: return "none";
+    case WireFault::kChecksum: return "checksum";
+    case WireFault::kTruncated: return "truncated";
+    case WireFault::kBadType: return "bad_type";
+    case WireFault::kBadLength: return "bad_length";
+  }
+  return "?";
+}
+
 /// Sequential byte reader; throws DecodeError on underrun.
 class ByteReader {
  public:

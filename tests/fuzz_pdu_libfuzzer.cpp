@@ -1,0 +1,36 @@
+// cmtos/tests/fuzz_pdu_libfuzzer.cpp
+//
+// Coverage-guided companion to fuzz_pdu.cpp: the same total-decoder
+// surface exposed as a libFuzzer entry point.  Built only when
+// -DCMTOS_BUILD_FUZZERS=ON under Clang (libFuzzer ships with it); the
+// deterministic harness remains the tier-1 gate, this target is for
+// longer exploratory runs:
+//
+//   ./fuzz_pdu_libfuzzer tests/fuzz_corpus -max_len=512
+//
+// Crashing inputs found here get committed to tests/fuzz_corpus/ so the
+// deterministic replay keeps them fixed.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "orch/opdu.h"
+#include "transport/tpdu.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> wire(data, size);
+  // Every family sees every input: the decoders are total, so none may
+  // crash, over-read, or allocate unboundedly on any byte string.
+  (void)cmtos::transport::ControlTpdu::decode(wire);
+  (void)cmtos::transport::DataTpdu::decode(wire);
+  (void)cmtos::transport::AckTpdu::decode(wire);
+  (void)cmtos::transport::NakTpdu::decode(wire);
+  (void)cmtos::transport::FeedbackTpdu::decode(wire);
+  (void)cmtos::transport::KeepaliveTpdu::decode(wire);
+  (void)cmtos::transport::DatagramTpdu::decode(wire);
+  (void)cmtos::orch::Opdu::decode(wire);
+  (void)cmtos::transport::peek_type(wire);
+  (void)cmtos::transport::peek_vc(wire);
+  return 0;
+}

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include <vector>
 
 #include "net/network.h"
@@ -140,7 +142,7 @@ TEST(Link, GilbertElliottProducesBursts) {
   EXPECT_GT(burst_pairs, 2 * expected_indep_pairs);
 }
 
-TEST(Link, BitErrorsMarkCorrupted) {
+TEST(Link, BitErrorsFlipRealPayloadBytes) {
   NetWorld w;
   LinkConfig cfg;
   cfg.bit_error_rate = 1e-4;  // 1000-byte packet: ~55% corruption chance
@@ -150,15 +152,116 @@ TEST(Link, BitErrorsMarkCorrupted) {
   w.net.add_link(a, b, cfg);
   w.net.finalize_routes();
 
+  // Every packet carries a known byte pattern; a corrupted delivery is one
+  // whose *actual bytes* differ — there is no metadata flag any more.
   int corrupted = 0, total = 0;
   w.net.node(b).set_handler(Proto::kTransportData, [&](Packet&& p) {
     ++total;
-    corrupted += p.corrupted;
+    const bool damaged =
+        std::any_of(p.payload.begin(), p.payload.end(), [](std::uint8_t x) { return x != 0xaa; });
+    corrupted += damaged ? 1 : 0;
   });
   for (int i = 0; i < 2000; ++i) w.net.send(make_packet(a, b, 1000));
   w.sched.run();
   EXPECT_EQ(total, 2000);
   EXPECT_NEAR(static_cast<double>(corrupted) / total, 0.56, 0.05);
+  // The link counted exactly the packets it damaged.
+  EXPECT_EQ(w.net.link(a, b)->stats().corrupted, corrupted);
+}
+
+TEST(Link, DuplicationDeliversExtraCopies) {
+  NetWorld w;
+  LinkConfig cfg;
+  cfg.dup_rate = 0.3;
+  cfg.queue_limit_packets = 100000;
+  const NodeId a = w.net.add_node("a");
+  const NodeId b = w.net.add_node("b");
+  w.net.add_link(a, b, cfg);
+  w.net.finalize_routes();
+
+  int total = 0;
+  w.net.node(b).set_handler(Proto::kTransportData, [&](Packet&& p) {
+    ++total;
+    // Copies are byte-identical to the original.
+    for (std::uint8_t x : p.payload) EXPECT_EQ(x, 0xaa);
+  });
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) w.net.send(make_packet(a, b, 100));
+  w.sched.run();
+  const auto& st = w.net.link(a, b)->stats();
+  EXPECT_EQ(total, sent + st.duplicated);
+  EXPECT_NEAR(static_cast<double>(st.duplicated) / sent, 0.3, 0.05);
+}
+
+TEST(Link, TruncationCutsWireBytes) {
+  NetWorld w;
+  LinkConfig cfg;
+  cfg.truncate_rate = 0.5;
+  cfg.queue_limit_packets = 100000;
+  const NodeId a = w.net.add_node("a");
+  const NodeId b = w.net.add_node("b");
+  w.net.add_link(a, b, cfg);
+  w.net.finalize_routes();
+
+  int total = 0, shorter = 0;
+  w.net.node(b).set_handler(Proto::kTransportData, [&](Packet&& p) {
+    ++total;
+    EXPECT_LE(p.payload.size(), 100u);  // never grows
+    if (p.payload.size() < 100u) ++shorter;
+  });
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) w.net.send(make_packet(a, b, 100));
+  w.sched.run();
+  EXPECT_EQ(total, sent);  // truncation damages, never drops
+  EXPECT_EQ(w.net.link(a, b)->stats().truncated, shorter);
+  EXPECT_NEAR(static_cast<double>(shorter) / sent, 0.5, 0.05);
+}
+
+TEST(Link, ReorderingHoldsPacketsWithinWindow) {
+  NetWorld w;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 40'000'000;  // 500 B packet = 100 us serialisation
+  cfg.propagation_delay = 1 * kMillisecond;
+  cfg.reorder_rate = 0.2;
+  cfg.reorder_window = 5 * kMillisecond;
+  cfg.queue_limit_packets = 100000;
+  const NodeId a = w.net.add_node("a");
+  const NodeId b = w.net.add_node("b");
+  w.net.add_link(a, b, cfg);
+  w.net.finalize_routes();
+
+  // Sequence rides in the first payload bytes; record arrival order.
+  std::vector<std::uint32_t> order;
+  w.net.node(b).set_handler(Proto::kTransportData, [&](Packet&& p) {
+    std::uint32_t seq = 0;
+    for (int i = 0; i < 4; ++i)
+      seq |= static_cast<std::uint32_t>(p.payload[static_cast<std::size_t>(i)]) << (8 * i);
+    order.push_back(seq);
+  });
+  const std::uint32_t sent = 1000;
+  for (std::uint32_t i = 0; i < sent; ++i) {
+    auto p = make_packet(a, b, 500 - kPacketHeaderBytes);
+    for (int j = 0; j < 4; ++j)
+      p.payload[static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(i >> (8 * j));
+    w.net.send(std::move(p));
+  }
+  w.sched.run();
+  ASSERT_EQ(order.size(), sent);
+  std::size_t inversions = 0;
+  std::size_t max_displacement = 0;
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t seq = order[pos];
+    if (seq != pos) {
+      if (pos > 0 && order[pos] < order[pos - 1]) ++inversions;
+      max_displacement =
+          std::max(max_displacement, seq > pos ? seq - pos : pos - seq);
+    }
+  }
+  EXPECT_GT(w.net.link(a, b)->stats().reordered, 100);
+  EXPECT_GT(inversions, 0u);
+  // Bounded displacement: a held packet can only be overtaken by the ~50
+  // packets that serialise inside its 5 ms window (100 us each).
+  EXPECT_LT(max_displacement, 120u);
 }
 
 TEST(Routing, ShortestPathInLine) {

@@ -183,7 +183,7 @@ TEST(Tpdu, DataRoundTripWithCrc) {
   dt.payload = PayloadView::adopt({1, 2, 3, 4, 5});
 
   const auto wire = dt.encode();
-  const auto back = DataTpdu::decode(wire, false);
+  const auto back = DataTpdu::decode(wire);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->vc, 99u);
   EXPECT_EQ(back->tpdu_seq, 1234u);
@@ -201,16 +201,21 @@ TEST(Tpdu, DataCrcDetectsCorruption) {
   dt.payload = PayloadView::adopt({9, 9, 9});
   auto wire = dt.encode();
   wire[wire.size() / 2] ^= 0x01;
-  EXPECT_FALSE(DataTpdu::decode(wire, false).has_value());
+  WireFault fault = WireFault::kNone;
+  EXPECT_FALSE(DataTpdu::decode(wire, &fault).has_value());
+  EXPECT_EQ(fault, WireFault::kChecksum);
 }
 
-TEST(Tpdu, SimulatedCorruptionFlagFailsDecode) {
+TEST(Tpdu, DecodeFaultTaxonomyOnTruncation) {
   DataTpdu dt;
   dt.vc = 1;
   dt.payload = PayloadView::adopt({1});
   const auto wire = dt.encode();
-  EXPECT_TRUE(DataTpdu::decode(wire, false).has_value());
-  EXPECT_FALSE(DataTpdu::decode(wire, true).has_value());
+  EXPECT_TRUE(DataTpdu::decode(wire).has_value());
+  WireFault fault = WireFault::kNone;
+  const std::vector<std::uint8_t> half(wire.begin(), wire.begin() + wire.size() / 2);
+  EXPECT_FALSE(DataTpdu::decode(half, &fault).has_value());
+  EXPECT_NE(fault, WireFault::kNone);
 }
 
 TEST(Tpdu, PacketSplitRoundTripIsZeroCopy) {
@@ -224,8 +229,9 @@ TEST(Tpdu, PacketSplitRoundTripIsZeroCopy) {
 
   net::Packet pkt;
   dt.encode_onto(pkt);
-  // Split wire image charges the link exactly like the flat encoding.
-  EXPECT_EQ(pkt.payload.size() + pkt.frame.size(), dt.encode().size());
+  // Split wire image charges the link like the flat encoding plus the
+  // 4-byte frame-body CRC that guards the detached frame bytes.
+  EXPECT_EQ(pkt.payload.size() + pkt.frame.size(), dt.encode().size() + 4);
 
   const auto back = DataTpdu::decode_packet(pkt);
   ASSERT_TRUE(back.has_value());
@@ -246,17 +252,18 @@ TEST(Tpdu, PacketSplitDecodeRejectsDamage) {
   net::Packet pkt;
   dt.encode_onto(pkt);
 
-  net::Packet corrupted = pkt;
-  corrupted.corrupted = true;  // links mark instead of flipping bits
-  EXPECT_FALSE(DataTpdu::decode_packet(corrupted).has_value());
-
+  // Links flip real wire bytes now; damage is caught by the header CRC.
   net::Packet header_damage = pkt;
   header_damage.payload[3] ^= 0x01;
-  EXPECT_FALSE(DataTpdu::decode_packet(header_damage).has_value());
+  WireFault fault = WireFault::kNone;
+  EXPECT_FALSE(DataTpdu::decode_packet(header_damage, &fault).has_value());
+  EXPECT_EQ(fault, WireFault::kChecksum);
 
   net::Packet length_mismatch = pkt;
   length_mismatch.frame = dt.payload.subview(0, 2);
-  EXPECT_FALSE(DataTpdu::decode_packet(length_mismatch).has_value());
+  fault = WireFault::kNone;
+  EXPECT_FALSE(DataTpdu::decode_packet(length_mismatch, &fault).has_value());
+  EXPECT_EQ(fault, WireFault::kBadLength);
 }
 
 TEST(Tpdu, AckNakFeedbackRoundTrip) {
@@ -295,7 +302,7 @@ TEST(Tpdu, PeekTypeAndVc) {
 TEST(Tpdu, MalformedInputRejected) {
   std::vector<std::uint8_t> junk{1, 2, 3};
   EXPECT_FALSE(ControlTpdu::decode(junk).has_value());
-  EXPECT_FALSE(DataTpdu::decode(junk, false).has_value());
+  EXPECT_FALSE(DataTpdu::decode(junk).has_value());
   EXPECT_FALSE(AckTpdu::decode(junk).has_value());
   EXPECT_FALSE(NakTpdu::decode(junk).has_value());
   EXPECT_FALSE(FeedbackTpdu::decode(junk).has_value());

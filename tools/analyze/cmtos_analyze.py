@@ -85,6 +85,18 @@ Checks
                         PayloadView/FrameLease member outside the data-plane
                         dirs — or in any CMTOS_CONTROL_PLANE class — pins
                         pooled frames from control-plane lifetimes.
+  decode-totality       Wire decoders are total over arbitrary bytes
+                        (DESIGN.md section 14): every decode()/decode_packet()
+                        call yields an optional that can be empty for ANY
+                        input, so the result must be branched on before it is
+                        dereferenced — `*decode(...)`, `decode(...)->field`,
+                        `.value()`, or a stored result used with no `if (!x)`
+                        (or equivalent) in between, all assume the wire was
+                        well-formed.  And inside a codec, a length/count
+                        field read from the wire (reader .u16/.u32/.u64) must
+                        be range-guarded against the bytes actually present
+                        before it drives a resize()/reserve(): a stomped
+                        length field must never size an allocation.
 
 Suppressing
 -----------
@@ -117,6 +129,7 @@ CHECKS = (
     "shard-affinity",
     "frame-lifecycle",
     "epoch-check",
+    "decode-totality",
 )
 
 ALLOW_RE = re.compile(r"//.*cmtos-analyze:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -856,12 +869,137 @@ def check_epoch_fencing(sf: SourceFile, facts: Facts) -> list[Finding]:
     return out
 
 
+DECODE_SITE_RE = re.compile(r"\b(?:decode|decode_packet)\s*\(")
+DECODE_ASSIGN_RE = re.compile(
+    r"\b(?:auto|std::optional<[^;=]+>)\s+(?:const\s+)?(\w+)\s*=\s*"
+    r"[^;=]*?\bdecode(?:_packet)?\s*\(")
+LEN_READ_RE = re.compile(
+    r"\b(?:const\s+)?(?:auto|(?:std::)?uint(?:16|32|64)_t|(?:std::)?size_t)"
+    r"(?:\s+const)?\s+(\w+)\s*=\s*\w+\s*\.\s*u(?:16|32|64)\s*\(\s*\)")
+
+
+def enclosing_block_end(code: str, off: int) -> int:
+    """Offset of the `}` closing the block containing `off` (or EOF)."""
+    depth = 0
+    for i in range(off, len(code)):
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth < 0:
+                return i
+    return len(code)
+
+
+def balanced_close(code: str, open_off: int) -> int:
+    depth = 0
+    for i in range(open_off, len(code)):
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(code) - 1
+
+
+def check_decode_totality(sf: SourceFile, facts: Facts) -> list[Finding]:
+    """Decoders are total; their callers must be too (DESIGN.md section 14)."""
+    out = []
+    code = sf.code
+
+    # (a) Result dereferenced in the same expression: *decode(...),
+    # decode(...)->field, decode(...).value().  The optional was never
+    # branched on, so an attacker-controlled wire image crashes the caller.
+    for m in DECODE_SITE_RE.finditer(code):
+        # Walk back over the qualified-name prefix (Foo::Bar::decode).
+        i = m.start()
+        while i > 0 and (code[i - 1].isalnum() or code[i - 1] in ":_"):
+            i -= 1
+        j = i - 1
+        while j >= 0 and code[j] in " \t\n":
+            j -= 1
+        prev = code[j] if j >= 0 else ""
+        # A declaration/definition has the return type right before the name
+        # (`std::optional<X> decode(` / `...> X::decode(`).  `return` is the
+        # one keyword that also ends in a word character.
+        if prev.isalnum() or prev in ">&":
+            w = j
+            while w > 0 and (code[w - 1].isalnum() or code[w - 1] == "_"):
+                w -= 1
+            if code[w:j + 1] not in ("return", "co_return"):
+                continue
+        open_off = code.index("(", m.start())
+        close = balanced_close(code, open_off)
+        after = code[close + 1:close + 24]
+        deref_after = re.match(r"\s*->|\s*\.\s*value\s*\(", after)
+        if prev == "*" or deref_after:
+            out.append(Finding(
+                sf.rel, sf.line_of(m.start()), "decode-totality",
+                "decode result dereferenced without branching on the optional; "
+                "decoders are total over arbitrary bytes — an empty result is "
+                "reachable from the wire, so check before use"))
+
+    # (b) Result stored, then dereferenced with no branch in between.  The
+    # `if (auto x = decode(...))` form *is* the branch and is skipped.
+    for m in DECODE_ASSIGN_RE.finditer(code):
+        prefix = code[max(0, m.start() - 16):m.start()].rstrip()
+        if prefix.endswith("(") and re.search(r"\b(?:if|while)\s*\($", prefix):
+            continue
+        var = m.group(1)
+        open_off = code.index("(", m.end() - 1)
+        stmt_end = balanced_close(code, open_off) + 1
+        tail = code[stmt_end:enclosing_block_end(code, stmt_end)]
+        deref = re.search(
+            rf"\b{re.escape(var)}\s*->|\*\s*{re.escape(var)}\b"
+            rf"|\b{re.escape(var)}\s*\.\s*value\s*\(", tail)
+        if deref is None:
+            continue
+        guard = re.search(
+            rf"!\s*{re.escape(var)}\b"
+            rf"|\b{re.escape(var)}\s*(?:\.|->)\s*has_value"
+            rf"|\(\s*{re.escape(var)}\s*[\)&|]"
+            rf"|\b{re.escape(var)}\s*[=!]=",
+            tail[:deref.start()])
+        if guard is None:
+            out.append(Finding(
+                sf.rel, sf.line_of(stmt_end + deref.start()), "decode-totality",
+                f"'{var}' holds a decode result and is dereferenced without a "
+                f"branch on the optional (declared line "
+                f"{sf.line_of(m.start())}); an empty result is reachable from "
+                "the wire"))
+
+    # (c) Wire-read length field sizing an allocation unguarded: the codec
+    # must range-check it against the bytes actually present first.
+    for m in LEN_READ_RE.finditer(code):
+        var = m.group(1)
+        tail = code[m.end():enclosing_block_end(code, m.end())]
+        use = re.search(
+            rf"\b(?:resize|reserve)\s*\(\s*[^;)]*\b{re.escape(var)}\b", tail)
+        if use is None:
+            continue
+        guard = re.search(
+            rf"\b{re.escape(var)}\b\s*(?:[<>]=?|[=!]=)"
+            rf"|(?:[<>]=?|[=!]=)\s*\b{re.escape(var)}\b"
+            rf"|min\s*\([^;\n]*\b{re.escape(var)}\b",
+            tail[:use.start()])
+        if guard is None:
+            out.append(Finding(
+                sf.rel, sf.line_of(m.end() + use.start()), "decode-totality",
+                f"length field '{var}' read from the wire drives "
+                f"resize()/reserve() with no range guard (read line "
+                f"{sf.line_of(m.start())}); a stomped length must never size "
+                "an allocation — compare against the bytes remaining first"))
+    return out
+
+
 ALL_CHECKS = (
     check_callback_liveness,
     check_dataplane_payload_copy,
     check_shard_affinity,
     check_frame_lifecycle,
     check_epoch_fencing,
+    check_decode_totality,
 )
 
 
@@ -1010,6 +1148,39 @@ EP_EXPECT = {
     (10, "epoch-check"),   # drop budget consumed unfenced
 }
 
+DT_PROBE = """\
+#include "transport/tpdu.h"
+void bad_chain(std::span<const std::uint8_t> w) {
+  apply(cmtos::transport::AckTpdu::decode(w)->cumulative);
+  auto dt = *cmtos::transport::DataTpdu::decode(w);
+}
+void bad_var(std::span<const std::uint8_t> w) {
+  auto nk = cmtos::transport::NakTpdu::decode(w);
+  retransmit(nk->missing);
+}
+void bad_len(cmtos::ByteReader& r, std::vector<std::uint32_t>& out) {
+  const std::uint32_t n = r.u32();
+  out.reserve(n);
+}
+void good(std::span<const std::uint8_t> w, cmtos::ByteReader& r,
+          std::vector<std::uint32_t>& out) {
+  auto ak = cmtos::transport::AckTpdu::decode(w);
+  if (!ak) return;
+  apply(ak->cumulative);
+  if (auto kb = cmtos::transport::KeepaliveTpdu::decode(w)) note(kb->vc);
+  const std::uint32_t n = r.u32();
+  if (n > r.remaining() / 4) return;
+  out.reserve(n);
+  auto dg = *cmtos::transport::DatagramTpdu::decode(w);  // cmtos-analyze: allow(decode-totality)
+}
+"""
+DT_EXPECT = {
+    (3, "decode-totality"),   # same-expression -> chain off the optional
+    (4, "decode-totality"),   # *decode(...) immediate dereference
+    (8, "decode-totality"),   # stored result deref'd with no branch between
+    (12, "decode-totality"),  # wire length sizing a reserve with no guard
+}
+
 PROBES = (
     # (relative path the dir-scoped checks see, source, expected findings)
     ("src/transport/probe_callbacks.cpp", CB_PROBE, CB_EXPECT),
@@ -1018,6 +1189,7 @@ PROBES = (
     ("src/media/probe_freeze.cpp", FL_PROBE, FL_EXPECT),
     ("src/platform/probe_members.h", FL_MEMBER_PROBE, FL_MEMBER_EXPECT),
     ("src/orch/probe_epoch.cpp", EP_PROBE, EP_EXPECT),
+    ("src/transport/probe_decode.cpp", DT_PROBE, DT_EXPECT),
 )
 
 
