@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/metrics.h"
 #include "util/contract.h"
 #include "util/logging.h"
 
@@ -220,42 +221,42 @@ std::optional<ReservationId> Network::reserve(NodeId src, NodeId dst, std::int64
     }
   }
   for (const auto& key : r.links) link(key.from, key.to)->add_reservation(bps);
-  const ReservationId id = next_reservation_id_++;
-  reservations_[id] = std::move(r);
-  return id;
+  return reservations_.emplace(std::move(r)).pack();
 }
 
 bool Network::adjust_reservation(ReservationId id, std::int64_t new_bps) {
-  auto it = reservations_.find(id);
-  if (it == reservations_.end()) return false;
-  Reservation& r = it->second;
-  const std::int64_t delta = new_bps - r.bps;
+  Reservation* r = resv(id);
+  if (r == nullptr) return false;
+  const std::int64_t delta = new_bps - r->bps;
   if (delta > 0 && admission_enabled_) {
-    for (const auto& key : r.links) {
+    for (const auto& key : r->links) {
       Link* l = link(key.from, key.to);
       if (l->reserved_bps() + delta > l->reservable_bps()) return false;
     }
   }
-  for (const auto& key : r.links) link(key.from, key.to)->add_reservation(delta);
-  r.bps = new_bps;
+  for (const auto& key : r->links) link(key.from, key.to)->add_reservation(delta);
+  r->bps = new_bps;
   return true;
 }
 
 void Network::release(ReservationId id) {
-  auto it = reservations_.find(id);
-  if (it == reservations_.end()) return;
-  for (const auto& key : it->second.links)
-    link(key.from, key.to)->release_reservation(it->second.bps);
-  reservations_.erase(it);
+  Reservation* r = resv(id);
+  if (r == nullptr) return;
+  for (const auto& key : r->links) link(key.from, key.to)->release_reservation(r->bps);
+  // Any preempt_classes_ entry pointing here goes stale and is swept lazily.
+  reservations_.erase(ResvTable::Handle::unpack(id));
 }
 
 void Network::annotate_reservation(ReservationId id, std::uint8_t importance,
                                    std::function<void()> on_preempt) {
-  auto it = reservations_.find(id);
-  if (it == reservations_.end()) return;
-  it->second.preemptible = true;
-  it->second.importance = importance;
-  it->second.on_preempt = std::move(on_preempt);
+  Reservation* r = resv(id);
+  if (r == nullptr) return;
+  r->preemptible = true;
+  r->importance = importance;
+  r->on_preempt = std::move(on_preempt);
+  // Index for importance-ordered victim scans.  Re-annotation at a new
+  // class leaves the old entry behind; the scan's class check skips it.
+  preempt_classes_[importance].push_back(id);
 }
 
 bool Network::preempt_for(NodeId src, NodeId dst, std::int64_t bps, std::uint8_t importance) {
@@ -265,6 +266,14 @@ bool Network::preempt_for(NodeId src, NodeId dst, std::int64_t bps, std::uint8_t
   std::vector<LinkKey> path_links;
   for (std::size_t i = 0; i + 1 < p.size(); ++i) path_links.push_back(LinkKey{p[i], p[i + 1]});
 
+  std::size_t scanned = 0;
+  const auto done = [&](bool ok) {
+    // Regression canary for the importance-ordered scan: entries visited
+    // per admission attempt, not total reservations in the network.
+    obs::Registry::global().set_gauge("admission.victim_scan_len",
+                                      static_cast<double>(scanned));
+    return ok;
+  };
   for (;;) {
     // Deficit links: where the requested reservation does not fit yet.
     // Only victims holding bandwidth on one of those can help.
@@ -273,30 +282,44 @@ bool Network::preempt_for(NodeId src, NodeId dst, std::int64_t bps, std::uint8_t
       Link* l = link(key.from, key.to);
       if (l->reserved_bps() + bps > l->reservable_bps()) deficit.push_back(key);
     }
-    if (deficit.empty()) return true;
+    if (deficit.empty()) return done(true);
 
-    const Reservation* victim = nullptr;
+    // Victim search walks only classes strictly below the requester,
+    // lowest class first, oldest annotation first within a class — the
+    // same (importance, age) order as a full scan, but touching only
+    // eligible candidates.  Stale entries (released or re-annotated at a
+    // different class) are swept as they are encountered.
+    Reservation* victim = nullptr;
     ReservationId victim_id = kNoReservation;
-    for (const auto& [id, r] : reservations_) {
-      if (!r.preemptible || r.importance >= importance) continue;
-      const bool on_deficit_link = std::ranges::any_of(r.links, [&](const LinkKey& k) {
-        return std::ranges::find(deficit, k) != deficit.end();
-      });
-      if (!on_deficit_link) continue;
-      if (victim == nullptr || r.importance < victim->importance) {
-        victim = &r;
-        victim_id = id;
+    for (std::uint32_t cls = 0; cls < importance && victim == nullptr; ++cls) {
+      std::vector<ReservationId>& bucket = preempt_classes_[cls];
+      std::size_t i = 0;
+      while (i < bucket.size() && victim == nullptr) {
+        Reservation* r = resv(bucket[i]);
+        if (r == nullptr || !r->preemptible || r->importance != cls) {
+          bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        ++scanned;
+        const bool on_deficit_link = std::ranges::any_of(r->links, [&](const LinkKey& k) {
+          return std::ranges::find(deficit, k) != deficit.end();
+        });
+        if (on_deficit_link) {
+          victim = r;
+          victim_id = bucket[i];
+        }
+        ++i;
       }
     }
-    if (victim == nullptr) return false;
+    if (victim == nullptr) return done(false);
 
     CMTOS_DEBUG("net", "preempting reservation %llu (importance %u) for class-%u admission",
                 static_cast<unsigned long long>(victim_id), victim->importance, importance);
-    auto on_preempt = victim->on_preempt;  // the callback erases the map entry
+    auto on_preempt = victim->on_preempt;  // the callback erases the table entry
     if (on_preempt) on_preempt();
     // Progress guard: a mis-behaved owner that did not release loses the
     // reservation anyway, or the loop would spin on the same victim.
-    if (reservations_.contains(victim_id)) release(victim_id);
+    if (resv(victim_id) != nullptr) release(victim_id);
   }
 }
 

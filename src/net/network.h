@@ -7,8 +7,8 @@
 
 #pragma once
 
+#include <array>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,6 +19,7 @@
 #include "net/packet.h"
 #include "sim/scheduler.h"
 #include "util/rng.h"
+#include "util/slot_table.h"
 
 namespace cmtos::net {
 
@@ -28,7 +29,15 @@ struct LinkKey {
   friend auto operator<=>(const LinkKey&, const LinkKey&) = default;
 };
 
-/// Handle for a committed bandwidth reservation along a path.
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const {
+    return FlatHash<std::uint64_t>{}((std::uint64_t{k.from} << 32) | k.to);
+  }
+};
+
+/// Handle for a committed bandwidth reservation along a path.  Opaque to
+/// callers: internally a packed slot-table handle, so a released id can
+/// never alias a later reservation (generation check).
 using ReservationId = std::uint64_t;
 inline constexpr ReservationId kNoReservation = 0;
 
@@ -147,19 +156,27 @@ class Network {
     std::uint8_t importance = 0;
     std::function<void()> on_preempt;
   };
+  using ResvTable = SlotTable<Reservation>;
 
   void forward(Packet&& pkt, NodeId at);
+  Reservation* resv(ReservationId id) {
+    return id == kNoReservation ? nullptr : reservations_.get(ResvTable::Handle::unpack(id));
+  }
 
   sim::Scheduler& sched_;
   Rng rng_;
   std::vector<std::unique_ptr<Node>> nodes_;
-  std::map<LinkKey, std::unique_ptr<Link>> links_;
+  FlatMap<LinkKey, std::unique_ptr<Link>, LinkKeyHash> links_;
   // routes_[src][dst] = next hop from src toward dst (kInvalidNode if none).
   std::vector<std::vector<NodeId>> routes_;
   bool routes_valid_ = false;
   bool admission_enabled_ = true;
-  ReservationId next_reservation_id_ = 1;
-  std::map<ReservationId, Reservation> reservations_;
+  ResvTable reservations_;
+  // Preemption index: per importance class, annotated reservation ids in
+  // annotation (≈ admission) order.  Entries go stale on release or
+  // re-annotation and are swept lazily during victim scans, so the scan
+  // cost is proportional to eligible victims, not total reservations.
+  std::array<std::vector<ReservationId>, 256> preempt_classes_;
 };
 
 }  // namespace cmtos::net

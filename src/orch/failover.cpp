@@ -29,10 +29,16 @@ void FailoverSupervisor::watch(std::unique_ptr<OrchSession> session) {
   policy_ = session_->agent().policy();
   epoch_ = session_->agent().epoch();
   orphaned_ = false;
+  notify_reassigned();
   if (!timer_.pending()) check();
 }
 
 void FailoverSupervisor::check() {
+  poll();
+  if (!polled_) timer_ = sched_.after(cfg_.check_interval, [this] { check(); });
+}
+
+void FailoverSupervisor::poll() {
   retired_.clear();  // safe here: never called from an agent callback
   // A superseded predecessor has self-retired at the protocol level (its
   // first post-heal OPDU was fenced); now its object can go too.
@@ -57,7 +63,6 @@ void FailoverSupervisor::check() {
     if (node_dead || reports_missed)
       fail_over(node_dead ? "node-down" : "reports-missed", node_dead);
   }
-  timer_ = sched_.after(cfg_.check_interval, [this] { check(); });
 }
 
 void FailoverSupervisor::fail_over(const char* cause, bool node_dead) {
@@ -95,6 +100,7 @@ void FailoverSupervisor::fail_over(const char* cause, bool node_dead) {
   if (recovery_.survivors.empty()) {
     orphaned_ = true;
     failing_over_ = false;
+    notify_reassigned();
     if (on_failover_) on_failover_(recovery_.old_node, net::kInvalidNode);
     return;
   }
@@ -166,6 +172,7 @@ void FailoverSupervisor::attempt_rebuild() {
             }
             CMTOS_INFO("failover", "re-elected node %u (epoch %u) for %zu surviving stream(s)",
                        new_node, session_->agent().epoch(), recovery_.survivors.size());
+            notify_reassigned();
             if (on_failover_) on_failover_(recovery_.old_node, new_node);
           });
         });
@@ -174,9 +181,11 @@ void FailoverSupervisor::attempt_rebuild() {
   if (next == nullptr) {
     // No LLO at the elected node (resolver gap); it may resolve later.
     retry_or_orphan();
+    notify_reassigned();
     return;
   }
   session_ = std::move(next);
+  notify_reassigned();
 }
 
 void FailoverSupervisor::retry_or_orphan() {
@@ -184,6 +193,7 @@ void FailoverSupervisor::retry_or_orphan() {
     CMTOS_WARN("failover", "rebuild failed %d time(s); session orphaned", recovery_.attempt);
     orphaned_ = true;
     failing_over_ = false;
+    notify_reassigned();
     if (on_failover_) on_failover_(recovery_.old_node, net::kInvalidNode);
     return;
   }
@@ -198,6 +208,97 @@ void FailoverSupervisor::retry_or_orphan() {
     if (gen != generation_ || !failing_over_) return;
     attempt_rebuild();
   });
+}
+
+// --- FailoverFleet ---
+
+FailoverFleet::FailoverFleet(sim::Scheduler& sched, Orchestrator& orch,
+                             Orchestrator::LloResolver resolver, NodeAliveFn alive,
+                             FailoverConfig cfg)
+    : sched_(sched),
+      orch_(orch),
+      resolve_(std::move(resolver)),
+      alive_(std::move(alive)),
+      cfg_(cfg) {}
+
+FailoverFleet::~FailoverFleet() { timer_.cancel(); }
+
+FailoverSupervisor& FailoverFleet::watch(std::unique_ptr<OrchSession> session) {
+  const std::size_t idx = entries_.size();
+  auto sup = std::unique_ptr<FailoverSupervisor>(
+      new FailoverSupervisor(sched_, orch_, resolve_, alive_, cfg_));
+  sup->set_external_pacing();
+  sup->set_on_reassigned([this, idx] { reindex(idx); });
+  entries_.push_back(Entry{std::move(sup), net::kInvalidNode});
+  entries_[idx].sup->watch(std::move(session));  // indexes via the hook
+  if (!timer_.pending())
+    timer_ = sched_.after(cfg_.check_interval, [this] { tick(); });
+  return *entries_[idx].sup;
+}
+
+void FailoverFleet::reindex(std::size_t entry) {
+  Entry& e = entries_[entry];
+  const net::NodeId now_at = e.sup->indexed_node();
+  if (now_at == e.node) return;
+  if (e.node != net::kInvalidNode) {
+    if (auto it = by_node_.find(e.node); it != by_node_.end()) {
+      std::erase(it->second.members, e.sup.get());
+      if (it->second.members.empty()) by_node_.erase(it);
+    }
+  }
+  if (now_at != net::kInvalidNode) by_node_[now_at].members.push_back(e.sup.get());
+  e.node = now_at;
+}
+
+void FailoverFleet::tick() {
+  std::size_t polls = 0;
+  // One liveness probe per distinct orchestrating node.  poll() can fail a
+  // session over, which reindexes buckets mid-iteration — snapshot first.
+  std::vector<std::pair<net::NodeId, std::vector<FailoverSupervisor*>>> suspects;
+  for (auto& [node, bucket] : by_node_) {
+    Llo* llo = resolve_(node);
+    bool suspect = !alive_(node) || llo == nullptr || llo->down();
+    if (!suspect && !bucket.members.empty()) {
+      // Rotating sentinel: one O(1) staleness sample per node per tick, so
+      // a single wedged agent on a healthy node is still found within
+      // |sessions-on-node| ticks without walking them all every tick.
+      FailoverSupervisor* probe =
+          bucket.members[bucket.sentinel_rr++ % bucket.members.size()];
+      suspect = probe->reports_stale();
+    }
+    if (suspect) suspects.emplace_back(node, bucket.members);
+  }
+  for (auto& [node, members] : suspects) {
+    for (FailoverSupervisor* s : members) {
+      s->poll();
+      ++polls;
+      if (!s->quiescent() && std::ranges::find(recovering_, s) == recovering_.end())
+        recovering_.push_back(s);
+    }
+  }
+  // Supervisors with recovery bookkeeping outstanding (deferred teardown,
+  // superseded predecessors) get maintenance polls until quiescent.
+  std::erase_if(recovering_, [&](FailoverSupervisor* s) {
+    s->poll();
+    ++polls;
+    return s->quiescent();
+  });
+  last_tick_polls_ = polls;
+  obs::Registry::global().set_gauge("orch.failover_poll_len",
+                                    static_cast<double>(polls));
+  timer_ = sched_.after(cfg_.check_interval, [this] { tick(); });
+}
+
+int FailoverFleet::failovers() const {
+  int n = 0;
+  for (const Entry& e : entries_) n += e.sup->failovers();
+  return n;
+}
+
+int FailoverFleet::orphaned() const {
+  int n = 0;
+  for (const Entry& e : entries_) n += e.sup->orphaned() ? 1 : 0;
+  return n;
 }
 
 }  // namespace cmtos::orch

@@ -46,6 +46,7 @@
 
 #include "orch/orchestrator.h"
 #include "sim/scheduler.h"
+#include "util/slot_table.h"
 #include "util/thread_annotations.h"
 
 namespace cmtos::orch {
@@ -101,7 +102,36 @@ class CMTOS_CONTROL_PLANE FailoverSupervisor {
   }
 
  private:
+  friend class FailoverFleet;
+
   void check();
+  /// One detection + maintenance pass with no self-scheduling (the fleet's
+  /// externally paced mode).
+  void poll();
+  /// Fleet pacing: suppresses the supervisor's own check timer; the owning
+  /// FailoverFleet decides when poll() runs.
+  void set_external_pacing() { polled_ = true; }
+  /// O(1) probe used by the fleet's sentinel sampling: true when the agent
+  /// is running but its regulate-report heartbeat has gone stale.
+  bool reports_stale() const {
+    return session_ != nullptr && !failing_over_ && !orphaned_ &&
+           session_->agent().running() &&
+           sched_.now() - session_->agent().last_report_time() > cfg_.agent_dead_after;
+  }
+  /// Node currently orchestrating this supervisor's session (kInvalidNode
+  /// while failing over or orphaned) — the fleet's index key.
+  net::NodeId indexed_node() const {
+    return session_ != nullptr ? session_->orchestrating_node() : net::kInvalidNode;
+  }
+  /// True when no deferred teardown or recovery bookkeeping is pending.
+  bool quiescent() const {
+    return !failing_over_ && retired_.empty() && superseded_.empty();
+  }
+  void set_on_reassigned(std::function<void()> fn) { on_reassigned_ = std::move(fn); }
+  void notify_reassigned() {
+    if (on_reassigned_) on_reassigned_();
+  }
+
   void fail_over(const char* cause, bool node_dead);
   void attempt_rebuild();
   void retry_or_orphan();
@@ -141,7 +171,84 @@ class CMTOS_CONTROL_PLANE FailoverSupervisor {
   int generation_ = 0;  // invalidates callbacks from superseded recoveries
   bool orphaned_ = false;
   bool failing_over_ = false;
+  bool polled_ = false;  // fleet-paced: check() never self-schedules
   std::function<void(net::NodeId, net::NodeId)> on_failover_;
+  std::function<void()> on_reassigned_;  // fleet index maintenance hook
+};
+
+/// Supervises a whole fleet of orchestration sessions with detection work
+/// indexed by orchestrating node, not by session count.
+///
+/// A lone FailoverSupervisor polls its one session every tick; naively
+/// scaling that to a city means every tick walks every session (10k probes
+/// to discover that three nodes are healthy).  The fleet instead buckets
+/// supervisors by the node their session is orchestrated from and, per
+/// tick, performs one liveness check per *distinct node* plus one rotating
+/// sentinel report-staleness sample per node.  Only when a node is dead,
+/// unresolvable, or its sentinel has gone silent does the fleet fan out to
+/// that node's sessions — so per-tick work is O(nodes) when healthy and
+/// proportional to the affected sessions when something breaks.  The
+/// rotating sentinel bounds the detection delay for a single wedged agent
+/// on an otherwise healthy node to (sessions-on-node) ticks.
+///
+/// Buckets re-index themselves through the supervisors' reassignment hook
+/// as failovers move sessions between nodes; supervisors with recovery
+/// bookkeeping outstanding (retries, superseded predecessors awaiting
+/// protocol-level retirement) stay on a follow-up list that is polled every
+/// tick until they go quiescent.  The per-tick poll count is exported as
+/// the `orch.failover_poll_len` gauge.
+class CMTOS_CONTROL_PLANE FailoverFleet {
+ public:
+  using NodeAliveFn = FailoverSupervisor::NodeAliveFn;
+
+  FailoverFleet(sim::Scheduler& sched, Orchestrator& orch,
+                Orchestrator::LloResolver resolver, NodeAliveFn alive,
+                FailoverConfig cfg = {});
+  ~FailoverFleet();
+
+  FailoverFleet(const FailoverFleet&) = delete;
+  FailoverFleet& operator=(const FailoverFleet&) = delete;
+
+  /// Adopts a session into the fleet; returns its supervisor (stable for
+  /// the fleet's lifetime — sessions are never evicted, only orphaned).
+  FailoverSupervisor& watch(std::unique_ptr<OrchSession> session);
+
+  std::size_t session_count() const { return entries_.size(); }
+  FailoverSupervisor& supervisor(std::size_t i) { return *entries_[i].sup; }
+
+  /// Supervisor polls performed by the most recent tick: the detection-cost
+  /// regression surface (O(nodes) healthy, O(affected) during an outage).
+  std::size_t last_tick_polls() const { return last_tick_polls_; }
+  /// Distinct orchestrating nodes currently indexed.
+  std::size_t indexed_nodes() const { return by_node_.size(); }
+
+  /// Sum of completed failovers / orphaned sessions across the fleet.
+  int failovers() const;
+  int orphaned() const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<FailoverSupervisor> sup;
+    net::NodeId node = net::kInvalidNode;
+  };
+  struct Bucket {
+    std::vector<FailoverSupervisor*> members;
+    std::uint32_t sentinel_rr = 0;  // rotating report-staleness sample
+  };
+
+  void tick();
+  void reindex(std::size_t entry);
+
+  sim::Scheduler& sched_;
+  Orchestrator& orch_;
+  Orchestrator::LloResolver resolve_;
+  NodeAliveFn alive_;
+  FailoverConfig cfg_;
+  std::vector<Entry> entries_;
+  FlatMap<net::NodeId, Bucket> by_node_;
+  std::vector<FailoverSupervisor*> recovering_;
+  std::size_t last_tick_polls_ = 0;
+  sim::EventHandle timer_;
 };
 
 }  // namespace cmtos::orch

@@ -43,6 +43,12 @@ void HloAgent::set_epoch(std::uint32_t epoch) {
   llo_.set_session_epoch(session_, epoch);
 }
 
+void HloAgent::set_rate_scale(double scale) {
+  // A federation root only ever needs small corrections; anything beyond a
+  // few percent would visibly distort media rates, so the clamp is tight.
+  rate_scale_ = std::clamp(scale, 0.9, 1.1);
+}
+
 void HloAgent::on_superseded_nack() {
   if (superseded_) return;  // several endpoints may fence us in one burst
   superseded_ = true;
@@ -84,7 +90,7 @@ void HloAgent::prime(bool flush, ResultFn done) { llo_.prime(session_, flush, st
 
 void HloAgent::start(ResultFn done) {
   llo_.start(session_, [this, done = std::move(done)](
-                           bool ok, const std::map<transport::VcId, std::int64_t>& bases) {
+                           bool ok, const FlatMap<transport::VcId, std::int64_t>& bases) {
     if (ok) {
       start_master_time_ = master_now();
       for (auto& [vc, st] : status_) {
@@ -239,12 +245,38 @@ void HloAgent::interval_tick() {
     }
     // The LLO's slot controller tolerates ~1 OSDU of slack per interval;
     // subtracting the previous interval's overshoot stops that slack from
-    // compounding into a sustained rate error.
+    // compounding into a sustained rate error.  rate_scale_ is a federation
+    // root's inter-domain nudge: it scales every stream identically, so the
+    // intra-domain rate ratios (the sync relationship) are preserved.
     const std::int64_t delta = std::max<std::int64_t>(
-        0, std::llround((interval_s + correction_s) * s.osdu_rate) - st.overshoot);
+        0,
+        std::llround((interval_s + correction_s) * s.osdu_rate * rate_scale_) - st.overshoot);
     st.last_target = delta;  // interpreted against interval_start_seq on report
     llo_.regulate(session_, s.vc.vc, delta, s.max_drop_per_interval, policy_.interval, id,
                   /*relative=*/true);
+  }
+
+  // Federation digest: the whole domain compressed into O(1) numbers once
+  // per interval.  Computed only when a parent is listening and positions
+  // exist (the first tick has no report to summarise).
+  if (on_aggregate_ && have_positions && !streams_.empty()) {
+    DomainAggregate agg;
+    agg.interval_id = id;
+    agg.vc_count = streams_.size();
+    double pos_sum = 0;
+    for (const auto& s : streams_) pos_sum += position_seconds(s);
+    agg.mean_position_s = pos_sum / static_cast<double>(streams_.size());
+    double err_sum = 0;
+    for (const auto& s : streams_) {
+      agg.max_abs_skew_s =
+          std::max(agg.max_abs_skew_s, std::abs(position_seconds(s) - agg.mean_position_s));
+      auto it = status_.find(s.vc.vc);
+      if (it != status_.end()) err_sum += std::abs(it->second.last_error_osdus);
+    }
+    agg.mean_abs_error_osdus = err_sum / static_cast<double>(streams_.size());
+    agg.reports = reports_window_;
+    reports_window_ = 0;
+    on_aggregate_(agg);
   }
 
   // The interval timer runs off the orchestrating node's clock (the master
@@ -257,6 +289,8 @@ void HloAgent::interval_tick() {
 
 void HloAgent::on_regulate(const RegulateIndication& ind) {
   last_report_ = llo_.network().scheduler().now();
+  ++reports_processed_;
+  ++reports_window_;
   auto it = status_.find(ind.vc);
   if (it == status_.end()) return;
   VcStatus& st = it->second;

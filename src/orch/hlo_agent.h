@@ -80,6 +80,19 @@ struct OrchPolicy {
   bool allow_no_common_node = false;
 };
 
+/// Per-interval digest a domain HLO pushes up a federation tree (see
+/// orch/federation.h): the whole domain compressed into O(1) numbers, so a
+/// root orchestrator steering N domains processes N aggregates per
+/// interval instead of N x VCs individual regulation reports.
+struct DomainAggregate {
+  std::uint32_t interval_id = 0;
+  std::size_t vc_count = 0;
+  double mean_position_s = 0;       // domain media-time datum
+  double max_abs_skew_s = 0;        // worst intra-domain relative skew
+  double mean_abs_error_osdus = 0;  // mean |target error| at last report
+  std::uint64_t reports = 0;        // per-VC reports folded in since last digest
+};
+
 /// The agent's diagnosis of a missed target (§6.3.1.2).
 enum class MissDiagnosis {
   kOnTarget,
@@ -187,6 +200,29 @@ class HloAgent {
     on_vc_dead_ = std::move(fn);
   }
 
+  // --- federation hooks (orch/federation.h) ---
+
+  /// Merged Orch.Regulate.indications this agent has processed: the
+  /// federation acceptance counter (a root HLO must see aggregates, never
+  /// this firehose).
+  std::uint64_t reports_processed() const { return reports_processed_; }
+
+  /// Fires once per regulation interval (from the second tick on, when
+  /// positions exist) with the whole domain digested into a
+  /// DomainAggregate.  Runs on the orchestrating node's shard — a
+  /// federation root marshals it into a global event before touching
+  /// cross-domain state.
+  void set_aggregate_callback(std::function<void(const DomainAggregate&)> fn) {
+    on_aggregate_ = std::move(fn);
+  }
+
+  /// Inter-domain alignment knob: scales every stream's target rate by
+  /// `scale` (clamped to [0.9, 1.1]) so a federation root can nudge a whole
+  /// domain that has drifted ahead of or behind its siblings.  Intra-domain
+  /// ratios — the synchronisation relationship — are untouched.
+  void set_rate_scale(double scale);
+  double rate_scale() const { return rate_scale_; }
+
  private:
   void interval_tick();
   void on_regulate(const RegulateIndication& ind);
@@ -210,11 +246,19 @@ class HloAgent {
   Time last_report_ = 0;
   std::uint32_t next_interval_id_ = 1;
   sim::EventHandle tick_;
-  std::map<transport::VcId, VcStatus> status_;
+  // Ordered per-stream iteration feeds interval_tick and status(); the
+  // federation bounds a domain agent to tens of VCs, never the 10k table.
+  std::map<transport::VcId, VcStatus> status_;  // cmtos-analyze: allow(hot-path-map)
   std::function<void(const RegulateIndication&, std::int64_t)> on_interval_;
   std::function<void(transport::VcId, MissDiagnosis, const RegulateIndication&)> on_escalate_;
   std::function<void(const EventIndication&)> on_vc_dead_;
   std::function<void()> on_superseded_;
+
+  // federation state
+  std::uint64_t reports_processed_ = 0;
+  std::uint64_t reports_window_ = 0;  // reports since the last aggregate
+  double rate_scale_ = 1.0;
+  std::function<void(const DomainAggregate&)> on_aggregate_;
 };
 
 }  // namespace cmtos::orch

@@ -244,7 +244,8 @@ class CMTOS_SHARD_AFFINE Llo {
 
   // Clock-sync probe state: probe id -> the estimation run it belongs to.
   std::uint32_t next_probe_id_ = 1;
-  std::map<std::uint32_t, std::shared_ptr<ClockSyncSession>> clock_probes_;
+  // One entry per in-flight estimation run (rare, short-lived).
+  std::map<std::uint32_t, std::shared_ptr<ClockSyncSession>> clock_probes_;  // cmtos-analyze: allow(hot-path-map)
 
   /// OPDU dispatch: indexed by OpduType, routing each row to the owning
   /// engine.  Replaces the historical switch so adding an OPDU type is a

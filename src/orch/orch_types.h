@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 
 #include "orch/opdu.h"
+#include "util/slot_table.h"
 #include "util/time.h"
 
 namespace cmtos::orch {
@@ -93,7 +93,7 @@ using OrchResultFn = std::function<void(bool ok, OrchReason reason)>;
 /// Orch.Start confirm additionally reports, per VC, the sink's next
 /// deliverable OSDU seq at start time (the HLO agent's position base).
 using OrchStartFn =
-    std::function<void(bool ok, const std::map<transport::VcId, std::int64_t>&)>;
+    std::function<void(bool ok, const FlatMap<transport::VcId, std::int64_t>&)>;
 
 /// Callbacks into the application threads at one node (Fig 7).  Returning
 /// false from a prime/delayed indication maps to Orch.Deny.

@@ -14,10 +14,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "orch/orch_types.h"
+#include "util/slot_table.h"
 #include "sim/node_runtime.h"
 #include "transport/service.h"
 #include "util/thread_annotations.h"
@@ -137,9 +137,11 @@ class CMTOS_SHARD_AFFINE RegulationEngine {
   Llo& llo_;
   std::size_t session_limit_ = 64;
   bool fencing_ = true;
-  std::map<LocalKey, VcLocal> locals_;
-  std::map<transport::VcId, std::uint32_t> vc_epoch_;     // fence per VC
-  std::map<transport::VcId, net::NodeId> vc_regulator_;   // last applied target's origin
+  // Flat tables: regulation_slot probes locals_ 8x per interval per VC and
+  // the fences are checked per OPDU, so these are the endpoint hot path.
+  FlatMap<LocalKey, VcLocal> locals_;
+  FlatMap<transport::VcId, std::uint32_t> vc_epoch_;     // fence per VC
+  FlatMap<transport::VcId, net::NodeId> vc_regulator_;   // last applied target's origin
 };
 
 }  // namespace cmtos::orch

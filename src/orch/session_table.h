@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <set>
 #include <utility>
@@ -25,6 +24,7 @@
 #include "orch/orch_types.h"
 #include "sim/node_runtime.h"
 #include "transport/timer_set.h"
+#include "util/slot_table.h"
 #include "util/quarantine.h"
 #include "util/thread_annotations.h"
 
@@ -123,7 +123,7 @@ class CMTOS_SHARD_AFFINE SessionTable {
     OrchResultFn done;
     OrchStartFn start_done;
     std::set<transport::VcId> primed_wanted;  // sinks still to report kPrimed
-    std::map<transport::VcId, std::int64_t> start_bases;
+    FlatMap<transport::VcId, std::int64_t> start_bases;
     // Phase the session commits to when the op succeeds / reverts to when
     // it fails or times out (set by the primitive that issued the op).
     SessionPhase commit_phase = SessionPhase::kIdle;
@@ -142,7 +142,7 @@ class CMTOS_SHARD_AFFINE SessionTable {
   struct Session {
     std::vector<OrchVcInfo> vcs;
     std::unique_ptr<PendingOp> op;
-    std::map<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
+    FlatMap<std::pair<transport::VcId, std::uint32_t>, RegMerge> reg_merge;
     bool established = false;
     SessionPhase phase = SessionPhase::kEstablishing;
   };
@@ -164,12 +164,14 @@ class CMTOS_SHARD_AFFINE SessionTable {
   Duration op_timeout_ = 5 * kSecond;
   PeerQuarantine quarantine_;
 
-  std::map<OrchSessionId, Session> sessions_;
-  std::map<OrchSessionId, std::uint32_t> session_epochs_;
-  std::map<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
-  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
-  std::map<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
-  std::map<OrchSessionId, std::function<void()>> on_superseded_;
+  // Flat tables: the orchestrating side is probed per OPDU and per
+  // regulation report, so lookups are O(1) and session churn recycles slots.
+  FlatMap<OrchSessionId, Session> sessions_;
+  FlatMap<OrchSessionId, std::uint32_t> session_epochs_;
+  FlatMap<OrchSessionId, std::function<void(const RegulateIndication&)>> on_regulate_;
+  FlatMap<OrchSessionId, std::function<void(const EventIndication&)>> on_event_;
+  FlatMap<OrchSessionId, std::function<void(const EventIndication&)>> on_vc_dead_;
+  FlatMap<OrchSessionId, std::function<void()>> on_superseded_;
 };
 
 }  // namespace cmtos::orch

@@ -267,7 +267,8 @@ class CMTOS_SHARD_AFFINE Connection {
   std::uint32_t next_osdu_seq_ = 0;     // stamped on submit()
   std::uint32_t next_tpdu_seq_ = 0;
   std::deque<DataTpdu> txq_;            // fragments awaiting (re)transmission
-  std::map<std::uint32_t, DataTpdu> retain_;  // sent TPDUs kept for NAK service
+  // Pruned in seq order by cumulative acks (lower_bound walks); ordered.
+  std::map<std::uint32_t, DataTpdu> retain_;  // sent TPDUs kept for NAK service  // cmtos-analyze: allow(hot-path-map)
   std::size_t retain_limit_ = 512;
   double rate_factor_ = 1.0;            // receiver-feedback modulation (rate profile)
   bool receiver_full_ = false;
@@ -291,13 +292,15 @@ class CMTOS_SHARD_AFFINE Connection {
   bool tpdu_resync_ = true;  // adopt the next TPDU's seq (fresh open / after flush)
   // Reassembly state is keyed by the *unwrapped* OSDU seq (see
   // unwrap_osdu_seq) so ordering stays correct across 32-bit wraparound.
-  std::map<std::int64_t, Partial> partials_;        // unwrapped osdu_seq -> partial
-  std::map<std::int64_t, Osdu> completed_;          // awaiting in-order delivery
+  // In-order delivery drains these smallest-seq-first; ordered by design.
+  std::map<std::int64_t, Partial> partials_;   // unwrapped osdu_seq -> partial  // cmtos-analyze: allow(hot-path-map)
+  std::map<std::int64_t, Osdu> completed_;     // awaiting in-order delivery  // cmtos-analyze: allow(hot-path-map)
   std::deque<Osdu> delivery_queue_;                 // ready, waiting for ring space
   std::int64_t next_deliver_seq_ = 0;               // next expected OSDU seq
   std::int64_t last_delivered_seq_ = -1;
   std::int64_t highest_completed_seq_ = -1;
-  std::map<std::uint32_t, int> nak_tries_;          // tpdu seq -> attempts
+  // Holes are retried oldest-first and pruned by seq range; ordered.
+  std::map<std::uint32_t, int> nak_tries_;     // tpdu seq -> attempts  // cmtos-analyze: allow(hot-path-map)
   Time last_hole_progress_ = 0;
   std::uint32_t recv_window_granted_ = 8;
   sim::EventHandle feedback_event_;

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <vector>
 
@@ -27,6 +26,7 @@
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
 #include "util/quarantine.h"
+#include "util/slot_table.h"
 #include "util/thread_annotations.h"
 
 namespace cmtos::transport {
@@ -122,10 +122,13 @@ class CMTOS_SHARD_AFFINE ConnectionManager {
   TimerSet& timers_;
   PeerQuarantine quarantine_;
 
-  std::map<VcId, PendingInitiated> pending_initiated_;
-  std::map<VcId, PendingSourceAccept> pending_source_accept_;
-  std::map<VcId, PendingCc> pending_cc_;
-  std::map<VcId, PendingDestAccept> pending_dest_accept_;
+  // Flat tables: handshake state is keyed by VC and churned on every
+  // connect/release, so lookups stay O(1) and slots recycle without
+  // allocator traffic.
+  FlatMap<VcId, PendingInitiated> pending_initiated_;
+  FlatMap<VcId, PendingSourceAccept> pending_source_accept_;
+  FlatMap<VcId, PendingCc> pending_cc_;
+  FlatMap<VcId, PendingDestAccept> pending_dest_accept_;
 };
 
 }  // namespace cmtos::transport

@@ -80,8 +80,9 @@ class MulticastGroup : public TransportUser {
 
   TransportEntity& entity_;
   net::Tsap src_tsap_;
-  std::map<net::NetAddress, Member> members_;
-  std::map<VcId, net::NetAddress> by_vc_;
+  // Group membership is control-plane: joins/leaves are rare and small.
+  std::map<net::NetAddress, Member> members_;  // cmtos-analyze: allow(hot-path-map)
+  std::map<VcId, net::NetAddress> by_vc_;  // cmtos-analyze: allow(hot-path-map)
 };
 
 }  // namespace cmtos::transport

@@ -77,11 +77,12 @@ class CMTOS_SHARD_AFFINE RenegotiationEngine {
   TransportEntity& ent_;
   TimerSet& timers_;
 
-  std::map<VcId, PendingReneg> pending_reneg_;
-  std::map<VcId, PendingRenegPeer> pending_reneg_peer_;
+  // One entry per in-flight renegotiation handshake (rare, short-lived).
+  std::map<VcId, PendingReneg> pending_reneg_;  // cmtos-analyze: allow(hot-path-map)
+  std::map<VcId, PendingRenegPeer> pending_reneg_peer_;  // cmtos-analyze: allow(hot-path-map)
   // Tentative contract carried by a source-initiated RN, held until the
   // sink user answers (and consulted to recognise retransmitted RNs).
-  std::map<VcId, QosParams> peer_tentative_;
+  std::map<VcId, QosParams> peer_tentative_;  // cmtos-analyze: allow(hot-path-map)
 };
 
 }  // namespace cmtos::transport

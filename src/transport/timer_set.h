@@ -17,10 +17,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "sim/node_runtime.h"
+#include "util/slot_table.h"
 #include "util/time.h"
 
 namespace cmtos::transport {
@@ -100,7 +100,9 @@ class TimerSet {
   }
 
   sim::NodeRuntime& rt_;
-  std::map<std::pair<TimerKind, std::uint64_t>, sim::EventHandle> timers_;
+  // Flat table: steady-state re-arm cycles (keepalive, retransmit) recycle
+  // slab slots instead of allocating tree nodes per arm.
+  FlatMap<std::pair<TimerKind, std::uint64_t>, sim::EventHandle> timers_;
 };
 
 }  // namespace cmtos::transport

@@ -24,7 +24,6 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 
@@ -36,6 +35,7 @@
 #include "transport/timer_set.h"
 #include "transport/tpdu.h"
 #include "util/rng.h"
+#include "util/slot_table.h"
 #include "util/thread_annotations.h"
 
 namespace cmtos::transport {
@@ -269,11 +269,14 @@ class CMTOS_SHARD_AFFINE TransportEntity {
   ConnectionManager conn_mgr_;
   RenegotiationEngine reneg_;
 
-  std::map<net::Tsap, TransportUser*> users_;
-  std::map<VcId, std::unique_ptr<Connection>> sources_;
-  std::map<VcId, std::unique_ptr<Connection>> sinks_;
+  // Flat tables on the per-packet hot path: every DT/AK/NAK/FB lookup is one
+  // O(1) probe, and VC churn at a stable population recycles slab slots
+  // instead of allocating tree nodes.
+  FlatMap<net::Tsap, TransportUser*> users_;
+  FlatMap<VcId, std::unique_ptr<Connection>> sources_;
+  FlatMap<VcId, std::unique_ptr<Connection>> sinks_;
   /// Reverse-path control-trickle reservation per source VC.
-  std::map<VcId, net::ReservationId> reverse_reservations_;
+  FlatMap<VcId, net::ReservationId> reverse_reservations_;
 
   /// Control-TPDU dispatch: indexed by TpduType (control types are 1..10),
   /// routing each row to the owning engine.  Replaces the historical

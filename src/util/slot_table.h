@@ -1,0 +1,408 @@
+// Flat, cache-friendly containers for the steady-state hot paths.
+//
+// FlatMap<K, V>  — open-addressed hash map: contiguous slab of entries plus a
+//                  power-of-two u32 bucket index (linear probing, tombstones).
+//                  Lookup is O(1) with zero steady-state allocation; the slab
+//                  never shrinks, so churn at a stable population reuses slots
+//                  instead of hitting the allocator. Iteration is slab order:
+//                  a pure function of the op sequence, hence byte-identical
+//                  across --threads runs, but NOT key order like std::map.
+//
+// SlotTable<T>   — dense slab with generation-stamped handles. A Handle keeps
+//                  (index, generation); erase bumps the slot generation, so a
+//                  stale handle is detectable (get() returns nullptr) rather
+//                  than silently aliasing the slot's next occupant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cmtos {
+
+namespace detail {
+
+// splitmix64 finalizer: cheap, and strong enough that linear probing over a
+// power-of-two table does not cluster on the structured keys we use
+// (node<<32|seq VC ids, packed link keys, small dense session ids).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace detail
+
+// Default hasher: integral/enum keys and pairs thereof. Anything else needs a
+// custom hasher supplied as the FlatMap Hash parameter.
+template <class K, class = void>
+struct FlatHash;
+
+template <class K>
+struct FlatHash<K, std::enable_if_t<std::is_integral_v<K> || std::is_enum_v<K>>> {
+  std::uint64_t operator()(K k) const noexcept {
+    return detail::mix64(static_cast<std::uint64_t>(k));
+  }
+};
+
+template <class A, class B>
+struct FlatHash<std::pair<A, B>, void> {
+  std::uint64_t operator()(const std::pair<A, B>& p) const noexcept {
+    return detail::hash_combine(FlatHash<A>{}(p.first), FlatHash<B>{}(p.second));
+  }
+};
+
+template <class K, class V, class Hash = FlatHash<K>>
+class FlatMap {
+  using Entry = std::optional<std::pair<const K, V>>;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+
+ public:
+  using key_type = K;
+  using mapped_type = V;
+  using value_type = std::pair<const K, V>;
+
+  template <bool Const>
+  class Iter {
+   public:
+    using value_type = std::pair<const K, V>;
+
+   private:
+    using MapT = std::conditional_t<Const, const FlatMap, FlatMap>;
+    using Ref = std::conditional_t<Const, const value_type&, value_type&>;
+    using Ptr = std::conditional_t<Const, const value_type*, value_type*>;
+
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+    using reference = Ref;
+    using pointer = Ptr;
+
+    Iter() = default;
+    Iter(MapT* m, std::size_t i) : m_(m), i_(i) { skip(); }
+    // const_iterator from iterator.
+    template <bool C = Const, class = std::enable_if_t<C>>
+    Iter(const Iter<false>& o) : m_(o.m_), i_(o.i_) {}
+
+    Ref operator*() const { return *m_->slab_[i_]; }
+    Ptr operator->() const { return &*m_->slab_[i_]; }
+    Iter& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    Iter operator++(int) {
+      Iter t = *this;
+      ++*this;
+      return t;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) { return a.i_ == b.i_; }
+    friend bool operator!=(const Iter& a, const Iter& b) { return a.i_ != b.i_; }
+
+   private:
+    friend class FlatMap;
+    template <bool>
+    friend class Iter;
+    void skip() {
+      while (i_ < m_->slab_.size() && !m_->slab_[i_].has_value()) ++i_;
+    }
+    MapT* m_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  using iterator = Iter<false>;
+  using const_iterator = Iter<true>;
+
+  FlatMap() = default;
+  FlatMap(FlatMap&&) = default;
+  FlatMap& operator=(FlatMap&&) = default;
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+
+  iterator begin() { return iterator(this, 0); }
+  iterator end() { return iterator(this, slab_.size()); }
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, slab_.size()); }
+
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  void reserve(std::size_t n) {
+    slab_.reserve(n);
+    if (n * 10 >= index_.size() * 7) rehash(n);
+  }
+
+  bool contains(const K& key) const { return find_slot(key) != kEmpty; }
+
+  iterator find(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    return s == kEmpty ? end() : iterator(this, s);
+  }
+  const_iterator find(const K& key) const {
+    const std::uint32_t s = find_slot(key);
+    return s == kEmpty ? end() : const_iterator(this, s);
+  }
+
+  V& at(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kEmpty) throw std::out_of_range("FlatMap::at");
+    return slab_[s]->second;
+  }
+  const V& at(const K& key) const {
+    const std::uint32_t s = find_slot(key);
+    if (s == kEmpty) throw std::out_of_range("FlatMap::at");
+    return slab_[s]->second;
+  }
+
+  V& operator[](const K& key) {
+    return try_emplace(key).first->second;
+  }
+
+  template <class... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    maybe_rehash();
+    auto [bucket, existing] = probe(key);
+    if (existing != kEmpty) return {iterator(this, existing), false};
+    const std::uint32_t s = take_slot(key, std::forward<Args>(args)...);
+    claim_bucket(bucket, s);
+    return {iterator(this, s), true};
+  }
+
+  template <class... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    return try_emplace(key, std::forward<Args>(args)...);
+  }
+
+  std::pair<iterator, bool> insert(value_type v) {
+    return try_emplace(v.first, std::move(v.second));
+  }
+
+  template <class M>
+  std::pair<iterator, bool> insert_or_assign(const K& key, M&& value) {
+    auto r = try_emplace(key, std::forward<M>(value));
+    if (!r.second) r.first->second = std::forward<M>(value);
+    return r;
+  }
+
+  std::size_t erase(const K& key) {
+    const std::uint32_t s = find_slot(key);
+    if (s == kEmpty) return 0;
+    erase_slot(s);
+    return 1;
+  }
+
+  iterator erase(iterator it) {
+    const std::size_t i = it.i_;
+    erase_slot(static_cast<std::uint32_t>(i));
+    return iterator(this, i);  // constructor skips to next live entry
+  }
+
+  void clear() {
+    slab_.clear();
+    free_.clear();
+    index_.assign(index_.size(), kEmpty);
+    live_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  // Returns {insertion bucket, existing slab slot or kEmpty}. The insertion
+  // bucket is the first tombstone seen on the probe path (reuse), else the
+  // terminating empty bucket.
+  std::pair<std::size_t, std::uint32_t> probe(const K& key) const {
+    const std::size_t mask = index_.size() - 1;
+    std::size_t b = static_cast<std::size_t>(Hash{}(key)) & mask;
+    std::size_t insert_at = index_.size();  // sentinel: none yet
+    for (;; b = (b + 1) & mask) {
+      const std::uint32_t e = index_[b];
+      if (e == kEmpty) {
+        return {insert_at == index_.size() ? b : insert_at, kEmpty};
+      }
+      if (e == kTombstone) {
+        if (insert_at == index_.size()) insert_at = b;
+        continue;
+      }
+      if (slab_[e]->first == key) return {b, e};
+    }
+  }
+
+  std::uint32_t find_slot(const K& key) const {
+    if (live_ == 0) return kEmpty;
+    const std::size_t mask = index_.size() - 1;
+    std::size_t b = static_cast<std::size_t>(Hash{}(key)) & mask;
+    for (;; b = (b + 1) & mask) {
+      const std::uint32_t e = index_[b];
+      if (e == kEmpty) return kEmpty;
+      if (e != kTombstone && slab_[e]->first == key) return e;
+    }
+  }
+
+  template <class... Args>
+  std::uint32_t take_slot(const K& key, Args&&... args) {
+    std::uint32_t s;
+    if (!free_.empty()) {
+      s = free_.back();
+      free_.pop_back();
+    } else {
+      s = static_cast<std::uint32_t>(slab_.size());
+      slab_.emplace_back();
+    }
+    slab_[s].emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                     std::forward_as_tuple(std::forward<Args>(args)...));
+    ++live_;
+    return s;
+  }
+
+  void claim_bucket(std::size_t bucket, std::uint32_t slot) {
+    if (index_[bucket] == kEmpty) ++used_;  // tombstone reuse keeps used_ flat
+    index_[bucket] = slot;
+  }
+
+  void erase_slot(std::uint32_t s) {
+    auto [bucket, existing] = probe(slab_[s]->first);
+    // existing == s by construction; retire the bucket and the slab slot.
+    index_[bucket] = kTombstone;
+    slab_[s].reset();
+    free_.push_back(s);
+    --live_;
+  }
+
+  void maybe_rehash() {
+    if (index_.empty() || (used_ + 1) * 10 >= index_.size() * 7) {
+      rehash(live_ + 1);
+    }
+  }
+
+  void rehash(std::size_t want_live) {
+    std::size_t cap = 16;
+    while (cap * 7 < want_live * 20) cap <<= 1;  // target <= 0.35 load on rebuild
+    index_.assign(cap, kEmpty);
+    used_ = 0;
+    const std::size_t mask = cap - 1;
+    for (std::size_t i = 0; i < slab_.size(); ++i) {
+      if (!slab_[i].has_value()) continue;
+      std::size_t b = static_cast<std::size_t>(Hash{}(slab_[i]->first)) & mask;
+      while (index_[b] != kEmpty) b = (b + 1) & mask;
+      index_[b] = static_cast<std::uint32_t>(i);
+      ++used_;
+    }
+  }
+
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> free_;   // LIFO slab-slot recycling (deterministic)
+  std::vector<std::uint32_t> index_;  // power-of-two open-addressed buckets
+  std::size_t live_ = 0;
+  std::size_t used_ = 0;  // live + tombstones occupying index buckets
+};
+
+// Dense slab with generation-stamped handles. Insert returns a Handle; a
+// handle outlives its slot only in the detectable sense — after erase, get()
+// on the stale handle yields nullptr because the slot generation moved on.
+template <class T>
+class SlotTable {
+  static constexpr std::uint32_t kInvalidIdx = 0xffffffffu;
+
+ public:
+  struct Handle {
+    std::uint32_t idx = kInvalidIdx;
+    std::uint32_t gen = 0;
+    bool valid() const noexcept { return idx != kInvalidIdx; }
+    friend bool operator==(const Handle&, const Handle&) = default;
+    // Packs to a nonzero 64-bit id (0 stays "no handle"); round-trips exactly.
+    std::uint64_t pack() const noexcept {
+      return (static_cast<std::uint64_t>(gen) << 32) |
+             (static_cast<std::uint64_t>(idx) + 1);
+    }
+    static Handle unpack(std::uint64_t id) noexcept {
+      if ((id & 0xffffffffull) == 0) return Handle{};
+      return Handle{static_cast<std::uint32_t>((id & 0xffffffffull) - 1),
+                    static_cast<std::uint32_t>(id >> 32)};
+    }
+  };
+
+  template <class... Args>
+  Handle emplace(Args&&... args) {
+    std::uint32_t i;
+    if (!free_.empty()) {
+      i = free_.back();
+      free_.pop_back();
+    } else {
+      i = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+      gens_.push_back(1);
+    }
+    slots_[i].emplace(std::forward<Args>(args)...);
+    ++live_;
+    return Handle{i, gens_[i]};
+  }
+
+  T* get(Handle h) noexcept {
+    if (h.idx >= slots_.size() || gens_[h.idx] != h.gen) return nullptr;
+    return slots_[h.idx].has_value() ? &*slots_[h.idx] : nullptr;
+  }
+  const T* get(Handle h) const noexcept {
+    if (h.idx >= slots_.size() || gens_[h.idx] != h.gen) return nullptr;
+    return slots_[h.idx].has_value() ? &*slots_[h.idx] : nullptr;
+  }
+
+  bool erase(Handle h) {
+    if (get(h) == nullptr) return false;
+    slots_[h.idx].reset();
+    ++gens_[h.idx];  // stale handles now miss on the generation check
+    free_.push_back(h.idx);
+    --live_;
+    return true;
+  }
+
+  std::size_t size() const noexcept { return live_; }
+  bool empty() const noexcept { return live_ == 0; }
+
+  void clear() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) {
+        slots_[i].reset();
+        ++gens_[i];
+        free_.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+    live_ = 0;
+  }
+
+  // Slab-order visit of live slots: f(Handle, T&). Safe against erasing the
+  // visited slot from inside f (slab never reorders).
+  template <class F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) {
+        f(Handle{static_cast<std::uint32_t>(i), gens_[i]}, *slots_[i]);
+      }
+    }
+  }
+  template <class F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) {
+        f(Handle{static_cast<std::uint32_t>(i), gens_[i]}, *slots_[i]);
+      }
+    }
+  }
+
+ private:
+  std::vector<std::optional<T>> slots_;
+  std::vector<std::uint32_t> gens_;
+  std::vector<std::uint32_t> free_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cmtos

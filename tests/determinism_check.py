@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Sharded-runtime determinism regression check (DESIGN.md section 10).
 
-Runs the chaos, overload and byzantine soaks at --threads 1/2/8 with the
-same seed and asserts that the fault log (stdout+stderr) and the metric
+Runs the chaos, overload, byzantine and city soaks at --threads 1/2/8 with
+the same seed and asserts that the fault log (stdout+stderr) and the metric
 snapshot (--json) are byte-identical across thread counts.  --threads 1 is the determinism
 oracle: the executor classifies and orders rounds identically at every
 worker count, so any divergence here is a cross-shard ordering bug, not
 noise.
 
-Usage: determinism_check.py <chaos_soak-binary> <overload_soak-binary> <byzantine_soak-binary>
+Usage: determinism_check.py <chaos_soak-binary> <overload_soak-binary> \\
+                            <byzantine_soak-binary> <city_soak-binary>
 """
 
 import json
@@ -30,6 +31,8 @@ RUNS = [
     ("overload_soak", ["--scenario", "consumer_stall", "--seed", "7"]),
     ("byzantine_soak", ["--scenario", "byzantine_storm", "--seed", "5"]),
     ("byzantine_soak", ["--scenario", "dup_flood", "--seed", "5"]),
+    ("city_soak", ["--scenario", "churn", "--seed", "3"]),
+    ("city_soak", ["--scenario", "steady", "--seed", "7"]),
 ]
 
 
@@ -44,12 +47,13 @@ def run_one(binary, scenario_args, threads, json_path):
 
 
 def main():
-    if len(sys.argv) != 4:
+    if len(sys.argv) != 5:
         raise SystemExit(__doc__)
     binaries = {
         "chaos_soak": sys.argv[1],
         "overload_soak": sys.argv[2],
         "byzantine_soak": sys.argv[3],
+        "city_soak": sys.argv[4],
     }
     failures = 0
     with tempfile.TemporaryDirectory() as tmp:

@@ -555,5 +555,108 @@ TEST(BurstLoss, OrchestratedSessionSurvivesGilbertElliottBursts) {
   EXPECT_GT(w.surviving_intervals(), intervals_before + 20);
 }
 
+// ====================================================================
+// Failover fleet: detection cost indexed by orchestrating node
+// ====================================================================
+
+/// Six single-stream sessions split across two sink workstations (the
+/// orchestrating nodes): the fleet must watch them with O(nodes) work per
+/// tick, and an outage must touch only the affected node's sessions.
+struct FleetWorld {
+  FleetWorld() : star(4, lan_link(), 17) {
+    p = &star.platform;
+    srv = star.leaves[0];
+    ws_a = star.leaves[2];
+    ws_b = star.leaves[3];
+    server = std::make_unique<StoredMediaServer>(*p, *srv, "server");
+
+    int connected = 0;
+    for (int i = 0; i < 6; ++i) {
+      platform::Host* ws = i < 3 ? ws_a : ws_b;
+      TrackConfig track;
+      track.track_id = static_cast<std::uint32_t>(i + 1);
+      track.vbr.base_bytes = 512;
+      const auto src = server->add_track(static_cast<net::Tsap>(100 + i), track);
+      RenderConfig rc;
+      rc.expect_track = track.track_id;
+      sinks.push_back(std::make_unique<RenderingSink>(
+          *p, *ws, static_cast<net::Tsap>(200 + i), rc));
+      streams.push_back(
+          std::make_unique<platform::Stream>(*p, *ws, "s" + std::to_string(i)));
+      platform::VideoQos vq;
+      vq.frames_per_second = 10;
+      streams.back()->connect(src, {ws->id, static_cast<net::Tsap>(200 + i)},
+                              platform::MediaQos{vq}, {},
+                              [&](bool ok, auto) { connected += ok; });
+    }
+    p->run_until(kSecond);
+    EXPECT_EQ(connected, 6);
+
+    fleet = std::make_unique<orch::FailoverFleet>(
+        p->scheduler(), p->orchestrator(),
+        [this](net::NodeId n) { return &p->host(n).llo; },
+        [this](net::NodeId n) { return p->node_alive(n); }, fc);
+    OrchPolicy policy;
+    policy.interval = 100 * kMillisecond;
+    for (int i = 0; i < 6; ++i) {
+      // Single source->sink stream: the sink-side tie-break elects the
+      // workstation, so sessions bucket under ws_a and ws_b.
+      auto session = p->orchestrator().orchestrate({streams[i]->orch_spec(2)}, policy,
+                                                   nullptr);
+      EXPECT_NE(session, nullptr);
+      if (session == nullptr) continue;
+      EXPECT_EQ(session->orchestrating_node(), (i < 3 ? ws_a : ws_b)->id);
+      fleet->watch(std::move(session));
+    }
+    p->run_until(2 * kSecond);
+  }
+
+  orch::FailoverConfig fc;
+  StarPlatform star;
+  platform::Platform* p = nullptr;
+  platform::Host* srv = nullptr;
+  platform::Host* ws_a = nullptr;
+  platform::Host* ws_b = nullptr;
+  std::unique_ptr<StoredMediaServer> server;
+  std::vector<std::unique_ptr<RenderingSink>> sinks;
+  std::vector<std::unique_ptr<platform::Stream>> streams;
+  std::unique_ptr<orch::FailoverFleet> fleet;
+};
+
+TEST(FailoverFleet, HealthyTicksCostZeroSessionPolls) {
+  FleetWorld w;
+  EXPECT_EQ(w.fleet->session_count(), 6u);
+  EXPECT_EQ(w.fleet->indexed_nodes(), 2u);
+  // Per tick the fleet probes the two orchestrating nodes (liveness +
+  // rotating sentinel); with everything healthy no session is polled.
+  EXPECT_EQ(w.fleet->last_tick_polls(), 0u);
+  w.p->run_until(w.p->scheduler().now() + 3 * kSecond);
+  EXPECT_EQ(w.fleet->last_tick_polls(), 0u);
+  EXPECT_EQ(w.fleet->failovers(), 0);
+  EXPECT_EQ(w.fleet->orphaned(), 0);
+}
+
+TEST(FailoverFleet, NodeDeathTouchesOnlyThatNodesSessions) {
+  FleetWorld w;
+  w.p->network().set_node_up(w.ws_a->id, false);
+  w.p->run_until(w.p->scheduler().now() + 2 * kSecond);
+
+  // ws_a's three sessions lose their only sink: detected and orphaned.
+  // ws_b's three sessions must be untouched — detection fanned out to the
+  // affected node only, and the poll gauge stays far below session count.
+  EXPECT_EQ(w.fleet->orphaned(), 3);
+  for (std::size_t i = 3; i < 6; ++i) {
+    EXPECT_EQ(w.fleet->supervisor(i).failovers(), 0) << "session " << i;
+    EXPECT_FALSE(w.fleet->supervisor(i).orphaned()) << "session " << i;
+  }
+  EXPECT_LE(obs::Registry::global().gauge("orch.failover_poll_len").value(), 6.0);
+
+  // After the outage drains, the dead node's bucket is gone and steady
+  // state is back to zero session polls per tick.
+  w.p->run_until(w.p->scheduler().now() + 2 * kSecond);
+  EXPECT_EQ(w.fleet->indexed_nodes(), 1u);
+  EXPECT_EQ(w.fleet->last_tick_polls(), 0u);
+}
+
 }  // namespace
 }  // namespace cmtos::test

@@ -203,9 +203,9 @@ TEST(LloStart, AtomicReleaseAfterPrime) {
 
   bool started = false;
   std::map<VcId, std::int64_t> bases;
-  w.llo().start(1, [&](bool o, const std::map<VcId, std::int64_t>& b) {
+  w.llo().start(1, [&](bool o, const FlatMap<VcId, std::int64_t>& b) {
     started = o;
-    bases = b;
+    for (const auto& [vc, base] : b) bases[vc] = base;
   });
   w.p->run_until(4 * kSecond);
   ASSERT_TRUE(started);

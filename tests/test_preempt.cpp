@@ -217,5 +217,61 @@ TEST(Preempt, PreemptedStreamHearsExactlyOnePreemptIndication) {
   EXPECT_FALSE(a.connected());
 }
 
+// --- victim-search cost (scale regression) ---
+//
+// The importance-ordered preemption index must keep the victim scan
+// proportional to the candidate classes below the requester, not to the
+// total reservation population: at city scale the network holds thousands
+// of unpreemptible (or high-class) reservations that a linear sweep would
+// visit on every contended admission.
+
+TEST(Preempt, VictimScanLengthIndependentOfReservationPopulation) {
+  sim::Scheduler sched;
+  net::Network net{sched, Rng(1)};
+  const auto a = net.add_node("a");
+  const auto b = net.add_node("b");
+  net::LinkConfig cfg = lan_link();
+  cfg.bandwidth_bps = 120'000'000;
+  net.add_link(a, b, cfg);
+  net.finalize_routes();
+
+  // Fill the link with 1000 high-class annotated reservations plus two
+  // low-class victims.  A full scan would visit ~1002 entries; the indexed
+  // scan must visit only the two class-0 candidates.
+  int preempted = 0;
+  std::vector<net::ReservationId> victims;
+  for (int i = 0; i < 2; ++i) {
+    auto r = net.reserve(a, b, 100'000);
+    ASSERT_TRUE(r.has_value());
+    victims.push_back(*r);
+    net.annotate_reservation(*r, 0, [&net, &preempted, id = *r] {
+      ++preempted;
+      net.release(id);
+    });
+  }
+  std::int64_t bulk_total = 0;
+  while (true) {
+    auto r = net.reserve(a, b, 100'000);
+    if (!r.has_value()) break;
+    net.annotate_reservation(*r, 7, [] {});
+    bulk_total += 100'000;
+  }
+  ASSERT_GT(bulk_total, 90'000'000);  // the link really is crowded
+
+  // Class-5 admission for 60 kbit/s: one class-0 victim frees enough.
+  EXPECT_TRUE(net.preempt_for(a, b, 60'000, 5));
+  EXPECT_EQ(preempted, 1);
+  const double scan =
+      obs::Registry::global().gauge("admission.victim_scan_len").value();
+  EXPECT_GE(scan, 1.0);
+  EXPECT_LE(scan, 8.0) << "victim scan visited O(population) entries";
+
+  // An admission that cannot be satisfied still only scans the lower
+  // classes (here: the one remaining class-0 victim, swept or visited).
+  EXPECT_FALSE(net.preempt_for(a, b, 60'000'000, 5));
+  EXPECT_LE(obs::Registry::global().gauge("admission.victim_scan_len").value(),
+            8.0);
+}
+
 }  // namespace
 }  // namespace cmtos::test

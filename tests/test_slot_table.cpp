@@ -1,0 +1,231 @@
+// FlatMap / SlotTable unit tests: map semantics, churn without allocation
+// drift, deterministic slab-order iteration, and stale-handle detection.
+#include "util/slot_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using cmtos::FlatMap;
+using cmtos::SlotTable;
+
+TEST(FlatMap, BasicInsertFindErase) {
+  FlatMap<std::uint64_t, int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7u), m.end());
+
+  auto [it, fresh] = m.emplace(7u, 42);
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(it->first, 7u);
+  EXPECT_EQ(it->second, 42);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_TRUE(m.contains(7u));
+  EXPECT_EQ(m.at(7u), 42);
+
+  auto [it2, fresh2] = m.emplace(7u, 99);
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(it2->second, 42);  // emplace does not overwrite
+
+  m[7u] = 43;
+  EXPECT_EQ(m.at(7u), 43);
+  m[8u] = 80;
+  EXPECT_EQ(m.size(), 2u);
+
+  EXPECT_EQ(m.erase(7u), 1u);
+  EXPECT_EQ(m.erase(7u), 0u);
+  EXPECT_FALSE(m.contains(7u));
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_THROW(m.at(7u), std::out_of_range);
+}
+
+TEST(FlatMap, InsertOrAssign) {
+  FlatMap<int, std::string> m;
+  auto r1 = m.insert_or_assign(1, std::string("a"));
+  EXPECT_TRUE(r1.second);
+  auto r2 = m.insert_or_assign(1, std::string("b"));
+  EXPECT_FALSE(r2.second);
+  EXPECT_EQ(m.at(1), "b");
+}
+
+TEST(FlatMap, MoveOnlyValues) {
+  FlatMap<std::uint64_t, std::unique_ptr<int>> m;
+  m.emplace(1u, std::make_unique<int>(10));
+  m.emplace(2u, std::make_unique<int>(20));
+  auto it = m.find(1u);
+  ASSERT_NE(it, m.end());
+  auto owned = std::move(it->second);
+  m.erase(it);
+  EXPECT_EQ(*owned, 10);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(*m.at(2u), 20);
+}
+
+TEST(FlatMap, EraseByIteratorReturnsNext) {
+  FlatMap<int, int> m;
+  for (int i = 0; i < 10; ++i) m.emplace(i, i * i);
+  // Erase every entry via the erase(it) -> next idiom.
+  std::size_t seen = 0;
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      ++seen;
+      ++it;
+    }
+  }
+  EXPECT_EQ(seen, 5u);
+  EXPECT_EQ(m.size(), 5u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(m.contains(i), i % 2 == 1);
+}
+
+TEST(FlatMap, PairKeys) {
+  FlatMap<std::pair<std::uint64_t, std::uint32_t>, int> m;
+  m.emplace(std::make_pair(std::uint64_t{5}, std::uint32_t{1}), 51);
+  m.emplace(std::make_pair(std::uint64_t{5}, std::uint32_t{2}), 52);
+  EXPECT_EQ(m.at({5, 1}), 51);
+  EXPECT_EQ(m.at({5, 2}), 52);
+  EXPECT_FALSE(m.contains({6, 1}));
+}
+
+TEST(FlatMap, ChurnReusesSlotsWithoutGrowth) {
+  FlatMap<std::uint64_t, int> m;
+  m.reserve(512);
+  for (std::uint64_t i = 0; i < 256; ++i) m.emplace(i, 1);
+  // Steady-state churn at a stable population: every insert after an erase
+  // must reuse a recycled slab slot, so iteration span stays bounded.
+  for (std::uint64_t round = 0; round < 10000; ++round) {
+    m.erase(round % 256);
+    m.emplace(1000000 + round, 2);
+    m.erase(1000000 + round);
+    m.emplace(round % 256, 1);
+  }
+  EXPECT_EQ(m.size(), 256u);
+  std::size_t span = 0;
+  for ([[maybe_unused]] auto& kv : m) ++span;
+  EXPECT_EQ(span, 256u);
+}
+
+TEST(FlatMap, DifferentialVsStdMap) {
+  // Random op soak: FlatMap must agree with std::map on every lookup and on
+  // the full (sorted) contents after each batch.
+  std::mt19937_64 rng(20260807);
+  FlatMap<std::uint32_t, std::uint64_t> flat;
+  std::map<std::uint32_t, std::uint64_t> ref;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint32_t key = static_cast<std::uint32_t>(rng() % 700);
+    switch (rng() % 4) {
+      case 0:
+      case 1: {
+        const std::uint64_t v = rng();
+        flat.insert_or_assign(key, v);
+        ref[key] = v;
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(flat.erase(key), ref.erase(key));
+        break;
+      }
+      default: {
+        auto fit = flat.find(key);
+        auto rit = ref.find(key);
+        ASSERT_EQ(fit == flat.end(), rit == ref.end());
+        if (rit != ref.end()) {
+          EXPECT_EQ(fit->second, rit->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size());
+  }
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> got;
+  for (const auto& kv : flat) got.emplace_back(kv.first, kv.second);
+  std::sort(got.begin(), got.end());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> want(ref.begin(), ref.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST(FlatMap, IterationOrderIsOpSequenceDeterministic) {
+  // Two maps fed the same op sequence iterate identically — the property the
+  // --threads determinism oracle depends on.
+  auto run = [] {
+    FlatMap<std::uint64_t, int> m;
+    std::mt19937_64 rng(42);
+    for (int op = 0; op < 5000; ++op) {
+      const std::uint64_t key = rng() % 300;
+      if (rng() % 3 == 0) {
+        m.erase(key);
+      } else {
+        m.emplace(key, op);
+      }
+    }
+    std::vector<std::uint64_t> order;
+    for (const auto& kv : m) order.push_back(kv.first);
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SlotTable, HandleLifecycle) {
+  SlotTable<std::string> t;
+  auto h1 = t.emplace("one");
+  auto h2 = t.emplace("two");
+  EXPECT_TRUE(h1.valid());
+  ASSERT_NE(t.get(h1), nullptr);
+  EXPECT_EQ(*t.get(h1), "one");
+  EXPECT_EQ(*t.get(h2), "two");
+  EXPECT_EQ(t.size(), 2u);
+
+  EXPECT_TRUE(t.erase(h1));
+  EXPECT_EQ(t.get(h1), nullptr);   // stale handle detected, not aliased
+  EXPECT_FALSE(t.erase(h1));       // double-erase is a no-op
+  EXPECT_EQ(t.size(), 1u);
+
+  // The freed slot is recycled under a new generation; the old handle still
+  // misses even though the index now holds a live value again.
+  auto h3 = t.emplace("three");
+  EXPECT_EQ(h3.idx, h1.idx);
+  EXPECT_NE(h3.gen, h1.gen);
+  EXPECT_EQ(t.get(h1), nullptr);
+  EXPECT_EQ(*t.get(h3), "three");
+}
+
+TEST(SlotTable, PackUnpackRoundTrip) {
+  SlotTable<int> t;
+  auto h = t.emplace(5);
+  const std::uint64_t id = h.pack();
+  EXPECT_NE(id, 0u);  // 0 is reserved for "no reservation"
+  EXPECT_EQ(SlotTable<int>::Handle::unpack(id), h);
+  EXPECT_FALSE(SlotTable<int>::Handle::unpack(0).valid());
+}
+
+TEST(SlotTable, ForEachVisitsLiveInSlabOrder) {
+  SlotTable<int> t;
+  std::vector<SlotTable<int>::Handle> hs;
+  for (int i = 0; i < 8; ++i) hs.push_back(t.emplace(i));
+  t.erase(hs[2]);
+  t.erase(hs[5]);
+  std::vector<int> seen;
+  t.for_each([&](SlotTable<int>::Handle, int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 3, 4, 6, 7}));
+}
+
+TEST(SlotTable, ClearInvalidatesAllHandles) {
+  SlotTable<int> t;
+  auto h1 = t.emplace(1);
+  auto h2 = t.emplace(2);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.get(h1), nullptr);
+  EXPECT_EQ(t.get(h2), nullptr);
+}
+
+}  // namespace

@@ -85,6 +85,16 @@ Checks
                         PayloadView/FrameLease member outside the data-plane
                         dirs — or in any CMTOS_CONTROL_PLANE class — pins
                         pooled frames from control-plane lifetimes.
+  hot-path-map          Per-entity lookup state in the scale-critical layers
+                        (src/{transport,orch,net}) must live in the flat
+                        open-addressed structures (util::FlatMap /
+                        util::SlotTable): a std::map / std::unordered_map
+                        *member* declaration there reintroduces the pointer-
+                        chasing, allocation-per-insert containers the
+                        scale-out core removed (DESIGN.md section 15).
+                        Cold-path members that genuinely want ordered
+                        iteration or reference stability carry an
+                        allow(hot-path-map) tag stating as much.
   decode-totality       Wire decoders are total over arbitrary bytes
                         (DESIGN.md section 14): every decode()/decode_packet()
                         call yields an optional that can be empty for ANY
@@ -130,6 +140,7 @@ CHECKS = (
     "frame-lifecycle",
     "epoch-check",
     "decode-totality",
+    "hot-path-map",
 )
 
 ALLOW_RE = re.compile(r"//.*cmtos-analyze:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -993,6 +1004,60 @@ def check_decode_totality(sf: SourceFile, facts: Facts) -> list[Finding]:
     return out
 
 
+HOT_PATH_DIR_RE = re.compile(r"(^|/)src/(transport|orch|net)/")
+STD_MAP_MEMBER_RE = re.compile(r"\bstd\s*::\s*(unordered_map|map)\s*<")
+
+
+def _map_is_return_type(text: str, open_angle: int) -> bool:
+    """True when the std::map<...> whose '<' sits at open_angle is the return
+    type of a member-function declaration (`std::map<K,V>& name(...)`), not a
+    stored member."""
+    depth = 0
+    i = open_angle
+    while i < len(text):
+        if text[i] == "<":
+            depth += 1
+        elif text[i] == ">":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    rest = text[i + 1:]
+    return re.match(r"\s*(?:const\s*)?&?\s*\w+\s*\(", rest) is not None
+
+
+def check_hot_path_map(sf: SourceFile, facts: Facts) -> list[Finding]:
+    """Flags std::map / std::unordered_map *members* declared in the
+    scale-critical layers; per-entity tables there are FlatMap/SlotTable
+    (DESIGN.md section 15).  Function locals, parameters and return types
+    are fine — the check walks class-body member lines only, and skips
+    lines where the map type sits inside a parameter list or heads a
+    member-function declaration."""
+    if not HOT_PATH_DIR_RE.search(sf.rel):
+        return []
+    out = []
+    for ci in facts.classes:
+        for line, text in ci.member_lines:
+            m = STD_MAP_MEMBER_RE.search(text)
+            if m is None:
+                continue
+            # A '(' before the match means the map is a parameter type of a
+            # member-function declaration, not stored state.
+            if "(" in text[:m.start()]:
+                continue
+            if _map_is_return_type(text, m.end() - 1):
+                continue
+            out.append(Finding(
+                sf.rel, line, "hot-path-map",
+                f"std::{m.group(1)} member in {ci.name} "
+                "(scale-critical layer); per-entity tables here are flat "
+                "(util::FlatMap / util::SlotTable) — node-local allocation, "
+                "open addressing, generation-stamped handles.  If this member "
+                "is genuinely cold and needs ordered iteration or reference "
+                "stability, tag it allow(hot-path-map) with a reason"))
+    return out
+
+
 ALL_CHECKS = (
     check_callback_liveness,
     check_dataplane_payload_copy,
@@ -1000,6 +1065,7 @@ ALL_CHECKS = (
     check_frame_lifecycle,
     check_epoch_fencing,
     check_decode_totality,
+    check_hot_path_map,
 )
 
 
@@ -1181,9 +1247,35 @@ DT_EXPECT = {
     (12, "decode-totality"),  # wire length sizing a reserve with no guard
 }
 
+HM_PROBE = """\
+#include <map>
+#include "util/slot_table.h"
+class VcRouter {
+ public:
+  void route(const std::map<int, int>& overrides);
+
+ private:
+  const std::map<int, long>& snapshot() const;
+  std::map<int, long> targets_;
+  std::unordered_map<int, long> index_;
+  util::FlatMap<int, long> fast_;
+  // Ordered iteration feeds the debug dump; never on the data path.
+  std::map<int, long> names_;  // cmtos-analyze: allow(hot-path-map)
+};
+inline void helper() {
+  std::map<int, int> scratch;
+  (void)scratch;
+}
+"""
+HM_EXPECT = {
+    (9, "hot-path-map"),    # std::map member in a scale-critical layer
+    (10, "hot-path-map"),   # std::unordered_map member likewise
+}
+
 PROBES = (
     # (relative path the dir-scoped checks see, source, expected findings)
     ("src/transport/probe_callbacks.cpp", CB_PROBE, CB_EXPECT),
+    ("src/net/probe_hotmap.h", HM_PROBE, HM_EXPECT),
     ("src/net/probe_dataplane.cpp", DP_PROBE, DP_EXPECT),
     ("src/orch/probe_shard.cpp", SH_PROBE, SH_EXPECT),
     ("src/media/probe_freeze.cpp", FL_PROBE, FL_EXPECT),
